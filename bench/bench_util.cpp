@@ -1,0 +1,199 @@
+#include "bench_util.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+
+#include "common/logging.hpp"
+
+namespace hs::bench {
+
+core::RunResult run_config(const Config& config) {
+  HS_REQUIRE(config.ranks >= 1);
+  desim::Engine engine;
+  mpc::Machine machine(engine, config.platform.make_network(),
+                       {.ranks = config.ranks * config.layers,
+                        .collective_mode = config.mode,
+                        .bcast_algo = config.algo,
+                        .gamma_flop = config.platform.gamma_flop});
+
+  core::RunOptions options;
+  options.grid = grid::near_square_shape(config.ranks);
+  options.problem = config.problem;
+  options.mode = core::PayloadMode::Phantom;
+  options.bcast_algo = config.algo;
+  options.layers = config.layers;
+  options.algorithm = config.algorithm;
+  const bool summa_family = config.algorithm == core::Algorithm::Summa ||
+                            config.algorithm == core::Algorithm::Hsumma;
+  const bool cyclic_family =
+      config.algorithm == core::Algorithm::SummaCyclic ||
+      config.algorithm == core::Algorithm::HsummaCyclic;
+  if (summa_family || cyclic_family) {
+    if (config.groups <= 1) {
+      options.algorithm = cyclic_family ? core::Algorithm::SummaCyclic
+                                        : core::Algorithm::Summa;
+    } else {
+      options.algorithm = cyclic_family ? core::Algorithm::HsummaCyclic
+                                        : core::Algorithm::Hsumma;
+      options.groups = grid::group_arrangement(options.grid, config.groups);
+      HS_REQUIRE_MSG(options.groups.size() == config.groups,
+                     "no valid arrangement of " << config.groups
+                                                << " groups on this grid");
+    }
+  }
+  options.row_levels = config.row_levels;
+  options.col_levels = config.col_levels;
+  options.overlap = config.overlap;
+  return core::run(machine, options);
+}
+
+RepeatedResult run_repeated(const Config& config, int repetitions,
+                            double noise_sigma, std::uint64_t seed) {
+  HS_REQUIRE(repetitions >= 1);
+  RepeatedResult stats;
+  for (int rep = 0; rep < repetitions; ++rep) {
+    desim::Engine engine;
+    auto base = config.platform.make_network();
+    auto noisy = std::make_shared<net::NoisyModel>(
+        base, noise_sigma, seed + static_cast<std::uint64_t>(rep));
+    // Noisy networks are not homogeneous Hockney, so route collectives
+    // through point-to-point messages.
+    mpc::Machine machine(engine, noisy,
+                         {.ranks = config.ranks * config.layers,
+                          .collective_mode = mpc::CollectiveMode::PointToPoint,
+                          .bcast_algo = config.algo,
+                          .gamma_flop = config.platform.gamma_flop});
+    core::RunOptions options;
+    options.grid = grid::near_square_shape(config.ranks);
+    options.problem = config.problem;
+    options.mode = core::PayloadMode::Phantom;
+    options.bcast_algo = config.algo;
+    options.layers = config.layers;
+    options.algorithm = config.algorithm;
+    if (config.groups > 1) {
+      options.algorithm = core::Algorithm::Hsumma;
+      options.groups = grid::group_arrangement(options.grid, config.groups);
+    }
+    options.overlap = config.overlap;
+    const core::RunResult result = core::run(machine, options);
+    stats.comm_time.add(result.timing.max_comm_time);
+    stats.total_time.add(result.timing.total_time);
+  }
+  return stats;
+}
+
+std::vector<int> pow2_group_counts(int ranks) {
+  const grid::GridShape shape = grid::near_square_shape(ranks);
+  std::vector<int> counts;
+  for (int g = 1; g <= ranks; g *= 2)
+    if (grid::group_arrangement(shape, g).size() == g) counts.push_back(g);
+  if (counts.empty() || counts.back() != ranks) counts.push_back(ranks);
+  return counts;
+}
+
+void maybe_write_csv(const std::string& path,
+                     const std::vector<std::vector<std::string>>& rows,
+                     std::initializer_list<std::string_view> header) {
+  if (path.empty()) return;
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "error: cannot open CSV output '%s'\n", path.c_str());
+    return;
+  }
+  CsvWriter csv(out);
+  csv.header(header);
+  for (const auto& row : rows) csv.row_strings(row);
+  std::fprintf(stderr, "wrote %s\n", path.c_str());
+}
+
+void print_banner(const std::string& title, const std::string& params) {
+  std::printf("=== %s ===\n%s\n\n", title.c_str(), params.c_str());
+}
+
+double run_g_sweep(const GSweepParams& params) {
+  std::vector<int> groups =
+      params.groups.empty() ? pow2_group_counts(params.ranks) : params.groups;
+
+  const grid::GridShape shape = grid::near_square_shape(params.ranks);
+  char header[256];
+  std::snprintf(header, sizeof header,
+                "platform=%s  p=%d (%dx%d grid)  n=%lld  b=%lld  B=%lld  "
+                "bcast=%s",
+                params.platform.name.c_str(), params.ranks, shape.rows,
+                shape.cols, static_cast<long long>(params.problem.n),
+                static_cast<long long>(params.problem.block),
+                static_cast<long long>(params.problem.effective_outer_block()),
+                std::string(net::to_string(params.algo)).c_str());
+  print_banner(params.title, header);
+
+  Config config;
+  config.platform = params.platform;
+  config.ranks = params.ranks;
+  config.problem = params.problem;
+  config.algo = params.algo;
+  config.overlap = params.overlap;
+
+  config.groups = 1;
+  const core::RunResult summa = run_config(config);
+  const double summa_comm = summa.timing.max_comm_time;
+  const double summa_exec = summa.timing.total_time;
+
+  const model::PlatformModel platform_model =
+      model::PlatformModel::from(params.platform);
+
+  std::vector<std::string> columns{"G", "arrangement", "comm time",
+                                   "comm vs SUMMA", "model comm"};
+  if (params.show_execution) {
+    columns.insert(columns.begin() + 3, "exec time");
+    columns.push_back("exec vs SUMMA");
+  }
+  Table table(columns);
+  std::vector<std::vector<std::string>> csv_rows;
+
+  double best_comm = summa_comm;
+  for (int g : groups) {
+    config.groups = g;
+    const core::RunResult result = run_config(config);
+    const double comm = result.timing.max_comm_time;
+    const double exec = result.timing.total_time;
+    best_comm = std::min(best_comm, comm);
+    const auto modeled = model::hsumma_cost(
+        static_cast<double>(params.problem.n),
+        static_cast<double>(params.ranks), static_cast<double>(g),
+        static_cast<double>(params.problem.block),
+        static_cast<double>(params.problem.effective_outer_block()),
+        params.algo, platform_model);
+    const auto arrangement = grid::group_arrangement(shape, g);
+    const std::string arrangement_str = std::to_string(arrangement.rows) +
+                                        "x" +
+                                        std::to_string(arrangement.cols);
+    std::vector<std::string> row{std::to_string(g), arrangement_str,
+                                 format_seconds(comm),
+                                 format_ratio(summa_comm / comm),
+                                 format_seconds(modeled.comm())};
+    if (params.show_execution) {
+      row.insert(row.begin() + 3, format_seconds(exec));
+      row.push_back(format_ratio(summa_exec / exec));
+    }
+    table.add_row(row);
+    csv_rows.push_back({std::to_string(g), format_double(comm, 9),
+                        format_double(exec, 9),
+                        format_double(modeled.comm(), 9)});
+  }
+  table.print(std::cout);
+  std::printf(
+      "\nSUMMA baseline: comm %s, exec %s. Best HSUMMA comm %s (%s of "
+      "SUMMA).\n\n",
+      format_seconds(summa_comm).c_str(), format_seconds(summa_exec).c_str(),
+      format_seconds(best_comm).c_str(),
+      format_ratio(summa_comm / best_comm).c_str());
+
+  maybe_write_csv(params.csv_path, csv_rows,
+                  {"groups", "comm_seconds", "exec_seconds",
+                   "model_comm_seconds"});
+  return best_comm;
+}
+
+}  // namespace hs::bench

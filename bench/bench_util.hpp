@@ -1,0 +1,83 @@
+// Shared plumbing for the figure-reproduction benchmarks.
+//
+// Every bench binary follows the same pattern: parse a few CLI options,
+// run a series of simulated configurations, print a paper-style table to
+// stdout and (optionally) a CSV twin. run_config builds a fresh engine +
+// machine per point so virtual clocks never leak between configurations.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/cli.hpp"
+#include "common/stats.hpp"
+#include "common/csv.hpp"
+#include "common/table.hpp"
+#include "core/runner.hpp"
+#include "grid/hier_grid.hpp"
+#include "model/cost_model.hpp"
+#include "net/platform.hpp"
+
+namespace hs::bench {
+
+struct Config {
+  net::Platform platform;
+  int ranks = 0;
+  int groups = 1;                 // 1 -> SUMMA
+  core::ProblemSpec problem;
+  net::BcastAlgo algo = net::BcastAlgo::ScatterRingAllgather;
+  mpc::CollectiveMode mode = mpc::CollectiveMode::ClosedForm;
+  core::Algorithm algorithm = core::Algorithm::Summa;  // adjusted by groups
+  std::vector<int> row_levels;    // multilevel only
+  std::vector<int> col_levels;
+  int layers = 1;                 // 2.5D only
+  bool overlap = false;           // Summa/Hsumma comm/comp overlap
+};
+
+/// Run one configuration on a fresh machine (phantom payloads).
+core::RunResult run_config(const Config& config);
+
+/// Repeated-measurement statistics, mirroring the paper's "mean times of 30
+/// experiments": each repetition perturbs every transfer with deterministic
+/// multiplicative noise (net::NoisyModel, per-repetition seed) and the
+/// communication / total times are aggregated.
+struct RepeatedResult {
+  RunningStats comm_time;
+  RunningStats total_time;
+};
+RepeatedResult run_repeated(const Config& config, int repetitions,
+                            double noise_sigma, std::uint64_t seed = 2013);
+
+/// Valid power-of-two group counts (plus p) for a grid of `ranks`.
+std::vector<int> pow2_group_counts(int ranks);
+
+/// Writes the CSV file when `path` is nonempty; logs the destination.
+void maybe_write_csv(const std::string& path,
+                     const std::vector<std::vector<std::string>>& rows,
+                     std::initializer_list<std::string_view> header);
+
+/// Standard figure banner.
+void print_banner(const std::string& title, const std::string& params);
+
+/// The shape shared by Figures 5, 6 and 8: sweep the group count G on one
+/// platform, reporting HSUMMA communication (and optionally execution)
+/// time per G against the SUMMA baseline, plus the Section IV model's
+/// prediction for each point.
+struct GSweepParams {
+  std::string title;
+  net::Platform platform;
+  int ranks = 0;
+  core::ProblemSpec problem;
+  net::BcastAlgo algo = net::BcastAlgo::ScatterRingAllgather;
+  std::vector<int> groups;  // empty -> pow2_group_counts(ranks)
+  bool show_execution = false;
+  bool overlap = false;     // broadcast/update overlap pipeline
+  std::string csv_path;
+};
+
+/// Returns the best HSUMMA communication time observed (for callers that
+/// chain sweeps, e.g. the scalability figures).
+double run_g_sweep(const GSweepParams& params);
+
+}  // namespace hs::bench

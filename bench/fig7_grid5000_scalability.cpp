@@ -1,0 +1,79 @@
+// Figure 7: SUMMA vs HSUMMA communication time on Grid5000 while the
+// process count scales (p = 16 ... 128), b = B = 512, n = 8192.
+//
+// The paper's takeaway: similar at small p, HSUMMA pulling ahead as p
+// grows. For each p we report SUMMA and the best HSUMMA over all valid
+// power-of-two group counts (the paper plots HSUMMA at its best G).
+#include "bench_util.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+
+int main(int argc, char** argv) {
+  long long n = 8192, block = 512;
+  std::vector<long long> process_counts{16, 32, 64, 128};
+  std::string platform_name = "grid5000-calibrated";
+  std::string algo_name = "vandegeijn";
+  std::string csv;
+
+  hs::CliParser cli("Reproduce Figure 7 (Grid5000 scalability)");
+  cli.add_int("n", "matrix dimension", &n);
+  cli.add_int("block", "block size b = B", &block);
+  cli.add_int_list("procs", "process counts", &process_counts);
+  cli.add_string("platform", "platform preset", &platform_name);
+  cli.add_string("bcast", "broadcast algorithm", &algo_name);
+  cli.add_string("csv", "CSV output path", &csv);
+  if (!cli.parse(argc, argv)) return 1;
+
+  const auto platform = hs::net::Platform::by_name(platform_name);
+  const auto algo = hs::net::bcast_algo_from_string(algo_name);
+
+  hs::bench::print_banner(
+      "Figure 7 — SUMMA and HSUMMA scalability on Grid5000",
+      "platform=" + platform.name + "  n=" + std::to_string(n) +
+          "  b=B=" + std::to_string(block) + "  bcast=" +
+          std::string(hs::net::to_string(algo)));
+
+  hs::Table table({"p", "grid", "SUMMA comm", "HSUMMA comm (best G)",
+                   "best G", "improvement"});
+  std::vector<std::vector<std::string>> csv_rows;
+
+  for (long long p : process_counts) {
+    hs::bench::Config config;
+    config.platform = platform;
+    config.ranks = static_cast<int>(p);
+    config.problem = hs::core::ProblemSpec::square(n, block);
+    config.algo = algo;
+
+    config.groups = 1;
+    const double summa = hs::bench::run_config(config).timing.max_comm_time;
+
+    double best = summa;
+    int best_groups = 1;
+    for (int g : hs::bench::pow2_group_counts(config.ranks)) {
+      config.groups = g;
+      const double comm = hs::bench::run_config(config).timing.max_comm_time;
+      if (comm < best) {
+        best = comm;
+        best_groups = g;
+      }
+    }
+
+    const auto shape = hs::grid::near_square_shape(config.ranks);
+    table.add_row({std::to_string(p),
+                   std::to_string(shape.rows) + "x" + std::to_string(shape.cols),
+                   hs::format_seconds(summa), hs::format_seconds(best),
+                   std::to_string(best_groups),
+                   hs::format_ratio(summa / best)});
+    csv_rows.push_back({std::to_string(p), hs::format_double(summa, 9),
+                        hs::format_double(best, 9),
+                        std::to_string(best_groups)});
+  }
+  table.print(std::cout);
+  std::printf("\n");
+  hs::bench::maybe_write_csv(csv, csv_rows,
+                             {"procs", "summa_comm_seconds",
+                              "hsumma_best_comm_seconds", "best_groups"});
+  return 0;
+}

@@ -1,0 +1,130 @@
+// google-benchmark micro-benchmarks for the in-process kernels: the local
+// dgemm substitute, the discrete-event engine, point-to-point transfers,
+// and the broadcast implementations.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <vector>
+
+#include "core/runner.hpp"
+#include "la/gemm.hpp"
+#include "la/generate.hpp"
+#include "mpc/collectives.hpp"
+
+namespace {
+
+void BM_GemmSquare(benchmark::State& state) {
+  const auto n = static_cast<hs::la::index_t>(state.range(0));
+  const hs::la::Matrix a =
+      hs::la::materialize(n, n, hs::la::uniform_elements(1));
+  const hs::la::Matrix b =
+      hs::la::materialize(n, n, hs::la::uniform_elements(2));
+  hs::la::Matrix c(n, n);
+  for (auto _ : state) {
+    hs::la::gemm(a.view(), b.view(), c.view());
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.counters["flops"] = benchmark::Counter(
+      hs::la::gemm_flops(n, n, n) * static_cast<double>(state.iterations()),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_GemmSquare)->Arg(64)->Arg(128)->Arg(256)->Arg(512);
+
+void BM_GemmRefSquare(benchmark::State& state) {
+  const auto n = static_cast<hs::la::index_t>(state.range(0));
+  const hs::la::Matrix a =
+      hs::la::materialize(n, n, hs::la::uniform_elements(1));
+  const hs::la::Matrix b =
+      hs::la::materialize(n, n, hs::la::uniform_elements(2));
+  hs::la::Matrix c(n, n);
+  for (auto _ : state) {
+    hs::la::gemm_ref(a.view(), b.view(), c.view());
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.counters["flops"] = benchmark::Counter(
+      hs::la::gemm_flops(n, n, n) * static_cast<double>(state.iterations()),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_GemmRefSquare)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_EngineEventThroughput(benchmark::State& state) {
+  const int procs = static_cast<int>(state.range(0));
+  std::uint64_t events = 0;
+  for (auto _ : state) {
+    hs::desim::Engine engine;
+    auto proc = [&engine]() -> hs::desim::Task<void> {
+      for (int i = 0; i < 100; ++i) co_await engine.sleep(1.0);
+    };
+    for (int r = 0; r < procs; ++r) engine.spawn(proc());
+    engine.run();
+    events += engine.events_processed();
+  }
+  state.counters["events"] =
+      benchmark::Counter(static_cast<double>(events),
+                         benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_EngineEventThroughput)->Arg(16)->Arg(256);
+
+void BM_P2PTransfers(benchmark::State& state) {
+  for (auto _ : state) {
+    hs::desim::Engine engine;
+    hs::mpc::Machine machine(
+        engine, std::make_shared<hs::net::HockneyModel>(1e-6, 1e-9),
+        {.ranks = 2});
+    auto sender = [&](hs::mpc::Comm comm) -> hs::desim::Task<void> {
+      for (int i = 0; i < 1000; ++i)
+        co_await comm.send(1, hs::mpc::ConstBuf::phantom(1024));
+    };
+    auto receiver = [&](hs::mpc::Comm comm) -> hs::desim::Task<void> {
+      for (int i = 0; i < 1000; ++i)
+        co_await comm.recv(0, hs::mpc::Buf::phantom(1024));
+    };
+    engine.spawn(sender(machine.world(0)));
+    engine.spawn(receiver(machine.world(1)));
+    engine.run();
+    benchmark::DoNotOptimize(engine.now());
+  }
+  state.counters["msgs"] =
+      benchmark::Counter(1000.0 * static_cast<double>(state.iterations()),
+                         benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_P2PTransfers);
+
+void BM_BcastP2PRouted(benchmark::State& state) {
+  const int ranks = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    hs::desim::Engine engine;
+    hs::mpc::Machine machine(
+        engine, std::make_shared<hs::net::HockneyModel>(1e-6, 1e-9),
+        {.ranks = ranks});
+    auto program = [&](hs::mpc::Comm comm) -> hs::desim::Task<void> {
+      co_await hs::mpc::bcast(comm, 0, hs::mpc::Buf::phantom(1 << 16),
+                              hs::net::BcastAlgo::ScatterRingAllgather);
+    };
+    hs::mpc::run_spmd(machine, program);
+    benchmark::DoNotOptimize(engine.now());
+  }
+}
+BENCHMARK(BM_BcastP2PRouted)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_SummaStepSimulation(benchmark::State& state) {
+  // Host cost of simulating one full (small) SUMMA run in closed-form mode.
+  const int ranks = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    hs::desim::Engine engine;
+    hs::mpc::Machine machine(
+        engine, std::make_shared<hs::net::HockneyModel>(1e-6, 1e-9),
+        {.ranks = ranks,
+         .collective_mode = hs::mpc::CollectiveMode::ClosedForm});
+    hs::core::RunOptions options;
+    options.grid = hs::grid::near_square_shape(ranks);
+    options.problem = hs::core::ProblemSpec::square(4096, 64);
+    options.mode = hs::core::PayloadMode::Phantom;
+    benchmark::DoNotOptimize(hs::core::run(machine, options).messages);
+  }
+}
+BENCHMARK(BM_SummaStepSimulation)->Arg(64)->Arg(256)->Arg(1024);
+
+}  // namespace
+
+BENCHMARK_MAIN();

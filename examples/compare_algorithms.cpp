@@ -1,0 +1,100 @@
+// Scenario: you maintain a dense linear-algebra stack and need to choose a
+// parallel matmul for a new 256-node partition. This example races every
+// algorithm in the library — Cannon, Fox, SUMMA, HSUMMA (several G),
+// multilevel HSUMMA and 2.5D replicated SUMMA — on the same simulated
+// platform and prints a decision table.
+//
+//   $ ./compare_algorithms [--p 256] [--n 4096] [--platform bluegene-p-calibrated]
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+
+#include "common/cli.hpp"
+#include "common/table.hpp"
+#include "core/hier_bcast.hpp"
+#include "core/runner.hpp"
+#include "grid/hier_grid.hpp"
+#include "net/platform.hpp"
+
+namespace {
+
+hs::core::RunResult run(const hs::net::Platform& platform, int total_ranks,
+                        const hs::core::RunOptions& options) {
+  hs::desim::Engine engine;
+  hs::mpc::Machine machine(engine, platform.make_network(),
+                           {.ranks = total_ranks,
+                            .collective_mode =
+                                hs::mpc::CollectiveMode::ClosedForm,
+                            .bcast_algo =
+                                hs::net::BcastAlgo::ScatterRingAllgather,
+                            .gamma_flop = platform.gamma_flop});
+  return hs::core::run(machine, options);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  long long ranks = 256, n = 4096, block = 64;
+  std::string platform_name = "bluegene-p-calibrated";
+  hs::CliParser cli("Race all algorithms on one simulated platform");
+  cli.add_int("p", "number of processes (perfect square)", &ranks);
+  cli.add_int("n", "matrix dimension", &n);
+  cli.add_int("block", "block size", &block);
+  cli.add_string("platform", "platform preset", &platform_name);
+  if (!cli.parse(argc, argv)) return 1;
+
+  const int q = static_cast<int>(std::lround(std::sqrt(double(ranks))));
+  if (q * q != ranks) {
+    std::fprintf(stderr, "p must be a perfect square for Cannon/Fox\n");
+    return 1;
+  }
+  const auto platform = hs::net::Platform::by_name(platform_name);
+  std::printf("Algorithm shoot-out: p=%lld (%dx%d), n=%lld, b=%lld on %s\n\n",
+              ranks, q, q, n, block, platform.name.c_str());
+
+  hs::Table table({"algorithm", "total time", "comm time", "restriction"});
+  hs::core::RunOptions options;
+  options.grid = {q, q};
+  options.problem = hs::core::ProblemSpec::square(n, block);
+  options.mode = hs::core::PayloadMode::Phantom;
+
+  auto add = [&](const std::string& name, const std::string& restriction) {
+    const auto result =
+        run(platform, options.grid.size() * options.layers, options);
+    table.add_row({name, hs::format_seconds(result.timing.total_time),
+                   hs::format_seconds(result.timing.max_comm_time),
+                   restriction});
+  };
+
+  options.algorithm = hs::core::Algorithm::Cannon;
+  add("Cannon (1969)", "square grid + square matrices");
+  options.algorithm = hs::core::Algorithm::Fox;
+  add("Fox (1987)", "square grid + square matrices");
+  options.algorithm = hs::core::Algorithm::Summa;
+  add("SUMMA (1997)", "none");
+
+  options.algorithm = hs::core::Algorithm::Hsumma;
+  for (int g : {4, 16, 64}) {
+    options.groups = hs::grid::group_arrangement(options.grid, g);
+    add("HSUMMA G=" + std::to_string(g), "none");
+  }
+
+  options.algorithm = hs::core::Algorithm::HsummaMultilevel;
+  options.row_levels = hs::core::balanced_levels(q, 3);
+  options.col_levels = hs::core::balanced_levels(q, 3);
+  add("HSUMMA 3-level", "none");
+
+  options.algorithm = hs::core::Algorithm::Summa25D;
+  options.row_levels.clear();
+  options.col_levels.clear();
+  options.layers = 4;
+  options.grid = {q / 2, q / 2};  // same total rank count: (q/2)^2 * 4
+  add("2.5D c=4 (same total p)", "4x memory per rank");
+
+  table.print(std::cout);
+  std::printf(
+      "\nReading the table: HSUMMA keeps SUMMA's generality, needs no extra "
+      "memory, and wins on communication once the machine is latency-"
+      "dominated.\n");
+  return 0;
+}

@@ -1,0 +1,97 @@
+// Scenario: you are sizing a *future* machine (the paper's Section V-C
+// exercise). Describe your cluster with three numbers — latency, bandwidth,
+// per-core flop rate — and this example (1) checks the paper's eq. 10
+// condition to tell you whether hierarchy will pay off, (2) autotunes the
+// group count with a few HSUMMA iterations, and (3) cross-checks the pick
+// with the analytic model.
+//
+//   $ ./custom_platform --alpha 2e-5 --bandwidth-gbs 10 --gflops 50
+//                       --p 4096 --n 32768 --block 256
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+
+#include "common/cli.hpp"
+#include "common/table.hpp"
+#include "common/units.hpp"
+#include "model/cost_model.hpp"
+#include "net/platform.hpp"
+#include "tune/group_tuner.hpp"
+
+int main(int argc, char** argv) {
+  double alpha = 2e-5, bandwidth_gbs = 10.0, gflops = 50.0;
+  long long ranks = 4096, n = 32768, block = 256;
+  hs::CliParser cli("Size HSUMMA for a custom platform");
+  cli.add_double("alpha", "point-to-point latency (seconds)", &alpha);
+  cli.add_double("bandwidth-gbs", "link bandwidth (GB/s)", &bandwidth_gbs);
+  cli.add_double("gflops", "per-core DGEMM rate (Gflop/s)", &gflops);
+  cli.add_int("p", "number of processes", &ranks);
+  cli.add_int("n", "matrix dimension", &n);
+  cli.add_int("block", "block size b = B", &block);
+  if (!cli.parse(argc, argv)) return 1;
+
+  hs::net::Platform platform;
+  platform.name = "custom";
+  platform.alpha = alpha;
+  platform.beta = 1.0 / (bandwidth_gbs * 1e9);
+  platform.gamma_flop = 1.0 / (gflops * 1e9);
+  platform.default_ranks = static_cast<int>(ranks);
+
+  std::printf("Custom platform: alpha=%.3g s, %s, %s per core\n\n", alpha,
+              hs::format_bandwidth(bandwidth_gbs * 1e9).c_str(),
+              hs::format_flops(gflops * 1e9).c_str());
+
+  // 1. The paper's eq. 10: will an interior optimum exist?
+  const auto model = hs::model::PlatformModel::from(platform);
+  const double nd = double(n), pd = double(ranks), bd = double(block);
+  const bool interior = hs::model::has_interior_minimum(nd, pd, bd, model);
+  std::printf("eq. 10 check: alpha/beta = %.4g vs 2nb/p = %.4g -> %s\n\n",
+              model.alpha / model.beta_element(), 2.0 * nd * bd / pd,
+              interior ? "hierarchy WILL reduce communication"
+                       : "bandwidth-dominated: expect G in {1, p} (plain "
+                         "SUMMA) to be optimal");
+
+  // 2. Autotune the group count with 2 outer iterations per candidate.
+  hs::tune::TuneOptions tune;
+  tune.grid = hs::grid::near_square_shape(static_cast<int>(ranks));
+  tune.problem = hs::core::ProblemSpec::square(n, block);
+  tune.network = platform.make_network();
+  tune.machine_config = {.ranks = static_cast<int>(ranks),
+                         .collective_mode =
+                             hs::mpc::CollectiveMode::ClosedForm,
+                         .bcast_algo =
+                             hs::net::BcastAlgo::ScatterRingAllgather,
+                         .gamma_flop = platform.gamma_flop};
+  tune.bcast_algo = hs::net::BcastAlgo::ScatterRingAllgather;
+  tune.max_candidates = 9;
+  const auto tuned = hs::tune::tune_groups(tune);
+
+  hs::Table table({"G", "arrangement", "projected comm"});
+  for (const auto& sample : tuned.samples)
+    table.add_row({std::to_string(sample.groups),
+                   std::to_string(sample.arrangement.rows) + "x" +
+                       std::to_string(sample.arrangement.cols),
+                   hs::format_seconds(sample.comm_time)});
+  table.print(std::cout);
+  std::printf("\nautotuned pick: G=%d (projected comm %s)\n",
+              tuned.best_groups,
+              hs::format_seconds(tuned.best_comm_time).c_str());
+
+  // 3. Cross-check with the closed-form model.
+  std::printf("model's continuous optimum: G=%.0f, predicted comm %s "
+              "(SUMMA: %s)\n",
+              hs::model::predicted_optimal_groups(nd, pd, bd, model),
+              hs::format_seconds(
+                  hs::model::hsumma_cost(nd, pd, std::sqrt(pd), bd, bd,
+                                         hs::net::BcastAlgo::ScatterRingAllgather,
+                                         model)
+                      .comm())
+                  .c_str(),
+              hs::format_seconds(
+                  hs::model::summa_cost(nd, pd, bd,
+                                        hs::net::BcastAlgo::ScatterRingAllgather,
+                                        model)
+                      .comm())
+                  .c_str());
+  return 0;
+}

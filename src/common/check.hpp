@@ -1,0 +1,72 @@
+// Precondition / invariant checking.
+//
+// HS_REQUIRE checks caller-facing preconditions and is always on: a violated
+// precondition throws hs::PreconditionError so tests can assert on misuse and
+// library users get a diagnosable failure instead of UB.
+//
+// HS_ASSERT checks internal invariants; it compiles out in NDEBUG builds on
+// hot paths the same way standard assert() does.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace hs {
+
+/// Thrown when a caller violates a documented precondition of a public API.
+class PreconditionError : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+/// Thrown when an internal invariant is found broken (a library bug).
+class InvariantError : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+namespace detail {
+
+[[noreturn]] inline void throw_precondition(const char* expr, const char* file,
+                                            int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "precondition failed: " << expr << " at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw PreconditionError(os.str());
+}
+
+[[noreturn]] inline void throw_invariant(const char* expr, const char* file,
+                                         int line) {
+  std::ostringstream os;
+  os << "invariant violated: " << expr << " at " << file << ':' << line;
+  throw InvariantError(os.str());
+}
+
+}  // namespace detail
+}  // namespace hs
+
+#define HS_REQUIRE(expr)                                               \
+  do {                                                                 \
+    if (!(expr))                                                       \
+      ::hs::detail::throw_precondition(#expr, __FILE__, __LINE__, ""); \
+  } while (0)
+
+#define HS_REQUIRE_MSG(expr, msg)                                   \
+  do {                                                              \
+    if (!(expr)) {                                                  \
+      std::ostringstream hs_req_os_;                                \
+      hs_req_os_ << msg;                                            \
+      ::hs::detail::throw_precondition(#expr, __FILE__, __LINE__,   \
+                                       hs_req_os_.str());           \
+    }                                                               \
+  } while (0)
+
+#ifdef NDEBUG
+#define HS_ASSERT(expr) ((void)0)
+#else
+#define HS_ASSERT(expr)                                             \
+  do {                                                              \
+    if (!(expr)) ::hs::detail::throw_invariant(#expr, __FILE__, __LINE__); \
+  } while (0)
+#endif

@@ -1,0 +1,149 @@
+#include "common/cli.hpp"
+
+#include <cstdio>
+#include <sstream>
+
+#include "common/check.hpp"
+#include "common/strings.hpp"
+
+namespace hs {
+
+CliParser::CliParser(std::string program_description)
+    : description_(std::move(program_description)) {}
+
+void CliParser::add_flag(std::string name, std::string help, bool* dest) {
+  HS_REQUIRE(dest != nullptr);
+  *dest = false;
+  options_.push_back({std::move(name), std::move(help), /*is_flag=*/true,
+                      "false",
+                      [dest](const std::string&) {
+                        *dest = true;
+                        return true;
+                      }});
+}
+
+void CliParser::add_int(std::string name, std::string help, long long* dest) {
+  HS_REQUIRE(dest != nullptr);
+  options_.push_back({std::move(name), std::move(help), false,
+                      std::to_string(*dest),
+                      [dest](const std::string& value) {
+                        const auto parsed = parse_int(value);
+                        if (!parsed) return false;
+                        *dest = *parsed;
+                        return true;
+                      }});
+}
+
+void CliParser::add_double(std::string name, std::string help, double* dest) {
+  HS_REQUIRE(dest != nullptr);
+  std::ostringstream os;
+  os << *dest;
+  options_.push_back({std::move(name), std::move(help), false, os.str(),
+                      [dest](const std::string& value) {
+                        const auto parsed = parse_double(value);
+                        if (!parsed) return false;
+                        *dest = *parsed;
+                        return true;
+                      }});
+}
+
+void CliParser::add_string(std::string name, std::string help,
+                           std::string* dest) {
+  HS_REQUIRE(dest != nullptr);
+  options_.push_back({std::move(name), std::move(help), false,
+                      dest->empty() ? std::string("\"\"") : *dest,
+                      [dest](const std::string& value) {
+                        *dest = value;
+                        return true;
+                      }});
+}
+
+void CliParser::add_int_list(std::string name, std::string help,
+                             std::vector<long long>* dest) {
+  HS_REQUIRE(dest != nullptr);
+  std::ostringstream os;
+  for (std::size_t i = 0; i < dest->size(); ++i)
+    os << (i ? "," : "") << (*dest)[i];
+  options_.push_back({std::move(name), std::move(help), false, os.str(),
+                      [dest](const std::string& value) {
+                        const auto parsed = parse_int_list(value);
+                        if (!parsed) return false;
+                        *dest = *parsed;
+                        return true;
+                      }});
+}
+
+const CliParser::Option* CliParser::find(const std::string& name) const {
+  for (const auto& opt : options_)
+    if (opt.name == name) return &opt;
+  return nullptr;
+}
+
+bool CliParser::parse(int argc, const char* const* argv) {
+  program_name_ = argc > 0 ? argv[0] : "program";
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::fputs(usage().c_str(), stdout);
+      return false;
+    }
+    if (!starts_with(arg, "--")) {
+      std::fprintf(stderr, "error: unexpected positional argument '%s'\n%s",
+                   arg.c_str(), usage().c_str());
+      return false;
+    }
+    std::string name = arg.substr(2);
+    std::string inline_value;
+    bool has_inline_value = false;
+    if (const auto eq = name.find('='); eq != std::string::npos) {
+      inline_value = name.substr(eq + 1);
+      name.resize(eq);
+      has_inline_value = true;
+    }
+    const Option* opt = find(name);
+    if (opt == nullptr) {
+      std::fprintf(stderr, "error: unknown option '--%s'\n%s", name.c_str(),
+                   usage().c_str());
+      return false;
+    }
+    std::string value;
+    if (opt->is_flag) {
+      if (has_inline_value) {
+        std::fprintf(stderr, "error: flag '--%s' does not take a value\n",
+                     name.c_str());
+        return false;
+      }
+    } else if (has_inline_value) {
+      value = inline_value;
+    } else {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "error: option '--%s' requires a value\n",
+                     name.c_str());
+        return false;
+      }
+      value = argv[++i];
+    }
+    if (!opt->apply(value)) {
+      std::fprintf(stderr, "error: invalid value '%s' for option '--%s'\n",
+                   value.c_str(), name.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string CliParser::usage() const {
+  std::ostringstream os;
+  os << description_ << "\n\nusage: " << program_name_ << " [options]\n\noptions:\n";
+  for (const auto& opt : options_) {
+    os << "  --" << opt.name;
+    if (!opt.is_flag) os << " <value>";
+    os << "\n      " << opt.help;
+    if (!opt.is_flag) os << " (default: " << opt.default_repr << ")";
+    os << '\n';
+  }
+  os << "  --help\n      print this message\n";
+  return os.str();
+}
+
+}  // namespace hs

@@ -1,0 +1,53 @@
+// Tiny declarative command-line option parser.
+//
+// Bench and example binaries share the same option style:
+//   ./fig8_bgp_16384 --n 65536 --block 256 --groups 1,2,4 --csv out.csv
+// Options are registered with a name, help text and a typed destination;
+// `--help` prints generated usage. Unknown options are an error (fail fast,
+// do not silently ignore a typo in an experiment parameter).
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace hs {
+
+class CliParser {
+ public:
+  explicit CliParser(std::string program_description);
+
+  /// Register options. `name` is without the leading "--".
+  void add_flag(std::string name, std::string help, bool* dest);
+  void add_int(std::string name, std::string help, long long* dest);
+  void add_double(std::string name, std::string help, double* dest);
+  void add_string(std::string name, std::string help, std::string* dest);
+  /// Comma-separated integer list, e.g. --groups 1,2,4,8.
+  void add_int_list(std::string name, std::string help,
+                    std::vector<long long>* dest);
+
+  /// Parse argv. Returns false if parsing failed or --help was requested;
+  /// in both cases a message has been printed (usage to stdout for --help,
+  /// error to stderr otherwise). Callers should exit when false.
+  [[nodiscard]] bool parse(int argc, const char* const* argv);
+
+  std::string usage() const;
+
+ private:
+  struct Option {
+    std::string name;
+    std::string help;
+    bool is_flag = false;
+    std::string default_repr;
+    std::function<bool(const std::string&)> apply;
+  };
+
+  const Option* find(const std::string& name) const;
+
+  std::string description_;
+  std::string program_name_;
+  std::vector<Option> options_;
+};
+
+}  // namespace hs

@@ -1,0 +1,48 @@
+#include "common/csv.hpp"
+
+#include <cstdio>
+
+namespace hs {
+
+std::string CsvWriter::escape(std::string_view field) {
+  const bool needs_quoting =
+      field.find_first_of(",\"\n\r") != std::string_view::npos;
+  if (!needs_quoting) return std::string(field);
+  std::string out;
+  out.reserve(field.size() + 2);
+  out.push_back('"');
+  for (char c : field) {
+    if (c == '"') out.push_back('"');
+    out.push_back(c);
+  }
+  out.push_back('"');
+  return out;
+}
+
+void CsvWriter::row_strings(std::initializer_list<std::string_view> cells) {
+  bool first = true;
+  for (auto cell : cells) {
+    if (!first) *out_ << ',';
+    first = false;
+    *out_ << escape(cell);
+  }
+  *out_ << '\n';
+}
+
+void CsvWriter::row_strings(const std::vector<std::string>& cells) {
+  bool first = true;
+  for (const auto& cell : cells) {
+    if (!first) *out_ << ',';
+    first = false;
+    *out_ << escape(cell);
+  }
+  *out_ << '\n';
+}
+
+std::string CsvWriter::format_cell(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.9g", v);
+  return buf;
+}
+
+}  // namespace hs

@@ -1,0 +1,54 @@
+// CSV emission for benchmark series.
+//
+// Every figure-reproduction binary can write its data series as CSV (via
+// --csv <path>) so plots can be regenerated outside the harness. Quoting
+// follows RFC 4180: fields containing comma, quote, or newline are quoted
+// and embedded quotes doubled.
+#pragma once
+
+#include <initializer_list>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace hs {
+
+class CsvWriter {
+ public:
+  /// Writes to an externally owned stream; the stream must outlive the writer.
+  explicit CsvWriter(std::ostream& out) : out_(&out) {}
+
+  void header(std::initializer_list<std::string_view> names) { row_strings(names); }
+
+  /// Append one row of already-formatted cells.
+  void row_strings(std::initializer_list<std::string_view> cells);
+  void row_strings(const std::vector<std::string>& cells);
+
+  /// Append one row of heterogeneous cells (arithmetic types and strings).
+  template <typename... Cells>
+  void row(const Cells&... cells) {
+    std::vector<std::string> formatted;
+    formatted.reserve(sizeof...(cells));
+    (formatted.push_back(format_cell(cells)), ...);
+    row_strings(formatted);
+  }
+
+  static std::string escape(std::string_view field);
+
+ private:
+  static std::string format_cell(std::string_view s) { return std::string(s); }
+  static std::string format_cell(const std::string& s) { return s; }
+  static std::string format_cell(const char* s) { return s; }
+  static std::string format_cell(double v);
+  static std::string format_cell(float v) { return format_cell(static_cast<double>(v)); }
+  template <typename T>
+    requires std::is_integral_v<T>
+  static std::string format_cell(T v) {
+    return std::to_string(v);
+  }
+
+  std::ostream* out_;
+};
+
+}  // namespace hs

@@ -1,0 +1,41 @@
+#include "common/logging.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <mutex>
+#include <string>
+
+namespace hs::log {
+namespace {
+
+std::atomic<Level> g_threshold{Level::Warn};
+std::mutex g_write_mutex;
+
+const char* level_tag(Level level) {
+  switch (level) {
+    case Level::Trace: return "TRACE";
+    case Level::Debug: return "DEBUG";
+    case Level::Info:  return "INFO ";
+    case Level::Warn:  return "WARN ";
+    case Level::Error: return "ERROR";
+    case Level::Off:   return "OFF  ";
+  }
+  return "?????";
+}
+
+}  // namespace
+
+Level threshold() noexcept { return g_threshold.load(std::memory_order_relaxed); }
+
+void set_threshold(Level level) noexcept {
+  g_threshold.store(level, std::memory_order_relaxed);
+}
+
+void write(Level level, std::string_view message) {
+  if (level < threshold()) return;
+  std::lock_guard<std::mutex> lock(g_write_mutex);
+  std::fprintf(stderr, "[hsumma %s] %.*s\n", level_tag(level),
+               static_cast<int>(message.size()), message.data());
+}
+
+}  // namespace hs::log

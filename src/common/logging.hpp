@@ -1,0 +1,53 @@
+// Minimal leveled logger for library diagnostics.
+//
+// The library is quiet by default (level = Warn). Benchmarks and examples
+// raise the level for progress reporting. All output goes to stderr so that
+// stdout stays machine-parseable (CSV rows, table output).
+#pragma once
+
+#include <sstream>
+#include <string_view>
+
+namespace hs::log {
+
+enum class Level { Trace = 0, Debug = 1, Info = 2, Warn = 3, Error = 4, Off = 5 };
+
+/// Global log threshold; messages below it are discarded.
+Level threshold() noexcept;
+void set_threshold(Level level) noexcept;
+
+/// Emit one log line (thread-safe; the engine is single-threaded but tests
+/// may log from gtest worker contexts).
+void write(Level level, std::string_view message);
+
+namespace detail {
+
+class LineBuilder {
+ public:
+  explicit LineBuilder(Level level) : level_(level) {}
+  LineBuilder(const LineBuilder&) = delete;
+  LineBuilder& operator=(const LineBuilder&) = delete;
+  ~LineBuilder() { write(level_, os_.str()); }
+
+  template <typename T>
+  LineBuilder& operator<<(const T& value) {
+    os_ << value;
+    return *this;
+  }
+
+ private:
+  Level level_;
+  std::ostringstream os_;
+};
+
+}  // namespace detail
+}  // namespace hs::log
+
+#define HS_LOG(level)                                      \
+  if (::hs::log::threshold() <= ::hs::log::Level::level)   \
+  ::hs::log::detail::LineBuilder(::hs::log::Level::level)
+
+#define HS_LOG_INFO HS_LOG(Info)
+#define HS_LOG_DEBUG HS_LOG(Debug)
+#define HS_LOG_WARN HS_LOG(Warn)
+#define HS_LOG_ERROR HS_LOG(Error)

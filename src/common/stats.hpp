@@ -1,0 +1,45 @@
+// Streaming and batch descriptive statistics.
+//
+// Used by the benchmark harness to report mean/stddev over repeated
+// simulated runs (the paper reports means of 30 experiments) and by the
+// trace module to aggregate per-rank timings.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace hs {
+
+/// Welford streaming accumulator: numerically stable mean/variance plus
+/// min/max, usable with one pass and O(1) state.
+class RunningStats {
+ public:
+  void add(double x) noexcept;
+  void merge(const RunningStats& other) noexcept;
+
+  std::size_t count() const noexcept { return count_; }
+  double mean() const noexcept { return mean_; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double variance() const noexcept;
+  double stddev() const noexcept;
+  double min() const noexcept;
+  double max() const noexcept;
+  double sum() const noexcept { return mean_ * static_cast<double>(count_); }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Batch helpers over a sample vector.
+double mean(std::span<const double> xs);
+double stddev(std::span<const double> xs);
+double median(std::vector<double> xs);  // by value: needs to sort
+/// Linear-interpolated quantile, q in [0,1].
+double quantile(std::vector<double> xs, double q);
+
+}  // namespace hs

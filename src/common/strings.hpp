@@ -1,0 +1,22 @@
+// Small string utilities used across the library.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace hs {
+
+std::vector<std::string> split(std::string_view text, char sep);
+std::string_view trim(std::string_view text);
+bool starts_with(std::string_view text, std::string_view prefix);
+
+/// Strict integer / double parsing: the whole string must be consumed.
+std::optional<long long> parse_int(std::string_view text);
+std::optional<double> parse_double(std::string_view text);
+
+/// "a,b,c" -> {a,b,c} with strict integer parsing; nullopt if any part fails.
+std::optional<std::vector<long long>> parse_int_list(std::string_view text);
+
+}  // namespace hs

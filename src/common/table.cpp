@@ -1,0 +1,80 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/check.hpp"
+
+namespace hs {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  HS_REQUIRE(!headers_.empty());
+  align_.assign(headers_.size(), Align::Right);
+  align_[0] = Align::Left;
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  HS_REQUIRE_MSG(cells.size() == headers_.size(),
+                 "row has " << cells.size() << " cells, table has "
+                            << headers_.size() << " columns");
+  rows_.push_back(std::move(cells));
+}
+
+void Table::set_align(std::size_t column, Align align) {
+  HS_REQUIRE(column < align_.size());
+  align_[column] = align;
+}
+
+void Table::print(std::ostream& out) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      widths[c] = std::max(widths[c], row[c].size());
+
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c != 0) out << "  ";
+      const auto pad = widths[c] - row[c].size();
+      if (align_[c] == Align::Right) out << std::string(pad, ' ');
+      out << row[c];
+      if (align_[c] == Align::Left && c + 1 != row.size())
+        out << std::string(pad, ' ');
+    }
+    out << '\n';
+  };
+
+  print_row(headers_);
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < widths.size(); ++c)
+    total += widths[c] + (c == 0 ? 0 : 2);
+  out << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) print_row(row);
+}
+
+std::string format_seconds(double seconds) {
+  char buf[64];
+  if (seconds >= 100.0)
+    std::snprintf(buf, sizeof buf, "%.1f s", seconds);
+  else if (seconds >= 1.0)
+    std::snprintf(buf, sizeof buf, "%.3f s", seconds);
+  else if (seconds >= 1e-3)
+    std::snprintf(buf, sizeof buf, "%.3f ms", seconds * 1e3);
+  else
+    std::snprintf(buf, sizeof buf, "%.3f us", seconds * 1e6);
+  return buf;
+}
+
+std::string format_double(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*g", precision, value);
+  return buf;
+}
+
+std::string format_ratio(double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.2fx", value);
+  return buf;
+}
+
+}  // namespace hs

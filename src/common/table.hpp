@@ -1,0 +1,42 @@
+// Aligned console tables.
+//
+// The benchmark harness prints paper-style tables (who wins, by what factor,
+// per group count / per processor count). This keeps stdout human-readable
+// while --csv provides the machine-readable twin.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace hs {
+
+class Table {
+ public:
+  enum class Align { Left, Right };
+
+  explicit Table(std::vector<std::string> headers);
+
+  /// All rows must have exactly as many cells as there are headers.
+  void add_row(std::vector<std::string> cells);
+
+  /// Column alignment (default: first column Left, others Right).
+  void set_align(std::size_t column, Align align);
+
+  std::size_t rows() const noexcept { return rows_.size(); }
+
+  /// Render with a header rule and column separators.
+  void print(std::ostream& out) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+  std::vector<Align> align_;
+};
+
+/// Format helpers shared by bench binaries.
+std::string format_seconds(double seconds);
+std::string format_double(double value, int precision = 4);
+std::string format_ratio(double value);
+
+}  // namespace hs

@@ -1,0 +1,48 @@
+#include "common/units.hpp"
+
+#include <cstdio>
+
+namespace hs {
+
+std::string format_bytes(std::uint64_t bytes) {
+  static constexpr const char* kUnits[] = {"B", "KiB", "MiB", "GiB", "TiB", "PiB"};
+  double value = static_cast<double>(bytes);
+  std::size_t unit = 0;
+  while (value >= 1024.0 && unit + 1 < std::size(kUnits)) {
+    value /= 1024.0;
+    ++unit;
+  }
+  char buf[64];
+  if (unit == 0)
+    std::snprintf(buf, sizeof buf, "%llu B",
+                  static_cast<unsigned long long>(bytes));
+  else
+    std::snprintf(buf, sizeof buf, "%.2f %s", value, kUnits[unit]);
+  return buf;
+}
+
+namespace {
+
+std::string format_rate(double value, const char* suffix) {
+  static constexpr const char* kPrefixes[] = {"", "K", "M", "G", "T", "P", "E"};
+  std::size_t prefix = 0;
+  while (value >= 1000.0 && prefix + 1 < std::size(kPrefixes)) {
+    value /= 1000.0;
+    ++prefix;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.2f %s%s", value, kPrefixes[prefix], suffix);
+  return buf;
+}
+
+}  // namespace
+
+std::string format_bandwidth(double bytes_per_second) {
+  return format_rate(bytes_per_second, "B/s");
+}
+
+std::string format_flops(double flops_per_second) {
+  return format_rate(flops_per_second, "flop/s");
+}
+
+}  // namespace hs

@@ -1,0 +1,18 @@
+// Human-readable formatting of byte counts and rates.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace hs {
+
+/// 1536 -> "1.50 KiB"; exact power-of-two units.
+std::string format_bytes(std::uint64_t bytes);
+
+/// 2.5e9 -> "2.50 GB/s" (decimal units for rates, matching vendor specs).
+std::string format_bandwidth(double bytes_per_second);
+
+/// 1.23e12 -> "1.23 Tflop/s".
+std::string format_flops(double flops_per_second);
+
+}  // namespace hs

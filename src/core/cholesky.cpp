@@ -1,0 +1,260 @@
+#include "core/cholesky.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/hier_bcast.hpp"
+#include "core/panel.hpp"
+#include "grid/distribution.hpp"
+#include "grid/process_grid.hpp"
+#include "la/factor.hpp"
+#include "la/gemm.hpp"
+#include "la/generate.hpp"
+#include "la/norms.hpp"
+
+namespace hs::core {
+
+namespace {
+
+void check_cholesky_preconditions(grid::GridShape shape, index_t n,
+                                  index_t block) {
+  HS_REQUIRE_MSG(shape.rows == shape.cols,
+                 "Cholesky requires a square process grid (the transpose "
+                 "path pairs grid row i with grid col i)");
+  HS_REQUIRE_MSG(n > 0 && block > 0, "n and block must be positive");
+  HS_REQUIRE_MSG(n % shape.rows == 0,
+                 "n=" << n << " must be divisible by the grid dimension");
+  HS_REQUIRE_MSG((n / shape.rows) % block == 0,
+                 "block=" << block << " must divide the local extent "
+                          << n / shape.rows);
+}
+
+constexpr int kTransposeTag = 17;
+
+}  // namespace
+
+desim::Task<void> cholesky_rank(CholeskyArgs args) {
+  check_cholesky_preconditions(args.shape, args.n, args.block);
+  const grid::ProcessGrid pg(args.comm, args.shape);
+  mpc::Machine& machine = args.comm.machine();
+  desim::Engine& engine = machine.engine();
+
+  const index_t b = args.block;
+  const int q = args.shape.rows;
+  const index_t local_dim = args.n / q;
+  const PayloadMode mode =
+      args.local_a == nullptr ? PayloadMode::Phantom : PayloadMode::Real;
+
+  trace::RankStats scratch_stats;
+  trace::RankStats& stats = args.stats ? *args.stats : scratch_stats;
+
+  PanelBuffer diag(b, b, mode);
+  PanelBuffer l_left(local_dim, b, mode);   // my rows' L panel
+  PanelBuffer l_right(local_dim, b, mode);  // my cols' L panel (transposed use)
+
+  const index_t steps = args.n / b;
+  for (index_t k = 0; k < steps; ++k) {
+    const index_t pivot = k * b;
+    const int owner = static_cast<int>(pivot / local_dim);  // row == col
+    const index_t local_0 = pivot - static_cast<index_t>(owner) * local_dim;
+
+    const index_t row_start = std::clamp<index_t>(
+        pivot + b - static_cast<index_t>(pg.my_row()) * local_dim, 0,
+        local_dim);
+    const index_t col_start = std::clamp<index_t>(
+        pivot + b - static_cast<index_t>(pg.my_col()) * local_dim, 0,
+        local_dim);
+    const index_t trailing_rows = local_dim - row_start;
+    const index_t trailing_cols = local_dim - col_start;
+    // Trailing extent of a given grid row index (same formula the peers
+    // use; needed to size transposed panels consistently).
+    auto trailing_of = [&](int grid_index) {
+      return local_dim - std::clamp<index_t>(
+                             pivot + b -
+                                 static_cast<index_t>(grid_index) * local_dim,
+                             0, local_dim);
+    };
+
+    // 1. Diagonal factor + broadcast down the pivot column.
+    if (pg.my_row() == owner && pg.my_col() == owner) {
+      {
+        trace::PhaseTimer timer(stats.comp_time, engine);
+        co_await machine.compute(static_cast<double>(b) *
+                                 static_cast<double>(b) *
+                                 static_cast<double>(b) / 3.0);
+      }
+      if (mode == PayloadMode::Real) {
+        la::MatrixView block_kk = args.local_a->block(local_0, local_0, b, b);
+        la::cholesky_factor_inplace(block_kk);
+        diag.view().copy_from(block_kk);
+      }
+    }
+    if (pg.my_col() == owner) {
+      trace::PhaseTimer timer(stats.comm_time, engine);
+      co_await mpc::bcast(pg.col_comm(), owner, diag.buf(), args.bcast_algo);
+    }
+
+    // 2. Panel solve on the pivot column.
+    if (pg.my_col() == owner && trailing_rows > 0) {
+      const double flops = static_cast<double>(trailing_rows) *
+                           static_cast<double>(b) * static_cast<double>(b);
+      {
+        trace::PhaseTimer timer(stats.comp_time, engine);
+        co_await machine.compute(flops);
+      }
+      if (mode == PayloadMode::Real) {
+        la::MatrixView a_panel =
+            args.local_a->block(row_start, local_0, trailing_rows, b);
+        la::trsm_right_lower_transposed(diag.view(), a_panel);
+        l_left.view().block(0, 0, trailing_rows, b).copy_from(a_panel);
+      }
+    }
+
+    // 3a. Left factor: broadcast the L panel along my grid row.
+    if (trailing_rows > 0) {
+      trace::PhaseTimer timer(stats.comm_time, engine);
+      co_await hier_bcast(pg.row_comm(), owner,
+                          l_left.row_slice(0, trailing_rows),
+                          args.row_levels, args.bcast_algo);
+    }
+
+    // 3b. Right factor: the pivot-column rank of grid row j hands its panel
+    //     to the diagonal rank (j, j), which broadcasts it down column j.
+    const index_t my_row_trailing = trailing_rows;
+    if (pg.my_col() == owner && pg.my_row() != owner &&
+        my_row_trailing > 0) {
+      // I am (j, owner): ship to (j, j) unless I already am the diagonal.
+      trace::PhaseTimer timer(stats.comm_time, engine);
+      co_await pg.row_comm().send(pg.my_row(),
+                                  l_left.row_slice(0, my_row_trailing),
+                                  kTransposeTag);
+    }
+    const index_t col_panel_rows = trailing_of(pg.my_col());
+    if (col_panel_rows > 0) {
+      if (pg.my_row() == pg.my_col()) {  // diagonal rank of column j
+        if (pg.my_col() == owner) {
+          // Panel already local (I computed it).
+          if (mode == PayloadMode::Real)
+            l_right.view()
+                .block(0, 0, col_panel_rows, b)
+                .copy_from(l_left.view().block(0, 0, col_panel_rows, b));
+        } else {
+          trace::PhaseTimer timer(stats.comm_time, engine);
+          co_await pg.row_comm().recv(
+              owner, l_right.row_slice(0, col_panel_rows), kTransposeTag);
+        }
+      }
+      {
+        trace::PhaseTimer timer(stats.comm_time, engine);
+        co_await hier_bcast(pg.col_comm(), pg.my_col(),
+                            l_right.row_slice(0, col_panel_rows),
+                            args.col_levels, args.bcast_algo);
+      }
+    }
+
+    // 4. Trailing update A -= L_left * L_right^T (full trailing rectangle;
+    //    the redundant upper-triangle work is charged as computed).
+    if (trailing_rows > 0 && trailing_cols > 0) {
+      const double flops = la::gemm_flops(trailing_rows, trailing_cols, b);
+      {
+        trace::PhaseTimer timer(stats.comp_time, engine);
+        co_await machine.compute(flops);
+      }
+      if (mode == PayloadMode::Real) {
+        la::ConstMatrixView left(l_left.view().data(), trailing_rows, b, b);
+        la::ConstMatrixView right(l_right.view().data(), trailing_cols, b, b);
+        la::gemm_subtract_transb(
+            left, right,
+            args.local_a->block(row_start, col_start, trailing_rows,
+                                trailing_cols));
+      }
+      stats.flops += static_cast<std::uint64_t>(flops);
+    }
+  }
+}
+
+CholeskyResult run_cholesky(mpc::Machine& machine,
+                            const CholeskyOptions& options) {
+  check_cholesky_preconditions(options.grid, options.n, options.block);
+  HS_REQUIRE(machine.ranks() == options.grid.size());
+  HS_REQUIRE_MSG(options.mode == PayloadMode::Real || !options.verify,
+                 "verification requires real payloads");
+
+  // Symmetric noise + n on the diagonal: symmetric diagonally dominant
+  // with positive diagonal, hence SPD.
+  const la::ElementFn noise = la::uniform_elements(options.seed);
+  const double shift = static_cast<double>(options.n);
+  const la::ElementFn gen_a = [noise, shift](index_t i, index_t j) {
+    const index_t lo = std::min(i, j);
+    const index_t hi = std::max(i, j);
+    return noise(lo, hi) + (i == j ? shift : 0.0);
+  };
+
+  const grid::BlockDistribution dist(options.n, options.n, options.grid.rows,
+                                     options.grid.cols);
+  std::vector<la::Matrix> locals;
+  if (options.mode == PayloadMode::Real) {
+    locals.resize(static_cast<std::size_t>(options.grid.size()));
+    for (int rank = 0; rank < options.grid.size(); ++rank)
+      locals[static_cast<std::size_t>(rank)] = dist.materialize_local(
+          rank / options.grid.cols, rank % options.grid.cols, gen_a);
+  }
+
+  std::vector<trace::RankStats> stats(
+      static_cast<std::size_t>(options.grid.size()));
+  const double start_time = machine.engine().now();
+  const std::uint64_t start_messages = machine.messages_transferred();
+  const std::uint64_t start_bytes = machine.bytes_transferred();
+
+  for (int rank = 0; rank < options.grid.size(); ++rank) {
+    CholeskyArgs args;
+    args.comm = machine.world(rank);
+    args.shape = options.grid;
+    args.n = options.n;
+    args.block = options.block;
+    args.row_levels = options.row_levels;
+    args.col_levels = options.col_levels;
+    args.local_a = options.mode == PayloadMode::Real
+                       ? &locals[static_cast<std::size_t>(rank)]
+                       : nullptr;
+    args.stats = &stats[static_cast<std::size_t>(rank)];
+    args.bcast_algo = options.bcast_algo;
+    machine.engine().spawn(cholesky_rank(std::move(args)),
+                           "cholesky rank " + std::to_string(rank));
+  }
+  machine.engine().run();
+
+  CholeskyResult result;
+  result.timing = trace::TimingReport::aggregate(
+      machine.engine().now() - start_time, stats);
+  result.messages = machine.messages_transferred() - start_messages;
+  result.wire_bytes = machine.bytes_transferred() - start_bytes;
+
+  if (options.verify) {
+    la::Matrix factored(options.n, options.n);
+    for (int rank = 0; rank < options.grid.size(); ++rank) {
+      const int grid_row = rank / options.grid.cols;
+      const int grid_col = rank % options.grid.cols;
+      factored
+          .block(dist.row_offset(grid_row), dist.col_offset(grid_col),
+                 dist.local_rows(grid_row), dist.local_cols(grid_col))
+          .copy_from(locals[static_cast<std::size_t>(rank)].view());
+    }
+    la::Matrix l(options.n, options.n);
+    for (index_t i = 0; i < options.n; ++i)
+      for (index_t j = 0; j <= i; ++j) l(i, j) = factored(i, j);
+    la::Matrix product(options.n, options.n);
+    // L * L^T via the transposed-B subtract kernel on a zero target.
+    la::gemm_subtract_transb(l.view(), l.view(), product.view());
+    const la::Matrix original = la::materialize(options.n, options.n, gen_a);
+    double max_error = 0.0;
+    for (index_t i = 0; i < options.n; ++i)
+      for (index_t j = 0; j < options.n; ++j)
+        max_error = std::max(max_error,
+                             std::fabs(-product(i, j) - original(i, j)));
+    result.max_error = max_error;
+  }
+  return result;
+}
+
+}  // namespace hs::core

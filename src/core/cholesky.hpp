@@ -1,0 +1,67 @@
+// Distributed right-looking block Cholesky (A = L * L^T, SPD inputs) with
+// hierarchical panel broadcasts — together with core/lu.hpp this realizes
+// the paper's "apply the same approach to other numerical linear algebra
+// kernels" for the one-sided factorizations.
+//
+// Per pivot step (square s x s grid required; the symmetric transpose path
+// pairs grid row i with grid col i):
+//   1. the diagonal owner factors A_kk = L_kk L_kk^T and broadcasts it down
+//      its grid column;
+//   2. pivot-column ranks solve L_ik = A_ik L_kk^{-T};
+//   3. the L panel broadcasts along grid rows (left factor) and, after a
+//      transpose hop to the diagonal rank, down grid columns (right
+//      factor) — both hierarchically;
+//   4. trailing update A_ij -= L_ik L_jk^T.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "core/spec.hpp"
+#include "desim/task.hpp"
+#include "mpc/comm.hpp"
+#include "trace/phase.hpp"
+
+namespace hs::core {
+
+struct CholeskyArgs {
+  mpc::Comm comm;
+  grid::GridShape shape;        // must be square (s x s)
+  index_t n = 0;
+  index_t block = 0;
+  std::vector<int> row_levels;  // hierarchy for the row broadcasts
+  std::vector<int> col_levels;  // hierarchy for the column broadcasts
+  la::Matrix* local_a = nullptr;  // factored in place; nullptr = phantom
+  trace::RankStats* stats = nullptr;
+  std::optional<net::BcastAlgo> bcast_algo;
+};
+
+/// Per-rank program. Preconditions: s == t, s | n, b | n/s.
+desim::Task<void> cholesky_rank(CholeskyArgs args);
+
+struct CholeskyOptions {
+  grid::GridShape grid;
+  index_t n = 0;
+  index_t block = 0;
+  std::vector<int> row_levels;
+  std::vector<int> col_levels;
+  PayloadMode mode = PayloadMode::Real;
+  std::optional<net::BcastAlgo> bcast_algo;
+  bool verify = false;
+  std::uint64_t seed = 11;
+};
+
+struct CholeskyResult {
+  trace::TimingReport timing;
+  /// max |(L L^T)_ij - A_ij|; -1 when not verified.
+  double max_error = -1.0;
+  std::uint64_t messages = 0;
+  std::uint64_t wire_bytes = 0;
+};
+
+/// Harness: distribute a symmetric diagonally dominant (hence SPD) A,
+/// factor, optionally verify L L^T against A on the host.
+CholeskyResult run_cholesky(mpc::Machine& machine,
+                            const CholeskyOptions& options);
+
+}  // namespace hs::core

@@ -1,0 +1,141 @@
+#include "core/hier_bcast.hpp"
+
+#include <cmath>
+
+#include "core/panel.hpp"
+#include "core/summa.hpp"
+#include "grid/process_grid.hpp"
+#include "la/gemm.hpp"
+
+namespace hs::core {
+
+desim::Task<void> hier_bcast(mpc::Comm comm, int root, mpc::Buf buf,
+                             std::vector<int> level_factors,
+                             std::optional<net::BcastAlgo> algo) {
+  const int p = comm.size();
+  HS_REQUIRE(root >= 0 && root < p);
+  if (p == 1) co_return;
+  if (level_factors.empty()) {
+    co_await mpc::bcast(comm, root, buf, algo);
+    co_return;
+  }
+
+  const int factor = level_factors.front();
+  HS_REQUIRE_MSG(factor >= 1 && p % factor == 0,
+                 "hier_bcast level factor " << factor
+                                            << " must divide group size " << p);
+  if (factor == 1 || factor == p) {
+    // Degenerate level: skip it (factor==1) or flatten (factor==p).
+    std::vector<int> rest(level_factors.begin() + 1, level_factors.end());
+    if (factor == p) {
+      co_await mpc::bcast(comm, root, buf, algo);
+      co_return;
+    }
+    co_await hier_bcast(comm, root, buf, std::move(rest), algo);
+    co_return;
+  }
+
+  const int block = p / factor;
+  const int rank = comm.rank();
+  const int root_offset = root % block;
+
+  // Phase 1: broadcast among the `factor` representatives (one per block,
+  // each at the root's offset within its block).
+  if (rank % block == root_offset) {
+    std::vector<int> representatives;
+    representatives.reserve(static_cast<std::size_t>(factor));
+    for (int g = 0; g < factor; ++g)
+      representatives.push_back(g * block + root_offset);
+    mpc::Comm rep_comm = comm.sub(representatives);
+    co_await mpc::bcast(rep_comm, root / block, buf, algo);
+  }
+
+  // Phase 2: recurse within my block.
+  std::vector<int> block_members;
+  block_members.reserve(static_cast<std::size_t>(block));
+  const int base = (rank / block) * block;
+  for (int r = 0; r < block; ++r) block_members.push_back(base + r);
+  mpc::Comm block_comm = comm.sub(block_members);
+  std::vector<int> rest(level_factors.begin() + 1, level_factors.end());
+  co_await hier_bcast(block_comm, root_offset, buf, std::move(rest), algo);
+}
+
+std::vector<int> balanced_levels(int extent, int levels) {
+  HS_REQUIRE(extent >= 1 && levels >= 1);
+  std::vector<int> factors;
+  int remaining = extent;
+  for (int level = 1; level < levels && remaining > 1; ++level) {
+    const int want = static_cast<int>(std::round(
+        std::pow(static_cast<double>(remaining),
+                 1.0 / static_cast<double>(levels - level + 1))));
+    // Nearest divisor of `remaining` to the ideal balanced factor.
+    int best = remaining;
+    for (int d = 2; d <= remaining; ++d) {
+      if (remaining % d != 0) continue;
+      if (std::abs(d - want) < std::abs(best - want)) best = d;
+    }
+    factors.push_back(best);
+    remaining /= best;
+  }
+  return factors;
+}
+
+desim::Task<void> hsumma_multilevel_rank(HsummaMultilevelArgs args) {
+  check_summa_divisibility(args.shape, args.problem);
+  const grid::ProcessGrid pg(args.comm, args.shape);
+  mpc::Machine& machine = args.comm.machine();
+  desim::Engine& engine = machine.engine();
+
+  const ProblemSpec& prob = args.problem;
+  const index_t b = prob.block;
+  const index_t local_m = prob.m / pg.rows();
+  const index_t local_n = prob.n / pg.cols();
+  const index_t local_k_a = prob.k / pg.cols();
+  const index_t local_k_b = prob.k / pg.rows();
+  const PayloadMode mode =
+      args.local == nullptr ? PayloadMode::Phantom : PayloadMode::Real;
+
+  trace::RankStats scratch_stats;
+  trace::RankStats& stats = args.stats ? *args.stats : scratch_stats;
+
+  PanelBuffer a_panel(local_m, b, mode);
+  PanelBuffer b_panel(b, local_n, mode);
+
+  const index_t steps = prob.k / b;
+  for (index_t q = 0; q < steps; ++q) {
+    const index_t pivot = q * b;
+
+    const int a_root = static_cast<int>(pivot / local_k_a);
+    if (mode == PayloadMode::Real && pg.my_col() == a_root) {
+      const index_t col0 = pivot - static_cast<index_t>(a_root) * local_k_a;
+      a_panel.view().copy_from(args.local->a.block(0, col0, local_m, b));
+    }
+    {
+      trace::PhaseTimer timer(stats.comm_time, engine);
+      co_await hier_bcast(pg.row_comm(), a_root, a_panel.buf(),
+                          args.row_levels, args.bcast_algo);
+    }
+
+    const int b_root = static_cast<int>(pivot / local_k_b);
+    if (mode == PayloadMode::Real && pg.my_row() == b_root) {
+      const index_t row0 = pivot - static_cast<index_t>(b_root) * local_k_b;
+      b_panel.view().copy_from(args.local->b.block(row0, 0, b, local_n));
+    }
+    {
+      trace::PhaseTimer timer(stats.comm_time, engine);
+      co_await hier_bcast(pg.col_comm(), b_root, b_panel.buf(),
+                          args.col_levels, args.bcast_algo);
+    }
+
+    const double flops = la::gemm_flops(local_m, local_n, b);
+    {
+      trace::PhaseTimer timer(stats.comp_time, engine);
+      co_await machine.compute(flops);
+    }
+    if (mode == PayloadMode::Real)
+      la::gemm(a_panel.view(), b_panel.view(), args.local->c.view());
+    stats.flops += static_cast<std::uint64_t>(flops);
+  }
+}
+
+}  // namespace hs::core

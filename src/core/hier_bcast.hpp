@@ -1,0 +1,50 @@
+// Multilevel hierarchical broadcast and the >2-level HSUMMA extension
+// (the paper's "more than two levels of hierarchy" future work).
+//
+// hier_bcast decomposes a broadcast over p ranks into phases given level
+// factors f1 x f2 x ... x fL = p: first among f1 representatives (one per
+// block of p/f1 ranks, at the root's offset within its block), then
+// recursively inside each block. With a single factor {J} applied to
+// SUMMA's row broadcast this is exactly HSUMMA's two-phase structure with
+// b = B; deeper factor chains give 3-level, 4-level, ... HSUMMA.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/spec.hpp"
+#include "desim/task.hpp"
+#include "mpc/collectives.hpp"
+#include "trace/phase.hpp"
+
+namespace hs::core {
+
+/// Hierarchical broadcast. Every element of `level_factors` must divide the
+/// remaining block size; factors need not multiply to exactly comm.size()
+/// (a trailing factor of "whatever remains" is implied).
+desim::Task<void> hier_bcast(mpc::Comm comm, int root, mpc::Buf buf,
+                             std::vector<int> level_factors,
+                             std::optional<net::BcastAlgo> algo);
+
+struct HsummaMultilevelArgs {
+  mpc::Comm comm;
+  grid::GridShape shape;
+  ProblemSpec problem;               // single block size b (outer_block unused)
+  std::vector<int> row_levels;       // factor chain along grid rows (t)
+  std::vector<int> col_levels;       // factor chain along grid cols (s)
+  LocalBlocks* local = nullptr;
+  trace::RankStats* stats = nullptr;
+  std::optional<net::BcastAlgo> bcast_algo;
+};
+
+/// SUMMA with every broadcast replaced by a multilevel hierarchical
+/// broadcast. With row_levels = {J} and col_levels = {I} this reproduces
+/// HSUMMA(I x J groups, b = B) exactly (asserted by tests).
+desim::Task<void> hsumma_multilevel_rank(HsummaMultilevelArgs args);
+
+/// Balanced factor chain for a multilevel hierarchy over `extent` ranks
+/// with `levels` levels (e.g. extent=64, levels=3 -> {4, 4} leaving blocks
+/// of 4). Factors are as equal as possible among divisors.
+std::vector<int> balanced_levels(int extent, int levels);
+
+}  // namespace hs::core

@@ -1,0 +1,177 @@
+#include "core/hsumma.hpp"
+
+#include "core/panel.hpp"
+#include "core/summa.hpp"
+#include "la/gemm.hpp"
+#include "mpc/collectives.hpp"
+
+namespace hs::core {
+
+void check_hsumma_divisibility(grid::GridShape shape, grid::GridShape groups,
+                               const ProblemSpec& p) {
+  check_summa_divisibility(shape, p);
+  const index_t outer = p.effective_outer_block();
+  HS_REQUIRE_MSG(outer % p.block == 0,
+                 "outer block B=" << outer
+                                  << " must be a multiple of inner block b="
+                                  << p.block);
+  HS_REQUIRE_MSG(p.k % (static_cast<index_t>(shape.cols) * outer) == 0,
+                 "k=" << p.k << " must be divisible by t*B = "
+                      << shape.cols * outer);
+  HS_REQUIRE_MSG(p.k % (static_cast<index_t>(shape.rows) * outer) == 0,
+                 "k=" << p.k << " must be divisible by s*B = "
+                      << shape.rows * outer);
+  HS_REQUIRE_MSG(groups.rows >= 1 && shape.rows % groups.rows == 0 &&
+                     groups.cols >= 1 && shape.cols % groups.cols == 0,
+                 "group arrangement " << groups.rows << "x" << groups.cols
+                                      << " must divide the process grid");
+}
+
+desim::Task<void> hsumma_rank(HsummaArgs args) {
+  check_hsumma_divisibility(args.shape, args.groups, args.problem);
+  const grid::HierGrid hg(args.comm, args.shape, args.groups);
+  mpc::Machine& machine = args.comm.machine();
+  desim::Engine& engine = machine.engine();
+
+  const ProblemSpec& prob = args.problem;
+  const index_t b = prob.block;
+  const index_t outer = prob.effective_outer_block();
+  const index_t local_m = prob.m / args.shape.rows;
+  const index_t local_n = prob.n / args.shape.cols;
+  const index_t local_k_a = prob.k / args.shape.cols;
+  const index_t local_k_b = prob.k / args.shape.rows;
+  const grid::GridShape local_shape = hg.local_shape();
+  const PayloadMode mode =
+      args.local == nullptr ? PayloadMode::Phantom : PayloadMode::Real;
+
+  trace::RankStats scratch_stats;
+  trace::RankStats& stats = args.stats ? *args.stats : scratch_stats;
+
+  PanelBuffer a_outer(local_m, outer, mode);
+  PanelBuffer b_outer(outer, local_n, mode);
+  PanelBuffer a_inner(local_m, b, mode);
+  PanelBuffer b_inner(b, local_n, mode);
+  // Double buffers and join handles for the overlapped inner pipeline.
+  PanelBuffer a_inners[2] = {PanelBuffer(local_m, b, mode),
+                             PanelBuffer(local_m, b, mode)};
+  PanelBuffer b_inners[2] = {PanelBuffer(b, local_n, mode),
+                             PanelBuffer(b, local_n, mode)};
+  desim::Async a_async[2];
+  desim::Async b_async[2];
+
+  const index_t outer_steps = prob.k / outer;
+  const index_t inner_steps = outer / b;
+
+  for (index_t big_step = 0; big_step < outer_steps; ++big_step) {
+    const index_t pivot = big_step * outer;
+
+    // --- outer phase: inter-group broadcasts of the outer blocks -------
+    // A's outer pivot panel lives on grid column a_col; within each group
+    // that is local column a_local_col of group column a_group_col.
+    const int a_col = static_cast<int>(pivot / local_k_a);
+    const int a_group_col = a_col / local_shape.cols;
+    const int a_local_col = a_col % local_shape.cols;
+    if (hg.local_col() == a_local_col) {
+      if (mode == PayloadMode::Real && hg.flat().my_col() == a_col) {
+        const index_t col0 = pivot - static_cast<index_t>(a_col) * local_k_a;
+        a_outer.view().copy_from(args.local->a.block(0, col0, local_m, outer));
+      }
+      trace::PhaseTimer timer(stats.comm_time, engine);
+      trace::PhaseTimer outer_timer(stats.outer_comm_time, engine);
+      co_await mpc::bcast(hg.group_row_comm(), a_group_col, a_outer.buf(),
+                          args.bcast_algo);
+    }
+
+    const int b_row = static_cast<int>(pivot / local_k_b);
+    const int b_group_row = b_row / local_shape.rows;
+    const int b_local_row = b_row % local_shape.rows;
+    if (hg.local_row() == b_local_row) {
+      if (mode == PayloadMode::Real && hg.flat().my_row() == b_row) {
+        const index_t row0 = pivot - static_cast<index_t>(b_row) * local_k_b;
+        b_outer.view().copy_from(args.local->b.block(row0, 0, outer, local_n));
+      }
+      trace::PhaseTimer timer(stats.comm_time, engine);
+      trace::PhaseTimer outer_timer(stats.outer_comm_time, engine);
+      co_await mpc::bcast(hg.group_col_comm(), b_group_row, b_outer.buf(),
+                          args.bcast_algo);
+    }
+
+    // --- inner phase: intra-group SUMMA over the outer blocks ----------
+    if (args.overlap) {
+      // Double-buffered inner pipeline (see SummaArgs::overlap).
+      auto fork_inner = [&](index_t w, int slot) {
+        const index_t offset = w * b;
+        if (mode == PayloadMode::Real && hg.local_col() == a_local_col)
+          a_inners[slot].view().copy_from(
+              a_outer.view().block(0, offset, local_m, b));
+        a_async[slot] = desim::Async::start(
+            engine, mpc::bcast(hg.row_comm(), a_local_col,
+                               a_inners[slot].buf(), args.bcast_algo));
+        if (mode == PayloadMode::Real && hg.local_row() == b_local_row)
+          b_inners[slot].view().copy_from(
+              b_outer.view().block(offset, 0, b, local_n));
+        b_async[slot] = desim::Async::start(
+            engine, mpc::bcast(hg.col_comm(), b_local_row,
+                               b_inners[slot].buf(), args.bcast_algo));
+      };
+
+      fork_inner(0, 0);
+      for (index_t inner = 0; inner < inner_steps; ++inner) {
+        const int slot = static_cast<int>(inner % 2);
+        {
+          trace::PhaseTimer timer(stats.comm_time, engine);
+          trace::PhaseTimer inner_timer(stats.inner_comm_time, engine);
+          co_await a_async[slot].wait();
+          co_await b_async[slot].wait();
+        }
+        if (inner + 1 < inner_steps) fork_inner(inner + 1, slot ^ 1);
+
+        const double flops = la::gemm_flops(local_m, local_n, b);
+        {
+          trace::PhaseTimer timer(stats.comp_time, engine);
+          co_await machine.compute(flops);
+        }
+        if (mode == PayloadMode::Real)
+          la::gemm(a_inners[slot].view(), b_inners[slot].view(),
+                   args.local->c.view());
+        stats.flops += static_cast<std::uint64_t>(flops);
+      }
+      continue;
+    }
+
+    for (index_t inner = 0; inner < inner_steps; ++inner) {
+      const index_t offset = inner * b;
+
+      if (mode == PayloadMode::Real && hg.local_col() == a_local_col)
+        a_inner.view().copy_from(
+            a_outer.view().block(0, offset, local_m, b));
+      {
+        trace::PhaseTimer timer(stats.comm_time, engine);
+        trace::PhaseTimer inner_timer(stats.inner_comm_time, engine);
+        co_await mpc::bcast(hg.row_comm(), a_local_col, a_inner.buf(),
+                            args.bcast_algo);
+      }
+
+      if (mode == PayloadMode::Real && hg.local_row() == b_local_row)
+        b_inner.view().copy_from(
+            b_outer.view().block(offset, 0, b, local_n));
+      {
+        trace::PhaseTimer timer(stats.comm_time, engine);
+        trace::PhaseTimer inner_timer(stats.inner_comm_time, engine);
+        co_await mpc::bcast(hg.col_comm(), b_local_row, b_inner.buf(),
+                            args.bcast_algo);
+      }
+
+      const double flops = la::gemm_flops(local_m, local_n, b);
+      {
+        trace::PhaseTimer timer(stats.comp_time, engine);
+        co_await machine.compute(flops);
+      }
+      if (mode == PayloadMode::Real)
+        la::gemm(a_inner.view(), b_inner.view(), args.local->c.view());
+      stats.flops += static_cast<std::uint64_t>(flops);
+    }
+  }
+}
+
+}  // namespace hs::core

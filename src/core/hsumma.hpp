@@ -1,0 +1,50 @@
+// HSUMMA — Hierarchical SUMMA, the paper's contribution.
+//
+// The s x t grid is partitioned into an I x J arrangement of groups, each
+// an (s/I) x (t/J) sub-grid. Every SUMMA broadcast is split in two:
+//
+//   outer phase  — the processors owning the pivot panel (one per group,
+//                  at the same local position) exchange the *outer block*
+//                  (size B) across groups, horizontally for A over
+//                  group_row_comm and vertically for B over group_col_comm;
+//   inner phase  — within each group, the panel is broadcast in *inner
+//                  blocks* (size b <= B) over the group's row/col
+//                  communicators, interleaved with the local updates.
+//
+// The number of steps (k/B outer times B/b inner) and the total data volume
+// equal SUMMA's; only the broadcast participant counts change — which is
+// precisely where the Section IV analysis gets its G = sqrt(p) optimum.
+// G = 1 and G = p degenerate to SUMMA exactly.
+#pragma once
+
+#include "core/spec.hpp"
+#include "desim/task.hpp"
+#include "grid/hier_grid.hpp"
+#include "mpc/comm.hpp"
+#include "trace/phase.hpp"
+
+namespace hs::core {
+
+struct HsummaArgs {
+  mpc::Comm comm;
+  grid::GridShape shape;        // s x t
+  grid::GridShape groups;       // I x J (I | s, J | t)
+  ProblemSpec problem;          // block = b, outer_block = B (0 -> b)
+  LocalBlocks* local = nullptr;
+  trace::RankStats* stats = nullptr;
+  std::optional<net::BcastAlgo> bcast_algo;
+  /// Overlap the *intra-group* pipeline: inner step w+1's broadcasts are
+  /// forked before inner step w's update (outer-phase broadcasts stay
+  /// blocking). See SummaArgs::overlap.
+  bool overlap = false;
+};
+
+/// The per-rank HSUMMA program (the paper's Algorithm 1).
+/// Preconditions: SUMMA's divisibility for block b, plus b | B and B
+/// aligned to single owners ((t*B) | k and (s*B) | k).
+desim::Task<void> hsumma_rank(HsummaArgs args);
+
+void check_hsumma_divisibility(grid::GridShape shape, grid::GridShape groups,
+                               const ProblemSpec& p);
+
+}  // namespace hs::core

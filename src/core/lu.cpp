@@ -1,0 +1,268 @@
+#include "core/lu.hpp"
+
+#include <algorithm>
+
+#include "core/hier_bcast.hpp"
+#include "core/panel.hpp"
+#include "grid/distribution.hpp"
+#include "grid/process_grid.hpp"
+#include "la/factor.hpp"
+#include "la/gemm.hpp"
+#include "la/generate.hpp"
+#include "la/norms.hpp"
+
+namespace hs::core {
+
+namespace {
+
+void check_lu_preconditions(grid::GridShape shape, index_t n, index_t block) {
+  HS_REQUIRE_MSG(n > 0 && block > 0, "n and block must be positive");
+  HS_REQUIRE_MSG(n % shape.rows == 0 && n % shape.cols == 0,
+                 "n=" << n << " must be divisible by both grid dimensions");
+  HS_REQUIRE_MSG((n / shape.rows) % block == 0 &&
+                     (n / shape.cols) % block == 0,
+                 "block=" << block << " must divide the local extents "
+                          << n / shape.rows << " and " << n / shape.cols);
+}
+
+}  // namespace
+
+desim::Task<void> lu_rank(LuArgs args) {
+  check_lu_preconditions(args.shape, args.n, args.block);
+  const grid::ProcessGrid pg(args.comm, args.shape);
+  mpc::Machine& machine = args.comm.machine();
+  desim::Engine& engine = machine.engine();
+
+  const index_t b = args.block;
+  const index_t local_rows = args.n / pg.rows();
+  const index_t local_cols = args.n / pg.cols();
+  const PayloadMode mode =
+      args.local_a == nullptr ? PayloadMode::Phantom : PayloadMode::Real;
+
+  trace::RankStats scratch_stats;
+  trace::RankStats& stats = args.stats ? *args.stats : scratch_stats;
+
+  PanelBuffer diag(b, b, mode);
+  PanelBuffer l_panel(local_rows, b, mode);  // sized for the worst case
+  PanelBuffer u_panel(b, local_cols, mode);
+
+  const index_t steps = args.n / b;
+  for (index_t k = 0; k < steps; ++k) {
+    const index_t pivot = k * b;
+    const int owner_row = static_cast<int>(pivot / local_rows);
+    const int owner_col = static_cast<int>(pivot / local_cols);
+    const index_t local_r0 = pivot - static_cast<index_t>(owner_row) * local_rows;
+    const index_t local_c0 = pivot - static_cast<index_t>(owner_col) * local_cols;
+
+    // My trailing region (global indices >= pivot + b), in local terms.
+    const index_t row_start =
+        std::clamp<index_t>(pivot + b -
+                                static_cast<index_t>(pg.my_row()) * local_rows,
+                            0, local_rows);
+    const index_t col_start =
+        std::clamp<index_t>(pivot + b -
+                                static_cast<index_t>(pg.my_col()) * local_cols,
+                            0, local_cols);
+    const index_t trailing_rows = local_rows - row_start;
+    const index_t trailing_cols = local_cols - col_start;
+
+    // 1. Factor the diagonal block; share it down the pivot column (for
+    //    the L solves) and across the pivot row (for the U solves).
+    if (pg.my_row() == owner_row && pg.my_col() == owner_col) {
+      if (mode == PayloadMode::Real) {
+        la::MatrixView block_kk =
+            args.local_a->block(local_r0, local_c0, b, b);
+        {
+          trace::PhaseTimer timer(stats.comp_time, engine);
+          co_await machine.compute(2.0 / 3.0 * static_cast<double>(b) *
+                                   static_cast<double>(b) *
+                                   static_cast<double>(b));
+        }
+        la::lu_factor_inplace(block_kk);
+        diag.view().copy_from(block_kk);
+      } else {
+        trace::PhaseTimer timer(stats.comp_time, engine);
+        co_await machine.compute(2.0 / 3.0 * static_cast<double>(b) *
+                                 static_cast<double>(b) *
+                                 static_cast<double>(b));
+      }
+    }
+    if (pg.my_col() == owner_col) {
+      trace::PhaseTimer timer(stats.comm_time, engine);
+      co_await mpc::bcast(pg.col_comm(), owner_row, diag.buf(),
+                          args.bcast_algo);
+    }
+    if (pg.my_row() == owner_row) {
+      trace::PhaseTimer timer(stats.comm_time, engine);
+      co_await mpc::bcast(pg.row_comm(), owner_col, diag.buf(),
+                          args.bcast_algo);
+    }
+
+    // 2 + 3a. Pivot-column ranks form their L panel and broadcast it along
+    //         their grid row (hierarchically).
+    mpc::Buf l_buf = l_panel.row_slice(0, trailing_rows);
+    if (trailing_rows > 0) {
+      if (pg.my_col() == owner_col) {
+        const double flops = static_cast<double>(trailing_rows) *
+                             static_cast<double>(b) * static_cast<double>(b);
+        {
+          trace::PhaseTimer timer(stats.comp_time, engine);
+          co_await machine.compute(flops);
+        }
+        if (mode == PayloadMode::Real) {
+          la::MatrixView a_panel =
+              args.local_a->block(row_start, local_c0, trailing_rows, b);
+          la::trsm_right_upper(diag.view(), a_panel);
+          l_panel.view()
+              .block(0, 0, trailing_rows, b)
+              .copy_from(a_panel);
+        }
+      }
+      {
+        trace::PhaseTimer timer(stats.comm_time, engine);
+        co_await hier_bcast(pg.row_comm(), owner_col, l_buf,
+                            args.row_levels, args.bcast_algo);
+      }
+    }
+
+    // 2 + 3b. Pivot-row ranks form their U panel and broadcast it along
+    //         their grid column (hierarchically).
+    mpc::Buf u_buf =
+        mode == PayloadMode::Real && trailing_cols > 0
+            ? mpc::Buf(std::span<double>(
+                  u_panel.view().data(),
+                  static_cast<std::size_t>(b * trailing_cols)))
+            : mpc::Buf::phantom(
+                  static_cast<std::size_t>(b * trailing_cols));
+    if (trailing_cols > 0) {
+      if (pg.my_row() == owner_row) {
+        const double flops = static_cast<double>(trailing_cols) *
+                             static_cast<double>(b) * static_cast<double>(b);
+        {
+          trace::PhaseTimer timer(stats.comp_time, engine);
+          co_await machine.compute(flops);
+        }
+        if (mode == PayloadMode::Real) {
+          la::MatrixView a_panel =
+              args.local_a->block(local_r0, col_start, b, trailing_cols);
+          la::trsm_left_lower_unit(diag.view(), a_panel);
+          // Pack the strided panel into contiguous storage for the wire.
+          la::MatrixView packed(u_panel.view().data(), b, trailing_cols,
+                                trailing_cols);
+          packed.copy_from(a_panel);
+        }
+      }
+      {
+        trace::PhaseTimer timer(stats.comm_time, engine);
+        co_await hier_bcast(pg.col_comm(), owner_row, u_buf,
+                            args.col_levels, args.bcast_algo);
+      }
+    }
+
+    // 4. Trailing update.
+    if (trailing_rows > 0 && trailing_cols > 0) {
+      const double flops = la::gemm_flops(trailing_rows, trailing_cols, b);
+      {
+        trace::PhaseTimer timer(stats.comp_time, engine);
+        co_await machine.compute(flops);
+      }
+      if (mode == PayloadMode::Real) {
+        la::ConstMatrixView l_view(l_panel.view().data(), trailing_rows, b,
+                                   b);
+        la::ConstMatrixView u_view(u_panel.view().data(), b, trailing_cols,
+                                   trailing_cols);
+        la::gemm_subtract(
+            l_view, u_view,
+            args.local_a->block(row_start, col_start, trailing_rows,
+                                trailing_cols));
+      }
+      stats.flops += static_cast<std::uint64_t>(flops);
+    }
+  }
+}
+
+LuResult run_lu(mpc::Machine& machine, const LuOptions& options) {
+  check_lu_preconditions(options.grid, options.n, options.block);
+  HS_REQUIRE(machine.ranks() == options.grid.size());
+  HS_REQUIRE_MSG(options.mode == PayloadMode::Real || !options.verify,
+                 "verification requires real payloads");
+
+  // Diagonally dominant input: uniform noise plus n on the diagonal keeps
+  // unpivoted LU stable.
+  const la::ElementFn noise = la::uniform_elements(options.seed);
+  const double shift = static_cast<double>(options.n);
+  const la::ElementFn gen_a = [noise, shift](index_t i, index_t j) {
+    return noise(i, j) + (i == j ? shift : 0.0);
+  };
+
+  const grid::BlockDistribution dist(options.n, options.n, options.grid.rows,
+                                     options.grid.cols);
+  std::vector<la::Matrix> locals;
+  if (options.mode == PayloadMode::Real) {
+    locals.resize(static_cast<std::size_t>(options.grid.size()));
+    for (int rank = 0; rank < options.grid.size(); ++rank) {
+      const int grid_row = rank / options.grid.cols;
+      const int grid_col = rank % options.grid.cols;
+      locals[static_cast<std::size_t>(rank)] =
+          dist.materialize_local(grid_row, grid_col, gen_a);
+    }
+  }
+
+  std::vector<trace::RankStats> stats(
+      static_cast<std::size_t>(options.grid.size()));
+  const double start_time = machine.engine().now();
+  const std::uint64_t start_messages = machine.messages_transferred();
+  const std::uint64_t start_bytes = machine.bytes_transferred();
+
+  for (int rank = 0; rank < options.grid.size(); ++rank) {
+    LuArgs args;
+    args.comm = machine.world(rank);
+    args.shape = options.grid;
+    args.n = options.n;
+    args.block = options.block;
+    args.row_levels = options.row_levels;
+    args.col_levels = options.col_levels;
+    args.local_a = options.mode == PayloadMode::Real
+                       ? &locals[static_cast<std::size_t>(rank)]
+                       : nullptr;
+    args.stats = &stats[static_cast<std::size_t>(rank)];
+    args.bcast_algo = options.bcast_algo;
+    machine.engine().spawn(lu_rank(std::move(args)),
+                           "lu rank " + std::to_string(rank));
+  }
+  machine.engine().run();
+
+  LuResult result;
+  result.timing = trace::TimingReport::aggregate(
+      machine.engine().now() - start_time, stats);
+  result.messages = machine.messages_transferred() - start_messages;
+  result.wire_bytes = machine.bytes_transferred() - start_bytes;
+
+  if (options.verify) {
+    // Reassemble the factored matrix, split into L and U, and compare L*U
+    // against the original A (host-side, small n only).
+    la::Matrix factored(options.n, options.n);
+    for (int rank = 0; rank < options.grid.size(); ++rank) {
+      const int grid_row = rank / options.grid.cols;
+      const int grid_col = rank % options.grid.cols;
+      factored
+          .block(dist.row_offset(grid_row), dist.col_offset(grid_col),
+                 dist.local_rows(grid_row), dist.local_cols(grid_col))
+          .copy_from(locals[static_cast<std::size_t>(rank)].view());
+    }
+    la::Matrix l(options.n, options.n), u(options.n, options.n);
+    for (index_t i = 0; i < options.n; ++i) {
+      l(i, i) = 1.0;
+      for (index_t j = 0; j < i; ++j) l(i, j) = factored(i, j);
+      for (index_t j = i; j < options.n; ++j) u(i, j) = factored(i, j);
+    }
+    la::Matrix product(options.n, options.n);
+    la::gemm(l.view(), u.view(), product.view());
+    const la::Matrix original = la::materialize(options.n, options.n, gen_a);
+    result.max_error =
+        la::max_abs_diff(product.view(), original.view());
+  }
+  return result;
+}
+
+}  // namespace hs::core

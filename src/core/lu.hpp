@@ -1,0 +1,71 @@
+// Distributed right-looking block LU factorization with hierarchical panel
+// broadcasts — the paper's "apply the same approach to other numerical
+// linear algebra kernels such as QR/LU factorization" future work.
+//
+// Per pivot step k (block size b, unpivoted; the driver generates
+// diagonally dominant inputs):
+//   1. the diagonal block's owner factors A_kk = L_kk U_kk locally and
+//      broadcasts the factored block down its grid column and across its
+//      grid row;
+//   2. pivot-column ranks solve L_ik = A_ik U_kk^{-1}, pivot-row ranks
+//      solve U_kj = L_kk^{-1} A_kj;
+//   3. the L panels broadcast along grid rows and the U panels along grid
+//      columns — the same SUMMA-shaped broadcasts the paper's hierarchy
+//      accelerates, here decomposed with hier_bcast level factors;
+//   4. every rank updates its trailing sub-matrix A_ij -= L_ik U_kj.
+//
+// With empty level factors this is plain distributed block LU; with
+// factors {J} / {I} it is the LU analogue of HSUMMA.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "core/spec.hpp"
+#include "desim/task.hpp"
+#include "mpc/comm.hpp"
+#include "trace/phase.hpp"
+
+namespace hs::core {
+
+struct LuArgs {
+  mpc::Comm comm;
+  grid::GridShape shape;     // s x t
+  index_t n = 0;             // square matrix dimension
+  index_t block = 0;         // panel width b
+  std::vector<int> row_levels;  // hierarchy along grid rows (t)
+  std::vector<int> col_levels;  // hierarchy along grid cols (s)
+  /// Local (n/s) x (n/t) block of A; factored in place. nullptr = phantom.
+  la::Matrix* local_a = nullptr;
+  trace::RankStats* stats = nullptr;
+  std::optional<net::BcastAlgo> bcast_algo;
+};
+
+/// Per-rank program. Preconditions: s | n, t | n, b | n/s, b | n/t.
+desim::Task<void> lu_rank(LuArgs args);
+
+struct LuOptions {
+  grid::GridShape grid;
+  index_t n = 0;
+  index_t block = 0;
+  std::vector<int> row_levels;
+  std::vector<int> col_levels;
+  PayloadMode mode = PayloadMode::Real;
+  std::optional<net::BcastAlgo> bcast_algo;
+  bool verify = false;       // Real mode only
+  std::uint64_t seed = 7;
+};
+
+struct LuResult {
+  trace::TimingReport timing;
+  /// max |(L*U)_ij - A_ij| over the full matrix; -1 when not verified.
+  double max_error = -1.0;
+  std::uint64_t messages = 0;
+  std::uint64_t wire_bytes = 0;
+};
+
+/// Harness: distribute a diagonally dominant A, factor it, optionally
+/// reassemble L*U on the host and compare against A.
+LuResult run_lu(mpc::Machine& machine, const LuOptions& options);
+
+}  // namespace hs::core

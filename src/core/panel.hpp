@@ -1,0 +1,63 @@
+// Contiguous panel scratch buffers that honor the payload mode.
+//
+// A PanelBuffer is the staging area a rank uses to hold a pivot panel it
+// sends or receives. In Real mode it owns rows*cols doubles; in Phantom
+// mode it owns nothing but still describes the same wire size, so the
+// algorithms' communication calls are byte-for-byte identical in both
+// modes.
+#pragma once
+
+#include <vector>
+
+#include "core/spec.hpp"
+#include "la/matrix.hpp"
+#include "mpc/buffer.hpp"
+
+namespace hs::core {
+
+class PanelBuffer {
+ public:
+  PanelBuffer(index_t rows, index_t cols, PayloadMode mode)
+      : rows_(rows), cols_(cols), mode_(mode) {
+    HS_REQUIRE(rows >= 0 && cols >= 0);
+    if (mode == PayloadMode::Real)
+      storage_.resize(static_cast<std::size_t>(rows * cols));
+  }
+
+  index_t rows() const noexcept { return rows_; }
+  index_t cols() const noexcept { return cols_; }
+  bool real() const noexcept { return mode_ == PayloadMode::Real; }
+
+  /// Payload over the whole panel.
+  mpc::Buf buf() {
+    if (!real()) return mpc::Buf::phantom(static_cast<std::size_t>(rows_ * cols_));
+    return mpc::Buf(std::span<double>(storage_));
+  }
+
+  /// Payload over rows [r0, r0+nr) (contiguous in row-major storage).
+  mpc::Buf row_slice(index_t r0, index_t nr) {
+    HS_REQUIRE(r0 >= 0 && nr >= 0 && r0 + nr <= rows_);
+    const auto offset = static_cast<std::size_t>(r0 * cols_);
+    const auto count = static_cast<std::size_t>(nr * cols_);
+    if (!real()) return mpc::Buf::phantom(count);
+    return mpc::Buf(std::span<double>(storage_).subspan(offset, count));
+  }
+
+  /// Matrix view over the storage (Real mode only).
+  la::MatrixView view() {
+    HS_REQUIRE_MSG(real(), "PanelBuffer::view on a phantom panel");
+    return la::MatrixView(storage_.data(), rows_, cols_, cols_);
+  }
+  la::ConstMatrixView view() const {
+    HS_REQUIRE_MSG(real(), "PanelBuffer::view on a phantom panel");
+    return la::ConstMatrixView(storage_.data(), rows_, cols_, cols_);
+  }
+
+ private:
+  index_t rows_;
+  index_t cols_;
+  PayloadMode mode_;
+  std::vector<double> storage_;
+};
+
+}  // namespace hs::core

@@ -1,0 +1,47 @@
+// End-to-end run harness: allocate + fill distributed inputs, spawn one
+// program per rank, drive the simulation, aggregate timing, verify.
+//
+// This is the API the examples, tests and every figure-reproduction bench
+// build on. One Machine may execute several runs back to back (virtual time
+// keeps advancing; results report deltas).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/spec.hpp"
+#include "mpc/machine.hpp"
+#include "trace/phase.hpp"
+
+namespace hs::core {
+
+struct RunOptions {
+  Algorithm algorithm = Algorithm::Summa;
+  grid::GridShape grid;            // s x t (per layer for Summa25D)
+  int layers = 1;                  // Summa25D only
+  grid::GridShape groups{1, 1};    // Hsumma only
+  std::vector<int> row_levels;     // HsummaMultilevel only
+  std::vector<int> col_levels;     // HsummaMultilevel only
+  ProblemSpec problem;
+  PayloadMode mode = PayloadMode::Real;
+  std::optional<net::BcastAlgo> bcast_algo;  // default: machine config
+  /// Communication/computation overlap (Summa and Hsumma only).
+  bool overlap = false;
+  bool verify = false;             // Real mode only
+  std::uint64_t seed = 2013;       // input generator seed
+};
+
+struct RunResult {
+  trace::TimingReport timing;
+  /// Max |C - reference| over all verified blocks; -1 when not verified.
+  double max_error = -1.0;
+  std::uint64_t messages = 0;
+  std::uint64_t wire_bytes = 0;
+};
+
+/// Execute one distributed multiplication on `machine`.
+/// Requires machine.ranks() == options.grid.size() * options.layers.
+RunResult run(mpc::Machine& machine, const RunOptions& options);
+
+}  // namespace hs::core

@@ -1,0 +1,69 @@
+// Problem and run descriptions shared by all distributed algorithms.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+#include <vector>
+
+#include "common/check.hpp"
+#include "grid/process_grid.hpp"
+#include "la/matrix.hpp"
+#include "net/bcast_cost.hpp"
+
+namespace hs::core {
+
+using la::index_t;
+
+/// C (m x n) = A (m x k) * B (k x n), advanced in rank-`block` updates.
+/// `outer_block` is HSUMMA's inter-group block size B; 0 means "same as
+/// block" (the b = B configuration the paper uses in its experiments).
+struct ProblemSpec {
+  index_t m = 0;
+  index_t k = 0;
+  index_t n = 0;
+  index_t block = 64;
+  index_t outer_block = 0;
+
+  static ProblemSpec square(index_t n, index_t block,
+                            index_t outer_block = 0) {
+    return {n, n, n, block, outer_block};
+  }
+
+  index_t effective_outer_block() const {
+    return outer_block == 0 ? block : outer_block;
+  }
+
+  double total_flops() const {
+    return 2.0 * static_cast<double>(m) * static_cast<double>(n) *
+           static_cast<double>(k);
+  }
+};
+
+/// Real payloads carry matrix data and allow verification; phantom payloads
+/// charge identical wire and compute time without allocating matrices
+/// (mandatory at BlueGene/P scale).
+enum class PayloadMode { Real, Phantom };
+
+enum class Algorithm {
+  Summa,
+  Hsumma,
+  HsummaMultilevel,
+  SummaCyclic,   // block-cyclic distribution (paper's future work)
+  HsummaCyclic,  // block-cyclic distribution, outer block = dist block
+  Cannon,
+  Fox,
+  Summa25D,
+};
+
+std::string_view to_string(Algorithm algorithm);
+Algorithm algorithm_from_string(std::string_view name);
+
+/// Per-rank local blocks of the three distributed matrices (Real mode).
+struct LocalBlocks {
+  la::Matrix a;
+  la::Matrix b;
+  la::Matrix c;
+};
+
+}  // namespace hs::core

@@ -1,0 +1,147 @@
+#include "core/summa.hpp"
+
+#include "core/panel.hpp"
+#include "la/gemm.hpp"
+#include "mpc/collectives.hpp"
+
+namespace hs::core {
+
+void check_summa_divisibility(grid::GridShape shape, const ProblemSpec& p) {
+  const index_t b = p.block;
+  HS_REQUIRE_MSG(p.m > 0 && p.n > 0 && p.k > 0 && b > 0,
+                 "problem dimensions must be positive");
+  HS_REQUIRE_MSG(p.m % shape.rows == 0,
+                 "m=" << p.m << " not divisible by grid rows " << shape.rows);
+  HS_REQUIRE_MSG(p.n % shape.cols == 0,
+                 "n=" << p.n << " not divisible by grid cols " << shape.cols);
+  HS_REQUIRE_MSG(p.k % (static_cast<index_t>(shape.cols) * b) == 0,
+                 "k=" << p.k << " must be divisible by t*b = "
+                      << shape.cols * b
+                      << " so A pivot panels align to one grid column");
+  HS_REQUIRE_MSG(p.k % (static_cast<index_t>(shape.rows) * b) == 0,
+                 "k=" << p.k << " must be divisible by s*b = "
+                      << shape.rows * b
+                      << " so B pivot panels align to one grid row");
+}
+
+desim::Task<void> summa_rank(SummaArgs args) {
+  check_summa_divisibility(args.shape, args.problem);
+  const grid::ProcessGrid pg(args.comm, args.shape);
+  mpc::Machine& machine = args.comm.machine();
+  desim::Engine& engine = machine.engine();
+
+  const ProblemSpec& prob = args.problem;
+  const index_t b = prob.block;
+  const index_t local_m = prob.m / pg.rows();
+  const index_t local_n = prob.n / pg.cols();
+  const index_t local_k_a = prob.k / pg.cols();  // my slice of A's columns
+  const index_t local_k_b = prob.k / pg.rows();  // my slice of B's rows
+  const PayloadMode mode =
+      args.local == nullptr ? PayloadMode::Phantom : PayloadMode::Real;
+
+  trace::RankStats scratch_stats;
+  trace::RankStats& stats = args.stats ? *args.stats : scratch_stats;
+
+  const index_t steps = prob.k / b;
+
+  if (args.overlap) {
+    // Double-buffered pipeline: the broadcasts of step q+1 are forked
+    // before the rank-b update of step q, so their virtual time hides
+    // behind the compute charge. Exposed communication = join wait only.
+    PanelBuffer a_panels[2] = {PanelBuffer(local_m, b, mode),
+                               PanelBuffer(local_m, b, mode)};
+    PanelBuffer b_panels[2] = {PanelBuffer(b, local_n, mode),
+                               PanelBuffer(b, local_n, mode)};
+    desim::Async a_async[2];
+    desim::Async b_async[2];
+
+    auto fork_step = [&](index_t q, int slot) {
+      const index_t pivot = q * b;
+      const int a_root = static_cast<int>(pivot / local_k_a);
+      if (mode == PayloadMode::Real && pg.my_col() == a_root) {
+        const index_t col0 = pivot - static_cast<index_t>(a_root) * local_k_a;
+        a_panels[slot].view().copy_from(
+            args.local->a.block(0, col0, local_m, b));
+      }
+      a_async[slot] = desim::Async::start(
+          engine,
+          mpc::bcast(pg.row_comm(), a_root, a_panels[slot].buf(),
+                     args.bcast_algo));
+      const int b_root = static_cast<int>(pivot / local_k_b);
+      if (mode == PayloadMode::Real && pg.my_row() == b_root) {
+        const index_t row0 = pivot - static_cast<index_t>(b_root) * local_k_b;
+        b_panels[slot].view().copy_from(
+            args.local->b.block(row0, 0, b, local_n));
+      }
+      b_async[slot] = desim::Async::start(
+          engine,
+          mpc::bcast(pg.col_comm(), b_root, b_panels[slot].buf(),
+                     args.bcast_algo));
+    };
+
+    fork_step(0, 0);
+    for (index_t q = 0; q < steps; ++q) {
+      const int slot = static_cast<int>(q % 2);
+      {
+        trace::PhaseTimer timer(stats.comm_time, engine);
+        co_await a_async[slot].wait();
+        co_await b_async[slot].wait();
+      }
+      if (q + 1 < steps) fork_step(q + 1, slot ^ 1);
+
+      const double flops = la::gemm_flops(local_m, local_n, b);
+      {
+        trace::PhaseTimer timer(stats.comp_time, engine);
+        co_await machine.compute(flops);
+      }
+      if (mode == PayloadMode::Real)
+        la::gemm(a_panels[slot].view(), b_panels[slot].view(),
+                 args.local->c.view());
+      stats.flops += static_cast<std::uint64_t>(flops);
+    }
+    co_return;
+  }
+
+  PanelBuffer a_panel(local_m, b, mode);
+  PanelBuffer b_panel(b, local_n, mode);
+
+  for (index_t q = 0; q < steps; ++q) {
+    const index_t pivot = q * b;  // global position along the k dimension
+
+    // Horizontal broadcast of A's pivot column panel along my grid row.
+    const int a_root = static_cast<int>(pivot / local_k_a);
+    if (mode == PayloadMode::Real && pg.my_col() == a_root) {
+      const index_t col0 = pivot - static_cast<index_t>(a_root) * local_k_a;
+      a_panel.view().copy_from(args.local->a.block(0, col0, local_m, b));
+    }
+    {
+      trace::PhaseTimer timer(stats.comm_time, engine);
+      co_await mpc::bcast(pg.row_comm(), a_root, a_panel.buf(),
+                          args.bcast_algo);
+    }
+
+    // Vertical broadcast of B's pivot row panel along my grid column.
+    const int b_root = static_cast<int>(pivot / local_k_b);
+    if (mode == PayloadMode::Real && pg.my_row() == b_root) {
+      const index_t row0 = pivot - static_cast<index_t>(b_root) * local_k_b;
+      b_panel.view().copy_from(args.local->b.block(row0, 0, b, local_n));
+    }
+    {
+      trace::PhaseTimer timer(stats.comm_time, engine);
+      co_await mpc::bcast(pg.col_comm(), b_root, b_panel.buf(),
+                          args.bcast_algo);
+    }
+
+    // Local rank-b update: C += A_panel * B_panel.
+    const double flops = la::gemm_flops(local_m, local_n, b);
+    {
+      trace::PhaseTimer timer(stats.comp_time, engine);
+      co_await machine.compute(flops);
+    }
+    if (mode == PayloadMode::Real)
+      la::gemm(a_panel.view(), b_panel.view(), args.local->c.view());
+    stats.flops += static_cast<std::uint64_t>(flops);
+  }
+}
+
+}  // namespace hs::core

@@ -1,0 +1,41 @@
+// SUMMA — Scalable Universal Matrix Multiplication Algorithm
+// (van de Geijn & Watts, 1997), the paper's baseline and the state of the
+// art it redesigns.
+//
+// C = A*B over an s x t grid with block-checkerboard distribution: k/b
+// steps, each broadcasting the pivot column panel of A along grid rows and
+// the pivot row panel of B along grid columns, followed by a local rank-b
+// update.
+#pragma once
+
+#include "core/spec.hpp"
+#include "desim/task.hpp"
+#include "mpc/comm.hpp"
+#include "trace/phase.hpp"
+
+namespace hs::core {
+
+struct SummaArgs {
+  mpc::Comm comm;              // the grid communicator (size == s*t)
+  grid::GridShape shape;       // s x t
+  ProblemSpec problem;
+  LocalBlocks* local = nullptr;        // nullptr in Phantom mode
+  trace::RankStats* stats = nullptr;   // optional
+  std::optional<net::BcastAlgo> bcast_algo;  // default: machine config
+  /// Communication/computation overlap (the paper's future work): step
+  /// q+1's panel broadcasts are forked before step q's local update, with
+  /// double-buffered panels; comm_time then counts only the *exposed*
+  /// (non-hidden) communication.
+  bool overlap = false;
+};
+
+/// The per-rank SUMMA program. Preconditions: s | m, t | n, (t*b) | k and
+/// (s*b) | k so every pivot panel lies within one grid row/column (the
+/// paper's divisibility assumptions).
+desim::Task<void> summa_rank(SummaArgs args);
+
+/// Divisibility checks shared with HSUMMA; throws PreconditionError with a
+/// precise message on violation.
+void check_summa_divisibility(grid::GridShape shape, const ProblemSpec& p);
+
+}  // namespace hs::core

@@ -1,0 +1,48 @@
+#include "core/verify.hpp"
+
+#include "la/norms.hpp"
+
+namespace hs::core {
+
+la::Matrix reference_c_block(const la::ElementFn& a, const la::ElementFn& b,
+                             index_t k, index_t row0, index_t col0,
+                             index_t rows, index_t cols) {
+  la::Matrix reference(rows, cols);
+  for (index_t i = 0; i < rows; ++i) {
+    for (index_t l = 0; l < k; ++l) {
+      const double a_il = a(row0 + i, l);
+      if (a_il == 0.0) continue;
+      for (index_t j = 0; j < cols; ++j)
+        reference(i, j) += a_il * b(l, col0 + j);
+    }
+  }
+  return reference;
+}
+
+double verify_c_block(la::ConstMatrixView c_local, const la::ElementFn& a,
+                      const la::ElementFn& b, index_t k, index_t row0,
+                      index_t col0) {
+  const la::Matrix reference = reference_c_block(a, b, k, row0, col0,
+                                                 c_local.rows(),
+                                                 c_local.cols());
+  return la::max_abs_diff(c_local, reference.view());
+}
+
+double verify_c_cyclic(la::ConstMatrixView c_local,
+                       const grid::BlockCyclicDistribution& dist,
+                       int grid_row, int grid_col, const la::ElementFn& a,
+                       const la::ElementFn& b, index_t k) {
+  la::Matrix reference(c_local.rows(), c_local.cols());
+  for (index_t i = 0; i < c_local.rows(); ++i) {
+    const index_t gi = dist.global_row(grid_row, i);
+    for (index_t l = 0; l < k; ++l) {
+      const double a_il = a(gi, l);
+      if (a_il == 0.0) continue;
+      for (index_t j = 0; j < c_local.cols(); ++j)
+        reference(i, j) += a_il * b(l, dist.global_col(grid_col, j));
+    }
+  }
+  return la::max_abs_diff(c_local, reference.view());
+}
+
+}  // namespace hs::core

@@ -1,0 +1,86 @@
+#include "desim/engine.hpp"
+
+#include <sstream>
+
+namespace hs::desim {
+
+Task<void> Engine::supervise(Task<void> inner, std::size_t index) {
+  try {
+    co_await std::move(inner);
+  } catch (...) {
+    if (!failure_) failure_ = std::current_exception();
+  }
+  records_[index].done = true;
+}
+
+void Engine::spawn_at(SimTime start, Task<void> task, std::string name) {
+  HS_REQUIRE(task.valid());
+  HS_REQUIRE_MSG(start >= now_, "spawn in the past");
+  const std::size_t index = records_.size();
+  records_.push_back({std::move(name), false});
+  Task<void> wrapper = supervise(std::move(task), index);
+  schedule_at(start, wrapper.raw_handle());
+  supervisors_.push_back(std::move(wrapper));
+}
+
+void Engine::schedule_at(SimTime time, std::coroutine_handle<> handle) {
+  HS_REQUIRE(handle != nullptr);
+  HS_REQUIRE_MSG(time >= now_,
+                 "schedule_at into the past: t=" << time << " now=" << now_);
+  queue_.push(Event{time, next_seq_++, handle});
+}
+
+void Engine::run() {
+  HS_REQUIRE_MSG(!running_, "Engine::run is not reentrant");
+  running_ = true;
+  while (!queue_.empty() && !failure_) {
+    Event event = queue_.top();
+    queue_.pop();
+    HS_ASSERT(event.time >= now_);
+    now_ = event.time;
+    ++events_processed_;
+    event.handle.resume();
+  }
+  running_ = false;
+
+  if (failure_) {
+    // Drop remaining events; suspended coroutine frames are reclaimed when
+    // their owning Task objects (supervisors_, and pending-op tasks held by
+    // them) are destroyed with the engine.
+    std::exception_ptr failure = failure_;
+    failure_ = nullptr;
+    std::rethrow_exception(failure);
+  }
+
+  std::ostringstream stuck;
+  int stuck_count = 0;
+  for (const auto& record : records_) {
+    if (!record.done) {
+      ++stuck_count;
+      if (stuck_count > 1) stuck << ", ";
+      if (stuck_count <= 8)
+        stuck << (record.name.empty() ? "<unnamed>" : record.name);
+    }
+  }
+  if (stuck_count > 0) {
+    std::ostringstream message;
+    message << "simulation deadlock: " << stuck_count
+            << " process(es) still suspended after event queue drained: "
+            << stuck.str();
+    if (stuck_count > 8) message << ", ...";
+    throw DeadlockError(message.str());
+  }
+}
+
+void Gate::fire_at(SimTime time) {
+  HS_REQUIRE_MSG(!fired_, "Gate fired twice");
+  HS_REQUIRE_MSG(time >= engine_->now(), "Gate fired into the past");
+  fired_ = true;
+  fire_time_ = time;
+  if (waiter_) {
+    engine_->schedule_at(time, waiter_);
+    waiter_ = nullptr;
+  }
+}
+
+}  // namespace hs::desim

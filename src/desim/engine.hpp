@@ -1,0 +1,215 @@
+// Discrete-event simulation engine.
+//
+// The Engine owns a virtual clock and a time-ordered event queue of
+// coroutine handles. Simulated processes are coroutines (desim::Task) that
+// suspend on `sleep_until` / `sleep` / `Gate::wait` awaitables; the engine
+// resumes them in (time, FIFO-sequence) order, so simulations are exactly
+// deterministic and independent of host scheduling.
+//
+// Ties are broken by insertion sequence: two events at the same virtual time
+// run in the order they were scheduled. `run()` drives the queue to
+// exhaustion; if any spawned process is still suspended afterwards, the
+// simulation has deadlocked (e.g. a recv with no matching send) and run()
+// throws DeadlockError naming the stuck processes. A process that throws
+// aborts the whole run and its exception is re-thrown from run().
+#pragma once
+
+#include <coroutine>
+#include <cstdint>
+#include <exception>
+#include <memory>
+#include <queue>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "common/check.hpp"
+#include "desim/task.hpp"
+
+namespace hs::desim {
+
+using SimTime = double;
+
+/// Thrown by Engine::run when the event queue drains while spawned
+/// processes are still suspended.
+class DeadlockError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+class Engine {
+ public:
+  Engine() = default;
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Current virtual time (the timestamp of the event being processed).
+  SimTime now() const noexcept { return now_; }
+
+  /// Register a top-level process starting at the current virtual time.
+  /// `name` is used in deadlock diagnostics.
+  void spawn(Task<void> task, std::string name = {}) {
+    spawn_at(now_, std::move(task), std::move(name));
+  }
+
+  /// Register a top-level process starting at virtual time `start` (>= now).
+  void spawn_at(SimTime start, Task<void> task, std::string name = {});
+
+  /// Run until the event queue is empty. Re-throws the first process
+  /// exception; throws DeadlockError if processes remain suspended.
+  void run();
+
+  /// Total events processed so far (exposed for engine micro-benchmarks).
+  std::uint64_t events_processed() const noexcept { return events_processed_; }
+
+  /// Schedule a raw handle (used by awaitables and by Gate).
+  void schedule_at(SimTime time, std::coroutine_handle<> handle);
+
+  /// Awaitable: resume at absolute virtual time `time` (>= now).
+  auto sleep_until(SimTime time) {
+    struct Awaiter {
+      Engine* engine;
+      SimTime time;
+      bool await_ready() const noexcept { return time <= engine->now(); }
+      void await_suspend(std::coroutine_handle<> handle) const {
+        engine->schedule_at(time, handle);
+      }
+      void await_resume() const noexcept {}
+    };
+    HS_REQUIRE_MSG(time >= now_, "sleep_until into the past: t=" << time
+                                                                 << " now=" << now_);
+    return Awaiter{this, time};
+  }
+
+  /// Awaitable: resume after `duration` virtual seconds.
+  auto sleep(SimTime duration) {
+    HS_REQUIRE_MSG(duration >= 0.0, "negative sleep " << duration);
+    return sleep_until(now_ + duration);
+  }
+
+ private:
+  struct Event {
+    SimTime time;
+    std::uint64_t seq;
+    std::coroutine_handle<> handle;
+    bool operator>(const Event& other) const noexcept {
+      if (time != other.time) return time > other.time;
+      return seq > other.seq;
+    }
+  };
+
+  struct ProcessRecord {
+    std::string name;
+    bool done = false;
+  };
+
+  // Wraps a user task so completion and failure are recorded in O(1)
+  // without scanning all processes per event.
+  Task<void> supervise(Task<void> inner, std::size_t index);
+
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
+  std::vector<ProcessRecord> records_;
+  std::vector<Task<void>> supervisors_;
+  std::exception_ptr failure_;
+  SimTime now_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t events_processed_ = 0;
+  bool running_ = false;
+};
+
+/// One-shot synchronization point between simulated processes.
+///
+/// Exactly one process may wait on a Gate; another process fires it with a
+/// completion time, at which the waiter resumes. This is the primitive the
+/// message-passing layer builds rendezvous matching from: whichever side of
+/// a send/recv pair arrives second computes the transfer completion time and
+/// fires the first side's gate.
+class Gate {
+ public:
+  explicit Gate(Engine& engine) : engine_(&engine) {}
+  Gate(const Gate&) = delete;
+  Gate& operator=(const Gate&) = delete;
+  // Gates are pinned: pending waiters hold `this`.
+  Gate(Gate&&) = delete;
+  Gate& operator=(Gate&&) = delete;
+
+  bool fired() const noexcept { return fired_; }
+
+  /// Fire the gate: the (current or future) waiter resumes at virtual time
+  /// `time` (>= now). A gate can fire at most once.
+  void fire_at(SimTime time);
+
+  /// Awaitable: suspend until the gate has fired *and* its fire time has
+  /// been reached.
+  auto wait() {
+    struct Awaiter {
+      Gate* gate;
+      bool await_ready() const noexcept {
+        return gate->fired_ && gate->fire_time_ <= gate->engine_->now();
+      }
+      void await_suspend(std::coroutine_handle<> handle) {
+        if (gate->fired_) {
+          gate->engine_->schedule_at(gate->fire_time_, handle);
+        } else {
+          HS_REQUIRE_MSG(!gate->waiter_, "Gate supports a single waiter");
+          gate->waiter_ = handle;
+        }
+      }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{this};
+  }
+
+ private:
+  Engine* engine_;
+  std::coroutine_handle<> waiter_;
+  SimTime fire_time_ = 0.0;
+  bool fired_ = false;
+};
+
+/// Fork/join concurrency *within* a simulated process.
+///
+/// Async::start schedules a task to run concurrently with its parent (at
+/// the current virtual time); `co_await async.wait()` joins it. This is
+/// what communication/computation overlap is built from: a rank forks the
+/// next step's broadcasts, computes the current step, then joins.
+///
+/// An Async must be joined (or known complete) before destruction — a
+/// dropped Async leaves the forked task running, which the engine then
+/// reports as usual (completion, failure, or deadlock).
+class Async {
+ public:
+  Async() = default;
+
+  static Async start(Engine& engine, Task<void> task, std::string name = {}) {
+    Async async;
+    async.state_ = std::make_unique<State>(engine);
+    engine.spawn(wrap(std::move(task), async.state_.get(), &engine),
+                 std::move(name));
+    return async;
+  }
+
+  bool valid() const noexcept { return state_ != nullptr; }
+  bool complete() const noexcept { return state_ && state_->gate.fired(); }
+
+  /// Awaitable: resumes when the forked task has finished.
+  auto wait() {
+    HS_REQUIRE_MSG(state_ != nullptr, "waiting on an empty Async");
+    return state_->gate.wait();
+  }
+
+ private:
+  struct State {
+    explicit State(Engine& engine) : gate(engine) {}
+    Gate gate;
+  };
+
+  static Task<void> wrap(Task<void> inner, State* state, Engine* engine) {
+    co_await std::move(inner);
+    state->gate.fire_at(engine->now());
+  }
+
+  std::unique_ptr<State> state_;
+};
+
+}  // namespace hs::desim

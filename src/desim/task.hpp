@@ -1,0 +1,142 @@
+// Lazily-started coroutine task type for the discrete-event engine.
+//
+// desim::Task<T> is the return type of every simulated-process function.
+// Tasks are lazy (they run only once awaited or spawned onto an Engine),
+// move-only, and complete with symmetric transfer back to their awaiter so
+// deeply nested call chains (algorithm -> collective -> p2p) neither recurse
+// on the machine stack nor bounce through the event queue.
+//
+// Exceptions thrown inside a task are captured and re-thrown at the point
+// where the task is awaited (or from Engine::run for top-level tasks).
+#pragma once
+
+#include <coroutine>
+#include <exception>
+#include <optional>
+#include <utility>
+
+#include "common/check.hpp"
+
+namespace hs::desim {
+
+template <typename T>
+class Task;
+
+namespace detail {
+
+struct PromiseBase {
+  std::coroutine_handle<> continuation;
+  std::exception_ptr exception;
+
+  std::suspend_always initial_suspend() noexcept { return {}; }
+
+  struct FinalAwaiter {
+    bool await_ready() const noexcept { return false; }
+    template <typename Promise>
+    std::coroutine_handle<> await_suspend(
+        std::coroutine_handle<Promise> handle) const noexcept {
+      auto continuation = handle.promise().continuation;
+      return continuation ? continuation : std::noop_coroutine();
+    }
+    void await_resume() const noexcept {}
+  };
+
+  FinalAwaiter final_suspend() noexcept { return {}; }
+  void unhandled_exception() noexcept { exception = std::current_exception(); }
+};
+
+template <typename T>
+struct Promise : PromiseBase {
+  std::optional<T> value;
+  Task<T> get_return_object() noexcept;
+  void return_value(T v) { value.emplace(std::move(v)); }
+};
+
+template <>
+struct Promise<void> : PromiseBase {
+  Task<void> get_return_object() noexcept;
+  void return_void() noexcept {}
+};
+
+}  // namespace detail
+
+/// Awaitable, move-only coroutine task. See file comment.
+template <typename T = void>
+class [[nodiscard]] Task {
+ public:
+  using promise_type = detail::Promise<T>;
+  using Handle = std::coroutine_handle<promise_type>;
+
+  Task() = default;
+  explicit Task(Handle handle) noexcept : handle_(handle) {}
+  Task(Task&& other) noexcept : handle_(std::exchange(other.handle_, nullptr)) {}
+  Task& operator=(Task&& other) noexcept {
+    if (this != &other) {
+      destroy();
+      handle_ = std::exchange(other.handle_, nullptr);
+    }
+    return *this;
+  }
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+  ~Task() { destroy(); }
+
+  bool valid() const noexcept { return handle_ != nullptr; }
+  bool done() const noexcept { return handle_ && handle_.done(); }
+
+  /// Awaiting a task starts it (symmetric transfer) and resumes the awaiter
+  /// when the task finishes; the await expression yields the task's result.
+  auto operator co_await() && noexcept {
+    struct Awaiter {
+      Handle handle;
+      bool await_ready() const noexcept { return handle.done(); }
+      std::coroutine_handle<> await_suspend(
+          std::coroutine_handle<> continuation) noexcept {
+        handle.promise().continuation = continuation;
+        return handle;
+      }
+      T await_resume() {
+        auto& promise = handle.promise();
+        if (promise.exception) std::rethrow_exception(promise.exception);
+        if constexpr (!std::is_void_v<T>) return std::move(*promise.value);
+      }
+    };
+    HS_REQUIRE(handle_ != nullptr);
+    return Awaiter{handle_};
+  }
+
+  /// Engine internals: release ownership / inspect the raw handle.
+  Handle raw_handle() const noexcept { return handle_; }
+  Handle release() noexcept { return std::exchange(handle_, nullptr); }
+
+  /// Re-throws the task's captured exception, if any (engine uses this for
+  /// top-level tasks after the event loop drains).
+  void rethrow_if_failed() const {
+    if (handle_ && handle_.promise().exception)
+      std::rethrow_exception(handle_.promise().exception);
+  }
+
+ private:
+  void destroy() noexcept {
+    if (handle_) {
+      handle_.destroy();
+      handle_ = nullptr;
+    }
+  }
+
+  Handle handle_;
+};
+
+namespace detail {
+
+template <typename T>
+Task<T> Promise<T>::get_return_object() noexcept {
+  return Task<T>(std::coroutine_handle<Promise<T>>::from_promise(*this));
+}
+
+inline Task<void> Promise<void>::get_return_object() noexcept {
+  return Task<void>(std::coroutine_handle<Promise<void>>::from_promise(*this));
+}
+
+}  // namespace detail
+}  // namespace hs::desim

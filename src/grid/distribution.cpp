@@ -1,0 +1,52 @@
+#include "grid/distribution.hpp"
+
+#include "la/generate.hpp"
+
+namespace hs::grid {
+
+la::Matrix BlockDistribution::materialize_local(int grid_row, int grid_col,
+                                                const la::ElementFn& fn) const {
+  la::Matrix local(local_rows(grid_row), local_cols(grid_col));
+  la::fill_from(local.view(), fn, row_offset(grid_row), col_offset(grid_col));
+  return local;
+}
+
+la::index_t BlockCyclicDistribution::numroc(index_t extent, index_t block,
+                                            int part, int parts) {
+  // Number of items of a `block`-cyclic dealing of `extent` items over
+  // `parts` owners that land on owner `part` (ScaLAPACK NUMROC).
+  const index_t full_cycles = extent / (block * parts);
+  index_t count = full_cycles * block;
+  const index_t leftover = extent - full_cycles * block * parts;
+  const index_t my_start = static_cast<index_t>(part) * block;
+  if (leftover > my_start)
+    count += std::min<index_t>(block, leftover - my_start);
+  return count;
+}
+
+la::index_t BlockCyclicDistribution::to_global(index_t local, index_t block,
+                                               int part, int parts) {
+  const index_t cycle = local / block;
+  const index_t within = local % block;
+  return (cycle * parts + part) * block + within;
+}
+
+la::index_t BlockCyclicDistribution::to_local(index_t global, index_t block,
+                                              int parts) {
+  const index_t cycle = global / (block * parts);
+  const index_t within = global % block;
+  return cycle * block + within;
+}
+
+la::Matrix BlockCyclicDistribution::materialize_local(
+    int grid_row, int grid_col, const la::ElementFn& fn) const {
+  la::Matrix local(local_rows(grid_row), local_cols(grid_col));
+  for (index_t i = 0; i < local.rows(); ++i) {
+    const index_t gi = global_row(grid_row, i);
+    for (index_t j = 0; j < local.cols(); ++j)
+      local(i, j) = fn(gi, global_col(grid_col, j));
+  }
+  return local;
+}
+
+}  // namespace hs::grid

@@ -1,0 +1,153 @@
+// Data distributions of a global matrix over a 2-D process grid.
+//
+// BlockDistribution is the paper's block-checkerboard layout: process (r,c)
+// of an s x t grid owns the contiguous rows [r*m/s, (r+1)*m/s) and columns
+// [c*n/t, (c+1)*n/t). Non-divisible extents are handled by giving the first
+// (m mod s) rows of processes one extra row (ditto columns).
+//
+// BlockCyclicDistribution is the ScaLAPACK-style layout the paper lists as
+// future work: blocks of nb rows/columns are dealt round-robin to grid rows
+// and columns. Provided for the block-cyclic HSUMMA extension.
+#pragma once
+
+#include <cstdint>
+
+#include "common/check.hpp"
+#include "la/generate.hpp"
+#include "la/matrix.hpp"
+
+namespace hs::grid {
+
+using la::index_t;
+
+/// One dimension of a block distribution: `extent` items over `parts`
+/// owners.
+class BlockDim {
+ public:
+  BlockDim(index_t extent, int parts) : extent_(extent), parts_(parts) {
+    HS_REQUIRE(extent >= 0 && parts >= 1);
+  }
+
+  index_t extent() const noexcept { return extent_; }
+  int parts() const noexcept { return parts_; }
+
+  index_t local_size(int part) const {
+    HS_REQUIRE(part >= 0 && part < parts_);
+    const index_t base = extent_ / parts_;
+    const index_t remainder = extent_ % parts_;
+    return base + (part < remainder ? 1 : 0);
+  }
+
+  index_t offset(int part) const {
+    HS_REQUIRE(part >= 0 && part <= parts_);
+    const index_t base = extent_ / parts_;
+    const index_t remainder = extent_ % parts_;
+    const index_t r = std::min<index_t>(part, remainder);
+    return static_cast<index_t>(part) * base + r;
+  }
+
+  /// Which part owns global index g.
+  int owner(index_t g) const {
+    HS_REQUIRE(g >= 0 && g < extent_);
+    // Inverse of offset(); binary-search-free closed form.
+    const index_t base = extent_ / parts_;
+    const index_t remainder = extent_ % parts_;
+    const index_t big = base + 1;
+    if (base == 0) return static_cast<int>(g);  // degenerate: extent < parts
+    if (g < remainder * big) return static_cast<int>(g / big);
+    return static_cast<int>(remainder + (g - remainder * big) / base);
+  }
+
+ private:
+  index_t extent_;
+  int parts_;
+};
+
+/// Block-checkerboard distribution of an m x n matrix over an s x t grid.
+class BlockDistribution {
+ public:
+  BlockDistribution(index_t m, index_t n, int grid_rows, int grid_cols)
+      : rows_(m, grid_rows), cols_(n, grid_cols) {}
+
+  index_t global_rows() const noexcept { return rows_.extent(); }
+  index_t global_cols() const noexcept { return cols_.extent(); }
+
+  index_t local_rows(int grid_row) const { return rows_.local_size(grid_row); }
+  index_t local_cols(int grid_col) const { return cols_.local_size(grid_col); }
+  index_t row_offset(int grid_row) const { return rows_.offset(grid_row); }
+  index_t col_offset(int grid_col) const { return cols_.offset(grid_col); }
+
+  int row_owner(index_t global_row) const { return rows_.owner(global_row); }
+  int col_owner(index_t global_col) const { return cols_.owner(global_col); }
+
+  /// Allocate-and-fill helper: the local block of (grid_row, grid_col)
+  /// evaluated from a global element generator.
+  la::Matrix materialize_local(int grid_row, int grid_col,
+                               const la::ElementFn& fn) const;
+
+ private:
+  BlockDim rows_;
+  BlockDim cols_;
+};
+
+/// ScaLAPACK-style 2-D block-cyclic distribution with block size (mb, nb).
+class BlockCyclicDistribution {
+ public:
+  BlockCyclicDistribution(index_t m, index_t n, index_t mb, index_t nb,
+                          int grid_rows, int grid_cols)
+      : m_(m), n_(n), mb_(mb), nb_(nb), s_(grid_rows), t_(grid_cols) {
+    HS_REQUIRE(m >= 0 && n >= 0);
+    HS_REQUIRE(mb >= 1 && nb >= 1);
+    HS_REQUIRE(grid_rows >= 1 && grid_cols >= 1);
+  }
+
+  index_t global_rows() const noexcept { return m_; }
+  index_t global_cols() const noexcept { return n_; }
+  index_t row_block() const noexcept { return mb_; }
+  index_t col_block() const noexcept { return nb_; }
+
+  /// Number of local rows/cols stored by a given grid row/col (ScaLAPACK
+  /// numroc semantics).
+  index_t local_rows(int grid_row) const { return numroc(m_, mb_, grid_row, s_); }
+  index_t local_cols(int grid_col) const { return numroc(n_, nb_, grid_col, t_); }
+
+  int row_owner(index_t global_row) const {
+    HS_REQUIRE(global_row >= 0 && global_row < m_);
+    return static_cast<int>((global_row / mb_) % s_);
+  }
+  int col_owner(index_t global_col) const {
+    HS_REQUIRE(global_col >= 0 && global_col < n_);
+    return static_cast<int>((global_col / nb_) % t_);
+  }
+
+  /// Global row index of local row `l` on grid row `grid_row`.
+  index_t global_row(int grid_row, index_t l) const {
+    return to_global(l, mb_, grid_row, s_);
+  }
+  index_t global_col(int grid_col, index_t l) const {
+    return to_global(l, nb_, grid_col, t_);
+  }
+
+  /// Local row index of global row g (must be owned by grid_row).
+  index_t local_row(int grid_row, index_t g) const {
+    HS_REQUIRE(row_owner(g) == grid_row);
+    return to_local(g, mb_, s_);
+  }
+  index_t local_col(int grid_col, index_t g) const {
+    HS_REQUIRE(col_owner(g) == grid_col);
+    return to_local(g, nb_, t_);
+  }
+
+  la::Matrix materialize_local(int grid_row, int grid_col,
+                               const la::ElementFn& fn) const;
+
+ private:
+  static index_t numroc(index_t extent, index_t block, int part, int parts);
+  static index_t to_global(index_t local, index_t block, int part, int parts);
+  static index_t to_local(index_t global, index_t block, int parts);
+
+  index_t m_, n_, mb_, nb_;
+  int s_, t_;
+};
+
+}  // namespace hs::grid

@@ -1,0 +1,35 @@
+#include "grid/process_grid.hpp"
+
+namespace hs::grid {
+
+GridShape near_square_shape(int p) {
+  HS_REQUIRE(p >= 1);
+  int best = 1;
+  for (int d = 1; d * d <= p; ++d)
+    if (p % d == 0) best = d;
+  return {best, p / best};
+}
+
+ProcessGrid::ProcessGrid(mpc::Comm comm, GridShape shape)
+    : comm_(comm), shape_(shape) {
+  HS_REQUIRE_MSG(comm.size() == shape.size(),
+                 "grid shape " << shape.rows << "x" << shape.cols
+                               << " does not match communicator size "
+                               << comm.size());
+  // Membership lists are built arithmetically (not by filtering all p
+  // ranks): at 16384 ranks the difference is O(p * (s + t)) vs O(p^2)
+  // setup work.
+  const int row = my_row();
+  const int col = my_col();
+  std::vector<int> members;
+  members.reserve(static_cast<std::size_t>(shape_.cols));
+  for (int c = 0; c < shape_.cols; ++c) members.push_back(rank_at(row, c));
+  row_comm_ = comm_.sub(members);
+
+  members.clear();
+  members.reserve(static_cast<std::size_t>(shape_.rows));
+  for (int r = 0; r < shape_.rows; ++r) members.push_back(rank_at(r, col));
+  col_comm_ = comm_.sub(members);
+}
+
+}  // namespace hs::grid

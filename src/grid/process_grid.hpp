@@ -1,0 +1,54 @@
+// Two-dimensional logical process grid.
+//
+// Maps a communicator's p = rows*cols ranks onto an s x t grid in row-major
+// order (rank = row*t + col) and exposes the row and column
+// sub-communicators every 2-D matrix algorithm needs. `near_square_shape`
+// reproduces the usual choice (largest divisor pair closest to square,
+// rows <= cols), matching how the paper lays out its experiments.
+#pragma once
+
+#include "mpc/collectives.hpp"
+#include "mpc/comm.hpp"
+
+namespace hs::grid {
+
+struct GridShape {
+  int rows = 1;
+  int cols = 1;
+  int size() const noexcept { return rows * cols; }
+  bool operator==(const GridShape&) const = default;
+};
+
+/// Most-square factorization rows*cols == p with rows <= cols.
+GridShape near_square_shape(int p);
+
+class ProcessGrid {
+ public:
+  /// `comm.size()` must equal shape.size().
+  ProcessGrid(mpc::Comm comm, GridShape shape);
+
+  const mpc::Comm& comm() const noexcept { return comm_; }
+  GridShape shape() const noexcept { return shape_; }
+  int rows() const noexcept { return shape_.rows; }
+  int cols() const noexcept { return shape_.cols; }
+
+  int my_row() const noexcept { return comm_.rank() / shape_.cols; }
+  int my_col() const noexcept { return comm_.rank() % shape_.cols; }
+  int rank_at(int row, int col) const {
+    HS_REQUIRE(row >= 0 && row < shape_.rows && col >= 0 && col < shape_.cols);
+    return row * shape_.cols + col;
+  }
+
+  /// Communicator over this process's grid row (ranks ordered by column).
+  const mpc::Comm& row_comm() const noexcept { return row_comm_; }
+  /// Communicator over this process's grid column (ranks ordered by row).
+  const mpc::Comm& col_comm() const noexcept { return col_comm_; }
+
+ private:
+  mpc::Comm comm_;
+  GridShape shape_;
+  mpc::Comm row_comm_;
+  mpc::Comm col_comm_;
+};
+
+}  // namespace hs::grid

@@ -1,0 +1,142 @@
+#include "la/factor.hpp"
+
+#include <cmath>
+
+#include "la/gemm.hpp"
+
+namespace hs::la {
+
+void lu_factor_inplace(MatrixView a) {
+  HS_REQUIRE(a.rows() == a.cols());
+  const index_t n = a.rows();
+  for (index_t k = 0; k < n; ++k) {
+    const double pivot = a(k, k);
+    HS_REQUIRE_MSG(std::fabs(pivot) > 1e-300,
+                   "zero pivot at position " << k
+                                             << " (matrix not factorable "
+                                                "without pivoting)");
+    for (index_t i = k + 1; i < n; ++i) {
+      const double l_ik = a(i, k) / pivot;
+      a(i, k) = l_ik;
+      double* row_i = a.row(i);
+      const double* row_k = a.row(k);
+      for (index_t j = k + 1; j < n; ++j) row_i[j] -= l_ik * row_k[j];
+    }
+  }
+}
+
+void trsm_right_upper(ConstMatrixView factored, MatrixView b) {
+  HS_REQUIRE(factored.rows() == factored.cols());
+  HS_REQUIRE(b.cols() == factored.rows());
+  const index_t nb = factored.rows();
+  // Solve X * U = B row by row: x_j = (b_j - sum_{l<j} x_l u_lj) / u_jj.
+  for (index_t i = 0; i < b.rows(); ++i) {
+    double* x = b.row(i);
+    for (index_t j = 0; j < nb; ++j) {
+      double sum = x[j];
+      for (index_t l = 0; l < j; ++l) sum -= x[l] * factored(l, j);
+      x[j] = sum / factored(j, j);
+    }
+  }
+}
+
+void trsm_left_lower_unit(ConstMatrixView factored, MatrixView b) {
+  HS_REQUIRE(factored.rows() == factored.cols());
+  HS_REQUIRE(b.rows() == factored.rows());
+  const index_t nb = factored.rows();
+  // Solve L * X = B column-block-wise: row i of X depends on rows < i.
+  for (index_t i = 0; i < nb; ++i) {
+    double* xi = b.row(i);
+    for (index_t l = 0; l < i; ++l) {
+      const double l_il = factored(i, l);
+      if (l_il == 0.0) continue;
+      const double* xl = b.row(l);
+      for (index_t j = 0; j < b.cols(); ++j) xi[j] -= l_il * xl[j];
+    }
+  }
+}
+
+void gemm_subtract(ConstMatrixView a, ConstMatrixView b, MatrixView c) {
+  HS_REQUIRE(a.rows() == c.rows());
+  HS_REQUIRE(b.cols() == c.cols());
+  HS_REQUIRE(a.cols() == b.rows());
+  // Negate-accumulate through the packed kernel: C += (-A) * B would need a
+  // packed copy anyway, so reuse gemm with a temporary product only for
+  // larger blocks; small blocks use the direct loop.
+  const index_t m = c.rows(), n = c.cols(), k = a.cols();
+  if (m * n * k <= 32 * 32 * 32) {
+    for (index_t i = 0; i < m; ++i) {
+      double* ci = c.row(i);
+      for (index_t l = 0; l < k; ++l) {
+        const double ail = a(i, l);
+        const double* bl = b.row(l);
+        for (index_t j = 0; j < n; ++j) ci[j] -= ail * bl[j];
+      }
+    }
+    return;
+  }
+  Matrix product(m, n);
+  gemm(a, b, product.view());
+  for (index_t i = 0; i < m; ++i) {
+    double* ci = c.row(i);
+    const double* pi = product.view().row(i);
+    for (index_t j = 0; j < n; ++j) ci[j] -= pi[j];
+  }
+}
+
+void cholesky_factor_inplace(MatrixView a) {
+  HS_REQUIRE(a.rows() == a.cols());
+  const index_t n = a.rows();
+  for (index_t k = 0; k < n; ++k) {
+    double pivot = a(k, k);
+    for (index_t l = 0; l < k; ++l) pivot -= a(k, l) * a(k, l);
+    HS_REQUIRE_MSG(pivot > 0.0,
+                   "non-positive pivot at position "
+                       << k << " (matrix not SPD)");
+    const double l_kk = std::sqrt(pivot);
+    a(k, k) = l_kk;
+    for (index_t i = k + 1; i < n; ++i) {
+      double sum = a(i, k);
+      const double* row_i = a.row(i);
+      const double* row_k = a.row(k);
+      for (index_t l = 0; l < k; ++l) sum -= row_i[l] * row_k[l];
+      a(i, k) = sum / l_kk;
+    }
+  }
+}
+
+void trsm_right_lower_transposed(ConstMatrixView factored, MatrixView b) {
+  HS_REQUIRE(factored.rows() == factored.cols());
+  HS_REQUIRE(b.cols() == factored.rows());
+  const index_t nb = factored.rows();
+  // X L^T = B: column j of X uses L^T's column j = L's row j, so
+  // x_j = (b_j - sum_{l<j} x_l L(j,l)) / L(j,j).
+  for (index_t i = 0; i < b.rows(); ++i) {
+    double* x = b.row(i);
+    for (index_t j = 0; j < nb; ++j) {
+      double sum = x[j];
+      for (index_t l = 0; l < j; ++l) sum -= x[l] * factored(j, l);
+      x[j] = sum / factored(j, j);
+    }
+  }
+}
+
+void gemm_subtract_transb(ConstMatrixView a, ConstMatrixView b,
+                          MatrixView c) {
+  HS_REQUIRE(a.rows() == c.rows());
+  HS_REQUIRE(b.rows() == c.cols());
+  HS_REQUIRE(a.cols() == b.cols());
+  const index_t m = c.rows(), n = c.cols(), k = a.cols();
+  for (index_t i = 0; i < m; ++i) {
+    double* ci = c.row(i);
+    const double* ai = a.row(i);
+    for (index_t j = 0; j < n; ++j) {
+      const double* bj = b.row(j);
+      double sum = 0.0;
+      for (index_t l = 0; l < k; ++l) sum += ai[l] * bj[l];
+      ci[j] -= sum;
+    }
+  }
+}
+
+}  // namespace hs::la

@@ -1,0 +1,43 @@
+// Local factorization kernels for the distributed block LU solver:
+// unpivoted in-place LU of a diagonal block and the two triangular panel
+// solves of the right-looking algorithm. Unpivoted LU is numerically safe
+// for the diagonally dominant matrices the LU driver generates (standard
+// practice for communication studies, where pivoting's data movement is a
+// separate concern).
+#pragma once
+
+#include "la/matrix.hpp"
+
+namespace hs::la {
+
+/// In-place unpivoted LU of a square block: on return the strict lower
+/// triangle holds L (unit diagonal implied) and the upper triangle holds U.
+/// Throws PreconditionError on a (near-)zero pivot.
+void lu_factor_inplace(MatrixView a);
+
+/// Right triangular solve X * U = B, overwriting B with X. U is the upper
+/// triangle (non-unit diagonal) of `factored`; B is m x b, U is b x b.
+void trsm_right_upper(ConstMatrixView factored, MatrixView b);
+
+/// Left triangular solve L * X = B, overwriting B with X. L is the strict
+/// lower triangle (unit diagonal) of `factored`; B is b x n, L is b x b.
+void trsm_left_lower_unit(ConstMatrixView factored, MatrixView b);
+
+/// C -= A * B (the trailing update of right-looking LU).
+void gemm_subtract(ConstMatrixView a, ConstMatrixView b, MatrixView c);
+
+/// In-place lower Cholesky of an SPD block: on return the lower triangle
+/// (including the diagonal) holds L with A = L * L^T; the strict upper
+/// triangle is left untouched. Throws on a non-positive pivot.
+void cholesky_factor_inplace(MatrixView a);
+
+/// Right solve X * L^T = B, overwriting B with X. L is the lower triangle
+/// (non-unit diagonal) of `factored`; B is m x b.
+void trsm_right_lower_transposed(ConstMatrixView factored, MatrixView b);
+
+/// C -= A * B^T (the symmetric trailing update of right-looking Cholesky).
+/// A is m x k, B is n x k, C is m x n.
+void gemm_subtract_transb(ConstMatrixView a, ConstMatrixView b,
+                          MatrixView c);
+
+}  // namespace hs::la

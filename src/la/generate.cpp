@@ -1,0 +1,56 @@
+#include "la/generate.hpp"
+
+#include "common/rng.hpp"
+
+namespace hs::la {
+
+namespace {
+
+// Stateless hash of (seed, i, j) -> uniform double in [-1, 1).
+double hashed_uniform(std::uint64_t seed, index_t i, index_t j) {
+  std::uint64_t s = seed;
+  s ^= 0x9e3779b97f4a7c15ULL + static_cast<std::uint64_t>(i);
+  std::uint64_t h = splitmix64(s);
+  s = h ^ (0xbf58476d1ce4e5b9ULL + static_cast<std::uint64_t>(j));
+  h = splitmix64(s);
+  const double u01 = static_cast<double>(h >> 11) * 0x1.0p-53;
+  return 2.0 * u01 - 1.0;
+}
+
+}  // namespace
+
+ElementFn uniform_elements(std::uint64_t seed) {
+  return [seed](index_t i, index_t j) { return hashed_uniform(seed, i, j); };
+}
+
+ElementFn identity_elements() {
+  return [](index_t i, index_t j) { return i == j ? 1.0 : 0.0; };
+}
+
+ElementFn constant_elements(double value) {
+  return [value](index_t, index_t) { return value; };
+}
+
+ElementFn integer_lattice_elements() {
+  return [](index_t i, index_t j) {
+    return static_cast<double>((i * 3 + j * 7 + 1) % 11 - 5);
+  };
+}
+
+void fill_from(MatrixView view, const ElementFn& fn, index_t row_offset,
+               index_t col_offset) {
+  HS_REQUIRE(fn != nullptr);
+  for (index_t i = 0; i < view.rows(); ++i) {
+    double* row = view.row(i);
+    for (index_t j = 0; j < view.cols(); ++j)
+      row[j] = fn(row_offset + i, col_offset + j);
+  }
+}
+
+Matrix materialize(index_t rows, index_t cols, const ElementFn& fn) {
+  Matrix m(rows, cols);
+  fill_from(m.view(), fn);
+  return m;
+}
+
+}  // namespace hs::la

@@ -1,0 +1,41 @@
+// Deterministic element generators addressed by *global* indices.
+//
+// A distributed matrix is filled locally on each rank without communication:
+// every rank evaluates the generator at the global coordinates its local
+// block owns. Verification re-evaluates the same generator, so reference
+// data never has to be shipped. Generators are pure functions of
+// (seed, i, j) built on splitmix64, giving random-looking but exactly
+// reproducible matrices.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "la/matrix.hpp"
+
+namespace hs::la {
+
+/// Pure element source: value at global coordinates (i, j).
+using ElementFn = std::function<double(index_t i, index_t j)>;
+
+/// Uniform values in [-1, 1], keyed by (seed, i, j); evaluation order free.
+ElementFn uniform_elements(std::uint64_t seed);
+
+/// Identity matrix elements.
+ElementFn identity_elements();
+
+/// Constant fill.
+ElementFn constant_elements(double value);
+
+/// Small-integer lattice i*3 + j*7 + 1 (mod 11) - 5: exact in double
+/// arithmetic, so products can be compared bit-exactly in tests.
+ElementFn integer_lattice_elements();
+
+/// Fill `view` so view(i,j) = fn(row_offset + i, col_offset + j).
+void fill_from(MatrixView view, const ElementFn& fn, index_t row_offset = 0,
+               index_t col_offset = 0);
+
+/// Convenience: build a rows x cols matrix from a generator.
+Matrix materialize(index_t rows, index_t cols, const ElementFn& fn);
+
+}  // namespace hs::la

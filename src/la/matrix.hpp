@@ -1,0 +1,178 @@
+// Dense row-major matrix container and non-owning strided views.
+//
+// All distributed algorithms operate on local sub-matrices through
+// MatrixView / ConstMatrixView, so a block of a larger matrix (pivot panel,
+// C rectangle, outer block) is addressed without copying. The element type
+// is double throughout the library: the paper's experiments are DGEMM.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace hs::la {
+
+using index_t = std::int64_t;
+
+class ConstMatrixView;
+
+/// Mutable non-owning view: `rows x cols` doubles with leading dimension
+/// `ld` (row stride, >= cols). Copyable, cheap, never owns.
+class MatrixView {
+ public:
+  MatrixView() = default;
+  MatrixView(double* data, index_t rows, index_t cols, index_t ld)
+      : data_(data), rows_(rows), cols_(cols), ld_(ld) {
+    HS_REQUIRE(rows >= 0 && cols >= 0);
+    HS_REQUIRE(ld >= cols);
+    HS_REQUIRE(data != nullptr || rows * cols == 0);
+  }
+
+  double* data() const noexcept { return data_; }
+  index_t rows() const noexcept { return rows_; }
+  index_t cols() const noexcept { return cols_; }
+  index_t ld() const noexcept { return ld_; }
+  bool empty() const noexcept { return rows_ == 0 || cols_ == 0; }
+  /// True when rows are contiguous (ld == cols) so the view can be treated
+  /// as one flat span of rows*cols elements.
+  bool contiguous() const noexcept { return ld_ == cols_; }
+
+  double& operator()(index_t i, index_t j) const noexcept {
+    HS_ASSERT(i >= 0 && i < rows_ && j >= 0 && j < cols_);
+    return data_[i * ld_ + j];
+  }
+
+  double* row(index_t i) const noexcept {
+    HS_ASSERT(i >= 0 && i < rows_);
+    return data_ + i * ld_;
+  }
+
+  /// Rectangular sub-view [r0, r0+nr) x [c0, c0+nc).
+  MatrixView block(index_t r0, index_t c0, index_t nr, index_t nc) const {
+    HS_REQUIRE(r0 >= 0 && c0 >= 0 && nr >= 0 && nc >= 0);
+    HS_REQUIRE(r0 + nr <= rows_ && c0 + nc <= cols_);
+    return MatrixView(data_ + r0 * ld_ + c0, nr, nc, ld_);
+  }
+
+  void fill(double value) const noexcept {
+    for (index_t i = 0; i < rows_; ++i)
+      for (index_t j = 0; j < cols_; ++j) data_[i * ld_ + j] = value;
+  }
+
+  /// Copy elements from `src` (same shape required).
+  void copy_from(ConstMatrixView src) const;
+
+  /// this += other (same shape required).
+  void add(ConstMatrixView other) const;
+
+  /// Flat span over the view; requires contiguous().
+  std::span<double> flat() const {
+    HS_REQUIRE(contiguous());
+    return {data_, static_cast<std::size_t>(rows_ * cols_)};
+  }
+
+ private:
+  double* data_ = nullptr;
+  index_t rows_ = 0;
+  index_t cols_ = 0;
+  index_t ld_ = 0;
+};
+
+/// Read-only counterpart of MatrixView.
+class ConstMatrixView {
+ public:
+  ConstMatrixView() = default;
+  ConstMatrixView(const double* data, index_t rows, index_t cols, index_t ld)
+      : data_(data), rows_(rows), cols_(cols), ld_(ld) {
+    HS_REQUIRE(rows >= 0 && cols >= 0);
+    HS_REQUIRE(ld >= cols);
+    HS_REQUIRE(data != nullptr || rows * cols == 0);
+  }
+  // Implicit mutable->const view conversion, mirroring span semantics.
+  ConstMatrixView(MatrixView view)  // NOLINT(google-explicit-constructor)
+      : data_(view.data()), rows_(view.rows()), cols_(view.cols()), ld_(view.ld()) {}
+
+  const double* data() const noexcept { return data_; }
+  index_t rows() const noexcept { return rows_; }
+  index_t cols() const noexcept { return cols_; }
+  index_t ld() const noexcept { return ld_; }
+  bool empty() const noexcept { return rows_ == 0 || cols_ == 0; }
+  bool contiguous() const noexcept { return ld_ == cols_; }
+
+  double operator()(index_t i, index_t j) const noexcept {
+    HS_ASSERT(i >= 0 && i < rows_ && j >= 0 && j < cols_);
+    return data_[i * ld_ + j];
+  }
+
+  const double* row(index_t i) const noexcept {
+    HS_ASSERT(i >= 0 && i < rows_);
+    return data_ + i * ld_;
+  }
+
+  ConstMatrixView block(index_t r0, index_t c0, index_t nr, index_t nc) const {
+    HS_REQUIRE(r0 >= 0 && c0 >= 0 && nr >= 0 && nc >= 0);
+    HS_REQUIRE(r0 + nr <= rows_ && c0 + nc <= cols_);
+    return ConstMatrixView(data_ + r0 * ld_ + c0, nr, nc, ld_);
+  }
+
+  std::span<const double> flat() const {
+    HS_REQUIRE(contiguous());
+    return {data_, static_cast<std::size_t>(rows_ * cols_)};
+  }
+
+ private:
+  const double* data_ = nullptr;
+  index_t rows_ = 0;
+  index_t cols_ = 0;
+  index_t ld_ = 0;
+};
+
+/// Owning dense row-major matrix, zero-initialised.
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(index_t rows, index_t cols)
+      : rows_(rows), cols_(cols),
+        storage_(static_cast<std::size_t>(rows * cols), 0.0) {
+    HS_REQUIRE(rows >= 0 && cols >= 0);
+  }
+
+  index_t rows() const noexcept { return rows_; }
+  index_t cols() const noexcept { return cols_; }
+  bool empty() const noexcept { return storage_.empty(); }
+
+  double& operator()(index_t i, index_t j) noexcept {
+    HS_ASSERT(i >= 0 && i < rows_ && j >= 0 && j < cols_);
+    return storage_[static_cast<std::size_t>(i * cols_ + j)];
+  }
+  double operator()(index_t i, index_t j) const noexcept {
+    HS_ASSERT(i >= 0 && i < rows_ && j >= 0 && j < cols_);
+    return storage_[static_cast<std::size_t>(i * cols_ + j)];
+  }
+
+  double* data() noexcept { return storage_.data(); }
+  const double* data() const noexcept { return storage_.data(); }
+
+  MatrixView view() noexcept { return {storage_.data(), rows_, cols_, cols_}; }
+  ConstMatrixView view() const noexcept {
+    return {storage_.data(), rows_, cols_, cols_};
+  }
+  MatrixView block(index_t r0, index_t c0, index_t nr, index_t nc) {
+    return view().block(r0, c0, nr, nc);
+  }
+  ConstMatrixView block(index_t r0, index_t c0, index_t nr, index_t nc) const {
+    return view().block(r0, c0, nr, nc);
+  }
+
+  void fill(double value) { view().fill(value); }
+
+ private:
+  index_t rows_ = 0;
+  index_t cols_ = 0;
+  std::vector<double> storage_;
+};
+
+}  // namespace hs::la

@@ -1,0 +1,24 @@
+// Matrix norms and comparisons, used by tests and distributed verification.
+#pragma once
+
+#include "la/matrix.hpp"
+
+namespace hs::la {
+
+/// Frobenius norm sqrt(sum a_ij^2).
+double frobenius_norm(ConstMatrixView a);
+
+/// max |a_ij|.
+double max_abs(ConstMatrixView a);
+
+/// max |a_ij - b_ij| (same shape required).
+double max_abs_diff(ConstMatrixView a, ConstMatrixView b);
+
+/// Relative error ||a - b||_F / max(||b||_F, tiny).
+double relative_error(ConstMatrixView a, ConstMatrixView b);
+
+/// True when max_abs_diff(a,b) <= atol + rtol * max_abs(b).
+bool approx_equal(ConstMatrixView a, ConstMatrixView b, double rtol = 1e-12,
+                  double atol = 1e-13);
+
+}  // namespace hs::la

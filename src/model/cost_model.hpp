@@ -1,0 +1,96 @@
+// Section IV of the paper: closed-form communication/computation models of
+// SUMMA and HSUMMA and the G = sqrt(p) extremum analysis.
+//
+// The paper models any homogeneous broadcast as
+//     T_bcast(m, q) = L(q) * alpha + m * W(q) * beta            (eq. 1)
+// and derives (square n x n matrices on a sqrt(p) x sqrt(p) grid, inner
+// block b, outer block B):
+//     T_SUMMA  = 2 [ (n/b) L(sqrt p) alpha + (n^2/sqrt p) W(sqrt p) beta ]
+//     T_HSUMMA = latency + bandwidth with each L/W split into the
+//                inter-group (sqrt G) and intra-group (sqrt(p/G)) factors.
+// dT/dG vanishes at G = sqrt(p); it is a minimum iff alpha/beta > 2nb/p
+// (eq. 10, beta in seconds per *element*), otherwise G in {1, p} is
+// optimal — i.e. HSUMMA never loses to SUMMA.
+//
+// Message sizes here are tracked in elements of kElementBytes to match the
+// paper's formulas; PlatformModel converts from per-byte platform
+// parameters.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/bcast_cost.hpp"
+#include "net/platform.hpp"
+
+namespace hs::model {
+
+inline constexpr double kElementBytes = 8.0;
+
+struct PlatformModel {
+  double alpha = 0.0;       // latency, seconds
+  double beta_byte = 0.0;   // reciprocal bandwidth, seconds per byte
+  double gamma_flop = 0.0;  // seconds per flop
+
+  double beta_element() const { return beta_byte * kElementBytes; }
+
+  static PlatformModel from(const net::Platform& platform) {
+    return {platform.alpha, platform.beta, platform.gamma_flop};
+  }
+};
+
+/// Continuous broadcast coefficients L(q), W(q) for q participants and a
+/// message of `elements` (needed by Pipelined, whose coefficients depend on
+/// the segment count). Continuous log2 — the simulator's ceil(log2) agrees
+/// at powers of two.
+net::BcastCoefficients continuous_coefficients(net::BcastAlgo algo, double q,
+                                               double elements);
+
+struct CostBreakdown {
+  double latency = 0.0;
+  double bandwidth = 0.0;
+  double compute = 0.0;
+
+  double comm() const { return latency + bandwidth; }
+  double total() const { return comm() + compute; }
+};
+
+/// SUMMA on a sqrt(p) x sqrt(p) grid (the paper's Section IV-A).
+CostBreakdown summa_cost(double n, double p, double b, net::BcastAlgo algo,
+                         const PlatformModel& platform);
+
+/// HSUMMA with G groups, inner block b, outer block B (Section IV-B).
+/// G = 1 reduces to SUMMA with block b; G = p to SUMMA with block B.
+CostBreakdown hsumma_cost(double n, double p, double groups, double b,
+                          double outer_b, net::BcastAlgo algo,
+                          const PlatformModel& platform);
+
+/// The paper's eq. 10 test: does the HSUMMA cost have its minimum at an
+/// interior G (at G = sqrt(p)) rather than at the SUMMA-equivalent
+/// endpoints?
+bool has_interior_minimum(double n, double p, double b,
+                          const PlatformModel& platform);
+
+/// d T_HSUMMA / dG for the van de Geijn broadcast (the paper's eq. 9).
+double hsumma_vdg_derivative(double n, double p, double groups, double b,
+                             const PlatformModel& platform);
+
+/// Model-predicted optimal group count: sqrt(p) when the interior minimum
+/// exists, otherwise 1.
+double predicted_optimal_groups(double n, double p, double b,
+                                const PlatformModel& platform);
+
+/// Evaluate hsumma_cost over a sweep of group counts.
+struct SweepPoint {
+  double groups;
+  CostBreakdown cost;
+};
+std::vector<SweepPoint> group_sweep(double n, double p, double b,
+                                    double outer_b, net::BcastAlgo algo,
+                                    const PlatformModel& platform,
+                                    const std::vector<double>& group_counts);
+
+/// Powers of two (and p itself) in [1, p] — the sweep the paper plots.
+std::vector<double> pow2_group_counts(double p);
+
+}  // namespace hs::model

@@ -1,0 +1,43 @@
+#include "model/tables.hpp"
+
+#include <cmath>
+
+namespace hs::model {
+
+std::vector<TableRow> table1_symbolic() {
+  return {
+      {"SUMMA", "2n^3/p", "log2(p) * n/b", "-", "log2(p) * n^2/sqrt(p)", "-"},
+      {"HSUMMA", "2n^3/p", "log2(p/G) * n/b", "log2(G) * n/B",
+       "log2(p/G) * n^2/sqrt(p)", "log2(G) * n^2/sqrt(p)"},
+  };
+}
+
+std::vector<TableRow> table2_symbolic() {
+  return {
+      {"SUMMA", "2n^3/p", "(log2(p) + 2(sqrt(p)-1)) * n/b", "-",
+       "4(1 - 1/sqrt(p)) * n^2/sqrt(p)", "-"},
+      {"HSUMMA", "2n^3/p", "(log2(p/G) + 2(sqrt(p/G)-1)) * n/b",
+       "(log2(G) + 2(sqrt(G)-1)) * n/B",
+       "4(1 - sqrt(G)/sqrt(p)) * n^2/sqrt(p)",
+       "4(1 - 1/sqrt(G)) * n^2/sqrt(p)"},
+      {"HSUMMA(G=sqrt(p), b=B)", "2n^3/p",
+       "(log2(p) + 4(p^(1/4)-1)) * n/b", "(included)",
+       "8(1 - 1/p^(1/4)) * n^2/sqrt(p)", "(included)"},
+  };
+}
+
+std::vector<NumericRow> evaluate_table(net::BcastAlgo algo, double n, double p,
+                                       double b, double groups,
+                                       const PlatformModel& platform) {
+  std::vector<NumericRow> rows;
+  rows.push_back({"SUMMA", summa_cost(n, p, b, algo, platform)});
+  rows.push_back(
+      {"HSUMMA(G=" + std::to_string(static_cast<long long>(groups)) + ")",
+       hsumma_cost(n, p, groups, b, b, algo, platform)});
+  const double opt = std::sqrt(p);
+  rows.push_back({"HSUMMA(G=sqrt(p))",
+                  hsumma_cost(n, p, opt, b, b, algo, platform)});
+  return rows;
+}
+
+}  // namespace hs::model

@@ -1,0 +1,40 @@
+// Symbolic and numeric renderings of the paper's Table I and Table II
+// (SUMMA vs HSUMMA cost factors under binomial and van de Geijn
+// broadcasts).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "model/cost_model.hpp"
+
+namespace hs::model {
+
+struct TableRow {
+  std::string algorithm;
+  std::string computation;
+  std::string latency_inside;
+  std::string latency_between;
+  std::string bandwidth_inside;
+  std::string bandwidth_between;
+};
+
+/// The symbolic rows of Table I (binomial tree broadcast).
+std::vector<TableRow> table1_symbolic();
+
+/// The symbolic rows of Table II (van de Geijn broadcast), including the
+/// G = sqrt(p), b = B specialization.
+std::vector<TableRow> table2_symbolic();
+
+/// Numeric evaluation of a table on a platform: each row gives the
+/// evaluated latency/bandwidth/compute seconds for SUMMA, HSUMMA(G), and
+/// HSUMMA(G = sqrt p).
+struct NumericRow {
+  std::string algorithm;
+  CostBreakdown cost;
+};
+std::vector<NumericRow> evaluate_table(net::BcastAlgo algo, double n, double p,
+                                       double b, double groups,
+                                       const PlatformModel& platform);
+
+}  // namespace hs::model

@@ -1,0 +1,89 @@
+// Message payload descriptors.
+//
+// Every transfer in the message-passing core carries a Buf (receive side)
+// or ConstBuf (send side): a span of doubles plus an element count. The
+// span may be *phantom* (null data pointer with a nonzero count): the
+// simulator then charges exactly the same wire time but moves no bytes.
+// Phantom payloads are what make 16384-rank simulations possible on one
+// host; real payloads are what make numerical verification possible.
+// The two sides of one transfer must agree on both count and realness.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+#include "common/check.hpp"
+
+namespace hs::mpc {
+
+inline constexpr std::uint64_t kElementBytes = sizeof(double);
+
+/// Mutable (receive) payload view.
+class Buf {
+ public:
+  Buf() = default;
+  /// Real payload over caller-owned storage.
+  Buf(std::span<double> data)  // NOLINT(google-explicit-constructor)
+      : data_(data.data()), count_(data.size()) {}
+
+  /// Phantom payload: `elements` are charged on the wire, none are stored.
+  static Buf phantom(std::size_t elements) {
+    Buf b;
+    b.count_ = elements;
+    return b;
+  }
+
+  bool is_real() const noexcept { return data_ != nullptr || count_ == 0; }
+  std::size_t count() const noexcept { return count_; }
+  std::uint64_t bytes() const noexcept { return count_ * kElementBytes; }
+  double* data() const noexcept { return data_; }
+
+  /// Sub-payload [offset, offset+elements); phantom slices stay phantom.
+  Buf slice(std::size_t offset, std::size_t elements) const {
+    HS_REQUIRE(offset + elements <= count_);
+    Buf b;
+    b.data_ = data_ == nullptr ? nullptr : data_ + offset;
+    b.count_ = elements;
+    return b;
+  }
+
+ private:
+  double* data_ = nullptr;
+  std::size_t count_ = 0;
+};
+
+/// Read-only (send) payload view.
+class ConstBuf {
+ public:
+  ConstBuf() = default;
+  ConstBuf(std::span<const double> data)  // NOLINT(google-explicit-constructor)
+      : data_(data.data()), count_(data.size()) {}
+  ConstBuf(Buf buf)  // NOLINT(google-explicit-constructor)
+      : data_(buf.data()), count_(buf.count()) {}
+
+  static ConstBuf phantom(std::size_t elements) {
+    ConstBuf b;
+    b.count_ = elements;
+    return b;
+  }
+
+  bool is_real() const noexcept { return data_ != nullptr || count_ == 0; }
+  std::size_t count() const noexcept { return count_; }
+  std::uint64_t bytes() const noexcept { return count_ * kElementBytes; }
+  const double* data() const noexcept { return data_; }
+
+  ConstBuf slice(std::size_t offset, std::size_t elements) const {
+    HS_REQUIRE(offset + elements <= count_);
+    ConstBuf b;
+    b.data_ = data_ == nullptr ? nullptr : data_ + offset;
+    b.count_ = elements;
+    return b;
+  }
+
+ private:
+  const double* data_ = nullptr;
+  std::size_t count_ = 0;
+};
+
+}  // namespace hs::mpc

@@ -1,0 +1,731 @@
+#include "mpc/collectives.hpp"
+
+#include <cstring>
+#include <vector>
+
+namespace hs::mpc {
+
+namespace {
+
+// Reserved (negative) tag space for collective-internal traffic. Every
+// collective call consumes one sequence number per communicator (see
+// Machine::next_collective_seq) and derives its tags from (phase kind,
+// sequence), so two collectives in flight concurrently on one communicator
+// (communication/computation overlap) can never cross-match. Within one
+// collective, per-pair FIFO matching keeps multi-round phases ordered.
+enum CollectivePhase : int {
+  kPhaseBcast = 0,
+  kPhaseScatter = 1,
+  kPhaseAllgather = 2,
+  kPhaseReduce = 3,
+  kPhaseGather = 4,
+  kPhaseBarrier = 5,
+  kPhaseReduceScatter = 6,
+};
+
+int collective_tag(CollectivePhase phase, std::uint64_t seq) {
+  constexpr std::uint64_t kSeqSpace = 1u << 26;
+  return -static_cast<int>(1 + static_cast<std::uint64_t>(phase) +
+                           16 * (seq % kSeqSpace));
+}
+
+desim::Task<void> csend(Comm comm, int dst, ConstBuf buf, int tag) {
+  Request request = comm.isend_internal(dst, buf, tag);
+  co_await request.wait();
+}
+
+desim::Task<void> crecv(Comm comm, int src, Buf buf, int tag) {
+  Request request = comm.irecv_internal(src, buf, tag);
+  co_await request.wait();
+}
+
+bool is_power_of_two(int p) { return p > 0 && (p & (p - 1)) == 0; }
+
+// Chunk layout for scatter/allgather phases: `count` elements split into
+// `p` nearly equal chunks (first count%p chunks get one extra element).
+struct Chunks {
+  std::size_t count;
+  int p;
+  std::size_t offset(int chunk) const {
+    const auto c = static_cast<std::size_t>(chunk);
+    const std::size_t base = count / static_cast<std::size_t>(p);
+    const std::size_t rem = count % static_cast<std::size_t>(p);
+    return c * base + std::min(c, rem);
+  }
+  std::size_t size(int chunk) const {
+    return offset(chunk + 1) - offset(chunk);
+  }
+  // Element range covering chunks [a, b).
+  std::size_t range_offset(int a) const { return offset(a); }
+  std::size_t range_size(int a, int b) const { return offset(b) - offset(a); }
+};
+
+// ---------------------------------------------------------------------
+// Broadcast algorithm implementations. All work in root-relative ranks:
+// rel = (rank - root + p) % p, so the tree is rooted at relative 0.
+// ---------------------------------------------------------------------
+
+desim::Task<void> bcast_flat(Comm comm, int root, Buf buf, int tag) {
+  const int p = comm.size();
+  if (comm.rank() == root) {
+    for (int r = 0; r < p; ++r)
+      if (r != root) co_await csend(comm, r, buf, tag);
+  } else {
+    co_await crecv(comm, root, buf, tag);
+  }
+}
+
+desim::Task<void> bcast_binomial(Comm comm, int root, Buf buf, int tag) {
+  const int p = comm.size();
+  const int rel = (comm.rank() - root + p) % p;
+  auto abs_rank = [&](int r) { return (r + root) % p; };
+
+  int mask = 1;
+  while (mask < p) {
+    if (rel & mask) {
+      co_await crecv(comm, abs_rank(rel - mask), buf, tag);
+      break;
+    }
+    mask <<= 1;
+  }
+  // Send to sub-trees, furthest first.
+  mask >>= 1;
+  while (mask > 0) {
+    if (rel + mask < p)
+      co_await csend(comm, abs_rank(rel + mask), buf, tag);
+    mask >>= 1;
+  }
+}
+
+// Recursive-halving scatter of `buf`'s chunk ranges (used by the van de
+// Geijn variants). On return, relative rank r holds chunk r in place.
+desim::Task<void> scatter_ranges(Comm comm, int root, Buf buf,
+                                 const Chunks& chunks, int tag) {
+  const int p = comm.size();
+  const int rel = (comm.rank() - root + p) % p;
+  auto abs_rank = [&](int r) { return (r + root) % p; };
+
+  int lo = 0, hi = p;
+  while (hi - lo > 1) {
+    const int mid = lo + (hi - lo + 1) / 2;  // left half gets the ceiling
+    const std::size_t off = chunks.range_offset(mid);
+    const std::size_t len = chunks.range_size(mid, hi);
+    if (rel < mid) {
+      if (rel == lo && len > 0)
+        co_await csend(comm, abs_rank(mid), buf.slice(off, len), tag);
+      hi = mid;
+    } else {
+      if (rel == mid && len > 0)
+        co_await crecv(comm, abs_rank(lo), buf.slice(off, len), tag);
+      lo = mid;
+    }
+  }
+}
+
+// Ring allgather of the chunk layout: after p-1 rounds every relative rank
+// holds all chunks. Chunk c travels around the relative ring.
+desim::Task<void> allgather_ring_ranges(Comm comm, int root, Buf buf,
+                                        const Chunks& chunks, int tag) {
+  const int p = comm.size();
+  const int rel = (comm.rank() - root + p) % p;
+  auto abs_rank = [&](int r) { return (r + root) % p; };
+  const int right = abs_rank((rel + 1) % p);
+  const int left = abs_rank((rel - 1 + p) % p);
+
+  for (int round = 0; round < p - 1; ++round) {
+    const int send_chunk = ((rel - round) % p + p) % p;
+    const int recv_chunk = ((rel - round - 1) % p + p) % p;
+    Request send_request = comm.isend_internal(
+        right, buf.slice(chunks.offset(send_chunk), chunks.size(send_chunk)),
+        tag);
+    Request recv_request = comm.irecv_internal(
+        left, buf.slice(chunks.offset(recv_chunk), chunks.size(recv_chunk)),
+        tag);
+    co_await send_request.wait();
+    co_await recv_request.wait();
+  }
+}
+
+// Recursive-doubling allgather (power-of-two rank counts): round k
+// exchanges aligned blocks of 2^k chunks with partner rel ^ 2^k.
+desim::Task<void> allgather_recdbl_ranges(Comm comm, int root, Buf buf,
+                                          const Chunks& chunks, int tag) {
+  const int p = comm.size();
+  const int rel = (comm.rank() - root + p) % p;
+  auto abs_rank = [&](int r) { return (r + root) % p; };
+
+  for (int mask = 1; mask < p; mask <<= 1) {
+    const int partner = rel ^ mask;
+    const int my_base = rel & ~(mask - 1);
+    const int partner_base = my_base ^ mask;
+    Request send_request = comm.isend_internal(
+        abs_rank(partner),
+        buf.slice(chunks.range_offset(my_base),
+                  chunks.range_size(my_base, my_base + mask)),
+        tag);
+    Request recv_request = comm.irecv_internal(
+        abs_rank(partner),
+        buf.slice(chunks.range_offset(partner_base),
+                  chunks.range_size(partner_base, partner_base + mask)),
+        tag);
+    co_await send_request.wait();
+    co_await recv_request.wait();
+  }
+}
+
+desim::Task<void> bcast_scatter_allgather(Comm comm, int root, Buf buf,
+                                          bool ring, std::uint64_t seq) {
+  const Chunks chunks{buf.count(), comm.size()};
+  co_await scatter_ranges(comm, root, buf, chunks,
+                          collective_tag(kPhaseScatter, seq));
+  const int allgather_tag = collective_tag(kPhaseAllgather, seq);
+  if (ring)
+    co_await allgather_ring_ranges(comm, root, buf, chunks, allgather_tag);
+  else
+    co_await allgather_recdbl_ranges(comm, root, buf, chunks, allgather_tag);
+}
+
+desim::Task<void> bcast_pipelined(Comm comm, int root, Buf buf, int tag) {
+  const int p = comm.size();
+  const int rel = (comm.rank() - root + p) % p;
+  auto abs_rank = [&](int r) { return (r + root) % p; };
+
+  const std::uint64_t bytes = buf.bytes();
+  const std::uint64_t segments =
+      bytes == 0 ? 1
+                 : (bytes + net::kPipelineSegmentBytes - 1) /
+                       net::kPipelineSegmentBytes;
+  const std::size_t seg_elems =
+      (buf.count() + static_cast<std::size_t>(segments) - 1) /
+      static_cast<std::size_t>(segments);
+
+  auto segment = [&](std::uint64_t k) {
+    const std::size_t off = static_cast<std::size_t>(k) * seg_elems;
+    const std::size_t len = std::min(seg_elems, buf.count() - off);
+    return buf.slice(off, len);
+  };
+
+  const bool has_right = rel + 1 < p;
+  if (rel == 0) {
+    for (std::uint64_t k = 0; k < segments; ++k)
+      co_await csend(comm, abs_rank(1), segment(k), tag);
+    co_return;
+  }
+  // Interior/last rank: receive segment k+1 while forwarding segment k.
+  co_await crecv(comm, abs_rank(rel - 1), segment(0), tag);
+  for (std::uint64_t k = 0; k < segments; ++k) {
+    Request next_recv;
+    if (k + 1 < segments)
+      next_recv = comm.irecv_internal(abs_rank(rel - 1), segment(k + 1), tag);
+    if (has_right) co_await csend(comm, abs_rank(rel + 1), segment(k), tag);
+    if (next_recv.valid()) co_await next_recv.wait();
+  }
+}
+
+}  // namespace
+
+desim::Task<void> bcast(Comm comm, int root, Buf buf,
+                        std::optional<net::BcastAlgo> algo_opt) {
+  const int p = comm.size();
+  HS_REQUIRE(root >= 0 && root < p);
+  if (p == 1) co_return;
+  Machine& machine = comm.machine();
+  net::BcastAlgo algo = algo_opt.value_or(machine.config().bcast_algo);
+  const std::uint64_t seq =
+      machine.next_collective_seq(comm.context(), comm.rank());
+
+  if (machine.config().collective_mode == CollectiveMode::ClosedForm) {
+    desim::Gate gate(comm.engine());
+    const bool is_root = comm.rank() == root;
+    machine.join_bcast(comm.context(), seq, &gate, root,
+                       is_root ? ConstBuf(buf) : ConstBuf{},
+                       is_root ? Buf{} : buf, algo);
+    co_await gate.wait();
+    co_return;
+  }
+
+  const int tag = collective_tag(kPhaseBcast, seq);
+  switch (net::resolve_auto(algo, p, buf.bytes())) {
+    case net::BcastAlgo::Flat:
+      co_await bcast_flat(comm, root, buf, tag);
+      break;
+    case net::BcastAlgo::Binomial:
+      co_await bcast_binomial(comm, root, buf, tag);
+      break;
+    case net::BcastAlgo::ScatterRingAllgather:
+      co_await bcast_scatter_allgather(comm, root, buf, /*ring=*/true, seq);
+      break;
+    case net::BcastAlgo::ScatterRecDblAllgather:
+      if (is_power_of_two(p))
+        co_await bcast_scatter_allgather(comm, root, buf, /*ring=*/false, seq);
+      else  // recursive doubling needs a power of two; MPICH falls to ring
+        co_await bcast_scatter_allgather(comm, root, buf, /*ring=*/true, seq);
+      break;
+    case net::BcastAlgo::Pipelined:
+      co_await bcast_pipelined(comm, root, buf, tag);
+      break;
+    case net::BcastAlgo::MpichAuto:
+      HS_REQUIRE_MSG(false, "resolve_auto returned MpichAuto");
+  }
+}
+
+desim::Task<void> reduce(Comm comm, int root, ConstBuf send, Buf recv) {
+  const int p = comm.size();
+  HS_REQUIRE(root >= 0 && root < p);
+  const int rel = (comm.rank() - root + p) % p;
+  auto abs_rank = [&](int r) { return (r + root) % p; };
+  const std::size_t count = send.count();
+
+  if (p == 1) {
+    if (send.is_real() && recv.is_real() && count > 0 &&
+        recv.data() != send.data())
+      std::memcpy(recv.data(), send.data(), count * sizeof(double));
+    co_return;
+  }
+
+  Machine& machine = comm.machine();
+  const std::uint64_t seq =
+      machine.next_collective_seq(comm.context(), comm.rank());
+
+  if (machine.config().collective_mode == CollectiveMode::ClosedForm) {
+    desim::Gate gate(comm.engine());
+    machine.join_data_collective(Machine::SiteKind::Reduce, comm.context(),
+                                 seq, &gate, comm.rank(), root, send,
+                                 comm.rank() == root ? recv : Buf{});
+    co_await gate.wait();
+    co_return;
+  }
+
+  const int tag = collective_tag(kPhaseReduce, seq);
+  const bool real = send.is_real();
+  // Accumulator holds my partial sum; scratch receives child contributions.
+  std::vector<double> acc_storage, scratch_storage;
+  if (real && count > 0) {
+    acc_storage.assign(send.data(), send.data() + count);
+    scratch_storage.assign(count, 0.0);
+  }
+  Buf acc = real ? Buf(std::span<double>(acc_storage))
+                 : Buf::phantom(count);
+  Buf scratch = real ? Buf(std::span<double>(scratch_storage))
+                     : Buf::phantom(count);
+
+  int mask = 1;
+  while (mask < p) {
+    if (rel & mask) {
+      co_await csend(comm, abs_rank(rel - mask), acc, tag);
+      break;
+    }
+    if (rel + mask < p) {
+      co_await crecv(comm, abs_rank(rel + mask), scratch, tag);
+      if (real)
+        for (std::size_t i = 0; i < count; ++i)
+          acc_storage[i] += scratch_storage[i];
+    }
+    mask <<= 1;
+  }
+
+  if (rel == 0 && real && count > 0) {
+    HS_REQUIRE_MSG(recv.is_real() && recv.count() == count,
+                   "reduce: root recv buffer mismatch");
+    std::memcpy(recv.data(), acc_storage.data(), count * sizeof(double));
+  }
+}
+
+namespace {
+
+// Recursive-halving reduce-scatter over a full-size working buffer (power
+// of two ranks, uniform chunks). On return, work[rank*chunk .. +chunk)
+// holds the caller's share of the element-wise sum. Phantom-aware: when
+// `real` is false only the wire traffic is modeled.
+desim::Task<void> reduce_scatter_halving(Comm comm, Buf work,
+                                         std::vector<double>& work_storage,
+                                         std::vector<double>& scratch_storage,
+                                         bool real, std::uint64_t seq) {
+  const int p = comm.size();
+  const int rank = comm.rank();
+  const std::size_t count = work.count();
+  const std::size_t chunk = count / static_cast<std::size_t>(p);
+  const int tag = collective_tag(kPhaseReduceScatter, seq);
+
+  int lo = 0, hi = p;
+  while (hi - lo > 1) {
+    const int half = (hi - lo) / 2;
+    const int mid = lo + half;
+    const int partner = rank ^ half;
+    const bool lower = rank < mid;
+    // I keep [keep_lo, keep_hi) and ship the other half's range.
+    const int ship_lo = lower ? mid : lo;
+    const int ship_hi = lower ? hi : mid;
+    const int keep_lo = lower ? lo : mid;
+    const std::size_t ship_off = static_cast<std::size_t>(ship_lo) * chunk;
+    const std::size_t ship_len =
+        static_cast<std::size_t>(ship_hi - ship_lo) * chunk;
+    const std::size_t keep_off = static_cast<std::size_t>(keep_lo) * chunk;
+
+    Request send_request = comm.isend_internal(
+        partner, ConstBuf(work).slice(ship_off, ship_len), tag);
+    Buf recv_buf = real ? Buf(std::span<double>(scratch_storage))
+                              .slice(0, ship_len)
+                        : Buf::phantom(ship_len);
+    Request recv_request = comm.irecv_internal(partner, recv_buf, tag);
+    co_await send_request.wait();
+    co_await recv_request.wait();
+    if (real)
+      for (std::size_t i = 0; i < ship_len; ++i)
+        work_storage[keep_off + i] += scratch_storage[i];
+    if (lower)
+      hi = mid;
+    else
+      lo = mid;
+  }
+}
+
+desim::Task<void> allreduce_rabenseifner(Comm comm, ConstBuf send, Buf recv,
+                                         std::uint64_t seq) {
+  const int p = comm.size();
+  const std::size_t count = send.count();
+  HS_REQUIRE_MSG(count % static_cast<std::size_t>(p) == 0,
+                 "Rabenseifner allreduce requires size | count");
+  const bool real = send.is_real();
+  std::vector<double> work_storage, scratch_storage;
+  if (real && count > 0) {
+    work_storage.assign(send.data(), send.data() + count);
+    scratch_storage.assign(count, 0.0);
+  }
+  Buf work = real ? Buf(std::span<double>(work_storage))
+                  : Buf::phantom(count);
+  co_await reduce_scatter_halving(comm, work, work_storage, scratch_storage,
+                                  real, seq);
+  // Recursive-doubling allgather of the per-rank chunks (root 0: ranks are
+  // already absolute).
+  const Chunks chunks{count, p};
+  co_await allgather_recdbl_ranges(comm, 0, work, chunks,
+                                   collective_tag(kPhaseAllgather, seq));
+  if (real && count > 0) {
+    HS_REQUIRE_MSG(recv.is_real() && recv.count() == count,
+                   "allreduce: recv buffer mismatch");
+    std::memcpy(recv.data(), work_storage.data(), count * sizeof(double));
+  }
+}
+
+}  // namespace
+
+desim::Task<void> reduce_scatter(Comm comm, ConstBuf send, Buf recv_chunk) {
+  const int p = comm.size();
+  const std::size_t count = send.count();
+  HS_REQUIRE_MSG(count % static_cast<std::size_t>(p) == 0,
+                 "reduce_scatter requires size | send.count()");
+  const std::size_t chunk = count / static_cast<std::size_t>(p);
+  HS_REQUIRE_MSG(recv_chunk.count() == chunk,
+                 "reduce_scatter: recv must hold send.count()/size elements");
+  if (p == 1) {
+    if (send.is_real() && recv_chunk.is_real() && count > 0 &&
+        recv_chunk.data() != send.data())
+      std::memcpy(recv_chunk.data(), send.data(), count * sizeof(double));
+    co_return;
+  }
+
+  Machine& machine = comm.machine();
+  const std::uint64_t seq =
+      machine.next_collective_seq(comm.context(), comm.rank());
+
+  if (machine.config().collective_mode == CollectiveMode::ClosedForm) {
+    desim::Gate gate(comm.engine());
+    machine.join_data_collective(Machine::SiteKind::ReduceScatter,
+                                 comm.context(), seq, &gate, comm.rank(),
+                                 /*root_index=*/0, send, recv_chunk);
+    co_await gate.wait();
+    co_return;
+  }
+
+  const bool real = send.is_real();
+  if ((p & (p - 1)) == 0) {
+    std::vector<double> work_storage, scratch_storage;
+    if (real && count > 0) {
+      work_storage.assign(send.data(), send.data() + count);
+      scratch_storage.assign(count, 0.0);
+    }
+    Buf work = real ? Buf(std::span<double>(work_storage))
+                    : Buf::phantom(count);
+    co_await reduce_scatter_halving(comm, work, work_storage,
+                                    scratch_storage, real, seq);
+    if (real && count > 0)
+      std::memcpy(recv_chunk.data(),
+                  work_storage.data() +
+                      static_cast<std::size_t>(comm.rank()) * chunk,
+                  chunk * sizeof(double));
+    co_return;
+  }
+
+  // Non-power-of-two: reduce to rank 0, then scatter the chunks.
+  std::vector<double> full_storage;
+  Buf full = Buf{};
+  if (comm.rank() == 0) {
+    if (real && count > 0) full_storage.assign(count, 0.0);
+    full = real ? Buf(std::span<double>(full_storage))
+                : Buf::phantom(count);
+  } else if (!real) {
+    full = Buf::phantom(count);
+  }
+  co_await reduce(comm, 0, send, full);
+  co_await scatter(comm, 0,
+                   comm.rank() == 0 ? ConstBuf(full) : ConstBuf{},
+                   recv_chunk);
+}
+
+desim::Task<void> allreduce(Comm comm, ConstBuf send, Buf recv,
+                            AllreduceAlgo algo) {
+  const int p = comm.size();
+  const bool pow2 = (p & (p - 1)) == 0;
+  const bool rabenseifner =
+      algo == AllreduceAlgo::Rabenseifner && pow2 && p > 1 &&
+      send.count() % static_cast<std::size_t>(p) == 0;
+
+  Machine& machine = comm.machine();
+  if (p > 1 &&
+      machine.config().collective_mode == CollectiveMode::ClosedForm) {
+    const std::uint64_t seq =
+        machine.next_collective_seq(comm.context(), comm.rank());
+    desim::Gate gate(comm.engine());
+    machine.join_data_collective(
+        rabenseifner ? Machine::SiteKind::AllreduceRabenseifner
+                     : Machine::SiteKind::Allreduce,
+        comm.context(), seq, &gate, comm.rank(),
+        /*root_index=*/0, send, recv);
+    co_await gate.wait();
+    co_return;
+  }
+  if (rabenseifner) {
+    const std::uint64_t seq =
+        machine.next_collective_seq(comm.context(), comm.rank());
+    co_await allreduce_rabenseifner(comm, send, recv, seq);
+    co_return;
+  }
+  co_await reduce(comm, 0, send, recv);
+  co_await bcast(comm, 0, recv, net::BcastAlgo::Binomial);
+}
+
+desim::Task<void> gather(Comm comm, int root, ConstBuf send, Buf recv_all) {
+  const int p = comm.size();
+  HS_REQUIRE(root >= 0 && root < p);
+  const int rel = (comm.rank() - root + p) % p;
+  auto abs_rank = [&](int r) { return (r + root) % p; };
+  const std::size_t chunk = send.count();
+  const bool real = send.is_real();
+
+  if (rel == 0)
+    HS_REQUIRE_MSG(recv_all.count() == chunk * static_cast<std::size_t>(p),
+                   "gather: recv buffer must hold size*send.count elements");
+  if (p == 1) {
+    if (real && chunk > 0 && recv_all.data() != send.data())
+      std::memcpy(recv_all.data(), send.data(), chunk * sizeof(double));
+    co_return;
+  }
+
+  Machine& machine = comm.machine();
+  const std::uint64_t seq =
+      machine.next_collective_seq(comm.context(), comm.rank());
+
+  if (machine.config().collective_mode == CollectiveMode::ClosedForm) {
+    desim::Gate gate(comm.engine());
+    machine.join_data_collective(Machine::SiteKind::Gather, comm.context(),
+                                 seq, &gate, comm.rank(), root, send,
+                                 comm.rank() == root ? recv_all : Buf{});
+    co_await gate.wait();
+    co_return;
+  }
+
+  const int tag = collective_tag(kPhaseGather, seq);
+
+  // Staging buffer indexed by *relative* chunk position; the root unpacks
+  // to absolute positions at the end.
+  std::vector<double> stage_storage;
+  if (real && chunk > 0)
+    stage_storage.assign(chunk * static_cast<std::size_t>(p), 0.0);
+  Buf stage = real ? Buf(std::span<double>(stage_storage))
+                   : Buf::phantom(chunk * static_cast<std::size_t>(p));
+  if (real && chunk > 0)
+    std::memcpy(stage_storage.data() + static_cast<std::size_t>(rel) * chunk,
+                send.data(), chunk * sizeof(double));
+
+  // Reverse of the recursive-halving scatter: replay the split sequence
+  // bottom-up, merging ranges.
+  struct Split {
+    int lo, mid, hi;
+    bool sender;  // I am `mid` at this level and send [mid,hi) to lo
+  };
+  std::vector<Split> splits;
+  {
+    int lo = 0, hi = p;
+    while (hi - lo > 1) {
+      const int mid = lo + (hi - lo + 1) / 2;
+      if (rel < mid) {
+        splits.push_back({lo, mid, hi, false});
+        hi = mid;
+      } else {
+        splits.push_back({lo, mid, hi, rel == mid});
+        lo = mid;
+      }
+    }
+  }
+  for (auto it = splits.rbegin(); it != splits.rend(); ++it) {
+    const std::size_t off = static_cast<std::size_t>(it->mid) * chunk;
+    const std::size_t len =
+        static_cast<std::size_t>(it->hi - it->mid) * chunk;
+    if (it->sender) {
+      co_await csend(comm, abs_rank(it->lo), stage.slice(off, len), tag);
+      break;  // after sending up, this rank is done
+    }
+    if (rel == it->lo && len > 0)
+      co_await crecv(comm, abs_rank(it->mid), stage.slice(off, len), tag);
+  }
+
+  if (rel == 0 && real && chunk > 0) {
+    // stage[relative r] -> recv_all[absolute abs_rank(r)].
+    for (int r = 0; r < p; ++r)
+      std::memcpy(
+          recv_all.data() + static_cast<std::size_t>(abs_rank(r)) * chunk,
+          stage_storage.data() + static_cast<std::size_t>(r) * chunk,
+          chunk * sizeof(double));
+  }
+}
+
+desim::Task<void> scatter(Comm comm, int root, ConstBuf send_all, Buf recv) {
+  const int p = comm.size();
+  HS_REQUIRE(root >= 0 && root < p);
+  const int rel = (comm.rank() - root + p) % p;
+  auto abs_rank = [&](int r) { return (r + root) % p; };
+  const std::size_t chunk = recv.count();
+  const bool real = recv.is_real();
+
+  if (p == 1) {
+    if (real && chunk > 0 && recv.data() != send_all.data())
+      std::memcpy(recv.data(), send_all.data(), chunk * sizeof(double));
+    co_return;
+  }
+
+  Machine& machine = comm.machine();
+  const std::uint64_t seq =
+      machine.next_collective_seq(comm.context(), comm.rank());
+
+  if (machine.config().collective_mode == CollectiveMode::ClosedForm) {
+    desim::Gate gate(comm.engine());
+    machine.join_data_collective(Machine::SiteKind::Scatter, comm.context(),
+                                 seq, &gate, comm.rank(), root,
+                                 comm.rank() == root ? send_all : ConstBuf{},
+                                 recv);
+    co_await gate.wait();
+    co_return;
+  }
+
+  const int tag = collective_tag(kPhaseScatter, seq);
+
+  // Root re-stages into relative order so ranges are contiguous.
+  std::vector<double> stage_storage;
+  if (real && chunk > 0) stage_storage.assign(chunk * static_cast<std::size_t>(p), 0.0);
+  Buf stage = real ? Buf(std::span<double>(stage_storage))
+                   : Buf::phantom(chunk * static_cast<std::size_t>(p));
+  if (rel == 0 && real && chunk > 0) {
+    HS_REQUIRE_MSG(send_all.count() == chunk * static_cast<std::size_t>(p),
+                   "scatter: send buffer must hold size*recv.count elements");
+    for (int r = 0; r < p; ++r)
+      std::memcpy(stage_storage.data() + static_cast<std::size_t>(r) * chunk,
+                  send_all.data() + static_cast<std::size_t>(abs_rank(r)) * chunk,
+                  chunk * sizeof(double));
+  }
+
+  int lo = 0, hi = p;
+  while (hi - lo > 1) {
+    const int mid = lo + (hi - lo + 1) / 2;
+    const std::size_t off = static_cast<std::size_t>(mid) * chunk;
+    const std::size_t len = static_cast<std::size_t>(hi - mid) * chunk;
+    if (rel < mid) {
+      if (rel == lo && len > 0)
+        co_await csend(comm, abs_rank(mid), stage.slice(off, len), tag);
+      hi = mid;
+    } else {
+      if (rel == mid && len > 0)
+        co_await crecv(comm, abs_rank(lo), stage.slice(off, len), tag);
+      lo = mid;
+    }
+  }
+
+  if (real && chunk > 0)
+    std::memcpy(recv.data(),
+                stage_storage.data() + static_cast<std::size_t>(rel) * chunk,
+                chunk * sizeof(double));
+}
+
+desim::Task<void> allgather(Comm comm, ConstBuf send, Buf recv_all) {
+  const int p = comm.size();
+  const std::size_t chunk = send.count();
+  HS_REQUIRE_MSG(recv_all.count() == chunk * static_cast<std::size_t>(p),
+                 "allgather: recv buffer must hold size*send.count elements");
+  const int rank = comm.rank();
+  if (send.is_real() && chunk > 0 &&
+      recv_all.data() + static_cast<std::size_t>(rank) * chunk != send.data())
+    std::memcpy(recv_all.data() + static_cast<std::size_t>(rank) * chunk,
+                send.data(), chunk * sizeof(double));
+  if (p == 1) co_return;
+
+  Machine& machine = comm.machine();
+  const std::uint64_t seq =
+      machine.next_collective_seq(comm.context(), comm.rank());
+
+  if (machine.config().collective_mode == CollectiveMode::ClosedForm) {
+    desim::Gate gate(comm.engine());
+    machine.join_data_collective(Machine::SiteKind::Allgather,
+                                 comm.context(), seq, &gate, comm.rank(),
+                                 /*root_index=*/0, send, recv_all);
+    co_await gate.wait();
+    co_return;
+  }
+
+  const int tag = collective_tag(kPhaseAllgather, seq);
+
+  const int right = (rank + 1) % p;
+  const int left = (rank - 1 + p) % p;
+  for (int round = 0; round < p - 1; ++round) {
+    const int send_chunk = ((rank - round) % p + p) % p;
+    const int recv_chunk = ((rank - round - 1) % p + p) % p;
+    Request send_request = comm.isend_internal(
+        right,
+        ConstBuf(recv_all).slice(static_cast<std::size_t>(send_chunk) * chunk,
+                                 chunk),
+        tag);
+    Request recv_request = comm.irecv_internal(
+        left, recv_all.slice(static_cast<std::size_t>(recv_chunk) * chunk, chunk),
+        tag);
+    co_await send_request.wait();
+    co_await recv_request.wait();
+  }
+}
+
+desim::Task<void> barrier(Comm comm) {
+  const int p = comm.size();
+  if (p == 1) co_return;
+  Machine& machine = comm.machine();
+  const std::uint64_t seq =
+      machine.next_collective_seq(comm.context(), comm.rank());
+
+  if (machine.config().collective_mode == CollectiveMode::ClosedForm) {
+    desim::Gate gate(comm.engine());
+    machine.join_barrier(comm.context(), seq, &gate);
+    co_await gate.wait();
+    co_return;
+  }
+
+  // Dissemination barrier: round k exchanges tokens at distance 2^k.
+  const int tag = collective_tag(kPhaseBarrier, seq);
+  const int rank = comm.rank();
+  for (int mask = 1; mask < p; mask <<= 1) {
+    const int to = (rank + mask) % p;
+    const int from = (rank - mask + p) % p;
+    Request send_request = comm.isend_internal(to, ConstBuf{}, tag);
+    Request recv_request = comm.irecv_internal(from, Buf{}, tag);
+    co_await send_request.wait();
+    co_await recv_request.wait();
+  }
+}
+
+}  // namespace hs::mpc

@@ -1,0 +1,65 @@
+// Collective operations, implemented on top of point-to-point transfers.
+//
+// Broadcast offers the algorithm menu the paper discusses (Section II-B):
+// flat tree, binomial tree, van de Geijn scatter + ring allgather,
+// scatter + recursive-doubling allgather, pipelined chain, and an
+// MPICH-style automatic dispatch on (message size, rank count). On a flat
+// Hockney network with power-of-two rank counts, each implementation's
+// simulated completion time matches the closed forms in net/bcast_cost.hpp
+// (asserted by tests), which is what lets CollectiveMode::ClosedForm charge
+// the formula instead of routing O(p) messages at BlueGene/P scale.
+//
+// All collectives follow MPI ordering rules: every member of the
+// communicator must call the same collectives in the same order. Payloads
+// may be phantom (see buffer.hpp).
+#pragma once
+
+#include <optional>
+
+#include "desim/task.hpp"
+#include "mpc/comm.hpp"
+#include "net/bcast_cost.hpp"
+
+namespace hs::mpc {
+
+/// Broadcast `buf` (root's contents to everyone). `algo` defaults to the
+/// machine's configured broadcast algorithm.
+desim::Task<void> bcast(Comm comm, int root, Buf buf,
+                        std::optional<net::BcastAlgo> algo = std::nullopt);
+
+/// Element-wise sum reduction to `root`. `recv` is significant only at the
+/// root and may alias `send` there.
+desim::Task<void> reduce(Comm comm, int root, ConstBuf send, Buf recv);
+
+enum class AllreduceAlgo {
+  ReduceBcast,   // binomial reduce + binomial broadcast (latency-friendly)
+  Rabenseifner,  // recursive-halving reduce-scatter + recursive-doubling
+                 // allgather: bandwidth-optimal (power-of-two ranks; other
+                 // counts fall back to ReduceBcast)
+};
+
+/// Element-wise sum to everyone; `recv` significant everywhere.
+desim::Task<void> allreduce(Comm comm, ConstBuf send, Buf recv,
+                            AllreduceAlgo algo = AllreduceAlgo::ReduceBcast);
+
+/// Recursive-halving reduce-scatter: rank r receives elements
+/// [r*chunk, (r+1)*chunk) of the element-wise sum, chunk = send.count() /
+/// size. Requires size | send.count(); power-of-two ranks take the
+/// recursive-halving path, others reduce-then-scatter.
+desim::Task<void> reduce_scatter(Comm comm, ConstBuf send, Buf recv_chunk);
+
+/// Binomial-tree gather: rank r's `send` lands at recv_all[r*send.count()].
+/// All ranks must pass equally sized `send`; `recv_all` significant at root
+/// with count == size * send.count().
+desim::Task<void> gather(Comm comm, int root, ConstBuf send, Buf recv_all);
+
+/// Inverse of gather (binomial scatter of equal chunks).
+desim::Task<void> scatter(Comm comm, int root, ConstBuf send_all, Buf recv);
+
+/// Ring allgather: every rank ends with all contributions, in rank order.
+desim::Task<void> allgather(Comm comm, ConstBuf send, Buf recv_all);
+
+/// Dissemination barrier.
+desim::Task<void> barrier(Comm comm);
+
+}  // namespace hs::mpc

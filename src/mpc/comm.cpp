@@ -1,0 +1,51 @@
+#include "mpc/comm.hpp"
+
+#include <algorithm>
+
+namespace hs::mpc {
+
+Comm Comm::sub(const std::vector<int>& comm_ranks) const {
+  HS_REQUIRE(!comm_ranks.empty());
+  std::vector<int> world_members;
+  world_members.reserve(comm_ranks.size());
+  int my_new_rank = -1;
+  for (std::size_t i = 0; i < comm_ranks.size(); ++i) {
+    world_members.push_back(world_rank(comm_ranks[i]));
+    if (comm_ranks[i] == rank_) my_new_rank = static_cast<int>(i);
+  }
+  HS_REQUIRE_MSG(my_new_rank >= 0,
+                 "Comm::sub: calling rank must be a member of the new "
+                 "communicator");
+  const int ctx = machine().context_for(world_members);
+  return Comm(machine_, ctx, my_new_rank);
+}
+
+desim::Task<void> Comm::send(int dst, ConstBuf buf, int tag) const {
+  Request request = isend(dst, buf, tag);
+  co_await request.wait();
+}
+
+desim::Task<void> Comm::recv(int src, Buf buf, int tag) const {
+  Request request = irecv(src, buf, tag);
+  co_await request.wait();
+}
+
+desim::Task<void> Comm::sendrecv(int dst, ConstBuf send_buf, int src,
+                                 Buf recv_buf, int send_tag,
+                                 int recv_tag) const {
+  Request send_request = isend(dst, send_buf, send_tag);
+  Request recv_request = irecv(src, recv_buf, recv_tag);
+  co_await send_request.wait();
+  co_await recv_request.wait();
+}
+
+desim::Task<void> wait_all(Request& a, Request& b) {
+  co_await a.wait();
+  co_await b.wait();
+}
+
+desim::Task<void> wait_all(std::vector<Request>& requests) {
+  for (auto& request : requests) co_await request.wait();
+}
+
+}  // namespace hs::mpc

@@ -1,0 +1,398 @@
+#include "mpc/machine.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/csv.hpp"
+#include "mpc/comm.hpp"
+
+namespace hs::mpc {
+
+Machine::Machine(desim::Engine& engine,
+                 std::shared_ptr<const net::NetworkModel> net,
+                 MachineConfig config)
+    : engine_(&engine), net_(std::move(net)), config_(config) {
+  HS_REQUIRE(net_ != nullptr);
+  HS_REQUIRE(config_.ranks >= 1);
+  HS_REQUIRE(config_.gamma_flop >= 0.0);
+  hockney_ = dynamic_cast<const net::HockneyModel*>(net_.get());
+  HS_REQUIRE_MSG(
+      config_.collective_mode != CollectiveMode::ClosedForm || hockney_,
+      "ClosedForm collectives require a homogeneous HockneyModel network; "
+      "use PointToPoint mode with topology-aware models");
+  ports_.resize(static_cast<std::size_t>(config_.ranks));
+  // Context 0 is the world communicator.
+  std::vector<int> world_members(static_cast<std::size_t>(config_.ranks));
+  for (int r = 0; r < config_.ranks; ++r)
+    world_members[static_cast<std::size_t>(r)] = r;
+  context_for(world_members);
+}
+
+double Machine::alpha() const {
+  HS_REQUIRE_MSG(hockney_, "alpha() requires a HockneyModel network");
+  return hockney_->alpha();
+}
+
+double Machine::beta() const {
+  HS_REQUIRE_MSG(hockney_, "beta() requires a HockneyModel network");
+  return hockney_->beta();
+}
+
+Comm Machine::world(int self) {
+  HS_REQUIRE(self >= 0 && self < config_.ranks);
+  return Comm(this, /*ctx=*/0, /*rank=*/self);
+}
+
+Machine::MatchKey Machine::make_key(int src, int dst, int ctx, int tag) {
+  const auto u = [](int v) {
+    return static_cast<std::uint64_t>(static_cast<std::uint32_t>(v));
+  };
+  return {(u(src) << 32) | u(dst), (u(ctx) << 32) | u(tag)};
+}
+
+double Machine::commit_transfer(int src, int dst, int ctx, int tag,
+                                double send_post, double recv_post,
+                                ConstBuf send_buf, Buf recv_buf) {
+  HS_REQUIRE_MSG(send_buf.count() == recv_buf.count(),
+                 "send/recv size mismatch: " << send_buf.count() << " vs "
+                                             << recv_buf.count()
+                                             << " elements (src=" << src
+                                             << " dst=" << dst << ")");
+  HS_REQUIRE_MSG(send_buf.is_real() == recv_buf.is_real(),
+                 "mixing real and phantom payloads in one transfer");
+  auto& src_port = ports_[static_cast<std::size_t>(src)];
+  auto& dst_port = ports_[static_cast<std::size_t>(dst)];
+  const double start = std::max({send_post, recv_post, src_port.send_free,
+                                 dst_port.recv_free});
+  const double completion =
+      start + net_->transfer_time(src, dst, send_buf.bytes());
+  src_port.send_free = completion;
+  dst_port.recv_free = completion;
+  if (send_buf.is_real() && send_buf.count() > 0)
+    std::memcpy(recv_buf.data(), send_buf.data(),
+                send_buf.count() * sizeof(double));
+  ++messages_;
+  bytes_ += send_buf.bytes();
+  if (transfer_log_ != nullptr)
+    transfer_log_->record(
+        {start, completion, src, dst, send_buf.bytes(), ctx, tag});
+  return completion;
+}
+
+void TransferLog::write_csv(std::ostream& out) const {
+  CsvWriter csv(out);
+  csv.header({"start", "end", "src", "dst", "bytes", "ctx", "tag"});
+  for (const auto& record : records_)
+    csv.row(record.start, record.end, record.src, record.dst,
+            static_cast<long long>(record.bytes), record.ctx, record.tag);
+}
+
+Request Machine::isend(int src, int dst, int ctx, int tag, ConstBuf buf) {
+  HS_REQUIRE(src >= 0 && src < config_.ranks);
+  HS_REQUIRE(dst >= 0 && dst < config_.ranks);
+  HS_REQUIRE_MSG(src != dst, "self-messages are not modeled; restructure the "
+                             "algorithm to skip local transfers");
+  Request request(*engine_);
+  const MatchKey key = make_key(src, dst, ctx, tag);
+  auto recv_it = pending_recvs_.find(key);
+  if (recv_it != pending_recvs_.end() && !recv_it->second.empty()) {
+    PendingRecv recv = recv_it->second.front();
+    recv_it->second.pop_front();
+    if (recv_it->second.empty()) pending_recvs_.erase(recv_it);
+    const double completion = commit_transfer(
+        src, dst, ctx, tag, engine_->now(), recv.post_time, buf, recv.buf);
+    recv.gate->fire_at(completion);
+    request.gate()->fire_at(completion);
+  } else {
+    pending_sends_[key].push_back({engine_->now(), buf, request.gate()});
+  }
+  return request;
+}
+
+Request Machine::irecv(int src, int dst, int ctx, int tag, Buf buf) {
+  HS_REQUIRE(src >= 0 && src < config_.ranks);
+  HS_REQUIRE(dst >= 0 && dst < config_.ranks);
+  HS_REQUIRE_MSG(src != dst, "self-messages are not modeled; restructure the "
+                             "algorithm to skip local transfers");
+  Request request(*engine_);
+  const MatchKey key = make_key(src, dst, ctx, tag);
+  auto send_it = pending_sends_.find(key);
+  if (send_it != pending_sends_.end() && !send_it->second.empty()) {
+    PendingSend send = send_it->second.front();
+    send_it->second.pop_front();
+    if (send_it->second.empty()) pending_sends_.erase(send_it);
+    const double completion = commit_transfer(
+        src, dst, ctx, tag, send.post_time, engine_->now(), send.buf, buf);
+    send.gate->fire_at(completion);
+    request.gate()->fire_at(completion);
+  } else {
+    pending_recvs_[key].push_back({engine_->now(), buf, request.gate()});
+  }
+  return request;
+}
+
+int Machine::context_for(const std::vector<int>& world_members) {
+  HS_REQUIRE(!world_members.empty());
+  for (int member : world_members)
+    HS_REQUIRE(member >= 0 && member < config_.ranks);
+  auto [it, inserted] =
+      context_ids_.try_emplace(world_members, static_cast<int>(contexts_.size()));
+  if (inserted) {
+    Context ctx;
+    ctx.members = world_members;
+    ctx.op_seq.assign(world_members.size(), 0);
+    contexts_.push_back(std::move(ctx));
+  }
+  return it->second;
+}
+
+const std::vector<int>& Machine::context_members(int ctx) const {
+  HS_REQUIRE(ctx >= 0 && ctx < static_cast<int>(contexts_.size()));
+  return contexts_[static_cast<std::size_t>(ctx)].members;
+}
+
+std::uint64_t Machine::next_collective_seq(int ctx, int member_index) {
+  auto& context = contexts_[static_cast<std::size_t>(ctx)];
+  HS_REQUIRE(member_index >= 0 &&
+             member_index < static_cast<int>(context.members.size()));
+  return context.op_seq[static_cast<std::size_t>(member_index)]++;
+}
+
+Machine::Site& Machine::site_for(int ctx, std::uint64_t seq, SiteKind kind,
+                                 int expected) {
+  const std::uint64_t key = (static_cast<std::uint64_t>(ctx) << 40) | seq;
+  Site& site = sites_[key];
+  if (site.expected == 0) {
+    site.kind = kind;
+    site.expected = expected;
+    site.participants.reserve(static_cast<std::size_t>(expected));
+  }
+  HS_REQUIRE_MSG(site.kind == kind,
+                 "collective mismatch: ranks issued different collectives at "
+                 "the same sequence point");
+  site.max_entry = std::max(site.max_entry, engine_->now());
+  return site;
+}
+
+void Machine::complete_site(std::uint64_t key, Site& site) {
+  double duration = 0.0;
+  const int p = site.expected;
+  const std::uint64_t total_bytes =
+      site.bytes * static_cast<std::uint64_t>(p);
+  switch (site.kind) {
+    case SiteKind::Bcast:
+      duration = net::bcast_time(site.algo, p, site.bytes, alpha(), beta());
+      break;
+    case SiteKind::Barrier:
+      duration = net::barrier_time(p, alpha());
+      break;
+    case SiteKind::Reduce:
+      duration = net::reduce_time(p, site.bytes, alpha(), beta());
+      break;
+    case SiteKind::Allreduce:
+      duration = net::allreduce_time(p, site.bytes, alpha(), beta());
+      break;
+    case SiteKind::AllreduceRabenseifner:
+      duration =
+          net::allreduce_rabenseifner_time(p, site.bytes, alpha(), beta());
+      break;
+    case SiteKind::ReduceScatter:
+      duration = net::reduce_scatter_time(p, site.bytes, alpha(), beta());
+      break;
+    case SiteKind::Gather:
+      duration = net::gather_time(p, total_bytes, alpha(), beta());
+      break;
+    case SiteKind::Scatter:
+      duration = net::scatter_time(p, total_bytes, alpha(), beta());
+      break;
+    case SiteKind::Allgather:
+      duration = net::allgather_time(p, total_bytes, alpha(), beta());
+      break;
+  }
+  const double completion = site.max_entry + duration;
+  deliver_site_payloads(site);
+  messages_ += static_cast<std::uint64_t>(p > 1 ? p - 1 : 0);
+  bytes_ += site.bytes * static_cast<std::uint64_t>(p > 1 ? p - 1 : 0);
+  for (auto& participant : site.participants)
+    participant.gate->fire_at(completion);
+  sites_.erase(key);
+}
+
+void Machine::deliver_site_payloads(Site& site) {
+  switch (site.kind) {
+    case SiteKind::Barrier:
+      return;
+    case SiteKind::Bcast: {
+      if (!site.root_buf.is_real() || site.root_buf.count() == 0) return;
+      for (auto& participant : site.participants) {
+        Buf& buf = participant.recv;
+        if (buf.data() != nullptr && buf.data() != site.root_buf.data())
+          std::memcpy(buf.data(), site.root_buf.data(),
+                      site.root_buf.count() * sizeof(double));
+      }
+      return;
+    }
+    case SiteKind::Reduce:
+    case SiteKind::Allreduce:
+    case SiteKind::AllreduceRabenseifner: {
+      // Sum all real contributions; deliver to the root (Reduce) or to
+      // every member (Allreduce).
+      const std::size_t count = site.participants.empty()
+                                    ? 0
+                                    : site.participants.front().send.count();
+      if (count == 0) return;
+      bool any_real = false;
+      std::vector<double> sum(count, 0.0);
+      for (auto& participant : site.participants) {
+        if (!participant.send.is_real() || participant.send.data() == nullptr)
+          continue;
+        any_real = true;
+        const double* src = participant.send.data();
+        for (std::size_t i = 0; i < count; ++i) sum[i] += src[i];
+      }
+      if (!any_real) return;
+      for (auto& participant : site.participants) {
+        const bool wants_result =
+            site.kind != SiteKind::Reduce ||
+            participant.member_index == site.root_index;
+        if (wants_result && participant.recv.data() != nullptr)
+          std::memcpy(participant.recv.data(), sum.data(),
+                      count * sizeof(double));
+      }
+      return;
+    }
+    case SiteKind::ReduceScatter: {
+      const std::size_t count = site.participants.empty()
+                                    ? 0
+                                    : site.participants.front().send.count();
+      if (count == 0) return;
+      bool any_real = false;
+      std::vector<double> sum(count, 0.0);
+      for (auto& participant : site.participants) {
+        if (!participant.send.is_real() || participant.send.data() == nullptr)
+          continue;
+        any_real = true;
+        const double* src = participant.send.data();
+        for (std::size_t i = 0; i < count; ++i) sum[i] += src[i];
+      }
+      if (!any_real) return;
+      const std::size_t chunk =
+          count / static_cast<std::size_t>(site.expected);
+      for (auto& participant : site.participants) {
+        if (participant.recv.data() == nullptr) continue;
+        std::memcpy(participant.recv.data(),
+                    sum.data() +
+                        static_cast<std::size_t>(participant.member_index) *
+                            chunk,
+                    chunk * sizeof(double));
+      }
+      return;
+    }
+    case SiteKind::Gather: {
+      // Root's recv gets chunk j at offset j*chunk.
+      Site::Participant* root = nullptr;
+      for (auto& participant : site.participants)
+        if (participant.member_index == site.root_index) root = &participant;
+      if (root == nullptr || root->recv.data() == nullptr) return;
+      for (auto& participant : site.participants) {
+        if (participant.send.data() == nullptr) continue;
+        const std::size_t chunk = participant.send.count();
+        std::memcpy(root->recv.data() +
+                        static_cast<std::size_t>(participant.member_index) *
+                            chunk,
+                    participant.send.data(), chunk * sizeof(double));
+      }
+      return;
+    }
+    case SiteKind::Scatter: {
+      Site::Participant* root = nullptr;
+      for (auto& participant : site.participants)
+        if (participant.member_index == site.root_index) root = &participant;
+      if (root == nullptr || root->send.data() == nullptr) return;
+      for (auto& participant : site.participants) {
+        if (participant.recv.data() == nullptr) continue;
+        const std::size_t chunk = participant.recv.count();
+        std::memcpy(participant.recv.data(),
+                    root->send.data() +
+                        static_cast<std::size_t>(participant.member_index) *
+                            chunk,
+                    chunk * sizeof(double));
+      }
+      return;
+    }
+    case SiteKind::Allgather: {
+      for (auto& receiver : site.participants) {
+        if (receiver.recv.data() == nullptr) continue;
+        for (auto& sender : site.participants) {
+          if (sender.send.data() == nullptr) continue;
+          const std::size_t chunk = sender.send.count();
+          std::memcpy(receiver.recv.data() +
+                          static_cast<std::size_t>(sender.member_index) *
+                              chunk,
+                      sender.send.data(), chunk * sizeof(double));
+        }
+      }
+      return;
+    }
+  }
+}
+
+void Machine::join_bcast(int ctx, std::uint64_t seq, desim::Gate* gate,
+                         int root_index, ConstBuf send_view, Buf recv_view,
+                         net::BcastAlgo algo) {
+  auto& context = contexts_[static_cast<std::size_t>(ctx)];
+  Site& site = site_for(ctx, seq, SiteKind::Bcast,
+                        static_cast<int>(context.members.size()));
+  site.root_index = root_index;
+  site.algo = algo;
+  // The root is the participant carrying the send view (non-roots pass an
+  // empty ConstBuf).
+  if (send_view.data() != nullptr || send_view.count() > 0) {
+    site.root_buf = send_view;
+    site.bytes = send_view.bytes();
+  }
+  site.participants.push_back({gate, -1, ConstBuf{}, recv_view});
+  ++site.arrived;
+  if (site.arrived == site.expected) {
+    const std::uint64_t key =
+        (static_cast<std::uint64_t>(ctx) << 40) | seq;
+    complete_site(key, site);
+  }
+}
+
+void Machine::join_barrier(int ctx, std::uint64_t seq, desim::Gate* gate) {
+  auto& context = contexts_[static_cast<std::size_t>(ctx)];
+  Site& site = site_for(ctx, seq, SiteKind::Barrier,
+                        static_cast<int>(context.members.size()));
+  site.participants.push_back({gate, -1, ConstBuf{}, Buf{}});
+  ++site.arrived;
+  if (site.arrived == site.expected) {
+    const std::uint64_t key =
+        (static_cast<std::uint64_t>(ctx) << 40) | seq;
+    complete_site(key, site);
+  }
+}
+
+void Machine::join_data_collective(SiteKind kind, int ctx, std::uint64_t seq,
+                                   desim::Gate* gate, int member_index,
+                                   int root_index, ConstBuf send_view,
+                                   Buf recv_view) {
+  auto& context = contexts_[static_cast<std::size_t>(ctx)];
+  Site& site = site_for(ctx, seq, kind,
+                        static_cast<int>(context.members.size()));
+  site.root_index = root_index;
+  // Per-member payload size: the contribution size for reduce-family and
+  // gather/allgather, the received chunk for scatter.
+  const std::uint64_t member_bytes =
+      kind == SiteKind::Scatter ? recv_view.bytes() : send_view.bytes();
+  site.bytes = std::max(site.bytes, member_bytes);
+  site.participants.push_back({gate, member_index, send_view, recv_view});
+  ++site.arrived;
+  if (site.arrived == site.expected) {
+    const std::uint64_t key =
+        (static_cast<std::uint64_t>(ctx) << 40) | seq;
+    complete_site(key, site);
+  }
+}
+
+}  // namespace hs::mpc

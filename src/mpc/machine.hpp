@@ -1,0 +1,282 @@
+// The simulated distributed-memory machine.
+//
+// A Machine binds a rank count, a network cost model, and per-rank port
+// state to a discrete-event engine, and provides MPI-like point-to-point
+// semantics:
+//
+//   * isend/irecv are plain function calls that either match an already
+//     posted counterpart or register a pending operation — no coroutine
+//     frame is allocated for a transfer, which keeps 16384-rank runs cheap.
+//   * A transfer's wire time starts when (a) both sides have posted, (b)
+//     the sender's send port is free, and (c) the receiver's receive port
+//     is free — the single-port full-duplex assumption under which the
+//     paper's broadcast cost formulas hold — and lasts
+//     NetworkModel::transfer_time(src, dst, bytes).
+//   * Blocking send/recv are awaitables over the same machinery (rendezvous
+//     semantics: the sender resumes when the transfer completes).
+//
+// Collectives (see collectives.hpp) run either as real p2p message trees or,
+// in CollectiveMode::ClosedForm, as one synchronization site per collective
+// charged with the closed-form Hockney cost from net/bcast_cost.hpp.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "desim/engine.hpp"
+#include "mpc/buffer.hpp"
+#include "net/bcast_cost.hpp"
+#include "net/model.hpp"
+
+namespace hs::mpc {
+
+class Comm;
+
+enum class CollectiveMode {
+  PointToPoint,  // collectives route every tree message through the network
+  ClosedForm,    // collectives charge closed-form Hockney costs (bcast/barrier)
+};
+
+struct MachineConfig {
+  int ranks = 1;
+  CollectiveMode collective_mode = CollectiveMode::PointToPoint;
+  /// Default broadcast algorithm for collectives that don't override it.
+  net::BcastAlgo bcast_algo = net::BcastAlgo::MpichAuto;
+  /// Seconds per floating-point operation, used by Machine::compute.
+  double gamma_flop = 0.0;
+};
+
+/// Optional per-transfer event recorder. Attach one to a Machine to dump
+/// a timeline of every committed transfer (virtual start/end, endpoints,
+/// size) — the raw material for Gantt-style visualization and for
+/// debugging overlap schedules.
+struct TransferRecord {
+  double start = 0.0;
+  double end = 0.0;
+  int src = -1;
+  int dst = -1;
+  std::uint64_t bytes = 0;
+  int ctx = 0;
+  int tag = 0;
+};
+
+class TransferLog {
+ public:
+  void record(const TransferRecord& record) { records_.push_back(record); }
+  const std::vector<TransferRecord>& records() const noexcept {
+    return records_;
+  }
+  void clear() { records_.clear(); }
+
+  /// RFC-4180 CSV with a header row.
+  void write_csv(std::ostream& out) const;
+
+ private:
+  std::vector<TransferRecord> records_;
+};
+
+/// Handle returned by isend/irecv; must be waited (or the op must be known
+/// complete) before destruction. Movable, not copyable.
+class Request {
+ public:
+  Request() = default;
+  explicit Request(desim::Engine& engine)
+      : state_(std::make_unique<State>(engine)) {}
+  Request(Request&&) noexcept = default;
+  Request& operator=(Request&&) noexcept = default;
+
+  bool valid() const noexcept { return state_ != nullptr; }
+  bool complete() const noexcept { return state_ && state_->gate.fired(); }
+
+  /// Awaitable: resumes once the transfer has completed.
+  auto wait() {
+    HS_REQUIRE_MSG(state_ != nullptr, "waiting on an empty Request");
+    return state_->gate.wait();
+  }
+
+  desim::Gate* gate() noexcept { return state_ ? &state_->gate : nullptr; }
+
+ private:
+  struct State {
+    explicit State(desim::Engine& engine) : gate(engine) {}
+    desim::Gate gate;
+  };
+  std::unique_ptr<State> state_;
+};
+
+class Machine {
+ public:
+  Machine(desim::Engine& engine, std::shared_ptr<const net::NetworkModel> net,
+          MachineConfig config);
+
+  desim::Engine& engine() noexcept { return *engine_; }
+  int ranks() const noexcept { return config_.ranks; }
+  const MachineConfig& config() const noexcept { return config_; }
+  const net::NetworkModel& network() const noexcept { return *net_; }
+
+  /// Communicator over all ranks; `self` is the calling rank's world rank.
+  Comm world(int self);
+
+  /// Nonblocking point-to-point. Ranks are world ranks; `ctx` is the
+  /// communicator context (cross-context messages never match).
+  Request isend(int src, int dst, int ctx, int tag, ConstBuf buf);
+  Request irecv(int src, int dst, int ctx, int tag, Buf buf);
+
+  /// Awaitable compute charge: `flops * gamma_flop` virtual seconds.
+  auto compute(double flops) {
+    HS_REQUIRE(flops >= 0.0);
+    return engine_->sleep(flops * config_.gamma_flop);
+  }
+
+  /// Hockney parameters for closed-form collectives. Requires the network
+  /// model to be a HockneyModel (enforced at construction when
+  /// CollectiveMode::ClosedForm is selected).
+  double alpha() const;
+  double beta() const;
+
+  // --- internals shared with Comm / collectives -------------------------
+
+  /// Context management: returns the context id for an ordered world-rank
+  /// membership list, creating it on first use. All members calling with
+  /// the same list observe the same id (simulation-level shortcut for
+  /// MPI_Comm_split; charged zero virtual time, as communicator setup is
+  /// excluded from the paper's timings).
+  int context_for(const std::vector<int>& world_members);
+  const std::vector<int>& context_members(int ctx) const;
+
+  /// Per-communicator collective sequence number: every collective call
+  /// consumes exactly one per member, in program order. Point-to-point
+  /// collective implementations embed it in their reserved tags so that
+  /// *concurrent* collectives on one communicator (communication/
+  /// computation overlap) can never cross-match; the closed-form mode uses
+  /// it to key synchronization sites.
+  std::uint64_t next_collective_seq(int ctx, int member_index);
+
+  /// Closed-form collective sites (ClosedForm mode). Each member calls
+  /// join_* once per collective, in program order, and awaits the gate.
+  /// Data semantics are honored for real payloads: broadcast copies the
+  /// root's view everywhere, reduce sums contributions into the root's
+  /// receive view, gather/scatter/allgather move the member-indexed
+  /// chunks.
+  enum class SiteKind {
+    Bcast,
+    Barrier,
+    Reduce,
+    Allreduce,
+    AllreduceRabenseifner,
+    ReduceScatter,
+    Gather,
+    Scatter,
+    Allgather,
+  };
+  void join_bcast(int ctx, std::uint64_t seq, desim::Gate* gate,
+                  int root_index, ConstBuf send_view, Buf recv_view,
+                  net::BcastAlgo algo);
+  void join_barrier(int ctx, std::uint64_t seq, desim::Gate* gate);
+  /// Reduce-family join: `member_index` is the caller's rank in the
+  /// communicator, `send_view` its contribution, `recv_view` where results
+  /// land (semantics per kind; pass an empty Buf where not applicable).
+  void join_data_collective(SiteKind kind, int ctx, std::uint64_t seq,
+                            desim::Gate* gate, int member_index,
+                            int root_index, ConstBuf send_view,
+                            Buf recv_view);
+
+  /// Statistics: total messages matched and bytes charged (wire bytes).
+  std::uint64_t messages_transferred() const noexcept { return messages_; }
+  std::uint64_t bytes_transferred() const noexcept { return bytes_; }
+
+  /// Attach (or detach with nullptr) a transfer recorder; the log must
+  /// outlive the simulation. Point-to-point transfers only — closed-form
+  /// collectives are single synthetic events and are not logged.
+  void set_transfer_log(TransferLog* log) noexcept { transfer_log_ = log; }
+
+ private:
+  struct PortState {
+    double send_free = 0.0;
+    double recv_free = 0.0;
+  };
+
+  struct PendingSend {
+    double post_time;
+    ConstBuf buf;
+    desim::Gate* gate;
+  };
+
+  struct PendingRecv {
+    double post_time;
+    Buf buf;
+    desim::Gate* gate;
+  };
+
+  struct Context {
+    std::vector<int> members;            // world ranks in comm-rank order
+    std::vector<std::uint64_t> op_seq;   // per-member collective sequence
+  };
+
+  struct Site {
+    SiteKind kind = SiteKind::Barrier;
+    int expected = 0;
+    int arrived = 0;
+    double max_entry = 0.0;
+    int root_index = -1;
+    net::BcastAlgo algo = net::BcastAlgo::Binomial;
+    ConstBuf root_buf;
+    std::uint64_t bytes = 0;  // per-member payload bytes
+    struct Participant {
+      desim::Gate* gate = nullptr;
+      int member_index = -1;
+      ConstBuf send;
+      Buf recv;
+    };
+    std::vector<Participant> participants;
+  };
+
+  // Matching key: (ctx, src, dst, tag) packed for the hash map.
+  struct MatchKey {
+    std::uint64_t hi;
+    std::uint64_t lo;
+    bool operator==(const MatchKey&) const = default;
+  };
+  struct MatchKeyHash {
+    std::size_t operator()(const MatchKey& k) const noexcept {
+      std::uint64_t h = k.hi * 0x9e3779b97f4a7c15ULL;
+      h ^= k.lo + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+      return static_cast<std::size_t>(h);
+    }
+  };
+  static MatchKey make_key(int src, int dst, int ctx, int tag);
+
+  /// Compute and commit one transfer: returns completion time, updates
+  /// ports, copies data when both sides are real.
+  double commit_transfer(int src, int dst, int ctx, int tag,
+                         double send_post, double recv_post,
+                         ConstBuf send_buf, Buf recv_buf);
+
+  Site& site_for(int ctx, std::uint64_t seq, SiteKind kind, int expected);
+  void complete_site(std::uint64_t key, Site& site);
+  void deliver_site_payloads(Site& site);
+
+  desim::Engine* engine_;
+  std::shared_ptr<const net::NetworkModel> net_;
+  MachineConfig config_;
+  const net::HockneyModel* hockney_ = nullptr;  // non-null iff Hockney
+  std::vector<PortState> ports_;
+  std::unordered_map<MatchKey, std::deque<PendingSend>, MatchKeyHash>
+      pending_sends_;
+  std::unordered_map<MatchKey, std::deque<PendingRecv>, MatchKeyHash>
+      pending_recvs_;
+  std::vector<Context> contexts_;
+  std::map<std::vector<int>, int> context_ids_;
+  std::unordered_map<std::uint64_t, Site> sites_;
+  std::uint64_t messages_ = 0;
+  std::uint64_t bytes_ = 0;
+  TransferLog* transfer_log_ = nullptr;
+};
+
+}  // namespace hs::mpc

@@ -1,0 +1,21 @@
+#include "net/model.hpp"
+
+#include "common/rng.hpp"
+
+namespace hs::net {
+
+double NoisyModel::transfer_time(int src, int dst,
+                                 std::uint64_t bytes) const {
+  const double base_time = base_->transfer_time(src, dst, bytes);
+  // Hash (seed, src, dst, bytes) into a stable perturbation. Two transfers
+  // with identical parameters perturb identically within one run, which is
+  // the determinism the engine requires; across runs the seed changes.
+  std::uint64_t h = seed_;
+  h ^= splitmix64(h) + static_cast<std::uint64_t>(static_cast<std::uint32_t>(src));
+  std::uint64_t state = h + (static_cast<std::uint64_t>(static_cast<std::uint32_t>(dst)) << 32) + bytes;
+  const std::uint64_t mixed = splitmix64(state);
+  const double u = 2.0 * (static_cast<double>(mixed >> 11) * 0x1.0p-53) - 1.0;
+  return base_time * (1.0 + sigma_ * u);
+}
+
+}  // namespace hs::net

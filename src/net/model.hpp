@@ -1,0 +1,95 @@
+// Point-to-point network cost models.
+//
+// A NetworkModel answers one question: how long does a message of `bytes`
+// take from rank `src` to rank `dst` once both endpoints' ports are free.
+// The paper uses Hockney's model T(m) = alpha + m*beta with homogeneous
+// links; we also provide a LogGP-flavoured affine model, topology-aware
+// models (3-D torus as on BlueGene/P, two-level fat-tree/cluster), and a
+// deterministic multiplicative-noise decorator for statistics plumbing.
+//
+// All models are required to be deterministic functions of (src, dst,
+// bytes) — NoisyModel keeps determinism by hashing (src, dst, sequence
+// number) through a counter-free per-pair key.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "common/check.hpp"
+
+namespace hs::net {
+
+class NetworkModel {
+ public:
+  virtual ~NetworkModel() = default;
+
+  /// Transfer time (seconds) of `bytes` from `src` to `dst`, excluding any
+  /// queueing on busy ports (the simulator accounts for that separately).
+  virtual double transfer_time(int src, int dst, std::uint64_t bytes) const = 0;
+};
+
+/// Hockney: T = alpha + bytes * beta, uniform across all pairs.
+class HockneyModel final : public NetworkModel {
+ public:
+  HockneyModel(double alpha, double beta_per_byte)
+      : alpha_(alpha), beta_(beta_per_byte) {
+    HS_REQUIRE(alpha >= 0.0 && beta_per_byte >= 0.0);
+  }
+
+  double transfer_time(int /*src*/, int /*dst*/,
+                       std::uint64_t bytes) const override {
+    return alpha_ + static_cast<double>(bytes) * beta_;
+  }
+
+  double alpha() const noexcept { return alpha_; }
+  double beta() const noexcept { return beta_; }
+
+ private:
+  double alpha_;
+  double beta_;
+};
+
+/// LogGP-flavoured affine model: T = L + 2*o + (bytes - 1) * G for long
+/// messages (g is folded into port serialization, which the simulator
+/// already enforces). Kept affine so the paper's L(p)/W(p) analysis applies.
+class LogGPModel final : public NetworkModel {
+ public:
+  LogGPModel(double latency, double overhead, double gap_per_byte)
+      : latency_(latency), overhead_(overhead), gap_(gap_per_byte) {
+    HS_REQUIRE(latency >= 0.0 && overhead >= 0.0 && gap_per_byte >= 0.0);
+  }
+
+  double transfer_time(int /*src*/, int /*dst*/,
+                       std::uint64_t bytes) const override {
+    const double payload =
+        bytes == 0 ? 0.0 : static_cast<double>(bytes - 1) * gap_;
+    return latency_ + 2.0 * overhead_ + payload;
+  }
+
+ private:
+  double latency_;
+  double overhead_;
+  double gap_;
+};
+
+/// Multiplicative deterministic noise: T' = T * (1 + sigma * u(src,dst))
+/// where u is a hash-derived value in [-1, 1). Used by benches that report
+/// mean/stddev over "repetitions" (each repetition re-seeds).
+class NoisyModel final : public NetworkModel {
+ public:
+  NoisyModel(std::shared_ptr<const NetworkModel> base, double sigma,
+             std::uint64_t seed)
+      : base_(std::move(base)), sigma_(sigma), seed_(seed) {
+    HS_REQUIRE(base_ != nullptr);
+    HS_REQUIRE(sigma >= 0.0 && sigma < 1.0);
+  }
+
+  double transfer_time(int src, int dst, std::uint64_t bytes) const override;
+
+ private:
+  std::shared_ptr<const NetworkModel> base_;
+  double sigma_;
+  std::uint64_t seed_;
+};
+
+}  // namespace hs::net

@@ -1,0 +1,90 @@
+#include "net/platform.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace hs::net {
+
+Platform Platform::grid5000() {
+  // Graphene (Nancy): 1 Gb Ethernet, MPICH-2. The paper's validation uses
+  // alpha = 1e-4 s and reciprocal bandwidth 1e-9 *per element* (its
+  // formulas count message sizes in matrix elements; see EXPERIMENTS.md),
+  // i.e. 1.25e-10 s per byte here. Per-core compute rate for the Intel
+  // Xeon X3440 nodes with MKL DGEMM is ~8 Gflop/s.
+  return {"grid5000", 1e-4, 1.25e-10, 1.25e-10, 128};
+}
+
+Platform Platform::bluegene_p() {
+  // Shaheen BG/P, VN mode over the 3-D torus. alpha = 3e-6 s, reciprocal
+  // bandwidth 1e-9 per element = 1.25e-10 s/B (with this convention the
+  // paper's alpha/beta > 2nb/p check reproduces: 3000 > 2048); ~2.5
+  // Gflop/s effective DGEMM per core (derived from the paper's Figure 8
+  // computation time).
+  return {"bluegene-p", 3e-6, 1.25e-10, 4e-10, 16384};
+}
+
+Platform Platform::exascale() {
+  // 2012 exascale roadmap numbers used by the paper: 500 ns latency,
+  // 100 GB/s links (reciprocal bandwidth 1e-11 per element under the
+  // paper's unit convention), 1e18 flop/s aggregate over 2^20 processors.
+  const double aggregate_flops = 1e18;
+  const double ranks = 1048576.0;
+  return {"exascale", 500e-9, 1e-11 / 8.0, ranks / aggregate_flops, 1 << 20};
+}
+
+Platform Platform::grid5000_calibrated() {
+  // Fitted to the paper's measured SUMMA communication times on Graphene
+  // (23 s at b=64 and 4.53 s at b=512, n=8192, p=128) under the van de
+  // Geijn broadcast: the latency difference between the two block sizes
+  // pins alpha_eff = 5.7e-3 s, the residual bandwidth share pins
+  // beta_eff = 1.02e-8 s/B (about 12 MB/s effective -- TCP incast on 1 GbE).
+  Platform p = grid5000();
+  p.name = "grid5000-calibrated";
+  p.alpha = 5.7e-3;
+  p.beta = 1.02e-8;
+  return p;
+}
+
+Platform Platform::bluegene_p_calibrated() {
+  // Fitted to the paper's measured SUMMA communication time on Shaheen
+  // (36.46 s at p=16384, n=65536, b=256) under the van de Geijn broadcast,
+  // keeping the stated reciprocal bandwidth: alpha_eff = 5.3e-4 s.
+  Platform p = bluegene_p();
+  p.name = "bluegene-p-calibrated";
+  p.alpha = 5.3e-4;
+  p.beta = 1.25e-10;  // paper's 1e-9 interpreted per element (8 B)
+  return p;
+}
+
+Platform Platform::by_name(std::string_view name) {
+  if (name == "grid5000") return grid5000();
+  if (name == "bluegene-p" || name == "bgp") return bluegene_p();
+  if (name == "exascale") return exascale();
+  if (name == "grid5000-calibrated") return grid5000_calibrated();
+  if (name == "bluegene-p-calibrated" || name == "bgp-calibrated")
+    return bluegene_p_calibrated();
+  HS_REQUIRE_MSG(false, "unknown platform '" << name
+                        << "' (expected grid5000|bluegene-p|exascale)");
+  return {};
+}
+
+std::shared_ptr<const Torus3DModel> make_bgp_torus(int ranks, double alpha,
+                                                   double hop_latency,
+                                                   double beta) {
+  HS_REQUIRE(ranks >= 1);
+  constexpr int kRanksPerNode = 4;  // VN mode
+  const int nodes = (ranks + kRanksPerNode - 1) / kRanksPerNode;
+  // Near-cubic factorization x >= y >= z with x*y*z >= nodes.
+  int z = static_cast<int>(std::cbrt(static_cast<double>(nodes)));
+  while (z > 1 && nodes % z != 0) --z;
+  const int rest = nodes / z;
+  int y = static_cast<int>(std::sqrt(static_cast<double>(rest)));
+  while (y > 1 && rest % y != 0) --y;
+  const int x = rest / y;
+  return std::make_shared<Torus3DModel>(std::array<int, 3>{x, y, z},
+                                        kRanksPerNode, alpha, hop_latency,
+                                        beta);
+}
+
+}  // namespace hs::net

@@ -1,0 +1,66 @@
+// Platform presets: the three machines the paper evaluates or predicts on.
+//
+// Parameters come straight from the paper's model-validation sections:
+//   Grid5000 Graphene:  alpha = 1e-4 s,  beta = 1e-9 s/B
+//   BlueGene/P Shaheen: alpha = 3e-6 s,  beta = 1e-9 s/B
+//   Exascale roadmap:   alpha = 500 ns,  beta = 1/(100 GB/s), 1e18 flop/s
+//                       over 2^20 processors
+// gamma_flop (seconds per floating-point operation) for BG/P is derived
+// from the paper's own Figure 8: SUMMA computation time ~13.7 s for
+// 2*65536^3/16384 flops per core gives ~2.5 Gflop/s per core.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "net/model.hpp"
+#include "net/topology.hpp"
+
+namespace hs::net {
+
+struct Platform {
+  std::string name;
+  double alpha = 0.0;       // point-to-point latency, seconds
+  double beta = 0.0;        // reciprocal bandwidth, seconds per byte
+  double gamma_flop = 0.0;  // seconds per floating-point operation
+  int default_ranks = 0;    // the processor count the paper reports on
+
+  /// Flat homogeneous network with this platform's Hockney parameters.
+  std::shared_ptr<const NetworkModel> make_network() const {
+    return std::make_shared<HockneyModel>(alpha, beta);
+  }
+
+  /// Effective per-rank flop rate.
+  double flops_per_second() const { return 1.0 / gamma_flop; }
+
+  static Platform grid5000();
+  static Platform bluegene_p();
+  static Platform exascale();
+
+  /// Calibrated presets: the raw Hockney parameters above underpredict the
+  /// communication times the paper *measures* by 1-2 orders of magnitude
+  /// (real MPI broadcasts on Ethernet/torus suffer software overheads and
+  /// contention a contention-free model omits; the paper itself only
+  /// validates the sign of its model's extremum, not absolute times).
+  /// These presets fit effective (alpha, beta) to the paper's measured
+  /// *SUMMA baseline* only — two Grid5000 points (Fig 5/6 at b=64/512) and
+  /// one BG/P point (Fig 8 SUMMA communication time at 16384 cores) — and
+  /// then predict HSUMMA and every other configuration. The fitting
+  /// procedure is documented in EXPERIMENTS.md.
+  static Platform grid5000_calibrated();
+  static Platform bluegene_p_calibrated();
+
+  /// Lookup by name ("grid5000" | "bluegene-p" | "exascale" |
+  /// "grid5000-calibrated" | "bluegene-p-calibrated").
+  static Platform by_name(std::string_view name);
+};
+
+/// BlueGene/P-like torus for the given rank count (VN mode, 4 ranks/node):
+/// picks near-cubic dimensions automatically.
+std::shared_ptr<const Torus3DModel> make_bgp_torus(int ranks, double alpha,
+                                                   double hop_latency,
+                                                   double beta);
+
+}  // namespace hs::net

@@ -1,0 +1,70 @@
+#include "net/topology.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace hs::net {
+
+Torus3DModel::Torus3DModel(std::array<int, 3> dims, int ranks_per_node,
+                           double alpha, double hop_latency,
+                           double beta_per_byte)
+    : dims_(dims),
+      ranks_per_node_(ranks_per_node),
+      alpha_(alpha),
+      hop_latency_(hop_latency),
+      beta_(beta_per_byte) {
+  HS_REQUIRE(dims[0] > 0 && dims[1] > 0 && dims[2] > 0);
+  HS_REQUIRE(ranks_per_node > 0);
+  HS_REQUIRE(alpha >= 0.0 && hop_latency >= 0.0 && beta_per_byte >= 0.0);
+}
+
+std::array<int, 3> Torus3DModel::node_coords(int rank) const {
+  HS_REQUIRE(rank >= 0 && rank < ranks());
+  const int node = rank / ranks_per_node_;
+  const int x = node % dims_[0];
+  const int y = (node / dims_[0]) % dims_[1];
+  const int z = node / (dims_[0] * dims_[1]);
+  return {x, y, z};
+}
+
+int Torus3DModel::hops(int src, int dst) const {
+  const auto a = node_coords(src);
+  const auto b = node_coords(dst);
+  int total = 0;
+  for (int d = 0; d < 3; ++d) {
+    const int direct = std::abs(a[d] - b[d]);
+    total += std::min(direct, dims_[d] - direct);  // wraparound links
+  }
+  return total;
+}
+
+double Torus3DModel::transfer_time(int src, int dst,
+                                   std::uint64_t bytes) const {
+  const int hop_count = src == dst ? 0 : hops(src, dst);
+  return alpha_ + static_cast<double>(hop_count) * hop_latency_ +
+         static_cast<double>(bytes) * beta_;
+}
+
+TwoLevelModel::TwoLevelModel(int ranks_per_switch, double alpha_intra,
+                             double beta_intra, double alpha_inter,
+                             double beta_inter)
+    : ranks_per_switch_(ranks_per_switch),
+      alpha_intra_(alpha_intra),
+      beta_intra_(beta_intra),
+      alpha_inter_(alpha_inter),
+      beta_inter_(beta_inter) {
+  HS_REQUIRE(ranks_per_switch > 0);
+  HS_REQUIRE(alpha_intra >= 0.0 && beta_intra >= 0.0);
+  HS_REQUIRE(alpha_inter >= alpha_intra);
+  HS_REQUIRE(beta_inter >= 0.0);
+}
+
+double TwoLevelModel::transfer_time(int src, int dst,
+                                    std::uint64_t bytes) const {
+  const bool same_switch = src / ranks_per_switch_ == dst / ranks_per_switch_;
+  const double alpha = same_switch ? alpha_intra_ : alpha_inter_;
+  const double beta = same_switch ? beta_intra_ : beta_inter_;
+  return alpha + static_cast<double>(bytes) * beta;
+}
+
+}  // namespace hs::net

@@ -1,0 +1,61 @@
+// Topology-aware network models.
+//
+// The paper's BlueGene/P experiments run on a 3-D torus, and the "zigzags"
+// in its Figure 8 are attributed (via Balaji et al. [20]) to how logical
+// communication layouts map onto that torus. Torus3DModel charges a per-hop
+// routing latency on top of Hockney, which reproduces the qualitative
+// mapping sensitivity. TwoLevelModel captures commodity clusters (Grid5000):
+// cheap intra-switch links, more expensive inter-switch links.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "net/model.hpp"
+
+namespace hs::net {
+
+/// 3-D torus with X-Y-Z dimension-ordered routing distance.
+/// T = alpha + hops * hop_latency + bytes * beta, where hops is the
+/// Manhattan distance on the torus between the nodes hosting the ranks.
+/// `ranks_per_node` models BG/P VN mode (4 cores per node, hop count 0
+/// between co-located ranks).
+class Torus3DModel final : public NetworkModel {
+ public:
+  Torus3DModel(std::array<int, 3> dims, int ranks_per_node, double alpha,
+               double hop_latency, double beta_per_byte);
+
+  double transfer_time(int src, int dst, std::uint64_t bytes) const override;
+
+  /// Torus coordinates of the node hosting `rank` (row-major rank->node).
+  std::array<int, 3> node_coords(int rank) const;
+  int hops(int src, int dst) const;
+  int nodes() const noexcept { return dims_[0] * dims_[1] * dims_[2]; }
+  int ranks() const noexcept { return nodes() * ranks_per_node_; }
+
+ private:
+  std::array<int, 3> dims_;
+  int ranks_per_node_;
+  double alpha_;
+  double hop_latency_;
+  double beta_;
+};
+
+/// Two-level cluster: `nodes_per_switch` ranks share a switch; messages
+/// crossing switches pay the inter-switch parameters.
+class TwoLevelModel final : public NetworkModel {
+ public:
+  TwoLevelModel(int ranks_per_switch, double alpha_intra, double beta_intra,
+                double alpha_inter, double beta_inter);
+
+  double transfer_time(int src, int dst, std::uint64_t bytes) const override;
+
+ private:
+  int ranks_per_switch_;
+  double alpha_intra_;
+  double beta_intra_;
+  double alpha_inter_;
+  double beta_inter_;
+};
+
+}  // namespace hs::net

@@ -1,0 +1,41 @@
+#include "trace/phase.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/table.hpp"
+
+namespace hs::trace {
+
+TimingReport TimingReport::aggregate(double total_time,
+                                     std::span<const RankStats> per_rank) {
+  TimingReport report;
+  report.total_time = total_time;
+  if (per_rank.empty()) return report;
+  double comm_sum = 0.0;
+  double comp_sum = 0.0;
+  for (const auto& stats : per_rank) {
+    report.max_comm_time = std::max(report.max_comm_time, stats.comm_time);
+    report.max_comp_time = std::max(report.max_comp_time, stats.comp_time);
+    report.max_outer_comm_time =
+        std::max(report.max_outer_comm_time, stats.outer_comm_time);
+    report.max_inner_comm_time =
+        std::max(report.max_inner_comm_time, stats.inner_comm_time);
+    comm_sum += stats.comm_time;
+    comp_sum += stats.comp_time;
+    report.total_flops += stats.flops;
+  }
+  report.mean_comm_time = comm_sum / static_cast<double>(per_rank.size());
+  report.mean_comp_time = comp_sum / static_cast<double>(per_rank.size());
+  return report;
+}
+
+std::string TimingReport::summary() const {
+  std::ostringstream os;
+  os << "total " << hs::format_seconds(total_time) << ", comm(max) "
+     << hs::format_seconds(max_comm_time) << ", comp(max) "
+     << hs::format_seconds(max_comp_time);
+  return os.str();
+}
+
+}  // namespace hs::trace

@@ -1,0 +1,75 @@
+// Per-rank phase accounting (communication vs computation virtual time).
+//
+// The paper reports both overall execution time and communication-only
+// time; every algorithm in hs::core fills one RankStats per rank, and
+// TimingReport aggregates them the way the paper does: the *maximum* over
+// ranks (the critical path determines when the answer is ready).
+//
+// PhaseTimer is coroutine-safe: its destructor runs when the enclosing
+// scope of the coroutine frame exits, even across co_await suspensions, so
+//   { PhaseTimer t(stats.comm_time, engine); co_await bcast(...); }
+// charges exactly the virtual time the broadcast took.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "desim/engine.hpp"
+
+namespace hs::trace {
+
+struct RankStats {
+  double comm_time = 0.0;  // virtual seconds in communication calls
+  double comp_time = 0.0;  // virtual seconds in local compute
+  /// Hierarchical algorithms additionally split communication into the
+  /// inter-group (outer) and intra-group (inner) phases of the paper's
+  /// Tables I/II. Zero for flat algorithms.
+  double outer_comm_time = 0.0;
+  double inner_comm_time = 0.0;
+  std::uint64_t flops = 0;
+
+  RankStats& operator+=(const RankStats& other) noexcept {
+    comm_time += other.comm_time;
+    comp_time += other.comp_time;
+    outer_comm_time += other.outer_comm_time;
+    inner_comm_time += other.inner_comm_time;
+    flops += other.flops;
+    return *this;
+  }
+};
+
+/// Accumulates elapsed virtual time into `slot` on scope exit.
+class PhaseTimer {
+ public:
+  PhaseTimer(double& slot, desim::Engine& engine)
+      : slot_(&slot), engine_(&engine), start_(engine.now()) {}
+  PhaseTimer(const PhaseTimer&) = delete;
+  PhaseTimer& operator=(const PhaseTimer&) = delete;
+  ~PhaseTimer() { *slot_ += engine_->now() - start_; }
+
+ private:
+  double* slot_;
+  desim::Engine* engine_;
+  double start_;
+};
+
+/// Aggregate view over all ranks of one run.
+struct TimingReport {
+  double total_time = 0.0;     // wall (virtual) time of the whole run
+  double max_comm_time = 0.0;  // critical-path communication time
+  double max_comp_time = 0.0;
+  double mean_comm_time = 0.0;
+  double mean_comp_time = 0.0;
+  double max_outer_comm_time = 0.0;  // inter-group phase (hierarchical)
+  double max_inner_comm_time = 0.0;  // intra-group phase
+  std::uint64_t total_flops = 0;
+
+  static TimingReport aggregate(double total_time,
+                                std::span<const RankStats> per_rank);
+
+  std::string summary() const;
+};
+
+}  // namespace hs::trace

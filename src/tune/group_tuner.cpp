@@ -1,0 +1,111 @@
+#include "tune/group_tuner.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "grid/hier_grid.hpp"
+#include <limits>
+#include <numeric>
+
+#include "model/cost_model.hpp"
+
+namespace hs::tune {
+
+namespace {
+
+// Truncated problem: `outer_steps` outer blocks, keeping all divisibility
+// preconditions (k' must be a multiple of lcm(s,t) * B and of lcm(s,t) * b,
+// which B | k' and the b | B precondition already give).
+core::ProblemSpec truncated_problem(const core::ProblemSpec& problem,
+                                    grid::GridShape grid, int outer_steps) {
+  const auto outer = problem.effective_outer_block();
+  const auto lcm = std::lcm(static_cast<long long>(grid.rows),
+                            static_cast<long long>(grid.cols));
+  core::ProblemSpec sample = problem;
+  sample.k = std::min<la::index_t>(
+      problem.k, static_cast<la::index_t>(outer_steps) *
+                     static_cast<la::index_t>(lcm) * outer);
+  if (sample.k == 0 || problem.k % sample.k != 0) sample.k = problem.k;
+  return sample;
+}
+
+}  // namespace
+
+TuneResult tune_groups(const TuneOptions& options) {
+  HS_REQUIRE(options.network != nullptr);
+  HS_REQUIRE(options.sample_outer_steps >= 1);
+
+  std::vector<int> candidates = options.candidates;
+  if (candidates.empty()) candidates = grid::valid_group_counts(options.grid);
+  HS_REQUIRE_MSG(!candidates.empty(), "no valid group counts for this grid");
+  if (std::find(candidates.begin(), candidates.end(), 1) == candidates.end())
+    candidates.insert(candidates.begin(), 1);
+
+  if (options.max_candidates > 0 &&
+      static_cast<int>(candidates.size()) > options.max_candidates) {
+    // Keep the candidates nearest (in log-space) to the model's predicted
+    // optimum G = sqrt(p), plus G = 1.
+    const double target = std::sqrt(static_cast<double>(options.grid.size()));
+    std::stable_sort(candidates.begin(), candidates.end(),
+                     [target](int a, int b) {
+                       const auto d = [target](int g) {
+                         return std::fabs(std::log2(static_cast<double>(g)) -
+                                          std::log2(target));
+                       };
+                       return d(a) < d(b);
+                     });
+    candidates.resize(static_cast<std::size_t>(options.max_candidates));
+    if (std::find(candidates.begin(), candidates.end(), 1) ==
+        candidates.end())
+      candidates.back() = 1;
+    std::sort(candidates.begin(), candidates.end());
+  }
+
+  const core::ProblemSpec sample_problem = truncated_problem(
+      options.problem, options.grid, options.sample_outer_steps);
+  const double scale =
+      static_cast<double>(options.problem.k) /
+      static_cast<double>(sample_problem.k);
+
+  TuneResult result;
+  result.best_comm_time = std::numeric_limits<double>::infinity();
+  for (int groups : candidates) {
+    const grid::GridShape arrangement =
+        grid::group_arrangement(options.grid, groups);
+    if (arrangement.size() != groups) continue;
+
+    desim::Engine engine;
+    mpc::MachineConfig config = options.machine_config;
+    config.ranks = options.grid.size();
+    mpc::Machine machine(engine, options.network, config);
+
+    core::RunOptions run_options;
+    run_options.algorithm =
+        groups == 1 ? core::Algorithm::Summa : core::Algorithm::Hsumma;
+    run_options.grid = options.grid;
+    run_options.groups = arrangement;
+    run_options.problem = sample_problem;
+    run_options.mode = core::PayloadMode::Phantom;
+    run_options.bcast_algo = options.bcast_algo;
+    const core::RunResult run = core::run(machine, run_options);
+
+    Sample sample;
+    sample.groups = groups;
+    sample.arrangement = arrangement;
+    sample.comm_time = run.timing.max_comm_time * scale;
+    sample.total_time =
+        (run.timing.max_comm_time + run.timing.max_comp_time) * scale;
+    result.samples.push_back(sample);
+
+    if (sample.comm_time < result.best_comm_time) {
+      result.best_comm_time = sample.comm_time;
+      result.best_groups = groups;
+      result.best_arrangement = arrangement;
+    }
+  }
+  HS_REQUIRE_MSG(!result.samples.empty(),
+                 "no group candidate was runnable on this grid");
+  return result;
+}
+
+}  // namespace hs::tune

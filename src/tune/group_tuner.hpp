@@ -1,0 +1,51 @@
+// Group-count autotuner.
+//
+// The paper selects the optimal number of groups by "sampling over valid
+// values ... using few iterations of HSUMMA"; this module automates exactly
+// that. Each candidate G runs a truncated phantom-payload HSUMMA (a handful
+// of outer steps) on a fresh simulated machine; measured communication time
+// is scaled to the full step count. The analytic model orders candidates so
+// the sweep can be cut short (`max_candidates`), and G = 1 (SUMMA) is
+// always sampled as the fallback the paper guarantees never to lose to.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/runner.hpp"
+#include "net/model.hpp"
+
+namespace hs::tune {
+
+struct TuneOptions {
+  grid::GridShape grid;
+  core::ProblemSpec problem;
+  std::shared_ptr<const net::NetworkModel> network;
+  mpc::MachineConfig machine_config;  // .ranks is overwritten from grid
+  std::optional<net::BcastAlgo> bcast_algo;
+  /// Outer steps per sample (the "few iterations").
+  int sample_outer_steps = 2;
+  /// Candidate group counts; empty -> all valid counts for the grid.
+  std::vector<int> candidates;
+  /// Cap on sampled candidates (<=0 -> no cap). Candidates nearest the
+  /// model's predicted optimum are kept.
+  int max_candidates = 0;
+};
+
+struct Sample {
+  int groups = 1;
+  grid::GridShape arrangement;
+  double comm_time = 0.0;       // scaled to the full problem
+  double total_time = 0.0;      // scaled
+};
+
+struct TuneResult {
+  int best_groups = 1;
+  grid::GridShape best_arrangement{1, 1};
+  double best_comm_time = 0.0;
+  std::vector<Sample> samples;  // in sampling order
+};
+
+TuneResult tune_groups(const TuneOptions& options);
+
+}  // namespace hs::tune

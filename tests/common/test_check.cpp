@@ -1,0 +1,57 @@
+#include "common/check.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+TEST(Check, RequirePassesOnTrue) {
+  EXPECT_NO_THROW(HS_REQUIRE(1 + 1 == 2));
+}
+
+TEST(Check, RequireThrowsPreconditionError) {
+  EXPECT_THROW(HS_REQUIRE(false), hs::PreconditionError);
+}
+
+TEST(Check, RequireMessageIncludesExpressionAndLocation) {
+  try {
+    HS_REQUIRE(2 < 1);
+    FAIL() << "expected throw";
+  } catch (const hs::PreconditionError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("2 < 1"), std::string::npos);
+    EXPECT_NE(what.find("test_check.cpp"), std::string::npos);
+  }
+}
+
+TEST(Check, RequireMsgStreamsArguments) {
+  try {
+    const int got = 3;
+    HS_REQUIRE_MSG(got == 4, "got " << got << " instead of 4");
+    FAIL() << "expected throw";
+  } catch (const hs::PreconditionError& e) {
+    EXPECT_NE(std::string(e.what()).find("got 3 instead of 4"),
+              std::string::npos);
+  }
+}
+
+TEST(Check, RequireEvaluatesExpressionOnce) {
+  int calls = 0;
+  auto bump = [&calls]() {
+    ++calls;
+    return true;
+  };
+  HS_REQUIRE(bump());
+  EXPECT_EQ(calls, 1);
+}
+
+#ifndef NDEBUG
+TEST(Check, AssertThrowsInvariantErrorInDebug) {
+  EXPECT_THROW(HS_ASSERT(false), hs::InvariantError);
+}
+#endif
+
+TEST(Check, PreconditionErrorIsLogicError) {
+  EXPECT_THROW(HS_REQUIRE(false), std::logic_error);
+}
+
+}  // namespace

@@ -1,0 +1,115 @@
+#include "common/cli.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+struct Argv {
+  std::vector<const char*> args;
+  explicit Argv(std::initializer_list<const char*> list) : args{"prog"} {
+    args.insert(args.end(), list);
+  }
+  int argc() const { return static_cast<int>(args.size()); }
+  const char* const* argv() const { return args.data(); }
+};
+
+TEST(Cli, ParsesTypedOptions) {
+  hs::CliParser cli("test");
+  long long n = 0;
+  double x = 0.0;
+  std::string s;
+  bool flag = false;
+  std::vector<long long> list;
+  cli.add_int("n", "an int", &n);
+  cli.add_double("x", "a double", &x);
+  cli.add_string("s", "a string", &s);
+  cli.add_flag("flag", "a flag", &flag);
+  cli.add_int_list("list", "a list", &list);
+
+  Argv argv{"--n", "42", "--x", "2.5", "--s", "hello", "--flag", "--list",
+            "1,2,4"};
+  ASSERT_TRUE(cli.parse(argv.argc(), argv.argv()));
+  EXPECT_EQ(n, 42);
+  EXPECT_DOUBLE_EQ(x, 2.5);
+  EXPECT_EQ(s, "hello");
+  EXPECT_TRUE(flag);
+  EXPECT_EQ(list, (std::vector<long long>{1, 2, 4}));
+}
+
+TEST(Cli, EqualsSyntax) {
+  hs::CliParser cli("test");
+  long long n = 0;
+  cli.add_int("n", "an int", &n);
+  Argv argv{"--n=17"};
+  ASSERT_TRUE(cli.parse(argv.argc(), argv.argv()));
+  EXPECT_EQ(n, 17);
+}
+
+TEST(Cli, DefaultsSurviveWhenNotPassed) {
+  hs::CliParser cli("test");
+  long long n = 9;
+  cli.add_int("n", "an int", &n);
+  Argv argv{};
+  ASSERT_TRUE(cli.parse(argv.argc(), argv.argv()));
+  EXPECT_EQ(n, 9);
+}
+
+TEST(Cli, UnknownOptionFails) {
+  hs::CliParser cli("test");
+  Argv argv{"--nope"};
+  EXPECT_FALSE(cli.parse(argv.argc(), argv.argv()));
+}
+
+TEST(Cli, MissingValueFails) {
+  hs::CliParser cli("test");
+  long long n = 0;
+  cli.add_int("n", "an int", &n);
+  Argv argv{"--n"};
+  EXPECT_FALSE(cli.parse(argv.argc(), argv.argv()));
+}
+
+TEST(Cli, BadIntValueFails) {
+  hs::CliParser cli("test");
+  long long n = 0;
+  cli.add_int("n", "an int", &n);
+  Argv argv{"--n", "twelve"};
+  EXPECT_FALSE(cli.parse(argv.argc(), argv.argv()));
+}
+
+TEST(Cli, FlagRejectsValue) {
+  hs::CliParser cli("test");
+  bool flag = false;
+  cli.add_flag("flag", "a flag", &flag);
+  Argv argv{"--flag=yes"};
+  EXPECT_FALSE(cli.parse(argv.argc(), argv.argv()));
+}
+
+TEST(Cli, PositionalArgumentFails) {
+  hs::CliParser cli("test");
+  Argv argv{"positional"};
+  EXPECT_FALSE(cli.parse(argv.argc(), argv.argv()));
+}
+
+TEST(Cli, HelpReturnsFalseAndPrintsOptions) {
+  hs::CliParser cli("my tool");
+  long long n = 3;
+  cli.add_int("n", "problem size", &n);
+  Argv argv{"--help"};
+  EXPECT_FALSE(cli.parse(argv.argc(), argv.argv()));
+  const std::string usage = cli.usage();
+  EXPECT_NE(usage.find("my tool"), std::string::npos);
+  EXPECT_NE(usage.find("--n"), std::string::npos);
+  EXPECT_NE(usage.find("problem size"), std::string::npos);
+  EXPECT_NE(usage.find("default: 3"), std::string::npos);
+}
+
+TEST(Cli, LaterOptionOverridesEarlier) {
+  hs::CliParser cli("test");
+  long long n = 0;
+  cli.add_int("n", "an int", &n);
+  Argv argv{"--n", "1", "--n", "2"};
+  ASSERT_TRUE(cli.parse(argv.argc(), argv.argv()));
+  EXPECT_EQ(n, 2);
+}
+
+}  // namespace

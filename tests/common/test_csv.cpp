@@ -1,0 +1,48 @@
+#include "common/csv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace {
+
+TEST(Csv, EscapePassthroughForPlainFields) {
+  EXPECT_EQ(hs::CsvWriter::escape("plain"), "plain");
+  EXPECT_EQ(hs::CsvWriter::escape(""), "");
+  EXPECT_EQ(hs::CsvWriter::escape("1.5e-9"), "1.5e-9");
+}
+
+TEST(Csv, EscapeQuotesCommasNewlinesQuotes) {
+  EXPECT_EQ(hs::CsvWriter::escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(hs::CsvWriter::escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(hs::CsvWriter::escape("line1\nline2"), "\"line1\nline2\"");
+}
+
+TEST(Csv, HeaderAndRows) {
+  std::ostringstream out;
+  hs::CsvWriter csv(out);
+  csv.header({"groups", "time", "label"});
+  csv.row(4, 1.25, "hsumma");
+  csv.row(int64_t{16384}, 3.5e-7, std::string("a,b"));
+  EXPECT_EQ(out.str(),
+            "groups,time,label\n"
+            "4,1.25,hsumma\n"
+            "16384,3.5e-07,\"a,b\"\n");
+}
+
+TEST(Csv, DoubleFormattingRoundTrips) {
+  std::ostringstream out;
+  hs::CsvWriter csv(out);
+  csv.row(0.1 + 0.2);
+  const double parsed = std::stod(out.str());
+  EXPECT_DOUBLE_EQ(parsed, 0.1 + 0.2);
+}
+
+TEST(Csv, RowStringsVector) {
+  std::ostringstream out;
+  hs::CsvWriter csv(out);
+  csv.row_strings(std::vector<std::string>{"a", "b,c"});
+  EXPECT_EQ(out.str(), "a,\"b,c\"\n");
+}
+
+}  // namespace

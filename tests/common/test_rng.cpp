@@ -1,0 +1,95 @@
+#include "common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  hs::Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  hs::Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a() == b()) ++equal;
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  hs::Rng rng(5);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  hs::Rng rng(6);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform(-3.0, 7.0);
+    EXPECT_GE(u, -3.0);
+    EXPECT_LT(u, 7.0);
+  }
+}
+
+TEST(Rng, UniformMeanApproximatesHalf) {
+  hs::Rng rng(7);
+  double sum = 0.0;
+  constexpr int kSamples = 100000;
+  for (int i = 0; i < kSamples; ++i) sum += rng.uniform();
+  EXPECT_NEAR(sum / kSamples, 0.5, 0.01);
+}
+
+TEST(Rng, UniformIntStaysBelowBound) {
+  hs::Rng rng(8);
+  for (int i = 0; i < 10000; ++i) EXPECT_LT(rng.uniform_int(37), 37u);
+}
+
+TEST(Rng, UniformIntCoversAllResidues) {
+  hs::Rng rng(9);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.uniform_int(10));
+  EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(Rng, UniformIntIsApproximatelyUniform) {
+  hs::Rng rng(10);
+  constexpr int kBuckets = 8;
+  constexpr int kSamples = 80000;
+  int counts[kBuckets] = {};
+  for (int i = 0; i < kSamples; ++i) ++counts[rng.uniform_int(kBuckets)];
+  for (int bucket = 0; bucket < kBuckets; ++bucket)
+    EXPECT_NEAR(counts[bucket], kSamples / kBuckets, kSamples / kBuckets / 10);
+}
+
+TEST(Rng, NormalMoments) {
+  hs::Rng rng(11);
+  constexpr int kSamples = 200000;
+  double sum = 0.0, sum_sq = 0.0;
+  for (int i = 0; i < kSamples; ++i) {
+    const double z = rng.normal();
+    sum += z;
+    sum_sq += z * z;
+  }
+  EXPECT_NEAR(sum / kSamples, 0.0, 0.02);
+  EXPECT_NEAR(sum_sq / kSamples, 1.0, 0.03);
+}
+
+TEST(Splitmix, KnownFirstOutputsDiffer) {
+  std::uint64_t s1 = 0, s2 = 1;
+  EXPECT_NE(hs::splitmix64(s1), hs::splitmix64(s2));
+}
+
+TEST(Splitmix, AdvancesState) {
+  std::uint64_t s = 42;
+  const auto first = hs::splitmix64(s);
+  const auto second = hs::splitmix64(s);
+  EXPECT_NE(first, second);
+}
+
+}  // namespace

@@ -1,0 +1,122 @@
+#include "common/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+
+namespace {
+
+TEST(RunningStats, EmptyState) {
+  hs::RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_TRUE(std::isnan(s.min()));
+  EXPECT_TRUE(std::isnan(s.max()));
+}
+
+TEST(RunningStats, SingleSample) {
+  hs::RunningStats s;
+  s.add(3.5);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.5);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 3.5);
+  EXPECT_DOUBLE_EQ(s.max(), 3.5);
+}
+
+TEST(RunningStats, KnownMoments) {
+  hs::RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  // Population variance is 4; sample variance = 4 * 8/7.
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStats, MergeMatchesSequential) {
+  hs::Rng rng(7);
+  std::vector<double> xs(1000);
+  for (auto& x : xs) x = rng.uniform(-10.0, 25.0);
+
+  hs::RunningStats all;
+  for (double x : xs) all.add(x);
+
+  hs::RunningStats left, right;
+  for (std::size_t i = 0; i < xs.size(); ++i)
+    (i < 400 ? left : right).add(xs[i]);
+  left.merge(right);
+
+  EXPECT_EQ(left.count(), all.count());
+  EXPECT_NEAR(left.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(left.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(left.min(), all.min());
+  EXPECT_DOUBLE_EQ(left.max(), all.max());
+}
+
+TEST(RunningStats, MergeWithEmptyIsIdentity) {
+  hs::RunningStats s;
+  s.add(1.0);
+  s.add(2.0);
+  hs::RunningStats empty;
+  s.merge(empty);
+  EXPECT_EQ(s.count(), 2u);
+  EXPECT_DOUBLE_EQ(s.mean(), 1.5);
+
+  hs::RunningStats target;
+  target.merge(s);
+  EXPECT_EQ(target.count(), 2u);
+  EXPECT_DOUBLE_EQ(target.mean(), 1.5);
+}
+
+TEST(BatchStats, MeanAndStddev) {
+  const std::vector<double> xs{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(hs::mean(xs), 2.5);
+  EXPECT_NEAR(hs::stddev(xs), std::sqrt(5.0 / 3.0), 1e-12);
+}
+
+TEST(BatchStats, MeanOfEmptyIsNaN) {
+  EXPECT_TRUE(std::isnan(hs::mean(std::vector<double>{})));
+}
+
+TEST(BatchStats, MedianOddEven) {
+  EXPECT_DOUBLE_EQ(hs::median({3.0, 1.0, 2.0}), 2.0);
+  EXPECT_DOUBLE_EQ(hs::median({4.0, 1.0, 3.0, 2.0}), 2.5);
+}
+
+TEST(BatchStats, QuantileEndpointsAndInterpolation) {
+  const std::vector<double> xs{10.0, 20.0, 30.0, 40.0, 50.0};
+  EXPECT_DOUBLE_EQ(hs::quantile(xs, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(hs::quantile(xs, 1.0), 50.0);
+  EXPECT_DOUBLE_EQ(hs::quantile(xs, 0.5), 30.0);
+  EXPECT_DOUBLE_EQ(hs::quantile(xs, 0.125), 15.0);
+}
+
+TEST(BatchStats, QuantilePreconditions) {
+  EXPECT_THROW(hs::quantile({}, 0.5), hs::PreconditionError);
+  EXPECT_THROW(hs::quantile({1.0}, -0.1), hs::PreconditionError);
+  EXPECT_THROW(hs::quantile({1.0}, 1.1), hs::PreconditionError);
+}
+
+class QuantileMonotoneTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(QuantileMonotoneTest, QuantileIsMonotoneInQ) {
+  hs::Rng rng(11);
+  std::vector<double> xs(257);
+  for (auto& x : xs) x = rng.normal();
+  const double q = GetParam();
+  const double lower = hs::quantile(xs, q);
+  const double upper = hs::quantile(xs, std::min(1.0, q + 0.1));
+  EXPECT_LE(lower, upper);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, QuantileMonotoneTest,
+                         ::testing::Values(0.0, 0.1, 0.25, 0.5, 0.75, 0.9));
+
+}  // namespace

@@ -1,0 +1,58 @@
+#include "common/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/check.hpp"
+
+namespace {
+
+TEST(Table, AlignsColumns) {
+  hs::Table table({"name", "value"});
+  table.add_row({"a", "1"});
+  table.add_row({"longer", "22"});
+  std::ostringstream out;
+  table.print(out);
+  const std::string text = out.str();
+  // Header, rule, two rows.
+  EXPECT_EQ(std::count(text.begin(), text.end(), '\n'), 4);
+  // Right-aligned numeric column: "22" ends both its line and "1" is padded.
+  EXPECT_NE(text.find("name    value"), std::string::npos);
+  EXPECT_NE(text.find("longer     22"), std::string::npos);
+}
+
+TEST(Table, RejectsMismatchedRow) {
+  hs::Table table({"a", "b"});
+  EXPECT_THROW(table.add_row({"only one"}), hs::PreconditionError);
+}
+
+TEST(Table, RejectsEmptyHeader) {
+  EXPECT_THROW(hs::Table(std::vector<std::string>{}), hs::PreconditionError);
+}
+
+TEST(Table, SetAlignValidatesColumn) {
+  hs::Table table({"a"});
+  EXPECT_THROW(table.set_align(1, hs::Table::Align::Left),
+               hs::PreconditionError);
+}
+
+TEST(FormatSeconds, PicksSensibleUnits) {
+  EXPECT_EQ(hs::format_seconds(123.4), "123.4 s");
+  EXPECT_EQ(hs::format_seconds(1.5), "1.500 s");
+  EXPECT_EQ(hs::format_seconds(0.0025), "2.500 ms");
+  EXPECT_EQ(hs::format_seconds(2.5e-6), "2.500 us");
+}
+
+TEST(FormatRatio, TwoDecimals) {
+  EXPECT_EQ(hs::format_ratio(5.888), "5.89x");
+  EXPECT_EQ(hs::format_ratio(1.0), "1.00x");
+}
+
+TEST(FormatDouble, RespectsPrecision) {
+  EXPECT_EQ(hs::format_double(3.14159, 3), "3.14");
+  EXPECT_EQ(hs::format_double(1e-9, 4), "1e-09");
+}
+
+}  // namespace

@@ -1,0 +1,25 @@
+#include "common/units.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+TEST(Units, FormatBytes) {
+  EXPECT_EQ(hs::format_bytes(0), "0 B");
+  EXPECT_EQ(hs::format_bytes(512), "512 B");
+  EXPECT_EQ(hs::format_bytes(1536), "1.50 KiB");
+  EXPECT_EQ(hs::format_bytes(1ull << 20), "1.00 MiB");
+  EXPECT_EQ(hs::format_bytes(3ull << 30), "3.00 GiB");
+}
+
+TEST(Units, FormatBandwidth) {
+  EXPECT_EQ(hs::format_bandwidth(125.0), "125.00 B/s");
+  EXPECT_EQ(hs::format_bandwidth(2.5e9), "2.50 GB/s");
+}
+
+TEST(Units, FormatFlops) {
+  EXPECT_EQ(hs::format_flops(1e18), "1.00 Eflop/s");
+  EXPECT_EQ(hs::format_flops(2.5e9), "2.50 Gflop/s");
+}
+
+}  // namespace

@@ -1,0 +1,156 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/runner.hpp"
+
+namespace {
+
+using hs::core::Algorithm;
+using hs::core::PayloadMode;
+using hs::core::ProblemSpec;
+using hs::core::RunOptions;
+
+hs::core::RunResult run_once(const RunOptions& options) {
+  hs::desim::Engine engine;
+  hs::mpc::Machine machine(
+      engine, std::make_shared<hs::net::HockneyModel>(1e-4, 1e-9),
+      {.ranks = options.grid.size() * options.layers, .gamma_flop = 1e-9});
+  return hs::core::run(machine, options);
+}
+
+class SquareGridTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SquareGridTest, CannonMatchesReference) {
+  const int q = GetParam();
+  RunOptions options;
+  options.algorithm = Algorithm::Cannon;
+  options.grid = {q, q};
+  options.problem = ProblemSpec::square(96, 96 / q);
+  options.verify = true;
+  EXPECT_LT(run_once(options).max_error, 1e-12) << "q=" << q;
+}
+
+TEST_P(SquareGridTest, FoxMatchesReference) {
+  const int q = GetParam();
+  RunOptions options;
+  options.algorithm = Algorithm::Fox;
+  options.grid = {q, q};
+  options.problem = ProblemSpec::square(96, 96 / q);
+  options.verify = true;
+  EXPECT_LT(run_once(options).max_error, 1e-12) << "q=" << q;
+}
+
+INSTANTIATE_TEST_SUITE_P(GridSizes, SquareGridTest,
+                         ::testing::Values(1, 2, 3, 4, 6, 8));
+
+TEST(Cannon, RequiresSquareGridAndMatrices) {
+  RunOptions options;
+  options.algorithm = Algorithm::Cannon;
+  options.grid = {2, 4};
+  options.problem = ProblemSpec::square(96, 12);
+  EXPECT_THROW(run_once(options), hs::PreconditionError);
+
+  options.grid = {2, 2};
+  options.problem = {/*m=*/96, /*k=*/48, /*n=*/96, /*block=*/12};
+  EXPECT_THROW(run_once(options), hs::PreconditionError);
+}
+
+TEST(Fox, RequiresSquareGrid) {
+  RunOptions options;
+  options.algorithm = Algorithm::Fox;
+  options.grid = {4, 2};
+  options.problem = ProblemSpec::square(96, 12);
+  EXPECT_THROW(run_once(options), hs::PreconditionError);
+}
+
+TEST(Cannon, NeighborOnlyCommunication) {
+  // Cannon's wire volume: skew (distance rotations) + q-1 rotations of A
+  // and B blocks per rank. On a 3x3 grid with 32x32 blocks.
+  RunOptions options;
+  options.algorithm = Algorithm::Cannon;
+  options.grid = {3, 3};
+  options.problem = ProblemSpec::square(96, 32);
+  options.mode = PayloadMode::Phantom;
+  const auto result = run_once(options);
+  // Skew: rows 1,2 rotate A (3 messages each... 3 ranks per row, 2 rows),
+  // cols 1,2 rotate B likewise; steps: 2 rotations x 9 ranks x 2 matrices.
+  EXPECT_EQ(result.messages, 6u + 6u + 36u);
+  EXPECT_EQ(result.wire_bytes, 48u * 32 * 32 * 8);
+}
+
+class LayersTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(LayersTest, Summa25DMatchesReference) {
+  const int c = GetParam();
+  RunOptions options;
+  options.algorithm = Algorithm::Summa25D;
+  options.grid = {2, 2};
+  options.layers = c;
+  options.problem = ProblemSpec::square(96, 12);  // 8 steps, divisible by c
+  options.verify = true;
+  EXPECT_LT(run_once(options).max_error, 1e-12) << "c=" << c;
+}
+
+INSTANTIATE_TEST_SUITE_P(Layers, LayersTest, ::testing::Values(1, 2, 4, 8));
+
+TEST(Summa25D, StepCountMustDivideByLayers) {
+  RunOptions options;
+  options.algorithm = Algorithm::Summa25D;
+  options.grid = {2, 2};
+  options.layers = 3;
+  options.problem = ProblemSpec::square(96, 12);  // 8 steps, not % 3
+  EXPECT_THROW(run_once(options), hs::PreconditionError);
+}
+
+TEST(Summa25D, ReplicationTradesMemoryForBroadcastTime) {
+  // More layers => fewer SUMMA steps per layer => less per-step broadcast
+  // time, but replication + reduction overhead. For a latency-dominated
+  // setup the grid-broadcast saving should win going 1 -> 4 layers.
+  RunOptions options;
+  options.algorithm = Algorithm::Summa25D;
+  options.grid = {4, 4};
+  options.problem = ProblemSpec::square(256, 8);
+  options.mode = PayloadMode::Phantom;
+
+  options.layers = 1;
+  hs::desim::Engine e1;
+  hs::mpc::Machine m1(e1, std::make_shared<hs::net::HockneyModel>(1e-3, 1e-10),
+                      {.ranks = 16, .gamma_flop = 0.0});
+  const auto one = hs::core::run(m1, options);
+
+  options.layers = 4;
+  hs::desim::Engine e4;
+  hs::mpc::Machine m4(e4, std::make_shared<hs::net::HockneyModel>(1e-3, 1e-10),
+                      {.ranks = 64, .gamma_flop = 0.0});
+  const auto four = hs::core::run(m4, options);
+
+  EXPECT_LT(four.timing.max_comm_time, one.timing.max_comm_time);
+}
+
+TEST(CrossAlgorithm, AllAlgorithmsProduceTheSameC) {
+  // Same seed, same problem: every algorithm must produce the identical
+  // (up to roundoff) distributed C.
+  ProblemSpec problem = ProblemSpec::square(48, 4);
+  for (auto algorithm : {Algorithm::Summa, Algorithm::Hsumma,
+                         Algorithm::HsummaMultilevel, Algorithm::Cannon,
+                         Algorithm::Fox}) {
+    RunOptions options;
+    options.algorithm = algorithm;
+    options.grid = {4, 4};
+    options.groups = {2, 2};
+    options.row_levels = {2};
+    options.col_levels = {2};
+    options.problem = problem;
+    options.problem.block = algorithm == Algorithm::Cannon ||
+                                    algorithm == Algorithm::Fox
+                                ? 12
+                                : 4;
+    options.verify = true;
+    options.seed = 77;
+    EXPECT_LT(run_once(options).max_error, 1e-12)
+        << hs::core::to_string(algorithm);
+  }
+}
+
+}  // namespace

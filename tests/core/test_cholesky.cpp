@@ -1,0 +1,177 @@
+// Distributed block Cholesky with hierarchical panel broadcasts.
+#include "core/cholesky.hpp"
+
+#include "core/lu.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <tuple>
+
+#include "la/factor.hpp"
+#include "la/generate.hpp"
+#include "la/norms.hpp"
+
+namespace {
+
+using hs::core::CholeskyOptions;
+using hs::core::PayloadMode;
+using hs::grid::GridShape;
+
+hs::core::CholeskyResult run_once(const CholeskyOptions& options,
+                                  double alpha = 1e-4, double beta = 1e-9) {
+  hs::desim::Engine engine;
+  hs::mpc::Machine machine(
+      engine, std::make_shared<hs::net::HockneyModel>(alpha, beta),
+      {.ranks = options.grid.size(), .gamma_flop = 1e-9});
+  return hs::core::run_cholesky(machine, options);
+}
+
+TEST(CholeskyKernel, FactorsSpdBlock) {
+  const hs::la::index_t n = 24;
+  hs::la::Matrix a(n, n);
+  const auto noise = hs::la::uniform_elements(2);
+  for (hs::la::index_t i = 0; i < n; ++i)
+    for (hs::la::index_t j = 0; j < n; ++j)
+      a(i, j) = noise(std::min(i, j), std::max(i, j)) +
+                (i == j ? static_cast<double>(n) : 0.0);
+  hs::la::Matrix factored = a;
+  hs::la::cholesky_factor_inplace(factored.view());
+  // Rebuild L and check L L^T == A on the lower triangle.
+  hs::la::Matrix l(n, n);
+  for (hs::la::index_t i = 0; i < n; ++i)
+    for (hs::la::index_t j = 0; j <= i; ++j) l(i, j) = factored(i, j);
+  hs::la::Matrix product(n, n);
+  hs::la::gemm_subtract_transb(l.view(), l.view(), product.view());
+  for (hs::la::index_t i = 0; i < n; ++i)
+    for (hs::la::index_t j = 0; j < n; ++j)
+      EXPECT_NEAR(-product(i, j), a(i, j), 1e-10);
+}
+
+TEST(CholeskyKernel, RejectsNonSpd) {
+  hs::la::Matrix a(2, 2);
+  a(0, 0) = -1.0;
+  EXPECT_THROW(hs::la::cholesky_factor_inplace(a.view()),
+               hs::PreconditionError);
+}
+
+TEST(CholeskyKernel, TrsmRightLowerTransposedSolves) {
+  const hs::la::index_t nb = 6, m = 9;
+  hs::la::Matrix l(nb, nb);
+  const auto noise = hs::la::uniform_elements(4);
+  for (hs::la::index_t i = 0; i < nb; ++i) {
+    for (hs::la::index_t j = 0; j < i; ++j) l(i, j) = noise(i, j);
+    l(i, i) = 2.0 + noise(i, i);
+  }
+  const hs::la::Matrix x_expected =
+      hs::la::materialize(m, nb, hs::la::uniform_elements(5));
+  // B = X * L^T.
+  hs::la::Matrix b(m, nb);
+  for (hs::la::index_t i = 0; i < m; ++i)
+    for (hs::la::index_t j = 0; j < nb; ++j) {
+      double sum = 0.0;
+      for (hs::la::index_t k = 0; k < nb; ++k)
+        sum += x_expected(i, k) * l(j, k);
+      b(i, j) = sum;
+    }
+  hs::la::trsm_right_lower_transposed(l.view(), b.view());
+  EXPECT_LT(hs::la::max_abs_diff(b.view(), x_expected.view()), 1e-10);
+}
+
+class CholeskyGridTest
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(CholeskyGridTest, FactorsCorrectly) {
+  const auto [q, block] = GetParam();
+  CholeskyOptions options;
+  options.grid = {q, q};
+  options.n = 96;
+  options.block = block;
+  options.verify = true;
+  const auto result = run_once(options);
+  EXPECT_LT(result.max_error, 1e-9) << q << "x" << q << " b=" << block;
+}
+
+INSTANTIATE_TEST_SUITE_P(GridsAndBlocks, CholeskyGridTest,
+                         ::testing::Values(std::make_tuple(1, 16),
+                                           std::make_tuple(2, 8),
+                                           std::make_tuple(2, 48),
+                                           std::make_tuple(3, 8),
+                                           std::make_tuple(4, 8),
+                                           std::make_tuple(4, 24)));
+
+TEST(Cholesky, HierarchicalBroadcastsPreserveCorrectness) {
+  CholeskyOptions options;
+  options.grid = {4, 4};
+  options.n = 96;
+  options.block = 8;
+  options.row_levels = {2};
+  options.col_levels = {2};
+  options.verify = true;
+  EXPECT_LT(run_once(options).max_error, 1e-9);
+}
+
+TEST(Cholesky, RequiresSquareGrid) {
+  CholeskyOptions options;
+  options.grid = {2, 4};
+  options.n = 96;
+  options.block = 8;
+  EXPECT_THROW(run_once(options), hs::PreconditionError);
+}
+
+TEST(Cholesky, PhantomMatchesRealTiming) {
+  CholeskyOptions options;
+  options.grid = {3, 3};
+  options.n = 72;
+  options.block = 8;
+  options.mode = PayloadMode::Real;
+  const auto real = run_once(options);
+  options.mode = PayloadMode::Phantom;
+  const auto phantom = run_once(options);
+  EXPECT_DOUBLE_EQ(real.timing.total_time, phantom.timing.total_time);
+  EXPECT_EQ(real.messages, phantom.messages);
+  EXPECT_EQ(real.wire_bytes, phantom.wire_bytes);
+}
+
+TEST(Cholesky, HierarchyReducesCommOnLatencyDominatedNetwork) {
+  CholeskyOptions options;
+  options.grid = {8, 8};
+  options.n = 512;
+  options.block = 16;
+  options.mode = PayloadMode::Phantom;
+  options.bcast_algo = hs::net::BcastAlgo::ScatterRingAllgather;
+  const auto flat = run_once(options, /*alpha=*/1e-3, /*beta=*/1e-9);
+  options.row_levels = {2};
+  options.col_levels = {2};
+  const auto hier = run_once(options, 1e-3, 1e-9);
+  EXPECT_LT(hier.timing.max_comm_time, flat.timing.max_comm_time);
+}
+
+TEST(Cholesky, CommunicationComparableToLu) {
+  // Cholesky broadcasts the L panel along rows and (after the transpose
+  // hop) down columns — the same two broadcast families as LU's L and U
+  // panels plus the hop itself, so the wire volumes track each other
+  // closely (the savings of the symmetric algorithm are in compute).
+  CholeskyOptions chol;
+  chol.grid = {4, 4};
+  chol.n = 256;
+  chol.block = 16;
+  chol.mode = PayloadMode::Phantom;
+  const auto chol_result = run_once(chol);
+
+  hs::desim::Engine engine;
+  hs::mpc::Machine machine(
+      engine, std::make_shared<hs::net::HockneyModel>(1e-4, 1e-9),
+      {.ranks = 16, .gamma_flop = 1e-9});
+  hs::core::LuOptions lu;
+  lu.grid = {4, 4};
+  lu.n = 256;
+  lu.block = 16;
+  lu.mode = PayloadMode::Phantom;
+  const auto lu_result = hs::core::run_lu(machine, lu);
+  EXPECT_NEAR(static_cast<double>(chol_result.wire_bytes),
+              static_cast<double>(lu_result.wire_bytes),
+              0.15 * static_cast<double>(lu_result.wire_bytes));
+}
+
+}  // namespace

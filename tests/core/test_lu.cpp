@@ -1,0 +1,140 @@
+// Distributed block LU with hierarchical panel broadcasts (the paper's
+// LU/QR future work).
+#include "core/lu.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <tuple>
+
+namespace {
+
+using hs::core::LuOptions;
+using hs::core::PayloadMode;
+using hs::grid::GridShape;
+
+hs::core::LuResult run_once(const LuOptions& options, double alpha = 1e-4,
+                            double beta = 1e-9) {
+  hs::desim::Engine engine;
+  hs::mpc::Machine machine(
+      engine, std::make_shared<hs::net::HockneyModel>(alpha, beta),
+      {.ranks = options.grid.size(), .gamma_flop = 1e-9});
+  return hs::core::run_lu(machine, options);
+}
+
+class LuGridTest
+    : public ::testing::TestWithParam<std::tuple<GridShape, int>> {};
+
+TEST_P(LuGridTest, FactorsCorrectly) {
+  const auto [shape, block] = GetParam();
+  LuOptions options;
+  options.grid = shape;
+  options.n = 96;
+  options.block = block;
+  options.verify = true;
+  const auto result = run_once(options);
+  EXPECT_LT(result.max_error, 1e-9)
+      << shape.rows << "x" << shape.cols << " b=" << block;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    GridsAndBlocks, LuGridTest,
+    ::testing::Values(std::make_tuple(GridShape{1, 1}, 16),
+                      std::make_tuple(GridShape{2, 2}, 8),
+                      std::make_tuple(GridShape{2, 2}, 48),
+                      std::make_tuple(GridShape{4, 4}, 8),
+                      std::make_tuple(GridShape{2, 4}, 12),
+                      std::make_tuple(GridShape{4, 2}, 12),
+                      std::make_tuple(GridShape{3, 4}, 8),
+                      std::make_tuple(GridShape{1, 8}, 12)));
+
+TEST(Lu, HierarchicalBroadcastsPreserveCorrectness) {
+  LuOptions options;
+  options.grid = {4, 4};
+  options.n = 96;
+  options.block = 8;
+  options.row_levels = {2};
+  options.col_levels = {2};
+  options.verify = true;
+  EXPECT_LT(run_once(options).max_error, 1e-9);
+}
+
+TEST(Lu, PhantomMatchesRealTiming) {
+  LuOptions options;
+  options.grid = {2, 4};
+  options.n = 64;
+  options.block = 8;
+
+  options.mode = PayloadMode::Real;
+  const auto real = run_once(options);
+  options.mode = PayloadMode::Phantom;
+  const auto phantom = run_once(options);
+  EXPECT_DOUBLE_EQ(real.timing.total_time, phantom.timing.total_time);
+  EXPECT_EQ(real.messages, phantom.messages);
+  EXPECT_EQ(real.wire_bytes, phantom.wire_bytes);
+}
+
+TEST(Lu, HierarchyReducesCommOnLatencyDominatedNetwork) {
+  // Same mechanism as HSUMMA: the linear-latency ring broadcast benefits
+  // from the two-phase split.
+  LuOptions options;
+  options.grid = {8, 8};
+  options.n = 512;
+  options.block = 16;
+  options.mode = PayloadMode::Phantom;
+  options.bcast_algo = hs::net::BcastAlgo::ScatterRingAllgather;
+
+  const auto flat = run_once(options, /*alpha=*/1e-3, /*beta=*/1e-9);
+  options.row_levels = {2};
+  options.col_levels = {2};
+  const auto hier = run_once(options, 1e-3, 1e-9);
+  EXPECT_LT(hier.timing.max_comm_time, flat.timing.max_comm_time);
+}
+
+TEST(Lu, DivisibilityViolationsThrow) {
+  LuOptions options;
+  options.grid = {3, 3};
+  options.n = 100;  // not divisible by 3
+  options.block = 5;
+  EXPECT_THROW(run_once(options), hs::PreconditionError);
+  options.n = 96;
+  options.block = 7;  // 32 % 7 != 0
+  EXPECT_THROW(run_once(options), hs::PreconditionError);
+}
+
+TEST(Lu, UnverifiedRunReportsMinusOne) {
+  LuOptions options;
+  options.grid = {2, 2};
+  options.n = 32;
+  options.block = 8;
+  options.verify = false;
+  EXPECT_EQ(run_once(options).max_error, -1.0);
+}
+
+TEST(Lu, SingleRankNeedsNoCommunication) {
+  LuOptions options;
+  options.grid = {1, 1};
+  options.n = 64;
+  options.block = 16;
+  options.verify = true;
+  const auto result = run_once(options);
+  EXPECT_EQ(result.messages, 0u);
+  EXPECT_LT(result.max_error, 1e-9);
+}
+
+TEST(Lu, SeedVariesInputNotStructure) {
+  LuOptions options;
+  options.grid = {2, 2};
+  options.n = 64;
+  options.block = 8;
+  options.verify = true;
+  options.seed = 1;
+  const auto a = run_once(options);
+  options.seed = 99;
+  const auto b = run_once(options);
+  EXPECT_LT(a.max_error, 1e-9);
+  EXPECT_LT(b.max_error, 1e-9);
+  EXPECT_DOUBLE_EQ(a.timing.total_time, b.timing.total_time);
+}
+
+}  // namespace

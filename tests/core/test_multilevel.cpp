@@ -1,0 +1,172 @@
+#include "core/hier_bcast.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/runner.hpp"
+#include "mpc/collectives.hpp"
+
+namespace {
+
+using hs::core::Algorithm;
+using hs::core::PayloadMode;
+using hs::core::ProblemSpec;
+using hs::core::RunOptions;
+
+constexpr double kAlpha = 1e-3;
+constexpr double kBeta = 1e-9;
+
+hs::core::RunResult run_once(const RunOptions& options) {
+  hs::desim::Engine engine;
+  hs::mpc::Machine machine(
+      engine, std::make_shared<hs::net::HockneyModel>(kAlpha, kBeta),
+      {.ranks = options.grid.size(), .gamma_flop = 1e-9});
+  return hs::core::run(machine, options);
+}
+
+TEST(HierBcast, DeliversDataThroughLevels) {
+  hs::desim::Engine engine;
+  hs::mpc::Machine machine(
+      engine, std::make_shared<hs::net::HockneyModel>(kAlpha, kBeta),
+      {.ranks = 12});
+  std::vector<std::vector<double>> bufs(12, std::vector<double>(64, 0.0));
+  bufs[5].assign(64, 3.5);
+  const std::vector<int> levels{3, 2};
+  auto program = [&](hs::mpc::Comm comm) -> hs::desim::Task<void> {
+    co_await hs::core::hier_bcast(
+        comm, 5,
+        hs::mpc::Buf(
+            std::span<double>(bufs[static_cast<std::size_t>(comm.rank())])),
+        levels, hs::net::BcastAlgo::Binomial);
+  };
+  hs::mpc::run_spmd(machine, program);
+  for (const auto& buf : bufs)
+    for (double v : buf) ASSERT_EQ(v, 3.5);
+}
+
+TEST(HierBcast, EmptyFactorsIsPlainBcast) {
+  hs::desim::Engine engine;
+  hs::mpc::Machine machine(
+      engine, std::make_shared<hs::net::HockneyModel>(kAlpha, kBeta),
+      {.ranks = 8});
+  auto program = [&](hs::mpc::Comm comm) -> hs::desim::Task<void> {
+    co_await hs::core::hier_bcast(comm, 0, hs::mpc::Buf::phantom(512),
+                                  std::vector<int>{},
+                                  hs::net::BcastAlgo::Binomial);
+  };
+  const double t = hs::mpc::run_spmd(machine, program);
+  EXPECT_DOUBLE_EQ(t, hs::net::bcast_time(hs::net::BcastAlgo::Binomial, 8,
+                                          512 * 8, kAlpha, kBeta));
+}
+
+TEST(HierBcast, DegenerateFactorsSkipOrFlatten) {
+  hs::desim::Engine engine;
+  hs::mpc::Machine machine(
+      engine, std::make_shared<hs::net::HockneyModel>(kAlpha, kBeta),
+      {.ranks = 8});
+  const std::vector<int> levels{1, 8};
+  auto program = [&](hs::mpc::Comm comm) -> hs::desim::Task<void> {
+    co_await hs::core::hier_bcast(comm, 0, hs::mpc::Buf::phantom(512), levels,
+                                  hs::net::BcastAlgo::Binomial);
+  };
+  const double t = hs::mpc::run_spmd(machine, program);
+  EXPECT_DOUBLE_EQ(t, hs::net::bcast_time(hs::net::BcastAlgo::Binomial, 8,
+                                          512 * 8, kAlpha, kBeta));
+}
+
+TEST(HierBcast, NonDividingFactorThrows) {
+  hs::desim::Engine engine;
+  hs::mpc::Machine machine(
+      engine, std::make_shared<hs::net::HockneyModel>(kAlpha, kBeta),
+      {.ranks = 8});
+  const std::vector<int> levels{3};
+  auto program = [&](hs::mpc::Comm comm) -> hs::desim::Task<void> {
+    co_await hs::core::hier_bcast(comm, 0, hs::mpc::Buf::phantom(8), levels,
+                                  std::nullopt);
+  };
+  machine.engine().spawn(program(machine.world(0)));
+  EXPECT_THROW(machine.engine().run(), hs::PreconditionError);
+}
+
+TEST(MultilevelHsumma, TwoLevelCorrectness) {
+  RunOptions options;
+  options.algorithm = Algorithm::HsummaMultilevel;
+  options.grid = {4, 4};
+  options.row_levels = {2};
+  options.col_levels = {2};
+  options.problem = ProblemSpec::square(96, 8);
+  options.verify = true;
+  EXPECT_LT(run_once(options).max_error, 1e-12);
+}
+
+TEST(MultilevelHsumma, ThreeLevelCorrectness) {
+  RunOptions options;
+  options.algorithm = Algorithm::HsummaMultilevel;
+  options.grid = {8, 8};
+  options.row_levels = {2, 2};
+  options.col_levels = {2, 2};
+  options.problem = ProblemSpec::square(64, 8);
+  options.verify = true;
+  EXPECT_LT(run_once(options).max_error, 1e-12);
+}
+
+TEST(MultilevelHsumma, MatchesHsummaForSingleLevelSplit) {
+  // row_levels={J}, col_levels={I}, b=B: the same communication structure
+  // as HSUMMA(I x J), so identical virtual time.
+  RunOptions options;
+  options.grid = {4, 4};
+  options.problem = ProblemSpec::square(128, 8);
+  options.mode = PayloadMode::Phantom;
+  options.bcast_algo = hs::net::BcastAlgo::Binomial;
+
+  options.algorithm = Algorithm::HsummaMultilevel;
+  options.row_levels = {2};
+  options.col_levels = {2};
+  const auto multilevel = run_once(options);
+
+  options.algorithm = Algorithm::Hsumma;
+  options.groups = {2, 2};
+  const auto hsumma = run_once(options);
+
+  EXPECT_EQ(multilevel.messages, hsumma.messages);
+  EXPECT_EQ(multilevel.wire_bytes, hsumma.wire_bytes);
+  EXPECT_NEAR(multilevel.timing.max_comm_time, hsumma.timing.max_comm_time,
+              1e-9);
+}
+
+TEST(MultilevelHsumma, ThreeLevelsBeatTwoOnLinearLatencyBroadcast) {
+  // With the ring-based broadcast (linear latency term), each extra level
+  // shortens the chain: 3-level <= 2-level <= flat on a big enough grid.
+  RunOptions options;
+  options.algorithm = Algorithm::HsummaMultilevel;
+  options.grid = {16, 16};
+  options.problem = ProblemSpec::square(512, 16);
+  options.mode = PayloadMode::Phantom;
+  options.bcast_algo = hs::net::BcastAlgo::ScatterRingAllgather;
+
+  options.row_levels = {};
+  options.col_levels = {};
+  const double flat = run_once(options).timing.max_comm_time;
+  options.row_levels = {4};
+  options.col_levels = {4};
+  const double two_level = run_once(options).timing.max_comm_time;
+  options.row_levels = {4, 2};
+  options.col_levels = {4, 2};
+  const double three_level = run_once(options).timing.max_comm_time;
+
+  EXPECT_LT(two_level, flat);
+  EXPECT_LE(three_level, two_level * 1.02);  // at worst about equal
+}
+
+TEST(BalancedLevels, ProducesDividingChains) {
+  EXPECT_EQ(hs::core::balanced_levels(64, 3), (std::vector<int>{4, 4}));
+  EXPECT_EQ(hs::core::balanced_levels(16, 2), (std::vector<int>{4}));
+  EXPECT_TRUE(hs::core::balanced_levels(7, 1).empty());
+  const auto chain = hs::core::balanced_levels(36, 3);
+  int product = 1;
+  for (int f : chain) product *= f;
+  EXPECT_EQ(36 % product, 0);
+}
+
+}  // namespace

@@ -1,0 +1,81 @@
+#include "core/panel.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using hs::core::PanelBuffer;
+using hs::core::PayloadMode;
+
+TEST(PanelBuffer, RealPanelExposesStorageAndViews) {
+  PanelBuffer panel(4, 6, PayloadMode::Real);
+  EXPECT_TRUE(panel.real());
+  EXPECT_EQ(panel.rows(), 4);
+  EXPECT_EQ(panel.cols(), 6);
+  EXPECT_EQ(panel.buf().count(), 24u);
+  EXPECT_TRUE(panel.buf().is_real());
+  panel.view()(2, 3) = 7.5;
+  EXPECT_EQ(panel.buf().data()[2 * 6 + 3], 7.5);
+}
+
+TEST(PanelBuffer, PhantomPanelHasSizeButNoStorage) {
+  PanelBuffer panel(8, 8, PayloadMode::Phantom);
+  EXPECT_FALSE(panel.real());
+  EXPECT_EQ(panel.buf().count(), 64u);
+  EXPECT_FALSE(panel.buf().is_real());
+  EXPECT_THROW(panel.view(), hs::PreconditionError);
+}
+
+TEST(PanelBuffer, RowSliceIsContiguousSubrange) {
+  PanelBuffer panel(6, 4, PayloadMode::Real);
+  for (int i = 0; i < 6; ++i)
+    for (int j = 0; j < 4; ++j) panel.view()(i, j) = i * 10.0 + j;
+  const auto slice = panel.row_slice(2, 3);
+  EXPECT_EQ(slice.count(), 12u);
+  EXPECT_EQ(slice.data()[0], 20.0);
+  EXPECT_EQ(slice.data()[11], 43.0);
+}
+
+TEST(PanelBuffer, RowSliceBoundsChecked) {
+  PanelBuffer panel(4, 4, PayloadMode::Real);
+  EXPECT_THROW(panel.row_slice(3, 2), hs::PreconditionError);
+  EXPECT_THROW(panel.row_slice(-1, 1), hs::PreconditionError);
+  EXPECT_EQ(panel.row_slice(4, 0).count(), 0u);
+}
+
+TEST(PanelBuffer, PhantomRowSliceKeepsModeledSize) {
+  PanelBuffer panel(6, 4, PayloadMode::Phantom);
+  const auto slice = panel.row_slice(1, 2);
+  EXPECT_EQ(slice.count(), 8u);
+  EXPECT_FALSE(slice.is_real());
+}
+
+TEST(Buffers, SliceArithmetic) {
+  std::vector<double> storage(10);
+  hs::mpc::Buf buf{std::span<double>(storage)};
+  const auto slice = buf.slice(3, 4);
+  EXPECT_EQ(slice.count(), 4u);
+  EXPECT_EQ(slice.data(), storage.data() + 3);
+  EXPECT_THROW(buf.slice(8, 4), hs::PreconditionError);
+
+  const auto phantom = hs::mpc::Buf::phantom(10).slice(2, 5);
+  EXPECT_EQ(phantom.count(), 5u);
+  EXPECT_FALSE(phantom.is_real());
+  EXPECT_EQ(hs::mpc::Buf{}.count(), 0u);
+  EXPECT_TRUE(hs::mpc::Buf{}.is_real());  // empty counts as real
+}
+
+TEST(ProblemSpec, EffectiveOuterBlockDefaultsToInner) {
+  hs::core::ProblemSpec spec = hs::core::ProblemSpec::square(64, 8);
+  EXPECT_EQ(spec.effective_outer_block(), 8);
+  spec.outer_block = 32;
+  EXPECT_EQ(spec.effective_outer_block(), 32);
+  EXPECT_DOUBLE_EQ(spec.total_flops(), 2.0 * 64 * 64 * 64);
+}
+
+TEST(ProblemSpec, RectangularFlops) {
+  const hs::core::ProblemSpec spec{10, 20, 30, 5};
+  EXPECT_DOUBLE_EQ(spec.total_flops(), 2.0 * 10 * 20 * 30);
+}
+
+}  // namespace

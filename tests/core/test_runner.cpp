@@ -1,0 +1,156 @@
+#include "core/runner.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/verify.hpp"
+#include "la/gemm.hpp"
+#include "la/generate.hpp"
+
+namespace {
+
+using hs::core::Algorithm;
+using hs::core::PayloadMode;
+using hs::core::ProblemSpec;
+using hs::core::RunOptions;
+
+hs::mpc::MachineConfig config_for(const RunOptions& options) {
+  return {.ranks = options.grid.size() * options.layers, .gamma_flop = 1e-9};
+}
+
+TEST(Runner, RanksMustMatchGrid) {
+  hs::desim::Engine engine;
+  hs::mpc::Machine machine(
+      engine, std::make_shared<hs::net::HockneyModel>(1e-4, 1e-9),
+      {.ranks = 4});
+  RunOptions options;
+  options.grid = {2, 4};
+  options.problem = ProblemSpec::square(32, 4);
+  EXPECT_THROW(hs::core::run(machine, options), hs::PreconditionError);
+}
+
+TEST(Runner, VerifyRequiresRealPayloads) {
+  hs::desim::Engine engine;
+  hs::mpc::Machine machine(
+      engine, std::make_shared<hs::net::HockneyModel>(1e-4, 1e-9),
+      {.ranks = 4});
+  RunOptions options;
+  options.grid = {2, 2};
+  options.problem = ProblemSpec::square(32, 4);
+  options.mode = PayloadMode::Phantom;
+  options.verify = true;
+  EXPECT_THROW(hs::core::run(machine, options), hs::PreconditionError);
+}
+
+TEST(Runner, UnverifiedRunReportsMinusOne) {
+  hs::desim::Engine engine;
+  hs::mpc::Machine machine(
+      engine, std::make_shared<hs::net::HockneyModel>(1e-4, 1e-9),
+      {.ranks = 4});
+  RunOptions options;
+  options.grid = {2, 2};
+  options.problem = ProblemSpec::square(32, 4);
+  const auto result = hs::core::run(machine, options);
+  EXPECT_EQ(result.max_error, -1.0);
+}
+
+TEST(Runner, BackToBackRunsReportDeltas) {
+  RunOptions options;
+  options.grid = {2, 2};
+  options.problem = ProblemSpec::square(64, 8);
+  options.mode = PayloadMode::Phantom;
+
+  hs::desim::Engine engine;
+  hs::mpc::Machine machine(
+      engine, std::make_shared<hs::net::HockneyModel>(1e-4, 1e-9),
+      config_for(options));
+  const auto first = hs::core::run(machine, options);
+  const auto second = hs::core::run(machine, options);
+  EXPECT_NEAR(first.timing.total_time, second.timing.total_time,
+              first.timing.total_time * 1e-9);
+  EXPECT_EQ(first.messages, second.messages);
+  EXPECT_EQ(first.wire_bytes, second.wire_bytes);
+}
+
+TEST(Runner, SeedChangesInputsButNotTiming) {
+  RunOptions options;
+  options.grid = {2, 2};
+  options.problem = ProblemSpec::square(32, 4);
+  options.verify = true;
+
+  hs::desim::Engine e1;
+  hs::mpc::Machine m1(e1, std::make_shared<hs::net::HockneyModel>(1e-4, 1e-9),
+                      config_for(options));
+  options.seed = 1;
+  const auto a = hs::core::run(m1, options);
+
+  hs::desim::Engine e2;
+  hs::mpc::Machine m2(e2, std::make_shared<hs::net::HockneyModel>(1e-4, 1e-9),
+                      config_for(options));
+  options.seed = 2;
+  const auto b = hs::core::run(m2, options);
+
+  EXPECT_DOUBLE_EQ(a.timing.total_time, b.timing.total_time);
+  EXPECT_LT(a.max_error, 1e-12);
+  EXPECT_LT(b.max_error, 1e-12);
+}
+
+TEST(Runner, StatsAreConsistent) {
+  RunOptions options;
+  options.grid = {2, 2};
+  options.problem = ProblemSpec::square(64, 8);
+  options.mode = PayloadMode::Phantom;
+
+  hs::desim::Engine engine;
+  hs::mpc::Machine machine(
+      engine, std::make_shared<hs::net::HockneyModel>(1e-4, 1e-9),
+      config_for(options));
+  const auto result = hs::core::run(machine, options);
+  EXPECT_GT(result.timing.total_time, 0.0);
+  EXPECT_GE(result.timing.total_time, result.timing.max_comm_time);
+  EXPECT_GE(result.timing.max_comm_time, result.timing.mean_comm_time);
+  EXPECT_GE(result.timing.max_comp_time, result.timing.mean_comp_time);
+  // Total flops across ranks = 2 n^3.
+  EXPECT_DOUBLE_EQ(static_cast<double>(result.timing.total_flops),
+                   2.0 * 64 * 64 * 64);
+}
+
+TEST(AlgorithmNames, RoundTrip) {
+  for (auto algorithm :
+       {Algorithm::Summa, Algorithm::Hsumma, Algorithm::HsummaMultilevel,
+        Algorithm::Cannon, Algorithm::Fox, Algorithm::Summa25D})
+    EXPECT_EQ(hs::core::algorithm_from_string(hs::core::to_string(algorithm)),
+              algorithm);
+  EXPECT_THROW(hs::core::algorithm_from_string("strassen"),
+               hs::PreconditionError);
+}
+
+TEST(Verify, ReferenceBlockMatchesFullProduct) {
+  const auto gen_a = hs::la::uniform_elements(3);
+  const auto gen_b = hs::la::uniform_elements(4);
+  const hs::la::Matrix a = hs::la::materialize(12, 8, gen_a);
+  const hs::la::Matrix b = hs::la::materialize(8, 10, gen_b);
+  hs::la::Matrix c(12, 10);
+  hs::la::gemm_ref(a.view(), b.view(), c.view());
+
+  // Check an interior block.
+  const auto block = hs::core::reference_c_block(gen_a, gen_b, 8, 4, 3, 5, 6);
+  for (int i = 0; i < 5; ++i)
+    for (int j = 0; j < 6; ++j)
+      EXPECT_NEAR(block(i, j), c(4 + i, 3 + j), 1e-13);
+}
+
+TEST(Verify, DetectsCorruptedResult) {
+  const auto gen_a = hs::la::uniform_elements(3);
+  const auto gen_b = hs::la::uniform_elements(4);
+  hs::la::Matrix c =
+      hs::core::reference_c_block(gen_a, gen_b, 16, 0, 0, 8, 8);
+  EXPECT_LT(hs::core::verify_c_block(c.view(), gen_a, gen_b, 16, 0, 0),
+            1e-13);
+  c(3, 3) += 0.5;
+  EXPECT_NEAR(hs::core::verify_c_block(c.view(), gen_a, gen_b, 16, 0, 0), 0.5,
+              1e-12);
+}
+
+}  // namespace

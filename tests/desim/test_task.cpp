@@ -1,0 +1,116 @@
+#include "desim/task.hpp"
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "desim/engine.hpp"
+
+namespace {
+
+using hs::desim::Engine;
+using hs::desim::Task;
+
+Task<int> make_int(int value) { co_return value; }
+
+Task<std::string> make_string() { co_return std::string("payload"); }
+
+Task<int> add(int a, int b) {
+  const int x = co_await make_int(a);
+  const int y = co_await make_int(b);
+  co_return x + y;
+}
+
+Task<void> side_effect(bool& flag) {
+  flag = true;
+  co_return;
+}
+
+TEST(Task, LazyUntilAwaitedOrSpawned) {
+  bool ran = false;
+  {
+    Task<void> task = side_effect(ran);
+    EXPECT_TRUE(task.valid());
+    EXPECT_FALSE(ran);  // not started: lazily suspended
+    EXPECT_FALSE(task.done());
+  }  // destroying an unstarted task must not leak or crash
+  EXPECT_FALSE(ran);
+}
+
+TEST(Task, ValueTasksComposeViaNestedAwait) {
+  Engine engine;
+  int result = 0;
+  auto driver = [&]() -> Task<void> { result = co_await add(20, 22); };
+  engine.spawn(driver());
+  engine.run();
+  EXPECT_EQ(result, 42);
+}
+
+TEST(Task, StringResultMoves) {
+  Engine engine;
+  std::string result;
+  auto driver = [&]() -> Task<void> { result = co_await make_string(); };
+  engine.spawn(driver());
+  engine.run();
+  EXPECT_EQ(result, "payload");
+}
+
+TEST(Task, MoveTransfersOwnership) {
+  bool ran = false;
+  Task<void> a = side_effect(ran);
+  Task<void> b = std::move(a);
+  EXPECT_FALSE(a.valid());  // NOLINT(bugprone-use-after-move): testing it
+  EXPECT_TRUE(b.valid());
+}
+
+TEST(Task, ExceptionRethrownAtAwait) {
+  Engine engine;
+  auto thrower = []() -> Task<int> {
+    throw std::runtime_error("inner");
+    co_return 0;
+  };
+  bool caught = false;
+  auto driver = [&]() -> Task<void> {
+    try {
+      (void)co_await thrower();
+    } catch (const std::runtime_error& e) {
+      caught = std::string(e.what()) == "inner";
+    }
+  };
+  engine.spawn(driver());
+  engine.run();
+  EXPECT_TRUE(caught);
+}
+
+TEST(Task, DeepNestingDoesNotOverflowStack) {
+  Engine engine;
+  // 100k-deep chain of awaits: symmetric transfer must keep machine-stack
+  // depth constant.
+  std::function<Task<int>(int)> chain = [&](int depth) -> Task<int> {
+    if (depth == 0) co_return 1;
+    co_return 1 + co_await chain(depth - 1);
+  };
+  int result = 0;
+  auto driver = [&]() -> Task<void> { result = co_await chain(100000); };
+  engine.spawn(driver());
+  engine.run();
+  EXPECT_EQ(result, 100001);
+}
+
+TEST(Task, SuspendedChainDestroysCleanly) {
+  // A process suspended deep in nested awaits at engine teardown must
+  // destroy its whole frame chain without leaks (exercised under ASAN in
+  // CI-like runs; here we just assert no crash).
+  auto engine = std::make_unique<Engine>();
+  hs::desim::Gate gate(*engine);
+  auto inner = [&]() -> Task<void> { co_await gate.wait(); };
+  auto outer = [&]() -> Task<void> { co_await inner(); };
+  engine->spawn(outer(), "suspended");
+  EXPECT_THROW(engine->run(), hs::desim::DeadlockError);
+  engine.reset();  // destroys suspended frames
+  SUCCEED();
+}
+
+}  // namespace

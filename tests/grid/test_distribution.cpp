@@ -1,0 +1,155 @@
+#include "grid/distribution.hpp"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "la/generate.hpp"
+
+namespace {
+
+using hs::grid::BlockCyclicDistribution;
+using hs::grid::BlockDim;
+using hs::grid::BlockDistribution;
+using hs::la::index_t;
+
+TEST(BlockDim, EvenSplit) {
+  BlockDim dim(12, 4);
+  for (int part = 0; part < 4; ++part) {
+    EXPECT_EQ(dim.local_size(part), 3);
+    EXPECT_EQ(dim.offset(part), part * 3);
+  }
+  EXPECT_EQ(dim.offset(4), 12);
+}
+
+TEST(BlockDim, RemainderGoesToLeadingParts) {
+  BlockDim dim(14, 4);  // 4, 4, 3, 3
+  EXPECT_EQ(dim.local_size(0), 4);
+  EXPECT_EQ(dim.local_size(1), 4);
+  EXPECT_EQ(dim.local_size(2), 3);
+  EXPECT_EQ(dim.local_size(3), 3);
+  EXPECT_EQ(dim.offset(0), 0);
+  EXPECT_EQ(dim.offset(1), 4);
+  EXPECT_EQ(dim.offset(2), 8);
+  EXPECT_EQ(dim.offset(3), 11);
+  EXPECT_EQ(dim.offset(4), 14);
+}
+
+TEST(BlockDim, SizesSumToExtent) {
+  for (index_t extent : {1, 7, 16, 97, 128}) {
+    for (int parts : {1, 2, 3, 5, 8, 16}) {
+      BlockDim dim(extent, parts);
+      index_t total = 0;
+      for (int part = 0; part < parts; ++part) total += dim.local_size(part);
+      EXPECT_EQ(total, extent) << extent << "/" << parts;
+    }
+  }
+}
+
+TEST(BlockDim, OwnerInvertsOffset) {
+  for (index_t extent : {5, 12, 14, 97}) {
+    for (int parts : {1, 2, 4, 7}) {
+      BlockDim dim(extent, parts);
+      for (index_t g = 0; g < extent; ++g) {
+        const int owner = dim.owner(g);
+        EXPECT_GE(g, dim.offset(owner));
+        EXPECT_LT(g, dim.offset(owner) + dim.local_size(owner));
+      }
+    }
+  }
+}
+
+TEST(BlockDim, DegenerateExtentSmallerThanParts) {
+  BlockDim dim(3, 5);
+  EXPECT_EQ(dim.local_size(0), 1);
+  EXPECT_EQ(dim.local_size(3), 0);
+  EXPECT_EQ(dim.owner(2), 2);
+}
+
+TEST(BlockDistribution, LocalShapesAndOffsets) {
+  BlockDistribution dist(96, 64, 3, 4);
+  EXPECT_EQ(dist.local_rows(0), 32);
+  EXPECT_EQ(dist.local_cols(3), 16);
+  EXPECT_EQ(dist.row_offset(2), 64);
+  EXPECT_EQ(dist.col_offset(1), 16);
+  EXPECT_EQ(dist.row_owner(63), 1);
+  EXPECT_EQ(dist.col_owner(63), 3);
+}
+
+TEST(BlockDistribution, MaterializeLocalMatchesGlobal) {
+  const auto gen = hs::la::uniform_elements(5);
+  BlockDistribution dist(20, 15, 2, 3);
+  const hs::la::Matrix global = hs::la::materialize(20, 15, gen);
+  for (int r = 0; r < 2; ++r) {
+    for (int c = 0; c < 3; ++c) {
+      const hs::la::Matrix local = dist.materialize_local(r, c, gen);
+      ASSERT_EQ(local.rows(), dist.local_rows(r));
+      ASSERT_EQ(local.cols(), dist.local_cols(c));
+      for (index_t i = 0; i < local.rows(); ++i)
+        for (index_t j = 0; j < local.cols(); ++j)
+          EXPECT_EQ(local(i, j), global(dist.row_offset(r) + i,
+                                        dist.col_offset(c) + j));
+    }
+  }
+}
+
+// Block-cyclic: verify numroc and index maps against a brute-force deal.
+class BlockCyclicTest
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(BlockCyclicTest, MatchesBruteForceDeal) {
+  const auto [extent, block, parts] = GetParam();
+  BlockCyclicDistribution dist(extent, 8, block, 2, parts, 2);
+
+  // Brute-force: deal rows block-cyclically.
+  std::vector<std::vector<index_t>> owned(static_cast<std::size_t>(parts));
+  for (index_t g = 0; g < extent; ++g)
+    owned[static_cast<std::size_t>((g / block) % parts)].push_back(g);
+
+  for (int part = 0; part < parts; ++part) {
+    ASSERT_EQ(dist.local_rows(part),
+              static_cast<index_t>(owned[static_cast<std::size_t>(part)].size()))
+        << "extent=" << extent << " block=" << block << " parts=" << parts
+        << " part=" << part;
+    for (std::size_t l = 0; l < owned[static_cast<std::size_t>(part)].size();
+         ++l) {
+      const index_t g = owned[static_cast<std::size_t>(part)][l];
+      EXPECT_EQ(dist.global_row(part, static_cast<index_t>(l)), g);
+      EXPECT_EQ(dist.local_row(part, g), static_cast<index_t>(l));
+      EXPECT_EQ(dist.row_owner(g), part);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, BlockCyclicTest,
+    ::testing::Values(std::make_tuple(64, 4, 4), std::make_tuple(64, 8, 4),
+                      std::make_tuple(67, 4, 4), std::make_tuple(67, 5, 3),
+                      std::make_tuple(12, 16, 2), std::make_tuple(100, 1, 7),
+                      std::make_tuple(1, 4, 4)));
+
+TEST(BlockCyclic, MaterializeLocalMatchesGlobal) {
+  const auto gen = hs::la::uniform_elements(8);
+  BlockCyclicDistribution dist(18, 14, 4, 3, 2, 3);
+  const hs::la::Matrix global = hs::la::materialize(18, 14, gen);
+  for (int r = 0; r < 2; ++r) {
+    for (int c = 0; c < 3; ++c) {
+      const hs::la::Matrix local = dist.materialize_local(r, c, gen);
+      for (index_t i = 0; i < local.rows(); ++i)
+        for (index_t j = 0; j < local.cols(); ++j)
+          EXPECT_EQ(local(i, j),
+                    global(dist.global_row(r, i), dist.global_col(c, j)));
+    }
+  }
+}
+
+TEST(BlockCyclic, OwnershipPartitionsEveryIndex) {
+  BlockCyclicDistribution dist(97, 53, 8, 8, 3, 4);
+  index_t row_total = 0, col_total = 0;
+  for (int r = 0; r < 3; ++r) row_total += dist.local_rows(r);
+  for (int c = 0; c < 4; ++c) col_total += dist.local_cols(c);
+  EXPECT_EQ(row_total, 97);
+  EXPECT_EQ(col_total, 53);
+}
+
+}  // namespace

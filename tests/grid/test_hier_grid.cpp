@@ -1,0 +1,124 @@
+#include "grid/hier_grid.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+namespace {
+
+using hs::grid::GridShape;
+using hs::grid::HierGrid;
+using hs::mpc::Machine;
+
+std::shared_ptr<hs::net::HockneyModel> hockney() {
+  return std::make_shared<hs::net::HockneyModel>(1e-5, 1e-9);
+}
+
+TEST(GroupArrangement, PicksDividingShapes) {
+  EXPECT_EQ(hs::grid::group_arrangement({6, 6}, 9), (GridShape{3, 3}));
+  EXPECT_EQ(hs::grid::group_arrangement({6, 6}, 4), (GridShape{2, 2}));
+  EXPECT_EQ(hs::grid::group_arrangement({6, 6}, 1), (GridShape{1, 1}));
+  EXPECT_EQ(hs::grid::group_arrangement({6, 6}, 36), (GridShape{6, 6}));
+  EXPECT_EQ(hs::grid::group_arrangement({8, 16}, 8), (GridShape{2, 4}));
+}
+
+TEST(GroupArrangement, ImpossibleCountsReturnZero) {
+  EXPECT_EQ(hs::grid::group_arrangement({6, 6}, 5).size(), 0);
+  EXPECT_EQ(hs::grid::group_arrangement({6, 6}, 0).size(), 0);
+  EXPECT_EQ(hs::grid::group_arrangement({6, 6}, 37).size(), 0);
+  EXPECT_EQ(hs::grid::group_arrangement({4, 4}, 8).size(), 8);  // 2x4 works
+  EXPECT_EQ(hs::grid::group_arrangement({2, 2}, 8).size(), 0);
+}
+
+TEST(GroupArrangement, ValidCountsForPaperGrids) {
+  // 6x6 grid from the paper's Figure 2.
+  const auto counts = hs::grid::valid_group_counts({6, 6});
+  EXPECT_EQ(counts, (std::vector<int>{1, 2, 3, 4, 6, 9, 12, 18, 36}));
+}
+
+TEST(HierGrid, PaperFigure2Layout) {
+  // 6x6 grid, 3x3 groups of 2x2 processors (the paper's Figure 2).
+  hs::desim::Engine engine;
+  Machine machine(engine, hockney(), {.ranks = 36});
+  // World rank 14 = grid (2, 2): group (1,1), local (0,0).
+  HierGrid hg(machine.world(14), {6, 6}, {3, 3});
+  EXPECT_EQ(hg.local_shape(), (GridShape{2, 2}));
+  EXPECT_EQ(hg.group_row(), 1);
+  EXPECT_EQ(hg.group_col(), 1);
+  EXPECT_EQ(hg.local_row(), 0);
+  EXPECT_EQ(hg.local_col(), 0);
+
+  // group_row_comm: same group row (1), local (0,0), group cols 0..2:
+  // grid positions (2,0), (2,2), (2,4) -> world 12, 14, 16.
+  EXPECT_EQ(hg.group_row_comm().size(), 3);
+  EXPECT_EQ(hg.group_row_comm().world_rank(0), 12);
+  EXPECT_EQ(hg.group_row_comm().world_rank(1), 14);
+  EXPECT_EQ(hg.group_row_comm().world_rank(2), 16);
+  EXPECT_EQ(hg.group_row_comm().rank(), 1);
+
+  // group_col_comm: same group col, local (0,0): grid (0,2),(2,2),(4,2).
+  EXPECT_EQ(hg.group_col_comm().size(), 3);
+  EXPECT_EQ(hg.group_col_comm().world_rank(0), 2);
+  EXPECT_EQ(hg.group_col_comm().world_rank(1), 14);
+  EXPECT_EQ(hg.group_col_comm().world_rank(2), 26);
+
+  // row_comm inside group: grid (2,2),(2,3) -> world 14, 15.
+  EXPECT_EQ(hg.row_comm().size(), 2);
+  EXPECT_EQ(hg.row_comm().world_rank(0), 14);
+  EXPECT_EQ(hg.row_comm().world_rank(1), 15);
+
+  // col_comm inside group: grid (2,2),(3,2) -> world 14, 20.
+  EXPECT_EQ(hg.col_comm().size(), 2);
+  EXPECT_EQ(hg.col_comm().world_rank(0), 14);
+  EXPECT_EQ(hg.col_comm().world_rank(1), 20);
+}
+
+TEST(HierGrid, SingleGroupDegeneratesToFlatGrid) {
+  hs::desim::Engine engine;
+  Machine machine(engine, hockney(), {.ranks = 12});
+  HierGrid hg(machine.world(5), {3, 4}, {1, 1});
+  EXPECT_EQ(hg.group_row_comm().size(), 1);
+  EXPECT_EQ(hg.group_col_comm().size(), 1);
+  EXPECT_EQ(hg.row_comm().size(), 4);
+  EXPECT_EQ(hg.col_comm().size(), 3);
+  // Inner comms equal the flat grid's comms.
+  EXPECT_EQ(hg.row_comm().context(), hg.flat().row_comm().context());
+  EXPECT_EQ(hg.col_comm().context(), hg.flat().col_comm().context());
+}
+
+TEST(HierGrid, AllGroupsDegenerateToInterGroupOnly) {
+  hs::desim::Engine engine;
+  Machine machine(engine, hockney(), {.ranks = 12});
+  HierGrid hg(machine.world(5), {3, 4}, {3, 4});
+  EXPECT_EQ(hg.local_shape(), (GridShape{1, 1}));
+  EXPECT_EQ(hg.row_comm().size(), 1);
+  EXPECT_EQ(hg.col_comm().size(), 1);
+  EXPECT_EQ(hg.group_row_comm().size(), 4);
+  EXPECT_EQ(hg.group_col_comm().size(), 3);
+  EXPECT_EQ(hg.group_row_comm().context(), hg.flat().row_comm().context());
+  EXPECT_EQ(hg.group_col_comm().context(), hg.flat().col_comm().context());
+}
+
+TEST(HierGrid, NonDividingArrangementThrows) {
+  hs::desim::Engine engine;
+  Machine machine(engine, hockney(), {.ranks = 12});
+  EXPECT_THROW(HierGrid(machine.world(0), {3, 4}, {2, 2}),
+               hs::PreconditionError);
+}
+
+TEST(HierGrid, MembersAgreeAcrossRanks) {
+  hs::desim::Engine engine;
+  Machine machine(engine, hockney(), {.ranks = 16});
+  // Ranks 0 and 1 share a group row and local row; their group_row_comms
+  // differ (different local cols) but row_comms match.
+  HierGrid a(machine.world(0), {4, 4}, {2, 2});
+  HierGrid b(machine.world(1), {4, 4}, {2, 2});
+  EXPECT_EQ(a.row_comm().context(), b.row_comm().context());
+  EXPECT_NE(a.group_row_comm().context(), b.group_row_comm().context());
+  // Ranks 0 and 2: same local col (0), same group row, different group col:
+  // shared group_row_comm.
+  HierGrid c(machine.world(2), {4, 4}, {2, 2});
+  EXPECT_EQ(a.group_row_comm().context(), c.group_row_comm().context());
+}
+
+}  // namespace

@@ -1,0 +1,80 @@
+#include "grid/process_grid.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+namespace {
+
+using hs::grid::GridShape;
+using hs::grid::ProcessGrid;
+using hs::mpc::Machine;
+
+std::shared_ptr<hs::net::HockneyModel> hockney() {
+  return std::make_shared<hs::net::HockneyModel>(1e-5, 1e-9);
+}
+
+TEST(GridShape, NearSquareFactorizations) {
+  EXPECT_EQ(hs::grid::near_square_shape(1), (GridShape{1, 1}));
+  EXPECT_EQ(hs::grid::near_square_shape(16), (GridShape{4, 4}));
+  EXPECT_EQ(hs::grid::near_square_shape(128), (GridShape{8, 16}));
+  EXPECT_EQ(hs::grid::near_square_shape(12), (GridShape{3, 4}));
+  EXPECT_EQ(hs::grid::near_square_shape(7), (GridShape{1, 7}));
+  EXPECT_EQ(hs::grid::near_square_shape(2048), (GridShape{32, 64}));
+}
+
+TEST(ProcessGrid, RowMajorCoordinates) {
+  hs::desim::Engine engine;
+  Machine machine(engine, hockney(), {.ranks = 12});
+  ProcessGrid pg(machine.world(7), {3, 4});
+  EXPECT_EQ(pg.my_row(), 1);
+  EXPECT_EQ(pg.my_col(), 3);
+  EXPECT_EQ(pg.rank_at(1, 3), 7);
+  EXPECT_EQ(pg.rank_at(0, 0), 0);
+  EXPECT_EQ(pg.rank_at(2, 3), 11);
+}
+
+TEST(ProcessGrid, RowAndColCommunicators) {
+  hs::desim::Engine engine;
+  Machine machine(engine, hockney(), {.ranks = 12});
+  ProcessGrid pg(machine.world(7), {3, 4});
+  // Row 1 = world ranks {4,5,6,7}; I'm column 3 there.
+  EXPECT_EQ(pg.row_comm().size(), 4);
+  EXPECT_EQ(pg.row_comm().rank(), 3);
+  EXPECT_EQ(pg.row_comm().world_rank(0), 4);
+  // Column 3 = world ranks {3,7,11}; I'm row 1 there.
+  EXPECT_EQ(pg.col_comm().size(), 3);
+  EXPECT_EQ(pg.col_comm().rank(), 1);
+  EXPECT_EQ(pg.col_comm().world_rank(2), 11);
+}
+
+TEST(ProcessGrid, AllRanksAgreeOnCommunicators) {
+  hs::desim::Engine engine;
+  Machine machine(engine, hockney(), {.ranks = 6});
+  // Two ranks in the same row must get the same row context.
+  ProcessGrid a(machine.world(0), {2, 3});
+  ProcessGrid b(machine.world(2), {2, 3});
+  EXPECT_EQ(a.row_comm().context(), b.row_comm().context());
+  ProcessGrid c(machine.world(3), {2, 3});
+  EXPECT_NE(a.row_comm().context(), c.row_comm().context());
+  EXPECT_EQ(a.col_comm().context(), c.col_comm().context());
+}
+
+TEST(ProcessGrid, ShapeMismatchThrows) {
+  hs::desim::Engine engine;
+  Machine machine(engine, hockney(), {.ranks = 6});
+  EXPECT_THROW(ProcessGrid(machine.world(0), {2, 2}), hs::PreconditionError);
+}
+
+TEST(ProcessGrid, DegenerateShapes) {
+  hs::desim::Engine engine;
+  Machine machine(engine, hockney(), {.ranks = 4});
+  ProcessGrid row(machine.world(2), {1, 4});
+  EXPECT_EQ(row.row_comm().size(), 4);
+  EXPECT_EQ(row.col_comm().size(), 1);
+  ProcessGrid col(machine.world(2), {4, 1});
+  EXPECT_EQ(col.row_comm().size(), 1);
+  EXPECT_EQ(col.col_comm().size(), 4);
+}
+
+}  // namespace

@@ -1,0 +1,120 @@
+// Cross-validation: the Section IV closed-form model vs the discrete-event
+// simulator, on square grids and power-of-two group counts where the
+// model's sqrt(p)/sqrt(G) terms are exact.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <tuple>
+
+#include "core/runner.hpp"
+#include "grid/hier_grid.hpp"
+#include "model/cost_model.hpp"
+
+namespace {
+
+using hs::core::Algorithm;
+using hs::core::PayloadMode;
+using hs::core::ProblemSpec;
+using hs::core::RunOptions;
+using hs::net::BcastAlgo;
+
+constexpr double kAlpha = 1e-4;
+constexpr double kBeta = 1e-9;
+
+double simulate_comm(int p, int groups, int n, int block, BcastAlgo algo) {
+  hs::desim::Engine engine;
+  hs::mpc::Machine machine(
+      engine, std::make_shared<hs::net::HockneyModel>(kAlpha, kBeta),
+      {.ranks = p,
+       .collective_mode = hs::mpc::CollectiveMode::ClosedForm,
+       .gamma_flop = 0.0});
+  RunOptions options;
+  options.algorithm = groups == 1 ? Algorithm::Summa : Algorithm::Hsumma;
+  options.grid = hs::grid::near_square_shape(p);
+  options.groups = hs::grid::group_arrangement(options.grid, groups);
+  options.problem = ProblemSpec::square(n, block);
+  options.mode = PayloadMode::Phantom;
+  options.bcast_algo = algo;
+  return hs::core::run(machine, options).timing.max_comm_time;
+}
+
+class ModelVsSimTest
+    : public ::testing::TestWithParam<std::tuple<int, int, BcastAlgo>> {};
+
+TEST_P(ModelVsSimTest, CommunicationTimesAgree) {
+  const auto [p, groups, algo] = GetParam();
+  const int n = 1024, block = 32;
+  const double simulated = simulate_comm(p, groups, n, block, algo);
+  const hs::model::PlatformModel platform{kAlpha, kBeta, 0.0};
+  const double modeled =
+      hs::model::hsumma_cost(n, p, groups, block, block, algo, platform)
+          .comm();
+  // Square arrangements at power-of-two G: the model is exact.
+  EXPECT_NEAR(simulated, modeled, modeled * 1e-9)
+      << "p=" << p << " G=" << groups << " " << hs::net::to_string(algo);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SquareConfigurations, ModelVsSimTest,
+    ::testing::Values(
+        // p = 16: perfect-square group counts.
+        std::make_tuple(16, 1, BcastAlgo::Binomial),
+        std::make_tuple(16, 4, BcastAlgo::Binomial),
+        std::make_tuple(16, 16, BcastAlgo::Binomial),
+        std::make_tuple(16, 1, BcastAlgo::ScatterRingAllgather),
+        std::make_tuple(16, 4, BcastAlgo::ScatterRingAllgather),
+        std::make_tuple(16, 16, BcastAlgo::ScatterRingAllgather),
+        // p = 64.
+        std::make_tuple(64, 1, BcastAlgo::Binomial),
+        std::make_tuple(64, 4, BcastAlgo::ScatterRingAllgather),
+        std::make_tuple(64, 16, BcastAlgo::ScatterRingAllgather),
+        std::make_tuple(64, 64, BcastAlgo::ScatterRingAllgather),
+        std::make_tuple(64, 16, BcastAlgo::ScatterRecDblAllgather),
+        // p = 256 at the model's optimum G = sqrt(p).
+        std::make_tuple(256, 16, BcastAlgo::ScatterRingAllgather),
+        std::make_tuple(256, 1, BcastAlgo::ScatterRingAllgather)));
+
+TEST(ModelVsSim, NonSquareGroupArrangementsStayClose) {
+  // G without an integer sqrt: the model idealizes sqrt(G) x sqrt(G); the
+  // simulator uses the real I x J arrangement. They should agree within a
+  // modest factor (the model remains a useful predictor).
+  const int p = 64, n = 1024, block = 32;
+  const hs::model::PlatformModel platform{kAlpha, kBeta, 0.0};
+  for (int groups : {2, 8, 32}) {
+    const double simulated = simulate_comm(
+        p, groups, n, block, BcastAlgo::ScatterRingAllgather);
+    const double modeled =
+        hs::model::hsumma_cost(n, p, groups, block, block,
+                               BcastAlgo::ScatterRingAllgather, platform)
+            .comm();
+    EXPECT_NEAR(simulated, modeled, modeled * 0.35) << "G=" << groups;
+  }
+}
+
+TEST(ModelVsSim, PredictedOptimumMatchesSimulatedArgmin) {
+  const int p = 64, n = 2048, block = 64;
+  const hs::model::PlatformModel platform{kAlpha, kBeta, 0.0};
+  ASSERT_TRUE(hs::model::has_interior_minimum(n, p, block, platform));
+
+  double best_time = std::numeric_limits<double>::infinity();
+  int best_groups = 0;
+  for (int groups : {1, 4, 16, 64}) {  // perfect squares only
+    const double t =
+        simulate_comm(p, groups, n, block, BcastAlgo::ScatterRingAllgather);
+    if (t < best_time) {
+      best_time = t;
+      best_groups = groups;
+    }
+  }
+  // The model's continuous optimum is sqrt(p) = 8; the divisor-constrained
+  // perfect-square sweep must pick one of its log-space neighbors.
+  const double predicted =
+      hs::model::predicted_optimal_groups(n, p, block, platform);
+  EXPECT_GE(best_groups, static_cast<int>(predicted) / 2);
+  EXPECT_LE(best_groups, static_cast<int>(predicted) * 2);
+  EXPECT_LT(best_time,
+            simulate_comm(p, 1, n, block, BcastAlgo::ScatterRingAllgather));
+}
+
+}  // namespace

@@ -1,0 +1,161 @@
+// Scaled-down, fast renditions of the paper's headline claims, asserted as
+// properties (the full-scale reproductions live in bench/).
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/runner.hpp"
+#include "grid/hier_grid.hpp"
+#include "net/platform.hpp"
+
+namespace {
+
+using hs::core::Algorithm;
+using hs::core::PayloadMode;
+using hs::core::ProblemSpec;
+using hs::core::RunOptions;
+
+hs::core::RunResult run_on(const hs::net::Platform& platform, int ranks,
+                           int groups, const ProblemSpec& problem,
+                           hs::net::BcastAlgo algo) {
+  hs::desim::Engine engine;
+  hs::mpc::Machine machine(engine, platform.make_network(),
+                           {.ranks = ranks,
+                            .collective_mode =
+                                hs::mpc::CollectiveMode::ClosedForm,
+                            .gamma_flop = platform.gamma_flop});
+  RunOptions options;
+  options.algorithm = groups == 1 ? Algorithm::Summa : Algorithm::Hsumma;
+  options.grid = hs::grid::near_square_shape(ranks);
+  options.groups = hs::grid::group_arrangement(options.grid, groups);
+  options.problem = problem;
+  options.mode = PayloadMode::Phantom;
+  options.bcast_algo = algo;
+  return hs::core::run(machine, options);
+}
+
+// Claim: "HSUMMA will either outperform SUMMA or be at least equally fast"
+// — for every platform, every broadcast algorithm, every valid G.
+class NeverWorseTest
+    : public ::testing::TestWithParam<hs::net::BcastAlgo> {};
+
+TEST_P(NeverWorseTest, HsummaNeverLosesToSummaAtBestG) {
+  const auto algo = GetParam();
+  for (const char* name :
+       {"grid5000", "bluegene-p", "grid5000-calibrated",
+        "bluegene-p-calibrated"}) {
+    const auto platform = hs::net::Platform::by_name(name);
+    const ProblemSpec problem = ProblemSpec::square(1024, 32);
+    const double summa =
+        run_on(platform, 64, 1, problem, algo).timing.max_comm_time;
+    double best = summa;
+    for (int groups : hs::grid::valid_group_counts({8, 8}))
+      best = std::min(best, run_on(platform, 64, groups, problem, algo)
+                                .timing.max_comm_time);
+    EXPECT_LE(best, summa * (1.0 + 1e-9)) << name;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Algos, NeverWorseTest,
+    ::testing::Values(hs::net::BcastAlgo::Binomial,
+                      hs::net::BcastAlgo::ScatterRingAllgather,
+                      hs::net::BcastAlgo::ScatterRecDblAllgather,
+                      hs::net::BcastAlgo::MpichAuto));
+
+// Claim (Fig 8): on BG/P the G-sweep is U-shaped with substantial gains,
+// and G in {1, p} equals SUMMA exactly.
+TEST(PaperClaims, BgpUShapeWithEndpointsEqualToSumma) {
+  const auto platform = hs::net::Platform::bluegene_p_calibrated();
+  const ProblemSpec problem = ProblemSpec::square(4096, 64);
+  const auto algo = hs::net::BcastAlgo::ScatterRingAllgather;
+  constexpr int kRanks = 256;
+
+  const double summa =
+      run_on(platform, kRanks, 1, problem, algo).timing.max_comm_time;
+  const double at_p =
+      run_on(platform, kRanks, kRanks, problem, algo).timing.max_comm_time;
+  EXPECT_DOUBLE_EQ(summa, at_p);
+
+  const double at_sqrt =
+      run_on(platform, kRanks, 16, problem, algo).timing.max_comm_time;
+  EXPECT_LT(at_sqrt, 0.65 * summa);  // substantial interior gain
+}
+
+// Claim (Fig 9 trend): HSUMMA's advantage grows with the processor count.
+TEST(PaperClaims, AdvantageGrowsWithScale) {
+  const auto platform = hs::net::Platform::bluegene_p_calibrated();
+  const auto algo = hs::net::BcastAlgo::ScatterRingAllgather;
+  const ProblemSpec problem = ProblemSpec::square(4096, 64);
+
+  double previous_ratio = 0.0;
+  for (int ranks : {64, 256, 1024}) {
+    const double summa =
+        run_on(platform, ranks, 1, problem, algo).timing.max_comm_time;
+    double best = summa;
+    const auto grid = hs::grid::near_square_shape(ranks);
+    for (int groups : {4, 16, 64, 256})
+      if (groups <= ranks &&
+          hs::grid::group_arrangement(grid, groups).size() == groups)
+        best = std::min(best, run_on(platform, ranks, groups, problem, algo)
+                                  .timing.max_comm_time);
+    const double ratio = summa / best;
+    EXPECT_GT(ratio, previous_ratio) << "p=" << ranks;
+    previous_ratio = ratio;
+  }
+  EXPECT_GT(previous_ratio, 2.0);  // meaningful gain at the largest scale
+}
+
+// Claim (Fig 5 vs 6): smaller block sizes hurt SUMMA more than HSUMMA
+// (latency grows with the step count), so HSUMMA's improvement is larger
+// at b=64-style configurations than at b=512-style ones.
+TEST(PaperClaims, SmallBlocksAmplifyHsummaAdvantage) {
+  const auto platform = hs::net::Platform::grid5000_calibrated();
+  const auto algo = hs::net::BcastAlgo::ScatterRingAllgather;
+  constexpr int kRanks = 64;
+
+  auto ratio_for_block = [&](int block) {
+    const ProblemSpec problem = ProblemSpec::square(2048, block);
+    const double summa =
+        run_on(platform, kRanks, 1, problem, algo).timing.max_comm_time;
+    double best = summa;
+    for (int groups : {4, 8, 16})
+      best = std::min(best, run_on(platform, kRanks, groups, problem, algo)
+                                .timing.max_comm_time);
+    return summa / best;
+  };
+
+  EXPECT_GT(ratio_for_block(16), ratio_for_block(128));
+  EXPECT_GT(ratio_for_block(16), 1.0);
+}
+
+// Claim (Section V-B): on small platforms SUMMA and HSUMMA perform almost
+// the same; the machinery costs nothing when it cannot help.
+TEST(PaperClaims, SmallPlatformsShowLittleDifference) {
+  const auto platform = hs::net::Platform::bluegene_p();  // raw parameters
+  const ProblemSpec problem = ProblemSpec::square(2048, 64);
+  const double summa = run_on(platform, 16, 1, problem,
+                              hs::net::BcastAlgo::MpichAuto)
+                           .timing.max_comm_time;
+  const double hsumma = run_on(platform, 16, 4, problem,
+                               hs::net::BcastAlgo::MpichAuto)
+                            .timing.max_comm_time;
+  EXPECT_NEAR(hsumma, summa, summa * 0.35);
+}
+
+// Execution time = communication + computation: gamma charging shows up in
+// total time exactly as the model predicts.
+TEST(PaperClaims, ExecutionTimeDecomposes) {
+  const auto platform = hs::net::Platform::bluegene_p_calibrated();
+  const ProblemSpec problem = ProblemSpec::square(2048, 64);
+  const auto result = run_on(platform, 64, 8, problem,
+                             hs::net::BcastAlgo::ScatterRingAllgather);
+  const double compute = 2.0 * 2048.0 * 2048.0 * 2048.0 / 64.0 *
+                         platform.gamma_flop;
+  EXPECT_NEAR(result.timing.max_comp_time, compute, compute * 1e-9);
+  EXPECT_NEAR(result.timing.total_time,
+              result.timing.max_comm_time + result.timing.max_comp_time,
+              result.timing.total_time * 0.05);
+}
+
+}  // namespace

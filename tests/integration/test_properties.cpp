@@ -1,0 +1,142 @@
+// Property-style randomized sweeps: for seeded random configurations, the
+// library's internal redundancies must agree — p2p vs closed-form
+// collectives, real vs phantom payloads, HSUMMA vs its multilevel
+// reformulation, and the analytic model at square points.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <numeric>
+
+#include "common/rng.hpp"
+#include "core/runner.hpp"
+#include "grid/hier_grid.hpp"
+
+namespace {
+
+using hs::core::Algorithm;
+using hs::core::PayloadMode;
+using hs::core::ProblemSpec;
+using hs::core::RunOptions;
+
+struct RandomConfig {
+  hs::grid::GridShape grid;
+  hs::grid::GridShape groups;
+  ProblemSpec problem;
+  hs::net::BcastAlgo algo;
+};
+
+RandomConfig draw(hs::Rng& rng) {
+  static constexpr int kGridDims[] = {1, 2, 3, 4, 6};
+  static constexpr hs::net::BcastAlgo kAlgos[] = {
+      hs::net::BcastAlgo::Flat, hs::net::BcastAlgo::Binomial,
+      hs::net::BcastAlgo::ScatterRingAllgather,
+      hs::net::BcastAlgo::ScatterRecDblAllgather,
+      hs::net::BcastAlgo::MpichAuto};
+  RandomConfig config;
+  config.grid.rows = kGridDims[rng.uniform_int(std::size(kGridDims))];
+  config.grid.cols = kGridDims[rng.uniform_int(std::size(kGridDims))];
+  // Random valid group count.
+  const auto counts = hs::grid::valid_group_counts(config.grid);
+  const int g = counts[rng.uniform_int(counts.size())];
+  config.groups = hs::grid::group_arrangement(config.grid, g);
+  // Problem aligned to lcm of grid dims times block.
+  const int lcm = std::lcm(config.grid.rows, config.grid.cols);
+  const int block = 2 << rng.uniform_int(3);           // 2..16
+  const int outer_mult = 1 << rng.uniform_int(2);      // 1 or 2
+  const int steps = static_cast<int>(2 + rng.uniform_int(3)) * lcm *
+                    outer_mult;
+  config.problem = ProblemSpec::square(
+      static_cast<hs::la::index_t>(steps) * block, block);
+  config.problem.outer_block = static_cast<hs::la::index_t>(block) * outer_mult;
+  config.algo = kAlgos[rng.uniform_int(std::size(kAlgos))];
+  return config;
+}
+
+hs::core::RunResult run_with(const RandomConfig& config, Algorithm algorithm,
+                             PayloadMode mode, hs::mpc::CollectiveMode cmode,
+                             bool verify = false) {
+  hs::desim::Engine engine;
+  hs::mpc::Machine machine(
+      engine, std::make_shared<hs::net::HockneyModel>(1e-4, 1e-9),
+      {.ranks = config.grid.size(),
+       .collective_mode = cmode,
+       .gamma_flop = 1e-9});
+  RunOptions options;
+  options.algorithm = algorithm;
+  options.grid = config.grid;
+  options.groups = config.groups;
+  options.row_levels = {config.groups.cols};
+  options.col_levels = {config.groups.rows};
+  options.problem = config.problem;
+  options.mode = mode;
+  options.bcast_algo = config.algo;
+  options.verify = verify;
+  return hs::core::run(machine, options);
+}
+
+class RandomConfigTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomConfigTest, RealAndPhantomTimingsAgree) {
+  hs::Rng rng(static_cast<std::uint64_t>(GetParam()));
+  const RandomConfig config = draw(rng);
+  const auto real = run_with(config, Algorithm::Hsumma, PayloadMode::Real,
+                             hs::mpc::CollectiveMode::PointToPoint,
+                             /*verify=*/true);
+  const auto phantom = run_with(config, Algorithm::Hsumma,
+                                PayloadMode::Phantom,
+                                hs::mpc::CollectiveMode::PointToPoint);
+  EXPECT_LT(real.max_error, 1e-11) << "grid " << config.grid.rows << "x"
+                                   << config.grid.cols;
+  EXPECT_DOUBLE_EQ(real.timing.total_time, phantom.timing.total_time);
+  EXPECT_EQ(real.messages, phantom.messages);
+  EXPECT_EQ(real.wire_bytes, phantom.wire_bytes);
+}
+
+TEST_P(RandomConfigTest, ClosedFormBracketsPointToPoint) {
+  // The closed-form mode charges per-collective formulas that the p2p
+  // trees reproduce exactly at power-of-two sizes and approximate
+  // otherwise; across random configs the two must stay within 35%.
+  hs::Rng rng(static_cast<std::uint64_t>(GetParam()) + 1000);
+  const RandomConfig config = draw(rng);
+  const auto p2p = run_with(config, Algorithm::Hsumma, PayloadMode::Phantom,
+                            hs::mpc::CollectiveMode::PointToPoint);
+  const auto closed = run_with(config, Algorithm::Hsumma,
+                               PayloadMode::Phantom,
+                               hs::mpc::CollectiveMode::ClosedForm);
+  EXPECT_NEAR(closed.timing.max_comm_time, p2p.timing.max_comm_time,
+              std::max(p2p.timing.max_comm_time, 1e-12) * 0.35)
+      << "grid " << config.grid.rows << "x" << config.grid.cols << " groups "
+      << config.groups.rows << "x" << config.groups.cols << " algo "
+      << hs::net::to_string(config.algo);
+}
+
+TEST_P(RandomConfigTest, MultilevelWithSingleSplitMatchesHsummaTraffic) {
+  hs::Rng rng(static_cast<std::uint64_t>(GetParam()) + 2000);
+  RandomConfig config = draw(rng);
+  config.problem.outer_block = config.problem.block;  // b = B equivalence
+  const auto hsumma = run_with(config, Algorithm::Hsumma,
+                               PayloadMode::Phantom,
+                               hs::mpc::CollectiveMode::PointToPoint);
+  const auto multilevel = run_with(config, Algorithm::HsummaMultilevel,
+                                   PayloadMode::Phantom,
+                                   hs::mpc::CollectiveMode::PointToPoint);
+  EXPECT_EQ(multilevel.messages, hsumma.messages);
+  EXPECT_EQ(multilevel.wire_bytes, hsumma.wire_bytes);
+}
+
+TEST_P(RandomConfigTest, CyclicSummaMatchesBlockSummaTraffic) {
+  hs::Rng rng(static_cast<std::uint64_t>(GetParam()) + 3000);
+  const RandomConfig config = draw(rng);
+  const auto block_dist = run_with(config, Algorithm::Summa,
+                                   PayloadMode::Phantom,
+                                   hs::mpc::CollectiveMode::PointToPoint);
+  const auto cyclic = run_with(config, Algorithm::SummaCyclic,
+                               PayloadMode::Phantom,
+                               hs::mpc::CollectiveMode::PointToPoint);
+  EXPECT_EQ(cyclic.messages, block_dist.messages);
+  EXPECT_EQ(cyclic.wire_bytes, block_dist.wire_bytes);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomConfigTest, ::testing::Range(0, 12));
+
+}  // namespace

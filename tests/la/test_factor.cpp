@@ -1,0 +1,139 @@
+#include "la/factor.hpp"
+
+#include <gtest/gtest.h>
+
+#include "la/gemm.hpp"
+#include "la/generate.hpp"
+#include "la/norms.hpp"
+
+namespace {
+
+using hs::la::index_t;
+using hs::la::Matrix;
+
+Matrix diagonally_dominant(index_t n, std::uint64_t seed) {
+  Matrix a = hs::la::materialize(n, n, hs::la::uniform_elements(seed));
+  for (index_t i = 0; i < n; ++i) a(i, i) += static_cast<double>(n);
+  return a;
+}
+
+Matrix split_l(const Matrix& factored) {
+  Matrix l(factored.rows(), factored.rows());
+  for (index_t i = 0; i < factored.rows(); ++i) {
+    l(i, i) = 1.0;
+    for (index_t j = 0; j < i; ++j) l(i, j) = factored(i, j);
+  }
+  return l;
+}
+
+Matrix split_u(const Matrix& factored) {
+  Matrix u(factored.rows(), factored.rows());
+  for (index_t i = 0; i < factored.rows(); ++i)
+    for (index_t j = i; j < factored.cols(); ++j) u(i, j) = factored(i, j);
+  return u;
+}
+
+class LuFactorTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(LuFactorTest, LTimesUReconstructsA) {
+  const index_t n = GetParam();
+  const Matrix a = diagonally_dominant(n, 3);
+  Matrix factored = a;
+  hs::la::lu_factor_inplace(factored.view());
+  const Matrix l = split_l(factored);
+  const Matrix u = split_u(factored);
+  Matrix product(n, n);
+  hs::la::gemm(l.view(), u.view(), product.view());
+  EXPECT_LT(hs::la::max_abs_diff(product.view(), a.view()),
+            1e-11 * static_cast<double>(n));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, LuFactorTest,
+                         ::testing::Values(1, 2, 3, 8, 17, 32, 64));
+
+TEST(LuFactor, IdentityIsFixedPoint) {
+  Matrix eye = hs::la::materialize(8, 8, hs::la::identity_elements());
+  hs::la::lu_factor_inplace(eye.view());
+  for (index_t i = 0; i < 8; ++i)
+    for (index_t j = 0; j < 8; ++j)
+      EXPECT_EQ(eye(i, j), i == j ? 1.0 : 0.0);
+}
+
+TEST(LuFactor, ZeroPivotThrows) {
+  Matrix a(2, 2);
+  a(0, 1) = 1.0;
+  a(1, 0) = 1.0;  // a(0,0) == 0: needs pivoting
+  EXPECT_THROW(hs::la::lu_factor_inplace(a.view()), hs::PreconditionError);
+}
+
+TEST(LuFactor, RejectsNonSquare) {
+  Matrix a(3, 4);
+  EXPECT_THROW(hs::la::lu_factor_inplace(a.view()), hs::PreconditionError);
+}
+
+TEST(Trsm, RightUpperSolvesXUEqualsB) {
+  const index_t nb = 8, m = 12;
+  Matrix factored = diagonally_dominant(nb, 5);
+  hs::la::lu_factor_inplace(factored.view());
+  const Matrix u = split_u(factored);
+
+  const Matrix x_expected =
+      hs::la::materialize(m, nb, hs::la::uniform_elements(6));
+  Matrix b(m, nb);
+  hs::la::gemm(x_expected.view(), u.view(), b.view());
+  hs::la::trsm_right_upper(factored.view(), b.view());
+  EXPECT_LT(hs::la::max_abs_diff(b.view(), x_expected.view()), 1e-11);
+}
+
+TEST(Trsm, LeftLowerUnitSolvesLXEqualsB) {
+  const index_t nb = 8, n = 12;
+  Matrix factored = diagonally_dominant(nb, 7);
+  hs::la::lu_factor_inplace(factored.view());
+  const Matrix l = split_l(factored);
+
+  const Matrix x_expected =
+      hs::la::materialize(nb, n, hs::la::uniform_elements(8));
+  Matrix b(nb, n);
+  hs::la::gemm(l.view(), x_expected.view(), b.view());
+  hs::la::trsm_left_lower_unit(factored.view(), b.view());
+  EXPECT_LT(hs::la::max_abs_diff(b.view(), x_expected.view()), 1e-11);
+}
+
+TEST(Trsm, WorksOnStridedPanels) {
+  const index_t nb = 4;
+  Matrix factored = diagonally_dominant(nb, 9);
+  hs::la::lu_factor_inplace(factored.view());
+  Matrix big(10, 10);
+  hs::la::fill_from(big.view(), hs::la::uniform_elements(10));
+  Matrix expected = big;
+  hs::la::MatrixView panel = big.block(2, 3, 6, nb);
+  hs::la::MatrixView expected_panel = expected.block(2, 3, 6, nb);
+  Matrix rhs(6, nb);
+  rhs.view().copy_from(expected_panel);
+  hs::la::trsm_right_upper(factored.view(), panel);
+  // Recompute: panel * U should equal the original values.
+  Matrix check(6, nb);
+  const Matrix u = split_u(factored);
+  hs::la::gemm(panel, u.view(), check.view());
+  EXPECT_LT(hs::la::max_abs_diff(check.view(), rhs.view()), 1e-11);
+  // Untouched elements stay untouched.
+  EXPECT_EQ(big(0, 0), expected(0, 0));
+  EXPECT_EQ(big(9, 9), expected(9, 9));
+}
+
+TEST(GemmSubtract, SmallAndLargePathsAgree) {
+  for (index_t n : {8, 48}) {
+    const Matrix a = hs::la::materialize(n, n, hs::la::uniform_elements(11));
+    const Matrix b = hs::la::materialize(n, n, hs::la::uniform_elements(12));
+    Matrix c1 = hs::la::materialize(n, n, hs::la::uniform_elements(13));
+    Matrix c2 = c1;
+    hs::la::gemm_subtract(a.view(), b.view(), c1.view());
+    Matrix product(n, n);
+    hs::la::gemm_ref(a.view(), b.view(), product.view());
+    for (index_t i = 0; i < n; ++i)
+      for (index_t j = 0; j < n; ++j) c2(i, j) -= product(i, j);
+    EXPECT_LT(hs::la::max_abs_diff(c1.view(), c2.view()), 1e-11) << n;
+  }
+}
+
+}  // namespace

@@ -1,0 +1,125 @@
+#include "la/gemm.hpp"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "la/generate.hpp"
+#include "la/norms.hpp"
+
+namespace {
+
+using hs::la::ConstMatrixView;
+using hs::la::Matrix;
+using hs::la::index_t;
+
+Matrix random_matrix(index_t rows, index_t cols, std::uint64_t seed) {
+  return hs::la::materialize(rows, cols, hs::la::uniform_elements(seed));
+}
+
+// (m, n, k) shape sweep: tiny, micro-tile-aligned, unaligned, tall, wide,
+// and deep cases exercising every edge path of the packed kernel.
+class GemmShapeTest
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(GemmShapeTest, MatchesReference) {
+  const auto [m, n, k] = GetParam();
+  const Matrix a = random_matrix(m, k, 1);
+  const Matrix b = random_matrix(k, n, 2);
+  Matrix c_ref = random_matrix(m, n, 3);  // nonzero start: tests accumulation
+  Matrix c_opt(m, n);
+  c_opt.view().copy_from(c_ref.view());
+
+  hs::la::gemm_ref(a.view(), b.view(), c_ref.view());
+  hs::la::gemm(a.view(), b.view(), c_opt.view());
+
+  EXPECT_LT(hs::la::max_abs_diff(c_opt.view(), c_ref.view()),
+            1e-12 * static_cast<double>(k))
+      << "m=" << m << " n=" << n << " k=" << k;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, GemmShapeTest,
+    ::testing::Values(std::make_tuple(1, 1, 1), std::make_tuple(2, 3, 4),
+                      std::make_tuple(4, 8, 16), std::make_tuple(5, 7, 9),
+                      std::make_tuple(8, 8, 8), std::make_tuple(16, 16, 16),
+                      std::make_tuple(33, 17, 29), std::make_tuple(64, 64, 64),
+                      std::make_tuple(128, 128, 128),
+                      std::make_tuple(130, 60, 300),
+                      std::make_tuple(1, 64, 64), std::make_tuple(64, 1, 64),
+                      std::make_tuple(64, 64, 1), std::make_tuple(100, 3, 7),
+                      std::make_tuple(3, 100, 517),
+                      std::make_tuple(129, 513, 257)));
+
+TEST(Gemm, AccumulatesIntoExistingC) {
+  const Matrix a = random_matrix(8, 8, 4);
+  const Matrix b = random_matrix(8, 8, 5);
+  Matrix c(8, 8);
+  hs::la::gemm(a.view(), b.view(), c.view());
+  Matrix c_twice(8, 8);
+  hs::la::gemm(a.view(), b.view(), c_twice.view());
+  hs::la::gemm(a.view(), b.view(), c_twice.view());
+  for (int i = 0; i < 8; ++i)
+    for (int j = 0; j < 8; ++j)
+      EXPECT_NEAR(c_twice(i, j), 2.0 * c(i, j), 1e-12);
+}
+
+TEST(Gemm, IdentityIsNeutral) {
+  const Matrix a = random_matrix(24, 24, 6);
+  const Matrix eye = hs::la::materialize(24, 24, hs::la::identity_elements());
+  Matrix c(24, 24);
+  hs::la::gemm(a.view(), eye.view(), c.view());
+  EXPECT_TRUE(hs::la::approx_equal(c.view(), a.view()));
+  Matrix c2(24, 24);
+  hs::la::gemm(eye.view(), a.view(), c2.view());
+  EXPECT_TRUE(hs::la::approx_equal(c2.view(), a.view()));
+}
+
+TEST(Gemm, WorksOnStridedViews) {
+  // Operands and result living inside larger matrices (ld > cols).
+  Matrix big_a(40, 40), big_b(40, 40), big_c_ref(40, 40), big_c(40, 40);
+  hs::la::fill_from(big_a.view(), hs::la::uniform_elements(7));
+  hs::la::fill_from(big_b.view(), hs::la::uniform_elements(8));
+
+  ConstMatrixView a = big_a.block(3, 5, 20, 12);
+  ConstMatrixView b = big_b.block(1, 2, 12, 25);
+  hs::la::gemm_ref(a, b, big_c_ref.block(4, 6, 20, 25));
+  hs::la::gemm(a, b, big_c.block(4, 6, 20, 25));
+  EXPECT_LT(hs::la::max_abs_diff(big_c.view(), big_c_ref.view()), 1e-11);
+  // Elements outside the target block stay untouched.
+  EXPECT_EQ(big_c(0, 0), 0.0);
+  EXPECT_EQ(big_c(39, 39), 0.0);
+}
+
+TEST(Gemm, ExactOnSmallIntegerLattice) {
+  // Integer-valued inputs with products well inside 2^53: results must be
+  // bit-exact, no tolerance.
+  const auto gen = hs::la::integer_lattice_elements();
+  const Matrix a = hs::la::materialize(32, 48, gen);
+  const Matrix b = hs::la::materialize(48, 24, gen);
+  Matrix c_ref(32, 24), c(32, 24);
+  hs::la::gemm_ref(a.view(), b.view(), c_ref.view());
+  hs::la::gemm(a.view(), b.view(), c.view());
+  EXPECT_EQ(hs::la::max_abs_diff(c.view(), c_ref.view()), 0.0);
+}
+
+TEST(Gemm, ShapeMismatchThrows) {
+  Matrix a(4, 5), b(6, 4), c(4, 4);
+  EXPECT_THROW(hs::la::gemm(a.view(), b.view(), c.view()),
+               hs::PreconditionError);
+  Matrix b_ok(5, 4), c_bad(3, 4);
+  EXPECT_THROW(hs::la::gemm(a.view(), b_ok.view(), c_bad.view()),
+               hs::PreconditionError);
+}
+
+TEST(Gemm, ZeroExtentIsNoOp) {
+  Matrix a(0, 4), b(4, 0), c(0, 0);
+  EXPECT_NO_THROW(hs::la::gemm(a.view(), b.view(), c.view()));
+}
+
+TEST(GemmFlops, CountsBothConventions) {
+  EXPECT_DOUBLE_EQ(hs::la::gemm_flops(2, 3, 4), 48.0);
+  EXPECT_DOUBLE_EQ(hs::la::gemm_fma_pairs(2, 3, 4), 24.0);
+}
+
+}  // namespace

@@ -1,0 +1,84 @@
+#include "la/generate.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace {
+
+TEST(Generate, UniformElementsDeterministic) {
+  const auto f = hs::la::uniform_elements(42);
+  const auto g = hs::la::uniform_elements(42);
+  for (int i = 0; i < 10; ++i)
+    for (int j = 0; j < 10; ++j) EXPECT_EQ(f(i, j), g(i, j));
+}
+
+TEST(Generate, UniformElementsSeedSensitive) {
+  const auto f = hs::la::uniform_elements(1);
+  const auto g = hs::la::uniform_elements(2);
+  int equal = 0;
+  for (int i = 0; i < 16; ++i)
+    for (int j = 0; j < 16; ++j)
+      if (f(i, j) == g(i, j)) ++equal;
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Generate, UniformElementsInRange) {
+  const auto f = hs::la::uniform_elements(3);
+  for (int i = 0; i < 50; ++i)
+    for (int j = 0; j < 50; ++j) {
+      EXPECT_GE(f(i, j), -1.0);
+      EXPECT_LT(f(i, j), 1.0);
+    }
+}
+
+TEST(Generate, UniformElementsIndexSensitive) {
+  // Transposed indices must give different values (hash is not symmetric).
+  const auto f = hs::la::uniform_elements(4);
+  EXPECT_NE(f(1, 2), f(2, 1));
+  EXPECT_NE(f(0, 1), f(1, 0));
+}
+
+TEST(Generate, IdentityElements) {
+  const auto f = hs::la::identity_elements();
+  EXPECT_EQ(f(3, 3), 1.0);
+  EXPECT_EQ(f(3, 4), 0.0);
+}
+
+TEST(Generate, ConstantElements) {
+  const auto f = hs::la::constant_elements(2.5);
+  EXPECT_EQ(f(0, 0), 2.5);
+  EXPECT_EQ(f(100, 7), 2.5);
+}
+
+TEST(Generate, IntegerLatticeIsSmallIntegers) {
+  const auto f = hs::la::integer_lattice_elements();
+  for (int i = 0; i < 20; ++i)
+    for (int j = 0; j < 20; ++j) {
+      const double v = f(i, j);
+      EXPECT_EQ(v, std::floor(v));
+      EXPECT_GE(v, -5.0);
+      EXPECT_LE(v, 5.0);
+    }
+}
+
+TEST(Generate, FillFromOffsetsMatchGlobalMaterialization) {
+  // The distributed-fill invariant: filling a local block with offsets must
+  // reproduce the corresponding block of the globally materialized matrix.
+  const auto f = hs::la::uniform_elements(9);
+  const hs::la::Matrix global = hs::la::materialize(12, 10, f);
+  hs::la::Matrix local(4, 5);
+  hs::la::fill_from(local.view(), f, /*row_offset=*/6, /*col_offset=*/3);
+  for (int i = 0; i < 4; ++i)
+    for (int j = 0; j < 5; ++j)
+      EXPECT_EQ(local(i, j), global(6 + i, 3 + j));
+}
+
+TEST(Generate, FillFromNullGeneratorThrows) {
+  hs::la::Matrix m(2, 2);
+  EXPECT_THROW(hs::la::fill_from(m.view(), nullptr), hs::PreconditionError);
+}
+
+}  // namespace

@@ -1,0 +1,181 @@
+#include "model/cost_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace {
+
+using hs::model::PlatformModel;
+using hs::net::BcastAlgo;
+
+// Paper BG/P parameters (per-element beta convention: 1e-9 s/element).
+const PlatformModel kBgp{3e-6, 1.25e-10, 4e-10};
+// Paper Grid5000 parameters.
+const PlatformModel kG5k{1e-4, 1.25e-10, 1.25e-10};
+
+TEST(PlatformModel, BetaElementConversion) {
+  EXPECT_DOUBLE_EQ(kBgp.beta_element(), 1e-9);
+}
+
+TEST(ContinuousCoefficients, MatchDiscreteAtPowersOfTwo) {
+  for (int q : {2, 4, 8, 16, 64}) {
+    for (auto algo : {BcastAlgo::Flat, BcastAlgo::Binomial,
+                      BcastAlgo::ScatterRingAllgather,
+                      BcastAlgo::ScatterRecDblAllgather}) {
+      const auto continuous = hs::model::continuous_coefficients(
+          algo, static_cast<double>(q), 1 << 16);
+      const auto discrete =
+          hs::net::bcast_coefficients(algo, q, (1 << 16) * 8);
+      EXPECT_DOUBLE_EQ(continuous.latency_factor, discrete.latency_factor)
+          << hs::net::to_string(algo) << " q=" << q;
+      EXPECT_DOUBLE_EQ(continuous.bandwidth_factor, discrete.bandwidth_factor);
+    }
+  }
+}
+
+TEST(SummaCost, MatchesPaperBinomialFormula) {
+  // Table I: latency log2(p) n/b, bandwidth log2(p) n^2/sqrt(p).
+  const double n = 8192, p = 1024, b = 64;
+  const auto cost = hs::model::summa_cost(n, p, b, BcastAlgo::Binomial, kG5k);
+  // Our formulation counts the row and column broadcasts explicitly:
+  // 2 * (n/b) * log2(sqrt p) alpha == log2(p) * (n/b) * alpha.
+  EXPECT_NEAR(cost.latency, std::log2(p) * (n / b) * kG5k.alpha, 1e-9);
+  EXPECT_NEAR(cost.bandwidth,
+              std::log2(p) * n * n / std::sqrt(p) * kG5k.beta_element(),
+              1e-9);
+  EXPECT_NEAR(cost.compute, 2.0 * n * n * n / p * kG5k.gamma_flop, 1e-9);
+}
+
+TEST(SummaCost, MatchesPaperVanDeGeijnFormula) {
+  // Table II: (log2 p + 2(sqrt p - 1)) n/b alpha + 4(1-1/sqrt p) n^2/sqrt p.
+  const double n = 4096, p = 256, b = 64;
+  const auto cost =
+      hs::model::summa_cost(n, p, b, BcastAlgo::ScatterRingAllgather, kG5k);
+  const double q = std::sqrt(p);
+  EXPECT_NEAR(cost.latency,
+              (std::log2(p) + 2.0 * (q - 1.0)) * (n / b) * kG5k.alpha, 1e-9);
+  EXPECT_NEAR(cost.bandwidth,
+              4.0 * (1.0 - 1.0 / q) * n * n / q * kG5k.beta_element(), 1e-9);
+}
+
+TEST(HsummaCost, EndpointsEqualSumma) {
+  const double n = 8192, p = 1024, b = 64;
+  for (auto algo : {BcastAlgo::Binomial, BcastAlgo::ScatterRingAllgather}) {
+    const auto summa = hs::model::summa_cost(n, p, b, algo, kBgp);
+    const auto g1 = hs::model::hsumma_cost(n, p, 1.0, b, b, algo, kBgp);
+    const auto gp = hs::model::hsumma_cost(n, p, p, b, b, algo, kBgp);
+    EXPECT_NEAR(g1.comm(), summa.comm(), summa.comm() * 1e-12)
+        << hs::net::to_string(algo);
+    EXPECT_NEAR(gp.comm(), summa.comm(), summa.comm() * 1e-12);
+  }
+}
+
+TEST(HsummaCost, BinomialSplitsLogTerms) {
+  // Table I: log2(G) + log2(p/G) = log2(p): HSUMMA == SUMMA for b = B under
+  // the binomial broadcast at every G.
+  const double n = 8192, p = 4096, b = 64;
+  const auto summa = hs::model::summa_cost(n, p, b, BcastAlgo::Binomial, kBgp);
+  for (double g : {2.0, 16.0, 64.0, 512.0}) {
+    const auto hsumma =
+        hs::model::hsumma_cost(n, p, g, b, b, BcastAlgo::Binomial, kBgp);
+    EXPECT_NEAR(hsumma.comm(), summa.comm(), summa.comm() * 1e-12) << g;
+  }
+}
+
+TEST(HsummaCost, PaperEquation12AtOptimum) {
+  // HSUMMA(G = sqrt p, b = B) under van de Geijn:
+  // (log2 p + 4(p^(1/4)-1)) n/b alpha + 8(1 - p^(-1/4)) n^2/sqrt(p) beta.
+  const double n = 1 << 22, p = 1 << 20, b = 256;
+  const PlatformModel exa{500e-9, 1e-11 / 8.0, 0.0};
+  const auto cost = hs::model::hsumma_cost(n, p, std::sqrt(p), b, b,
+                                           BcastAlgo::ScatterRingAllgather,
+                                           exa);
+  const double root4 = std::pow(p, 0.25);
+  const double expected_latency =
+      (std::log2(p) + 4.0 * (root4 - 1.0)) * (n / b) * exa.alpha;
+  const double expected_bandwidth = 8.0 * (1.0 - 1.0 / root4) * n * n /
+                                    std::sqrt(p) * exa.beta_element();
+  EXPECT_NEAR(cost.latency, expected_latency, expected_latency * 1e-12);
+  EXPECT_NEAR(cost.bandwidth, expected_bandwidth, expected_bandwidth * 1e-12);
+}
+
+TEST(InteriorMinimum, PaperValidationCases) {
+  // Grid5000 validation (Section V-A-1): alpha/beta = 1e5 > 2*8192*64/128.
+  EXPECT_TRUE(hs::model::has_interior_minimum(8192, 128, 64, kG5k));
+  // BG/P validation (Section V-B-1): 3000 > 2*65536*256/16384 = 2048.
+  EXPECT_TRUE(hs::model::has_interior_minimum(65536, 16384, 256, kBgp));
+  // Exascale (Section V-C).
+  const PlatformModel exa{500e-9, 1e-11 / 8.0, 0.0};
+  EXPECT_TRUE(hs::model::has_interior_minimum(1 << 22, 1 << 20, 256, exa));
+  // Bandwidth-dominated counter-case: huge matrices on few processors.
+  EXPECT_FALSE(hs::model::has_interior_minimum(1 << 22, 16, 256, kBgp));
+}
+
+TEST(Derivative, VanishesAtSqrtP) {
+  EXPECT_NEAR(hs::model::hsumma_vdg_derivative(8192, 4096, 64.0, 64, kG5k),
+              0.0, 1e-15);
+}
+
+TEST(Derivative, SignPatternAroundSqrtP) {
+  // Interior-minimum regime: negative below sqrt(p), positive above.
+  const double n = 8192, p = 4096, b = 64;
+  ASSERT_TRUE(hs::model::has_interior_minimum(n, p, b, kG5k));
+  EXPECT_LT(hs::model::hsumma_vdg_derivative(n, p, 8.0, b, kG5k), 0.0);
+  EXPECT_GT(hs::model::hsumma_vdg_derivative(n, p, 512.0, b, kG5k), 0.0);
+}
+
+TEST(Derivative, FlipsInBandwidthDominatedRegime) {
+  // Maximum at sqrt(p): positive below, negative above.
+  const double n = 1 << 22, p = 16, b = 256;
+  ASSERT_FALSE(hs::model::has_interior_minimum(n, p, b, kBgp));
+  EXPECT_GT(hs::model::hsumma_vdg_derivative(n, p, 2.0, b, kBgp), 0.0);
+  EXPECT_LT(hs::model::hsumma_vdg_derivative(n, p, 8.0, b, kBgp), 0.0);
+}
+
+TEST(PredictedOptimum, FollowsCondition) {
+  EXPECT_DOUBLE_EQ(hs::model::predicted_optimal_groups(65536, 16384, 256, kBgp),
+                   128.0);
+  EXPECT_DOUBLE_EQ(hs::model::predicted_optimal_groups(1 << 22, 16, 256, kBgp),
+                   1.0);
+}
+
+TEST(GroupSweep, UShapeInLatencyDominatedRegime) {
+  const double n = 65536, p = 16384, b = 256;
+  const auto counts = hs::model::pow2_group_counts(p);
+  const auto sweep = hs::model::group_sweep(
+      n, p, b, b, BcastAlgo::ScatterRingAllgather, kBgp, counts);
+  ASSERT_EQ(sweep.size(), counts.size());
+  // Minimum strictly inside, endpoints equal.
+  double best = sweep.front().cost.comm();
+  std::size_t best_index = 0;
+  for (std::size_t i = 0; i < sweep.size(); ++i)
+    if (sweep[i].cost.comm() < best) {
+      best = sweep[i].cost.comm();
+      best_index = i;
+    }
+  EXPECT_GT(best_index, 0u);
+  EXPECT_LT(best_index, sweep.size() - 1);
+  EXPECT_NEAR(sweep.front().cost.comm(), sweep.back().cost.comm(),
+              sweep.front().cost.comm() * 1e-12);
+  // And the minimum is at G = sqrt(p) = 128.
+  EXPECT_DOUBLE_EQ(sweep[best_index].groups, 128.0);
+}
+
+TEST(Pow2GroupCounts, CoversRangeInclusively) {
+  const auto counts = hs::model::pow2_group_counts(16384);
+  EXPECT_EQ(counts.front(), 1.0);
+  EXPECT_EQ(counts.back(), 16384.0);
+  EXPECT_EQ(counts.size(), 15u);
+}
+
+TEST(HsummaCost, GroupsOutOfRangeThrows) {
+  EXPECT_THROW(
+      hs::model::hsumma_cost(64, 16, 0.5, 4, 4, BcastAlgo::Binomial, kBgp),
+      hs::PreconditionError);
+  EXPECT_THROW(
+      hs::model::hsumma_cost(64, 16, 17.0, 4, 4, BcastAlgo::Binomial, kBgp),
+      hs::PreconditionError);
+}
+
+}  // namespace

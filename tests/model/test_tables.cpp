@@ -1,0 +1,42 @@
+#include "model/tables.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace {
+
+using hs::model::PlatformModel;
+
+const PlatformModel kBgp{3e-6, 1.25e-10, 4e-10};
+
+TEST(Tables, SymbolicRowsPresent) {
+  const auto t1 = hs::model::table1_symbolic();
+  ASSERT_EQ(t1.size(), 2u);
+  EXPECT_EQ(t1[0].algorithm, "SUMMA");
+  EXPECT_EQ(t1[1].algorithm, "HSUMMA");
+  EXPECT_NE(t1[1].latency_between.find("log2(G)"), std::string::npos);
+
+  const auto t2 = hs::model::table2_symbolic();
+  ASSERT_EQ(t2.size(), 3u);
+  EXPECT_NE(t2[2].algorithm.find("G=sqrt(p)"), std::string::npos);
+  EXPECT_NE(t2[1].latency_inside.find("sqrt(p/G)"), std::string::npos);
+}
+
+TEST(Tables, NumericEvaluationOrdersAsTheory) {
+  const auto rows = hs::model::evaluate_table(
+      hs::net::BcastAlgo::ScatterRingAllgather, 65536, 16384, 256, 512, kBgp);
+  ASSERT_EQ(rows.size(), 3u);
+  const double summa = rows[0].cost.comm();
+  const double hsumma_512 = rows[1].cost.comm();
+  const double hsumma_opt = rows[2].cost.comm();
+  // Latency-dominated: both HSUMMA variants beat SUMMA; the sqrt(p) row is
+  // the best of the three.
+  EXPECT_LT(hsumma_512, summa);
+  EXPECT_LE(hsumma_opt, hsumma_512);
+  // Compute cost identical across rows (Table I/II "Comp. Cost" column).
+  EXPECT_DOUBLE_EQ(rows[0].cost.compute, rows[1].cost.compute);
+  EXPECT_DOUBLE_EQ(rows[0].cost.compute, rows[2].cost.compute);
+}
+
+}  // namespace

@@ -1,0 +1,172 @@
+// reduce_scatter and the Rabenseifner allreduce (recursive-halving
+// reduce-scatter + recursive-doubling allgather).
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "mpc/collectives.hpp"
+
+namespace {
+
+using hs::desim::Engine;
+using hs::desim::Task;
+using hs::mpc::AllreduceAlgo;
+using hs::mpc::Buf;
+using hs::mpc::Comm;
+using hs::mpc::ConstBuf;
+using hs::mpc::Machine;
+
+constexpr double kAlpha = 1e-4;
+constexpr double kBeta = 1e-9;
+
+std::shared_ptr<hs::net::HockneyModel> hockney() {
+  return std::make_shared<hs::net::HockneyModel>(kAlpha, kBeta);
+}
+
+class ReduceScatterTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ReduceScatterTest, EachRankGetsItsShareOfTheSum) {
+  const int ranks = GetParam();
+  const std::size_t chunk = 4;
+  const std::size_t count = chunk * static_cast<std::size_t>(ranks);
+  Engine engine;
+  Machine machine(engine, hockney(), {.ranks = ranks});
+  std::vector<std::vector<double>> received(
+      static_cast<std::size_t>(ranks), std::vector<double>(chunk, -1.0));
+
+  auto program = [&](Comm comm) -> Task<void> {
+    std::vector<double> mine(count);
+    for (std::size_t i = 0; i < count; ++i)
+      mine[i] = static_cast<double>(comm.rank() + 1) * static_cast<double>(i);
+    co_await hs::mpc::reduce_scatter(
+        comm, std::span<const double>(mine),
+        Buf(std::span<double>(received[static_cast<std::size_t>(comm.rank())])));
+  };
+  hs::mpc::run_spmd(machine, program);
+
+  const double rank_sum = ranks * (ranks + 1) / 2.0;
+  for (int r = 0; r < ranks; ++r)
+    for (std::size_t i = 0; i < chunk; ++i) {
+      const auto global = static_cast<double>(
+          static_cast<std::size_t>(r) * chunk + i);
+      EXPECT_DOUBLE_EQ(received[static_cast<std::size_t>(r)][i],
+                       rank_sum * global)
+          << "ranks=" << ranks << " r=" << r << " i=" << i;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(RankCounts, ReduceScatterTest,
+                         ::testing::Values(1, 2, 4, 8, 16, 3, 6, 12));
+
+TEST(ReduceScatter, PowerOfTwoTimingMatchesClosedForm) {
+  constexpr int kRanks = 16;
+  constexpr std::size_t kCount = 1 << 12;
+  Engine engine;
+  Machine machine(engine, hockney(), {.ranks = kRanks});
+  auto program = [&](Comm comm) -> Task<void> {
+    co_await hs::mpc::reduce_scatter(comm, ConstBuf::phantom(kCount),
+                                     Buf::phantom(kCount / kRanks));
+  };
+  const double t = hs::mpc::run_spmd(machine, program);
+  EXPECT_DOUBLE_EQ(
+      t, hs::net::reduce_scatter_time(kRanks, kCount * 8, kAlpha, kBeta));
+}
+
+TEST(ReduceScatter, RejectsUnevenCounts) {
+  Engine engine;
+  Machine machine(engine, hockney(), {.ranks = 4});
+  auto program = [&](Comm comm) -> Task<void> {
+    co_await hs::mpc::reduce_scatter(comm, ConstBuf::phantom(10),
+                                     Buf::phantom(2));
+  };
+  engine.spawn(program(machine.world(0)));
+  EXPECT_THROW(engine.run(), hs::PreconditionError);
+}
+
+class RabenseifnerTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(RabenseifnerTest, MatchesReduceBcastValues) {
+  const int ranks = GetParam();
+  const std::size_t count = 32;
+  Engine engine;
+  Machine machine(engine, hockney(), {.ranks = ranks});
+  std::vector<std::vector<double>> rab(
+      static_cast<std::size_t>(ranks), std::vector<double>(count));
+  std::vector<std::vector<double>> classic(
+      static_cast<std::size_t>(ranks), std::vector<double>(count));
+
+  auto program = [&](Comm comm) -> Task<void> {
+    std::vector<double> mine(count);
+    for (std::size_t i = 0; i < count; ++i)
+      mine[i] = static_cast<double>(comm.rank()) + 0.5 * static_cast<double>(i);
+    const auto rank = static_cast<std::size_t>(comm.rank());
+    co_await hs::mpc::allreduce(comm, std::span<const double>(mine),
+                                Buf(std::span<double>(rab[rank])),
+                                AllreduceAlgo::Rabenseifner);
+    co_await hs::mpc::allreduce(comm, std::span<const double>(mine),
+                                Buf(std::span<double>(classic[rank])),
+                                AllreduceAlgo::ReduceBcast);
+  };
+  hs::mpc::run_spmd(machine, program);
+  for (int r = 0; r < ranks; ++r)
+    for (std::size_t i = 0; i < count; ++i)
+      EXPECT_DOUBLE_EQ(rab[static_cast<std::size_t>(r)][i],
+                       classic[static_cast<std::size_t>(r)][i])
+          << "ranks=" << ranks;
+}
+
+INSTANTIATE_TEST_SUITE_P(RankCounts, RabenseifnerTest,
+                         ::testing::Values(2, 4, 8, 16, 5, 6));
+
+TEST(Rabenseifner, TimingMatchesClosedFormAtPowerOfTwo) {
+  constexpr int kRanks = 32;
+  constexpr std::size_t kCount = 1 << 14;
+  Engine engine;
+  Machine machine(engine, hockney(), {.ranks = kRanks});
+  auto program = [&](Comm comm) -> Task<void> {
+    co_await hs::mpc::allreduce(comm, ConstBuf::phantom(kCount),
+                                Buf::phantom(kCount),
+                                AllreduceAlgo::Rabenseifner);
+  };
+  const double t = hs::mpc::run_spmd(machine, program);
+  EXPECT_DOUBLE_EQ(t, hs::net::allreduce_rabenseifner_time(
+                          kRanks, kCount * 8, kAlpha, kBeta));
+}
+
+TEST(Rabenseifner, BeatsReduceBcastOnLargeMessages) {
+  constexpr int kRanks = 32;
+  constexpr std::size_t kCount = 1 << 18;  // 2 MiB: bandwidth-dominated
+  auto run_with = [&](AllreduceAlgo algo) {
+    Engine engine;
+    Machine machine(engine, hockney(), {.ranks = kRanks});
+    auto program = [&](Comm comm) -> Task<void> {
+      co_await hs::mpc::allreduce(comm, ConstBuf::phantom(kCount),
+                                  Buf::phantom(kCount), algo);
+    };
+    return hs::mpc::run_spmd(machine, program);
+  };
+  const double rab = run_with(AllreduceAlgo::Rabenseifner);
+  const double classic = run_with(AllreduceAlgo::ReduceBcast);
+  // 2(1-1/p) m beta vs 2 log2(p) m beta: about a 5x gap at p=32.
+  EXPECT_LT(rab, 0.3 * classic);
+}
+
+TEST(Rabenseifner, ClosedFormModeUsesMatchingCost) {
+  constexpr int kRanks = 16;
+  constexpr std::size_t kCount = 1 << 12;
+  Engine engine;
+  Machine machine(engine, hockney(),
+                  {.ranks = kRanks,
+                   .collective_mode = hs::mpc::CollectiveMode::ClosedForm});
+  auto program = [&](Comm comm) -> Task<void> {
+    co_await hs::mpc::allreduce(comm, ConstBuf::phantom(kCount),
+                                Buf::phantom(kCount),
+                                AllreduceAlgo::Rabenseifner);
+  };
+  const double t = hs::mpc::run_spmd(machine, program);
+  EXPECT_DOUBLE_EQ(t, hs::net::allreduce_rabenseifner_time(
+                          kRanks, kCount * 8, kAlpha, kBeta));
+}
+
+}  // namespace

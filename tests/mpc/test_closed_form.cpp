@@ -1,0 +1,157 @@
+// Closed-form mode for the data collectives (reduce / allreduce / gather /
+// scatter / allgather): timing equals the closed forms and data semantics
+// match the point-to-point implementations.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "core/runner.hpp"
+#include "mpc/collectives.hpp"
+
+namespace {
+
+using hs::desim::Engine;
+using hs::desim::Task;
+using hs::mpc::Buf;
+using hs::mpc::CollectiveMode;
+using hs::mpc::Comm;
+using hs::mpc::ConstBuf;
+using hs::mpc::Machine;
+
+constexpr double kAlpha = 1e-4;
+constexpr double kBeta = 1e-9;
+
+std::shared_ptr<hs::net::HockneyModel> hockney() {
+  return std::make_shared<hs::net::HockneyModel>(kAlpha, kBeta);
+}
+
+template <typename Program>
+double run_closed(int ranks, Program&& program) {
+  Engine engine;
+  Machine machine(engine, hockney(),
+                  {.ranks = ranks, .collective_mode = CollectiveMode::ClosedForm});
+  return hs::mpc::run_spmd(machine, program);
+}
+
+TEST(ClosedFormData, ReduceSumsToRoot) {
+  constexpr int kRanks = 8;
+  constexpr std::size_t kCount = 64;
+  std::vector<double> result(kCount, -1.0);
+  const double t = run_closed(kRanks, [&](Comm comm) -> Task<void> {
+    std::vector<double> mine(kCount, static_cast<double>(comm.rank() + 1));
+    co_await hs::mpc::reduce(comm, 3, std::span<const double>(mine),
+                             comm.rank() == 3 ? Buf(std::span<double>(result))
+                                              : Buf{});
+  });
+  for (double v : result) EXPECT_DOUBLE_EQ(v, 36.0);  // 1+...+8
+  EXPECT_DOUBLE_EQ(t,
+                   hs::net::reduce_time(kRanks, kCount * 8, kAlpha, kBeta));
+}
+
+TEST(ClosedFormData, AllreduceDeliversEverywhere) {
+  constexpr int kRanks = 4;
+  std::vector<std::vector<double>> results(kRanks, std::vector<double>(16));
+  const double t = run_closed(kRanks, [&](Comm comm) -> Task<void> {
+    std::vector<double> mine(16, static_cast<double>(comm.rank()));
+    co_await hs::mpc::allreduce(
+        comm, std::span<const double>(mine),
+        Buf(std::span<double>(results[static_cast<std::size_t>(comm.rank())])));
+  });
+  for (const auto& r : results)
+    for (double v : r) EXPECT_DOUBLE_EQ(v, 6.0);  // 0+1+2+3
+  EXPECT_DOUBLE_EQ(t, hs::net::allreduce_time(kRanks, 16 * 8, kAlpha, kBeta));
+}
+
+TEST(ClosedFormData, GatherCollectsByRank) {
+  constexpr int kRanks = 6;
+  constexpr std::size_t kChunk = 5;
+  std::vector<double> all(kChunk * kRanks, -1.0);
+  run_closed(kRanks, [&](Comm comm) -> Task<void> {
+    std::vector<double> mine(kChunk, static_cast<double>(comm.rank() * 10));
+    co_await hs::mpc::gather(comm, 2, std::span<const double>(mine),
+                             comm.rank() == 2 ? Buf(std::span<double>(all))
+                                              : Buf{});
+  });
+  for (int r = 0; r < kRanks; ++r)
+    for (std::size_t i = 0; i < kChunk; ++i)
+      EXPECT_EQ(all[static_cast<std::size_t>(r) * kChunk + i],
+                static_cast<double>(r * 10));
+}
+
+TEST(ClosedFormData, ScatterDistributesByRank) {
+  constexpr int kRanks = 4;
+  constexpr std::size_t kChunk = 3;
+  std::vector<double> source(kChunk * kRanks);
+  for (std::size_t i = 0; i < source.size(); ++i)
+    source[i] = static_cast<double>(i);
+  std::vector<std::vector<double>> received(kRanks,
+                                            std::vector<double>(kChunk));
+  run_closed(kRanks, [&](Comm comm) -> Task<void> {
+    co_await hs::mpc::scatter(
+        comm, 1,
+        comm.rank() == 1 ? ConstBuf(std::span<const double>(source))
+                         : ConstBuf{},
+        Buf(std::span<double>(received[static_cast<std::size_t>(comm.rank())])));
+  });
+  for (int r = 0; r < kRanks; ++r)
+    for (std::size_t i = 0; i < kChunk; ++i)
+      EXPECT_EQ(received[static_cast<std::size_t>(r)][i],
+                static_cast<double>(static_cast<std::size_t>(r) * kChunk + i));
+}
+
+TEST(ClosedFormData, AllgatherSharesEverything) {
+  constexpr int kRanks = 5;
+  constexpr std::size_t kChunk = 2;
+  std::vector<std::vector<double>> all(
+      kRanks, std::vector<double>(kChunk * kRanks, -1.0));
+  const double t = run_closed(kRanks, [&](Comm comm) -> Task<void> {
+    std::vector<double> mine(kChunk, static_cast<double>(comm.rank() + 100));
+    co_await hs::mpc::allgather(
+        comm, std::span<const double>(mine),
+        Buf(std::span<double>(all[static_cast<std::size_t>(comm.rank())])));
+  });
+  for (int holder = 0; holder < kRanks; ++holder)
+    for (int r = 0; r < kRanks; ++r)
+      for (std::size_t i = 0; i < kChunk; ++i)
+        EXPECT_EQ(all[static_cast<std::size_t>(holder)]
+                     [static_cast<std::size_t>(r) * kChunk + i],
+                  static_cast<double>(r + 100));
+  EXPECT_DOUBLE_EQ(
+      t, hs::net::allgather_time(kRanks, kChunk * kRanks * 8, kAlpha, kBeta));
+}
+
+TEST(ClosedFormData, PhantomPayloadsChargeTimeOnly) {
+  constexpr int kRanks = 16;
+  const double t = run_closed(kRanks, [&](Comm comm) -> Task<void> {
+    co_await hs::mpc::reduce(comm, 0, ConstBuf::phantom(1024),
+                             Buf::phantom(1024));
+    co_await hs::mpc::allgather(comm, ConstBuf::phantom(64),
+                                Buf::phantom(64 * kRanks));
+  });
+  EXPECT_DOUBLE_EQ(t,
+                   hs::net::reduce_time(kRanks, 1024 * 8, kAlpha, kBeta) +
+                       hs::net::allgather_time(kRanks, 64 * kRanks * 8,
+                                               kAlpha, kBeta));
+}
+
+TEST(ClosedFormData, Summa25DRunsAtScaleInClosedForm) {
+  // The 2.5D baseline needs reduce in closed form; run it at a scale that
+  // would be slow with routed messages.
+  Engine engine;
+  Machine machine(engine, hockney(),
+                  {.ranks = 256,
+                   .collective_mode = CollectiveMode::ClosedForm,
+                   .gamma_flop = 1e-10});
+  hs::core::RunOptions options;
+  options.algorithm = hs::core::Algorithm::Summa25D;
+  options.grid = {8, 8};
+  options.layers = 4;
+  options.problem = hs::core::ProblemSpec::square(2048, 64);
+  options.mode = hs::core::PayloadMode::Phantom;
+  const auto result = hs::core::run(machine, options);
+  EXPECT_GT(result.timing.max_comm_time, 0.0);
+  EXPECT_GT(result.messages, 0u);
+}
+
+}  // namespace

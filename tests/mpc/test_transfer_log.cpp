@@ -1,0 +1,104 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+
+#include "mpc/collectives.hpp"
+
+namespace {
+
+using hs::desim::Engine;
+using hs::desim::Task;
+using hs::mpc::Buf;
+using hs::mpc::Comm;
+using hs::mpc::ConstBuf;
+using hs::mpc::Machine;
+using hs::mpc::TransferLog;
+
+std::shared_ptr<hs::net::HockneyModel> hockney() {
+  return std::make_shared<hs::net::HockneyModel>(1e-5, 1e-9);
+}
+
+TEST(TransferLog, RecordsEveryPointToPointTransfer) {
+  Engine engine;
+  Machine machine(engine, hockney(), {.ranks = 2});
+  TransferLog log;
+  machine.set_transfer_log(&log);
+
+  auto sender = [&](Comm comm) -> Task<void> {
+    co_await comm.send(1, ConstBuf::phantom(100), /*tag=*/7);
+    co_await comm.send(1, ConstBuf::phantom(200), /*tag=*/8);
+  };
+  auto receiver = [&](Comm comm) -> Task<void> {
+    co_await comm.recv(0, Buf::phantom(100), 7);
+    co_await comm.recv(0, Buf::phantom(200), 8);
+  };
+  engine.spawn(sender(machine.world(0)));
+  engine.spawn(receiver(machine.world(1)));
+  engine.run();
+
+  ASSERT_EQ(log.records().size(), 2u);
+  const auto& first = log.records()[0];
+  EXPECT_EQ(first.src, 0);
+  EXPECT_EQ(first.dst, 1);
+  EXPECT_EQ(first.bytes, 800u);
+  EXPECT_EQ(first.tag, 7);
+  EXPECT_DOUBLE_EQ(first.start, 0.0);
+  EXPECT_DOUBLE_EQ(first.end, 1e-5 + 800.0 * 1e-9);
+  const auto& second = log.records()[1];
+  EXPECT_EQ(second.tag, 8);
+  EXPECT_GE(second.start, first.end);  // serialized on the same ports
+}
+
+TEST(TransferLog, CapturesBroadcastTreeStructure) {
+  Engine engine;
+  Machine machine(engine, hockney(), {.ranks = 8});
+  TransferLog log;
+  machine.set_transfer_log(&log);
+  auto program = [&](Comm comm) -> Task<void> {
+    co_await hs::mpc::bcast(comm, 0, Buf::phantom(64),
+                            hs::net::BcastAlgo::Binomial);
+  };
+  hs::mpc::run_spmd(machine, program);
+  // Binomial tree over 8 ranks: exactly 7 transfers.
+  EXPECT_EQ(log.records().size(), 7u);
+  // All transfers originate at earlier tree levels: first is from rank 0.
+  EXPECT_EQ(log.records()[0].src, 0);
+}
+
+TEST(TransferLog, CsvHasHeaderAndRows) {
+  TransferLog log;
+  log.record({0.5, 1.0, 2, 3, 4096, 1, -9});
+  std::ostringstream out;
+  log.write_csv(out);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("start,end,src,dst,bytes,ctx,tag"), std::string::npos);
+  EXPECT_NE(text.find("0.5,1,2,3,4096,1,-9"), std::string::npos);
+}
+
+TEST(TransferLog, ClearEmptiesTheLog) {
+  TransferLog log;
+  log.record({});
+  log.clear();
+  EXPECT_TRUE(log.records().empty());
+}
+
+TEST(TransferLog, DetachStopsRecording) {
+  Engine engine;
+  Machine machine(engine, hockney(), {.ranks = 2});
+  TransferLog log;
+  machine.set_transfer_log(&log);
+  machine.set_transfer_log(nullptr);
+  auto sender = [&](Comm comm) -> Task<void> {
+    co_await comm.send(1, ConstBuf::phantom(8));
+  };
+  auto receiver = [&](Comm comm) -> Task<void> {
+    co_await comm.recv(0, Buf::phantom(8));
+  };
+  engine.spawn(sender(machine.world(0)));
+  engine.spawn(receiver(machine.world(1)));
+  engine.run();
+  EXPECT_TRUE(log.records().empty());
+}
+
+}  // namespace

@@ -1,0 +1,76 @@
+#include "net/model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+namespace {
+
+TEST(Hockney, AffineInBytes) {
+  hs::net::HockneyModel model(1e-5, 2e-9);
+  EXPECT_DOUBLE_EQ(model.transfer_time(0, 1, 0), 1e-5);
+  EXPECT_DOUBLE_EQ(model.transfer_time(0, 1, 1000), 1e-5 + 2e-6);
+  EXPECT_DOUBLE_EQ(model.alpha(), 1e-5);
+  EXPECT_DOUBLE_EQ(model.beta(), 2e-9);
+}
+
+TEST(Hockney, PairIndependent) {
+  hs::net::HockneyModel model(1e-5, 2e-9);
+  EXPECT_DOUBLE_EQ(model.transfer_time(0, 1, 64), model.transfer_time(7, 3, 64));
+}
+
+TEST(Hockney, RejectsNegativeParameters) {
+  EXPECT_THROW(hs::net::HockneyModel(-1.0, 0.0), hs::PreconditionError);
+  EXPECT_THROW(hs::net::HockneyModel(0.0, -1.0), hs::PreconditionError);
+}
+
+TEST(LogGP, MatchesDefinition) {
+  hs::net::LogGPModel model(2e-6, 1e-6, 1e-9);
+  // L + 2o + (m-1) G
+  EXPECT_DOUBLE_EQ(model.transfer_time(0, 1, 1), 2e-6 + 2e-6);
+  EXPECT_DOUBLE_EQ(model.transfer_time(0, 1, 1001), 4e-6 + 1000.0 * 1e-9);
+  EXPECT_DOUBLE_EQ(model.transfer_time(0, 1, 0), 4e-6);
+}
+
+TEST(Noisy, DeterministicForSameSeed) {
+  auto base = std::make_shared<hs::net::HockneyModel>(1e-5, 1e-9);
+  hs::net::NoisyModel a(base, 0.2, 7);
+  hs::net::NoisyModel b(base, 0.2, 7);
+  for (int i = 0; i < 8; ++i)
+    EXPECT_DOUBLE_EQ(a.transfer_time(i, i + 1, 100 * i),
+                     b.transfer_time(i, i + 1, 100 * i));
+}
+
+TEST(Noisy, SeedChangesPerturbation) {
+  auto base = std::make_shared<hs::net::HockneyModel>(1e-5, 1e-9);
+  hs::net::NoisyModel a(base, 0.2, 1);
+  hs::net::NoisyModel b(base, 0.2, 2);
+  EXPECT_NE(a.transfer_time(0, 1, 4096), b.transfer_time(0, 1, 4096));
+}
+
+TEST(Noisy, BoundedBySigma) {
+  auto base = std::make_shared<hs::net::HockneyModel>(1e-5, 1e-9);
+  hs::net::NoisyModel noisy(base, 0.1, 99);
+  for (int src = 0; src < 16; ++src) {
+    const double t0 = base->transfer_time(src, src + 1, 5000);
+    const double t = noisy.transfer_time(src, src + 1, 5000);
+    EXPECT_GE(t, t0 * 0.9);
+    EXPECT_LE(t, t0 * 1.1);
+  }
+}
+
+TEST(Noisy, ZeroSigmaIsExact) {
+  auto base = std::make_shared<hs::net::HockneyModel>(1e-5, 1e-9);
+  hs::net::NoisyModel noisy(base, 0.0, 5);
+  EXPECT_DOUBLE_EQ(noisy.transfer_time(0, 1, 777),
+                   base->transfer_time(0, 1, 777));
+}
+
+TEST(Noisy, RejectsInvalidSigmaAndNullBase) {
+  auto base = std::make_shared<hs::net::HockneyModel>(1e-5, 1e-9);
+  EXPECT_THROW(hs::net::NoisyModel(base, 1.0, 0), hs::PreconditionError);
+  EXPECT_THROW(hs::net::NoisyModel(base, -0.1, 0), hs::PreconditionError);
+  EXPECT_THROW(hs::net::NoisyModel(nullptr, 0.1, 0), hs::PreconditionError);
+}
+
+}  // namespace

@@ -1,0 +1,70 @@
+#include "net/platform.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using hs::net::Platform;
+
+TEST(Platform, PaperParameters) {
+  const Platform g5k = Platform::grid5000();
+  EXPECT_DOUBLE_EQ(g5k.alpha, 1e-4);
+  EXPECT_EQ(g5k.default_ranks, 128);
+
+  const Platform bgp = Platform::bluegene_p();
+  EXPECT_DOUBLE_EQ(bgp.alpha, 3e-6);
+  EXPECT_EQ(bgp.default_ranks, 16384);
+
+  const Platform exa = Platform::exascale();
+  EXPECT_DOUBLE_EQ(exa.alpha, 500e-9);
+  EXPECT_EQ(exa.default_ranks, 1 << 20);
+  // 1e18 flop/s over 2^20 ranks ~ 0.95 Tflop/s per rank.
+  EXPECT_NEAR(exa.flops_per_second(), 1e18 / 1048576.0, 1.0);
+}
+
+TEST(Platform, ByNameAndAliases) {
+  EXPECT_EQ(Platform::by_name("grid5000").name, "grid5000");
+  EXPECT_EQ(Platform::by_name("bluegene-p").name, "bluegene-p");
+  EXPECT_EQ(Platform::by_name("bgp").name, "bluegene-p");
+  EXPECT_EQ(Platform::by_name("exascale").name, "exascale");
+  EXPECT_EQ(Platform::by_name("grid5000-calibrated").name,
+            "grid5000-calibrated");
+  EXPECT_EQ(Platform::by_name("bgp-calibrated").name,
+            "bluegene-p-calibrated");
+}
+
+TEST(Platform, UnknownNameThrows) {
+  EXPECT_THROW(Platform::by_name("cray-xt5"), hs::PreconditionError);
+}
+
+TEST(Platform, MakeNetworkIsHockneyWithPlatformParameters) {
+  const Platform bgp = Platform::bluegene_p();
+  auto net = bgp.make_network();
+  ASSERT_NE(net, nullptr);
+  EXPECT_DOUBLE_EQ(net->transfer_time(0, 1, 0), bgp.alpha);
+  EXPECT_DOUBLE_EQ(net->transfer_time(0, 1, 1000),
+                   bgp.alpha + 1000.0 * bgp.beta);
+}
+
+TEST(Platform, CalibratedPresetsKeepComputeRate) {
+  EXPECT_DOUBLE_EQ(Platform::bluegene_p_calibrated().gamma_flop,
+                   Platform::bluegene_p().gamma_flop);
+  EXPECT_DOUBLE_EQ(Platform::grid5000_calibrated().gamma_flop,
+                   Platform::grid5000().gamma_flop);
+}
+
+TEST(Platform, CalibratedLatencyExceedsRaw) {
+  EXPECT_GT(Platform::bluegene_p_calibrated().alpha,
+            Platform::bluegene_p().alpha);
+  EXPECT_GT(Platform::grid5000_calibrated().alpha,
+            Platform::grid5000().alpha);
+}
+
+TEST(BgpTorus, NearCubicFactorization) {
+  auto torus = hs::net::make_bgp_torus(16384, 3e-6, 1e-7, 1e-9);
+  ASSERT_NE(torus, nullptr);
+  EXPECT_GE(torus->ranks(), 16384);
+  EXPECT_EQ(torus->nodes(), 4096);  // 16384 ranks / 4 per node
+}
+
+}  // namespace

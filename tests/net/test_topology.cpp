@@ -1,0 +1,73 @@
+#include "net/topology.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using hs::net::Torus3DModel;
+using hs::net::TwoLevelModel;
+
+TEST(Torus, CoordinatesRowMajor) {
+  Torus3DModel torus({4, 3, 2}, /*ranks_per_node=*/1, 1e-6, 1e-7, 1e-9);
+  EXPECT_EQ(torus.nodes(), 24);
+  EXPECT_EQ(torus.ranks(), 24);
+  EXPECT_EQ(torus.node_coords(0), (std::array<int, 3>{0, 0, 0}));
+  EXPECT_EQ(torus.node_coords(5), (std::array<int, 3>{1, 1, 0}));
+  EXPECT_EQ(torus.node_coords(23), (std::array<int, 3>{3, 2, 1}));
+}
+
+TEST(Torus, HopsUseManhattanDistance) {
+  Torus3DModel torus({8, 8, 8}, 1, 1e-6, 1e-7, 1e-9);
+  // (0,0,0) -> (1,2,3): 6 hops.
+  const int dst = 1 + 2 * 8 + 3 * 64;
+  EXPECT_EQ(torus.hops(0, dst), 6);
+}
+
+TEST(Torus, WraparoundShortensPaths) {
+  Torus3DModel torus({8, 1, 1}, 1, 1e-6, 1e-7, 1e-9);
+  // x=0 to x=7 is 1 hop around the ring, not 7.
+  EXPECT_EQ(torus.hops(0, 7), 1);
+  EXPECT_EQ(torus.hops(0, 4), 4);  // antipodal
+  EXPECT_EQ(torus.hops(0, 5), 3);
+}
+
+TEST(Torus, RanksPerNodeShareCoordinates) {
+  Torus3DModel torus({2, 2, 2}, /*ranks_per_node=*/4, 1e-6, 1e-7, 1e-9);
+  EXPECT_EQ(torus.ranks(), 32);
+  EXPECT_EQ(torus.node_coords(0), torus.node_coords(3));
+  EXPECT_EQ(torus.hops(0, 3), 0);
+  EXPECT_EQ(torus.hops(0, 4), 1);  // next node
+}
+
+TEST(Torus, TransferTimeAddsPerHopLatency) {
+  Torus3DModel torus({4, 4, 4}, 1, 1e-6, 5e-7, 1e-9);
+  const double near = torus.transfer_time(0, 1, 1000);
+  const double far = torus.transfer_time(0, 1 + 4 + 16, 1000);  // 3 hops
+  EXPECT_DOUBLE_EQ(near, 1e-6 + 5e-7 + 1e-6);
+  EXPECT_DOUBLE_EQ(far, 1e-6 + 3.0 * 5e-7 + 1e-6);
+}
+
+TEST(Torus, SelfTransferHasNoHops) {
+  Torus3DModel torus({4, 4, 4}, 1, 1e-6, 5e-7, 1e-9);
+  EXPECT_DOUBLE_EQ(torus.transfer_time(5, 5, 0), 1e-6);
+}
+
+TEST(Torus, RejectsInvalidRank) {
+  Torus3DModel torus({2, 2, 2}, 1, 1e-6, 1e-7, 1e-9);
+  EXPECT_THROW(torus.node_coords(8), hs::PreconditionError);
+  EXPECT_THROW(torus.node_coords(-1), hs::PreconditionError);
+}
+
+TEST(TwoLevel, IntraVsInterSwitch) {
+  TwoLevelModel model(/*ranks_per_switch=*/8, 1e-6, 1e-9, 5e-5, 4e-9);
+  EXPECT_DOUBLE_EQ(model.transfer_time(0, 7, 1000), 1e-6 + 1e-6);
+  EXPECT_DOUBLE_EQ(model.transfer_time(0, 8, 1000), 5e-5 + 4e-6);
+  EXPECT_DOUBLE_EQ(model.transfer_time(8, 15, 1000), 1e-6 + 1e-6);
+}
+
+TEST(TwoLevel, InterLatencyMustDominate) {
+  EXPECT_THROW(TwoLevelModel(4, 1e-5, 1e-9, 1e-6, 1e-9),
+               hs::PreconditionError);
+}
+
+}  // namespace

@@ -1,0 +1,92 @@
+#include "trace/phase.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace {
+
+using hs::desim::Engine;
+using hs::desim::Task;
+using hs::trace::PhaseTimer;
+using hs::trace::RankStats;
+using hs::trace::TimingReport;
+
+TEST(PhaseTimer, AccumulatesVirtualTimeAcrossSuspension) {
+  Engine engine;
+  RankStats stats;
+  auto program = [&]() -> Task<void> {
+    {
+      PhaseTimer timer(stats.comm_time, engine);
+      co_await engine.sleep(2.5);
+    }
+    co_await engine.sleep(10.0);  // outside the timer
+    {
+      PhaseTimer timer(stats.comm_time, engine);
+      co_await engine.sleep(0.5);
+    }
+  };
+  engine.spawn(program());
+  engine.run();
+  EXPECT_DOUBLE_EQ(stats.comm_time, 3.0);
+}
+
+TEST(PhaseTimer, NestedTimersChargeBothSlots) {
+  Engine engine;
+  RankStats stats;
+  auto program = [&]() -> Task<void> {
+    PhaseTimer total(stats.comm_time, engine);
+    PhaseTimer outer(stats.outer_comm_time, engine);
+    co_await engine.sleep(1.5);
+  };
+  engine.spawn(program());
+  engine.run();
+  EXPECT_DOUBLE_EQ(stats.comm_time, 1.5);
+  EXPECT_DOUBLE_EQ(stats.outer_comm_time, 1.5);
+}
+
+TEST(RankStats, PlusEqualsMergesAllFields) {
+  RankStats a{1.0, 2.0, 0.25, 0.75, 10};
+  RankStats b{0.5, 1.0, 0.25, 0.25, 5};
+  a += b;
+  EXPECT_DOUBLE_EQ(a.comm_time, 1.5);
+  EXPECT_DOUBLE_EQ(a.comp_time, 3.0);
+  EXPECT_DOUBLE_EQ(a.outer_comm_time, 0.5);
+  EXPECT_DOUBLE_EQ(a.inner_comm_time, 1.0);
+  EXPECT_EQ(a.flops, 15u);
+}
+
+TEST(TimingReport, AggregatesMaxAndMean) {
+  std::vector<RankStats> ranks(3);
+  ranks[0] = {1.0, 4.0, 0.5, 0.5, 100};
+  ranks[1] = {3.0, 2.0, 2.0, 1.0, 200};
+  ranks[2] = {2.0, 6.0, 1.0, 1.0, 300};
+  const auto report = TimingReport::aggregate(10.0, ranks);
+  EXPECT_DOUBLE_EQ(report.total_time, 10.0);
+  EXPECT_DOUBLE_EQ(report.max_comm_time, 3.0);
+  EXPECT_DOUBLE_EQ(report.max_comp_time, 6.0);
+  EXPECT_DOUBLE_EQ(report.mean_comm_time, 2.0);
+  EXPECT_DOUBLE_EQ(report.mean_comp_time, 4.0);
+  EXPECT_DOUBLE_EQ(report.max_outer_comm_time, 2.0);
+  EXPECT_DOUBLE_EQ(report.max_inner_comm_time, 1.0);
+  EXPECT_EQ(report.total_flops, 600u);
+}
+
+TEST(TimingReport, EmptyRanksYieldZeros) {
+  const auto report = TimingReport::aggregate(5.0, {});
+  EXPECT_DOUBLE_EQ(report.total_time, 5.0);
+  EXPECT_DOUBLE_EQ(report.max_comm_time, 0.0);
+  EXPECT_DOUBLE_EQ(report.mean_comm_time, 0.0);
+}
+
+TEST(TimingReport, SummaryMentionsAllComponents) {
+  std::vector<RankStats> ranks(1);
+  ranks[0] = {0.5, 1.5, 0.0, 0.0, 1};
+  const auto report = TimingReport::aggregate(2.0, ranks);
+  const std::string summary = report.summary();
+  EXPECT_NE(summary.find("total"), std::string::npos);
+  EXPECT_NE(summary.find("comm"), std::string::npos);
+  EXPECT_NE(summary.find("comp"), std::string::npos);
+}
+
+}  // namespace

@@ -1,0 +1,106 @@
+#include "tune/group_tuner.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+namespace {
+
+hs::tune::TuneOptions latency_dominated_options() {
+  hs::tune::TuneOptions options;
+  options.grid = {8, 8};
+  options.problem = hs::core::ProblemSpec::square(512, 16);
+  // Strongly latency-dominated so the interior optimum is pronounced.
+  options.network = std::make_shared<hs::net::HockneyModel>(1e-3, 1e-10);
+  options.bcast_algo = hs::net::BcastAlgo::ScatterRingAllgather;
+  options.sample_outer_steps = 2;
+  return options;
+}
+
+TEST(Tuner, FindsInteriorOptimumInLatencyRegime) {
+  const auto result = hs::tune::tune_groups(latency_dominated_options());
+  EXPECT_GT(result.best_groups, 1);
+  EXPECT_LT(result.best_groups, 64);
+  // Model predicts sqrt(64) = 8; allow the adjacent divisors.
+  EXPECT_GE(result.best_groups, 4);
+  EXPECT_LE(result.best_groups, 16);
+  EXPECT_GT(result.best_comm_time, 0.0);
+}
+
+TEST(Tuner, SamplesIncludeSummaBaseline) {
+  const auto result = hs::tune::tune_groups(latency_dominated_options());
+  bool has_g1 = false;
+  for (const auto& sample : result.samples)
+    if (sample.groups == 1) has_g1 = true;
+  EXPECT_TRUE(has_g1);
+}
+
+TEST(Tuner, BestNeverWorseThanSumma) {
+  const auto result = hs::tune::tune_groups(latency_dominated_options());
+  double summa_time = -1.0;
+  for (const auto& sample : result.samples)
+    if (sample.groups == 1) summa_time = sample.comm_time;
+  ASSERT_GT(summa_time, 0.0);
+  EXPECT_LE(result.best_comm_time, summa_time);
+}
+
+TEST(Tuner, RespectsExplicitCandidates) {
+  auto options = latency_dominated_options();
+  options.candidates = {4, 16};
+  const auto result = hs::tune::tune_groups(options);
+  // G=1 is always added as the baseline.
+  ASSERT_EQ(result.samples.size(), 3u);
+  EXPECT_EQ(result.samples[0].groups, 1);
+  EXPECT_EQ(result.samples[1].groups, 4);
+  EXPECT_EQ(result.samples[2].groups, 16);
+}
+
+TEST(Tuner, MaxCandidatesKeepsNeighborhoodOfSqrtP) {
+  auto options = latency_dominated_options();
+  options.max_candidates = 4;
+  const auto result = hs::tune::tune_groups(options);
+  EXPECT_LE(result.samples.size(), 4u);
+  bool has_g1 = false, has_near_sqrt = false;
+  for (const auto& sample : result.samples) {
+    if (sample.groups == 1) has_g1 = true;
+    if (sample.groups == 8) has_near_sqrt = true;
+  }
+  EXPECT_TRUE(has_g1);
+  EXPECT_TRUE(has_near_sqrt);
+}
+
+TEST(Tuner, ScalesSampledTimeToFullProblem) {
+  // Sampling 2 of 4 outer steps must report ~2x the sampled time; verify by
+  // comparing against a full-problem run of the winning configuration.
+  auto options = latency_dominated_options();
+  options.problem = hs::core::ProblemSpec::square(512, 16);
+  options.problem.outer_block = 16;
+  const auto tuned = hs::tune::tune_groups(options);
+
+  hs::desim::Engine engine;
+  hs::mpc::Machine machine(engine, options.network,
+                           {.ranks = options.grid.size()});
+  hs::core::RunOptions run_options;
+  run_options.algorithm = tuned.best_groups == 1
+                              ? hs::core::Algorithm::Summa
+                              : hs::core::Algorithm::Hsumma;
+  run_options.grid = options.grid;
+  run_options.groups = tuned.best_arrangement;
+  run_options.problem = options.problem;
+  run_options.mode = hs::core::PayloadMode::Phantom;
+  run_options.bcast_algo = options.bcast_algo;
+  const auto full = hs::core::run(machine, run_options);
+  EXPECT_NEAR(tuned.best_comm_time, full.timing.max_comm_time,
+              full.timing.max_comm_time * 0.05);
+}
+
+TEST(Tuner, RejectsBadOptions) {
+  auto options = latency_dominated_options();
+  options.network = nullptr;
+  EXPECT_THROW(hs::tune::tune_groups(options), hs::PreconditionError);
+  options = latency_dominated_options();
+  options.sample_outer_steps = 0;
+  EXPECT_THROW(hs::tune::tune_groups(options), hs::PreconditionError);
+}
+
+}  // namespace
