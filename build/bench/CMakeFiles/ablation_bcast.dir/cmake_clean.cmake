@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_bcast.dir/ablation_bcast.cpp.o"
+  "CMakeFiles/ablation_bcast.dir/ablation_bcast.cpp.o.d"
+  "ablation_bcast"
+  "ablation_bcast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_bcast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

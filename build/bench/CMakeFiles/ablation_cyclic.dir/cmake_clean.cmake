@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_cyclic.dir/ablation_cyclic.cpp.o"
+  "CMakeFiles/ablation_cyclic.dir/ablation_cyclic.cpp.o.d"
+  "ablation_cyclic"
+  "ablation_cyclic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_cyclic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

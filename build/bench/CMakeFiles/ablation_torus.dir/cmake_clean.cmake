@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_torus.dir/ablation_torus.cpp.o"
+  "CMakeFiles/ablation_torus.dir/ablation_torus.cpp.o.d"
+  "ablation_torus"
+  "ablation_torus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_torus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

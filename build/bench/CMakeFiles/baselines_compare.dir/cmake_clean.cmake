@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/baselines_compare.dir/baselines_compare.cpp.o"
+  "CMakeFiles/baselines_compare.dir/baselines_compare.cpp.o.d"
+  "baselines_compare"
+  "baselines_compare.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baselines_compare.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/collectives_sweep.dir/collectives_sweep.cpp.o"
+  "CMakeFiles/collectives_sweep.dir/collectives_sweep.cpp.o.d"
+  "collectives_sweep"
+  "collectives_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/collectives_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_exascale.dir/fig10_exascale.cpp.o"
+  "CMakeFiles/fig10_exascale.dir/fig10_exascale.cpp.o.d"
+  "fig10_exascale"
+  "fig10_exascale.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_exascale.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_grid5000_b64.dir/fig5_grid5000_b64.cpp.o"
+  "CMakeFiles/fig5_grid5000_b64.dir/fig5_grid5000_b64.cpp.o.d"
+  "fig5_grid5000_b64"
+  "fig5_grid5000_b64.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_grid5000_b64.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

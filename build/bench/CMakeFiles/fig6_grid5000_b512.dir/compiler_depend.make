@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig6_grid5000_b512.
+# This may be replaced when dependencies are built.

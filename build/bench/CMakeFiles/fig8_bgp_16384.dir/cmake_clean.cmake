@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_bgp_16384.dir/fig8_bgp_16384.cpp.o"
+  "CMakeFiles/fig8_bgp_16384.dir/fig8_bgp_16384.cpp.o.d"
+  "fig8_bgp_16384"
+  "fig8_bgp_16384.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_bgp_16384.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

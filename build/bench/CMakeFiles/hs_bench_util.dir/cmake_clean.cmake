@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hs_bench_util.dir/bench_util.cpp.o"
+  "CMakeFiles/hs_bench_util.dir/bench_util.cpp.o.d"
+  "libhs_bench_util.a"
+  "libhs_bench_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hs_bench_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lu_hierarchy.dir/lu_hierarchy.cpp.o"
+  "CMakeFiles/lu_hierarchy.dir/lu_hierarchy.cpp.o.d"
+  "lu_hierarchy"
+  "lu_hierarchy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lu_hierarchy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_binomial.dir/table1_binomial.cpp.o"
+  "CMakeFiles/table1_binomial.dir/table1_binomial.cpp.o.d"
+  "table1_binomial"
+  "table1_binomial.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_binomial.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

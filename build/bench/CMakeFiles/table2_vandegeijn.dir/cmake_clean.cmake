@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_vandegeijn.dir/table2_vandegeijn.cpp.o"
+  "CMakeFiles/table2_vandegeijn.dir/table2_vandegeijn.cpp.o.d"
+  "table2_vandegeijn"
+  "table2_vandegeijn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_vandegeijn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/weak_scaling_study.dir/weak_scaling_study.cpp.o"
+  "CMakeFiles/weak_scaling_study.dir/weak_scaling_study.cpp.o.d"
+  "weak_scaling_study"
+  "weak_scaling_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/weak_scaling_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

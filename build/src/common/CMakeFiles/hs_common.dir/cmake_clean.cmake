@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hs_common.dir/cli.cpp.o"
+  "CMakeFiles/hs_common.dir/cli.cpp.o.d"
+  "CMakeFiles/hs_common.dir/csv.cpp.o"
+  "CMakeFiles/hs_common.dir/csv.cpp.o.d"
+  "CMakeFiles/hs_common.dir/logging.cpp.o"
+  "CMakeFiles/hs_common.dir/logging.cpp.o.d"
+  "CMakeFiles/hs_common.dir/stats.cpp.o"
+  "CMakeFiles/hs_common.dir/stats.cpp.o.d"
+  "CMakeFiles/hs_common.dir/strings.cpp.o"
+  "CMakeFiles/hs_common.dir/strings.cpp.o.d"
+  "CMakeFiles/hs_common.dir/table.cpp.o"
+  "CMakeFiles/hs_common.dir/table.cpp.o.d"
+  "CMakeFiles/hs_common.dir/units.cpp.o"
+  "CMakeFiles/hs_common.dir/units.cpp.o.d"
+  "libhs_common.a"
+  "libhs_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hs_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

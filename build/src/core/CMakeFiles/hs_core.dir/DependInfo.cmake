@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/cannon.cpp" "src/core/CMakeFiles/hs_core.dir/cannon.cpp.o" "gcc" "src/core/CMakeFiles/hs_core.dir/cannon.cpp.o.d"
+  "/root/repo/src/core/cholesky.cpp" "src/core/CMakeFiles/hs_core.dir/cholesky.cpp.o" "gcc" "src/core/CMakeFiles/hs_core.dir/cholesky.cpp.o.d"
+  "/root/repo/src/core/cyclic.cpp" "src/core/CMakeFiles/hs_core.dir/cyclic.cpp.o" "gcc" "src/core/CMakeFiles/hs_core.dir/cyclic.cpp.o.d"
+  "/root/repo/src/core/fox.cpp" "src/core/CMakeFiles/hs_core.dir/fox.cpp.o" "gcc" "src/core/CMakeFiles/hs_core.dir/fox.cpp.o.d"
+  "/root/repo/src/core/hier_bcast.cpp" "src/core/CMakeFiles/hs_core.dir/hier_bcast.cpp.o" "gcc" "src/core/CMakeFiles/hs_core.dir/hier_bcast.cpp.o.d"
+  "/root/repo/src/core/hsumma.cpp" "src/core/CMakeFiles/hs_core.dir/hsumma.cpp.o" "gcc" "src/core/CMakeFiles/hs_core.dir/hsumma.cpp.o.d"
+  "/root/repo/src/core/lu.cpp" "src/core/CMakeFiles/hs_core.dir/lu.cpp.o" "gcc" "src/core/CMakeFiles/hs_core.dir/lu.cpp.o.d"
+  "/root/repo/src/core/runner.cpp" "src/core/CMakeFiles/hs_core.dir/runner.cpp.o" "gcc" "src/core/CMakeFiles/hs_core.dir/runner.cpp.o.d"
+  "/root/repo/src/core/summa.cpp" "src/core/CMakeFiles/hs_core.dir/summa.cpp.o" "gcc" "src/core/CMakeFiles/hs_core.dir/summa.cpp.o.d"
+  "/root/repo/src/core/summa25d.cpp" "src/core/CMakeFiles/hs_core.dir/summa25d.cpp.o" "gcc" "src/core/CMakeFiles/hs_core.dir/summa25d.cpp.o.d"
+  "/root/repo/src/core/verify.cpp" "src/core/CMakeFiles/hs_core.dir/verify.cpp.o" "gcc" "src/core/CMakeFiles/hs_core.dir/verify.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/hs_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/la/CMakeFiles/hs_la.dir/DependInfo.cmake"
+  "/root/repo/build/src/desim/CMakeFiles/hs_desim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/hs_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpc/CMakeFiles/hs_mpc.dir/DependInfo.cmake"
+  "/root/repo/build/src/grid/CMakeFiles/hs_grid.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/hs_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hs_core.dir/cannon.cpp.o"
+  "CMakeFiles/hs_core.dir/cannon.cpp.o.d"
+  "CMakeFiles/hs_core.dir/cholesky.cpp.o"
+  "CMakeFiles/hs_core.dir/cholesky.cpp.o.d"
+  "CMakeFiles/hs_core.dir/cyclic.cpp.o"
+  "CMakeFiles/hs_core.dir/cyclic.cpp.o.d"
+  "CMakeFiles/hs_core.dir/fox.cpp.o"
+  "CMakeFiles/hs_core.dir/fox.cpp.o.d"
+  "CMakeFiles/hs_core.dir/hier_bcast.cpp.o"
+  "CMakeFiles/hs_core.dir/hier_bcast.cpp.o.d"
+  "CMakeFiles/hs_core.dir/hsumma.cpp.o"
+  "CMakeFiles/hs_core.dir/hsumma.cpp.o.d"
+  "CMakeFiles/hs_core.dir/lu.cpp.o"
+  "CMakeFiles/hs_core.dir/lu.cpp.o.d"
+  "CMakeFiles/hs_core.dir/runner.cpp.o"
+  "CMakeFiles/hs_core.dir/runner.cpp.o.d"
+  "CMakeFiles/hs_core.dir/summa.cpp.o"
+  "CMakeFiles/hs_core.dir/summa.cpp.o.d"
+  "CMakeFiles/hs_core.dir/summa25d.cpp.o"
+  "CMakeFiles/hs_core.dir/summa25d.cpp.o.d"
+  "CMakeFiles/hs_core.dir/verify.cpp.o"
+  "CMakeFiles/hs_core.dir/verify.cpp.o.d"
+  "libhs_core.a"
+  "libhs_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hs_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

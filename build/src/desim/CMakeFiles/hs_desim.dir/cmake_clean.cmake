@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hs_desim.dir/engine.cpp.o"
+  "CMakeFiles/hs_desim.dir/engine.cpp.o.d"
+  "libhs_desim.a"
+  "libhs_desim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hs_desim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

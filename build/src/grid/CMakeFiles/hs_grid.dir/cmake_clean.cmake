@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hs_grid.dir/distribution.cpp.o"
+  "CMakeFiles/hs_grid.dir/distribution.cpp.o.d"
+  "CMakeFiles/hs_grid.dir/hier_grid.cpp.o"
+  "CMakeFiles/hs_grid.dir/hier_grid.cpp.o.d"
+  "CMakeFiles/hs_grid.dir/process_grid.cpp.o"
+  "CMakeFiles/hs_grid.dir/process_grid.cpp.o.d"
+  "libhs_grid.a"
+  "libhs_grid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hs_grid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

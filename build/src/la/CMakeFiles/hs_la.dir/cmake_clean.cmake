@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hs_la.dir/factor.cpp.o"
+  "CMakeFiles/hs_la.dir/factor.cpp.o.d"
+  "CMakeFiles/hs_la.dir/gemm.cpp.o"
+  "CMakeFiles/hs_la.dir/gemm.cpp.o.d"
+  "CMakeFiles/hs_la.dir/generate.cpp.o"
+  "CMakeFiles/hs_la.dir/generate.cpp.o.d"
+  "CMakeFiles/hs_la.dir/matrix.cpp.o"
+  "CMakeFiles/hs_la.dir/matrix.cpp.o.d"
+  "CMakeFiles/hs_la.dir/norms.cpp.o"
+  "CMakeFiles/hs_la.dir/norms.cpp.o.d"
+  "libhs_la.a"
+  "libhs_la.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hs_la.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hs_model.dir/cost_model.cpp.o"
+  "CMakeFiles/hs_model.dir/cost_model.cpp.o.d"
+  "CMakeFiles/hs_model.dir/tables.cpp.o"
+  "CMakeFiles/hs_model.dir/tables.cpp.o.d"
+  "libhs_model.a"
+  "libhs_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hs_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

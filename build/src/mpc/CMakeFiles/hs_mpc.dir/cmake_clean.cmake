@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hs_mpc.dir/collectives.cpp.o"
+  "CMakeFiles/hs_mpc.dir/collectives.cpp.o.d"
+  "CMakeFiles/hs_mpc.dir/comm.cpp.o"
+  "CMakeFiles/hs_mpc.dir/comm.cpp.o.d"
+  "CMakeFiles/hs_mpc.dir/machine.cpp.o"
+  "CMakeFiles/hs_mpc.dir/machine.cpp.o.d"
+  "libhs_mpc.a"
+  "libhs_mpc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hs_mpc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/bcast_cost.cpp" "src/net/CMakeFiles/hs_net.dir/bcast_cost.cpp.o" "gcc" "src/net/CMakeFiles/hs_net.dir/bcast_cost.cpp.o.d"
+  "/root/repo/src/net/model.cpp" "src/net/CMakeFiles/hs_net.dir/model.cpp.o" "gcc" "src/net/CMakeFiles/hs_net.dir/model.cpp.o.d"
+  "/root/repo/src/net/platform.cpp" "src/net/CMakeFiles/hs_net.dir/platform.cpp.o" "gcc" "src/net/CMakeFiles/hs_net.dir/platform.cpp.o.d"
+  "/root/repo/src/net/topology.cpp" "src/net/CMakeFiles/hs_net.dir/topology.cpp.o" "gcc" "src/net/CMakeFiles/hs_net.dir/topology.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/hs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

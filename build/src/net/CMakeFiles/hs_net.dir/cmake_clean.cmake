@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hs_net.dir/bcast_cost.cpp.o"
+  "CMakeFiles/hs_net.dir/bcast_cost.cpp.o.d"
+  "CMakeFiles/hs_net.dir/model.cpp.o"
+  "CMakeFiles/hs_net.dir/model.cpp.o.d"
+  "CMakeFiles/hs_net.dir/platform.cpp.o"
+  "CMakeFiles/hs_net.dir/platform.cpp.o.d"
+  "CMakeFiles/hs_net.dir/topology.cpp.o"
+  "CMakeFiles/hs_net.dir/topology.cpp.o.d"
+  "libhs_net.a"
+  "libhs_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hs_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

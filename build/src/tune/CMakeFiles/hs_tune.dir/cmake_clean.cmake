@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hs_tune.dir/group_tuner.cpp.o"
+  "CMakeFiles/hs_tune.dir/group_tuner.cpp.o.d"
+  "libhs_tune.a"
+  "libhs_tune.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hs_tune.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

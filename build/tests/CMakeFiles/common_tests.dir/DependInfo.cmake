@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/common/test_check.cpp" "tests/CMakeFiles/common_tests.dir/common/test_check.cpp.o" "gcc" "tests/CMakeFiles/common_tests.dir/common/test_check.cpp.o.d"
+  "/root/repo/tests/common/test_cli.cpp" "tests/CMakeFiles/common_tests.dir/common/test_cli.cpp.o" "gcc" "tests/CMakeFiles/common_tests.dir/common/test_cli.cpp.o.d"
+  "/root/repo/tests/common/test_csv.cpp" "tests/CMakeFiles/common_tests.dir/common/test_csv.cpp.o" "gcc" "tests/CMakeFiles/common_tests.dir/common/test_csv.cpp.o.d"
+  "/root/repo/tests/common/test_rng.cpp" "tests/CMakeFiles/common_tests.dir/common/test_rng.cpp.o" "gcc" "tests/CMakeFiles/common_tests.dir/common/test_rng.cpp.o.d"
+  "/root/repo/tests/common/test_stats.cpp" "tests/CMakeFiles/common_tests.dir/common/test_stats.cpp.o" "gcc" "tests/CMakeFiles/common_tests.dir/common/test_stats.cpp.o.d"
+  "/root/repo/tests/common/test_strings.cpp" "tests/CMakeFiles/common_tests.dir/common/test_strings.cpp.o" "gcc" "tests/CMakeFiles/common_tests.dir/common/test_strings.cpp.o.d"
+  "/root/repo/tests/common/test_table.cpp" "tests/CMakeFiles/common_tests.dir/common/test_table.cpp.o" "gcc" "tests/CMakeFiles/common_tests.dir/common/test_table.cpp.o.d"
+  "/root/repo/tests/common/test_units.cpp" "tests/CMakeFiles/common_tests.dir/common/test_units.cpp.o" "gcc" "tests/CMakeFiles/common_tests.dir/common/test_units.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/hs_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/hs_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/tune/CMakeFiles/hs_tune.dir/DependInfo.cmake"
+  "/root/repo/build/src/grid/CMakeFiles/hs_grid.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/hs_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpc/CMakeFiles/hs_mpc.dir/DependInfo.cmake"
+  "/root/repo/build/src/desim/CMakeFiles/hs_desim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/hs_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/la/CMakeFiles/hs_la.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/hs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

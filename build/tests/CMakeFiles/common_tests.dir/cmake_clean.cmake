@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/common_tests.dir/common/test_check.cpp.o"
+  "CMakeFiles/common_tests.dir/common/test_check.cpp.o.d"
+  "CMakeFiles/common_tests.dir/common/test_cli.cpp.o"
+  "CMakeFiles/common_tests.dir/common/test_cli.cpp.o.d"
+  "CMakeFiles/common_tests.dir/common/test_csv.cpp.o"
+  "CMakeFiles/common_tests.dir/common/test_csv.cpp.o.d"
+  "CMakeFiles/common_tests.dir/common/test_rng.cpp.o"
+  "CMakeFiles/common_tests.dir/common/test_rng.cpp.o.d"
+  "CMakeFiles/common_tests.dir/common/test_stats.cpp.o"
+  "CMakeFiles/common_tests.dir/common/test_stats.cpp.o.d"
+  "CMakeFiles/common_tests.dir/common/test_strings.cpp.o"
+  "CMakeFiles/common_tests.dir/common/test_strings.cpp.o.d"
+  "CMakeFiles/common_tests.dir/common/test_table.cpp.o"
+  "CMakeFiles/common_tests.dir/common/test_table.cpp.o.d"
+  "CMakeFiles/common_tests.dir/common/test_units.cpp.o"
+  "CMakeFiles/common_tests.dir/common/test_units.cpp.o.d"
+  "common_tests"
+  "common_tests.pdb"
+  "common_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/common_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_tests.dir/core/test_baselines.cpp.o"
+  "CMakeFiles/core_tests.dir/core/test_baselines.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/test_cholesky.cpp.o"
+  "CMakeFiles/core_tests.dir/core/test_cholesky.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/test_cyclic.cpp.o"
+  "CMakeFiles/core_tests.dir/core/test_cyclic.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/test_hsumma.cpp.o"
+  "CMakeFiles/core_tests.dir/core/test_hsumma.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/test_lu.cpp.o"
+  "CMakeFiles/core_tests.dir/core/test_lu.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/test_multilevel.cpp.o"
+  "CMakeFiles/core_tests.dir/core/test_multilevel.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/test_overlap.cpp.o"
+  "CMakeFiles/core_tests.dir/core/test_overlap.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/test_panel.cpp.o"
+  "CMakeFiles/core_tests.dir/core/test_panel.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/test_runner.cpp.o"
+  "CMakeFiles/core_tests.dir/core/test_runner.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/test_summa.cpp.o"
+  "CMakeFiles/core_tests.dir/core/test_summa.cpp.o.d"
+  "core_tests"
+  "core_tests.pdb"
+  "core_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

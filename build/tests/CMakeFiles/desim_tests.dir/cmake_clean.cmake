@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/desim_tests.dir/desim/test_async.cpp.o"
+  "CMakeFiles/desim_tests.dir/desim/test_async.cpp.o.d"
+  "CMakeFiles/desim_tests.dir/desim/test_engine.cpp.o"
+  "CMakeFiles/desim_tests.dir/desim/test_engine.cpp.o.d"
+  "CMakeFiles/desim_tests.dir/desim/test_task.cpp.o"
+  "CMakeFiles/desim_tests.dir/desim/test_task.cpp.o.d"
+  "desim_tests"
+  "desim_tests.pdb"
+  "desim_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/desim_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grid_tests.dir/grid/test_distribution.cpp.o"
+  "CMakeFiles/grid_tests.dir/grid/test_distribution.cpp.o.d"
+  "CMakeFiles/grid_tests.dir/grid/test_hier_grid.cpp.o"
+  "CMakeFiles/grid_tests.dir/grid/test_hier_grid.cpp.o.d"
+  "CMakeFiles/grid_tests.dir/grid/test_process_grid.cpp.o"
+  "CMakeFiles/grid_tests.dir/grid/test_process_grid.cpp.o.d"
+  "grid_tests"
+  "grid_tests.pdb"
+  "grid_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grid_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

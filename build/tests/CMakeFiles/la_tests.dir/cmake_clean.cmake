@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/la_tests.dir/la/test_factor.cpp.o"
+  "CMakeFiles/la_tests.dir/la/test_factor.cpp.o.d"
+  "CMakeFiles/la_tests.dir/la/test_gemm.cpp.o"
+  "CMakeFiles/la_tests.dir/la/test_gemm.cpp.o.d"
+  "CMakeFiles/la_tests.dir/la/test_generate.cpp.o"
+  "CMakeFiles/la_tests.dir/la/test_generate.cpp.o.d"
+  "CMakeFiles/la_tests.dir/la/test_matrix.cpp.o"
+  "CMakeFiles/la_tests.dir/la/test_matrix.cpp.o.d"
+  "CMakeFiles/la_tests.dir/la/test_norms.cpp.o"
+  "CMakeFiles/la_tests.dir/la/test_norms.cpp.o.d"
+  "la_tests"
+  "la_tests.pdb"
+  "la_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/la_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/model_tests.dir/model/test_cost_model.cpp.o"
+  "CMakeFiles/model_tests.dir/model/test_cost_model.cpp.o.d"
+  "CMakeFiles/model_tests.dir/model/test_tables.cpp.o"
+  "CMakeFiles/model_tests.dir/model/test_tables.cpp.o.d"
+  "CMakeFiles/model_tests.dir/tune/test_tuner.cpp.o"
+  "CMakeFiles/model_tests.dir/tune/test_tuner.cpp.o.d"
+  "model_tests"
+  "model_tests.pdb"
+  "model_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/model_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/mpc/test_allreduce_algos.cpp" "tests/CMakeFiles/mpc_tests.dir/mpc/test_allreduce_algos.cpp.o" "gcc" "tests/CMakeFiles/mpc_tests.dir/mpc/test_allreduce_algos.cpp.o.d"
+  "/root/repo/tests/mpc/test_closed_form.cpp" "tests/CMakeFiles/mpc_tests.dir/mpc/test_closed_form.cpp.o" "gcc" "tests/CMakeFiles/mpc_tests.dir/mpc/test_closed_form.cpp.o.d"
+  "/root/repo/tests/mpc/test_collectives.cpp" "tests/CMakeFiles/mpc_tests.dir/mpc/test_collectives.cpp.o" "gcc" "tests/CMakeFiles/mpc_tests.dir/mpc/test_collectives.cpp.o.d"
+  "/root/repo/tests/mpc/test_comm.cpp" "tests/CMakeFiles/mpc_tests.dir/mpc/test_comm.cpp.o" "gcc" "tests/CMakeFiles/mpc_tests.dir/mpc/test_comm.cpp.o.d"
+  "/root/repo/tests/mpc/test_p2p.cpp" "tests/CMakeFiles/mpc_tests.dir/mpc/test_p2p.cpp.o" "gcc" "tests/CMakeFiles/mpc_tests.dir/mpc/test_p2p.cpp.o.d"
+  "/root/repo/tests/mpc/test_stress.cpp" "tests/CMakeFiles/mpc_tests.dir/mpc/test_stress.cpp.o" "gcc" "tests/CMakeFiles/mpc_tests.dir/mpc/test_stress.cpp.o.d"
+  "/root/repo/tests/mpc/test_transfer_log.cpp" "tests/CMakeFiles/mpc_tests.dir/mpc/test_transfer_log.cpp.o" "gcc" "tests/CMakeFiles/mpc_tests.dir/mpc/test_transfer_log.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/hs_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/hs_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/tune/CMakeFiles/hs_tune.dir/DependInfo.cmake"
+  "/root/repo/build/src/grid/CMakeFiles/hs_grid.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/hs_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpc/CMakeFiles/hs_mpc.dir/DependInfo.cmake"
+  "/root/repo/build/src/desim/CMakeFiles/hs_desim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/hs_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/la/CMakeFiles/hs_la.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/hs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

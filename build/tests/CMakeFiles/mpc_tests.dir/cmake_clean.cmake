@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpc_tests.dir/mpc/test_allreduce_algos.cpp.o"
+  "CMakeFiles/mpc_tests.dir/mpc/test_allreduce_algos.cpp.o.d"
+  "CMakeFiles/mpc_tests.dir/mpc/test_closed_form.cpp.o"
+  "CMakeFiles/mpc_tests.dir/mpc/test_closed_form.cpp.o.d"
+  "CMakeFiles/mpc_tests.dir/mpc/test_collectives.cpp.o"
+  "CMakeFiles/mpc_tests.dir/mpc/test_collectives.cpp.o.d"
+  "CMakeFiles/mpc_tests.dir/mpc/test_comm.cpp.o"
+  "CMakeFiles/mpc_tests.dir/mpc/test_comm.cpp.o.d"
+  "CMakeFiles/mpc_tests.dir/mpc/test_p2p.cpp.o"
+  "CMakeFiles/mpc_tests.dir/mpc/test_p2p.cpp.o.d"
+  "CMakeFiles/mpc_tests.dir/mpc/test_stress.cpp.o"
+  "CMakeFiles/mpc_tests.dir/mpc/test_stress.cpp.o.d"
+  "CMakeFiles/mpc_tests.dir/mpc/test_transfer_log.cpp.o"
+  "CMakeFiles/mpc_tests.dir/mpc/test_transfer_log.cpp.o.d"
+  "mpc_tests"
+  "mpc_tests.pdb"
+  "mpc_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpc_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/net/test_bcast_cost.cpp" "tests/CMakeFiles/net_tests.dir/net/test_bcast_cost.cpp.o" "gcc" "tests/CMakeFiles/net_tests.dir/net/test_bcast_cost.cpp.o.d"
+  "/root/repo/tests/net/test_model.cpp" "tests/CMakeFiles/net_tests.dir/net/test_model.cpp.o" "gcc" "tests/CMakeFiles/net_tests.dir/net/test_model.cpp.o.d"
+  "/root/repo/tests/net/test_platform.cpp" "tests/CMakeFiles/net_tests.dir/net/test_platform.cpp.o" "gcc" "tests/CMakeFiles/net_tests.dir/net/test_platform.cpp.o.d"
+  "/root/repo/tests/net/test_topology.cpp" "tests/CMakeFiles/net_tests.dir/net/test_topology.cpp.o" "gcc" "tests/CMakeFiles/net_tests.dir/net/test_topology.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/hs_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/hs_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/tune/CMakeFiles/hs_tune.dir/DependInfo.cmake"
+  "/root/repo/build/src/grid/CMakeFiles/hs_grid.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/hs_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpc/CMakeFiles/hs_mpc.dir/DependInfo.cmake"
+  "/root/repo/build/src/desim/CMakeFiles/hs_desim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/hs_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/la/CMakeFiles/hs_la.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/hs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
