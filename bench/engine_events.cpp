@@ -1,0 +1,277 @@
+// Engine hot-path micro-benchmark: events/sec and peak RSS on synthetic
+// 16384-rank workloads plus fig10_exascale-shaped HSUMMA traffic.
+//
+// Three workloads, all deterministic in virtual time:
+//   * sleep_storm    — pure event-queue churn: every rank loops on sleeps of
+//                      pseudo-random (seeded) durations. Measures raw heap
+//                      push/pop + coroutine resume throughput.
+//   * ring_exchange  — the simulator's common traffic pattern: every rank
+//                      repeatedly isend/irecv's phantom payloads around a
+//                      ring. Measures the full p2p path (Request/Gate
+//                      allocation, rendezvous matching, port accounting).
+//   * collective_storm — bulk-synchronous rounds of world-wide closed-form
+//                      collectives (phantom bcast, then barrier): every
+//                      round one synchronization site fires all 16384
+//                      member gates at a single instant — the dominant
+//                      event pattern of HSUMMA/SUMMA simulations.
+//   * fig10_shaped   — an HSUMMA run with the exascale platform's Hockney
+//                      parameters (closed-form collectives, phantom
+//                      payloads) at a simulable rank count, i.e. the traffic
+//                      shape behind bench/fig10_exascale's analytic sweep.
+//
+// Results are printed as a table and written as machine-readable JSON (see
+// --out; BENCH_engine.json at the repo root keeps committed before/after
+// snapshots). --smoke shrinks every workload for use as a ctest smoke test.
+#include "bench_util.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "mpc/collectives.hpp"
+
+namespace {
+
+using hs::desim::Engine;
+using hs::desim::Task;
+using hs::mpc::Buf;
+using hs::mpc::Comm;
+using hs::mpc::ConstBuf;
+using hs::mpc::Machine;
+
+/// Peak resident set size (VmHWM) in kilobytes; 0 when unavailable.
+long long peak_rss_kb() {
+  std::ifstream status("/proc/self/status");
+  std::string line;
+  while (std::getline(status, line)) {
+    if (line.rfind("VmHWM:", 0) == 0) {
+      long long kb = 0;
+      std::sscanf(line.c_str(), "VmHWM: %lld", &kb);
+      return kb;
+    }
+  }
+  return 0;
+}
+
+struct WorkloadResult {
+  std::string name;
+  int ranks = 0;
+  std::uint64_t events = 0;
+  double wall_seconds = 0.0;
+  double events_per_sec = 0.0;
+  double virtual_time = 0.0;
+  long long peak_rss_kb = 0;
+};
+
+template <typename Body>
+WorkloadResult time_workload(const std::string& name, int ranks, Body&& body) {
+  WorkloadResult result;
+  result.name = name;
+  result.ranks = ranks;
+  const auto wall_start = std::chrono::steady_clock::now();
+  body(result);
+  result.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    wall_start)
+          .count();
+  result.events_per_sec =
+      result.wall_seconds > 0.0
+          ? static_cast<double>(result.events) / result.wall_seconds
+          : 0.0;
+  result.peak_rss_kb = peak_rss_kb();
+  return result;
+}
+
+WorkloadResult sleep_storm(int ranks, int rounds) {
+  return time_workload("sleep_storm", ranks, [&](WorkloadResult& result) {
+    Engine engine;
+    auto rank_main = [&](int rank) -> Task<void> {
+      hs::Rng rng(0x5eedULL ^ static_cast<std::uint64_t>(rank));
+      for (int r = 0; r < rounds; ++r)
+        co_await engine.sleep(rng.uniform() * 1e-3);
+    };
+    for (int rank = 0; rank < ranks; ++rank) engine.spawn(rank_main(rank));
+    engine.run();
+    result.events = engine.events_processed();
+    result.virtual_time = engine.now();
+  });
+}
+
+WorkloadResult ring_exchange(int ranks, int rounds) {
+  return time_workload("ring_exchange", ranks, [&](WorkloadResult& result) {
+    Engine engine;
+    Machine machine(engine,
+                    std::make_shared<hs::net::HockneyModel>(3e-6, 1e-9),
+                    {.ranks = ranks});
+    constexpr std::size_t kElems = 256;
+    auto rank_main = [&](Comm comm) -> Task<void> {
+      const int p = comm.size();
+      const int right = (comm.rank() + 1) % p;
+      const int left = (comm.rank() - 1 + p) % p;
+      for (int r = 0; r < rounds; ++r) {
+        hs::mpc::Request send = comm.isend(right, ConstBuf::phantom(kElems));
+        hs::mpc::Request recv = comm.irecv(left, Buf::phantom(kElems));
+        co_await send.wait();
+        co_await recv.wait();
+      }
+    };
+    for (int rank = 0; rank < ranks; ++rank)
+      engine.spawn(rank_main(machine.world(rank)));
+    engine.run();
+    result.events = engine.events_processed();
+    result.virtual_time = engine.now();
+  });
+}
+
+WorkloadResult collective_storm(int ranks, int rounds) {
+  return time_workload("collective_storm", ranks, [&](WorkloadResult& result) {
+    Engine engine;
+    Machine machine(engine,
+                    std::make_shared<hs::net::HockneyModel>(3e-6, 1e-9),
+                    {.ranks = ranks,
+                     .collective_mode = hs::mpc::CollectiveMode::ClosedForm});
+    constexpr std::size_t kElems = 1024;
+    auto rank_main = [&](Comm comm) -> Task<void> {
+      for (int r = 0; r < rounds; ++r) {
+        co_await hs::mpc::bcast(comm, /*root=*/r % comm.size(),
+                                Buf::phantom(kElems));
+        co_await hs::mpc::barrier(comm);
+      }
+    };
+    for (int rank = 0; rank < ranks; ++rank)
+      engine.spawn(rank_main(machine.world(rank)));
+    engine.run();
+    result.events = engine.events_processed();
+    result.virtual_time = engine.now();
+  });
+}
+
+WorkloadResult fig10_shaped(int ranks, long long n, long long block) {
+  return time_workload("fig10_shaped", ranks, [&](WorkloadResult& result) {
+    const auto platform = hs::net::Platform::exascale();
+    Engine engine;
+    Machine machine(
+        engine,
+        std::make_shared<hs::net::HockneyModel>(platform.alpha,
+                                                platform.beta),
+        {.ranks = ranks,
+         .collective_mode = hs::mpc::CollectiveMode::ClosedForm,
+         .gamma_flop = platform.gamma_flop});
+    const int side = [&] {
+      int s = 1;
+      while (s * s < ranks) ++s;
+      return s;
+    }();
+    HS_REQUIRE_MSG(side * side == ranks, "fig10_shaped needs a square rank count");
+    int group_rows = 1, group_cols = 1;  // G ~= sqrt(p), as the paper's optimum
+    while (group_rows * group_cols * group_rows * group_cols < ranks) {
+      if (group_rows <= group_cols) group_rows *= 2; else group_cols *= 2;
+    }
+    hs::core::RunOptions options;
+    options.algorithm = hs::core::Algorithm::Hsumma;
+    options.grid = {side, side};
+    options.groups = {group_rows, group_cols};
+    options.problem = hs::core::ProblemSpec::square(n, block);
+    options.mode = hs::core::PayloadMode::Phantom;
+    hs::core::run(machine, options);
+    result.events = engine.events_processed();
+    result.virtual_time = engine.now();
+  });
+}
+
+void write_json(const std::string& path,
+                const std::vector<WorkloadResult>& results) {
+  std::ofstream out(path);
+  HS_REQUIRE_MSG(out.good(), "cannot open JSON output path " << path);
+  out << "{\n  \"bench\": \"engine_events\",\n  \"workloads\": [\n";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const auto& r = results[i];
+    char buffer[512];
+    std::snprintf(buffer, sizeof(buffer),
+                  "    {\"name\": \"%s\", \"ranks\": %d, \"events\": %llu, "
+                  "\"wall_seconds\": %.6f, \"events_per_sec\": %.0f, "
+                  "\"virtual_time\": %.9e, \"peak_rss_kb\": %lld}%s\n",
+                  r.name.c_str(), r.ranks,
+                  static_cast<unsigned long long>(r.events), r.wall_seconds,
+                  r.events_per_sec, r.virtual_time, r.peak_rss_kb,
+                  i + 1 < results.size() ? "," : "");
+    out << buffer;
+  }
+  out << "  ]\n}\n";
+  std::cout << "JSON written to " << path << "\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  long long ranks = 16384, sleep_rounds = 128, ring_rounds = 64;
+  long long collective_rounds = 32;
+  long long fig10_n = 32768, fig10_block = 256;
+  bool smoke = false;
+  std::string out = "BENCH_engine.json";
+
+  hs::CliParser cli(
+      "Engine hot-path micro-benchmark: events/sec + peak RSS on synthetic "
+      "16384-rank workloads and fig10-exascale-shaped HSUMMA traffic");
+  cli.add_int("ranks", "simulated rank count (square number)", &ranks);
+  cli.add_int("sleep-rounds", "sleeps per rank in sleep_storm", &sleep_rounds);
+  cli.add_int("ring-rounds", "exchanges per rank in ring_exchange",
+              &ring_rounds);
+  cli.add_int("collective-rounds",
+              "bcast+barrier rounds per rank in collective_storm",
+              &collective_rounds);
+  cli.add_int("fig10-n", "matrix dimension for fig10_shaped", &fig10_n);
+  cli.add_int("fig10-block", "block size for fig10_shaped", &fig10_block);
+  cli.add_flag("smoke", "tiny configuration for CI smoke runs", &smoke);
+  cli.add_string("out", "JSON output path", &out);
+  if (!cli.parse(argc, argv)) return 1;
+
+  if (smoke) {
+    ranks = 256;
+    sleep_rounds = 16;
+    ring_rounds = 8;
+    collective_rounds = 4;
+    // n must be divisible by grid_side * block (16 * 256 here) so pivot
+    // panels align to grid columns.
+    fig10_n = 4096;
+    fig10_block = 256;
+  }
+
+  hs::bench::print_banner(
+      "Engine events/sec micro-benchmark",
+      "ranks=" + std::to_string(ranks) +
+          "  sleep_rounds=" + std::to_string(sleep_rounds) +
+          "  ring_rounds=" + std::to_string(ring_rounds) +
+          "  collective_rounds=" + std::to_string(collective_rounds) +
+          "  fig10: n=" + std::to_string(fig10_n) +
+          " b=" + std::to_string(fig10_block));
+
+  std::vector<WorkloadResult> results;
+  results.push_back(sleep_storm(static_cast<int>(ranks),
+                                static_cast<int>(sleep_rounds)));
+  results.push_back(ring_exchange(static_cast<int>(ranks),
+                                  static_cast<int>(ring_rounds)));
+  results.push_back(collective_storm(static_cast<int>(ranks),
+                                     static_cast<int>(collective_rounds)));
+  results.push_back(
+      fig10_shaped(static_cast<int>(ranks), fig10_n, fig10_block));
+
+  hs::Table table({"workload", "ranks", "events", "wall s", "events/sec",
+                   "virtual time", "peak RSS MB"});
+  for (const auto& r : results)
+    table.add_row({r.name, std::to_string(r.ranks), std::to_string(r.events),
+                   hs::format_double(r.wall_seconds, 4),
+                   hs::format_double(r.events_per_sec, 0),
+                   hs::format_seconds(r.virtual_time),
+                   hs::format_double(static_cast<double>(r.peak_rss_kb) /
+                                         1024.0,
+                                     1)});
+  table.print(std::cout);
+  write_json(out, results);
+  return 0;
+}

@@ -119,6 +119,8 @@ RunResult run(mpc::Machine& machine, const RunOptions& options) {
                : nullptr;
   };
 
+  machine.engine().reserve(static_cast<std::size_t>(total_ranks),
+                           static_cast<std::size_t>(total_ranks));
   for (int rank = 0; rank < total_ranks; ++rank) {
     mpc::Comm world = machine.world(rank);
     trace::RankStats* rank_stats = &stats[static_cast<std::size_t>(rank)];

@@ -1,6 +1,8 @@
 #include "desim/engine.hpp"
 
+#include <algorithm>
 #include <sstream>
+#include <utility>
 
 namespace hs::desim {
 
@@ -27,15 +29,164 @@ void Engine::schedule_at(SimTime time, std::coroutine_handle<> handle) {
   HS_REQUIRE(handle != nullptr);
   HS_REQUIRE_MSG(time >= now_,
                  "schedule_at into the past: t=" << time << " now=" << now_);
-  queue_.push(Event{time, next_seq_++, handle});
+  const std::uint64_t seq = next_seq_++ << kSeqShift;
+  // Fast path: an event at the current time (fired gate, zero-latency fork)
+  // necessarily sorts after everything already consumed and after all
+  // earlier now-queue entries (its seq is the largest yet issued), so a
+  // FIFO append preserves the global (time, seq) order exactly.
+  if (running_ && time == now_) {
+    now_queue_.push_back({time, seq, handle});
+    return;
+  }
+  // Coalescing path: a push at the exact time of the previous push joins
+  // that time's bucket instead of becoming its own heap entry. Bucket
+  // appends are in seq order by construction, and the cache is abandoned
+  // (never revisited) as soon as a different time is pushed, so a bucket
+  // holds a seq-contiguous run — draining it front-to-back before any later
+  // entry reproduces (time, seq) order exactly.
+  if (cache_valid_ && time == cache_time_) {
+    if (cache_bucket_ >= 0) {
+      bucket_pool_[static_cast<std::size_t>(cache_bucket_)]
+          .handles.push_back(handle);
+      return;
+    }
+    // Second consecutive push at this time: open a bucket on this event
+    // (the first push stays a standalone entry with a smaller seq).
+    const std::int32_t bucket = bucket_alloc();
+    if (bucket >= 0) {
+      cache_bucket_ = bucket;
+      heap_push({time, seq | static_cast<std::uint64_t>(bucket + 1), handle});
+      return;
+    }
+    // Bucket index space exhausted: this entry stays standalone, and the
+    // cache must stop collecting this time (later appends would sort
+    // behind this entry's seq).
+    cache_valid_ = false;
+    heap_push({time, seq, handle});
+    return;
+  }
+  cache_valid_ = true;
+  cache_time_ = time;
+  cache_bucket_ = -1;
+  heap_push({time, seq, handle});
+}
+
+std::int32_t Engine::bucket_alloc() {
+  if (bucket_free_head_ >= 0) {
+    const std::int32_t index = bucket_free_head_;
+    Bucket& bucket = bucket_pool_[static_cast<std::size_t>(index)];
+    bucket_free_head_ = bucket.next_free;
+    bucket.next_free = -1;
+    return index;
+  }
+  if (bucket_pool_.size() >= kBucketMask) return -1;
+  bucket_pool_.emplace_back();
+  return static_cast<std::int32_t>(bucket_pool_.size() - 1);
+}
+
+void Engine::bucket_free(std::int32_t index) {
+  Bucket& bucket = bucket_pool_[static_cast<std::size_t>(index)];
+  bucket.handles.clear();
+  bucket.head = 0;
+  bucket.next_free = bucket_free_head_;
+  bucket_free_head_ = index;
+  if (cache_bucket_ == index) {
+    cache_valid_ = false;
+    cache_bucket_ = -1;
+  }
+}
+
+// The heap is kHeapArity-ary (children of i at A*i+1..A*i+A): against a
+// binary heap this divides the number of levels a sift touches by log2(A),
+// and a 16384-event frontier is far larger than L1, so pop cost is
+// dominated by per-level cache misses, not comparisons. Sifts move a
+// "hole" instead of swapping (one store per level instead of three).
+
+void Engine::heap_push(const Event& event) {
+  heap_.push_back(event);
+  std::size_t hole = heap_.size() - 1;
+  while (hole > 0) {
+    const std::size_t parent = (hole - 1) / kHeapArity;
+    if (!event_before(event, heap_[parent])) break;
+    heap_[hole] = heap_[parent];
+    hole = parent;
+  }
+  heap_[hole] = event;
+}
+
+Engine::Event Engine::heap_pop() {
+  HS_ASSERT(!heap_.empty());
+  const Event top = heap_.front();
+  const Event last = heap_.back();
+  heap_.pop_back();
+  const std::size_t size = heap_.size();
+  if (size > 0) {
+    // Sift the former last element down from the root hole.
+    std::size_t hole = 0;
+    for (;;) {
+      const std::size_t first_child = kHeapArity * hole + 1;
+      if (first_child >= size) break;
+      const std::size_t limit = std::min(first_child + kHeapArity, size);
+      std::size_t best = first_child;
+      for (std::size_t child = first_child + 1; child < limit; ++child)
+        if (event_before(heap_[child], heap_[best])) best = child;
+      if (!event_before(heap_[best], last)) break;
+      heap_[hole] = heap_[best];
+      hole = best;
+    }
+    heap_[hole] = last;
+  }
+  return top;
+}
+
+Engine::Event Engine::pop_next() {
+  // A draining bucket is globally next: its handles' seqs precede any later
+  // same-time heap entry (appends to it ceased before that entry was
+  // pushed) and any now-queue entry (those were sequenced during the
+  // drain, i.e. later).
+  if (draining_ >= 0) {
+    Bucket& bucket = bucket_pool_[static_cast<std::size_t>(draining_)];
+    const Event event{now_, 0, bucket.handles[bucket.head++]};
+    if (bucket.head == bucket.handles.size()) {
+      const std::int32_t done = draining_;
+      draining_ = -1;
+      bucket_free(done);
+    }
+    return event;
+  }
+  // The now-queue holds only events with time == now_ in increasing seq
+  // order; the heap may still hold an equal-time event with a *smaller*
+  // seq (scheduled before now_ was reached), so compare fronts.
+  if (now_head_ < now_queue_.size()) {
+    const Event fast = now_queue_[now_head_];
+    if (heap_.empty() || !event_before(heap_.front(), fast)) {
+      ++now_head_;
+      if (now_head_ == now_queue_.size()) {
+        now_queue_.clear();
+        now_head_ = 0;
+      }
+      return fast;
+    }
+  }
+  Event event = heap_pop();
+  const std::int32_t index =
+      static_cast<std::int32_t>(event.seq_bucket & kBucketMask) - 1;
+  if (index >= 0) {
+    const Bucket& bucket = bucket_pool_[static_cast<std::size_t>(index)];
+    if (bucket.head < bucket.handles.size()) {
+      draining_ = index;
+    } else {
+      bucket_free(index);
+    }
+  }
+  return event;
 }
 
 void Engine::run() {
   HS_REQUIRE_MSG(!running_, "Engine::run is not reentrant");
   running_ = true;
-  while (!queue_.empty() && !failure_) {
-    Event event = queue_.top();
-    queue_.pop();
+  while (!queues_empty() && !failure_) {
+    Event event = pop_next();
     HS_ASSERT(event.time >= now_);
     now_ = event.time;
     ++events_processed_;
@@ -47,6 +198,7 @@ void Engine::run() {
     // Drop remaining events; suspended coroutine frames are reclaimed when
     // their owning Task objects (supervisors_, and pending-op tasks held by
     // them) are destroyed with the engine.
+    drop_pending_events();
     std::exception_ptr failure = failure_;
     failure_ = nullptr;
     std::rethrow_exception(failure);

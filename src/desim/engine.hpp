@@ -12,13 +12,24 @@
 // simulation has deadlocked (e.g. a recv with no matching send) and run()
 // throws DeadlockError naming the stuck processes. A process that throws
 // aborts the whole run and its exception is re-thrown from run().
+//
+// Hot-path layout (see DESIGN.md "Performance & benchmarking"): the event
+// queue is a hand-sifted 8-ary min-heap over a flat, reserved vector (no
+// per-event allocation, no std::priority_queue indirection), with an O(1)
+// FIFO side-queue for the common "resume at the current time" case (gates
+// fired at `now`, zero-latency forks) and same-timestamp coalescing
+// buckets for the bursts of bit-identical future times that synchronized
+// ranks generate. All structures pop in exactly (time, seq) order, so the
+// schedule is bit-for-bit identical to a single totally-ordered queue —
+// asserted against seed-engine goldens by tests/desim/test_determinism.cpp.
+// Coroutine frames (including the per-process supervise wrappers) are
+// recycled through desim::FramePool.
 #pragma once
 
 #include <coroutine>
 #include <cstdint>
 #include <exception>
 #include <memory>
-#include <queue>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -62,6 +73,15 @@ class Engine {
   /// Total events processed so far (exposed for engine micro-benchmarks).
   std::uint64_t events_processed() const noexcept { return events_processed_; }
 
+  /// Pre-size internal storage: `processes` further top-level spawns and a
+  /// peak in-flight event population of `pending_events`. Purely a
+  /// reallocation-avoidance hint; safe to skip or under-estimate.
+  void reserve(std::size_t processes, std::size_t pending_events) {
+    records_.reserve(records_.size() + processes);
+    supervisors_.reserve(supervisors_.size() + processes);
+    if (heap_.capacity() < pending_events) heap_.reserve(pending_events);
+  }
+
   /// Schedule a raw handle (used by awaitables and by Gate).
   void schedule_at(SimTime time, std::coroutine_handle<> handle);
 
@@ -90,13 +110,26 @@ class Engine {
  private:
   struct Event {
     SimTime time;
-    std::uint64_t seq;
+    // High 48 bits: scheduling sequence number. Low 16 bits: index + 1 of
+    // the coalescing bucket hanging off this entry (0 = none). Packing
+    // keeps Event at 24 bytes — sift cost is cache-bound — and since seqs
+    // are unique, comparing the packed word compares seqs.
+    std::uint64_t seq_bucket;
     std::coroutine_handle<> handle;
-    bool operator>(const Event& other) const noexcept {
-      if (time != other.time) return time > other.time;
-      return seq > other.seq;
-    }
   };
+  static constexpr int kSeqShift = 16;
+  static constexpr std::uint64_t kBucketMask = 0xFFFF;
+
+  static bool event_before(const Event& a, const Event& b) noexcept {
+    if (a.time != b.time) return a.time < b.time;
+    return a.seq_bucket < b.seq_bucket;
+  }
+
+  // 8-ary implicit heap: fewer levels (and so fewer serially dependent
+  // cache misses) per sift than binary, at the cost of more comparisons per
+  // level — the right trade when the event frontier dwarfs L1 (16384 ranks
+  // => ~16k queued events) and compares are cheap relative to line fetches.
+  static constexpr std::size_t kHeapArity = 8;
 
   struct ProcessRecord {
     std::string name;
@@ -107,7 +140,71 @@ class Engine {
   // without scanning all processes per event.
   Task<void> supervise(Task<void> inner, std::size_t index);
 
-  std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
+  // Same-timestamp coalescing: simulated workloads are heavily
+  // time-synchronized (a collective completion fires every participant's
+  // gate at one instant; lock-stepped ranks all sleep until the same next
+  // step time), so the heap would otherwise absorb thousands of entries
+  // with bit-identical times. Consecutive pushes at the same time instead
+  // append to a Bucket hanging off a single heap entry; the bucket drains
+  // one handle per pop, so event accounting and (time, seq) order are
+  // unchanged. Correctness argument: appends to a bucket carry strictly
+  // increasing seqs, appends stop forever once any other time is pushed
+  // (the cache moves on), and any later same-time entry therefore has a
+  // first seq larger than everything in the bucket — so "whole bucket
+  // before that entry" is exactly (time, seq) order.
+  struct Bucket {
+    std::vector<std::coroutine_handle<>> handles;
+    std::size_t head = 0;
+    std::int32_t next_free = -1;
+  };
+
+  /// A free bucket index in [0, kBucketMask - 1], or -1 if the index space
+  /// is exhausted (the caller then pushes a standalone entry, which is
+  /// merely slower, never wrong).
+  std::int32_t bucket_alloc();
+  void bucket_free(std::int32_t index);
+  void bucket_reset() {
+    bucket_pool_.clear();
+    bucket_free_head_ = -1;
+    draining_ = -1;
+    cache_valid_ = false;
+    cache_bucket_ = -1;
+  }
+
+  void heap_push(const Event& event);
+  Event heap_pop();
+  /// The globally next event in (time, seq) order, drawn from whichever of
+  /// the draining bucket, the heap, and the now-queue holds it.
+  Event pop_next();
+  bool queues_empty() const noexcept {
+    return heap_.empty() && now_head_ == now_queue_.size() && draining_ < 0;
+  }
+  void drop_pending_events() {
+    heap_.clear();
+    now_queue_.clear();
+    now_head_ = 0;
+    bucket_reset();
+  }
+
+  // kHeapArity-ary min-heap over a flat vector, ordered by (time, seq).
+  std::vector<Event> heap_;
+  // O(1) fast path: events scheduled at exactly `now_` while running are
+  // appended here (their seqs are necessarily increasing, so the queue is
+  // FIFO-sorted by construction) and consumed before later heap entries.
+  std::vector<Event> now_queue_;
+  std::size_t now_head_ = 0;
+  // Coalescing buckets (free-listed so handle vectors keep their capacity).
+  std::vector<Bucket> bucket_pool_;
+  std::int32_t bucket_free_head_ = -1;
+  // Bucket currently being drained by pop_next, or -1. Its handles are
+  // globally next: their seqs precede any later same-time heap entry and
+  // any now-queue entry created during the drain.
+  std::int32_t draining_ = -1;
+  // Push cache: the time of the most recent heap push, and the bucket
+  // collecting that time's handles (-1 until a second same-time push).
+  SimTime cache_time_ = 0.0;
+  std::int32_t cache_bucket_ = -1;
+  bool cache_valid_ = false;
   std::vector<ProcessRecord> records_;
   std::vector<Task<void>> supervisors_;
   std::exception_ptr failure_;
@@ -201,6 +298,13 @@ class Async {
  private:
   struct State {
     explicit State(Engine& engine) : gate(engine) {}
+    // Overlap schedules fork one Async per step per rank; recycle states.
+    static void* operator new(std::size_t size) {
+      return FramePool::allocate(size);
+    }
+    static void operator delete(void* ptr, std::size_t size) noexcept {
+      FramePool::deallocate(ptr, size);
+    }
     Gate gate;
   };
 

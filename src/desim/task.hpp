@@ -16,6 +16,7 @@
 #include <utility>
 
 #include "common/check.hpp"
+#include "desim/pool.hpp"
 
 namespace hs::desim {
 
@@ -27,6 +28,17 @@ namespace detail {
 struct PromiseBase {
   std::coroutine_handle<> continuation;
   std::exception_ptr exception;
+
+  // Coroutine frames are pooled: a simulation creates one frame per Task
+  // invocation (collective call, supervised process, ...), and recycling
+  // them through FramePool keeps the hot path allocation-free. Only the
+  // sized delete is declared so the runtime passes the exact frame size.
+  static void* operator new(std::size_t size) {
+    return FramePool::allocate(size);
+  }
+  static void operator delete(void* ptr, std::size_t size) noexcept {
+    FramePool::deallocate(ptr, size);
+  }
 
   std::suspend_always initial_suspend() noexcept { return {}; }
 

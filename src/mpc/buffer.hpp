@@ -41,7 +41,9 @@ class Buf {
 
   /// Sub-payload [offset, offset+elements); phantom slices stay phantom.
   Buf slice(std::size_t offset, std::size_t elements) const {
-    HS_REQUIRE(offset + elements <= count_);
+    // Overflow-safe form of `offset + elements <= count_` (the naive sum
+    // wraps for offsets/counts near SIZE_MAX and would accept bad slices).
+    HS_REQUIRE(elements <= count_ && offset <= count_ - elements);
     Buf b;
     b.data_ = data_ == nullptr ? nullptr : data_ + offset;
     b.count_ = elements;
@@ -74,7 +76,8 @@ class ConstBuf {
   const double* data() const noexcept { return data_; }
 
   ConstBuf slice(std::size_t offset, std::size_t elements) const {
-    HS_REQUIRE(offset + elements <= count_);
+    // See Buf::slice: overflow-safe bounds check.
+    HS_REQUIRE(elements <= count_ && offset <= count_ - elements);
     ConstBuf b;
     b.data_ = data_ == nullptr ? nullptr : data_ + offset;
     b.count_ = elements;

@@ -299,15 +299,16 @@ desim::Task<void> reduce(Comm comm, int root, ConstBuf send, Buf recv) {
   const int tag = collective_tag(kPhaseReduce, seq);
   const bool real = send.is_real();
   // Accumulator holds my partial sum; scratch receives child contributions.
-  std::vector<double> acc_storage, scratch_storage;
+  // Real payloads stage through the communicator's arena (no per-call
+  // allocation in steady state); phantom payloads stage nothing at all.
+  ScratchArena::Lease acc_lease, scratch_lease;
   if (real && count > 0) {
-    acc_storage.assign(send.data(), send.data() + count);
-    scratch_storage.assign(count, 0.0);
+    ScratchArena& arena = comm.machine().scratch_arena(comm.context());
+    acc_lease = arena.acquire_copy(send.data(), count);
+    scratch_lease = arena.acquire(count);
   }
-  Buf acc = real ? Buf(std::span<double>(acc_storage))
-                 : Buf::phantom(count);
-  Buf scratch = real ? Buf(std::span<double>(scratch_storage))
-                     : Buf::phantom(count);
+  Buf acc = real ? acc_lease.buf() : Buf::phantom(count);
+  Buf scratch = real ? scratch_lease.buf() : Buf::phantom(count);
 
   int mask = 1;
   while (mask < p) {
@@ -319,7 +320,7 @@ desim::Task<void> reduce(Comm comm, int root, ConstBuf send, Buf recv) {
       co_await crecv(comm, abs_rank(rel + mask), scratch, tag);
       if (real)
         for (std::size_t i = 0; i < count; ++i)
-          acc_storage[i] += scratch_storage[i];
+          acc.data()[i] += scratch.data()[i];
     }
     mask <<= 1;
   }
@@ -327,7 +328,7 @@ desim::Task<void> reduce(Comm comm, int root, ConstBuf send, Buf recv) {
   if (rel == 0 && real && count > 0) {
     HS_REQUIRE_MSG(recv.is_real() && recv.count() == count,
                    "reduce: root recv buffer mismatch");
-    std::memcpy(recv.data(), acc_storage.data(), count * sizeof(double));
+    std::memcpy(recv.data(), acc.data(), count * sizeof(double));
   }
 }
 
@@ -336,10 +337,9 @@ namespace {
 // Recursive-halving reduce-scatter over a full-size working buffer (power
 // of two ranks, uniform chunks). On return, work[rank*chunk .. +chunk)
 // holds the caller's share of the element-wise sum. Phantom-aware: when
-// `real` is false only the wire traffic is modeled.
-desim::Task<void> reduce_scatter_halving(Comm comm, Buf work,
-                                         std::vector<double>& work_storage,
-                                         std::vector<double>& scratch_storage,
+// `real` is false both buffers are phantom and only wire traffic is
+// modeled; otherwise `scratch` must be a real buffer of work.count().
+desim::Task<void> reduce_scatter_halving(Comm comm, Buf work, Buf scratch,
                                          bool real, std::uint64_t seq) {
   const int p = comm.size();
   const int rank = comm.rank();
@@ -364,15 +364,14 @@ desim::Task<void> reduce_scatter_halving(Comm comm, Buf work,
 
     Request send_request = comm.isend_internal(
         partner, ConstBuf(work).slice(ship_off, ship_len), tag);
-    Buf recv_buf = real ? Buf(std::span<double>(scratch_storage))
-                              .slice(0, ship_len)
-                        : Buf::phantom(ship_len);
+    Buf recv_buf =
+        real ? scratch.slice(0, ship_len) : Buf::phantom(ship_len);
     Request recv_request = comm.irecv_internal(partner, recv_buf, tag);
     co_await send_request.wait();
     co_await recv_request.wait();
     if (real)
       for (std::size_t i = 0; i < ship_len; ++i)
-        work_storage[keep_off + i] += scratch_storage[i];
+        work.data()[keep_off + i] += scratch.data()[i];
     if (lower)
       hi = mid;
     else
@@ -387,15 +386,15 @@ desim::Task<void> allreduce_rabenseifner(Comm comm, ConstBuf send, Buf recv,
   HS_REQUIRE_MSG(count % static_cast<std::size_t>(p) == 0,
                  "Rabenseifner allreduce requires size | count");
   const bool real = send.is_real();
-  std::vector<double> work_storage, scratch_storage;
+  ScratchArena::Lease work_lease, scratch_lease;
   if (real && count > 0) {
-    work_storage.assign(send.data(), send.data() + count);
-    scratch_storage.assign(count, 0.0);
+    ScratchArena& arena = comm.machine().scratch_arena(comm.context());
+    work_lease = arena.acquire_copy(send.data(), count);
+    scratch_lease = arena.acquire(count);
   }
-  Buf work = real ? Buf(std::span<double>(work_storage))
-                  : Buf::phantom(count);
-  co_await reduce_scatter_halving(comm, work, work_storage, scratch_storage,
-                                  real, seq);
+  Buf work = real ? work_lease.buf() : Buf::phantom(count);
+  Buf scratch = real ? scratch_lease.buf() : Buf::phantom(count);
+  co_await reduce_scatter_halving(comm, work, scratch, real, seq);
   // Recursive-doubling allgather of the per-rank chunks (root 0: ranks are
   // already absolute).
   const Chunks chunks{count, p};
@@ -404,7 +403,7 @@ desim::Task<void> allreduce_rabenseifner(Comm comm, ConstBuf send, Buf recv,
   if (real && count > 0) {
     HS_REQUIRE_MSG(recv.is_real() && recv.count() == count,
                    "allreduce: recv buffer mismatch");
-    std::memcpy(recv.data(), work_storage.data(), count * sizeof(double));
+    std::memcpy(recv.data(), work.data(), count * sizeof(double));
   }
 }
 
@@ -440,30 +439,29 @@ desim::Task<void> reduce_scatter(Comm comm, ConstBuf send, Buf recv_chunk) {
 
   const bool real = send.is_real();
   if ((p & (p - 1)) == 0) {
-    std::vector<double> work_storage, scratch_storage;
+    ScratchArena::Lease work_lease, scratch_lease;
     if (real && count > 0) {
-      work_storage.assign(send.data(), send.data() + count);
-      scratch_storage.assign(count, 0.0);
+      ScratchArena& arena = machine.scratch_arena(comm.context());
+      work_lease = arena.acquire_copy(send.data(), count);
+      scratch_lease = arena.acquire(count);
     }
-    Buf work = real ? Buf(std::span<double>(work_storage))
-                    : Buf::phantom(count);
-    co_await reduce_scatter_halving(comm, work, work_storage,
-                                    scratch_storage, real, seq);
+    Buf work = real ? work_lease.buf() : Buf::phantom(count);
+    Buf scratch = real ? scratch_lease.buf() : Buf::phantom(count);
+    co_await reduce_scatter_halving(comm, work, scratch, real, seq);
     if (real && count > 0)
       std::memcpy(recv_chunk.data(),
-                  work_storage.data() +
-                      static_cast<std::size_t>(comm.rank()) * chunk,
+                  work.data() + static_cast<std::size_t>(comm.rank()) * chunk,
                   chunk * sizeof(double));
     co_return;
   }
 
   // Non-power-of-two: reduce to rank 0, then scatter the chunks.
-  std::vector<double> full_storage;
+  ScratchArena::Lease full_lease;
   Buf full = Buf{};
   if (comm.rank() == 0) {
-    if (real && count > 0) full_storage.assign(count, 0.0);
-    full = real ? Buf(std::span<double>(full_storage))
-                : Buf::phantom(count);
+    if (real && count > 0)
+      full_lease = machine.scratch_arena(comm.context()).acquire(count);
+    full = real ? full_lease.buf() : Buf::phantom(count);
   } else if (!real) {
     full = Buf::phantom(count);
   }
@@ -538,14 +536,17 @@ desim::Task<void> gather(Comm comm, int root, ConstBuf send, Buf recv_all) {
   const int tag = collective_tag(kPhaseGather, seq);
 
   // Staging buffer indexed by *relative* chunk position; the root unpacks
-  // to absolute positions at the end.
-  std::vector<double> stage_storage;
+  // to absolute positions at the end. Every position read below is written
+  // first (own chunk here, the rest by the merge receives), so the arena's
+  // recycled storage needs no zero fill.
+  ScratchArena::Lease stage_lease;
   if (real && chunk > 0)
-    stage_storage.assign(chunk * static_cast<std::size_t>(p), 0.0);
-  Buf stage = real ? Buf(std::span<double>(stage_storage))
+    stage_lease = machine.scratch_arena(comm.context())
+                      .acquire(chunk * static_cast<std::size_t>(p));
+  Buf stage = real ? stage_lease.buf()
                    : Buf::phantom(chunk * static_cast<std::size_t>(p));
   if (real && chunk > 0)
-    std::memcpy(stage_storage.data() + static_cast<std::size_t>(rel) * chunk,
+    std::memcpy(stage.data() + static_cast<std::size_t>(rel) * chunk,
                 send.data(), chunk * sizeof(double));
 
   // Reverse of the recursive-halving scatter: replay the split sequence
@@ -585,7 +586,7 @@ desim::Task<void> gather(Comm comm, int root, ConstBuf send, Buf recv_all) {
     for (int r = 0; r < p; ++r)
       std::memcpy(
           recv_all.data() + static_cast<std::size_t>(abs_rank(r)) * chunk,
-          stage_storage.data() + static_cast<std::size_t>(r) * chunk,
+          stage.data() + static_cast<std::size_t>(r) * chunk,
           chunk * sizeof(double));
   }
 }
@@ -620,16 +621,20 @@ desim::Task<void> scatter(Comm comm, int root, ConstBuf send_all, Buf recv) {
 
   const int tag = collective_tag(kPhaseScatter, seq);
 
-  // Root re-stages into relative order so ranges are contiguous.
-  std::vector<double> stage_storage;
-  if (real && chunk > 0) stage_storage.assign(chunk * static_cast<std::size_t>(p), 0.0);
-  Buf stage = real ? Buf(std::span<double>(stage_storage))
+  // Root re-stages into relative order so ranges are contiguous. As in
+  // gather, each rank writes (receives) its ranges before reading them, so
+  // recycled arena storage needs no zero fill.
+  ScratchArena::Lease stage_lease;
+  if (real && chunk > 0)
+    stage_lease = machine.scratch_arena(comm.context())
+                      .acquire(chunk * static_cast<std::size_t>(p));
+  Buf stage = real ? stage_lease.buf()
                    : Buf::phantom(chunk * static_cast<std::size_t>(p));
   if (rel == 0 && real && chunk > 0) {
     HS_REQUIRE_MSG(send_all.count() == chunk * static_cast<std::size_t>(p),
                    "scatter: send buffer must hold size*recv.count elements");
     for (int r = 0; r < p; ++r)
-      std::memcpy(stage_storage.data() + static_cast<std::size_t>(r) * chunk,
+      std::memcpy(stage.data() + static_cast<std::size_t>(r) * chunk,
                   send_all.data() + static_cast<std::size_t>(abs_rank(r)) * chunk,
                   chunk * sizeof(double));
   }
@@ -652,7 +657,7 @@ desim::Task<void> scatter(Comm comm, int root, ConstBuf send_all, Buf recv) {
 
   if (real && chunk > 0)
     std::memcpy(recv.data(),
-                stage_storage.data() + static_cast<std::size_t>(rel) * chunk,
+                stage.data() + static_cast<std::size_t>(rel) * chunk,
                 chunk * sizeof(double));
 }
 

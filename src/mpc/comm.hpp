@@ -114,6 +114,10 @@ desim::Task<void> wait_all(std::vector<Request>& requests);
 /// final virtual time.
 template <typename RankMain>
 double run_spmd(Machine& machine, RankMain&& rank_main) {
+  const auto ranks = static_cast<std::size_t>(machine.ranks());
+  // Each rank needs a process record plus, typically, at most a couple of
+  // in-flight events; one slot per rank avoids the early heap regrowth.
+  machine.engine().reserve(ranks, ranks);
   for (int r = 0; r < machine.ranks(); ++r)
     machine.engine().spawn(rank_main(machine.world(r)),
                            "rank " + std::to_string(r));

@@ -21,6 +21,11 @@ Machine::Machine(desim::Engine& engine,
       "ClosedForm collectives require a homogeneous HockneyModel network; "
       "use PointToPoint mode with topology-aware models");
   ports_.resize(static_cast<std::size_t>(config_.ranks));
+  // Steady-state point-to-point traffic uses O(ranks) distinct match keys
+  // (fixed tags between fixed pairs); collective tags add a long tail that
+  // the retire cap keeps bounded.
+  channel_cap_ = std::max<std::size_t>(
+      1024, 4 * static_cast<std::size_t>(config_.ranks));
   // Context 0 is the world communicator.
   std::vector<int> world_members(static_cast<std::size_t>(config_.ranks));
   for (int r = 0; r < config_.ranks; ++r)
@@ -87,24 +92,40 @@ void TransferLog::write_csv(std::ostream& out) const {
             static_cast<long long>(record.bytes), record.ctx, record.tag);
 }
 
+void Machine::retire_channel(ChannelMap::iterator it) {
+  Channel& channel = it->second;
+  channel.kind = Channel::Kind::None;
+  channel.head = 0;
+  channel.ops.clear();
+  // Reset in place for reuse; drop the node only once the map has outgrown
+  // the steady-state key population (collective tags embed sequence
+  // numbers, so the distinct-key tail is unbounded without this).
+  if (channels_.size() > channel_cap_) channels_.erase(it);
+}
+
 Request Machine::isend(int src, int dst, int ctx, int tag, ConstBuf buf) {
   HS_REQUIRE(src >= 0 && src < config_.ranks);
   HS_REQUIRE(dst >= 0 && dst < config_.ranks);
   HS_REQUIRE_MSG(src != dst, "self-messages are not modeled; restructure the "
                              "algorithm to skip local transfers");
   Request request(*engine_);
-  const MatchKey key = make_key(src, dst, ctx, tag);
-  auto recv_it = pending_recvs_.find(key);
-  if (recv_it != pending_recvs_.end() && !recv_it->second.empty()) {
-    PendingRecv recv = recv_it->second.front();
-    recv_it->second.pop_front();
-    if (recv_it->second.empty()) pending_recvs_.erase(recv_it);
+  auto [it, inserted] = channels_.try_emplace(make_key(src, dst, ctx, tag));
+  Channel& channel = it->second;
+  if (channel.kind == Channel::Kind::Recvs && !channel.empty()) {
+    const PendingOp recv = channel.pop_front();
+    if (channel.empty()) retire_channel(it);
+    Buf recv_buf = recv.data != nullptr
+                       ? Buf(std::span<double>(const_cast<double*>(recv.data),
+                                               recv.count))
+                       : Buf::phantom(recv.count);
     const double completion = commit_transfer(
-        src, dst, ctx, tag, engine_->now(), recv.post_time, buf, recv.buf);
+        src, dst, ctx, tag, engine_->now(), recv.post_time, buf, recv_buf);
     recv.gate->fire_at(completion);
     request.gate()->fire_at(completion);
   } else {
-    pending_sends_[key].push_back({engine_->now(), buf, request.gate()});
+    channel.kind = Channel::Kind::Sends;
+    channel.ops.push_back(
+        {engine_->now(), buf.data(), buf.count(), request.gate()});
   }
   return request;
 }
@@ -115,18 +136,23 @@ Request Machine::irecv(int src, int dst, int ctx, int tag, Buf buf) {
   HS_REQUIRE_MSG(src != dst, "self-messages are not modeled; restructure the "
                              "algorithm to skip local transfers");
   Request request(*engine_);
-  const MatchKey key = make_key(src, dst, ctx, tag);
-  auto send_it = pending_sends_.find(key);
-  if (send_it != pending_sends_.end() && !send_it->second.empty()) {
-    PendingSend send = send_it->second.front();
-    send_it->second.pop_front();
-    if (send_it->second.empty()) pending_sends_.erase(send_it);
+  auto [it, inserted] = channels_.try_emplace(make_key(src, dst, ctx, tag));
+  Channel& channel = it->second;
+  if (channel.kind == Channel::Kind::Sends && !channel.empty()) {
+    const PendingOp send = channel.pop_front();
+    if (channel.empty()) retire_channel(it);
+    ConstBuf send_buf =
+        send.data != nullptr
+            ? ConstBuf(std::span<const double>(send.data, send.count))
+            : ConstBuf::phantom(send.count);
     const double completion = commit_transfer(
-        src, dst, ctx, tag, send.post_time, engine_->now(), send.buf, buf);
+        src, dst, ctx, tag, send.post_time, engine_->now(), send_buf, buf);
     send.gate->fire_at(completion);
     request.gate()->fire_at(completion);
   } else {
-    pending_recvs_[key].push_back({engine_->now(), buf, request.gate()});
+    channel.kind = Channel::Kind::Recvs;
+    channel.ops.push_back(
+        {engine_->now(), buf.data(), buf.count(), request.gate()});
   }
   return request;
 }
@@ -158,6 +184,11 @@ std::uint64_t Machine::next_collective_seq(int ctx, int member_index) {
   return context.op_seq[static_cast<std::size_t>(member_index)]++;
 }
 
+ScratchArena& Machine::scratch_arena(int ctx) {
+  HS_REQUIRE(ctx >= 0 && ctx < static_cast<int>(contexts_.size()));
+  return *contexts_[static_cast<std::size_t>(ctx)].arena;
+}
+
 Machine::Site& Machine::site_for(int ctx, std::uint64_t seq, SiteKind kind,
                                  int expected) {
   const std::uint64_t key = (static_cast<std::uint64_t>(ctx) << 40) | seq;
@@ -174,7 +205,7 @@ Machine::Site& Machine::site_for(int ctx, std::uint64_t seq, SiteKind kind,
   return site;
 }
 
-void Machine::complete_site(std::uint64_t key, Site& site) {
+void Machine::complete_site(int ctx, std::uint64_t key, Site& site) {
   double duration = 0.0;
   const int p = site.expected;
   const std::uint64_t total_bytes =
@@ -210,7 +241,7 @@ void Machine::complete_site(std::uint64_t key, Site& site) {
       break;
   }
   const double completion = site.max_entry + duration;
-  deliver_site_payloads(site);
+  deliver_site_payloads(ctx, site);
   messages_ += static_cast<std::uint64_t>(p > 1 ? p - 1 : 0);
   bytes_ += site.bytes * static_cast<std::uint64_t>(p > 1 ? p - 1 : 0);
   for (auto& participant : site.participants)
@@ -218,7 +249,7 @@ void Machine::complete_site(std::uint64_t key, Site& site) {
   sites_.erase(key);
 }
 
-void Machine::deliver_site_payloads(Site& site) {
+void Machine::deliver_site_payloads(int ctx, Site& site) {
   switch (site.kind) {
     case SiteKind::Barrier:
       return;
@@ -234,57 +265,50 @@ void Machine::deliver_site_payloads(Site& site) {
     }
     case SiteKind::Reduce:
     case SiteKind::Allreduce:
-    case SiteKind::AllreduceRabenseifner: {
-      // Sum all real contributions; deliver to the root (Reduce) or to
-      // every member (Allreduce).
+    case SiteKind::AllreduceRabenseifner:
+    case SiteKind::ReduceScatter: {
+      // Sum all real contributions; deliver to the root (Reduce), to every
+      // member (Allreduce), or chunk-wise (ReduceScatter). Phantom sites
+      // must stay allocation-free, so scan for real contributions *before*
+      // touching the accumulator.
       const std::size_t count = site.participants.empty()
                                     ? 0
                                     : site.participants.front().send.count();
       if (count == 0) return;
       bool any_real = false;
-      std::vector<double> sum(count, 0.0);
+      for (const auto& participant : site.participants)
+        if (participant.send.is_real() && participant.send.data() != nullptr) {
+          any_real = true;
+          break;
+        }
+      if (!any_real) return;
+      ScratchArena::Lease sum_lease = scratch_arena(ctx).acquire(count);
+      double* sum = sum_lease.data();
+      std::fill_n(sum, count, 0.0);
       for (auto& participant : site.participants) {
         if (!participant.send.is_real() || participant.send.data() == nullptr)
           continue;
-        any_real = true;
         const double* src = participant.send.data();
         for (std::size_t i = 0; i < count; ++i) sum[i] += src[i];
       }
-      if (!any_real) return;
+      if (site.kind == SiteKind::ReduceScatter) {
+        const std::size_t chunk =
+            count / static_cast<std::size_t>(site.expected);
+        for (auto& participant : site.participants) {
+          if (participant.recv.data() == nullptr) continue;
+          std::memcpy(participant.recv.data(),
+                      sum + static_cast<std::size_t>(participant.member_index) *
+                                chunk,
+                      chunk * sizeof(double));
+        }
+        return;
+      }
       for (auto& participant : site.participants) {
         const bool wants_result =
             site.kind != SiteKind::Reduce ||
             participant.member_index == site.root_index;
         if (wants_result && participant.recv.data() != nullptr)
-          std::memcpy(participant.recv.data(), sum.data(),
-                      count * sizeof(double));
-      }
-      return;
-    }
-    case SiteKind::ReduceScatter: {
-      const std::size_t count = site.participants.empty()
-                                    ? 0
-                                    : site.participants.front().send.count();
-      if (count == 0) return;
-      bool any_real = false;
-      std::vector<double> sum(count, 0.0);
-      for (auto& participant : site.participants) {
-        if (!participant.send.is_real() || participant.send.data() == nullptr)
-          continue;
-        any_real = true;
-        const double* src = participant.send.data();
-        for (std::size_t i = 0; i < count; ++i) sum[i] += src[i];
-      }
-      if (!any_real) return;
-      const std::size_t chunk =
-          count / static_cast<std::size_t>(site.expected);
-      for (auto& participant : site.participants) {
-        if (participant.recv.data() == nullptr) continue;
-        std::memcpy(participant.recv.data(),
-                    sum.data() +
-                        static_cast<std::size_t>(participant.member_index) *
-                            chunk,
-                    chunk * sizeof(double));
+          std::memcpy(participant.recv.data(), sum, count * sizeof(double));
       }
       return;
     }
@@ -356,7 +380,7 @@ void Machine::join_bcast(int ctx, std::uint64_t seq, desim::Gate* gate,
   if (site.arrived == site.expected) {
     const std::uint64_t key =
         (static_cast<std::uint64_t>(ctx) << 40) | seq;
-    complete_site(key, site);
+    complete_site(ctx, key, site);
   }
 }
 
@@ -369,7 +393,7 @@ void Machine::join_barrier(int ctx, std::uint64_t seq, desim::Gate* gate) {
   if (site.arrived == site.expected) {
     const std::uint64_t key =
         (static_cast<std::uint64_t>(ctx) << 40) | seq;
-    complete_site(key, site);
+    complete_site(ctx, key, site);
   }
 }
 
@@ -391,7 +415,7 @@ void Machine::join_data_collective(SiteKind kind, int ctx, std::uint64_t seq,
   if (site.arrived == site.expected) {
     const std::uint64_t key =
         (static_cast<std::uint64_t>(ctx) << 40) | seq;
-    complete_site(key, site);
+    complete_site(ctx, key, site);
   }
 }
 

@@ -21,12 +21,13 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <iosfwd>
 #include <map>
 #include <memory>
+#include <span>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "desim/engine.hpp"
@@ -81,6 +82,85 @@ class TransferLog {
   std::vector<TransferRecord> records_;
 };
 
+/// Reusable staging storage for real-payload collectives.
+///
+/// Point-to-point collective implementations (reduce trees, scatter/gather
+/// staging, Rabenseifner working buffers) need temporary double storage per
+/// call. Allocating a fresh std::vector per collective costs an allocation
+/// and a page-fault storm on every SUMMA step; the arena instead recycles
+/// buffers through a free list, so steady-state collectives reuse the same
+/// few allocations. Checkouts are RAII Leases and may interleave arbitrarily
+/// across suspended coroutines (release order does not matter: each Lease
+/// owns its vector while checked out).
+///
+/// Phantom runs never touch the arena — phantom payloads stage nothing.
+class ScratchArena {
+ public:
+  class Lease {
+   public:
+    Lease() = default;
+    Lease(Lease&& other) noexcept
+        : arena_(std::exchange(other.arena_, nullptr)),
+          storage_(std::move(other.storage_)) {}
+    Lease& operator=(Lease&& other) noexcept {
+      if (this != &other) {
+        release();
+        arena_ = std::exchange(other.arena_, nullptr);
+        storage_ = std::move(other.storage_);
+      }
+      return *this;
+    }
+    Lease(const Lease&) = delete;
+    Lease& operator=(const Lease&) = delete;
+    ~Lease() { release(); }
+
+    double* data() noexcept { return storage_.data(); }
+    std::size_t count() const noexcept { return storage_.size(); }
+    Buf buf() noexcept { return Buf(std::span<double>(storage_)); }
+    std::vector<double>& storage() noexcept { return storage_; }
+
+   private:
+    friend class ScratchArena;
+    Lease(ScratchArena* arena, std::vector<double>&& storage) noexcept
+        : arena_(arena), storage_(std::move(storage)) {}
+    void release() noexcept {
+      if (arena_ == nullptr) return;
+      try {
+        arena_->free_.push_back(std::move(storage_));
+      } catch (...) {
+        // Free-list growth failed; the storage is simply dropped.
+      }
+      arena_ = nullptr;
+    }
+    ScratchArena* arena_ = nullptr;
+    std::vector<double> storage_;
+  };
+
+  /// Check out `count` elements. Contents are *unspecified* (recycled
+  /// buffers keep stale values); callers that need zeros must fill.
+  Lease acquire(std::size_t count) {
+    std::vector<double> storage = take();
+    storage.resize(count);
+    return Lease(this, std::move(storage));
+  }
+
+  /// Check out a buffer initialized as a copy of [src, src+count).
+  Lease acquire_copy(const double* src, std::size_t count) {
+    std::vector<double> storage = take();
+    storage.assign(src, src + count);
+    return Lease(this, std::move(storage));
+  }
+
+ private:
+  std::vector<double> take() {
+    if (free_.empty()) return {};
+    std::vector<double> storage = std::move(free_.back());
+    free_.pop_back();
+    return storage;
+  }
+  std::vector<std::vector<double>> free_;
+};
+
 /// Handle returned by isend/irecv; must be waited (or the op must be known
 /// complete) before destruction. Movable, not copyable.
 class Request {
@@ -105,6 +185,13 @@ class Request {
  private:
   struct State {
     explicit State(desim::Engine& engine) : gate(engine) {}
+    // Two Requests per message round-trip; recycle the states.
+    static void* operator new(std::size_t size) {
+      return desim::FramePool::allocate(size);
+    }
+    static void operator delete(void* ptr, std::size_t size) noexcept {
+      desim::FramePool::deallocate(ptr, size);
+    }
     desim::Gate gate;
   };
   std::unique_ptr<State> state_;
@@ -158,6 +245,11 @@ class Machine {
   /// it to key synchronization sites.
   std::uint64_t next_collective_seq(int ctx, int member_index);
 
+  /// Per-communicator staging arena for real-payload collectives. The
+  /// returned reference is stable for the machine's lifetime (contexts may
+  /// be added while leases are outstanding).
+  ScratchArena& scratch_arena(int ctx);
+
   /// Closed-form collective sites (ClosedForm mode). Each member calls
   /// join_* once per collective, in program order, and awaits the gate.
   /// Data semantics are honored for real payloads: broadcast copies the
@@ -202,21 +294,23 @@ class Machine {
     double recv_free = 0.0;
   };
 
-  struct PendingSend {
+  // One pending isend or irecv. Buf/ConstBuf are flattened to (data, count)
+  // so both kinds share a slot; sends and recvs are told apart by the
+  // owning channel's kind, and irecv buffers round-trip through a
+  // const_cast on match.
+  struct PendingOp {
     double post_time;
-    ConstBuf buf;
-    desim::Gate* gate;
-  };
-
-  struct PendingRecv {
-    double post_time;
-    Buf buf;
+    const double* data;
+    std::size_t count;
     desim::Gate* gate;
   };
 
   struct Context {
     std::vector<int> members;            // world ranks in comm-rank order
     std::vector<std::uint64_t> op_seq;   // per-member collective sequence
+    // Behind a unique_ptr so the arena address survives contexts_ growth
+    // while collective coroutines hold leases into it.
+    std::unique_ptr<ScratchArena> arena = std::make_unique<ScratchArena>();
   };
 
   struct Site {
@@ -234,7 +328,7 @@ class Machine {
       ConstBuf send;
       Buf recv;
     };
-    std::vector<Participant> participants;
+    std::vector<Participant, desim::PoolAllocator<Participant>> participants;
   };
 
   // Matching key: (ctx, src, dst, tag) packed for the hash map.
@@ -259,21 +353,43 @@ class Machine {
                          ConstBuf send_buf, Buf recv_buf);
 
   Site& site_for(int ctx, std::uint64_t seq, SiteKind kind, int expected);
-  void complete_site(std::uint64_t key, Site& site);
-  void deliver_site_payloads(Site& site);
+  void complete_site(int ctx, std::uint64_t key, Site& site);
+  void deliver_site_payloads(int ctx, Site& site);
+
+  // Pending ops live in one channel per (src, dst, ctx, tag). A channel
+  // never holds both sends and recvs (the second kind posted would have
+  // matched immediately), so a single FIFO plus a kind flag covers both —
+  // one hash probe per isend/irecv instead of the two that separate
+  // send/recv maps would cost. The FIFO is a head-indexed vector (cheaper
+  // to create and recycle than a deque); emptied channels are reset in
+  // place and only erased once the map outgrows its steady-state working
+  // set, so repeated traffic on one key does no map mutation at all.
+  struct Channel {
+    enum class Kind : unsigned char { None, Sends, Recvs };
+    Kind kind = Kind::None;
+    std::uint32_t head = 0;
+    std::vector<PendingOp, desim::PoolAllocator<PendingOp>> ops;
+    bool empty() const noexcept { return head == ops.size(); }
+    PendingOp pop_front() { return ops[head++]; }
+  };
+  using ChannelMap = std::unordered_map<
+      MatchKey, Channel, MatchKeyHash, std::equal_to<MatchKey>,
+      desim::PoolAllocator<std::pair<const MatchKey, Channel>>>;
+  void retire_channel(ChannelMap::iterator it);
 
   desim::Engine* engine_;
   std::shared_ptr<const net::NetworkModel> net_;
   MachineConfig config_;
   const net::HockneyModel* hockney_ = nullptr;  // non-null iff Hockney
   std::vector<PortState> ports_;
-  std::unordered_map<MatchKey, std::deque<PendingSend>, MatchKeyHash>
-      pending_sends_;
-  std::unordered_map<MatchKey, std::deque<PendingRecv>, MatchKeyHash>
-      pending_recvs_;
+  ChannelMap channels_;
+  std::size_t channel_cap_ = 1024;
   std::vector<Context> contexts_;
   std::map<std::vector<int>, int> context_ids_;
-  std::unordered_map<std::uint64_t, Site> sites_;
+  std::unordered_map<
+      std::uint64_t, Site, std::hash<std::uint64_t>, std::equal_to<>,
+      desim::PoolAllocator<std::pair<const std::uint64_t, Site>>>
+      sites_;
   std::uint64_t messages_ = 0;
   std::uint64_t bytes_ = 0;
   TransferLog* transfer_log_ = nullptr;

@@ -85,6 +85,13 @@ TEST(Task, ExceptionRethrownAtAwait) {
 }
 
 TEST(Task, DeepNestingDoesNotOverflowStack) {
+#if defined(__SANITIZE_ADDRESS__)
+  // ASan instrumentation inhibits the sibling-call optimization GCC needs
+  // to make symmetric transfer O(1) in machine-stack depth, so the 100k
+  // chain genuinely overflows under -fsanitize=address. The property this
+  // test guards is only meaningful in uninstrumented builds.
+  GTEST_SKIP() << "symmetric transfer is not tail-called under ASan";
+#endif
   Engine engine;
   // 100k-deep chain of awaits: symmetric transfer must keep machine-stack
   // depth constant.

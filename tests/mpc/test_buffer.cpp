@@ -1,0 +1,79 @@
+// Unit tests for Buf/ConstBuf, focused on the slice bounds check.
+//
+// The check must be overflow-safe: `offset + elements <= count` wraps for
+// operands near SIZE_MAX and would accept out-of-range slices. Phantom
+// payloads make these counts reachable in practice — a phantom Buf can
+// legally describe SIZE_MAX elements because no storage backs it.
+#include "mpc/buffer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <limits>
+
+namespace {
+
+using hs::PreconditionError;
+using hs::mpc::Buf;
+using hs::mpc::ConstBuf;
+
+constexpr std::size_t kMax = std::numeric_limits<std::size_t>::max();
+
+TEST(Buffer, RealSliceBasics) {
+  std::array<double, 8> storage{};
+  Buf buf{std::span<double>(storage)};
+  Buf inner = buf.slice(2, 3);
+  EXPECT_TRUE(inner.is_real());
+  EXPECT_EQ(inner.data(), storage.data() + 2);
+  EXPECT_EQ(inner.count(), 3u);
+  // Full-range and empty slices are valid, including empty-at-end.
+  EXPECT_EQ(buf.slice(0, 8).count(), 8u);
+  EXPECT_EQ(buf.slice(8, 0).count(), 0u);
+  EXPECT_THROW(buf.slice(0, 9), PreconditionError);
+  EXPECT_THROW(buf.slice(9, 0), PreconditionError);
+  EXPECT_THROW(buf.slice(6, 3), PreconditionError);
+}
+
+TEST(Buffer, PhantomSliceStaysPhantom) {
+  Buf buf = Buf::phantom(16);
+  Buf inner = buf.slice(4, 8);
+  EXPECT_FALSE(inner.is_real());
+  EXPECT_EQ(inner.data(), nullptr);
+  EXPECT_EQ(inner.count(), 8u);
+}
+
+TEST(Buffer, SliceRejectsOverflowNearSizeMax) {
+  Buf buf = Buf::phantom(kMax);
+  // offset + elements == SIZE_MAX exactly: in range.
+  EXPECT_EQ(buf.slice(kMax - 4, 4).count(), 4u);
+  EXPECT_EQ(buf.slice(0, kMax).count(), kMax);
+  // offset + elements wraps to a small value; the naive check would pass.
+  EXPECT_THROW(buf.slice(kMax, 2), PreconditionError);
+  EXPECT_THROW(buf.slice(2, kMax), PreconditionError);
+  EXPECT_THROW(buf.slice(kMax - 1, kMax - 1), PreconditionError);
+
+  // A smaller phantom must still reject wrapped requests.
+  Buf small = Buf::phantom(8);
+  EXPECT_THROW(small.slice(kMax, 9), PreconditionError);
+  EXPECT_THROW(small.slice(4, kMax - 2), PreconditionError);
+}
+
+TEST(Buffer, ConstBufSliceRejectsOverflowNearSizeMax) {
+  ConstBuf buf = ConstBuf::phantom(kMax);
+  EXPECT_EQ(buf.slice(kMax - 4, 4).count(), 4u);
+  EXPECT_THROW(buf.slice(kMax, 2), PreconditionError);
+  EXPECT_THROW(buf.slice(2, kMax), PreconditionError);
+  EXPECT_THROW(buf.slice(kMax - 1, kMax - 1), PreconditionError);
+}
+
+TEST(Buffer, RealnessAndBytes) {
+  EXPECT_TRUE(Buf().is_real());  // empty default view counts as real
+  EXPECT_FALSE(Buf::phantom(1).is_real());
+  EXPECT_EQ(Buf::phantom(3).bytes(), 3u * sizeof(double));
+  std::array<double, 2> storage{};
+  ConstBuf from_buf{Buf{std::span<double>(storage)}};
+  EXPECT_TRUE(from_buf.is_real());
+  EXPECT_EQ(from_buf.count(), 2u);
+}
+
+}  // namespace
