@@ -9,75 +9,81 @@
 
 namespace hs::bench {
 
-core::RunResult run_config(const Config& config) {
+exec::SimJob to_sim_job(const Config& config) {
   HS_REQUIRE(config.ranks >= 1);
-  desim::Engine engine;
-  mpc::Machine machine(engine, config.platform.make_network(),
-                       {.ranks = config.ranks * config.layers,
-                        .collective_mode = config.mode,
-                        .bcast_algo = config.algo,
-                        .gamma_flop = config.platform.gamma_flop});
+  exec::SimJob job;
+  job.platform = config.platform;
+  job.gamma_flop = config.platform.gamma_flop;
+  job.collective_mode = config.mode;
+  job.machine_bcast_algo = config.algo;
+  job.algorithm = config.algorithm;
+  job.ranks = config.ranks;
+  job.layers = config.layers;
+  job.groups = config.groups;
+  job.row_levels = config.row_levels;
+  job.col_levels = config.col_levels;
+  job.problem = config.problem;
+  job.bcast_algo = config.algo;
+  job.overlap = config.overlap;
+  return job;
+}
 
-  core::RunOptions options;
-  options.grid = grid::near_square_shape(config.ranks);
-  options.problem = config.problem;
-  options.mode = core::PayloadMode::Phantom;
-  options.bcast_algo = config.algo;
-  options.layers = config.layers;
-  options.algorithm = config.algorithm;
-  const bool summa_family = config.algorithm == core::Algorithm::Summa ||
-                            config.algorithm == core::Algorithm::Hsumma;
-  const bool cyclic_family =
-      config.algorithm == core::Algorithm::SummaCyclic ||
-      config.algorithm == core::Algorithm::HsummaCyclic;
-  if (summa_family || cyclic_family) {
-    if (config.groups <= 1) {
-      options.algorithm = cyclic_family ? core::Algorithm::SummaCyclic
-                                        : core::Algorithm::Summa;
-    } else {
-      options.algorithm = cyclic_family ? core::Algorithm::HsummaCyclic
-                                        : core::Algorithm::Hsumma;
-      options.groups = grid::group_arrangement(options.grid, config.groups);
-      HS_REQUIRE_MSG(options.groups.size() == config.groups,
-                     "no valid arrangement of " << config.groups
-                                                << " groups on this grid");
-    }
+core::RunResult run_config(const Config& config) {
+  return exec::run_sim_job(to_sim_job(config));
+}
+
+std::vector<core::RunResult> run_configs(const std::vector<Config>& configs,
+                                         exec::ParallelExecutor* executor) {
+  std::vector<core::RunResult> results;
+  results.reserve(configs.size());
+  if (executor == nullptr) {
+    for (const Config& config : configs)
+      results.push_back(run_config(config));
+    return results;
   }
-  options.row_levels = config.row_levels;
-  options.col_levels = config.col_levels;
-  options.overlap = config.overlap;
-  return core::run(machine, options);
+  std::vector<std::size_t> indices;
+  indices.reserve(configs.size());
+  for (const Config& config : configs)
+    indices.push_back(executor->submit(to_sim_job(config)));
+  for (std::size_t index : indices)
+    results.push_back(executor->result(index));
+  return results;
+}
+
+void add_jobs_option(CliParser& cli, long long* dest) {
+  *dest = exec::default_jobs();
+  cli.add_int("jobs", "simulation worker threads (output is identical "
+              "for any count)", dest);
 }
 
 RepeatedResult run_repeated(const Config& config, int repetitions,
-                            double noise_sigma, std::uint64_t seed) {
+                            double noise_sigma, std::uint64_t seed,
+                            exec::ParallelExecutor* executor) {
   HS_REQUIRE(repetitions >= 1);
+  // One repetition = one job: each wraps the network in a deterministic
+  // NoisyModel seeded with seed + rep (run_sim_job also forces
+  // point-to-point collectives: noisy networks are not homogeneous
+  // Hockney). Stats accumulate in repetition order, so the parallel path
+  // is bit-identical to the serial one.
+  std::vector<Config> reps(static_cast<std::size_t>(repetitions), config);
+  std::vector<std::size_t> indices;
+  std::vector<core::RunResult> results;
+  for (int rep = 0; rep < repetitions; ++rep) {
+    exec::SimJob job = to_sim_job(reps[static_cast<std::size_t>(rep)]);
+    job.noise_sigma = noise_sigma;
+    job.noise_seed = seed + static_cast<std::uint64_t>(rep);
+    if (executor != nullptr) {
+      indices.push_back(executor->submit(std::move(job)));
+    } else {
+      results.push_back(exec::run_sim_job(job));
+    }
+  }
   RepeatedResult stats;
   for (int rep = 0; rep < repetitions; ++rep) {
-    desim::Engine engine;
-    auto base = config.platform.make_network();
-    auto noisy = std::make_shared<net::NoisyModel>(
-        base, noise_sigma, seed + static_cast<std::uint64_t>(rep));
-    // Noisy networks are not homogeneous Hockney, so route collectives
-    // through point-to-point messages.
-    mpc::Machine machine(engine, noisy,
-                         {.ranks = config.ranks * config.layers,
-                          .collective_mode = mpc::CollectiveMode::PointToPoint,
-                          .bcast_algo = config.algo,
-                          .gamma_flop = config.platform.gamma_flop});
-    core::RunOptions options;
-    options.grid = grid::near_square_shape(config.ranks);
-    options.problem = config.problem;
-    options.mode = core::PayloadMode::Phantom;
-    options.bcast_algo = config.algo;
-    options.layers = config.layers;
-    options.algorithm = config.algorithm;
-    if (config.groups > 1) {
-      options.algorithm = core::Algorithm::Hsumma;
-      options.groups = grid::group_arrangement(options.grid, config.groups);
-    }
-    options.overlap = config.overlap;
-    const core::RunResult result = core::run(machine, options);
+    const core::RunResult result =
+        executor != nullptr
+            ? executor->result(indices[static_cast<std::size_t>(rep)])
+            : results[static_cast<std::size_t>(rep)];
     stats.comm_time.add(result.timing.max_comm_time);
     stats.total_time.add(result.timing.total_time);
   }
@@ -135,8 +141,20 @@ double run_g_sweep(const GSweepParams& params) {
   config.algo = params.algo;
   config.overlap = params.overlap;
 
+  // Submit every point (SUMMA baseline first) before reading any result:
+  // with an executor the whole sweep runs concurrently, and collecting in
+  // submission order keeps the output byte-identical to the serial loop.
+  std::vector<Config> points;
   config.groups = 1;
-  const core::RunResult summa = run_config(config);
+  points.push_back(config);
+  for (int g : groups) {
+    config.groups = g;
+    points.push_back(config);
+  }
+  const std::vector<core::RunResult> results =
+      run_configs(points, params.executor);
+
+  const core::RunResult& summa = results.front();
   const double summa_comm = summa.timing.max_comm_time;
   const double summa_exec = summa.timing.total_time;
 
@@ -153,9 +171,9 @@ double run_g_sweep(const GSweepParams& params) {
   std::vector<std::vector<std::string>> csv_rows;
 
   double best_comm = summa_comm;
-  for (int g : groups) {
-    config.groups = g;
-    const core::RunResult result = run_config(config);
+  for (std::size_t i = 0; i < groups.size(); ++i) {
+    const int g = groups[i];
+    const core::RunResult& result = results[i + 1];
     const double comm = result.timing.max_comm_time;
     const double exec = result.timing.total_time;
     best_comm = std::min(best_comm, comm);
@@ -194,6 +212,34 @@ double run_g_sweep(const GSweepParams& params) {
                   {"groups", "comm_seconds", "exec_seconds",
                    "model_comm_seconds"});
   return best_comm;
+}
+
+BestGResult run_best_g(const Config& config,
+                       const std::vector<int>& group_counts,
+                       exec::ParallelExecutor* executor) {
+  std::vector<Config> points;
+  Config point = config;
+  point.groups = 1;
+  points.push_back(point);
+  for (int g : group_counts) {
+    point.groups = g;
+    points.push_back(point);
+  }
+  const std::vector<core::RunResult> results =
+      run_configs(points, executor);
+
+  BestGResult best;
+  best.summa_comm = results.front().timing.max_comm_time;
+  best.best_comm = best.summa_comm;
+  best.best_groups = 1;
+  for (std::size_t i = 0; i < group_counts.size(); ++i) {
+    const double comm = results[i + 1].timing.max_comm_time;
+    if (comm < best.best_comm) {
+      best.best_comm = comm;
+      best.best_groups = group_counts[i];
+    }
+  }
+  return best;
 }
 
 }  // namespace hs::bench

@@ -4,6 +4,13 @@
 // run a series of simulated configurations, print a paper-style table to
 // stdout and (optionally) a CSV twin. run_config builds a fresh engine +
 // machine per point so virtual clocks never leak between configurations.
+//
+// Sweeps accept an optional exec::ParallelExecutor: points are submitted
+// up front and collected in submission order, so tables, CSVs and best-G
+// picks are byte-identical to the serial path for any worker count, and
+// configurations shared between sweeps (the SUMMA baseline, overlapping G
+// points) are simulated once and served from the executor's result cache
+// afterwards. Bench mains expose this as --jobs N (add_jobs_option).
 #pragma once
 
 #include <optional>
@@ -15,6 +22,7 @@
 #include "common/csv.hpp"
 #include "common/table.hpp"
 #include "core/runner.hpp"
+#include "exec/executor.hpp"
 #include "grid/hier_grid.hpp"
 #include "model/cost_model.hpp"
 #include "net/platform.hpp"
@@ -35,8 +43,24 @@ struct Config {
   bool overlap = false;           // Summa/Hsumma comm/comp overlap
 };
 
+/// The executor job describing `config` (phantom payloads, grid from
+/// near_square_shape(ranks), the SUMMA/HSUMMA family adaptation applied by
+/// exec::run_sim_job).
+exec::SimJob to_sim_job(const Config& config);
+
 /// Run one configuration on a fresh machine (phantom payloads).
 core::RunResult run_config(const Config& config);
+
+/// Run every configuration and return results in input order. With an
+/// executor, all points are submitted first and run concurrently (results
+/// are identical to the serial path, bit for bit); executor == nullptr
+/// runs them serially on the calling thread.
+std::vector<core::RunResult> run_configs(const std::vector<Config>& configs,
+                                         exec::ParallelExecutor* executor);
+
+/// Registers --jobs (simulation worker threads) and sets *dest to the
+/// default, exec::default_jobs().
+void add_jobs_option(CliParser& cli, long long* dest);
 
 /// Repeated-measurement statistics, mirroring the paper's "mean times of 30
 /// experiments": each repetition perturbs every transfer with deterministic
@@ -47,7 +71,8 @@ struct RepeatedResult {
   RunningStats total_time;
 };
 RepeatedResult run_repeated(const Config& config, int repetitions,
-                            double noise_sigma, std::uint64_t seed = 2013);
+                            double noise_sigma, std::uint64_t seed = 2013,
+                            exec::ParallelExecutor* executor = nullptr);
 
 /// Valid power-of-two group counts (plus p) for a grid of `ranks`.
 std::vector<int> pow2_group_counts(int ranks);
@@ -74,10 +99,23 @@ struct GSweepParams {
   bool show_execution = false;
   bool overlap = false;     // broadcast/update overlap pipeline
   std::string csv_path;
+  /// Optional parallel executor; output is byte-identical either way.
+  exec::ParallelExecutor* executor = nullptr;
 };
 
 /// Returns the best HSUMMA communication time observed (for callers that
 /// chain sweeps, e.g. the scalability figures).
 double run_g_sweep(const GSweepParams& params);
+
+/// One point of the scalability figures (7 and 9): SUMMA vs HSUMMA at its
+/// best group count over `group_counts`.
+struct BestGResult {
+  double summa_comm = 0.0;
+  double best_comm = 0.0;
+  int best_groups = 1;
+};
+BestGResult run_best_g(const Config& config,
+                       const std::vector<int>& group_counts,
+                       exec::ParallelExecutor* executor = nullptr);
 
 }  // namespace hs::bench

@@ -9,12 +9,14 @@
 
 int main(int argc, char** argv) {
   long long n = 8192, block = 64, ranks = 128;
+  long long jobs = 0;
   std::string platform_name = "grid5000-calibrated";
   std::string algo_name = "vandegeijn";
   bool overlap = false;
   std::string csv;
 
   hs::CliParser cli("Reproduce Figure 5 (Grid5000 G-sweep, b = B = 64)");
+  hs::bench::add_jobs_option(cli, &jobs);
   cli.add_int("n", "matrix dimension", &n);
   cli.add_int("block", "block size b = B", &block);
   cli.add_int("p", "number of processes", &ranks);
@@ -33,6 +35,8 @@ int main(int argc, char** argv) {
   params.algo = hs::net::bcast_algo_from_string(algo_name);
   params.overlap = overlap;
   params.csv_path = csv;
+  hs::exec::ParallelExecutor executor({.jobs = static_cast<int>(jobs)});
+  params.executor = &executor;
   hs::bench::run_g_sweep(params);
   return 0;
 }

@@ -12,12 +12,14 @@
 
 int main(int argc, char** argv) {
   long long n = 8192, block = 512;
+  long long jobs = 0;
   std::vector<long long> process_counts{16, 32, 64, 128};
   std::string platform_name = "grid5000-calibrated";
   std::string algo_name = "vandegeijn";
   std::string csv;
 
   hs::CliParser cli("Reproduce Figure 7 (Grid5000 scalability)");
+  hs::bench::add_jobs_option(cli, &jobs);
   cli.add_int("n", "matrix dimension", &n);
   cli.add_int("block", "block size b = B", &block);
   cli.add_int_list("procs", "process counts", &process_counts);
@@ -39,6 +41,7 @@ int main(int argc, char** argv) {
                    "best G", "improvement"});
   std::vector<std::vector<std::string>> csv_rows;
 
+  hs::exec::ParallelExecutor executor({.jobs = static_cast<int>(jobs)});
   for (long long p : process_counts) {
     hs::bench::Config config;
     config.platform = platform;
@@ -46,29 +49,20 @@ int main(int argc, char** argv) {
     config.problem = hs::core::ProblemSpec::square(n, block);
     config.algo = algo;
 
-    config.groups = 1;
-    const double summa = hs::bench::run_config(config).timing.max_comm_time;
-
-    double best = summa;
-    int best_groups = 1;
-    for (int g : hs::bench::pow2_group_counts(config.ranks)) {
-      config.groups = g;
-      const double comm = hs::bench::run_config(config).timing.max_comm_time;
-      if (comm < best) {
-        best = comm;
-        best_groups = g;
-      }
-    }
+    const auto best = hs::bench::run_best_g(
+        config, hs::bench::pow2_group_counts(config.ranks), &executor);
 
     const auto shape = hs::grid::near_square_shape(config.ranks);
     table.add_row({std::to_string(p),
                    std::to_string(shape.rows) + "x" + std::to_string(shape.cols),
-                   hs::format_seconds(summa), hs::format_seconds(best),
-                   std::to_string(best_groups),
-                   hs::format_ratio(summa / best)});
-    csv_rows.push_back({std::to_string(p), hs::format_double(summa, 9),
-                        hs::format_double(best, 9),
-                        std::to_string(best_groups)});
+                   hs::format_seconds(best.summa_comm),
+                   hs::format_seconds(best.best_comm),
+                   std::to_string(best.best_groups),
+                   hs::format_ratio(best.summa_comm / best.best_comm)});
+    csv_rows.push_back({std::to_string(p),
+                        hs::format_double(best.summa_comm, 9),
+                        hs::format_double(best.best_comm, 9),
+                        std::to_string(best.best_groups)});
   }
   table.print(std::cout);
   std::printf("\n");

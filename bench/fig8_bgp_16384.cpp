@@ -11,6 +11,7 @@
 
 int main(int argc, char** argv) {
   long long n = 65536, block = 256, ranks = 16384;
+  long long jobs = 0;
   std::string platform_name = "bluegene-p-calibrated";
   std::string algo_name = "vandegeijn";
   bool overlap = false;
@@ -19,6 +20,7 @@ int main(int argc, char** argv) {
   hs::CliParser cli(
       "Reproduce Figure 8 (BG/P 16384 cores: execution and communication "
       "time vs G)");
+  hs::bench::add_jobs_option(cli, &jobs);
   cli.add_int("n", "matrix dimension", &n);
   cli.add_int("block", "block size b = B", &block);
   cli.add_int("p", "number of processes", &ranks);
@@ -40,6 +42,8 @@ int main(int argc, char** argv) {
   params.show_execution = true;
   params.overlap = overlap;
   params.csv_path = csv;
+  hs::exec::ParallelExecutor executor({.jobs = static_cast<int>(jobs)});
+  params.executor = &executor;
   hs::bench::run_g_sweep(params);
   return 0;
 }

@@ -12,6 +12,7 @@
 int main(int argc, char** argv) {
   long long n = 4096, block = 64, ranks = 256;
   long long repetitions = 30;
+  long long jobs = 0;
   double sigma = 0.2;
   std::string platform_name = "bluegene-p-calibrated";
   std::string algo_name = "vandegeijn";
@@ -19,6 +20,7 @@ int main(int argc, char** argv) {
 
   hs::CliParser cli(
       "Repeated measurements with per-transfer noise (paper: mean of 30)");
+  hs::bench::add_jobs_option(cli, &jobs);
   cli.add_int("n", "matrix dimension", &n);
   cli.add_int("block", "block size b = B", &block);
   cli.add_int("p", "number of processes", &ranks);
@@ -40,6 +42,7 @@ int main(int argc, char** argv) {
   hs::Table table({"G", "comm mean", "comm stddev", "comm min", "comm max"});
   std::vector<std::vector<std::string>> csv_rows;
 
+  hs::exec::ParallelExecutor executor({.jobs = static_cast<int>(jobs)});
   for (int g : hs::bench::pow2_group_counts(static_cast<int>(ranks))) {
     hs::bench::Config config;
     config.platform = platform;
@@ -48,7 +51,7 @@ int main(int argc, char** argv) {
     config.problem = hs::core::ProblemSpec::square(n, block);
     config.algo = hs::net::bcast_algo_from_string(algo_name);
     const auto stats = hs::bench::run_repeated(
-        config, static_cast<int>(repetitions), sigma);
+        config, static_cast<int>(repetitions), sigma, 2013, &executor);
     table.add_row({g == 1 ? "1 (SUMMA)" : std::to_string(g),
                    hs::format_seconds(stats.comm_time.mean()),
                    hs::format_seconds(stats.comm_time.stddev()),

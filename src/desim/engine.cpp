@@ -184,6 +184,15 @@ Engine::Event Engine::pop_next() {
 
 void Engine::run() {
   HS_REQUIRE_MSG(!running_, "Engine::run is not reentrant");
+  if (owner_ == std::thread::id{}) {
+    owner_ = std::this_thread::get_id();
+  } else {
+    HS_REQUIRE_MSG(owner_ == std::this_thread::get_id(),
+                   "Engine::run called from a different thread than the one "
+                   "that first ran this engine; engines are pinned to one "
+                   "thread (their coroutine frames live in that thread's "
+                   "desim::FramePool)");
+  }
   running_ = true;
   while (!queues_empty() && !failure_) {
     Event event = pop_next();

@@ -32,6 +32,7 @@
 #include <memory>
 #include <stdexcept>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/check.hpp"
@@ -68,6 +69,14 @@ class Engine {
 
   /// Run until the event queue is empty. Re-throws the first process
   /// exception; throws DeadlockError if processes remain suspended.
+  ///
+  /// Thread affinity: the first run() pins the engine to the calling
+  /// thread, and every later run() must come from that same thread. The
+  /// coroutine frames, Request/Async states and collective bookkeeping an
+  /// engine drives are all recycled through the *thread-local* desim
+  /// FramePool; resuming them from another thread would silently migrate
+  /// memory between per-thread pools, so cross-thread misuse fails loudly
+  /// here instead (one thread-id compare per run() — not per event).
   void run();
 
   /// Total events processed so far (exposed for engine micro-benchmarks).
@@ -212,6 +221,9 @@ class Engine {
   std::uint64_t next_seq_ = 0;
   std::uint64_t events_processed_ = 0;
   bool running_ = false;
+  // Owning thread, recorded at the first run(); default-constructed id
+  // means "not pinned yet".
+  std::thread::id owner_;
 };
 
 /// One-shot synchronization point between simulated processes.

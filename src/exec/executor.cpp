@@ -1,0 +1,154 @@
+#include "exec/executor.hpp"
+
+#include <utility>
+
+#include "common/check.hpp"
+
+namespace hs::exec {
+
+int default_jobs() {
+  const unsigned hint = std::thread::hardware_concurrency();
+  return hint == 0 ? 1 : static_cast<int>(hint);
+}
+
+ParallelExecutor::ParallelExecutor(ExecutorOptions options) {
+  const int jobs = options.jobs > 0 ? options.jobs : default_jobs();
+  if (!options.cache) cache_enabled_ = false;
+  workers_.reserve(static_cast<std::size_t>(jobs));
+  for (int i = 0; i < jobs; ++i)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+ParallelExecutor::~ParallelExecutor() {
+  {
+    std::lock_guard lock(mutex_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+std::size_t ParallelExecutor::submit(SimJob job) {
+  std::lock_guard lock(mutex_);
+  const std::size_t index = slots_.size();
+  auto slot = std::make_unique<Slot>();
+  slot->job = std::move(job);
+  if (cache_enabled_) slot->key = slot->job.cache_key();
+
+  if (!slot->key.empty()) {
+    if (auto hit = cache_.find(slot->key); hit != cache_.end()) {
+      // Completed-cache hit: the slot is born done, no engine runs.
+      slot->done = true;
+      slot->result = hit->second;
+      ++cache_hits_;
+      slots_.push_back(std::move(slot));
+      done_cv_.notify_all();
+      return index;
+    }
+    if (auto running = inflight_.find(slot->key); running != inflight_.end()) {
+      // An identical job is queued or running: coalesce onto it. The slot
+      // is filled by finish_slot when the primary completes.
+      running->second.push_back(index);
+      ++cache_hits_;
+      ++outstanding_;
+      slots_.push_back(std::move(slot));
+      return index;
+    }
+    inflight_.emplace(slot->key, std::vector<std::size_t>{});
+  }
+  slots_.push_back(std::move(slot));
+  queue_.push_back(index);
+  ++outstanding_;
+  work_cv_.notify_one();
+  return index;
+}
+
+void ParallelExecutor::worker_loop() {
+  for (;;) {
+    std::size_t index;
+    SimJob job;
+    {
+      std::unique_lock lock(mutex_);
+      work_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      // Drain the queue even when stopping: every submitted job completes.
+      if (queue_.empty()) return;
+      index = queue_.front();
+      queue_.pop_front();
+      job = slots_[index]->job;  // copy: run outside the lock
+    }
+
+    core::RunResult result{};
+    std::exception_ptr error;
+    try {
+      result = run_sim_job(job);
+    } catch (...) {
+      error = std::current_exception();
+    }
+
+    {
+      std::lock_guard lock(mutex_);
+      ++engines_run_;
+      Slot& primary = *slots_[index];
+      finish_slot(primary, result, error);
+      if (!primary.key.empty()) {
+        // Fill every coalesced duplicate; errors propagate to them too but
+        // are never cached (a resubmission after failure runs again).
+        if (auto running = inflight_.find(primary.key);
+            running != inflight_.end()) {
+          for (std::size_t alias : running->second)
+            finish_slot(*slots_[alias], result, error);
+          inflight_.erase(running);
+        }
+        if (!error) cache_.emplace(primary.key, result);
+      }
+    }
+    done_cv_.notify_all();
+  }
+}
+
+void ParallelExecutor::finish_slot(Slot& slot, const core::RunResult& result,
+                                   std::exception_ptr error) {
+  slot.result = result;
+  slot.error = error;
+  slot.done = true;
+  HS_ASSERT(outstanding_ > 0);
+  --outstanding_;
+}
+
+const core::RunResult& ParallelExecutor::result(std::size_t index) {
+  std::unique_lock lock(mutex_);
+  HS_REQUIRE_MSG(index < slots_.size(),
+                 "result(" << index << ") out of range; " << slots_.size()
+                           << " jobs submitted");
+  Slot& slot = *slots_[index];
+  done_cv_.wait(lock, [&slot] { return slot.done; });
+  if (slot.error) std::rethrow_exception(slot.error);
+  return slot.result;
+}
+
+void ParallelExecutor::wait_all() {
+  std::unique_lock lock(mutex_);
+  done_cv_.wait(lock, [this] { return outstanding_ == 0; });
+}
+
+std::uint64_t ParallelExecutor::jobs_submitted() const {
+  std::lock_guard lock(mutex_);
+  return static_cast<std::uint64_t>(slots_.size());
+}
+
+std::uint64_t ParallelExecutor::engines_run() const {
+  std::lock_guard lock(mutex_);
+  return engines_run_;
+}
+
+std::uint64_t ParallelExecutor::cache_hits() const {
+  std::lock_guard lock(mutex_);
+  return cache_hits_;
+}
+
+void ParallelExecutor::clear_cache() {
+  std::lock_guard lock(mutex_);
+  cache_.clear();
+}
+
+}  // namespace hs::exec

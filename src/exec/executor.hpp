@@ -1,0 +1,113 @@
+// Parallel sweep executor: run independent simulations concurrently with
+// deterministic aggregation and a config-keyed result cache.
+//
+// Every figure bench and the autotuner sweep configurations by running a
+// serial loop of fresh-engine simulations; the simulations are pure
+// functions of their SimJob, so they parallelize embarrassingly. The
+// executor runs submitted jobs on a fixed pool of worker threads — each
+// job's engine is created, run and destroyed entirely on one worker, which
+// keeps it pinned to that thread's desim::FramePool (enforced by the
+// engine's owner-thread check) — and exposes results by *submission index*,
+// so callers aggregate in program order and sweep output (tables, CSVs,
+// best-G selection) is byte-identical for any worker count, including 1.
+//
+// The result cache memoizes completed jobs by SimJob::cache_key(): the
+// SUMMA baseline and shared G points re-simulated across fig5/fig6/fig8
+// and the autotuner's verification sweep become map lookups. Identical
+// jobs submitted while the first is still queued or running are coalesced
+// onto it (in-flight dedupe), so a duplicate never runs an engine
+// regardless of timing. Jobs whose network model is not describable bypass
+// the cache and simply run.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "exec/sim_job.hpp"
+
+namespace hs::exec {
+
+/// Worker count used for `jobs <= 0`: one per hardware thread (at least 1).
+int default_jobs();
+
+struct ExecutorOptions {
+  /// Worker threads; <= 0 selects default_jobs().
+  int jobs = 0;
+  /// Config-keyed result memoization (and in-flight dedupe).
+  bool cache = true;
+};
+
+class ParallelExecutor {
+ public:
+  explicit ParallelExecutor(ExecutorOptions options = {});
+  ParallelExecutor(const ParallelExecutor&) = delete;
+  ParallelExecutor& operator=(const ParallelExecutor&) = delete;
+  /// Drains any still-queued jobs, then joins the workers.
+  ~ParallelExecutor();
+
+  /// Enqueue a job; returns its submission index. Never blocks on the job.
+  std::size_t submit(SimJob job);
+
+  /// Result of submission `index`; blocks until that job has finished and
+  /// re-throws its exception if it failed. The reference stays valid for
+  /// the executor's lifetime.
+  const core::RunResult& result(std::size_t index);
+
+  /// Block until every submitted job has finished (does not re-throw; use
+  /// result() to observe failures).
+  void wait_all();
+
+  /// Worker thread count.
+  int jobs() const noexcept { return static_cast<int>(workers_.size()); }
+
+  // Counters (monotonic; safe to read while jobs are in flight).
+  std::uint64_t jobs_submitted() const;
+  /// Jobs that actually built and ran an engine.
+  std::uint64_t engines_run() const;
+  /// Jobs served without running an engine: completed-cache hits plus
+  /// in-flight coalescing onto an identical queued/running job.
+  std::uint64_t cache_hits() const;
+
+  /// Drop all memoized results (in-flight jobs are unaffected).
+  void clear_cache();
+
+ private:
+  struct Slot {
+    SimJob job;
+    std::string key;  // empty: uncacheable
+    bool done = false;
+    core::RunResult result;
+    std::exception_ptr error;
+  };
+
+  void worker_loop();
+  void finish_slot(Slot& slot, const core::RunResult& result,
+                   std::exception_ptr error);
+
+  mutable std::mutex mutex_;
+  std::condition_variable work_cv_;   // workers wait for queue items
+  std::condition_variable done_cv_;   // result()/wait_all() wait here
+  // unique_ptr keeps Slot addresses stable across slots_ growth, so
+  // result() can hand out references while submissions continue.
+  std::vector<std::unique_ptr<Slot>> slots_;
+  std::deque<std::size_t> queue_;
+  std::unordered_map<std::string, core::RunResult> cache_;
+  // key -> submission indices coalesced onto the in-flight primary job.
+  std::unordered_map<std::string, std::vector<std::size_t>> inflight_;
+  std::vector<std::thread> workers_;
+  std::size_t outstanding_ = 0;  // submitted, not yet done
+  bool cache_enabled_ = true;
+  bool stop_ = false;
+  std::uint64_t engines_run_ = 0;
+  std::uint64_t cache_hits_ = 0;
+};
+
+}  // namespace hs::exec

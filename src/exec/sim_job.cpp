@@ -1,0 +1,110 @@
+#include "exec/sim_job.hpp"
+
+#include <sstream>
+
+#include "grid/hier_grid.hpp"
+
+namespace hs::exec {
+
+namespace {
+
+grid::GridShape resolve_grid(const SimJob& job) {
+  if (job.grid.rows > 0 && job.grid.cols > 0) return job.grid;
+  HS_REQUIRE_MSG(job.ranks >= 1, "SimJob needs either a grid or a rank count");
+  return grid::near_square_shape(job.ranks);
+}
+
+}  // namespace
+
+std::string SimJob::cache_key() const {
+  std::string net_part;
+  if (network != nullptr) {
+    net_part = network->describe();
+    if (net_part.empty()) return {};  // indescribable network: uncacheable
+  } else {
+    // Identical to HockneyModel::describe() of platform.make_network().
+    net_part = "hockney(" + net::describe_double(platform.alpha) + "," +
+               net::describe_double(platform.beta) + ")";
+  }
+  const grid::GridShape shape = grid.rows > 0 && grid.cols > 0
+                                    ? grid
+                                    : grid::near_square_shape(ranks);
+  std::ostringstream key;
+  key << "net=" << net_part << ";gamma=" << net::describe_double(gamma_flop)
+      << ";cm=" << static_cast<int>(collective_mode)
+      << ";mba=" << static_cast<int>(machine_bcast_algo)
+      << ";alg=" << static_cast<int>(algorithm) << ";grid=" << shape.rows
+      << "x" << shape.cols << ";layers=" << layers << ";groups=" << groups
+      << ";rl=";
+  for (int level : row_levels) key << level << ",";
+  key << ";cl=";
+  for (int level : col_levels) key << level << ",";
+  key << ";prob=" << problem.m << "," << problem.k << "," << problem.n << ","
+      << problem.block << "," << problem.outer_block
+      << ";mode=" << static_cast<int>(mode)
+      << ";bcast=" << (bcast_algo ? static_cast<int>(*bcast_algo) : -1)
+      << ";ovl=" << overlap << ";verify=" << verify << ";seed=" << seed
+      << ";ns=" << net::describe_double(noise_sigma)
+      << ";nseed=" << noise_seed;
+  return key.str();
+}
+
+core::RunResult run_sim_job(const SimJob& job) {
+  const grid::GridShape shape = resolve_grid(job);
+  HS_REQUIRE(shape.size() >= 1);
+  HS_REQUIRE(job.layers >= 1);
+
+  std::shared_ptr<const net::NetworkModel> network =
+      job.network != nullptr ? job.network : job.platform.make_network();
+  mpc::CollectiveMode collective_mode = job.collective_mode;
+  if (job.noise_sigma > 0.0) {
+    network = std::make_shared<net::NoisyModel>(std::move(network),
+                                                job.noise_sigma,
+                                                job.noise_seed);
+    collective_mode = mpc::CollectiveMode::PointToPoint;
+  }
+
+  desim::Engine engine;
+  mpc::Machine machine(engine, std::move(network),
+                       {.ranks = shape.size() * job.layers,
+                        .collective_mode = collective_mode,
+                        .bcast_algo = job.machine_bcast_algo,
+                        .gamma_flop = job.gamma_flop});
+
+  core::RunOptions options;
+  options.grid = shape;
+  options.problem = job.problem;
+  options.mode = job.mode;
+  options.bcast_algo = job.bcast_algo;
+  options.layers = job.layers;
+  options.algorithm = job.algorithm;
+  options.overlap = job.overlap;
+  options.verify = job.verify;
+  options.seed = job.seed;
+  options.row_levels = job.row_levels;
+  options.col_levels = job.col_levels;
+
+  // The SUMMA families pick flat vs hierarchical from the group count, so
+  // one job description covers a whole G-sweep (G = 1 is exactly SUMMA,
+  // as the paper notes).
+  const bool summa_family = job.algorithm == core::Algorithm::Summa ||
+                            job.algorithm == core::Algorithm::Hsumma;
+  const bool cyclic_family = job.algorithm == core::Algorithm::SummaCyclic ||
+                             job.algorithm == core::Algorithm::HsummaCyclic;
+  if (summa_family || cyclic_family) {
+    if (job.groups <= 1) {
+      options.algorithm = cyclic_family ? core::Algorithm::SummaCyclic
+                                        : core::Algorithm::Summa;
+    } else {
+      options.algorithm = cyclic_family ? core::Algorithm::HsummaCyclic
+                                        : core::Algorithm::Hsumma;
+      options.groups = grid::group_arrangement(shape, job.groups);
+      HS_REQUIRE_MSG(options.groups.size() == job.groups,
+                     "no valid arrangement of " << job.groups
+                                                << " groups on this grid");
+    }
+  }
+  return core::run(machine, options);
+}
+
+}  // namespace hs::exec

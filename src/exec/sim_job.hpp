@@ -1,0 +1,86 @@
+// SimJob: the canonical, hashable description of one simulation.
+//
+// Every sweep in this repo — the fig5-fig10 figure benches, the ablations,
+// the group-count autotuner — is a series of *independent* simulations:
+// each point builds a fresh engine + machine, runs one configuration, and
+// keeps only the aggregate RunResult. SimJob captures exactly the inputs
+// that determine such a run (network, machine config, algorithm, grid,
+// groups, problem, payload mode, seeds), so that
+//
+//   * run_sim_job(job) is a pure function: equal jobs produce bit-identical
+//     RunResults on any thread, in any order — the property the parallel
+//     sweep executor's determinism guarantee rests on; and
+//   * cache_key() gives a canonical byte-exact identity for result
+//     memoization (doubles rendered as hexfloats; an empty key means "not
+//     cacheable", never "equal to another empty key").
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/runner.hpp"
+#include "net/model.hpp"
+#include "net/platform.hpp"
+
+namespace hs::exec {
+
+struct SimJob {
+  // --- machine -----------------------------------------------------------
+  /// Explicit network model; when null, a HockneyModel is built from
+  /// `platform`. Shared across concurrently running jobs, so it must be
+  /// safe for concurrent const use (all hs::net models are).
+  std::shared_ptr<const net::NetworkModel> network;
+  /// Hockney parameters + gamma when `network` is null. `platform.name`
+  /// does not participate in the cache key (behavior is fully determined
+  /// by alpha/beta).
+  net::Platform platform;
+  /// Seconds per flop charged by Machine::compute.
+  double gamma_flop = 0.0;
+  mpc::CollectiveMode collective_mode = mpc::CollectiveMode::ClosedForm;
+  /// Machine-level default broadcast algorithm (MachineConfig::bcast_algo).
+  net::BcastAlgo machine_bcast_algo = net::BcastAlgo::MpichAuto;
+
+  // --- run ---------------------------------------------------------------
+  core::Algorithm algorithm = core::Algorithm::Summa;
+  /// Explicit grid; {0, 0} means near_square_shape(ranks).
+  grid::GridShape grid{0, 0};
+  /// Used only when grid is {0, 0}.
+  int ranks = 0;
+  int layers = 1;  // Summa25D only
+  /// Group count for the SUMMA/HSUMMA families: <= 1 selects the flat
+  /// algorithm, > 1 the hierarchical one with group_arrangement(grid, G)
+  /// (run_sim_job applies the same adaptation bench::run_config always has).
+  int groups = 1;
+  std::vector<int> row_levels;  // HsummaMultilevel only
+  std::vector<int> col_levels;
+  core::ProblemSpec problem;
+  core::PayloadMode mode = core::PayloadMode::Phantom;
+  std::optional<net::BcastAlgo> bcast_algo;  // run-level override
+  bool overlap = false;
+  bool verify = false;
+  std::uint64_t seed = 2013;  // input generator seed (Real mode)
+
+  // --- per-transfer noise (run_repeated statistics) ----------------------
+  /// sigma > 0 wraps the network in a deterministic net::NoisyModel seeded
+  /// with `noise_seed` and forces CollectiveMode::PointToPoint (noisy
+  /// networks are not homogeneous Hockney). One repetition = one job; a
+  /// repeated measurement submits `repetitions` jobs with noise_seed
+  /// seed + rep, which parallelizes the repetitions too.
+  double noise_sigma = 0.0;
+  std::uint64_t noise_seed = 0;
+
+  /// Canonical identity for result caching: two jobs with equal non-empty
+  /// keys run bit-identical simulations. Empty when the job is not
+  /// cacheable (an explicit network whose describe() is empty).
+  std::string cache_key() const;
+};
+
+/// Run one job on a fresh engine + machine and return its result. The
+/// engine is created, run and destroyed on the calling thread (engines are
+/// thread-pinned; see desim::Engine::run).
+core::RunResult run_sim_job(const SimJob& job);
+
+}  // namespace hs::exec

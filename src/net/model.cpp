@@ -1,8 +1,33 @@
 #include "net/model.hpp"
 
+#include <cstdio>
+
 #include "common/rng.hpp"
 
 namespace hs::net {
+
+std::string describe_double(double value) {
+  char buffer[48];
+  std::snprintf(buffer, sizeof buffer, "%a", value);
+  return buffer;
+}
+
+std::string HockneyModel::describe() const {
+  return "hockney(" + describe_double(alpha_) + "," + describe_double(beta_) +
+         ")";
+}
+
+std::string LogGPModel::describe() const {
+  return "loggp(" + describe_double(latency_) + "," +
+         describe_double(overhead_) + "," + describe_double(gap_) + ")";
+}
+
+std::string NoisyModel::describe() const {
+  std::string base = base_->describe();
+  if (base.empty()) return {};
+  return "noisy(" + base + "," + describe_double(sigma_) + "," +
+         std::to_string(seed_) + ")";
+}
 
 double NoisyModel::transfer_time(int src, int dst,
                                  std::uint64_t bytes) const {

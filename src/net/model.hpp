@@ -14,6 +14,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <string>
 
 #include "common/check.hpp"
 
@@ -25,7 +26,19 @@ class NetworkModel {
 
   /// Transfer time (seconds) of `bytes` from `src` to `dst`, excluding any
   /// queueing on busy ports (the simulator accounts for that separately).
+  /// Must be a pure function of its arguments and safe to call concurrently
+  /// from several threads (exec::ParallelExecutor shares one model instance
+  /// across worker simulations).
   virtual double transfer_time(int src, int dst, std::uint64_t bytes) const = 0;
+
+  /// Canonical parameter description used as the network component of the
+  /// sweep-executor result-cache key (see exec::SimJob::cache_key). Two
+  /// models returning the same non-empty string must charge identical
+  /// transfer times for every (src, dst, bytes). Doubles are rendered as
+  /// hexfloats so the identity is bit-exact. The default returns "" —
+  /// "not describable" — which makes jobs using the model uncacheable but
+  /// never wrong.
+  virtual std::string describe() const { return {}; }
 };
 
 /// Hockney: T = alpha + bytes * beta, uniform across all pairs.
@@ -40,6 +53,8 @@ class HockneyModel final : public NetworkModel {
                        std::uint64_t bytes) const override {
     return alpha_ + static_cast<double>(bytes) * beta_;
   }
+
+  std::string describe() const override;
 
   double alpha() const noexcept { return alpha_; }
   double beta() const noexcept { return beta_; }
@@ -66,6 +81,8 @@ class LogGPModel final : public NetworkModel {
     return latency_ + 2.0 * overhead_ + payload;
   }
 
+  std::string describe() const override;
+
  private:
   double latency_;
   double overhead_;
@@ -86,10 +103,17 @@ class NoisyModel final : public NetworkModel {
 
   double transfer_time(int src, int dst, std::uint64_t bytes) const override;
 
+  /// Composes the base model's description; "" if the base is indescribable.
+  std::string describe() const override;
+
  private:
   std::shared_ptr<const NetworkModel> base_;
   double sigma_;
   std::uint64_t seed_;
 };
+
+/// Hexfloat rendering shared by every describe() implementation (and by
+/// exec::SimJob::cache_key): bit-exact, locale-independent.
+std::string describe_double(double value);
 
 }  // namespace hs::net

@@ -67,4 +67,19 @@ double TwoLevelModel::transfer_time(int src, int dst,
   return alpha + static_cast<double>(bytes) * beta;
 }
 
+std::string Torus3DModel::describe() const {
+  return "torus3d(" + std::to_string(dims_[0]) + "x" +
+         std::to_string(dims_[1]) + "x" + std::to_string(dims_[2]) + "," +
+         std::to_string(ranks_per_node_) + "," + describe_double(alpha_) +
+         "," + describe_double(hop_latency_) + "," + describe_double(beta_) +
+         ")";
+}
+
+std::string TwoLevelModel::describe() const {
+  return "twolevel(" + std::to_string(ranks_per_switch_) + "," +
+         describe_double(alpha_intra_) + "," + describe_double(beta_intra_) +
+         "," + describe_double(alpha_inter_) + "," +
+         describe_double(beta_inter_) + ")";
+}
+
 }  // namespace hs::net

@@ -26,6 +26,7 @@ class Torus3DModel final : public NetworkModel {
                double hop_latency, double beta_per_byte);
 
   double transfer_time(int src, int dst, std::uint64_t bytes) const override;
+  std::string describe() const override;
 
   /// Torus coordinates of the node hosting `rank` (row-major rank->node).
   std::array<int, 3> node_coords(int rank) const;
@@ -49,6 +50,7 @@ class TwoLevelModel final : public NetworkModel {
                 double alpha_inter, double beta_inter);
 
   double transfer_time(int src, int dst, std::uint64_t bytes) const override;
+  std::string describe() const override;
 
  private:
   int ranks_per_switch_;

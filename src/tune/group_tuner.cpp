@@ -7,6 +7,7 @@
 #include <limits>
 #include <numeric>
 
+#include "exec/executor.hpp"
 #include "model/cost_model.hpp"
 
 namespace hs::tune {
@@ -67,31 +68,46 @@ TuneResult tune_groups(const TuneOptions& options) {
       static_cast<double>(options.problem.k) /
       static_cast<double>(sample_problem.k);
 
-  TuneResult result;
-  result.best_comm_time = std::numeric_limits<double>::infinity();
+  // Every runnable candidate becomes one executor job (run_sim_job applies
+  // the same Summa/Hsumma split and group arrangement this loop used to).
+  // Jobs are submitted before any result is read — with an executor the
+  // whole sampling sweep runs concurrently — and aggregated in candidate
+  // order, so samples and the best pick match the serial path exactly.
+  std::vector<int> runnable;
+  std::vector<exec::SimJob> jobs;
   for (int groups : candidates) {
     const grid::GridShape arrangement =
         grid::group_arrangement(options.grid, groups);
     if (arrangement.size() != groups) continue;
+    exec::SimJob job;
+    job.network = options.network;
+    job.gamma_flop = options.machine_config.gamma_flop;
+    job.collective_mode = options.machine_config.collective_mode;
+    job.machine_bcast_algo = options.machine_config.bcast_algo;
+    job.algorithm = core::Algorithm::Summa;  // Hsumma when groups > 1
+    job.grid = options.grid;
+    job.groups = groups;
+    job.problem = sample_problem;
+    job.bcast_algo = options.bcast_algo;
+    runnable.push_back(groups);
+    jobs.push_back(std::move(job));
+  }
 
-    desim::Engine engine;
-    mpc::MachineConfig config = options.machine_config;
-    config.ranks = options.grid.size();
-    mpc::Machine machine(engine, options.network, config);
+  std::vector<std::size_t> indices;
+  if (options.executor != nullptr)
+    for (const exec::SimJob& job : jobs)
+      indices.push_back(options.executor->submit(job));
 
-    core::RunOptions run_options;
-    run_options.algorithm =
-        groups == 1 ? core::Algorithm::Summa : core::Algorithm::Hsumma;
-    run_options.grid = options.grid;
-    run_options.groups = arrangement;
-    run_options.problem = sample_problem;
-    run_options.mode = core::PayloadMode::Phantom;
-    run_options.bcast_algo = options.bcast_algo;
-    const core::RunResult run = core::run(machine, run_options);
+  TuneResult result;
+  result.best_comm_time = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < runnable.size(); ++i) {
+    const core::RunResult run = options.executor != nullptr
+                                    ? options.executor->result(indices[i])
+                                    : exec::run_sim_job(jobs[i]);
 
     Sample sample;
-    sample.groups = groups;
-    sample.arrangement = arrangement;
+    sample.groups = runnable[i];
+    sample.arrangement = grid::group_arrangement(options.grid, runnable[i]);
     sample.comm_time = run.timing.max_comm_time * scale;
     sample.total_time =
         (run.timing.max_comm_time + run.timing.max_comp_time) * scale;
@@ -99,8 +115,8 @@ TuneResult tune_groups(const TuneOptions& options) {
 
     if (sample.comm_time < result.best_comm_time) {
       result.best_comm_time = sample.comm_time;
-      result.best_groups = groups;
-      result.best_arrangement = arrangement;
+      result.best_groups = sample.groups;
+      result.best_arrangement = sample.arrangement;
     }
   }
   HS_REQUIRE_MSG(!result.samples.empty(),

@@ -15,6 +15,10 @@
 #include "core/runner.hpp"
 #include "net/model.hpp"
 
+namespace hs::exec {
+class ParallelExecutor;
+}
+
 namespace hs::tune {
 
 struct TuneOptions {
@@ -30,6 +34,11 @@ struct TuneOptions {
   /// Cap on sampled candidates (<=0 -> no cap). Candidates nearest the
   /// model's predicted optimum are kept.
   int max_candidates = 0;
+  /// Optional parallel executor: candidate samples run concurrently and
+  /// repeated configurations (e.g. a later full sweep over the same grid)
+  /// hit its result cache. Samples and the best pick are identical to the
+  /// serial path for any worker count.
+  exec::ParallelExecutor* executor = nullptr;
 };
 
 struct Sample {

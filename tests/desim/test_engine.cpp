@@ -4,6 +4,7 @@
 
 #include <stdexcept>
 #include <string>
+#include <thread>
 #include <vector>
 
 namespace {
@@ -217,6 +218,46 @@ TEST(Engine, ManyProcessesScale) {
   for (int i = 0; i < kProcs; ++i) engine.spawn(proc(i));
   engine.run();
   EXPECT_EQ(done, kProcs);
+}
+
+TEST(Engine, PinnedToFirstRunningThread) {
+  // Engines are pinned to the thread of their first run(): coroutine
+  // frames live in that thread's FramePool, so running elsewhere later
+  // must fail fast instead of corrupting free lists.
+  Engine engine;
+  auto tick = [&]() -> Task<void> { co_await engine.sleep(1.0); };
+  engine.spawn(tick());
+  engine.run();
+
+  engine.spawn(tick());
+  bool threw = false;
+  std::thread other([&] {
+    try {
+      engine.run();
+    } catch (const hs::PreconditionError&) {
+      threw = true;
+    }
+  });
+  other.join();
+  EXPECT_TRUE(threw);
+
+  // Still usable on its owning thread.
+  engine.run();
+}
+
+TEST(Engine, RunsOnAnyThreadIfFirstRunIsThere) {
+  // The pin is to the *first* running thread, which need not be the one
+  // that constructed the engine.
+  Engine engine;
+  auto tick = [&]() -> Task<void> { co_await engine.sleep(1.0); };
+  engine.spawn(tick());
+  std::thread worker([&] {
+    engine.run();
+    engine.spawn(tick());
+    engine.run();  // same thread: fine
+  });
+  worker.join();
+  EXPECT_EQ(engine.now(), 2.0);
 }
 
 TEST(Engine, SpawnDuringRunWorks) {

@@ -1,0 +1,100 @@
+// Satellite of the parallel-executor PR: the promise that --jobs does not
+// change results, held to the same bar as the engine's determinism goldens.
+// The same G-sweep run serially and with 4 workers must produce
+// byte-identical stdout (the paper-style table), a byte-identical CSV, and
+// the same best communication time (bit-exact virtual seconds).
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "bench_util.hpp"
+
+namespace {
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << path;
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+hs::bench::GSweepParams sweep_params(const std::string& csv_path) {
+  hs::bench::GSweepParams params;
+  params.title = "determinism check";
+  params.platform = hs::net::Platform::by_name("grid5000");
+  params.ranks = 64;
+  params.problem = hs::core::ProblemSpec::square(512, 32);
+  params.algo = hs::net::BcastAlgo::ScatterRingAllgather;
+  params.show_execution = true;
+  params.csv_path = csv_path;
+  return params;
+}
+
+TEST(SweepDeterminism, WorkerCountDoesNotChangeAnyByte) {
+  const std::string csv1 = testing::TempDir() + "sweep_jobs1.csv";
+  const std::string csv4 = testing::TempDir() + "sweep_jobs4.csv";
+
+  hs::exec::ParallelExecutor serial({.jobs = 1});
+  auto params = sweep_params(csv1);
+  params.executor = &serial;
+  testing::internal::CaptureStdout();
+  const double best1 = hs::bench::run_g_sweep(params);
+  const std::string stdout1 = testing::internal::GetCapturedStdout();
+
+  hs::exec::ParallelExecutor parallel({.jobs = 4});
+  params = sweep_params(csv4);
+  params.executor = &parallel;
+  testing::internal::CaptureStdout();
+  const double best4 = hs::bench::run_g_sweep(params);
+  const std::string stdout4 = testing::internal::GetCapturedStdout();
+
+  EXPECT_EQ(stdout1, stdout4);
+  EXPECT_EQ(slurp(csv1), slurp(csv4));
+  // Bit-exact, not approximately equal: the parallel path must run the
+  // same simulations, not near-identical ones.
+  EXPECT_EQ(best1, best4);
+}
+
+TEST(SweepDeterminism, ExecutorPathMatchesSerialPath) {
+  const std::string csv_none = testing::TempDir() + "sweep_serial.csv";
+  const std::string csv_exec = testing::TempDir() + "sweep_exec.csv";
+
+  auto params = sweep_params(csv_none);
+  testing::internal::CaptureStdout();
+  const double best_none = hs::bench::run_g_sweep(params);
+  const std::string stdout_none = testing::internal::GetCapturedStdout();
+
+  hs::exec::ParallelExecutor executor({.jobs = 3});
+  params = sweep_params(csv_exec);
+  params.executor = &executor;
+  testing::internal::CaptureStdout();
+  const double best_exec = hs::bench::run_g_sweep(params);
+  const std::string stdout_exec = testing::internal::GetCapturedStdout();
+
+  EXPECT_EQ(stdout_none, stdout_exec);
+  EXPECT_EQ(slurp(csv_none), slurp(csv_exec));
+  EXPECT_EQ(best_none, best_exec);
+}
+
+TEST(SweepDeterminism, RepeatedNoiseStatsMatchSerial) {
+  hs::bench::Config config;
+  config.platform = hs::net::Platform::by_name("grid5000");
+  config.ranks = 16;
+  config.groups = 4;
+  config.problem = hs::core::ProblemSpec::square(256, 32);
+  config.algo = hs::net::BcastAlgo::ScatterRingAllgather;
+
+  const auto serial = hs::bench::run_repeated(config, 8, 0.2);
+  hs::exec::ParallelExecutor executor({.jobs = 4});
+  const auto parallel = hs::bench::run_repeated(config, 8, 0.2, 2013,
+                                                &executor);
+  EXPECT_EQ(serial.comm_time.mean(), parallel.comm_time.mean());
+  EXPECT_EQ(serial.comm_time.stddev(), parallel.comm_time.stddev());
+  EXPECT_EQ(serial.total_time.mean(), parallel.total_time.mean());
+  EXPECT_EQ(serial.total_time.max(), parallel.total_time.max());
+}
+
+}  // namespace

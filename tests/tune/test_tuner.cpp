@@ -4,6 +4,8 @@
 
 #include <memory>
 
+#include "exec/executor.hpp"
+
 namespace {
 
 hs::tune::TuneOptions latency_dominated_options() {
@@ -92,6 +94,42 @@ TEST(Tuner, ScalesSampledTimeToFullProblem) {
   const auto full = hs::core::run(machine, run_options);
   EXPECT_NEAR(tuned.best_comm_time, full.timing.max_comm_time,
               full.timing.max_comm_time * 0.05);
+}
+
+TEST(Tuner, ParallelExecutorMatchesSerialBitExactly) {
+  const auto serial = hs::tune::tune_groups(latency_dominated_options());
+
+  hs::exec::ParallelExecutor executor({.jobs = 4});
+  auto options = latency_dominated_options();
+  options.executor = &executor;
+  const auto parallel = hs::tune::tune_groups(options);
+
+  EXPECT_EQ(parallel.best_groups, serial.best_groups);
+  EXPECT_EQ(parallel.best_comm_time, serial.best_comm_time);  // bit-exact
+  ASSERT_EQ(parallel.samples.size(), serial.samples.size());
+  for (std::size_t i = 0; i < serial.samples.size(); ++i) {
+    EXPECT_EQ(parallel.samples[i].groups, serial.samples[i].groups);
+    EXPECT_EQ(parallel.samples[i].comm_time, serial.samples[i].comm_time);
+    EXPECT_EQ(parallel.samples[i].total_time, serial.samples[i].total_time);
+  }
+}
+
+TEST(Tuner, SecondIdenticalTuneIsAllCacheHits) {
+  hs::exec::ParallelExecutor executor({.jobs = 2});
+  auto options = latency_dominated_options();
+  options.executor = &executor;
+
+  const auto first = hs::tune::tune_groups(options);
+  const std::uint64_t engines_after_first = executor.engines_run();
+  EXPECT_GT(engines_after_first, 0u);
+
+  const auto second = hs::tune::tune_groups(options);
+  // Every sample of the re-tune is served from the executor's result
+  // cache: no additional engine runs.
+  EXPECT_EQ(executor.engines_run(), engines_after_first);
+  EXPECT_EQ(executor.cache_hits(), engines_after_first);
+  EXPECT_EQ(second.best_groups, first.best_groups);
+  EXPECT_EQ(second.best_comm_time, first.best_comm_time);
 }
 
 TEST(Tuner, RejectsBadOptions) {
