@@ -2,11 +2,16 @@
 // automated and incorporated into the implementation by using few
 // iterations of HSUMMA." This bench runs the hs::tune autotuner and
 // verifies its pick against an exhaustive sweep.
+//
+// --algorithm picks any registered kernel: for the factorizations (lu,
+// cholesky) the tuned group count G maps onto hierarchical panel broadcast
+// level factors (core::adapt_groups), the exact analogue of HSUMMA's G.
 #include "bench_util.hpp"
 
 #include <cstdio>
 #include <iostream>
 
+#include "core/kernel_registry.hpp"
 #include "tune/group_tuner.hpp"
 
 int main(int argc, char** argv) {
@@ -15,9 +20,11 @@ int main(int argc, char** argv) {
   long long jobs = 0;
   std::string platform_name = "bluegene-p-calibrated";
   std::string algo_name = "vandegeijn";
+  std::string kernel_name = "summa";
 
   hs::CliParser cli("Group-count autotuner demo (paper's conclusions)");
   hs::bench::add_jobs_option(cli, &jobs);
+  hs::bench::add_algorithm_option(cli, &kernel_name);
   cli.add_int("n", "matrix dimension", &n);
   cli.add_int("block", "block size", &block);
   cli.add_int("p", "number of processes", &ranks);
@@ -30,10 +37,17 @@ int main(int argc, char** argv) {
 
   const auto platform = hs::net::Platform::by_name(platform_name);
   const auto algo = hs::net::bcast_algo_from_string(algo_name);
+  const auto kernel = hs::core::algorithm_from_string(kernel_name);
+  const bool factorization =
+      hs::core::kernel_descriptor(kernel).factorization;
+  const auto problem =
+      factorization ? hs::core::ProblemSpec::factorization(n, block)
+                    : hs::core::ProblemSpec::square(n, block);
   hs::bench::print_banner(
       "Autotuner — few-iteration group-count selection",
-      "platform=" + platform.name + "  p=" + std::to_string(ranks) +
-          "  n=" + std::to_string(n) + "  b=B=" + std::to_string(block) +
+      "platform=" + platform.name + "  kernel=" + kernel_name +
+          "  p=" + std::to_string(ranks) + "  n=" + std::to_string(n) +
+          "  b=B=" + std::to_string(block) +
           "  sample steps=" + std::to_string(sample_steps));
 
   // One executor for the whole demo: the tuner's samples run concurrently,
@@ -42,9 +56,10 @@ int main(int argc, char** argv) {
   hs::exec::ParallelExecutor executor({.jobs = static_cast<int>(jobs)});
 
   hs::tune::TuneOptions options;
+  options.kernel = kernel;
   options.executor = &executor;
   options.grid = hs::grid::near_square_shape(static_cast<int>(ranks));
-  options.problem = hs::core::ProblemSpec::square(n, block);
+  options.problem = problem;
   options.network = platform.make_network();
   options.machine_config = {.ranks = static_cast<int>(ranks),
                             .collective_mode =
@@ -74,8 +89,9 @@ int main(int argc, char** argv) {
   hs::bench::Config config;
   config.platform = platform;
   config.ranks = static_cast<int>(ranks);
-  config.problem = hs::core::ProblemSpec::square(n, block);
+  config.problem = problem;
   config.algo = algo;
+  config.algorithm = kernel;
   const std::vector<int> group_counts =
       hs::bench::pow2_group_counts(config.ranks);
   std::vector<hs::bench::Config> points;

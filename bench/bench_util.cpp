@@ -6,6 +6,7 @@
 #include <iostream>
 
 #include "common/logging.hpp"
+#include "core/kernel_registry.hpp"
 
 namespace hs::bench {
 
@@ -54,6 +55,11 @@ void add_jobs_option(CliParser& cli, long long* dest) {
   *dest = exec::default_jobs();
   cli.add_int("jobs", "simulation worker threads (output is identical "
               "for any count)", dest);
+}
+
+void add_algorithm_option(CliParser& cli, std::string* dest) {
+  cli.add_string("algorithm",
+                 "kernel to simulate: " + core::kernel_name_list(), dest);
 }
 
 RepeatedResult run_repeated(const Config& config, int repetitions,

@@ -62,6 +62,12 @@ std::vector<core::RunResult> run_configs(const std::vector<Config>& configs,
 /// default, exec::default_jobs().
 void add_jobs_option(CliParser& cli, long long* dest);
 
+/// Registers --algorithm with the registry's kernel list in the help text;
+/// *dest keeps its current value as the default. Resolve the parsed name
+/// with core::algorithm_from_string (which rejects unknown names, again
+/// listing every registered kernel).
+void add_algorithm_option(CliParser& cli, std::string* dest);
+
 /// Repeated-measurement statistics, mirroring the paper's "mean times of 30
 /// experiments": each repetition perturbs every transfer with deterministic
 /// multiplicative noise (net::NoisyModel, per-repetition seed) and the

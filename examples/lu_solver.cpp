@@ -13,6 +13,7 @@
 #include "common/cli.hpp"
 #include "core/hier_bcast.hpp"
 #include "core/lu.hpp"
+#include "core/runner.hpp"
 #include "grid/hier_grid.hpp"
 #include "la/factor.hpp"
 #include "la/generate.hpp"
@@ -38,15 +39,15 @@ int main(int argc, char** argv) {
   hs::mpc::TransferLog log;
   machine.set_transfer_log(&log);
 
-  hs::core::LuOptions options;
+  hs::core::RunOptions options;
+  options.algorithm = hs::core::Algorithm::Lu;
   options.grid = hs::grid::near_square_shape(static_cast<int>(ranks));
-  options.n = n;
-  options.block = block;
+  options.problem = hs::core::ProblemSpec::factorization(n, block);
   options.row_levels = hs::core::balanced_levels(options.grid.cols, 2);
   options.col_levels = hs::core::balanced_levels(options.grid.rows, 2);
   options.verify = true;
 
-  const auto result = hs::core::run_lu(machine, options);
+  const auto result = hs::core::run(machine, options);
   std::printf("hierarchical block LU of a %lldx%lld system on %lld ranks\n",
               n, n, ranks);
   std::printf("  residual |LU - A|   : %.3e\n", result.max_error);
@@ -59,12 +60,8 @@ int main(int argc, char** argv) {
   // Solve A x = 1 on the host from the verified factors: forward then back
   // substitution against the reassembled factored matrix.
   {
-    const auto noise = hs::la::uniform_elements(options.seed);
-    const double shift = static_cast<double>(n);
-    const hs::la::ElementFn gen_a = [noise, shift](hs::la::index_t i,
-                                                   hs::la::index_t j) {
-      return noise(i, j) + (i == j ? shift : 0.0);
-    };
+    const hs::la::ElementFn gen_a =
+        hs::core::lu_input_elements(options.seed, n);
     // The harness verified L*U == A; redo a tiny solve to show usage.
     hs::la::Matrix a = hs::la::materialize(n, n, gen_a);
     hs::la::Matrix factored = a;

@@ -14,8 +14,6 @@
 
 namespace hs::core {
 
-namespace {
-
 void check_cholesky_preconditions(grid::GridShape shape, index_t n,
                                   index_t block) {
   HS_REQUIRE_MSG(shape.rows == shape.cols,
@@ -28,6 +26,18 @@ void check_cholesky_preconditions(grid::GridShape shape, index_t n,
                  "block=" << block << " must divide the local extent "
                           << n / shape.rows);
 }
+
+la::ElementFn cholesky_input_elements(std::uint64_t seed, index_t n) {
+  const la::ElementFn noise = la::uniform_elements(seed);
+  const double shift = static_cast<double>(n);
+  return [noise, shift](index_t i, index_t j) {
+    const index_t lo = std::min(i, j);
+    const index_t hi = std::max(i, j);
+    return noise(lo, hi) + (i == j ? shift : 0.0);
+  };
+}
+
+namespace {
 
 constexpr int kTransposeTag = 17;
 
@@ -171,90 +181,6 @@ desim::Task<void> cholesky_rank(CholeskyArgs args) {
       stats.flops += static_cast<std::uint64_t>(flops);
     }
   }
-}
-
-CholeskyResult run_cholesky(mpc::Machine& machine,
-                            const CholeskyOptions& options) {
-  check_cholesky_preconditions(options.grid, options.n, options.block);
-  HS_REQUIRE(machine.ranks() == options.grid.size());
-  HS_REQUIRE_MSG(options.mode == PayloadMode::Real || !options.verify,
-                 "verification requires real payloads");
-
-  // Symmetric noise + n on the diagonal: symmetric diagonally dominant
-  // with positive diagonal, hence SPD.
-  const la::ElementFn noise = la::uniform_elements(options.seed);
-  const double shift = static_cast<double>(options.n);
-  const la::ElementFn gen_a = [noise, shift](index_t i, index_t j) {
-    const index_t lo = std::min(i, j);
-    const index_t hi = std::max(i, j);
-    return noise(lo, hi) + (i == j ? shift : 0.0);
-  };
-
-  const grid::BlockDistribution dist(options.n, options.n, options.grid.rows,
-                                     options.grid.cols);
-  std::vector<la::Matrix> locals;
-  if (options.mode == PayloadMode::Real) {
-    locals.resize(static_cast<std::size_t>(options.grid.size()));
-    for (int rank = 0; rank < options.grid.size(); ++rank)
-      locals[static_cast<std::size_t>(rank)] = dist.materialize_local(
-          rank / options.grid.cols, rank % options.grid.cols, gen_a);
-  }
-
-  std::vector<trace::RankStats> stats(
-      static_cast<std::size_t>(options.grid.size()));
-  const double start_time = machine.engine().now();
-  const std::uint64_t start_messages = machine.messages_transferred();
-  const std::uint64_t start_bytes = machine.bytes_transferred();
-
-  for (int rank = 0; rank < options.grid.size(); ++rank) {
-    CholeskyArgs args;
-    args.comm = machine.world(rank);
-    args.shape = options.grid;
-    args.n = options.n;
-    args.block = options.block;
-    args.row_levels = options.row_levels;
-    args.col_levels = options.col_levels;
-    args.local_a = options.mode == PayloadMode::Real
-                       ? &locals[static_cast<std::size_t>(rank)]
-                       : nullptr;
-    args.stats = &stats[static_cast<std::size_t>(rank)];
-    args.bcast_algo = options.bcast_algo;
-    machine.engine().spawn(cholesky_rank(std::move(args)),
-                           "cholesky rank " + std::to_string(rank));
-  }
-  machine.engine().run();
-
-  CholeskyResult result;
-  result.timing = trace::TimingReport::aggregate(
-      machine.engine().now() - start_time, stats);
-  result.messages = machine.messages_transferred() - start_messages;
-  result.wire_bytes = machine.bytes_transferred() - start_bytes;
-
-  if (options.verify) {
-    la::Matrix factored(options.n, options.n);
-    for (int rank = 0; rank < options.grid.size(); ++rank) {
-      const int grid_row = rank / options.grid.cols;
-      const int grid_col = rank % options.grid.cols;
-      factored
-          .block(dist.row_offset(grid_row), dist.col_offset(grid_col),
-                 dist.local_rows(grid_row), dist.local_cols(grid_col))
-          .copy_from(locals[static_cast<std::size_t>(rank)].view());
-    }
-    la::Matrix l(options.n, options.n);
-    for (index_t i = 0; i < options.n; ++i)
-      for (index_t j = 0; j <= i; ++j) l(i, j) = factored(i, j);
-    la::Matrix product(options.n, options.n);
-    // L * L^T via the transposed-B subtract kernel on a zero target.
-    la::gemm_subtract_transb(l.view(), l.view(), product.view());
-    const la::Matrix original = la::materialize(options.n, options.n, gen_a);
-    double max_error = 0.0;
-    for (index_t i = 0; i < options.n; ++i)
-      for (index_t j = 0; j < options.n; ++j)
-        max_error = std::max(max_error,
-                             std::fabs(-product(i, j) - original(i, j)));
-    result.max_error = max_error;
-  }
-  return result;
 }
 
 }  // namespace hs::core

@@ -19,6 +19,7 @@
 
 #include "core/spec.hpp"
 #include "desim/task.hpp"
+#include "la/generate.hpp"
 #include "mpc/comm.hpp"
 #include "trace/phase.hpp"
 
@@ -39,29 +40,18 @@ struct CholeskyArgs {
 /// Per-rank program. Preconditions: s == t, s | n, b | n/s.
 desim::Task<void> cholesky_rank(CholeskyArgs args);
 
-struct CholeskyOptions {
-  grid::GridShape grid;
-  index_t n = 0;
-  index_t block = 0;
-  std::vector<int> row_levels;
-  std::vector<int> col_levels;
-  PayloadMode mode = PayloadMode::Real;
-  std::optional<net::BcastAlgo> bcast_algo;
-  bool verify = false;
-  std::uint64_t seed = 11;
-};
+/// The preconditions above, throwing hs::PreconditionError on violation.
+/// The registry's validation hook calls this before any rank is spawned.
+void check_cholesky_preconditions(grid::GridShape shape, index_t n,
+                                  index_t block);
 
-struct CholeskyResult {
-  trace::TimingReport timing;
-  /// max |(L L^T)_ij - A_ij|; -1 when not verified.
-  double max_error = -1.0;
-  std::uint64_t messages = 0;
-  std::uint64_t wire_bytes = 0;
-};
-
-/// Harness: distribute a symmetric diagonally dominant (hence SPD) A,
-/// factor, optionally verify L L^T against A on the host.
-CholeskyResult run_cholesky(mpc::Machine& machine,
-                            const CholeskyOptions& options);
+/// Input generator the Cholesky harness factors: symmetric uniform noise
+/// plus n on the diagonal — symmetric diagonally dominant with a positive
+/// diagonal, hence SPD.
+la::ElementFn cholesky_input_elements(std::uint64_t seed, index_t n);
 
 }  // namespace hs::core
+
+// The end-to-end harness for this kernel is core::run() with
+// Algorithm::Cholesky (problem = ProblemSpec::factorization(n, block)); see
+// core/kernel_registry.hpp for the registered descriptor.

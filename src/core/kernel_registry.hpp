@@ -1,0 +1,91 @@
+// KernelRegistry: the single dispatch site for every distributed kernel.
+//
+// Each Algorithm variant — the SUMMA/HSUMMA matrix-multiplication family,
+// the baselines, and the one-sided factorizations (LU, Cholesky) — registers
+// one KernelDescriptor: canonical name and aliases, parameter-validation and
+// grid/group-adaptation policy, a per-rank program factory, and a result
+// verifier. core::run(), exec::run_sim_job(), the group tuner and the bench
+// CLIs all dispatch through the registry instead of their own switches, so
+// adding a kernel (e.g. QR) is one registration in kernel_registry.cpp:
+// the runner, the parallel sweep executor, the result cache and the tuner
+// pick it up with no further plumbing.
+//
+// Layering: the registry owns the *harness* knowledge (how to build inputs,
+// spawn per-rank programs, verify outputs); the kernels themselves
+// (core/summa.hpp, core/lu.hpp, ...) stay plain coroutine factories with no
+// registry dependency.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/runner.hpp"
+
+namespace hs::core {
+
+/// Per-run kernel state created by KernelDescriptor::make_run: owns the
+/// Real-mode input blocks for the duration of one simulation and knows how
+/// to build each rank's program and how to verify the final result.
+class KernelRun {
+ public:
+  virtual ~KernelRun() = default;
+
+  /// Build the coroutine program for `rank`. Called once per rank, in rank
+  /// order, before the engine runs.
+  virtual desim::Task<void> program(mpc::Machine& machine,
+                                    const RunOptions& options, int rank,
+                                    trace::RankStats* stats) = 0;
+
+  /// Max |result - reference| over the distributed output. Called only when
+  /// options.verify (which requires Real payloads).
+  virtual double verify(const RunOptions& options) = 0;
+};
+
+struct KernelDescriptor {
+  Algorithm kernel = Algorithm::Summa;
+  /// Canonical name: CLI spelling, engine task names, error messages.
+  std::string_view name;
+  std::vector<std::string_view> aliases;
+  /// One-sided factorization: the problem is square (m == k == n) and the
+  /// executor's group-count adaptation maps G onto hierarchical panel
+  /// broadcast level factors instead of an HSUMMA group arrangement.
+  bool factorization = false;
+  bool requires_square_grid = false;
+  /// Communication/computation overlap pipeline available.
+  bool supports_overlap = false;
+  /// RunOptions::layers > 1 replication (2.5D family).
+  bool supports_layers = false;
+  /// Group-count family policy for exec::run_sim_job: a requested group
+  /// count G <= 1 dispatches `flat`, G > 1 dispatches `hier` with
+  /// grid::group_arrangement. flat == hier == kernel means the kernel has
+  /// no group dimension and ignores the request.
+  Algorithm flat = Algorithm::Summa;
+  Algorithm hier = Algorithm::Summa;
+  /// Kernel-specific precondition checks (grid shape, divisibility, ...).
+  /// Null when the per-rank program performs all validation itself.
+  void (*validate)(const RunOptions& options) = nullptr;
+  /// Per-run state factory; materializes Real-mode inputs.
+  std::unique_ptr<KernelRun> (*make_run)(const RunOptions& options) = nullptr;
+};
+
+/// All registered kernels, in Algorithm enumerator order.
+const std::vector<KernelDescriptor>& all_kernels();
+
+/// Descriptor for one kernel (total: every Algorithm value is registered).
+const KernelDescriptor& kernel_descriptor(Algorithm kernel);
+
+/// Lookup by canonical name or alias; nullptr when unknown.
+const KernelDescriptor* find_kernel(std::string_view name);
+
+/// "summa, hsumma, ..., lu, cholesky" — for CLI help and error messages.
+std::string kernel_name_list();
+
+/// The registry's group-count adaptation policy, shared by run_sim_job and
+/// the benches: rewrites options.algorithm/groups (SUMMA family) or the
+/// level factors (factorizations) from a requested group count. `options`
+/// must already carry the resolved grid.
+void adapt_groups(int groups, RunOptions& options);
+
+}  // namespace hs::core

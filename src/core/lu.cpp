@@ -13,8 +13,6 @@
 
 namespace hs::core {
 
-namespace {
-
 void check_lu_preconditions(grid::GridShape shape, index_t n, index_t block) {
   HS_REQUIRE_MSG(n > 0 && block > 0, "n and block must be positive");
   HS_REQUIRE_MSG(n % shape.rows == 0 && n % shape.cols == 0,
@@ -25,7 +23,13 @@ void check_lu_preconditions(grid::GridShape shape, index_t n, index_t block) {
                           << n / shape.rows << " and " << n / shape.cols);
 }
 
-}  // namespace
+la::ElementFn lu_input_elements(std::uint64_t seed, index_t n) {
+  const la::ElementFn noise = la::uniform_elements(seed);
+  const double shift = static_cast<double>(n);
+  return [noise, shift](index_t i, index_t j) {
+    return noise(i, j) + (i == j ? shift : 0.0);
+  };
+}
 
 desim::Task<void> lu_rank(LuArgs args) {
   check_lu_preconditions(args.shape, args.n, args.block);
@@ -179,90 +183,6 @@ desim::Task<void> lu_rank(LuArgs args) {
       stats.flops += static_cast<std::uint64_t>(flops);
     }
   }
-}
-
-LuResult run_lu(mpc::Machine& machine, const LuOptions& options) {
-  check_lu_preconditions(options.grid, options.n, options.block);
-  HS_REQUIRE(machine.ranks() == options.grid.size());
-  HS_REQUIRE_MSG(options.mode == PayloadMode::Real || !options.verify,
-                 "verification requires real payloads");
-
-  // Diagonally dominant input: uniform noise plus n on the diagonal keeps
-  // unpivoted LU stable.
-  const la::ElementFn noise = la::uniform_elements(options.seed);
-  const double shift = static_cast<double>(options.n);
-  const la::ElementFn gen_a = [noise, shift](index_t i, index_t j) {
-    return noise(i, j) + (i == j ? shift : 0.0);
-  };
-
-  const grid::BlockDistribution dist(options.n, options.n, options.grid.rows,
-                                     options.grid.cols);
-  std::vector<la::Matrix> locals;
-  if (options.mode == PayloadMode::Real) {
-    locals.resize(static_cast<std::size_t>(options.grid.size()));
-    for (int rank = 0; rank < options.grid.size(); ++rank) {
-      const int grid_row = rank / options.grid.cols;
-      const int grid_col = rank % options.grid.cols;
-      locals[static_cast<std::size_t>(rank)] =
-          dist.materialize_local(grid_row, grid_col, gen_a);
-    }
-  }
-
-  std::vector<trace::RankStats> stats(
-      static_cast<std::size_t>(options.grid.size()));
-  const double start_time = machine.engine().now();
-  const std::uint64_t start_messages = machine.messages_transferred();
-  const std::uint64_t start_bytes = machine.bytes_transferred();
-
-  for (int rank = 0; rank < options.grid.size(); ++rank) {
-    LuArgs args;
-    args.comm = machine.world(rank);
-    args.shape = options.grid;
-    args.n = options.n;
-    args.block = options.block;
-    args.row_levels = options.row_levels;
-    args.col_levels = options.col_levels;
-    args.local_a = options.mode == PayloadMode::Real
-                       ? &locals[static_cast<std::size_t>(rank)]
-                       : nullptr;
-    args.stats = &stats[static_cast<std::size_t>(rank)];
-    args.bcast_algo = options.bcast_algo;
-    machine.engine().spawn(lu_rank(std::move(args)),
-                           "lu rank " + std::to_string(rank));
-  }
-  machine.engine().run();
-
-  LuResult result;
-  result.timing = trace::TimingReport::aggregate(
-      machine.engine().now() - start_time, stats);
-  result.messages = machine.messages_transferred() - start_messages;
-  result.wire_bytes = machine.bytes_transferred() - start_bytes;
-
-  if (options.verify) {
-    // Reassemble the factored matrix, split into L and U, and compare L*U
-    // against the original A (host-side, small n only).
-    la::Matrix factored(options.n, options.n);
-    for (int rank = 0; rank < options.grid.size(); ++rank) {
-      const int grid_row = rank / options.grid.cols;
-      const int grid_col = rank % options.grid.cols;
-      factored
-          .block(dist.row_offset(grid_row), dist.col_offset(grid_col),
-                 dist.local_rows(grid_row), dist.local_cols(grid_col))
-          .copy_from(locals[static_cast<std::size_t>(rank)].view());
-    }
-    la::Matrix l(options.n, options.n), u(options.n, options.n);
-    for (index_t i = 0; i < options.n; ++i) {
-      l(i, i) = 1.0;
-      for (index_t j = 0; j < i; ++j) l(i, j) = factored(i, j);
-      for (index_t j = i; j < options.n; ++j) u(i, j) = factored(i, j);
-    }
-    la::Matrix product(options.n, options.n);
-    la::gemm(l.view(), u.view(), product.view());
-    const la::Matrix original = la::materialize(options.n, options.n, gen_a);
-    result.max_error =
-        la::max_abs_diff(product.view(), original.view());
-  }
-  return result;
 }
 
 }  // namespace hs::core

@@ -23,6 +23,7 @@
 
 #include "core/spec.hpp"
 #include "desim/task.hpp"
+#include "la/generate.hpp"
 #include "mpc/comm.hpp"
 #include "trace/phase.hpp"
 
@@ -44,28 +45,17 @@ struct LuArgs {
 /// Per-rank program. Preconditions: s | n, t | n, b | n/s, b | n/t.
 desim::Task<void> lu_rank(LuArgs args);
 
-struct LuOptions {
-  grid::GridShape grid;
-  index_t n = 0;
-  index_t block = 0;
-  std::vector<int> row_levels;
-  std::vector<int> col_levels;
-  PayloadMode mode = PayloadMode::Real;
-  std::optional<net::BcastAlgo> bcast_algo;
-  bool verify = false;       // Real mode only
-  std::uint64_t seed = 7;
-};
+/// The preconditions above, throwing hs::PreconditionError on violation.
+/// The registry's validation hook calls this before any rank is spawned.
+void check_lu_preconditions(grid::GridShape shape, index_t n, index_t block);
 
-struct LuResult {
-  trace::TimingReport timing;
-  /// max |(L*U)_ij - A_ij| over the full matrix; -1 when not verified.
-  double max_error = -1.0;
-  std::uint64_t messages = 0;
-  std::uint64_t wire_bytes = 0;
-};
-
-/// Harness: distribute a diagonally dominant A, factor it, optionally
-/// reassemble L*U on the host and compare against A.
-LuResult run_lu(mpc::Machine& machine, const LuOptions& options);
+/// Input generator the LU harness factors: uniform noise plus n on the
+/// diagonal (diagonally dominant, so unpivoted LU is stable). Exposed so
+/// callers can rebuild A on the host (e.g. for solves against the factors).
+la::ElementFn lu_input_elements(std::uint64_t seed, index_t n);
 
 }  // namespace hs::core
+
+// The end-to-end harness for this kernel is core::run() with
+// Algorithm::Lu (problem = ProblemSpec::factorization(n, block)); see
+// core/kernel_registry.hpp for the registered descriptor.

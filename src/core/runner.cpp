@@ -1,174 +1,36 @@
 #include "core/runner.hpp"
 
-#include <algorithm>
+#include <memory>
+#include <string>
 
-#include "core/cannon.hpp"
-#include "core/cyclic.hpp"
-#include "core/fox.hpp"
-#include "core/hier_bcast.hpp"
-#include "core/hsumma.hpp"
-#include "core/summa.hpp"
-#include "core/summa25d.hpp"
-#include "core/verify.hpp"
-#include "grid/distribution.hpp"
-#include "la/generate.hpp"
+#include "core/kernel_registry.hpp"
 
 namespace hs::core {
 
-std::string_view to_string(Algorithm algorithm) {
-  switch (algorithm) {
-    case Algorithm::Summa: return "summa";
-    case Algorithm::Hsumma: return "hsumma";
-    case Algorithm::HsummaMultilevel: return "hsumma-multilevel";
-    case Algorithm::SummaCyclic: return "summa-cyclic";
-    case Algorithm::HsummaCyclic: return "hsumma-cyclic";
-    case Algorithm::Cannon: return "cannon";
-    case Algorithm::Fox: return "fox";
-    case Algorithm::Summa25D: return "summa-2.5d";
-  }
-  return "?";
-}
-
-Algorithm algorithm_from_string(std::string_view name) {
-  if (name == "summa") return Algorithm::Summa;
-  if (name == "hsumma") return Algorithm::Hsumma;
-  if (name == "hsumma-multilevel") return Algorithm::HsummaMultilevel;
-  if (name == "summa-cyclic") return Algorithm::SummaCyclic;
-  if (name == "hsumma-cyclic") return Algorithm::HsummaCyclic;
-  if (name == "cannon") return Algorithm::Cannon;
-  if (name == "fox") return Algorithm::Fox;
-  if (name == "summa-2.5d" || name == "summa25d") return Algorithm::Summa25D;
-  HS_REQUIRE_MSG(false, "unknown algorithm '" << name << "'");
-  return Algorithm::Summa;
-}
-
 RunResult run(mpc::Machine& machine, const RunOptions& options) {
-  const int grid_ranks = options.grid.size();
-  const int total_ranks = grid_ranks * options.layers;
+  const KernelDescriptor& kernel = kernel_descriptor(options.algorithm);
+  const int total_ranks = options.grid.size() * options.layers;
   HS_REQUIRE_MSG(machine.ranks() == total_ranks,
                  "machine has " << machine.ranks() << " ranks but the run "
                  "needs " << total_ranks);
   HS_REQUIRE_MSG(options.mode == PayloadMode::Real || !options.verify,
                  "verification requires real payloads");
+  if (kernel.validate != nullptr) kernel.validate(options);
 
-  const ProblemSpec& prob = options.problem;
-  const bool cyclic = options.algorithm == Algorithm::SummaCyclic ||
-                      options.algorithm == Algorithm::HsummaCyclic;
-  const la::index_t dist_block = options.algorithm == Algorithm::HsummaCyclic
-                                     ? prob.effective_outer_block()
-                                     : prob.block;
-  const grid::BlockDistribution dist_a(prob.m, prob.k, options.grid.rows,
-                                       options.grid.cols);
-  const grid::BlockDistribution dist_b(prob.k, prob.n, options.grid.rows,
-                                       options.grid.cols);
-  const grid::BlockDistribution dist_c(prob.m, prob.n, options.grid.rows,
-                                       options.grid.cols);
-  const grid::BlockCyclicDistribution cyc_a(prob.m, prob.k, dist_block,
-                                            dist_block, options.grid.rows,
-                                            options.grid.cols);
-  const grid::BlockCyclicDistribution cyc_b(prob.k, prob.n, dist_block,
-                                            dist_block, options.grid.rows,
-                                            options.grid.cols);
-  const grid::BlockCyclicDistribution cyc_c(prob.m, prob.n, dist_block,
-                                            dist_block, options.grid.rows,
-                                            options.grid.cols);
-  const la::ElementFn gen_a = la::uniform_elements(options.seed);
-  const la::ElementFn gen_b = la::uniform_elements(options.seed + 1);
-
-  // Per-rank local blocks (Real mode). For Summa25D only layer 0 gets
-  // inputs; other layers' inputs arrive by replication, which the zero
-  // fill lets tests observe.
-  std::vector<LocalBlocks> locals;
-  if (options.mode == PayloadMode::Real) {
-    locals.resize(static_cast<std::size_t>(total_ranks));
-    for (int rank = 0; rank < total_ranks; ++rank) {
-      const int layer = rank / grid_ranks;
-      const int within = rank % grid_ranks;
-      const int grid_row = within / options.grid.cols;
-      const int grid_col = within % options.grid.cols;
-      auto& local = locals[static_cast<std::size_t>(rank)];
-      if (cyclic) {
-        local.a = cyc_a.materialize_local(grid_row, grid_col, gen_a);
-        local.b = cyc_b.materialize_local(grid_row, grid_col, gen_b);
-        local.c = la::Matrix(cyc_c.local_rows(grid_row),
-                             cyc_c.local_cols(grid_col));
-        continue;
-      }
-      if (layer == 0) {
-        local.a = dist_a.materialize_local(grid_row, grid_col, gen_a);
-        local.b = dist_b.materialize_local(grid_row, grid_col, gen_b);
-      } else {
-        local.a = la::Matrix(dist_a.local_rows(grid_row),
-                             dist_a.local_cols(grid_col));
-        local.b = la::Matrix(dist_b.local_rows(grid_row),
-                             dist_b.local_cols(grid_col));
-      }
-      local.c = la::Matrix(dist_c.local_rows(grid_row),
-                           dist_c.local_cols(grid_col));
-    }
-  }
+  const std::unique_ptr<KernelRun> body = kernel.make_run(options);
 
   std::vector<trace::RankStats> stats(static_cast<std::size_t>(total_ranks));
   const double start_time = machine.engine().now();
   const std::uint64_t start_messages = machine.messages_transferred();
   const std::uint64_t start_bytes = machine.bytes_transferred();
 
-  auto local_of = [&](int rank) -> LocalBlocks* {
-    return options.mode == PayloadMode::Real
-               ? &locals[static_cast<std::size_t>(rank)]
-               : nullptr;
-  };
-
   machine.engine().reserve(static_cast<std::size_t>(total_ranks),
                            static_cast<std::size_t>(total_ranks));
   for (int rank = 0; rank < total_ranks; ++rank) {
-    mpc::Comm world = machine.world(rank);
-    trace::RankStats* rank_stats = &stats[static_cast<std::size_t>(rank)];
-    desim::Task<void> program;
-    switch (options.algorithm) {
-      case Algorithm::Summa:
-        program = summa_rank({world, options.grid, prob, local_of(rank),
-                              rank_stats, options.bcast_algo,
-                              options.overlap});
-        break;
-      case Algorithm::Hsumma:
-        program = hsumma_rank({world, options.grid, options.groups, prob,
-                               local_of(rank), rank_stats,
-                               options.bcast_algo, options.overlap});
-        break;
-      case Algorithm::SummaCyclic:
-        program = summa_cyclic_rank({world, options.grid, prob,
-                                     local_of(rank), rank_stats,
-                                     options.bcast_algo, options.overlap});
-        break;
-      case Algorithm::HsummaCyclic:
-        program = hsumma_cyclic_rank({world, options.grid, options.groups,
-                                      prob, local_of(rank), rank_stats,
-                                      options.bcast_algo, options.overlap});
-        break;
-      case Algorithm::HsummaMultilevel:
-        program = hsumma_multilevel_rank(
-            {world, options.grid, prob, options.row_levels,
-             options.col_levels, local_of(rank), rank_stats,
-             options.bcast_algo});
-        break;
-      case Algorithm::Cannon:
-        program = cannon_rank({world, options.grid, prob, local_of(rank),
-                               rank_stats});
-        break;
-      case Algorithm::Fox:
-        program = fox_rank({world, options.grid, prob, local_of(rank),
-                            rank_stats, options.bcast_algo});
-        break;
-      case Algorithm::Summa25D:
-        program = summa25d_rank({world, options.grid, options.layers, prob,
-                                 local_of(rank), rank_stats,
-                                 options.bcast_algo});
-        break;
-    }
-    machine.engine().spawn(std::move(program),
-                           std::string(to_string(options.algorithm)) +
-                               " rank " + std::to_string(rank));
+    machine.engine().spawn(
+        body->program(machine, options, rank,
+                      &stats[static_cast<std::size_t>(rank)]),
+        std::string(kernel.name) + " rank " + std::to_string(rank));
   }
   machine.engine().run();
 
@@ -177,32 +39,7 @@ RunResult run(mpc::Machine& machine, const RunOptions& options) {
       machine.engine().now() - start_time, stats);
   result.messages = machine.messages_transferred() - start_messages;
   result.wire_bytes = machine.bytes_transferred() - start_bytes;
-
-  if (options.verify) {
-    // For Summa25D, C is summed back to layer 0; verify that layer only.
-    const int verified_ranks =
-        options.algorithm == Algorithm::Summa25D ? grid_ranks : total_ranks;
-    double max_error = 0.0;
-    for (int rank = 0; rank < verified_ranks; ++rank) {
-      const int within = rank % grid_ranks;
-      const int grid_row = within / options.grid.cols;
-      const int grid_col = within % options.grid.cols;
-      if (cyclic) {
-        max_error = std::max(
-            max_error,
-            verify_c_cyclic(locals[static_cast<std::size_t>(rank)].c.view(),
-                            cyc_c, grid_row, grid_col, gen_a, gen_b,
-                            prob.k));
-        continue;
-      }
-      max_error = std::max(
-          max_error,
-          verify_c_block(locals[static_cast<std::size_t>(rank)].c.view(),
-                         gen_a, gen_b, prob.k, dist_c.row_offset(grid_row),
-                         dist_c.col_offset(grid_col)));
-    }
-    result.max_error = max_error;
-  }
+  if (options.verify) result.max_error = body->verify(options);
   return result;
 }
 

@@ -30,6 +30,12 @@ struct ProblemSpec {
     return {n, n, n, block, outer_block};
   }
 
+  /// One-sided factorization problem: an n x n matrix advanced in panels of
+  /// width `block`. Factorization kernels require m == k == n.
+  static ProblemSpec factorization(index_t n, index_t block) {
+    return {n, n, n, block, 0};
+  }
+
   index_t effective_outer_block() const {
     return outer_block == 0 ? block : outer_block;
   }
@@ -45,6 +51,10 @@ struct ProblemSpec {
 /// (mandatory at BlueGene/P scale).
 enum class PayloadMode { Real, Phantom };
 
+/// Every distributed kernel the runner can dispatch. Values index into the
+/// KernelRegistry (core/kernel_registry.hpp), which holds one descriptor —
+/// names, validation policy, program factory, verifier — per variant. New
+/// enumerators must be appended (SimJob cache keys serialize the value).
 enum class Algorithm {
   Summa,
   Hsumma,
@@ -54,9 +64,13 @@ enum class Algorithm {
   Cannon,
   Fox,
   Summa25D,
+  Lu,            // block LU factorization with hierarchical panel broadcasts
+  Cholesky,      // block Cholesky (A = L L^T), square grids only
 };
 
 std::string_view to_string(Algorithm algorithm);
+/// Inverse of to_string (aliases accepted). Throws hs::PreconditionError
+/// naming every registered kernel when `name` is unknown.
 Algorithm algorithm_from_string(std::string_view name);
 
 /// Per-rank local blocks of the three distributed matrices (Real mode).

@@ -2,7 +2,7 @@
 
 #include <sstream>
 
-#include "grid/hier_grid.hpp"
+#include "core/kernel_registry.hpp"
 
 namespace hs::exec {
 
@@ -84,26 +84,11 @@ core::RunResult run_sim_job(const SimJob& job) {
   options.row_levels = job.row_levels;
   options.col_levels = job.col_levels;
 
-  // The SUMMA families pick flat vs hierarchical from the group count, so
-  // one job description covers a whole G-sweep (G = 1 is exactly SUMMA,
-  // as the paper notes).
-  const bool summa_family = job.algorithm == core::Algorithm::Summa ||
-                            job.algorithm == core::Algorithm::Hsumma;
-  const bool cyclic_family = job.algorithm == core::Algorithm::SummaCyclic ||
-                             job.algorithm == core::Algorithm::HsummaCyclic;
-  if (summa_family || cyclic_family) {
-    if (job.groups <= 1) {
-      options.algorithm = cyclic_family ? core::Algorithm::SummaCyclic
-                                        : core::Algorithm::Summa;
-    } else {
-      options.algorithm = cyclic_family ? core::Algorithm::HsummaCyclic
-                                        : core::Algorithm::Hsumma;
-      options.groups = grid::group_arrangement(shape, job.groups);
-      HS_REQUIRE_MSG(options.groups.size() == job.groups,
-                     "no valid arrangement of " << job.groups
-                                                << " groups on this grid");
-    }
-  }
+  // The registry's group-adaptation policy: the SUMMA families pick flat
+  // vs hierarchical from the group count (G = 1 is exactly SUMMA, as the
+  // paper notes) and the factorizations map G onto hierarchical panel
+  // broadcast level factors, so one job description covers a whole G-sweep.
+  core::adapt_groups(job.groups, options);
   return core::run(machine, options);
 }
 

@@ -50,11 +50,13 @@ struct SimJob {
   /// Used only when grid is {0, 0}.
   int ranks = 0;
   int layers = 1;  // Summa25D only
-  /// Group count for the SUMMA/HSUMMA families: <= 1 selects the flat
-  /// algorithm, > 1 the hierarchical one with group_arrangement(grid, G)
-  /// (run_sim_job applies the same adaptation bench::run_config always has).
+  /// Group count, adapted per kernel by core::adapt_groups: for the
+  /// SUMMA/HSUMMA families <= 1 selects the flat algorithm and > 1 the
+  /// hierarchical one with group_arrangement(grid, G); for the
+  /// factorizations (Lu, Cholesky) G > 1 becomes hierarchical panel
+  /// broadcast level factors. One job description covers a whole G-sweep.
   int groups = 1;
-  std::vector<int> row_levels;  // HsummaMultilevel only
+  std::vector<int> row_levels;  // HsummaMultilevel, Lu, Cholesky
   std::vector<int> col_levels;
   core::ProblemSpec problem;
   core::PayloadMode mode = core::PayloadMode::Phantom;

@@ -7,6 +7,7 @@
 #include <limits>
 #include <numeric>
 
+#include "core/kernel_registry.hpp"
 #include "exec/executor.hpp"
 #include "model/cost_model.hpp"
 
@@ -62,8 +63,15 @@ TuneResult tune_groups(const TuneOptions& options) {
     std::sort(candidates.begin(), candidates.end());
   }
 
-  const core::ProblemSpec sample_problem = truncated_problem(
-      options.problem, options.grid, options.sample_outer_steps);
+  // Factorization kernels keep the full problem: their panel steps shrink
+  // as the factorization advances, so a truncated prefix would not be
+  // representative (and m == k == n is a kernel precondition).
+  const bool factorization =
+      core::kernel_descriptor(options.kernel).factorization;
+  const core::ProblemSpec sample_problem =
+      factorization ? options.problem
+                    : truncated_problem(options.problem, options.grid,
+                                        options.sample_outer_steps);
   const double scale =
       static_cast<double>(options.problem.k) /
       static_cast<double>(sample_problem.k);
@@ -84,7 +92,7 @@ TuneResult tune_groups(const TuneOptions& options) {
     job.gamma_flop = options.machine_config.gamma_flop;
     job.collective_mode = options.machine_config.collective_mode;
     job.machine_bcast_algo = options.machine_config.bcast_algo;
-    job.algorithm = core::Algorithm::Summa;  // Hsumma when groups > 1
+    job.algorithm = options.kernel;  // adapt_groups picks flat vs hier
     job.grid = options.grid;
     job.groups = groups;
     job.problem = sample_problem;

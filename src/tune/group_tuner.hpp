@@ -22,6 +22,13 @@ class ParallelExecutor;
 namespace hs::tune {
 
 struct TuneOptions {
+  /// Kernel to tune. Group counts are adapted per kernel by
+  /// core::adapt_groups: the SUMMA families switch flat/hierarchical, the
+  /// factorizations (Lu, Cholesky) map G onto hierarchical panel broadcast
+  /// level factors. Factorization samples always run the full step count
+  /// (panel steps are heterogeneous, so a truncated prefix would not be
+  /// representative); the multiplication kernels sample a truncated k.
+  core::Algorithm kernel = core::Algorithm::Summa;
   grid::GridShape grid;
   core::ProblemSpec problem;
   std::shared_ptr<const net::NetworkModel> network;

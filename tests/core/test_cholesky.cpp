@@ -1,40 +1,50 @@
-// Distributed block Cholesky with hierarchical panel broadcasts.
+// Distributed block Cholesky with hierarchical panel broadcasts, driven
+// through the unified core::run() harness.
 #include "core/cholesky.hpp"
-
-#include "core/lu.hpp"
 
 #include <gtest/gtest.h>
 
 #include <memory>
 #include <tuple>
 
+#include "core/runner.hpp"
 #include "la/factor.hpp"
 #include "la/generate.hpp"
 #include "la/norms.hpp"
+#include "net/model.hpp"
 
 namespace {
 
-using hs::core::CholeskyOptions;
+using hs::core::Algorithm;
 using hs::core::PayloadMode;
+using hs::core::ProblemSpec;
+using hs::core::RunOptions;
 using hs::grid::GridShape;
 
-hs::core::CholeskyResult run_once(const CholeskyOptions& options,
-                                  double alpha = 1e-4, double beta = 1e-9) {
+RunOptions cholesky_options(GridShape grid, hs::la::index_t n,
+                            hs::la::index_t block) {
+  RunOptions options;
+  options.algorithm = Algorithm::Cholesky;
+  options.grid = grid;
+  options.problem = ProblemSpec::factorization(n, block);
+  return options;
+}
+
+hs::core::RunResult run_once(const RunOptions& options, double alpha = 1e-4,
+                             double beta = 1e-9) {
   hs::desim::Engine engine;
   hs::mpc::Machine machine(
       engine, std::make_shared<hs::net::HockneyModel>(alpha, beta),
       {.ranks = options.grid.size(), .gamma_flop = 1e-9});
-  return hs::core::run_cholesky(machine, options);
+  return hs::core::run(machine, options);
 }
 
 TEST(CholeskyKernel, FactorsSpdBlock) {
   const hs::la::index_t n = 24;
   hs::la::Matrix a(n, n);
-  const auto noise = hs::la::uniform_elements(2);
+  const auto gen = hs::core::cholesky_input_elements(2, n);
   for (hs::la::index_t i = 0; i < n; ++i)
-    for (hs::la::index_t j = 0; j < n; ++j)
-      a(i, j) = noise(std::min(i, j), std::max(i, j)) +
-                (i == j ? static_cast<double>(n) : 0.0);
+    for (hs::la::index_t j = 0; j < n; ++j) a(i, j) = gen(i, j);
   hs::la::Matrix factored = a;
   hs::la::cholesky_factor_inplace(factored.view());
   // Rebuild L and check L L^T == A on the lower triangle.
@@ -83,10 +93,7 @@ class CholeskyGridTest
 
 TEST_P(CholeskyGridTest, FactorsCorrectly) {
   const auto [q, block] = GetParam();
-  CholeskyOptions options;
-  options.grid = {q, q};
-  options.n = 96;
-  options.block = block;
+  RunOptions options = cholesky_options({q, q}, 96, block);
   options.verify = true;
   const auto result = run_once(options);
   EXPECT_LT(result.max_error, 1e-9) << q << "x" << q << " b=" << block;
@@ -101,10 +108,7 @@ INSTANTIATE_TEST_SUITE_P(GridsAndBlocks, CholeskyGridTest,
                                            std::make_tuple(4, 24)));
 
 TEST(Cholesky, HierarchicalBroadcastsPreserveCorrectness) {
-  CholeskyOptions options;
-  options.grid = {4, 4};
-  options.n = 96;
-  options.block = 8;
+  RunOptions options = cholesky_options({4, 4}, 96, 8);
   options.row_levels = {2};
   options.col_levels = {2};
   options.verify = true;
@@ -112,18 +116,12 @@ TEST(Cholesky, HierarchicalBroadcastsPreserveCorrectness) {
 }
 
 TEST(Cholesky, RequiresSquareGrid) {
-  CholeskyOptions options;
-  options.grid = {2, 4};
-  options.n = 96;
-  options.block = 8;
+  RunOptions options = cholesky_options({2, 4}, 96, 8);
   EXPECT_THROW(run_once(options), hs::PreconditionError);
 }
 
 TEST(Cholesky, PhantomMatchesRealTiming) {
-  CholeskyOptions options;
-  options.grid = {3, 3};
-  options.n = 72;
-  options.block = 8;
+  RunOptions options = cholesky_options({3, 3}, 72, 8);
   options.mode = PayloadMode::Real;
   const auto real = run_once(options);
   options.mode = PayloadMode::Phantom;
@@ -134,10 +132,7 @@ TEST(Cholesky, PhantomMatchesRealTiming) {
 }
 
 TEST(Cholesky, HierarchyReducesCommOnLatencyDominatedNetwork) {
-  CholeskyOptions options;
-  options.grid = {8, 8};
-  options.n = 512;
-  options.block = 16;
+  RunOptions options = cholesky_options({8, 8}, 512, 16);
   options.mode = PayloadMode::Phantom;
   options.bcast_algo = hs::net::BcastAlgo::ScatterRingAllgather;
   const auto flat = run_once(options, /*alpha=*/1e-3, /*beta=*/1e-9);
@@ -152,23 +147,13 @@ TEST(Cholesky, CommunicationComparableToLu) {
   // hop) down columns — the same two broadcast families as LU's L and U
   // panels plus the hop itself, so the wire volumes track each other
   // closely (the savings of the symmetric algorithm are in compute).
-  CholeskyOptions chol;
-  chol.grid = {4, 4};
-  chol.n = 256;
-  chol.block = 16;
+  RunOptions chol = cholesky_options({4, 4}, 256, 16);
   chol.mode = PayloadMode::Phantom;
   const auto chol_result = run_once(chol);
 
-  hs::desim::Engine engine;
-  hs::mpc::Machine machine(
-      engine, std::make_shared<hs::net::HockneyModel>(1e-4, 1e-9),
-      {.ranks = 16, .gamma_flop = 1e-9});
-  hs::core::LuOptions lu;
-  lu.grid = {4, 4};
-  lu.n = 256;
-  lu.block = 16;
-  lu.mode = PayloadMode::Phantom;
-  const auto lu_result = hs::core::run_lu(machine, lu);
+  RunOptions lu = chol;
+  lu.algorithm = Algorithm::Lu;
+  const auto lu_result = run_once(lu);
   EXPECT_NEAR(static_cast<double>(chol_result.wire_bytes),
               static_cast<double>(lu_result.wire_bytes),
               0.15 * static_cast<double>(lu_result.wire_bytes));

@@ -1,5 +1,5 @@
 // Distributed block LU with hierarchical panel broadcasts (the paper's
-// LU/QR future work).
+// LU/QR future work), driven through the unified core::run() harness.
 #include "core/lu.hpp"
 
 #include <gtest/gtest.h>
@@ -7,19 +7,33 @@
 #include <memory>
 #include <tuple>
 
+#include "core/runner.hpp"
+#include "net/model.hpp"
+
 namespace {
 
-using hs::core::LuOptions;
+using hs::core::Algorithm;
 using hs::core::PayloadMode;
+using hs::core::ProblemSpec;
+using hs::core::RunOptions;
 using hs::grid::GridShape;
 
-hs::core::LuResult run_once(const LuOptions& options, double alpha = 1e-4,
-                            double beta = 1e-9) {
+RunOptions lu_options(GridShape grid, hs::la::index_t n,
+                      hs::la::index_t block) {
+  RunOptions options;
+  options.algorithm = Algorithm::Lu;
+  options.grid = grid;
+  options.problem = ProblemSpec::factorization(n, block);
+  return options;
+}
+
+hs::core::RunResult run_once(const RunOptions& options, double alpha = 1e-4,
+                             double beta = 1e-9) {
   hs::desim::Engine engine;
   hs::mpc::Machine machine(
       engine, std::make_shared<hs::net::HockneyModel>(alpha, beta),
       {.ranks = options.grid.size(), .gamma_flop = 1e-9});
-  return hs::core::run_lu(machine, options);
+  return hs::core::run(machine, options);
 }
 
 class LuGridTest
@@ -27,10 +41,7 @@ class LuGridTest
 
 TEST_P(LuGridTest, FactorsCorrectly) {
   const auto [shape, block] = GetParam();
-  LuOptions options;
-  options.grid = shape;
-  options.n = 96;
-  options.block = block;
+  RunOptions options = lu_options(shape, 96, block);
   options.verify = true;
   const auto result = run_once(options);
   EXPECT_LT(result.max_error, 1e-9)
@@ -49,10 +60,7 @@ INSTANTIATE_TEST_SUITE_P(
                       std::make_tuple(GridShape{1, 8}, 12)));
 
 TEST(Lu, HierarchicalBroadcastsPreserveCorrectness) {
-  LuOptions options;
-  options.grid = {4, 4};
-  options.n = 96;
-  options.block = 8;
+  RunOptions options = lu_options({4, 4}, 96, 8);
   options.row_levels = {2};
   options.col_levels = {2};
   options.verify = true;
@@ -60,10 +68,7 @@ TEST(Lu, HierarchicalBroadcastsPreserveCorrectness) {
 }
 
 TEST(Lu, PhantomMatchesRealTiming) {
-  LuOptions options;
-  options.grid = {2, 4};
-  options.n = 64;
-  options.block = 8;
+  RunOptions options = lu_options({2, 4}, 64, 8);
 
   options.mode = PayloadMode::Real;
   const auto real = run_once(options);
@@ -77,10 +82,7 @@ TEST(Lu, PhantomMatchesRealTiming) {
 TEST(Lu, HierarchyReducesCommOnLatencyDominatedNetwork) {
   // Same mechanism as HSUMMA: the linear-latency ring broadcast benefits
   // from the two-phase split.
-  LuOptions options;
-  options.grid = {8, 8};
-  options.n = 512;
-  options.block = 16;
+  RunOptions options = lu_options({8, 8}, 512, 16);
   options.mode = PayloadMode::Phantom;
   options.bcast_algo = hs::net::BcastAlgo::ScatterRingAllgather;
 
@@ -92,30 +94,39 @@ TEST(Lu, HierarchyReducesCommOnLatencyDominatedNetwork) {
 }
 
 TEST(Lu, DivisibilityViolationsThrow) {
-  LuOptions options;
-  options.grid = {3, 3};
-  options.n = 100;  // not divisible by 3
-  options.block = 5;
+  RunOptions options = lu_options({3, 3}, 100, 5);  // 100 not divisible by 3
   EXPECT_THROW(run_once(options), hs::PreconditionError);
-  options.n = 96;
-  options.block = 7;  // 32 % 7 != 0
+  options.problem = ProblemSpec::factorization(96, 7);  // 32 % 7 != 0
   EXPECT_THROW(run_once(options), hs::PreconditionError);
 }
 
+TEST(Lu, RejectsNonFactorizationProblem) {
+  RunOptions options = lu_options({2, 2}, 64, 8);
+  options.problem.k = 32;  // not m == k == n
+  EXPECT_THROW(run_once(options), hs::PreconditionError);
+}
+
+TEST(Lu, RejectsLayersGroupsAndOverlap) {
+  {
+    RunOptions options = lu_options({2, 2}, 64, 8);
+    options.overlap = true;
+    EXPECT_THROW(run_once(options), hs::PreconditionError);
+  }
+  {
+    RunOptions options = lu_options({2, 2}, 64, 8);
+    options.groups = {2, 1};
+    EXPECT_THROW(run_once(options), hs::PreconditionError);
+  }
+}
+
 TEST(Lu, UnverifiedRunReportsMinusOne) {
-  LuOptions options;
-  options.grid = {2, 2};
-  options.n = 32;
-  options.block = 8;
+  RunOptions options = lu_options({2, 2}, 32, 8);
   options.verify = false;
   EXPECT_EQ(run_once(options).max_error, -1.0);
 }
 
 TEST(Lu, SingleRankNeedsNoCommunication) {
-  LuOptions options;
-  options.grid = {1, 1};
-  options.n = 64;
-  options.block = 16;
+  RunOptions options = lu_options({1, 1}, 64, 16);
   options.verify = true;
   const auto result = run_once(options);
   EXPECT_EQ(result.messages, 0u);
@@ -123,10 +134,7 @@ TEST(Lu, SingleRankNeedsNoCommunication) {
 }
 
 TEST(Lu, SeedVariesInputNotStructure) {
-  LuOptions options;
-  options.grid = {2, 2};
-  options.n = 64;
-  options.block = 8;
+  RunOptions options = lu_options({2, 2}, 64, 8);
   options.verify = true;
   options.seed = 1;
   const auto a = run_once(options);

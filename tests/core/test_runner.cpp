@@ -4,6 +4,7 @@
 
 #include <memory>
 
+#include "core/kernel_registry.hpp"
 #include "core/verify.hpp"
 #include "la/gemm.hpp"
 #include "la/generate.hpp"
@@ -117,11 +118,11 @@ TEST(Runner, StatsAreConsistent) {
 }
 
 TEST(AlgorithmNames, RoundTrip) {
-  for (auto algorithm :
-       {Algorithm::Summa, Algorithm::Hsumma, Algorithm::HsummaMultilevel,
-        Algorithm::Cannon, Algorithm::Fox, Algorithm::Summa25D})
-    EXPECT_EQ(hs::core::algorithm_from_string(hs::core::to_string(algorithm)),
-              algorithm);
+  // Exhaustive: every registered kernel (the registry test adds descriptor
+  // identity; this guards the public to_string/from_string pair).
+  for (const auto& kernel : hs::core::all_kernels())
+    EXPECT_EQ(hs::core::algorithm_from_string(hs::core::to_string(kernel.kernel)),
+              kernel.kernel);
   EXPECT_THROW(hs::core::algorithm_from_string("strassen"),
                hs::PreconditionError);
 }

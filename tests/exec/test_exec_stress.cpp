@@ -55,6 +55,31 @@ TEST(ExecStress, ConcurrentProducersAndReaders) {
   EXPECT_EQ(executor.jobs_submitted(), 32u);
 }
 
+TEST(ExecStress, LuParallelSweepRacesClean) {
+  // Factorization jobs run through the same registry path as the
+  // multiplication kernels; a mixed-depth LU sweep with duplicated points
+  // exercises worker/cache interleavings (and the TSan lane) on the
+  // factorization harness too.
+  ParallelExecutor executor({.jobs = 4});
+  std::vector<std::size_t> ids;
+  for (int i = 0; i < 24; ++i) {
+    SimJob job;
+    job.platform = hs::net::Platform::by_name("grid5000");
+    job.algorithm = hs::core::Algorithm::Lu;
+    job.ranks = 16;
+    job.groups = 1 << (i % 3);  // 1, 2, 4 -> flat and two hierarchies
+    job.problem = hs::core::ProblemSpec::factorization(128, 16);
+    job.seed = static_cast<std::uint64_t>(i / 6);
+    ids.push_back(executor.submit(std::move(job)));
+  }
+  executor.wait_all();
+  for (std::size_t id : ids)
+    EXPECT_GT(executor.result(id).timing.total_time, 0.0);
+  EXPECT_EQ(executor.jobs_submitted(), 24u);
+  EXPECT_EQ(executor.engines_run() + executor.cache_hits(), 24u);
+  EXPECT_GT(executor.cache_hits(), 0u);  // duplicated points dedupe
+}
+
 TEST(ExecStress, DestructorDrainsQueuedJobs) {
   std::vector<std::size_t> ids;
   {

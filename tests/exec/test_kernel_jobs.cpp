@@ -1,0 +1,131 @@
+// Factorization kernels through the executor stack: cache-key stability
+// goldens (the on-disk/in-memory result cache identity must never silently
+// change) and sweep determinism for any worker count.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/hier_bcast.hpp"
+#include "exec/executor.hpp"
+#include "exec/sim_job.hpp"
+
+namespace {
+
+using hs::core::Algorithm;
+using hs::core::ProblemSpec;
+using hs::exec::ParallelExecutor;
+using hs::exec::SimJob;
+
+SimJob lu_job() {
+  SimJob job;
+  job.platform = hs::net::Platform::by_name("grid5000");
+  job.algorithm = Algorithm::Lu;
+  job.grid = {4, 4};
+  job.groups = 4;
+  job.problem = ProblemSpec::factorization(256, 16);
+  return job;
+}
+
+// Golden keys: if one of these fails, the change invalidates every cached
+// factorization result — bump deliberately, never by accident. (Appending
+// Algorithm enumerators keeps alg= stable for existing kernels.)
+TEST(KernelJobs, LuCacheKeyGolden) {
+  EXPECT_EQ(lu_job().cache_key(),
+            "net=hockney(0x1.a36e2eb1c432dp-14,0x1.12e0be826d695p-33);"
+            "gamma=0x0p+0;cm=1;mba=5;alg=8;grid=4x4;layers=1;groups=4;"
+            "rl=;cl=;prob=256,256,256,16,0;mode=1;bcast=-1;ovl=0;verify=0;"
+            "seed=2013;ns=0x0p+0;nseed=0");
+}
+
+TEST(KernelJobs, CholeskyCacheKeyGolden) {
+  SimJob job = lu_job();
+  job.algorithm = Algorithm::Cholesky;
+  job.groups = 1;
+  job.row_levels = {2};
+  job.col_levels = {2};
+  EXPECT_EQ(job.cache_key(),
+            "net=hockney(0x1.a36e2eb1c432dp-14,0x1.12e0be826d695p-33);"
+            "gamma=0x0p+0;cm=1;mba=5;alg=9;grid=4x4;layers=1;groups=1;"
+            "rl=2,;cl=2,;prob=256,256,256,16,0;mode=1;bcast=-1;ovl=0;"
+            "verify=0;seed=2013;ns=0x0p+0;nseed=0");
+}
+
+TEST(KernelJobs, GemmCacheKeysUnchangedByRegistryRefactor) {
+  // Algorithm values 0..7 predate the registry; their serialized ints must
+  // not move when factorization kernels are appended.
+  SimJob job = lu_job();
+  job.algorithm = Algorithm::Summa;
+  EXPECT_NE(job.cache_key().find(";alg=0;"), std::string::npos);
+  job.algorithm = Algorithm::Summa25D;
+  EXPECT_NE(job.cache_key().find(";alg=7;"), std::string::npos);
+}
+
+TEST(KernelJobs, IdenticalFactorizationJobsHitTheCache) {
+  ParallelExecutor executor({.jobs = 2});
+  const std::size_t first = executor.submit(lu_job());
+  const std::size_t second = executor.submit(lu_job());
+  const auto a = executor.result(first);
+  const auto b = executor.result(second);
+  EXPECT_EQ(a.timing.total_time, b.timing.total_time);
+  EXPECT_EQ(executor.engines_run(), 1u);
+  EXPECT_EQ(executor.cache_hits(), 1u);
+}
+
+// bench/lu_hierarchy's configuration table: hierarchy depths 1..3 for LU
+// and (square grid) Cholesky on the BlueGene/P preset.
+std::vector<SimJob> lu_hierarchy_table() {
+  const auto platform = hs::net::Platform::by_name("bluegene-p-calibrated");
+  const hs::grid::GridShape shape = hs::grid::near_square_shape(64);
+  std::vector<SimJob> jobs;
+  for (const Algorithm algorithm : {Algorithm::Lu, Algorithm::Cholesky}) {
+    for (int levels = 1; levels <= 3; ++levels) {
+      SimJob job;
+      job.platform = platform;
+      job.gamma_flop = platform.gamma_flop;
+      job.machine_bcast_algo = hs::net::BcastAlgo::ScatterRingAllgather;
+      job.bcast_algo = hs::net::BcastAlgo::ScatterRingAllgather;
+      job.algorithm = algorithm;
+      job.ranks = 64;
+      job.problem = ProblemSpec::factorization(1024, 32);
+      job.row_levels = hs::core::balanced_levels(shape.cols, levels);
+      job.col_levels = hs::core::balanced_levels(shape.rows, levels);
+      jobs.push_back(std::move(job));
+    }
+  }
+  return jobs;
+}
+
+TEST(KernelJobs, SweepIsByteIdenticalForAnyWorkerCount) {
+  const std::vector<SimJob> table = lu_hierarchy_table();
+
+  const auto run_with = [&table](int jobs) {
+    ParallelExecutor executor({.jobs = jobs});
+    std::vector<std::size_t> ids;
+    ids.reserve(table.size());
+    for (const SimJob& job : table) ids.push_back(executor.submit(job));
+    std::vector<hs::core::RunResult> results;
+    results.reserve(ids.size());
+    for (std::size_t id : ids) results.push_back(executor.result(id));
+    return results;
+  };
+
+  const auto serial = run_with(1);
+  const auto parallel = run_with(4);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    // Byte-identical virtual results, not merely close.
+    EXPECT_EQ(serial[i].timing.total_time, parallel[i].timing.total_time);
+    EXPECT_EQ(serial[i].timing.max_comm_time,
+              parallel[i].timing.max_comm_time);
+    EXPECT_EQ(serial[i].timing.max_comp_time,
+              parallel[i].timing.max_comp_time);
+    EXPECT_EQ(serial[i].messages, parallel[i].messages);
+    EXPECT_EQ(serial[i].wire_bytes, parallel[i].wire_bytes);
+  }
+  // Deeper hierarchies must not cost communication time on this
+  // latency-dominated platform (the bench's headline claim).
+  EXPECT_LE(serial[1].timing.max_comm_time, serial[0].timing.max_comm_time);
+}
+
+}  // namespace
