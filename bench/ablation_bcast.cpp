@@ -16,8 +16,10 @@ int main(int argc, char** argv) {
   long long n = 16384, block = 128, ranks = 1024;
   std::string platform_name = "bluegene-p-calibrated";
   std::string csv;
+  hs::bench::TraceCli trace;
 
   hs::CliParser cli("Ablation: HSUMMA gain per broadcast algorithm");
+  hs::bench::add_trace_options(cli, &trace);
   cli.add_int("n", "matrix dimension", &n);
   cli.add_int("block", "block size b = B", &block);
   cli.add_int("p", "number of processes", &ranks);
@@ -34,6 +36,9 @@ int main(int argc, char** argv) {
   hs::Table table({"broadcast", "SUMMA comm", "HSUMMA comm (best G)",
                    "best G", "improvement"});
   std::vector<std::vector<std::string>> csv_rows;
+  hs::bench::Config traced_config;
+  std::string traced_label;
+  double traced_comm = 0.0;
 
   for (auto algo :
        {hs::net::BcastAlgo::Flat, hs::net::BcastAlgo::Binomial,
@@ -59,6 +64,13 @@ int main(int argc, char** argv) {
       }
     }
     const std::string name(hs::net::to_string(algo));
+    if (traced_label.empty() || best < traced_comm) {
+      // Trace the fastest (bcast, G) pair seen across the whole ablation.
+      traced_comm = best;
+      traced_config = config;
+      traced_config.groups = best_groups;
+      traced_label = name + " G=" + std::to_string(best_groups);
+    }
     table.add_row({name, hs::format_seconds(summa), hs::format_seconds(best),
                    std::to_string(best_groups),
                    hs::format_ratio(summa / best)});
@@ -73,5 +85,6 @@ int main(int argc, char** argv) {
   hs::bench::maybe_write_csv(csv, csv_rows,
                              {"bcast", "summa_comm_seconds",
                               "hsumma_best_comm_seconds", "best_groups"});
+  hs::bench::run_traced(traced_config, trace, traced_label);
   return 0;
 }

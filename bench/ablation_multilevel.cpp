@@ -25,8 +25,10 @@ int main(int argc, char** argv) {
   std::string platform_name = "bluegene-p-calibrated";
   std::string algo_name = "vandegeijn";
   std::string csv;
+  hs::bench::TraceCli trace;
 
   hs::CliParser cli("Extension: multilevel (>2-level) HSUMMA");
+  hs::bench::add_trace_options(cli, &trace);
   cli.add_int("n", "matrix dimension", &n);
   cli.add_int("block", "block size", &block);
   cli.add_int("p", "number of processes", &ranks);
@@ -49,6 +51,9 @@ int main(int argc, char** argv) {
                    "vs flat"});
   std::vector<std::vector<std::string>> csv_rows;
   double flat_time = 0.0;
+  hs::bench::Config traced_config;
+  int traced_levels = 0;
+  double traced_comm = 0.0;
   for (int levels = 1; levels <= 4; ++levels) {
     hs::bench::Config config;
     config.platform = platform;
@@ -60,6 +65,12 @@ int main(int argc, char** argv) {
     config.col_levels = hs::core::balanced_levels(shape.rows, levels);
     const double comm = hs::bench::run_config(config).timing.max_comm_time;
     if (levels == 1) flat_time = comm;
+    if (traced_levels == 0 || comm < traced_comm) {
+      // Trace the best hierarchy depth.
+      traced_comm = comm;
+      traced_config = config;
+      traced_levels = levels;
+    }
     table.add_row({std::to_string(levels),
                    chain_to_string(config.row_levels),
                    chain_to_string(config.col_levels),
@@ -72,5 +83,7 @@ int main(int argc, char** argv) {
       "\nDiminishing but real returns per extra level, exactly as the "
       "paper's conclusions conjecture.\n\n");
   hs::bench::maybe_write_csv(csv, csv_rows, {"levels", "comm_seconds"});
+  hs::bench::run_traced(traced_config, trace,
+                        "multilevel L=" + std::to_string(traced_levels));
   return 0;
 }

@@ -13,8 +13,10 @@ int main(int argc, char** argv) {
   std::string platform_name = "bluegene-p-calibrated";
   std::string algo_name = "vandegeijn";
   std::string csv;
+  hs::bench::TraceCli trace;
 
   hs::CliParser cli("Ablation: outer block size B vs inner block size b");
+  hs::bench::add_trace_options(cli, &trace);
   cli.add_int("n", "matrix dimension", &n);
   cli.add_int("block", "inner block size b", &block);
   cli.add_int("p", "number of processes", &ranks);
@@ -36,6 +38,8 @@ int main(int argc, char** argv) {
                    "vs B=b"});
   std::vector<std::vector<std::string>> csv_rows;
   double base = 0.0;
+  hs::bench::Config traced_config;
+  double traced_comm = 0.0;
   const auto shape = hs::grid::near_square_shape(static_cast<int>(ranks));
   const long long max_outer =
       n / std::max<long long>(shape.rows, shape.cols);
@@ -51,6 +55,11 @@ int main(int argc, char** argv) {
     config.algo = algo;
     const double comm = hs::bench::run_config(config).timing.max_comm_time;
     if (base == 0.0) base = comm;
+    if (traced_comm == 0.0 || comm < traced_comm) {
+      // Trace the best outer block size.
+      traced_comm = comm;
+      traced_config = config;
+    }
     table.add_row({std::to_string(outer), std::to_string(n / outer),
                    std::to_string(outer / block), hs::format_seconds(comm),
                    hs::format_ratio(base / comm)});
@@ -59,5 +68,9 @@ int main(int argc, char** argv) {
   table.print(std::cout);
   std::printf("\n");
   hs::bench::maybe_write_csv(csv, csv_rows, {"outer_block", "comm_seconds"});
+  if (traced_comm != 0.0)
+    hs::bench::run_traced(
+        traced_config, trace,
+        "B=" + std::to_string(traced_config.problem.outer_block));
   return 0;
 }

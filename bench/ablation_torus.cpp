@@ -18,7 +18,9 @@ namespace {
 
 double run_on_network(std::shared_ptr<const hs::net::NetworkModel> network,
                       int ranks, int groups, const hs::core::ProblemSpec& problem,
-                      hs::net::BcastAlgo algo) {
+                      hs::net::BcastAlgo algo,
+                      hs::trace::Recorder* recorder = nullptr,
+                      hs::trace::MetricsRegistry* metrics = nullptr) {
   hs::desim::Engine engine;
   hs::mpc::Machine machine(engine, std::move(network),
                            {.ranks = ranks,
@@ -34,7 +36,13 @@ double run_on_network(std::shared_ptr<const hs::net::NetworkModel> network,
   options.problem = problem;
   options.mode = hs::core::PayloadMode::Phantom;
   options.bcast_algo = algo;
-  return hs::core::run(machine, options).timing.max_comm_time;
+  options.recorder = recorder;
+  const double comm = hs::core::run(machine, options).timing.max_comm_time;
+  if (metrics != nullptr) {
+    machine.collect_metrics(*metrics);
+    hs::trace::collect_engine_metrics(engine, *metrics);
+  }
+  return comm;
 }
 
 }  // namespace
@@ -43,9 +51,11 @@ int main(int argc, char** argv) {
   long long n = 2048, block = 64, ranks = 256;
   double hop_latency_us = 50.0;
   std::string csv;
+  hs::bench::TraceCli trace;
 
   hs::CliParser cli(
       "Ablation: 3-D torus topology vs flat network (Figure 8 zigzags)");
+  hs::bench::add_trace_options(cli, &trace);
   cli.add_int("n", "matrix dimension", &n);
   cli.add_int("block", "block size", &block);
   cli.add_int("p", "number of processes", &ranks);
@@ -72,11 +82,17 @@ int main(int argc, char** argv) {
 
   hs::Table table({"G", "flat network", "3-D torus", "torus/flat"});
   std::vector<std::vector<std::string>> csv_rows;
+  int traced_groups = 1;
+  double traced_comm = 0.0;
   for (int g : hs::bench::pow2_group_counts(static_cast<int>(ranks))) {
     const double flat_time =
         run_on_network(flat, static_cast<int>(ranks), g, problem, algo);
     const double torus_time =
         run_on_network(torus, static_cast<int>(ranks), g, problem, algo);
+    if (traced_comm == 0.0 || torus_time < traced_comm) {
+      traced_comm = torus_time;
+      traced_groups = g;
+    }
     table.add_row({std::to_string(g), hs::format_seconds(flat_time),
                    hs::format_seconds(torus_time),
                    hs::format_double(torus_time / flat_time, 4)});
@@ -90,5 +106,21 @@ int main(int argc, char** argv) {
       "that aligns with the torus keeps tree neighbors close.\n\n");
   hs::bench::maybe_write_csv(
       csv, csv_rows, {"groups", "flat_comm_seconds", "torus_comm_seconds"});
+
+  if (trace.enabled()) {
+    // Re-run the best torus point with the sinks attached. This is the one
+    // bench whose machine to_sim_job cannot describe (explicit topology),
+    // so the sinks are filled here and only the rendering is shared. The
+    // point-to-point mode means the timeline shows every routed tree
+    // message as a wire span.
+    hs::trace::Recorder recorder;
+    hs::trace::MetricsRegistry metrics;
+    run_on_network(torus, static_cast<int>(ranks), traced_groups, problem,
+                   algo, trace.trace_path.empty() ? nullptr : &recorder,
+                   trace.metrics ? &metrics : nullptr);
+    hs::bench::emit_trace_artifacts(
+        recorder, metrics, trace,
+        "torus G=" + std::to_string(traced_groups));
+  }
   return 0;
 }

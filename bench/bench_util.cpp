@@ -57,6 +57,55 @@ void add_jobs_option(CliParser& cli, long long* dest) {
               "for any count)", dest);
 }
 
+void add_trace_options(CliParser& cli, TraceCli* dest) {
+  cli.add_string("trace",
+                 "write a Chrome-trace JSON timeline to this path (open in "
+                 "https://ui.perfetto.dev) and print the critical-path "
+                 "decomposition",
+                 &dest->trace_path);
+  cli.add_flag("metrics", "print machine/engine/executor counters",
+               &dest->metrics);
+}
+
+void run_traced(const Config& config, const TraceCli& trace,
+                const std::string& label) {
+  if (!trace.enabled()) return;
+  trace::Recorder recorder;
+  trace::MetricsRegistry metrics;
+  exec::SimJob job = to_sim_job(config);
+  if (!trace.trace_path.empty()) job.recorder = &recorder;
+  if (trace.metrics) job.metrics = &metrics;
+  exec::run_sim_job(job);
+  emit_trace_artifacts(recorder, metrics, trace, label);
+}
+
+void emit_trace_artifacts(const trace::Recorder& recorder,
+                          const trace::MetricsRegistry& metrics,
+                          const TraceCli& trace, const std::string& label) {
+  if (!trace.trace_path.empty()) {
+    std::ofstream out(trace.trace_path);
+    if (!out) {
+      std::fprintf(stderr, "error: cannot open trace output '%s'\n",
+                   trace.trace_path.c_str());
+    } else {
+      trace::write_chrome_trace(out, recorder, label);
+      std::fprintf(stderr, "wrote %s (open in https://ui.perfetto.dev)\n",
+                   trace.trace_path.c_str());
+    }
+    const trace::CriticalPathReport path =
+        trace::analyze_critical_path(recorder);
+    std::printf("critical path [%s]: %s\n", label.c_str(),
+                path.summary().c_str());
+    path.breakdown_table().print(std::cout);
+    std::printf("\n");
+  }
+  if (trace.metrics) {
+    std::printf("metrics [%s]:\n", label.c_str());
+    metrics.to_table().print(std::cout);
+    std::printf("\n");
+  }
+}
+
 void add_algorithm_option(CliParser& cli, std::string* dest) {
   cli.add_string("algorithm",
                  "kernel to simulate: " + core::kernel_name_list(), dest);
@@ -177,12 +226,16 @@ double run_g_sweep(const GSweepParams& params) {
   std::vector<std::vector<std::string>> csv_rows;
 
   double best_comm = summa_comm;
+  int best_groups = 1;
   for (std::size_t i = 0; i < groups.size(); ++i) {
     const int g = groups[i];
     const core::RunResult& result = results[i + 1];
     const double comm = result.timing.max_comm_time;
     const double exec = result.timing.total_time;
-    best_comm = std::min(best_comm, comm);
+    if (comm < best_comm) {
+      best_comm = comm;
+      best_groups = g;
+    }
     const auto modeled = model::hsumma_cost(
         static_cast<double>(params.problem.n),
         static_cast<double>(params.ranks), static_cast<double>(g),
@@ -217,6 +270,21 @@ double run_g_sweep(const GSweepParams& params) {
   maybe_write_csv(params.csv_path, csv_rows,
                   {"groups", "comm_seconds", "exec_seconds",
                    "model_comm_seconds"});
+
+  if (params.trace.metrics && params.executor != nullptr) {
+    trace::MetricsRegistry executor_metrics;
+    params.executor->collect_metrics(executor_metrics);
+    std::printf("sweep executor metrics:\n");
+    executor_metrics.to_table().print(std::cout);
+    std::printf("\n");
+  }
+  if (params.trace.enabled()) {
+    // Trace the sweep's winner (G = 1 when SUMMA held the lead).
+    config.groups = best_groups;
+    run_traced(config, params.trace,
+               best_groups > 1 ? "HSUMMA G=" + std::to_string(best_groups)
+                               : "SUMMA");
+  }
   return best_comm;
 }
 

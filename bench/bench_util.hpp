@@ -26,6 +26,9 @@
 #include "grid/hier_grid.hpp"
 #include "model/cost_model.hpp"
 #include "net/platform.hpp"
+#include "trace/chrome_trace.hpp"
+#include "trace/critical_path.hpp"
+#include "trace/metrics.hpp"
 
 namespace hs::bench {
 
@@ -61,6 +64,36 @@ std::vector<core::RunResult> run_configs(const std::vector<Config>& configs,
 /// Registers --jobs (simulation worker threads) and sets *dest to the
 /// default, exec::default_jobs().
 void add_jobs_option(CliParser& cli, long long* dest);
+
+/// Observability options shared by every bench binary: --trace writes a
+/// Chrome-trace JSON timeline (open in https://ui.perfetto.dev) plus a
+/// critical-path decomposition, --metrics prints the machine/engine counter
+/// registry. Both re-run one configuration serially with the sinks
+/// attached; the traced run is bit-identical to the sweep's (recorders
+/// never perturb results), it just isn't served from the result cache.
+struct TraceCli {
+  std::string trace_path;  // empty = no trace export
+  bool metrics = false;
+  bool enabled() const { return !trace_path.empty() || metrics; }
+};
+
+/// Registers --trace and --metrics into `cli`.
+void add_trace_options(CliParser& cli, TraceCli* dest);
+
+/// Re-run `config` with observability sinks per `trace` and emit the
+/// requested artifacts (trace JSON + critical-path summary, metrics
+/// table). No-op when trace.enabled() is false. `label` names the trace
+/// process track and the printed headers.
+void run_traced(const Config& config, const TraceCli& trace,
+                const std::string& label);
+
+/// Emit the artifacts for sinks the caller filled itself (benches that
+/// run machines to_sim_job cannot describe, e.g. explicit topologies):
+/// trace JSON + critical path when trace.trace_path is set, the metrics
+/// table when trace.metrics is set.
+void emit_trace_artifacts(const trace::Recorder& recorder,
+                          const trace::MetricsRegistry& metrics,
+                          const TraceCli& trace, const std::string& label);
 
 /// Registers --algorithm with the registry's kernel list in the help text;
 /// *dest keeps its current value as the default. Resolve the parsed name
@@ -107,6 +140,9 @@ struct GSweepParams {
   std::string csv_path;
   /// Optional parallel executor; output is byte-identical either way.
   exec::ParallelExecutor* executor = nullptr;
+  /// When enabled, the best-G HSUMMA point is re-run traced after the
+  /// sweep table (see run_traced).
+  TraceCli trace;
 };
 
 /// Returns the best HSUMMA communication time observed (for callers that

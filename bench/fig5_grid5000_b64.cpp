@@ -14,9 +14,11 @@ int main(int argc, char** argv) {
   std::string algo_name = "vandegeijn";
   bool overlap = false;
   std::string csv;
+  hs::bench::TraceCli trace;
 
   hs::CliParser cli("Reproduce Figure 5 (Grid5000 G-sweep, b = B = 64)");
   hs::bench::add_jobs_option(cli, &jobs);
+  hs::bench::add_trace_options(cli, &trace);
   cli.add_int("n", "matrix dimension", &n);
   cli.add_int("block", "block size b = B", &block);
   cli.add_int("p", "number of processes", &ranks);
@@ -35,6 +37,7 @@ int main(int argc, char** argv) {
   params.algo = hs::net::bcast_algo_from_string(algo_name);
   params.overlap = overlap;
   params.csv_path = csv;
+  params.trace = trace;
   hs::exec::ParallelExecutor executor({.jobs = static_cast<int>(jobs)});
   params.executor = &executor;
   hs::bench::run_g_sweep(params);

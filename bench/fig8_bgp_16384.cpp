@@ -16,11 +16,13 @@ int main(int argc, char** argv) {
   std::string algo_name = "vandegeijn";
   bool overlap = false;
   std::string csv;
+  hs::bench::TraceCli trace;
 
   hs::CliParser cli(
       "Reproduce Figure 8 (BG/P 16384 cores: execution and communication "
       "time vs G)");
   hs::bench::add_jobs_option(cli, &jobs);
+  hs::bench::add_trace_options(cli, &trace);
   cli.add_int("n", "matrix dimension", &n);
   cli.add_int("block", "block size b = B", &block);
   cli.add_int("p", "number of processes", &ranks);
@@ -42,6 +44,7 @@ int main(int argc, char** argv) {
   params.show_execution = true;
   params.overlap = overlap;
   params.csv_path = csv;
+  params.trace = trace;
   hs::exec::ParallelExecutor executor({.jobs = static_cast<int>(jobs)});
   params.executor = &executor;
   hs::bench::run_g_sweep(params);

@@ -17,9 +17,11 @@ int main(int argc, char** argv) {
   std::string platform_name = "bluegene-p-calibrated";
   std::string algo_name = "vandegeijn";
   std::string csv;
+  hs::bench::TraceCli trace;
 
   hs::CliParser cli("Reproduce Figure 9 (BlueGene/P scalability)");
   hs::bench::add_jobs_option(cli, &jobs);
+  hs::bench::add_trace_options(cli, &trace);
   cli.add_int("n", "matrix dimension", &n);
   cli.add_int("block", "block size b = B", &block);
   cli.add_int_list("procs", "process counts", &process_counts);
@@ -42,6 +44,7 @@ int main(int argc, char** argv) {
   std::vector<std::vector<std::string>> csv_rows;
 
   hs::exec::ParallelExecutor executor({.jobs = static_cast<int>(jobs)});
+  hs::bench::Config traced_config;
   for (long long p : process_counts) {
     hs::bench::Config config;
     config.platform = platform;
@@ -58,6 +61,9 @@ int main(int argc, char** argv) {
       group_counts.push_back(g);
     }
     const auto best = hs::bench::run_best_g(config, group_counts, &executor);
+    // Largest p wins the trace: it is the point the figure is about.
+    traced_config = config;
+    traced_config.groups = best.best_groups;
 
     const auto shape = hs::grid::near_square_shape(config.ranks);
     table.add_row({std::to_string(p),
@@ -76,5 +82,9 @@ int main(int argc, char** argv) {
   hs::bench::maybe_write_csv(csv, csv_rows,
                              {"procs", "summa_comm_seconds",
                               "hsumma_best_comm_seconds", "best_groups"});
+  if (!process_counts.empty())
+    hs::bench::run_traced(traced_config, trace,
+                          "HSUMMA p=" + std::to_string(traced_config.ranks) +
+                              " G=" + std::to_string(traced_config.groups));
   return 0;
 }

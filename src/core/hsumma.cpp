@@ -63,6 +63,7 @@ desim::Task<void> hsumma_rank(HsummaArgs args) {
   const index_t inner_steps = outer / b;
 
   for (index_t big_step = 0; big_step < outer_steps; ++big_step) {
+    args.tracer.begin_step(engine, big_step, trace::Phase::Outer);
     const index_t pivot = big_step * outer;
 
     // --- outer phase: inter-group broadcasts of the outer blocks -------
@@ -117,6 +118,8 @@ desim::Task<void> hsumma_rank(HsummaArgs args) {
 
       fork_inner(0, 0);
       for (index_t inner = 0; inner < inner_steps; ++inner) {
+        args.tracer.begin_step(engine, big_step * inner_steps + inner,
+                               trace::Phase::Inner);
         const int slot = static_cast<int>(inner % 2);
         {
           trace::PhaseTimer timer(stats.comm_time, engine);
@@ -129,6 +132,7 @@ desim::Task<void> hsumma_rank(HsummaArgs args) {
         const double flops = la::gemm_flops(local_m, local_n, b);
         {
           trace::PhaseTimer timer(stats.comp_time, engine);
+          trace::ComputeSpanGuard span(args.tracer, engine, flops);
           co_await machine.compute(flops);
         }
         if (mode == PayloadMode::Real)
@@ -140,6 +144,8 @@ desim::Task<void> hsumma_rank(HsummaArgs args) {
     }
 
     for (index_t inner = 0; inner < inner_steps; ++inner) {
+      args.tracer.begin_step(engine, big_step * inner_steps + inner,
+                             trace::Phase::Inner);
       const index_t offset = inner * b;
 
       if (mode == PayloadMode::Real && hg.local_col() == a_local_col)
@@ -165,6 +171,7 @@ desim::Task<void> hsumma_rank(HsummaArgs args) {
       const double flops = la::gemm_flops(local_m, local_n, b);
       {
         trace::PhaseTimer timer(stats.comp_time, engine);
+        trace::ComputeSpanGuard span(args.tracer, engine, flops);
         co_await machine.compute(flops);
       }
       if (mode == PayloadMode::Real)

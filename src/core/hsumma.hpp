@@ -22,6 +22,7 @@
 #include "grid/hier_grid.hpp"
 #include "mpc/comm.hpp"
 #include "trace/phase.hpp"
+#include "trace/recorder.hpp"
 
 namespace hs::core {
 
@@ -37,6 +38,11 @@ struct HsummaArgs {
   /// forked before inner step w's update (outer-phase broadcasts stay
   /// blocking). See SummaArgs::overlap.
   bool overlap = false;
+  /// Optional structured trace sink (detached by default). Marks every
+  /// outer step (Phase::Outer) and inner step (Phase::Inner, numbered
+  /// big_step*inner_steps + inner) so collective and compute spans carry
+  /// the phase attribution the critical-path analyzer splits on.
+  trace::RankTracer tracer;
 };
 
 /// The per-rank HSUMMA program (the paper's Algorithm 1).

@@ -96,17 +96,21 @@ class GemmRun final : public KernelRun {
     switch (options.algorithm) {
       case Algorithm::Summa:
         return summa_rank({world, options.grid, prob, local, stats,
-                           options.bcast_algo, options.overlap});
+                           options.bcast_algo, options.overlap,
+                           trace::RankTracer(options.recorder, rank)});
       case Algorithm::Hsumma:
         return hsumma_rank({world, options.grid, options.groups, prob, local,
-                            stats, options.bcast_algo, options.overlap});
+                            stats, options.bcast_algo, options.overlap,
+                            trace::RankTracer(options.recorder, rank)});
       case Algorithm::SummaCyclic:
         return summa_cyclic_rank({world, options.grid, prob, local, stats,
-                                  options.bcast_algo, options.overlap});
+                                  options.bcast_algo, options.overlap,
+                                  trace::RankTracer(options.recorder, rank)});
       case Algorithm::HsummaCyclic:
         return hsumma_cyclic_rank({world, options.grid, options.groups, prob,
                                    local, stats, options.bcast_algo,
-                                   options.overlap});
+                                   options.overlap,
+                                   trace::RankTracer(options.recorder, rank)});
       case Algorithm::HsummaMultilevel:
         return hsumma_multilevel_rank({world, options.grid, prob,
                                        options.row_levels, options.col_levels,

@@ -24,6 +24,9 @@ RunResult run(mpc::Machine& machine, const RunOptions& options) {
   const std::uint64_t start_messages = machine.messages_transferred();
   const std::uint64_t start_bytes = machine.bytes_transferred();
 
+  trace::Recorder* const previous_recorder = machine.recorder();
+  if (options.recorder != nullptr) machine.set_recorder(options.recorder);
+
   machine.engine().reserve(static_cast<std::size_t>(total_ranks),
                            static_cast<std::size_t>(total_ranks));
   for (int rank = 0; rank < total_ranks; ++rank) {
@@ -33,6 +36,7 @@ RunResult run(mpc::Machine& machine, const RunOptions& options) {
         std::string(kernel.name) + " rank " + std::to_string(rank));
   }
   machine.engine().run();
+  if (options.recorder != nullptr) machine.set_recorder(previous_recorder);
 
   RunResult result;
   result.timing = trace::TimingReport::aggregate(

@@ -13,6 +13,7 @@
 #include "core/spec.hpp"
 #include "mpc/machine.hpp"
 #include "trace/phase.hpp"
+#include "trace/recorder.hpp"
 
 namespace hs::core {
 
@@ -30,6 +31,11 @@ struct RunOptions {
   bool overlap = false;
   bool verify = false;             // Real mode only
   std::uint64_t seed = 2013;       // input generator seed
+  /// Optional structured event sink (see trace/recorder.hpp). Attached to
+  /// the machine for the duration of the run (the previous recorder, if
+  /// any, is restored afterwards); must outlive the run. Recording never
+  /// changes the RunResult.
+  trace::Recorder* recorder = nullptr;
 };
 
 struct RunResult {

@@ -81,6 +81,7 @@ desim::Task<void> summa_rank(SummaArgs args) {
 
     fork_step(0, 0);
     for (index_t q = 0; q < steps; ++q) {
+      args.tracer.begin_step(engine, q, trace::Phase::Flat);
       const int slot = static_cast<int>(q % 2);
       {
         trace::PhaseTimer timer(stats.comm_time, engine);
@@ -92,6 +93,7 @@ desim::Task<void> summa_rank(SummaArgs args) {
       const double flops = la::gemm_flops(local_m, local_n, b);
       {
         trace::PhaseTimer timer(stats.comp_time, engine);
+        trace::ComputeSpanGuard span(args.tracer, engine, flops);
         co_await machine.compute(flops);
       }
       if (mode == PayloadMode::Real)
@@ -106,6 +108,7 @@ desim::Task<void> summa_rank(SummaArgs args) {
   PanelBuffer b_panel(b, local_n, mode);
 
   for (index_t q = 0; q < steps; ++q) {
+    args.tracer.begin_step(engine, q, trace::Phase::Flat);
     const index_t pivot = q * b;  // global position along the k dimension
 
     // Horizontal broadcast of A's pivot column panel along my grid row.
@@ -136,6 +139,7 @@ desim::Task<void> summa_rank(SummaArgs args) {
     const double flops = la::gemm_flops(local_m, local_n, b);
     {
       trace::PhaseTimer timer(stats.comp_time, engine);
+      trace::ComputeSpanGuard span(args.tracer, engine, flops);
       co_await machine.compute(flops);
     }
     if (mode == PayloadMode::Real)

@@ -12,6 +12,7 @@
 #include "desim/task.hpp"
 #include "mpc/comm.hpp"
 #include "trace/phase.hpp"
+#include "trace/recorder.hpp"
 
 namespace hs::core {
 
@@ -27,6 +28,11 @@ struct SummaArgs {
   /// double-buffered panels; comm_time then counts only the *exposed*
   /// (non-hidden) communication.
   bool overlap = false;
+  /// Optional structured trace sink (detached by default). Emits one step
+  /// marker per pivot step and wraps compute charges in spans; collective
+  /// spans come from the mpc layer. In overlap mode the step stamped on a
+  /// forked broadcast is the step current at fork time (best-effort).
+  trace::RankTracer tracer;
 };
 
 /// The per-rank SUMMA program. Preconditions: s | m, t | n, (t*b) | k and

@@ -104,6 +104,7 @@ void Engine::bucket_free(std::int32_t index) {
 
 void Engine::heap_push(const Event& event) {
   heap_.push_back(event);
+  if (heap_.size() > heap_peak_) heap_peak_ = heap_.size();
   std::size_t hole = heap_.size() - 1;
   while (hole > 0) {
     const std::size_t parent = (hole - 1) / kHeapArity;

@@ -82,6 +82,10 @@ class Engine {
   /// Total events processed so far (exposed for engine micro-benchmarks).
   std::uint64_t events_processed() const noexcept { return events_processed_; }
 
+  /// Peak simultaneous population of the timed event heap (the now-queue
+  /// and coalescing buckets are excluded). Exposed for metrics harvesting.
+  std::size_t heap_peak() const noexcept { return heap_peak_; }
+
   /// Pre-size internal storage: `processes` further top-level spawns and a
   /// peak in-flight event population of `pending_events`. Purely a
   /// reallocation-avoidance hint; safe to skip or under-estimate.
@@ -220,6 +224,7 @@ class Engine {
   SimTime now_ = 0.0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t events_processed_ = 0;
+  std::size_t heap_peak_ = 0;
   bool running_ = false;
   // Owning thread, recorded at the first run(); default-constructed id
   // means "not pinned yet".

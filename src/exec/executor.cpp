@@ -1,5 +1,7 @@
 #include "exec/executor.hpp"
 
+#include <algorithm>
+#include <chrono>
 #include <utility>
 
 #include "common/check.hpp"
@@ -50,6 +52,7 @@ std::size_t ParallelExecutor::submit(SimJob job) {
       // is filled by finish_slot when the primary completes.
       running->second.push_back(index);
       ++cache_hits_;
+      ++coalesced_;
       ++outstanding_;
       slots_.push_back(std::move(slot));
       return index;
@@ -79,15 +82,22 @@ void ParallelExecutor::worker_loop() {
 
     core::RunResult result{};
     std::exception_ptr error;
+    const auto run_start = std::chrono::steady_clock::now();
     try {
       result = run_sim_job(job);
     } catch (...) {
       error = std::current_exception();
     }
+    const auto run_ns = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - run_start)
+            .count());
 
     {
       std::lock_guard lock(mutex_);
       ++engines_run_;
+      run_ns_total_ += run_ns;
+      slots_[index]->run_ns = run_ns;
       Slot& primary = *slots_[index];
       finish_slot(primary, result, error);
       if (!primary.key.empty()) {
@@ -144,6 +154,39 @@ std::uint64_t ParallelExecutor::engines_run() const {
 std::uint64_t ParallelExecutor::cache_hits() const {
   std::lock_guard lock(mutex_);
   return cache_hits_;
+}
+
+std::uint64_t ParallelExecutor::coalesced() const {
+  std::lock_guard lock(mutex_);
+  return coalesced_;
+}
+
+std::uint64_t ParallelExecutor::run_ns_total() const {
+  std::lock_guard lock(mutex_);
+  return run_ns_total_;
+}
+
+std::uint64_t ParallelExecutor::run_ns(std::size_t index) const {
+  std::lock_guard lock(mutex_);
+  HS_REQUIRE_MSG(index < slots_.size(),
+                 "run_ns(" << index << ") out of range; " << slots_.size()
+                           << " jobs submitted");
+  return slots_[index]->run_ns;
+}
+
+void ParallelExecutor::collect_metrics(trace::MetricsRegistry& metrics) const {
+  std::lock_guard lock(mutex_);
+  metrics.add_counter("exec.jobs_submitted",
+                      static_cast<std::uint64_t>(slots_.size()));
+  metrics.add_counter("exec.engines_run", engines_run_);
+  metrics.add_counter("exec.cache_hits", cache_hits_);
+  metrics.add_counter("exec.inflight_coalesced", coalesced_);
+  metrics.add_counter("exec.run_ns_total", run_ns_total_);
+  std::uint64_t run_ns_max = 0;
+  for (const auto& slot : slots_)
+    run_ns_max = std::max(run_ns_max, slot->run_ns);
+  metrics.add_counter("exec.run_ns_max", run_ns_max);
+  metrics.set_gauge("exec.workers", static_cast<double>(workers_.size()));
 }
 
 void ParallelExecutor::clear_cache() {

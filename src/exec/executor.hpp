@@ -75,6 +75,17 @@ class ParallelExecutor {
   /// Jobs served without running an engine: completed-cache hits plus
   /// in-flight coalescing onto an identical queued/running job.
   std::uint64_t cache_hits() const;
+  /// The in-flight-coalesce share of cache_hits().
+  std::uint64_t coalesced() const;
+  /// Total wall-clock nanoseconds workers spent inside run_sim_job.
+  std::uint64_t run_ns_total() const;
+  /// Wall-clock nanoseconds job `index` spent in run_sim_job (0 for cache
+  /// hits, coalesced jobs, and jobs still in flight). Requires index <
+  /// jobs_submitted().
+  std::uint64_t run_ns(std::size_t index) const;
+
+  /// Dump executor counters into `metrics` under the exec.* namespace.
+  void collect_metrics(trace::MetricsRegistry& metrics) const;
 
   /// Drop all memoized results (in-flight jobs are unaffected).
   void clear_cache();
@@ -86,6 +97,7 @@ class ParallelExecutor {
     bool done = false;
     core::RunResult result;
     std::exception_ptr error;
+    std::uint64_t run_ns = 0;  // wall time inside run_sim_job
   };
 
   void worker_loop();
@@ -108,6 +120,8 @@ class ParallelExecutor {
   bool stop_ = false;
   std::uint64_t engines_run_ = 0;
   std::uint64_t cache_hits_ = 0;
+  std::uint64_t coalesced_ = 0;
+  std::uint64_t run_ns_total_ = 0;
 };
 
 }  // namespace hs::exec

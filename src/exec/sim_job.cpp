@@ -17,6 +17,9 @@ grid::GridShape resolve_grid(const SimJob& job) {
 }  // namespace
 
 std::string SimJob::cache_key() const {
+  // Jobs with observability sinks must actually run: a cache or coalesce
+  // hit would return the RunResult without ever filling the sinks.
+  if (recorder != nullptr || metrics != nullptr) return {};
   std::string net_part;
   if (network != nullptr) {
     net_part = network->describe();
@@ -89,7 +92,13 @@ core::RunResult run_sim_job(const SimJob& job) {
   // paper notes) and the factorizations map G onto hierarchical panel
   // broadcast level factors, so one job description covers a whole G-sweep.
   core::adapt_groups(job.groups, options);
-  return core::run(machine, options);
+  options.recorder = job.recorder;
+  core::RunResult result = core::run(machine, options);
+  if (job.metrics != nullptr) {
+    machine.collect_metrics(*job.metrics);
+    trace::collect_engine_metrics(engine, *job.metrics);
+  }
+  return result;
 }
 
 }  // namespace hs::exec

@@ -24,6 +24,7 @@
 #include "core/runner.hpp"
 #include "net/model.hpp"
 #include "net/platform.hpp"
+#include "trace/metrics.hpp"
 
 namespace hs::exec {
 
@@ -74,9 +75,21 @@ struct SimJob {
   double noise_sigma = 0.0;
   std::uint64_t noise_seed = 0;
 
+  // --- observability sinks (both optional; must outlive the run) ---------
+  /// Structured event recorder attached for the run (see
+  /// trace/recorder.hpp). One recorder per job: sinks are filled by the
+  /// thread running the job, so sharing one across concurrently submitted
+  /// jobs would race.
+  trace::Recorder* recorder = nullptr;
+  /// Harvests machine + engine counters after the run (see
+  /// trace/metrics.hpp). Same ownership rule as `recorder`.
+  trace::MetricsRegistry* metrics = nullptr;
+
   /// Canonical identity for result caching: two jobs with equal non-empty
   /// keys run bit-identical simulations. Empty when the job is not
-  /// cacheable (an explicit network whose describe() is empty).
+  /// cacheable (an explicit network whose describe() is empty, or a job
+  /// with observability sinks attached — a cache hit would skip filling
+  /// them).
   std::string cache_key() const;
 };
 

@@ -3,9 +3,29 @@
 #include <cstring>
 #include <vector>
 
+#include "trace/recorder.hpp"
+
 namespace hs::mpc {
 
 namespace {
+
+// Identity fields for a collective's trace span (start/end are stamped by
+// the guard). Only called when a recorder is attached.
+trace::CollectiveSpan span_for(const Comm& comm, trace::CollectiveOp op,
+                               std::uint64_t seq, int root_comm_rank,
+                               std::uint64_t bytes, int algo,
+                               bool closed_form) {
+  trace::CollectiveSpan span;
+  span.rank = comm.my_world_rank();
+  span.op = op;
+  span.algo = algo;
+  span.ctx = comm.context();
+  span.seq = seq;
+  span.root = root_comm_rank >= 0 ? comm.world_rank(root_comm_rank) : -1;
+  span.bytes = bytes;
+  span.closed_form = closed_form;
+  return span;
+}
 
 // Reserved (negative) tag space for collective-internal traffic. Every
 // collective call consumes one sequence number per communicator (see
@@ -233,8 +253,20 @@ desim::Task<void> bcast(Comm comm, int root, Buf buf,
   net::BcastAlgo algo = algo_opt.value_or(machine.config().bcast_algo);
   const std::uint64_t seq =
       machine.next_collective_seq(comm.context(), comm.rank());
+  const bool closed_form =
+      machine.config().collective_mode == CollectiveMode::ClosedForm;
+  const net::BcastAlgo resolved = net::resolve_auto(algo, p, buf.bytes());
+  machine.note_collective(Machine::SiteKind::Bcast,
+                          static_cast<int>(resolved), buf.bytes());
+  trace::Recorder* recorder = machine.recorder();
+  trace::CollectiveSpanGuard trace_guard(
+      recorder, comm.engine(),
+      recorder ? span_for(comm, trace::CollectiveOp::Bcast, seq, root,
+                          buf.bytes(), static_cast<int>(resolved),
+                          closed_form)
+               : trace::CollectiveSpan{});
 
-  if (machine.config().collective_mode == CollectiveMode::ClosedForm) {
+  if (closed_form) {
     desim::Gate gate(comm.engine());
     const bool is_root = comm.rank() == root;
     machine.join_bcast(comm.context(), seq, &gate, root,
@@ -245,7 +277,7 @@ desim::Task<void> bcast(Comm comm, int root, Buf buf,
   }
 
   const int tag = collective_tag(kPhaseBcast, seq);
-  switch (net::resolve_auto(algo, p, buf.bytes())) {
+  switch (resolved) {
     case net::BcastAlgo::Flat:
       co_await bcast_flat(comm, root, buf, tag);
       break;
@@ -286,8 +318,17 @@ desim::Task<void> reduce(Comm comm, int root, ConstBuf send, Buf recv) {
   Machine& machine = comm.machine();
   const std::uint64_t seq =
       machine.next_collective_seq(comm.context(), comm.rank());
+  const bool closed_form =
+      machine.config().collective_mode == CollectiveMode::ClosedForm;
+  machine.note_collective(Machine::SiteKind::Reduce, -1, send.bytes());
+  trace::Recorder* recorder = machine.recorder();
+  trace::CollectiveSpanGuard trace_guard(
+      recorder, comm.engine(),
+      recorder ? span_for(comm, trace::CollectiveOp::Reduce, seq, root,
+                          send.bytes(), -1, closed_form)
+               : trace::CollectiveSpan{});
 
-  if (machine.config().collective_mode == CollectiveMode::ClosedForm) {
+  if (closed_form) {
     desim::Gate gate(comm.engine());
     machine.join_data_collective(Machine::SiteKind::Reduce, comm.context(),
                                  seq, &gate, comm.rank(), root, send,
@@ -427,8 +468,17 @@ desim::Task<void> reduce_scatter(Comm comm, ConstBuf send, Buf recv_chunk) {
   Machine& machine = comm.machine();
   const std::uint64_t seq =
       machine.next_collective_seq(comm.context(), comm.rank());
+  const bool closed_form =
+      machine.config().collective_mode == CollectiveMode::ClosedForm;
+  machine.note_collective(Machine::SiteKind::ReduceScatter, -1, send.bytes());
+  trace::Recorder* recorder = machine.recorder();
+  trace::CollectiveSpanGuard trace_guard(
+      recorder, comm.engine(),
+      recorder ? span_for(comm, trace::CollectiveOp::ReduceScatter, seq, -1,
+                          send.bytes(), -1, closed_form)
+               : trace::CollectiveSpan{});
 
-  if (machine.config().collective_mode == CollectiveMode::ClosedForm) {
+  if (closed_form) {
     desim::Gate gate(comm.engine());
     machine.join_data_collective(Machine::SiteKind::ReduceScatter,
                                  comm.context(), seq, &gate, comm.rank(),
@@ -484,21 +534,38 @@ desim::Task<void> allreduce(Comm comm, ConstBuf send, Buf recv,
       machine.config().collective_mode == CollectiveMode::ClosedForm) {
     const std::uint64_t seq =
         machine.next_collective_seq(comm.context(), comm.rank());
+    const auto kind = rabenseifner ? Machine::SiteKind::AllreduceRabenseifner
+                                   : Machine::SiteKind::Allreduce;
+    machine.note_collective(kind, -1, send.bytes());
+    trace::Recorder* recorder = machine.recorder();
+    trace::CollectiveSpanGuard trace_guard(
+        recorder, comm.engine(),
+        recorder ? span_for(comm, static_cast<trace::CollectiveOp>(kind), seq,
+                            -1, send.bytes(), -1, /*closed_form=*/true)
+                 : trace::CollectiveSpan{});
     desim::Gate gate(comm.engine());
-    machine.join_data_collective(
-        rabenseifner ? Machine::SiteKind::AllreduceRabenseifner
-                     : Machine::SiteKind::Allreduce,
-        comm.context(), seq, &gate, comm.rank(),
-        /*root_index=*/0, send, recv);
+    machine.join_data_collective(kind, comm.context(), seq, &gate, comm.rank(),
+                                 /*root_index=*/0, send, recv);
     co_await gate.wait();
     co_return;
   }
   if (rabenseifner) {
     const std::uint64_t seq =
         machine.next_collective_seq(comm.context(), comm.rank());
+    machine.note_collective(Machine::SiteKind::AllreduceRabenseifner, -1,
+                            send.bytes());
+    trace::Recorder* recorder = machine.recorder();
+    trace::CollectiveSpanGuard trace_guard(
+        recorder, comm.engine(),
+        recorder ? span_for(comm, trace::CollectiveOp::AllreduceRabenseifner,
+                            seq, -1, send.bytes(), -1, /*closed_form=*/false)
+                 : trace::CollectiveSpan{});
     co_await allreduce_rabenseifner(comm, send, recv, seq);
     co_return;
   }
+  // The default point-to-point allreduce delegates: the nested reduce and
+  // bcast calls consume their own sequence numbers and record their own
+  // spans/counters, so there is nothing separate to trace here.
   co_await reduce(comm, 0, send, recv);
   co_await bcast(comm, 0, recv, net::BcastAlgo::Binomial);
 }
@@ -523,8 +590,17 @@ desim::Task<void> gather(Comm comm, int root, ConstBuf send, Buf recv_all) {
   Machine& machine = comm.machine();
   const std::uint64_t seq =
       machine.next_collective_seq(comm.context(), comm.rank());
+  const bool closed_form =
+      machine.config().collective_mode == CollectiveMode::ClosedForm;
+  machine.note_collective(Machine::SiteKind::Gather, -1, send.bytes());
+  trace::Recorder* recorder = machine.recorder();
+  trace::CollectiveSpanGuard trace_guard(
+      recorder, comm.engine(),
+      recorder ? span_for(comm, trace::CollectiveOp::Gather, seq, root,
+                          send.bytes(), -1, closed_form)
+               : trace::CollectiveSpan{});
 
-  if (machine.config().collective_mode == CollectiveMode::ClosedForm) {
+  if (closed_form) {
     desim::Gate gate(comm.engine());
     machine.join_data_collective(Machine::SiteKind::Gather, comm.context(),
                                  seq, &gate, comm.rank(), root, send,
@@ -608,8 +684,17 @@ desim::Task<void> scatter(Comm comm, int root, ConstBuf send_all, Buf recv) {
   Machine& machine = comm.machine();
   const std::uint64_t seq =
       machine.next_collective_seq(comm.context(), comm.rank());
+  const bool closed_form =
+      machine.config().collective_mode == CollectiveMode::ClosedForm;
+  machine.note_collective(Machine::SiteKind::Scatter, -1, recv.bytes());
+  trace::Recorder* recorder = machine.recorder();
+  trace::CollectiveSpanGuard trace_guard(
+      recorder, comm.engine(),
+      recorder ? span_for(comm, trace::CollectiveOp::Scatter, seq, root,
+                          recv.bytes(), -1, closed_form)
+               : trace::CollectiveSpan{});
 
-  if (machine.config().collective_mode == CollectiveMode::ClosedForm) {
+  if (closed_form) {
     desim::Gate gate(comm.engine());
     machine.join_data_collective(Machine::SiteKind::Scatter, comm.context(),
                                  seq, &gate, comm.rank(), root,
@@ -676,8 +761,17 @@ desim::Task<void> allgather(Comm comm, ConstBuf send, Buf recv_all) {
   Machine& machine = comm.machine();
   const std::uint64_t seq =
       machine.next_collective_seq(comm.context(), comm.rank());
+  const bool closed_form =
+      machine.config().collective_mode == CollectiveMode::ClosedForm;
+  machine.note_collective(Machine::SiteKind::Allgather, -1, send.bytes());
+  trace::Recorder* recorder = machine.recorder();
+  trace::CollectiveSpanGuard trace_guard(
+      recorder, comm.engine(),
+      recorder ? span_for(comm, trace::CollectiveOp::Allgather, seq, -1,
+                          send.bytes(), -1, closed_form)
+               : trace::CollectiveSpan{});
 
-  if (machine.config().collective_mode == CollectiveMode::ClosedForm) {
+  if (closed_form) {
     desim::Gate gate(comm.engine());
     machine.join_data_collective(Machine::SiteKind::Allgather,
                                  comm.context(), seq, &gate, comm.rank(),
@@ -712,8 +806,17 @@ desim::Task<void> barrier(Comm comm) {
   Machine& machine = comm.machine();
   const std::uint64_t seq =
       machine.next_collective_seq(comm.context(), comm.rank());
+  const bool closed_form =
+      machine.config().collective_mode == CollectiveMode::ClosedForm;
+  machine.note_collective(Machine::SiteKind::Barrier, -1, 0);
+  trace::Recorder* recorder = machine.recorder();
+  trace::CollectiveSpanGuard trace_guard(
+      recorder, comm.engine(),
+      recorder ? span_for(comm, trace::CollectiveOp::Barrier, seq, -1, 0, -1,
+                          closed_form)
+               : trace::CollectiveSpan{});
 
-  if (machine.config().collective_mode == CollectiveMode::ClosedForm) {
+  if (closed_form) {
     desim::Gate gate(comm.engine());
     machine.join_barrier(comm.context(), seq, &gate);
     co_await gate.wait();

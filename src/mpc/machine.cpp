@@ -2,11 +2,36 @@
 
 #include <algorithm>
 #include <cstring>
+#include <string>
 
 #include "common/csv.hpp"
 #include "mpc/comm.hpp"
+#include "trace/metrics.hpp"
+#include "trace/recorder.hpp"
 
 namespace hs::mpc {
+
+// trace::CollectiveOp mirrors SiteKind value-for-value so the machine can
+// cast between them when recording; keep both enums in lockstep.
+static_assert(trace::kCollectiveOpCount == 9);
+static_assert(static_cast<int>(trace::CollectiveOp::Bcast) ==
+              static_cast<int>(Machine::SiteKind::Bcast));
+static_assert(static_cast<int>(trace::CollectiveOp::Barrier) ==
+              static_cast<int>(Machine::SiteKind::Barrier));
+static_assert(static_cast<int>(trace::CollectiveOp::Reduce) ==
+              static_cast<int>(Machine::SiteKind::Reduce));
+static_assert(static_cast<int>(trace::CollectiveOp::Allreduce) ==
+              static_cast<int>(Machine::SiteKind::Allreduce));
+static_assert(static_cast<int>(trace::CollectiveOp::AllreduceRabenseifner) ==
+              static_cast<int>(Machine::SiteKind::AllreduceRabenseifner));
+static_assert(static_cast<int>(trace::CollectiveOp::ReduceScatter) ==
+              static_cast<int>(Machine::SiteKind::ReduceScatter));
+static_assert(static_cast<int>(trace::CollectiveOp::Gather) ==
+              static_cast<int>(Machine::SiteKind::Gather));
+static_assert(static_cast<int>(trace::CollectiveOp::Scatter) ==
+              static_cast<int>(Machine::SiteKind::Scatter));
+static_assert(static_cast<int>(trace::CollectiveOp::Allgather) ==
+              static_cast<int>(Machine::SiteKind::Allgather));
 
 Machine::Machine(desim::Engine& engine,
                  std::shared_ptr<const net::NetworkModel> net,
@@ -73,6 +98,8 @@ double Machine::commit_transfer(int src, int dst, int ctx, int tag,
       start + net_->transfer_time(src, dst, send_buf.bytes());
   src_port.send_free = completion;
   dst_port.recv_free = completion;
+  src_port.send_busy += completion - start;
+  dst_port.recv_busy += completion - start;
   if (send_buf.is_real() && send_buf.count() > 0)
     std::memcpy(recv_buf.data(), send_buf.data(),
                 send_buf.count() * sizeof(double));
@@ -80,6 +107,9 @@ double Machine::commit_transfer(int src, int dst, int ctx, int tag,
   bytes_ += send_buf.bytes();
   if (transfer_log_ != nullptr)
     transfer_log_->record(
+        {start, completion, src, dst, send_buf.bytes(), ctx, tag});
+  if (recorder_ != nullptr)
+    recorder_->add_transfer(
         {start, completion, src, dst, send_buf.bytes(), ctx, tag});
   return completion;
 }
@@ -242,11 +272,87 @@ void Machine::complete_site(int ctx, std::uint64_t key, Site& site) {
   }
   const double completion = site.max_entry + duration;
   deliver_site_payloads(ctx, site);
+  // Wire-accounting convention: a closed-form collective charges
+  // (p-1) * per-member-bytes — one full payload per non-root member, i.e.
+  // exactly what a binomial tree moves for bcast/reduce and what the
+  // chunked collectives (gather/scatter/allgather with per-member chunks)
+  // move in total. Bandwidth-saving algorithms (scatter+allgather bcast,
+  // Rabenseifner) really move a different volume; the convention trades
+  // that fidelity for counters that stay comparable between PointToPoint
+  // and ClosedForm runs of the same program (locked by
+  // tests/mpc/test_closed_form.cpp). See DESIGN.md "Observability".
+  const std::uint64_t wire_bytes =
+      site.bytes * static_cast<std::uint64_t>(p > 1 ? p - 1 : 0);
   messages_ += static_cast<std::uint64_t>(p > 1 ? p - 1 : 0);
-  bytes_ += site.bytes * static_cast<std::uint64_t>(p > 1 ? p - 1 : 0);
+  bytes_ += wire_bytes;
+  if (transfer_log_ != nullptr || recorder_ != nullptr) {
+    // Synthetic visibility record for the whole site (there are no real
+    // per-message transfers to log in this mode). Root is reported as a
+    // world rank; rootless collectives use -1.
+    const auto& members = contexts_[static_cast<std::size_t>(ctx)].members;
+    const int root_world =
+        site.root_index >= 0 &&
+                site.root_index < static_cast<int>(members.size())
+            ? members[static_cast<std::size_t>(site.root_index)]
+            : -1;
+    const std::uint64_t seq = key & ((std::uint64_t{1} << 40) - 1);
+    if (transfer_log_ != nullptr)
+      transfer_log_->record({site.max_entry, completion, root_world, -1,
+                             wire_bytes, ctx,
+                             -(static_cast<int>(site.kind) + 1)});
+    if (recorder_ != nullptr)
+      recorder_->add_site({site.max_entry, completion,
+                           static_cast<trace::CollectiveOp>(site.kind), ctx,
+                           seq, root_world, wire_bytes, p});
+  }
   for (auto& participant : site.participants)
     participant.gate->fire_at(completion);
   sites_.erase(key);
+}
+
+void Machine::note_collective(SiteKind kind, int algo_index,
+                              std::uint64_t bytes) noexcept {
+  const auto k = static_cast<std::size_t>(kind);
+  ++collective_calls_[k];
+  collective_bytes_[k] += bytes;
+  if (algo_index >= 0 && algo_index < kBcastAlgos)
+    ++bcast_algo_calls_[static_cast<std::size_t>(algo_index)];
+}
+
+void Machine::collect_metrics(trace::MetricsRegistry& metrics) const {
+  metrics.add_counter("mpc.messages", messages_);
+  metrics.add_counter("mpc.wire_bytes", bytes_);
+  for (int k = 0; k < kSiteKinds; ++k) {
+    const auto index = static_cast<std::size_t>(k);
+    if (collective_calls_[index] == 0) continue;
+    const std::string name(
+        trace::to_string(static_cast<trace::CollectiveOp>(k)));
+    metrics.add_counter("mpc.collective." + name + ".calls",
+                        collective_calls_[index]);
+    metrics.add_counter("mpc.collective." + name + ".bytes",
+                        collective_bytes_[index]);
+  }
+  for (int a = 0; a < kBcastAlgos; ++a) {
+    const auto index = static_cast<std::size_t>(a);
+    if (bcast_algo_calls_[index] == 0) continue;
+    const std::string name(net::to_string(static_cast<net::BcastAlgo>(a)));
+    metrics.add_counter("mpc.bcast_algo." + name + ".calls",
+                        bcast_algo_calls_[index]);
+  }
+  double send_max = 0.0;
+  double recv_max = 0.0;
+  double send_total = 0.0;
+  double recv_total = 0.0;
+  for (const PortState& port : ports_) {
+    send_max = std::max(send_max, port.send_busy);
+    recv_max = std::max(recv_max, port.recv_busy);
+    send_total += port.send_busy;
+    recv_total += port.recv_busy;
+  }
+  metrics.set_gauge("mpc.port.send_busy_max_s", send_max);
+  metrics.set_gauge("mpc.port.recv_busy_max_s", recv_max);
+  metrics.set_gauge("mpc.port.send_busy_total_s", send_total);
+  metrics.set_gauge("mpc.port.recv_busy_total_s", recv_total);
 }
 
 void Machine::deliver_site_payloads(int ctx, Site& site) {

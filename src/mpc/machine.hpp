@@ -20,6 +20,7 @@
 // charged with the closed-form Hockney cost from net/bcast_cost.hpp.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <iosfwd>
 #include <map>
@@ -34,6 +35,11 @@
 #include "mpc/buffer.hpp"
 #include "net/bcast_cost.hpp"
 #include "net/model.hpp"
+
+namespace hs::trace {
+class MetricsRegistry;
+class Recorder;
+}  // namespace hs::trace
 
 namespace hs::mpc {
 
@@ -284,14 +290,45 @@ class Machine {
   std::uint64_t bytes_transferred() const noexcept { return bytes_; }
 
   /// Attach (or detach with nullptr) a transfer recorder; the log must
-  /// outlive the simulation. Point-to-point transfers only — closed-form
-  /// collectives are single synthetic events and are not logged.
+  /// outlive the simulation. Point-to-point transfers are logged as they
+  /// commit; in ClosedForm mode every collective site emits one synthetic
+  /// record spanning [last participant entry, completion] with src = the
+  /// root's world rank (-1 for rootless collectives), dst = -1, bytes =
+  /// the site's (p-1)*bytes wire charge, and tag = -(SiteKind+1), so
+  /// synthetic rows are distinguishable from real transfers.
   void set_transfer_log(TransferLog* log) noexcept { transfer_log_ = log; }
+
+  /// Attach (or detach with nullptr) a structured trace recorder (see
+  /// trace/recorder.hpp); it must outlive the simulation. The machine
+  /// feeds it wire-transfer spans and ClosedForm site spans; collective
+  /// call spans and compute spans are recorded by the collectives layer
+  /// and the kernels. Recording never perturbs virtual time.
+  void set_recorder(trace::Recorder* recorder) noexcept {
+    recorder_ = recorder;
+  }
+  trace::Recorder* recorder() const noexcept { return recorder_; }
+
+  /// Count one collective call on one rank (always-on statistics, mode-
+  /// independent: every member's call is counted once, in both
+  /// PointToPoint and ClosedForm mode). `algo_index` is the resolved
+  /// net::BcastAlgo for broadcasts, -1 otherwise; `bytes` the per-member
+  /// payload.
+  void note_collective(SiteKind kind, int algo_index,
+                       std::uint64_t bytes) noexcept;
+
+  /// Dump always-on counters into `metrics` under the mpc.* namespace:
+  /// per-SiteKind call/byte counts, per-BcastAlgo usage, message/wire
+  /// totals, and port busy-time gauges.
+  void collect_metrics(trace::MetricsRegistry& metrics) const;
 
  private:
   struct PortState {
     double send_free = 0.0;
     double recv_free = 0.0;
+    // Cumulative wire time this port spent sending/receiving (statistics
+    // only; never read by the simulation itself).
+    double send_busy = 0.0;
+    double recv_busy = 0.0;
   };
 
   // One pending isend or irecv. Buf/ConstBuf are flattened to (data, count)
@@ -392,7 +429,14 @@ class Machine {
       sites_;
   std::uint64_t messages_ = 0;
   std::uint64_t bytes_ = 0;
+  static constexpr int kSiteKinds = 9;
+  static constexpr int kBcastAlgos =
+      static_cast<int>(net::BcastAlgo::MpichAuto) + 1;
+  std::array<std::uint64_t, kSiteKinds> collective_calls_{};
+  std::array<std::uint64_t, kSiteKinds> collective_bytes_{};
+  std::array<std::uint64_t, kBcastAlgos> bcast_algo_calls_{};
   TransferLog* transfer_log_ = nullptr;
+  trace::Recorder* recorder_ = nullptr;
 };
 
 }  // namespace hs::mpc

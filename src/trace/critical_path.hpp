@@ -1,0 +1,74 @@
+// Critical-path extraction from recorded simulation events.
+//
+// Walks a Recorder's span set backward from the latest-ending event to
+// reconstruct one chain of dependent work that realizes the run's makespan,
+// then attributes every segment of that chain to computation, outer
+// (inter-group) communication, inner (intra-group) communication, flat
+// communication, or idle waiting. This turns "HSUMMA was 1.8x faster" into
+// "the critical path swapped 0.4 s of flat broadcast for 0.1 s of outer +
+// 0.15 s of inner broadcast".
+//
+// The walk hops between ranks through collectives: a collective completes
+// when its last participant arrives, so the path continues on the
+// latest-arriving rank at that rank's entry time. For ClosedForm runs of
+// the non-overlapped kernels this is exact: segments tile
+// [start_time, end_time] with no double counting, so the category sums add
+// up to the run's total_time (locked to 1e-9 by
+// tests/trace/test_critical_path.cpp), and the outer/inner sums are
+// bounded by the TimingReport's max_outer/inner_comm_time. For
+// point-to-point or overlapped runs the chain is a best-effort
+// approximation (spans on one rank may overlap; the walk picks the
+// latest-ending candidate).
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/table.hpp"
+
+namespace hs::trace {
+
+class Recorder;
+
+enum class PathCategory { Comp, OuterComm, InnerComm, FlatComm, Idle };
+std::string_view to_string(PathCategory category);
+
+/// One hop of the critical path, in virtual time. Chronological order.
+struct PathSegment {
+  double start = 0.0;
+  double end = 0.0;
+  PathCategory category = PathCategory::Idle;
+  int rank = -1;          // rank the segment is charged to
+  long long step = -1;    // kernel pivot step, -1 = unmarked
+  std::string label;      // "compute", collective op name, or "idle"
+  double duration() const { return end - start; }
+};
+
+struct CriticalPathReport {
+  std::vector<PathSegment> segments;  // chronological, tiling [start, end]
+  double comp = 0.0;
+  double outer_comm = 0.0;
+  double inner_comm = 0.0;
+  double flat_comm = 0.0;
+  double idle = 0.0;
+  double start_time = 0.0;
+  double end_time = 0.0;
+
+  double total() const { return end_time - start_time; }
+  double of(PathCategory category) const;
+
+  /// One-line decomposition, e.g.
+  /// "critical path 1.23 s = comp 0.81 s + outer 0.21 s + inner 0.18 s
+  ///  + flat 0 s + idle 0.03 s (42 segments)".
+  std::string summary() const;
+
+  /// Per-category table: category, time, share of the path.
+  Table breakdown_table() const;
+};
+
+/// Extract the critical path from `recorder`'s events. Returns an empty
+/// report (no segments, total() == 0) if the recorder holds no spans.
+CriticalPathReport analyze_critical_path(const Recorder& recorder);
+
+}  // namespace hs::trace

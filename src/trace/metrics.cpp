@@ -1,0 +1,94 @@
+#include "trace/metrics.hpp"
+
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+
+#include "common/check.hpp"
+#include "desim/engine.hpp"
+
+namespace hs::trace {
+
+namespace {
+
+std::string json_escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string gauge_repr(double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.17g", value);
+  return buf;
+}
+
+}  // namespace
+
+std::uint64_t MetricsRegistry::counter(std::string_view name) const {
+  const auto it = counters_.find(std::string(name));
+  return it == counters_.end() ? 0 : it->second;
+}
+
+double MetricsRegistry::gauge(std::string_view name) const {
+  const auto it = gauges_.find(std::string(name));
+  return it == gauges_.end() ? 0.0 : it->second;
+}
+
+Table MetricsRegistry::to_table() const {
+  Table table({"metric", "value"});
+  for (const auto& [name, value] : counters_)
+    table.add_row({name, std::to_string(value)});
+  for (const auto& [name, value] : gauges_)
+    table.add_row({name, gauge_repr(value)});
+  return table;
+}
+
+void MetricsRegistry::write_json(std::ostream& out) const {
+  out << "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, value] : counters_) {
+    if (!first) out << ",";
+    first = false;
+    out << "\"" << json_escape(name) << "\":" << value;
+  }
+  out << "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, value] : gauges_) {
+    if (!first) out << ",";
+    first = false;
+    out << "\"" << json_escape(name) << "\":" << gauge_repr(value);
+  }
+  out << "}}";
+}
+
+std::string MetricsRegistry::to_json() const {
+  std::ostringstream os;
+  write_json(os);
+  return os.str();
+}
+
+void collect_engine_metrics(const desim::Engine& engine,
+                            MetricsRegistry& metrics) {
+  metrics.add_counter("desim.events_processed", engine.events_processed());
+  metrics.add_counter("desim.heap_peak",
+                      static_cast<std::uint64_t>(engine.heap_peak()));
+}
+
+}  // namespace hs::trace

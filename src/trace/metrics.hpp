@@ -1,0 +1,83 @@
+// Cross-layer metrics registry: named monotonic counters and point-in-time
+// gauges, harvested from whichever subsystems a run touched.
+//
+// Producers expose a `collect_metrics(MetricsRegistry&)` hook (mpc::Machine,
+// exec::ParallelExecutor) or a free collector (collect_engine_metrics below)
+// that dumps their always-on counters under a dotted-name convention:
+//
+//   mpc.collective.bcast.calls     per-SiteKind call counts / payload bytes
+//   mpc.bcast_algo.binomial.calls  broadcast algorithm usage
+//   mpc.port.send_busy_max_s       port utilization gauges
+//   desim.events_processed         engine event loop counters
+//   exec.cache_hits                sweep executor cache behavior
+//
+// The registry renders as an aligned table (human) or JSON (tooling); both
+// orderings are deterministic (sorted by name).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "common/table.hpp"
+
+namespace hs::desim {
+class Engine;
+}
+
+namespace hs::trace {
+
+class MetricsRegistry {
+ public:
+  /// Add `delta` to counter `name` (created at zero on first use).
+  void add_counter(std::string_view name, std::uint64_t delta) {
+    counters_[std::string(name)] += delta;
+  }
+
+  /// Set gauge `name` to `value` (last write wins).
+  void set_gauge(std::string_view name, double value) {
+    gauges_[std::string(name)] = value;
+  }
+
+  std::uint64_t counter(std::string_view name) const;
+  double gauge(std::string_view name) const;
+  bool has_counter(std::string_view name) const {
+    return counters_.find(std::string(name)) != counters_.end();
+  }
+  bool has_gauge(std::string_view name) const {
+    return gauges_.find(std::string(name)) != gauges_.end();
+  }
+
+  const std::map<std::string, std::uint64_t>& counters() const noexcept {
+    return counters_;
+  }
+  const std::map<std::string, double>& gauges() const noexcept {
+    return gauges_;
+  }
+  bool empty() const noexcept { return counters_.empty() && gauges_.empty(); }
+  void clear() {
+    counters_.clear();
+    gauges_.clear();
+  }
+
+  /// Aligned two-column rendering, counters first, sorted by name.
+  Table to_table() const;
+
+  /// {"counters": {...}, "gauges": {...}}, keys sorted, gauges rendered
+  /// with enough digits to round-trip.
+  void write_json(std::ostream& out) const;
+  std::string to_json() const;
+
+ private:
+  std::map<std::string, std::uint64_t> counters_;
+  std::map<std::string, double> gauges_;
+};
+
+/// Harvest the engine's event-loop counters: desim.events_processed and
+/// desim.heap_peak.
+void collect_engine_metrics(const desim::Engine& engine,
+                            MetricsRegistry& metrics);
+
+}  // namespace hs::trace

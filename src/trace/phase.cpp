@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "common/table.hpp"
+#include "common/units.hpp"
 
 namespace hs::trace {
 
@@ -35,6 +36,10 @@ std::string TimingReport::summary() const {
   os << "total " << hs::format_seconds(total_time) << ", comm(max) "
      << hs::format_seconds(max_comm_time) << ", comp(max) "
      << hs::format_seconds(max_comp_time);
+  // Achieved aggregate flop rate over the whole run (all ranks together).
+  if (total_flops > 0 && total_time > 0.0)
+    os << ", "
+       << hs::format_flops(static_cast<double>(total_flops) / total_time);
   return os.str();
 }
 

@@ -1,0 +1,43 @@
+#include "trace/recorder.hpp"
+
+#include <algorithm>
+
+namespace hs::trace {
+
+std::string_view to_string(CollectiveOp op) {
+  switch (op) {
+    case CollectiveOp::Bcast: return "bcast";
+    case CollectiveOp::Barrier: return "barrier";
+    case CollectiveOp::Reduce: return "reduce";
+    case CollectiveOp::Allreduce: return "allreduce";
+    case CollectiveOp::AllreduceRabenseifner: return "allreduce-rabenseifner";
+    case CollectiveOp::ReduceScatter: return "reduce-scatter";
+    case CollectiveOp::Gather: return "gather";
+    case CollectiveOp::Scatter: return "scatter";
+    case CollectiveOp::Allgather: return "allgather";
+  }
+  return "unknown";
+}
+
+std::string_view to_string(Phase phase) {
+  switch (phase) {
+    case Phase::Flat: return "flat";
+    case Phase::Outer: return "outer";
+    case Phase::Inner: return "inner";
+  }
+  return "unknown";
+}
+
+int Recorder::rank_count() const {
+  int max_rank = -1;
+  for (const auto& span : collectives_) max_rank = std::max(max_rank, span.rank);
+  for (const auto& span : computes_) max_rank = std::max(max_rank, span.rank);
+  for (const auto& mark : steps_) max_rank = std::max(max_rank, mark.rank);
+  for (const auto& wire : wires_) {
+    max_rank = std::max(max_rank, wire.src);
+    max_rank = std::max(max_rank, wire.dst);
+  }
+  return max_rank + 1;
+}
+
+}  // namespace hs::trace

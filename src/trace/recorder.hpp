@@ -1,0 +1,271 @@
+// Structured event recording for simulation runs.
+//
+// A Recorder is an optional sink attachable to mpc::Machine (like
+// TransferLog, but structured and collective-aware): it captures per-rank
+// *spans* for every collective call (operation, broadcast algorithm,
+// communicator context, collective sequence number, root, payload bytes,
+// virtual start/end), per-rank compute charges, pivot-step/phase markers
+// emitted by the kernels, every committed wire transfer, and — in
+// ClosedForm mode — one synthetic site span per collective, so timelines
+// cover both CollectiveModes.
+//
+// Hard invariant: recording must not perturb the simulation. Every hook
+// only *reads* the engine clock (desim::Engine::now()) and appends to a
+// vector; no virtual time is ever charged, so RunResults are bit-identical
+// with a recorder attached or detached (locked by
+// tests/trace/test_zero_perturbation.cpp). Detached cost is one
+// null-pointer branch per hook.
+//
+// The RAII guards are coroutine-safe the same way trace::PhaseTimer is:
+// their destructors run when the enclosing scope of the coroutine frame
+// exits, even across co_await suspensions, so a guard wrapping
+// `co_await bcast(...)` brackets exactly the virtual interval of the call.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "desim/engine.hpp"
+
+namespace hs::trace {
+
+/// Collective operation identifier. Mirrors mpc::Machine::SiteKind (kept in
+/// sync by a static_assert in machine.cpp) but lives here so the trace
+/// layer needs no mpc dependency — hs_mpc links hs_trace, not vice versa.
+enum class CollectiveOp {
+  Bcast,
+  Barrier,
+  Reduce,
+  Allreduce,
+  AllreduceRabenseifner,
+  ReduceScatter,
+  Gather,
+  Scatter,
+  Allgather,
+};
+inline constexpr int kCollectiveOpCount = 9;
+std::string_view to_string(CollectiveOp op);
+
+/// Which algorithmic phase a rank is in, as reported by the kernels: flat
+/// algorithms stay in Flat; HSUMMA alternates between the inter-group
+/// (Outer) and intra-group (Inner) broadcast phases of the paper's
+/// Tables I/II.
+enum class Phase { Flat, Outer, Inner };
+std::string_view to_string(Phase phase);
+
+/// One collective call on one rank: entry to gate-fire, in virtual time.
+struct CollectiveSpan {
+  double start = 0.0;
+  double end = 0.0;
+  int rank = -1;        // world rank of the caller
+  CollectiveOp op = CollectiveOp::Bcast;
+  int algo = -1;        // resolved net::BcastAlgo index; -1 = not a bcast
+  int ctx = 0;          // communicator context id
+  std::uint64_t seq = 0;  // collective sequence number on that context
+  int root = -1;        // world rank of the root; -1 = rootless collective
+  std::uint64_t bytes = 0;  // per-member payload bytes
+  long long step = -1;  // kernel pivot step at call time; -1 = unmarked
+  Phase phase = Phase::Flat;
+  bool closed_form = false;
+};
+
+/// One Machine::compute charge on one rank.
+struct ComputeSpan {
+  double start = 0.0;
+  double end = 0.0;
+  int rank = -1;
+  double flops = 0.0;
+  long long step = -1;
+  Phase phase = Phase::Flat;
+};
+
+/// A kernel's "pivot step k begins" marker.
+struct StepMark {
+  double time = 0.0;
+  int rank = -1;
+  long long step = -1;
+  Phase phase = Phase::Flat;
+};
+
+/// One committed point-to-point wire transfer (same data as
+/// mpc::TransferRecord; duplicated here so the exporter needs no mpc types).
+struct WireSpan {
+  double start = 0.0;
+  double end = 0.0;
+  int src = -1;
+  int dst = -1;
+  std::uint64_t bytes = 0;
+  int ctx = 0;
+  int tag = 0;
+};
+
+/// One ClosedForm collective site: from the last participant's entry to the
+/// shared completion instant. wire_bytes is the (p-1)*bytes convention the
+/// closed-form mode charges (see DESIGN.md "Observability").
+struct SiteSpan {
+  double start = 0.0;  // max over participant entry times
+  double end = 0.0;
+  CollectiveOp op = CollectiveOp::Barrier;
+  int ctx = 0;
+  std::uint64_t seq = 0;
+  int root = -1;       // world rank of the root; -1 = rootless
+  std::uint64_t wire_bytes = 0;
+  int members = 0;
+};
+
+/// Append-only event store for one simulation. Single-threaded like the
+/// engine that feeds it: attach one recorder per machine, one machine per
+/// thread (parallel sweeps give every job its own recorder).
+class Recorder {
+ public:
+  /// Update rank `rank`'s current (step, phase) and record a marker.
+  /// Subsequent collective/compute spans on that rank are stamped with the
+  /// new state.
+  void begin_step(double now, int rank, long long step, Phase phase) {
+    RankState& state = state_of(rank);
+    state.step = step;
+    state.phase = phase;
+    steps_.push_back({now, rank, step, phase});
+  }
+
+  /// Record a finished collective span; step/phase are stamped from the
+  /// caller rank's current state.
+  void add_collective(CollectiveSpan span) {
+    const RankState& state = state_of(span.rank);
+    span.step = state.step;
+    span.phase = state.phase;
+    collectives_.push_back(span);
+  }
+
+  /// Record a finished compute span; stamped like add_collective.
+  void add_compute(ComputeSpan span) {
+    const RankState& state = state_of(span.rank);
+    span.step = state.step;
+    span.phase = state.phase;
+    computes_.push_back(span);
+  }
+
+  void add_transfer(const WireSpan& span) { wires_.push_back(span); }
+  void add_site(const SiteSpan& span) { sites_.push_back(span); }
+
+  const std::vector<CollectiveSpan>& collectives() const noexcept {
+    return collectives_;
+  }
+  const std::vector<ComputeSpan>& computes() const noexcept {
+    return computes_;
+  }
+  const std::vector<StepMark>& steps() const noexcept { return steps_; }
+  const std::vector<WireSpan>& wires() const noexcept { return wires_; }
+  const std::vector<SiteSpan>& sites() const noexcept { return sites_; }
+
+  bool empty() const noexcept {
+    return collectives_.empty() && computes_.empty() && steps_.empty() &&
+           wires_.empty() && sites_.empty();
+  }
+
+  /// Highest rank index seen across all recorded events, plus one.
+  int rank_count() const;
+
+  void clear() {
+    collectives_.clear();
+    computes_.clear();
+    steps_.clear();
+    wires_.clear();
+    sites_.clear();
+    states_.clear();
+  }
+
+ private:
+  struct RankState {
+    long long step = -1;
+    Phase phase = Phase::Flat;
+  };
+  RankState& state_of(int rank) {
+    const auto index =
+        static_cast<std::size_t>(rank < 0 ? 0 : rank);
+    if (index >= states_.size()) states_.resize(index + 1);
+    return states_[index];
+  }
+
+  std::vector<CollectiveSpan> collectives_;
+  std::vector<ComputeSpan> computes_;
+  std::vector<StepMark> steps_;
+  std::vector<WireSpan> wires_;
+  std::vector<SiteSpan> sites_;
+  std::vector<RankState> states_;
+};
+
+/// A rank's handle on the (possibly absent) recorder: what the kernel arg
+/// structs carry. Default-constructed = detached; every operation is then a
+/// single null check.
+class RankTracer {
+ public:
+  RankTracer() = default;
+  RankTracer(Recorder* recorder, int rank)
+      : recorder_(recorder), rank_(rank) {}
+
+  Recorder* recorder() const noexcept { return recorder_; }
+  int rank() const noexcept { return rank_; }
+
+  /// Mark the start of pivot step `step` in `phase` at the current virtual
+  /// time.
+  void begin_step(desim::Engine& engine, long long step, Phase phase) const {
+    if (recorder_ != nullptr)
+      recorder_->begin_step(engine.now(), rank_, step, phase);
+  }
+
+ private:
+  Recorder* recorder_ = nullptr;
+  int rank_ = -1;
+};
+
+/// RAII span over one collective call. Construct with the span's identity
+/// fields filled in (start/end are stamped here); the destructor records it.
+class CollectiveSpanGuard {
+ public:
+  CollectiveSpanGuard(Recorder* recorder, desim::Engine& engine,
+                      const CollectiveSpan& span)
+      : recorder_(recorder), engine_(&engine), span_(span) {
+    if (recorder_ != nullptr) span_.start = engine.now();
+  }
+  CollectiveSpanGuard(const CollectiveSpanGuard&) = delete;
+  CollectiveSpanGuard& operator=(const CollectiveSpanGuard&) = delete;
+  ~CollectiveSpanGuard() {
+    if (recorder_ == nullptr) return;
+    span_.end = engine_->now();
+    recorder_->add_collective(span_);
+  }
+
+ private:
+  Recorder* recorder_;
+  desim::Engine* engine_;
+  CollectiveSpan span_;
+};
+
+/// RAII span over one Machine::compute charge.
+class ComputeSpanGuard {
+ public:
+  ComputeSpanGuard(const RankTracer& tracer, desim::Engine& engine,
+                   double flops)
+      : recorder_(tracer.recorder()), engine_(&engine) {
+    if (recorder_ == nullptr) return;
+    span_.rank = tracer.rank();
+    span_.flops = flops;
+    span_.start = engine.now();
+  }
+  ComputeSpanGuard(const ComputeSpanGuard&) = delete;
+  ComputeSpanGuard& operator=(const ComputeSpanGuard&) = delete;
+  ~ComputeSpanGuard() {
+    if (recorder_ == nullptr) return;
+    span_.end = engine_->now();
+    recorder_->add_compute(span_);
+  }
+
+ private:
+  Recorder* recorder_;
+  desim::Engine* engine_;
+  ComputeSpan span_;
+};
+
+}  // namespace hs::trace

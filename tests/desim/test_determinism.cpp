@@ -103,11 +103,13 @@ Snapshot run_direct(const DirectConfig& config) {
         config.algorithm == Algorithm::Summa
             ? hs::core::summa_rank({machine.world(rank), config.grid,
                                     config.problem, nullptr, rank_stats,
-                                    config.bcast, config.overlap})
+                                    config.bcast, config.overlap,
+                                    hs::trace::RankTracer{}})
             : hs::core::hsumma_rank({machine.world(rank), config.grid,
                                      config.groups, config.problem, nullptr,
                                      rank_stats, config.bcast,
-                                     config.overlap});
+                                     config.overlap,
+                                     hs::trace::RankTracer{}});
     engine.spawn(std::move(program), "rank " + std::to_string(rank));
   }
   engine.run();

@@ -4,8 +4,12 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <thread>
 #include <vector>
+
+#include "trace/metrics.hpp"
+#include "trace/recorder.hpp"
 
 namespace {
 
@@ -78,6 +82,40 @@ TEST(ExecStress, LuParallelSweepRacesClean) {
   EXPECT_EQ(executor.jobs_submitted(), 24u);
   EXPECT_EQ(executor.engines_run() + executor.cache_hits(), 24u);
   EXPECT_GT(executor.cache_hits(), 0u);  // duplicated points dedupe
+}
+
+TEST(ExecStress, TracedSweepRacesClean) {
+  // Every job in the sweep carries its own Recorder and MetricsRegistry;
+  // workers on different threads fill them concurrently. Each sink is
+  // private to one job, so this must be data-race-free under TSan, and
+  // sink-carrying jobs must bypass the result cache (no shared sink, no
+  // coalescing).
+  constexpr int kJobs = 20;
+  std::vector<std::unique_ptr<hs::trace::Recorder>> recorders;
+  std::vector<std::unique_ptr<hs::trace::MetricsRegistry>> registries;
+  for (int i = 0; i < kJobs; ++i) {
+    recorders.push_back(std::make_unique<hs::trace::Recorder>());
+    registries.push_back(std::make_unique<hs::trace::MetricsRegistry>());
+  }
+  ParallelExecutor executor({.jobs = 4});
+  std::vector<std::size_t> ids;
+  for (int i = 0; i < kJobs; ++i) {
+    SimJob job = tiny_job(1 << (i % 3), /*seed=*/0);  // duplicated points
+    job.recorder = recorders[static_cast<std::size_t>(i)].get();
+    job.metrics = registries[static_cast<std::size_t>(i)].get();
+    ids.push_back(executor.submit(std::move(job)));
+  }
+  executor.wait_all();
+  for (int i = 0; i < kJobs; ++i) {
+    EXPECT_GT(executor.result(ids[static_cast<std::size_t>(i)])
+                  .timing.total_time,
+              0.0);
+    EXPECT_FALSE(recorders[static_cast<std::size_t>(i)]->empty());
+    EXPECT_FALSE(registries[static_cast<std::size_t>(i)]->empty());
+  }
+  // Identical parameter points were NOT deduped: each sink saw its run.
+  EXPECT_EQ(executor.engines_run(), static_cast<std::uint64_t>(kJobs));
+  EXPECT_EQ(executor.cache_hits(), 0u);
 }
 
 TEST(ExecStress, DestructorDrainsQueuedJobs) {

@@ -135,6 +135,37 @@ TEST(ClosedFormData, PhantomPayloadsChargeTimeOnly) {
                                                kAlpha, kBeta));
 }
 
+TEST(ClosedFormData, WireAccountingMatchesBinomialPointToPoint) {
+  // The (p-1)*bytes convention: a closed-form collective charges exactly
+  // the messages/bytes a binomial tree moves, so the machine counters stay
+  // comparable between the two modes for tree-shaped collectives.
+  constexpr int kRanks = 8;
+  constexpr std::size_t kCount = 128;
+  auto program = [](Comm comm) -> Task<void> {
+    co_await hs::mpc::bcast(comm, 0, Buf::phantom(kCount),
+                            hs::net::BcastAlgo::Binomial);
+    co_await hs::mpc::reduce(comm, 0, ConstBuf::phantom(kCount),
+                             Buf::phantom(kCount));
+  };
+
+  Engine p2p_engine;
+  Machine p2p(p2p_engine, hockney(),
+              {.ranks = kRanks,
+               .collective_mode = CollectiveMode::PointToPoint});
+  hs::mpc::run_spmd(p2p, program);
+
+  Engine closed_engine;
+  Machine closed(closed_engine, hockney(),
+                 {.ranks = kRanks,
+                  .collective_mode = CollectiveMode::ClosedForm});
+  hs::mpc::run_spmd(closed, program);
+
+  EXPECT_EQ(p2p.messages_transferred(), closed.messages_transferred());
+  EXPECT_EQ(p2p.bytes_transferred(), closed.bytes_transferred());
+  EXPECT_EQ(closed.messages_transferred(), 2u * (kRanks - 1));
+  EXPECT_EQ(closed.bytes_transferred(), 2u * (kRanks - 1) * kCount * 8u);
+}
+
 TEST(ClosedFormData, Summa25DRunsAtScaleInClosedForm) {
   // The 2.5D baseline needs reduce in closed form; run it at a scale that
   // would be slow with routed messages.

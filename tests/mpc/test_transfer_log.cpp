@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <memory>
 #include <sstream>
 
@@ -74,6 +75,64 @@ TEST(TransferLog, CsvHasHeaderAndRows) {
   const std::string text = out.str();
   EXPECT_NE(text.find("start,end,src,dst,bytes,ctx,tag"), std::string::npos);
   EXPECT_NE(text.find("0.5,1,2,3,4096,1,-9"), std::string::npos);
+}
+
+TEST(TransferLog, EmptyLogWritesHeaderOnly) {
+  TransferLog log;
+  std::ostringstream out;
+  log.write_csv(out);
+  EXPECT_EQ(out.str(), "start,end,src,dst,bytes,ctx,tag\n");
+}
+
+TEST(TransferLog, CsvRowsHaveOneFieldPerColumn) {
+  TransferLog log;
+  log.record({0.0, 1.0, 0, 1, 10, 0, 1});
+  log.record({1.0, 2.0, 1, 0, 20, 1, -3});
+  std::ostringstream out;
+  log.write_csv(out);
+  std::istringstream in(out.str());
+  std::string line;
+  std::size_t lines = 0;
+  while (std::getline(in, line)) {
+    ++lines;
+    // RFC-4180 simple fields: 7 columns means exactly 6 separators, no
+    // quoting needed for numeric data, no trailing comma.
+    EXPECT_EQ(std::count(line.begin(), line.end(), ','), 6)
+        << "line " << lines << ": " << line;
+    EXPECT_FALSE(line.empty());
+    EXPECT_NE(line.back(), ',');
+  }
+  EXPECT_EQ(lines, 3u);  // header + 2 records
+}
+
+TEST(TransferLog, ClosedFormSitesLeaveSyntheticRecords) {
+  // ClosedForm collectives move no point-to-point messages, which used to
+  // make them invisible to the log; each site now records one synthetic
+  // row spanning [max_entry, completion].
+  Engine engine;
+  Machine machine(engine, hockney(),
+                  {.ranks = 8,
+                   .collective_mode = hs::mpc::CollectiveMode::ClosedForm});
+  TransferLog log;
+  machine.set_transfer_log(&log);
+  auto program = [&](Comm comm) -> Task<void> {
+    co_await hs::mpc::bcast(comm, 2, Buf::phantom(64));
+    co_await hs::mpc::barrier(comm);
+  };
+  hs::mpc::run_spmd(machine, program);
+
+  ASSERT_EQ(log.records().size(), 2u);
+  const auto& bcast = log.records()[0];
+  EXPECT_EQ(bcast.src, 2);    // root as world rank
+  EXPECT_EQ(bcast.dst, -1);   // no single destination
+  EXPECT_EQ(bcast.bytes, 64u * 8u * 7u);  // (p-1) * payload convention
+  EXPECT_LT(bcast.tag, 0);    // tag encodes -(SiteKind + 1)
+  EXPECT_GT(bcast.end, bcast.start);
+  const auto& barrier = log.records()[1];
+  EXPECT_EQ(barrier.src, -1);  // rootless
+  EXPECT_EQ(barrier.bytes, 0u);
+  EXPECT_NE(barrier.tag, bcast.tag);  // kinds stay distinguishable
+  EXPECT_GE(barrier.start, bcast.end);
 }
 
 TEST(TransferLog, ClearEmptiesTheLog) {

@@ -1,0 +1,390 @@
+// Round-trip validation of the Chrome-trace exporter: the emitted document
+// must parse as JSON, every complete event must have a non-negative
+// duration, and every (pid, tid) track must be properly nested — the
+// properties Perfetto's importer relies on.
+#include "trace/chrome_trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cctype>
+#include <map>
+#include <sstream>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "exec/sim_job.hpp"
+
+namespace {
+
+using hs::trace::Recorder;
+using hs::trace::TraceSession;
+
+// --- minimal recursive-descent JSON parser (tests only) -------------------
+
+struct JsonValue;
+using JsonArray = std::vector<JsonValue>;
+using JsonObject = std::map<std::string, JsonValue>;
+
+struct JsonValue {
+  std::variant<std::nullptr_t, bool, double, std::string, JsonArray,
+               JsonObject>
+      value;
+  const JsonObject& object() const { return std::get<JsonObject>(value); }
+  const JsonArray& array() const { return std::get<JsonArray>(value); }
+  double number() const { return std::get<double>(value); }
+  const std::string& string() const { return std::get<std::string>(value); }
+  bool has(const std::string& key) const {
+    return std::holds_alternative<JsonObject>(value) &&
+           object().find(key) != object().end();
+  }
+  const JsonValue& at(const std::string& key) const {
+    return object().at(key);
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(std::string text) : text_(std::move(text)) {}
+
+  JsonValue parse() {
+    JsonValue value = parse_value();
+    skip_ws();
+    EXPECT_EQ(pos_, text_.size()) << "trailing bytes after JSON document";
+    return value;
+  }
+
+  bool failed() const { return failed_; }
+
+ private:
+  void fail(const std::string& why) {
+    if (!failed_) ADD_FAILURE() << "JSON parse error at byte " << pos_ << ": "
+                                << why;
+    failed_ = true;
+  }
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])))
+      ++pos_;
+  }
+  char peek() { return pos_ < text_.size() ? text_[pos_] : '\0'; }
+  bool consume(char c) {
+    skip_ws();
+    if (peek() != c) {
+      fail(std::string("expected '") + c + "'");
+      return false;
+    }
+    ++pos_;
+    return true;
+  }
+
+  JsonValue parse_value() {
+    skip_ws();
+    if (failed_) return {};
+    switch (peek()) {
+      case '{': return parse_object();
+      case '[': return parse_array();
+      case '"': return {parse_string()};
+      case 't': return parse_literal("true", {true});
+      case 'f': return parse_literal("false", {false});
+      case 'n': return parse_literal("null", {nullptr});
+      default: return parse_number();
+    }
+  }
+
+  JsonValue parse_literal(const std::string& word, JsonValue value) {
+    if (text_.compare(pos_, word.size(), word) != 0) {
+      fail("bad literal");
+      return {};
+    }
+    pos_ += word.size();
+    return value;
+  }
+
+  JsonValue parse_number() {
+    const std::size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '-' || text_[pos_] == '+' || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E'))
+      ++pos_;
+    if (pos_ == start) {
+      fail("expected number");
+      return {};
+    }
+    try {
+      return {std::stod(text_.substr(start, pos_ - start))};
+    } catch (...) {
+      fail("malformed number");
+      return {};
+    }
+  }
+
+  std::string parse_string() {
+    std::string out;
+    if (!consume('"')) return out;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      char c = text_[pos_++];
+      if (c == '\\') {
+        if (pos_ >= text_.size()) break;
+        const char escape = text_[pos_++];
+        switch (escape) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'n': out += '\n'; break;
+          case 't': out += '\t'; break;
+          case 'r': out += '\r'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'u':
+            // Good enough for these tests: skip the 4 hex digits.
+            pos_ = std::min(pos_ + 4, text_.size());
+            out += '?';
+            break;
+          default: fail("bad escape"); return out;
+        }
+      } else {
+        out += c;
+      }
+    }
+    if (pos_ >= text_.size()) {
+      fail("unterminated string");
+      return out;
+    }
+    ++pos_;  // closing quote
+    return out;
+  }
+
+  JsonValue parse_array() {
+    JsonArray items;
+    consume('[');
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return {items};
+    }
+    while (!failed_) {
+      items.push_back(parse_value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      consume(']');
+      break;
+    }
+    return {items};
+  }
+
+  JsonValue parse_object() {
+    JsonObject object;
+    consume('{');
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return {object};
+    }
+    while (!failed_) {
+      skip_ws();
+      std::string key = parse_string();
+      consume(':');
+      object.emplace(std::move(key), parse_value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      consume('}');
+      break;
+    }
+    return {object};
+  }
+
+  const std::string text_;
+  std::size_t pos_ = 0;
+  bool failed_ = false;
+};
+
+// --- helpers --------------------------------------------------------------
+
+JsonValue export_and_parse(const Recorder& recorder,
+                           const std::string& label = "sim") {
+  std::ostringstream out;
+  hs::trace::write_chrome_trace(out, recorder, label);
+  JsonParser parser(out.str());
+  JsonValue doc = parser.parse();
+  EXPECT_FALSE(parser.failed());
+  return doc;
+}
+
+struct Span {
+  double ts = 0.0;
+  double dur = 0.0;
+};
+
+// Perfetto requires every thread track's complete events to nest. Verify by
+// replaying each (pid, tid) track in start order against an open-span stack.
+void expect_tracks_nest(const JsonValue& doc) {
+  std::map<std::pair<double, double>, std::vector<Span>> tracks;
+  for (const JsonValue& event : doc.at("traceEvents").array()) {
+    if (event.at("ph").string() != "X") continue;
+    const double dur = event.at("dur").number();
+    EXPECT_GE(dur, 0.0) << "negative duration";
+    tracks[{event.at("pid").number(), event.at("tid").number()}].push_back(
+        {event.at("ts").number(), dur});
+  }
+  EXPECT_FALSE(tracks.empty());
+  for (auto& [key, spans] : tracks) {
+    std::sort(spans.begin(), spans.end(), [](const Span& a, const Span& b) {
+      return a.ts < b.ts || (a.ts == b.ts && a.ts + a.dur > b.ts + b.dur);
+    });
+    std::vector<double> open_ends;
+    for (const Span& span : spans) {
+      while (!open_ends.empty() && open_ends.back() <= span.ts)
+        open_ends.pop_back();
+      if (!open_ends.empty()) {
+        EXPECT_LE(span.ts + span.dur, open_ends.back())
+            << "span overlaps its enclosing span on pid/tid " << key.first
+            << "/" << key.second;
+      }
+      open_ends.push_back(span.ts + span.dur);
+    }
+  }
+}
+
+Recorder record_run(hs::core::Algorithm algorithm, int groups,
+                    hs::mpc::CollectiveMode mode) {
+  Recorder recorder;
+  hs::exec::SimJob job;
+  job.platform = hs::net::Platform::by_name("grid5000");
+  job.collective_mode = mode;
+  job.algorithm = algorithm;
+  job.ranks = 16;
+  job.groups = groups;
+  job.problem = hs::core::ProblemSpec::square(256, 64);
+  job.recorder = &recorder;
+  hs::exec::run_sim_job(job);
+  return recorder;
+}
+
+// --- tests ----------------------------------------------------------------
+
+TEST(ChromeTrace, EmptyRecorderStillValid) {
+  Recorder recorder;
+  const JsonValue doc = export_and_parse(recorder);
+  EXPECT_EQ(doc.at("displayTimeUnit").string(), "ms");
+  // Only track-naming metadata, no span/counter/instant events.
+  for (const JsonValue& event : doc.at("traceEvents").array())
+    EXPECT_EQ(event.at("ph").string(), "M");
+}
+
+TEST(ChromeTrace, HsummaClosedFormRoundTrips) {
+  const Recorder recorder =
+      record_run(hs::core::Algorithm::Hsumma, 4,
+                 hs::mpc::CollectiveMode::ClosedForm);
+  ASSERT_FALSE(recorder.empty());
+  const JsonValue doc = export_and_parse(recorder, "hsumma");
+  const JsonArray& events = doc.at("traceEvents").array();
+  ASSERT_FALSE(events.empty());
+
+  int named_ranks = 0;
+  int step_marks = 0;
+  int counters = 0;
+  for (const JsonValue& event : events) {
+    const std::string& ph = event.at("ph").string();
+    if (ph == "M" && event.at("name").string() == "thread_name" &&
+        event.at("args").at("name").string().rfind("rank ", 0) == 0)
+      ++named_ranks;
+    if (ph == "i") ++step_marks;
+    if (ph == "C") ++counters;
+  }
+  EXPECT_GE(named_ranks, 16);  // one named track per rank (plus sub-lanes)
+  EXPECT_GT(step_marks, 0);
+  EXPECT_GT(counters, 0);
+  expect_tracks_nest(doc);
+}
+
+TEST(ChromeTrace, PointToPointWiresRoundTrip) {
+  const Recorder recorder =
+      record_run(hs::core::Algorithm::Summa, 1,
+                 hs::mpc::CollectiveMode::PointToPoint);
+  ASSERT_FALSE(recorder.wires().empty());
+  const JsonValue doc = export_and_parse(recorder, "summa");
+  bool wire_named = false;
+  for (const JsonValue& event : doc.at("traceEvents").array())
+    if (event.at("ph").string() == "M" &&
+        event.at("name").string() == "process_name" &&
+        event.at("args").at("name").string().find("wire") !=
+            std::string::npos)
+      wire_named = true;
+  EXPECT_TRUE(wire_named);
+  expect_tracks_nest(doc);
+}
+
+TEST(ChromeTrace, OverlappingSpansSplitIntoNestedLanes) {
+  // Two overlapping-but-not-nested spans on one rank: exactly the shape the
+  // comm/comp overlap fork produces, invalid on one track. The exporter
+  // must spread them across lanes; the nesting checker then passes.
+  Recorder recorder;
+  hs::trace::CollectiveSpan a;
+  a.rank = 0;
+  a.start = 0.0;
+  a.end = 2.0;
+  recorder.add_collective(a);
+  hs::trace::ComputeSpan b;
+  b.rank = 0;
+  b.start = 1.0;
+  b.end = 3.0;
+  recorder.add_compute(b);
+  const JsonValue doc = export_and_parse(recorder);
+  expect_tracks_nest(doc);
+  // The two spans must land on different tids.
+  std::vector<double> tids;
+  for (const JsonValue& event : doc.at("traceEvents").array())
+    if (event.at("ph").string() == "X")
+      tids.push_back(event.at("tid").number());
+  ASSERT_EQ(tids.size(), 2u);
+  EXPECT_NE(tids[0], tids[1]);
+}
+
+TEST(ChromeTrace, MultipleSessionsGetDistinctProcesses) {
+  const Recorder summa = record_run(hs::core::Algorithm::Summa, 1,
+                                    hs::mpc::CollectiveMode::ClosedForm);
+  const Recorder hsumma = record_run(hs::core::Algorithm::Hsumma, 4,
+                                     hs::mpc::CollectiveMode::ClosedForm);
+  const std::vector<TraceSession> sessions{{&summa, "SUMMA"},
+                                           {&hsumma, "HSUMMA"}};
+  std::ostringstream out;
+  hs::trace::write_chrome_trace(out, sessions);
+  JsonParser parser(out.str());
+  const JsonValue doc = parser.parse();
+  ASSERT_FALSE(parser.failed());
+
+  bool saw_summa = false;
+  bool saw_hsumma = false;
+  std::vector<double> summa_pids;
+  std::vector<double> hsumma_pids;
+  for (const JsonValue& event : doc.at("traceEvents").array()) {
+    if (event.at("ph").string() != "M" ||
+        event.at("name").string() != "process_name")
+      continue;
+    const std::string& name = event.at("args").at("name").string();
+    if (name.rfind("SUMMA", 0) == 0) {
+      saw_summa = true;
+      summa_pids.push_back(event.at("pid").number());
+    }
+    if (name.rfind("HSUMMA", 0) == 0) {
+      saw_hsumma = true;
+      hsumma_pids.push_back(event.at("pid").number());
+    }
+  }
+  EXPECT_TRUE(saw_summa);
+  EXPECT_TRUE(saw_hsumma);
+  for (double a : summa_pids)
+    for (double b : hsumma_pids) EXPECT_NE(a, b);
+  expect_tracks_nest(doc);
+}
+
+}  // namespace

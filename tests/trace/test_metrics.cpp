@@ -1,0 +1,125 @@
+#include "trace/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+
+#include "desim/engine.hpp"
+#include "exec/executor.hpp"
+#include "mpc/collectives.hpp"
+
+namespace {
+
+using hs::desim::Engine;
+using hs::desim::Task;
+using hs::mpc::Buf;
+using hs::mpc::Comm;
+using hs::mpc::Machine;
+using hs::trace::MetricsRegistry;
+
+TEST(MetricsRegistry, CountersAccumulateAndGaugesOverwrite) {
+  MetricsRegistry metrics;
+  EXPECT_TRUE(metrics.empty());
+  metrics.add_counter("a.calls", 2);
+  metrics.add_counter("a.calls", 3);
+  metrics.set_gauge("a.load", 0.5);
+  metrics.set_gauge("a.load", 0.25);
+  EXPECT_EQ(metrics.counter("a.calls"), 5u);
+  EXPECT_DOUBLE_EQ(metrics.gauge("a.load"), 0.25);
+  EXPECT_TRUE(metrics.has_counter("a.calls"));
+  EXPECT_FALSE(metrics.has_counter("missing"));
+  EXPECT_FALSE(metrics.empty());
+  metrics.clear();
+  EXPECT_TRUE(metrics.empty());
+}
+
+TEST(MetricsRegistry, TableListsCountersSorted) {
+  MetricsRegistry metrics;
+  metrics.add_counter("z.last", 1);
+  metrics.add_counter("a.first", 2);
+  std::ostringstream out;
+  metrics.to_table().print(out);
+  const std::string text = out.str();
+  const auto first = text.find("a.first");
+  const auto last = text.find("z.last");
+  ASSERT_NE(first, std::string::npos);
+  ASSERT_NE(last, std::string::npos);
+  EXPECT_LT(first, last);
+}
+
+TEST(MetricsRegistry, JsonIsSortedAndEscaped) {
+  MetricsRegistry metrics;
+  metrics.add_counter("b.count", 7);
+  metrics.add_counter("a \"quoted\"", 1);
+  metrics.set_gauge("g.ratio", 0.5);
+  const std::string json = metrics.to_json();
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"gauges\""), std::string::npos);
+  EXPECT_NE(json.find("\"b.count\":7"), std::string::npos);
+  EXPECT_NE(json.find("\\\"quoted\\\""), std::string::npos);
+  EXPECT_NE(json.find("\"g.ratio\":0.5"), std::string::npos);
+  EXPECT_LT(json.find("a \\\"quoted\\\""), json.find("b.count"));
+}
+
+TEST(MetricsRegistry, EngineCollectorReportsEventCounts) {
+  Engine engine;
+  auto program = [&]() -> Task<void> {
+    co_await engine.sleep(1.0);
+    co_await engine.sleep(1.0);
+  };
+  engine.spawn(program());
+  engine.run();
+  MetricsRegistry metrics;
+  hs::trace::collect_engine_metrics(engine, metrics);
+  EXPECT_GT(metrics.counter("desim.events_processed"), 0u);
+  EXPECT_TRUE(metrics.has_counter("desim.heap_peak"));
+}
+
+TEST(MetricsRegistry, MachineCollectorCountsCollectives) {
+  Engine engine;
+  Machine machine(engine,
+                  std::make_shared<hs::net::HockneyModel>(1e-5, 1e-9),
+                  {.ranks = 4});
+  auto program = [&](Comm comm) -> Task<void> {
+    co_await hs::mpc::bcast(comm, 0, Buf::phantom(64),
+                            hs::net::BcastAlgo::Binomial);
+    co_await hs::mpc::barrier(comm);
+  };
+  hs::mpc::run_spmd(machine, program);
+
+  MetricsRegistry metrics;
+  machine.collect_metrics(metrics);
+  EXPECT_EQ(metrics.counter("mpc.collective.bcast.calls"), 4u);
+  EXPECT_EQ(metrics.counter("mpc.collective.bcast.bytes"), 4u * 64u * 8u);
+  EXPECT_EQ(metrics.counter("mpc.collective.barrier.calls"), 4u);
+  EXPECT_EQ(metrics.counter("mpc.bcast_algo.binomial.calls"), 4u);
+  EXPECT_GT(metrics.counter("mpc.messages"), 0u);
+  EXPECT_GT(metrics.counter("mpc.wire_bytes"), 0u);
+  // Port busy gauges exist and are consistent.
+  EXPECT_GE(metrics.gauge("mpc.port.send_busy_total_s"),
+            metrics.gauge("mpc.port.send_busy_max_s"));
+}
+
+TEST(MetricsRegistry, ExecutorCollectorCountsJobs) {
+  hs::exec::ParallelExecutor executor({.jobs = 2});
+  hs::exec::SimJob job;
+  job.platform = hs::net::Platform::by_name("grid5000");
+  job.ranks = 4;
+  job.problem = hs::core::ProblemSpec::square(64, 32);
+  executor.submit(job);
+  executor.submit(job);  // identical: cache or coalesce hit
+  executor.wait_all();
+
+  MetricsRegistry metrics;
+  executor.collect_metrics(metrics);
+  EXPECT_EQ(metrics.counter("exec.jobs_submitted"), 2u);
+  EXPECT_EQ(metrics.counter("exec.engines_run"), 1u);
+  EXPECT_EQ(metrics.counter("exec.cache_hits"), 1u);
+  EXPECT_GT(metrics.counter("exec.run_ns_total"), 0u);
+  EXPECT_GE(metrics.counter("exec.run_ns_total"),
+            metrics.counter("exec.run_ns_max"));
+  EXPECT_DOUBLE_EQ(metrics.gauge("exec.workers"), 2.0);
+}
+
+}  // namespace

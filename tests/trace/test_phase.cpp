@@ -79,6 +79,27 @@ TEST(TimingReport, EmptyRanksYieldZeros) {
   EXPECT_DOUBLE_EQ(report.mean_comm_time, 0.0);
 }
 
+TEST(TimingReport, SingleRankMaxEqualsMean) {
+  std::vector<RankStats> ranks(1);
+  ranks[0] = {2.5, 7.5, 1.0, 1.5, 42};
+  const auto report = TimingReport::aggregate(10.0, ranks);
+  EXPECT_DOUBLE_EQ(report.max_comm_time, report.mean_comm_time);
+  EXPECT_DOUBLE_EQ(report.max_comp_time, report.mean_comp_time);
+  EXPECT_DOUBLE_EQ(report.max_comm_time, 2.5);
+  EXPECT_EQ(report.total_flops, 42u);
+}
+
+TEST(TimingReport, AggregateZeroTotalTimeKeepsPerRankStats) {
+  // Degenerate but legal: an instantaneous run still aggregates.
+  std::vector<RankStats> ranks(2);
+  ranks[0] = {0.0, 0.0, 0.0, 0.0, 10};
+  ranks[1] = {0.0, 0.0, 0.0, 0.0, 20};
+  const auto report = TimingReport::aggregate(0.0, ranks);
+  EXPECT_DOUBLE_EQ(report.total_time, 0.0);
+  EXPECT_EQ(report.total_flops, 30u);
+  EXPECT_DOUBLE_EQ(report.mean_comm_time, 0.0);
+}
+
 TEST(TimingReport, SummaryMentionsAllComponents) {
   std::vector<RankStats> ranks(1);
   ranks[0] = {0.5, 1.5, 0.0, 0.0, 1};
@@ -87,6 +108,23 @@ TEST(TimingReport, SummaryMentionsAllComponents) {
   EXPECT_NE(summary.find("total"), std::string::npos);
   EXPECT_NE(summary.find("comm"), std::string::npos);
   EXPECT_NE(summary.find("comp"), std::string::npos);
+}
+
+TEST(TimingReport, SummaryReportsAchievedFlopRate) {
+  std::vector<RankStats> ranks(1);
+  // 2e12 flops over 2 seconds = 1 Tflop/s achieved.
+  ranks[0] = {0.5, 1.5, 0.0, 0.0, 2'000'000'000'000ull};
+  const auto report = TimingReport::aggregate(2.0, ranks);
+  const std::string summary = report.summary();
+  EXPECT_NE(summary.find("flop/s"), std::string::npos);
+  EXPECT_NE(summary.find("1.00 Tflop/s"), std::string::npos);
+}
+
+TEST(TimingReport, SummaryOmitsFlopRateWithoutFlops) {
+  std::vector<RankStats> ranks(1);
+  ranks[0] = {0.5, 1.5, 0.0, 0.0, 0};
+  const auto report = TimingReport::aggregate(2.0, ranks);
+  EXPECT_EQ(report.summary().find("flop/s"), std::string::npos);
 }
 
 }  // namespace
