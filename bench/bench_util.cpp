@@ -26,6 +26,7 @@ exec::SimJob to_sim_job(const Config& config) {
   job.problem = config.problem;
   job.bcast_algo = config.algo;
   job.overlap = config.overlap;
+  job.faults = config.faults;
   return job;
 }
 

@@ -13,6 +13,7 @@
 // afterwards. Bench mains expose this as --jobs N (add_jobs_option).
 #pragma once
 
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -23,6 +24,7 @@
 #include "common/table.hpp"
 #include "core/runner.hpp"
 #include "exec/executor.hpp"
+#include "fault/fault_plan.hpp"
 #include "grid/hier_grid.hpp"
 #include "model/cost_model.hpp"
 #include "net/platform.hpp"
@@ -44,6 +46,9 @@ struct Config {
   std::vector<int> col_levels;
   int layers = 1;                 // 2.5D only
   bool overlap = false;           // Summa/Hsumma comm/comp overlap
+  /// Optional scripted fault plan (fault/fault_plan.hpp); null or empty
+  /// perturbs nothing. Forces point-to-point collectives in run_sim_job.
+  std::shared_ptr<const fault::FaultPlan> faults;
 };
 
 /// The executor job describing `config` (phantom payloads, grid from

@@ -13,6 +13,7 @@ int main(int argc, char** argv) {
   long long n = 4096, block = 64, ranks = 256;
   long long repetitions = 30;
   long long jobs = 0;
+  long long seed = 2013;
   double sigma = 0.2;
   std::string platform_name = "bluegene-p-calibrated";
   std::string algo_name = "vandegeijn";
@@ -26,6 +27,10 @@ int main(int argc, char** argv) {
   cli.add_int("p", "number of processes", &ranks);
   cli.add_int("reps", "repetitions", &repetitions);
   cli.add_double("sigma", "relative per-transfer noise amplitude", &sigma);
+  cli.add_int("seed",
+              "base noise seed (repetition r uses seed + r; same seed => "
+              "byte-identical output for any --jobs)",
+              &seed);
   cli.add_string("platform", "platform preset", &platform_name);
   cli.add_string("bcast", "broadcast algorithm", &algo_name);
   cli.add_string("csv", "CSV output path", &csv);
@@ -37,7 +42,7 @@ int main(int argc, char** argv) {
       "platform=" + platform.name + "  p=" + std::to_string(ranks) +
           "  n=" + std::to_string(n) + "  b=B=" + std::to_string(block) +
           "  reps=" + std::to_string(repetitions) + "  sigma=" +
-          hs::format_double(sigma, 3));
+          hs::format_double(sigma, 3) + "  seed=" + std::to_string(seed));
 
   hs::Table table({"G", "comm mean", "comm stddev", "comm min", "comm max"});
   std::vector<std::vector<std::string>> csv_rows;
@@ -51,7 +56,8 @@ int main(int argc, char** argv) {
     config.problem = hs::core::ProblemSpec::square(n, block);
     config.algo = hs::net::bcast_algo_from_string(algo_name);
     const auto stats = hs::bench::run_repeated(
-        config, static_cast<int>(repetitions), sigma, 2013, &executor);
+        config, static_cast<int>(repetitions), sigma,
+        static_cast<std::uint64_t>(seed), &executor);
     table.add_row({g == 1 ? "1 (SUMMA)" : std::to_string(g),
                    hs::format_seconds(stats.comm_time.mean()),
                    hs::format_seconds(stats.comm_time.stddev()),

@@ -40,6 +40,7 @@ desim::Task<void> cannon_rank(CannonArgs args) {
 
   const grid::ProcessGrid pg(args.comm, args.shape);
   mpc::Machine& machine = args.comm.machine();
+  const int self = args.comm.my_world_rank();
   desim::Engine& engine = machine.engine();
   const index_t nb = prob.n / q;
   const auto count = static_cast<std::size_t>(nb * nb);
@@ -80,7 +81,7 @@ desim::Task<void> cannon_rank(CannonArgs args) {
     const double flops = la::gemm_flops(nb, nb, nb);
     {
       trace::PhaseTimer timer(stats.comp_time, engine);
-      co_await machine.compute(flops);
+      co_await machine.compute(self, flops);
     }
     if (real) {
       la::ConstMatrixView a_view(a_work.data(), nb, nb, nb);

@@ -47,6 +47,7 @@ desim::Task<void> cholesky_rank(CholeskyArgs args) {
   check_cholesky_preconditions(args.shape, args.n, args.block);
   const grid::ProcessGrid pg(args.comm, args.shape);
   mpc::Machine& machine = args.comm.machine();
+  const int self = args.comm.my_world_rank();
   desim::Engine& engine = machine.engine();
 
   const index_t b = args.block;
@@ -89,9 +90,9 @@ desim::Task<void> cholesky_rank(CholeskyArgs args) {
     if (pg.my_row() == owner && pg.my_col() == owner) {
       {
         trace::PhaseTimer timer(stats.comp_time, engine);
-        co_await machine.compute(static_cast<double>(b) *
-                                 static_cast<double>(b) *
-                                 static_cast<double>(b) / 3.0);
+        co_await machine.compute(self, static_cast<double>(b) *
+                                       static_cast<double>(b) *
+                                       static_cast<double>(b) / 3.0);
       }
       if (mode == PayloadMode::Real) {
         la::MatrixView block_kk = args.local_a->block(local_0, local_0, b, b);
@@ -110,7 +111,7 @@ desim::Task<void> cholesky_rank(CholeskyArgs args) {
                            static_cast<double>(b) * static_cast<double>(b);
       {
         trace::PhaseTimer timer(stats.comp_time, engine);
-        co_await machine.compute(flops);
+        co_await machine.compute(self, flops);
       }
       if (mode == PayloadMode::Real) {
         la::MatrixView a_panel =
@@ -168,7 +169,7 @@ desim::Task<void> cholesky_rank(CholeskyArgs args) {
       const double flops = la::gemm_flops(trailing_rows, trailing_cols, b);
       {
         trace::PhaseTimer timer(stats.comp_time, engine);
-        co_await machine.compute(flops);
+        co_await machine.compute(self, flops);
       }
       if (mode == PayloadMode::Real) {
         la::ConstMatrixView left(l_left.view().data(), trailing_rows, b, b);

@@ -26,6 +26,7 @@ desim::Task<void> summa_cyclic_rank(SummaArgs args) {
   check_cyclic_preconditions(prob, b);
   const grid::ProcessGrid pg(args.comm, args.shape);
   mpc::Machine& machine = args.comm.machine();
+  const int self = args.comm.my_world_rank();
   desim::Engine& engine = machine.engine();
 
   const grid::BlockCyclicDistribution dist_a(prob.m, prob.k, b, b,
@@ -94,7 +95,7 @@ desim::Task<void> summa_cyclic_rank(SummaArgs args) {
       const double flops = la::gemm_flops(local_m, local_n, b);
       {
         trace::PhaseTimer timer(stats.comp_time, engine);
-        co_await machine.compute(flops);
+        co_await machine.compute(self, flops);
       }
       if (mode == PayloadMode::Real)
         la::gemm(a_panels[slot].view(), b_panels[slot].view(),
@@ -122,7 +123,7 @@ desim::Task<void> summa_cyclic_rank(SummaArgs args) {
     const double flops = la::gemm_flops(local_m, local_n, b);
     {
       trace::PhaseTimer timer(stats.comp_time, engine);
-      co_await machine.compute(flops);
+      co_await machine.compute(self, flops);
     }
     if (mode == PayloadMode::Real)
       la::gemm(a_panel.view(), b_panel.view(), args.local->c.view());
@@ -141,6 +142,7 @@ desim::Task<void> hsumma_cyclic_rank(HsummaArgs args) {
   check_cyclic_preconditions(prob, outer);
   const grid::HierGrid hg(args.comm, args.shape, args.groups);
   mpc::Machine& machine = args.comm.machine();
+  const int self = args.comm.my_world_rank();
   desim::Engine& engine = machine.engine();
 
   const int s = args.shape.rows;
@@ -222,7 +224,7 @@ desim::Task<void> hsumma_cyclic_rank(HsummaArgs args) {
       const double flops = la::gemm_flops(local_m, local_n, b);
       {
         trace::PhaseTimer timer(stats.comp_time, engine);
-        co_await machine.compute(flops);
+        co_await machine.compute(self, flops);
       }
       if (mode == PayloadMode::Real)
         la::gemm(a_inners[slot].view(), b_inners[slot].view(),

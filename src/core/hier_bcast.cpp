@@ -84,6 +84,7 @@ desim::Task<void> hsumma_multilevel_rank(HsummaMultilevelArgs args) {
   check_summa_divisibility(args.shape, args.problem);
   const grid::ProcessGrid pg(args.comm, args.shape);
   mpc::Machine& machine = args.comm.machine();
+  const int self = args.comm.my_world_rank();
   desim::Engine& engine = machine.engine();
 
   const ProblemSpec& prob = args.problem;
@@ -130,7 +131,7 @@ desim::Task<void> hsumma_multilevel_rank(HsummaMultilevelArgs args) {
     const double flops = la::gemm_flops(local_m, local_n, b);
     {
       trace::PhaseTimer timer(stats.comp_time, engine);
-      co_await machine.compute(flops);
+      co_await machine.compute(self, flops);
     }
     if (mode == PayloadMode::Real)
       la::gemm(a_panel.view(), b_panel.view(), args.local->c.view());

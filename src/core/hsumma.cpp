@@ -31,6 +31,7 @@ desim::Task<void> hsumma_rank(HsummaArgs args) {
   check_hsumma_divisibility(args.shape, args.groups, args.problem);
   const grid::HierGrid hg(args.comm, args.shape, args.groups);
   mpc::Machine& machine = args.comm.machine();
+  const int self = args.comm.my_world_rank();
   desim::Engine& engine = machine.engine();
 
   const ProblemSpec& prob = args.problem;
@@ -133,7 +134,7 @@ desim::Task<void> hsumma_rank(HsummaArgs args) {
         {
           trace::PhaseTimer timer(stats.comp_time, engine);
           trace::ComputeSpanGuard span(args.tracer, engine, flops);
-          co_await machine.compute(flops);
+          co_await machine.compute(self, flops);
         }
         if (mode == PayloadMode::Real)
           la::gemm(a_inners[slot].view(), b_inners[slot].view(),
@@ -172,7 +173,7 @@ desim::Task<void> hsumma_rank(HsummaArgs args) {
       {
         trace::PhaseTimer timer(stats.comp_time, engine);
         trace::ComputeSpanGuard span(args.tracer, engine, flops);
-        co_await machine.compute(flops);
+        co_await machine.compute(self, flops);
       }
       if (mode == PayloadMode::Real)
         la::gemm(a_inner.view(), b_inner.view(), args.local->c.view());

@@ -35,6 +35,7 @@ desim::Task<void> lu_rank(LuArgs args) {
   check_lu_preconditions(args.shape, args.n, args.block);
   const grid::ProcessGrid pg(args.comm, args.shape);
   mpc::Machine& machine = args.comm.machine();
+  const int self = args.comm.my_world_rank();
   desim::Engine& engine = machine.engine();
 
   const index_t b = args.block;
@@ -78,17 +79,17 @@ desim::Task<void> lu_rank(LuArgs args) {
             args.local_a->block(local_r0, local_c0, b, b);
         {
           trace::PhaseTimer timer(stats.comp_time, engine);
-          co_await machine.compute(2.0 / 3.0 * static_cast<double>(b) *
-                                   static_cast<double>(b) *
-                                   static_cast<double>(b));
+          co_await machine.compute(self, 2.0 / 3.0 * static_cast<double>(b) *
+                                         static_cast<double>(b) *
+                                         static_cast<double>(b));
         }
         la::lu_factor_inplace(block_kk);
         diag.view().copy_from(block_kk);
       } else {
         trace::PhaseTimer timer(stats.comp_time, engine);
-        co_await machine.compute(2.0 / 3.0 * static_cast<double>(b) *
-                                 static_cast<double>(b) *
-                                 static_cast<double>(b));
+        co_await machine.compute(self, 2.0 / 3.0 * static_cast<double>(b) *
+                                       static_cast<double>(b) *
+                                       static_cast<double>(b));
       }
     }
     if (pg.my_col() == owner_col) {
@@ -111,7 +112,7 @@ desim::Task<void> lu_rank(LuArgs args) {
                              static_cast<double>(b) * static_cast<double>(b);
         {
           trace::PhaseTimer timer(stats.comp_time, engine);
-          co_await machine.compute(flops);
+          co_await machine.compute(self, flops);
         }
         if (mode == PayloadMode::Real) {
           la::MatrixView a_panel =
@@ -144,7 +145,7 @@ desim::Task<void> lu_rank(LuArgs args) {
                              static_cast<double>(b) * static_cast<double>(b);
         {
           trace::PhaseTimer timer(stats.comp_time, engine);
-          co_await machine.compute(flops);
+          co_await machine.compute(self, flops);
         }
         if (mode == PayloadMode::Real) {
           la::MatrixView a_panel =
@@ -168,7 +169,7 @@ desim::Task<void> lu_rank(LuArgs args) {
       const double flops = la::gemm_flops(trailing_rows, trailing_cols, b);
       {
         trace::PhaseTimer timer(stats.comp_time, engine);
-        co_await machine.compute(flops);
+        co_await machine.compute(self, flops);
       }
       if (mode == PayloadMode::Real) {
         la::ConstMatrixView l_view(l_panel.view().data(), trailing_rows, b,

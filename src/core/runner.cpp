@@ -4,6 +4,7 @@
 #include <string>
 
 #include "core/kernel_registry.hpp"
+#include "fault/injector.hpp"
 
 namespace hs::core {
 
@@ -26,6 +27,15 @@ RunResult run(mpc::Machine& machine, const RunOptions& options) {
 
   trace::Recorder* const previous_recorder = machine.recorder();
   if (options.recorder != nullptr) machine.set_recorder(options.recorder);
+  fault::FaultInjector* const previous_injector = machine.fault_injector();
+  if (options.fault_injector != nullptr)
+    machine.set_fault_injector(options.fault_injector);
+  fault::FaultInjector* const injector = machine.fault_injector();
+  const std::uint64_t start_drops =
+      injector != nullptr ? injector->drops() : 0;
+  const std::uint64_t start_retries =
+      injector != nullptr ? injector->retries() : 0;
+  const std::uint64_t start_timeouts = machine.timeouts();
 
   machine.engine().reserve(static_cast<std::size_t>(total_ranks),
                            static_cast<std::size_t>(total_ranks));
@@ -43,6 +53,13 @@ RunResult run(mpc::Machine& machine, const RunOptions& options) {
       machine.engine().now() - start_time, stats);
   result.messages = machine.messages_transferred() - start_messages;
   result.wire_bytes = machine.bytes_transferred() - start_bytes;
+  if (injector != nullptr) {
+    result.fault_drops = injector->drops() - start_drops;
+    result.fault_retries = injector->retries() - start_retries;
+  }
+  result.fault_timeouts = machine.timeouts() - start_timeouts;
+  if (options.fault_injector != nullptr)
+    machine.set_fault_injector(previous_injector);
   if (options.verify) result.max_error = body->verify(options);
   return result;
 }

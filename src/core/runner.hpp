@@ -36,6 +36,11 @@ struct RunOptions {
   /// any, is restored afterwards); must outlive the run. Recording never
   /// changes the RunResult.
   trace::Recorder* recorder = nullptr;
+  /// Optional fault injector (see fault/injector.hpp). Attached to the
+  /// machine for the duration of the run, previous injector restored
+  /// afterwards; must outlive the run. The RunResult's fault counters
+  /// report this run's deltas.
+  fault::FaultInjector* fault_injector = nullptr;
 };
 
 struct RunResult {
@@ -44,6 +49,11 @@ struct RunResult {
   double max_error = -1.0;
   std::uint64_t messages = 0;
   std::uint64_t wire_bytes = 0;
+  /// Fault-injection deltas for this run (zero without an injector):
+  /// dropped transmissions, retransmissions, and expired deadlines.
+  std::uint64_t fault_drops = 0;
+  std::uint64_t fault_retries = 0;
+  std::uint64_t fault_timeouts = 0;
 };
 
 /// Execute one distributed multiplication on `machine`.

@@ -28,6 +28,7 @@ desim::Task<void> summa_rank(SummaArgs args) {
   check_summa_divisibility(args.shape, args.problem);
   const grid::ProcessGrid pg(args.comm, args.shape);
   mpc::Machine& machine = args.comm.machine();
+  const int self = args.comm.my_world_rank();
   desim::Engine& engine = machine.engine();
 
   const ProblemSpec& prob = args.problem;
@@ -94,7 +95,7 @@ desim::Task<void> summa_rank(SummaArgs args) {
       {
         trace::PhaseTimer timer(stats.comp_time, engine);
         trace::ComputeSpanGuard span(args.tracer, engine, flops);
-        co_await machine.compute(flops);
+        co_await machine.compute(self, flops);
       }
       if (mode == PayloadMode::Real)
         la::gemm(a_panels[slot].view(), b_panels[slot].view(),
@@ -140,7 +141,7 @@ desim::Task<void> summa_rank(SummaArgs args) {
     {
       trace::PhaseTimer timer(stats.comp_time, engine);
       trace::ComputeSpanGuard span(args.tracer, engine, flops);
-      co_await machine.compute(flops);
+      co_await machine.compute(self, flops);
     }
     if (mode == PayloadMode::Real)
       la::gemm(a_panel.view(), b_panel.view(), args.local->c.view());

@@ -21,6 +21,7 @@ desim::Task<void> summa25d_rank(Summa25DArgs args) {
                                      << " must be divisible by layers " << c);
 
   mpc::Machine& machine = args.comm.machine();
+  const int self = args.comm.my_world_rank();
   desim::Engine& engine = machine.engine();
   const int per_layer = args.shape.size();
   const int layer = args.comm.rank() / per_layer;
@@ -99,7 +100,7 @@ desim::Task<void> summa25d_rank(Summa25DArgs args) {
     const double flops = la::gemm_flops(local_m, local_n, b);
     {
       trace::PhaseTimer timer(stats.comp_time, engine);
-      co_await machine.compute(flops);
+      co_await machine.compute(self, flops);
     }
     if (real)
       la::gemm(a_panel.view(), b_panel.view(), args.local->c.view());

@@ -71,6 +71,51 @@ void Engine::schedule_at(SimTime time, std::coroutine_handle<> handle) {
   heap_push({time, seq, handle});
 }
 
+Engine::TimerId Engine::schedule_timer_at(SimTime time,
+                                          std::coroutine_handle<> handle) {
+  HS_REQUIRE(handle != nullptr);
+  HS_REQUIRE_MSG(time >= now_,
+                 "timer in the past: t=" << time << " now=" << now_);
+  const TimerId id = next_timer_id_++;
+  timer_heap_.push_back({time, id, handle});
+  std::push_heap(timer_heap_.begin(), timer_heap_.end(), timer_after);
+  ++live_timers_;
+  return id;
+}
+
+bool Engine::cancel_timer(TimerId id) {
+  // Timers are few (one per in-flight deadline-bounded op), so a linear
+  // scan beats maintaining handle->index maps. Cancellation nulls the
+  // handle in place; the heap shape is untouched and the corpse is dropped
+  // by purge_timers()/timer_pop() when it surfaces.
+  for (TimerEvent& timer : timer_heap_) {
+    if (timer.id == id && timer.handle != nullptr) {
+      timer.handle = nullptr;
+      HS_ASSERT(live_timers_ > 0);
+      --live_timers_;
+      return true;
+    }
+  }
+  return false;
+}
+
+void Engine::purge_timers() {
+  while (!timer_heap_.empty() && timer_heap_.front().handle == nullptr) {
+    std::pop_heap(timer_heap_.begin(), timer_heap_.end(), timer_after);
+    timer_heap_.pop_back();
+  }
+}
+
+Engine::TimerEvent Engine::timer_pop() {
+  HS_ASSERT(!timer_heap_.empty() && timer_heap_.front().handle != nullptr);
+  std::pop_heap(timer_heap_.begin(), timer_heap_.end(), timer_after);
+  const TimerEvent top = timer_heap_.back();
+  timer_heap_.pop_back();
+  HS_ASSERT(live_timers_ > 0);
+  --live_timers_;
+  return top;
+}
+
 std::int32_t Engine::bucket_alloc() {
   if (bucket_free_head_ >= 0) {
     const std::int32_t index = bucket_free_head_;
@@ -195,7 +240,24 @@ void Engine::run() {
                    "desim::FramePool)");
   }
   running_ = true;
-  while (!queues_empty() && !failure_) {
+  for (;;) {
+    if (failure_) break;
+    purge_timers();
+    const bool have_regular = !queues_empty();
+    const bool have_timer = !timer_heap_.empty();
+    if (!have_regular && !have_timer) break;
+    // Timers at time T deliberately fire after every regular event at T
+    // (work finished exactly at a deadline is on time), so a timer wins
+    // only on a strictly earlier timestamp.
+    if (have_timer &&
+        (!have_regular || timer_heap_.front().time < regular_front_time())) {
+      const TimerEvent timer = timer_pop();
+      HS_ASSERT(timer.time >= now_);
+      now_ = timer.time;
+      ++events_processed_;
+      timer.handle.resume();
+      continue;
+    }
     Event event = pop_next();
     HS_ASSERT(event.time >= now_);
     now_ = event.time;

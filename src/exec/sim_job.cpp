@@ -1,8 +1,10 @@
 #include "exec/sim_job.hpp"
 
+#include <optional>
 #include <sstream>
 
 #include "core/kernel_registry.hpp"
+#include "fault/injector.hpp"
 
 namespace hs::exec {
 
@@ -49,6 +51,8 @@ std::string SimJob::cache_key() const {
       << ";ovl=" << overlap << ";verify=" << verify << ";seed=" << seed
       << ";ns=" << net::describe_double(noise_sigma)
       << ";nseed=" << noise_seed;
+  if (faults != nullptr && !faults->empty())
+    key << ";fault=" << faults->canonical();
   return key.str();
 }
 
@@ -66,6 +70,8 @@ core::RunResult run_sim_job(const SimJob& job) {
                                                 job.noise_seed);
     collective_mode = mpc::CollectiveMode::PointToPoint;
   }
+  const bool faulty = job.faults != nullptr && !job.faults->empty();
+  if (faulty) collective_mode = mpc::CollectiveMode::PointToPoint;
 
   desim::Engine engine;
   mpc::Machine machine(engine, std::move(network),
@@ -93,9 +99,23 @@ core::RunResult run_sim_job(const SimJob& job) {
   // broadcast level factors, so one job description covers a whole G-sweep.
   core::adapt_groups(job.groups, options);
   options.recorder = job.recorder;
+  // One injector per job, living exactly as long as the run: determinism
+  // needs fresh per-link drop ordinals for every simulation.
+  std::optional<fault::FaultInjector> injector;
+  if (faulty) {
+    injector.emplace(*job.faults);
+    if (job.recorder != nullptr) {
+      injector->set_recorder(job.recorder);
+      injector->emit_plan_spans(*job.recorder);
+    }
+    options.fault_injector = &*injector;
+  }
   core::RunResult result = core::run(machine, options);
   if (job.metrics != nullptr) {
     machine.collect_metrics(*job.metrics);
+    // core::run detaches the injector before returning, so its counters
+    // must be harvested here, not through the machine.
+    if (injector.has_value()) injector->collect_metrics(*job.metrics);
     trace::collect_engine_metrics(engine, *job.metrics);
   }
   return result;

@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "core/runner.hpp"
+#include "fault/fault_plan.hpp"
 #include "net/model.hpp"
 #include "net/platform.hpp"
 #include "trace/metrics.hpp"
@@ -74,6 +75,16 @@ struct SimJob {
   /// seed + rep, which parallelizes the repetitions too.
   double noise_sigma = 0.0;
   std::uint64_t noise_seed = 0;
+
+  // --- scripted faults ----------------------------------------------------
+  /// Non-empty fault plans run the job under a fresh fault::FaultInjector
+  /// and force CollectiveMode::PointToPoint (faulty networks are not
+  /// homogeneous Hockney, same reason as noise). The plan participates in
+  /// cache_key via its canonical string, so distinct plans never collide
+  /// in the sweep cache. Null or empty plans perturb nothing: results are
+  /// byte-identical to a faultless run. Shared across concurrently running
+  /// jobs (plans are immutable; each job builds its own injector).
+  std::shared_ptr<const fault::FaultPlan> faults;
 
   // --- observability sinks (both optional; must outlive the run) ---------
   /// Structured event recorder attached for the run (see

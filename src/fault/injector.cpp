@@ -1,0 +1,190 @@
+#include "fault/injector.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+#include "trace/metrics.hpp"
+#include "trace/recorder.hpp"
+
+namespace hs::fault {
+
+namespace {
+
+bool window_matches_rank(const RankSlowdown& w, int src, int dst) {
+  return w.rank == src || (dst >= 0 && w.rank == dst);
+}
+
+bool degrade_matches(const LinkDegrade& d, int src, int dst, double t) {
+  return (d.src < 0 || d.src == src) && (d.dst < 0 || d.dst == dst) &&
+         t >= d.start && t < d.end;
+}
+
+std::uint64_t link_key(int src, int dst) {
+  return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(src)) << 32) |
+         static_cast<std::uint64_t>(static_cast<std::uint32_t>(dst));
+}
+
+}  // namespace
+
+FaultInjector::FaultInjector(const FaultPlan& plan) : plan_(&plan) {
+  HS_REQUIRE(plan.retry.max_attempts >= 1);
+  HS_REQUIRE(plan.retry.backoff_base_latencies >= 0.0);
+  HS_REQUIRE(plan.retry.backoff_cap_latencies >=
+             plan.retry.backoff_base_latencies);
+}
+
+double FaultInjector::slowdown_factor(int src, int dst, double t) const {
+  double factor = 1.0;
+  for (const RankSlowdown& w : plan_->slowdowns)
+    if (window_matches_rank(w, src, dst) && t >= w.start && t < w.end)
+      factor = std::max(factor, w.factor);
+  return factor;
+}
+
+double FaultInjector::stretch(int src, int dst, double t0, double base) const {
+  if (base <= 0.0) return base;
+  // Fast path: no relevant window can intersect [t0, ∞) — return the base
+  // untouched (bit-identical, not merely numerically equal).
+  bool relevant = false;
+  for (const RankSlowdown& w : plan_->slowdowns)
+    if (window_matches_rank(w, src, dst) && w.factor > 1.0 && w.end > t0) {
+      relevant = true;
+      break;
+    }
+  if (!relevant) return base;
+
+  // Piecewise integration: within a segment of constant factor f, `dt`
+  // virtual seconds accomplish dt/f of the base duration. Segment
+  // boundaries are the window starts/ends ahead of the clock.
+  double t = t0;
+  double remaining = base;
+  for (;;) {
+    const double factor = slowdown_factor(src, dst, t);
+    double boundary = kForever;
+    for (const RankSlowdown& w : plan_->slowdowns) {
+      if (!window_matches_rank(w, src, dst)) continue;
+      if (w.start > t) boundary = std::min(boundary, w.start);
+      if (w.end > t) boundary = std::min(boundary, w.end);
+    }
+    if (boundary == kForever) return (t - t0) + remaining * factor;
+    const double segment = boundary - t;
+    const double progress = segment / factor;
+    if (progress >= remaining) return (t - t0) + remaining * factor;
+    remaining -= progress;
+    t = boundary;
+  }
+}
+
+double FaultInjector::drop_rate(int src, int dst) const {
+  for (const MessageDrop& d : plan_->drops)
+    if ((d.src < 0 || d.src == src) && (d.dst < 0 || d.dst == dst))
+      return d.rate;
+  return 0.0;
+}
+
+bool FaultInjector::drop_draw(int src, int dst, std::uint64_t ordinal,
+                              int attempt) const {
+  const double rate = drop_rate(src, dst);
+  if (rate <= 0.0) return false;
+  // Stateless Bernoulli: hash the full identity of the attempt. splitmix64
+  // over a mixed seed gives independent, replay-exact draws.
+  std::uint64_t state = plan_->seed;
+  state ^= link_key(src, dst) * 0x9e3779b97f4a7c15ULL;
+  state ^= ordinal * 0xbf58476d1ce4e5b9ULL;
+  state ^= static_cast<std::uint64_t>(attempt) * 0x94d049bb133111ebULL;
+  const std::uint64_t bits = splitmix64(state);
+  const double u = static_cast<double>(bits >> 11) * 0x1.0p-53;
+  return u < rate;
+}
+
+FaultInjector::TransferOutcome FaultInjector::transfer(int src, int dst,
+                                                       std::uint64_t bytes,
+                                                       double start,
+                                                       double base_latency,
+                                                       double base_total) {
+  (void)bytes;
+  // Link degradation, sampled at transfer start: scale the α (latency) and
+  // β (remainder) parts separately. Untouched transfers keep base_total
+  // bit-exactly — latency + (total - latency) is not an FP identity.
+  double latency = base_latency;
+  double attempt_base = base_total;
+  bool degraded = false;
+  for (const LinkDegrade& d : plan_->degrades) {
+    if (!degrade_matches(d, src, dst, start)) continue;
+    if (!degraded) {
+      degraded = true;
+      latency = base_latency;
+      attempt_base = base_total - base_latency;  // β part so far
+    }
+    latency *= d.alpha_factor;
+    attempt_base *= d.beta_factor;
+  }
+  if (degraded) attempt_base += latency;
+
+  const std::uint64_t ordinal = link_ordinals_[link_key(src, dst)]++;
+  const double rate = drop_rate(src, dst);
+  const RetryPolicy& retry = plan_->retry;
+
+  TransferOutcome outcome;
+  // Accumulate elapsed time directly (never as `t - start`): a clean
+  // single-attempt transfer must return attempt_base bit-exactly even when
+  // `start` is large enough for the sum to round.
+  double elapsed = 0.0;
+  for (int attempt = 1;; ++attempt) {
+    outcome.attempts = attempt;
+    const double wire = stretch(src, dst, start + elapsed, attempt_base);
+    const bool draw =
+        rate > 0.0 && drop_draw(src, dst, ordinal, attempt);
+    if (draw && attempt == retry.max_attempts) outcome.forced = true;
+    if (!draw || attempt == retry.max_attempts) {
+      elapsed += wire;
+      break;
+    }
+    // The dropped attempt still occupies the wire, then the sender backs
+    // off exponentially (in units of the degraded latency) and retransmits.
+    elapsed += wire;
+    ++drops_;
+    ++retries_;
+    if (recorder_ != nullptr)
+      recorder_->add_fault({start + elapsed, start + elapsed,
+                            trace::FaultKind::MessageDrop, src, dst, rate});
+    const double scale = std::min(
+        retry.backoff_cap_latencies,
+        retry.backoff_base_latencies * std::ldexp(1.0, attempt - 1));
+    elapsed += scale * latency;
+  }
+  if (outcome.forced) ++forced_;
+  outcome.elapsed = elapsed;
+  return outcome;
+}
+
+double FaultInjector::compute_seconds(int rank, double start,
+                                      double base) const {
+  return stretch(rank, /*dst=*/-1, start, base);
+}
+
+void FaultInjector::note_timeout(int rank, int peer, double now) {
+  ++timeouts_;
+  if (recorder_ != nullptr)
+    recorder_->add_fault({now, now, trace::FaultKind::Timeout, rank, peer, 0.0});
+}
+
+void FaultInjector::emit_plan_spans(trace::Recorder& recorder) const {
+  for (const RankSlowdown& w : plan_->slowdowns)
+    recorder.add_fault({w.start, w.end, trace::FaultKind::RankSlowdown,
+                        w.rank, -1, w.factor});
+  for (const LinkDegrade& d : plan_->degrades)
+    recorder.add_fault({d.start, d.end, trace::FaultKind::LinkDegrade, d.src,
+                        d.dst, std::max(d.alpha_factor, d.beta_factor)});
+}
+
+void FaultInjector::collect_metrics(trace::MetricsRegistry& metrics) const {
+  metrics.add_counter("mpc.fault.drops", drops_);
+  metrics.add_counter("mpc.fault.retries", retries_);
+  metrics.add_counter("mpc.fault.forced_deliveries", forced_);
+  metrics.add_counter("mpc.fault.timeouts", timeouts_);
+}
+
+}  // namespace hs::fault

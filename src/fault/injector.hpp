@@ -1,0 +1,107 @@
+// FaultInjector: the simulation-side engine of a FaultPlan.
+//
+// One injector per job, single-threaded like the engine and machine that
+// drive it (parallel sweeps give every job its own injector, so replay is
+// bit-identical for any --jobs count). mpc::Machine calls into it from two
+// hooks:
+//
+//   * transfer(): replaces the single NetworkModel::transfer_time charge of
+//     a committed rendezvous with the full faulty timeline — link-degraded
+//     α/β, rank-slowdown stretching of wire occupancy (piecewise over the
+//     active windows, so a transfer straddling a window boundary pays the
+//     slowdown only inside it), and the drop/backoff/retransmit loop. The
+//     returned elapsed time is what the single-port serialization model
+//     charges, so faults propagate into port contention exactly like any
+//     other long transfer.
+//   * compute_seconds(): stretches a rank's compute charge through its
+//     active slowdown windows (same piecewise integration).
+//
+// Determinism: drop decisions are pure hashes (splitmix64) of (plan seed,
+// src, dst, per-link message ordinal, attempt) — no generator state is
+// shared between links, so any engine-legal interleaving draws identical
+// outcomes. Layering: depends on common/net/trace only; hs_mpc links
+// hs_fault, never the reverse.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "fault/fault_plan.hpp"
+
+namespace hs::trace {
+class MetricsRegistry;
+class Recorder;
+}  // namespace hs::trace
+
+namespace hs::fault {
+
+class FaultInjector {
+ public:
+  /// `plan` must outlive the injector.
+  explicit FaultInjector(const FaultPlan& plan);
+
+  const FaultPlan& plan() const noexcept { return *plan_; }
+  bool active() const noexcept { return !plan_->empty(); }
+
+  /// Optional fault-span sink: drop/timeout instants are recorded as they
+  /// happen. Never perturbs virtual time.
+  void set_recorder(trace::Recorder* recorder) noexcept {
+    recorder_ = recorder;
+  }
+
+  /// Record the plan's windows (slowdowns, degradations) as FaultSpans so
+  /// the Perfetto export shows them as a track. Call once per run.
+  void emit_plan_spans(trace::Recorder& recorder) const;
+
+  struct TransferOutcome {
+    double elapsed = 0.0;    // total wire/port occupancy, retries included
+    int attempts = 1;        // 1 = delivered on the first try
+    bool forced = false;     // delivered only by the max_attempts cap
+  };
+
+  /// The faulty timeline of one committed transfer starting at `start`.
+  /// `base_latency` is the model's zero-byte transfer time (the α part) and
+  /// `base_total` its full transfer time; when no fault matches, elapsed is
+  /// exactly `base_total` (bit-identical, no arithmetic applied).
+  TransferOutcome transfer(int src, int dst, std::uint64_t bytes,
+                           double start, double base_latency,
+                           double base_total);
+
+  /// Duration of a compute charge of faultless length `base` starting at
+  /// `start` on `rank`; exactly `base` when no slowdown window applies.
+  double compute_seconds(int rank, double start, double base) const;
+
+  /// Called by the machine when a deadline-bounded op expires (counted
+  /// here so all fault counters live in one place).
+  void note_timeout(int rank, int peer, double now);
+
+  std::uint64_t drops() const noexcept { return drops_; }
+  std::uint64_t retries() const noexcept { return retries_; }
+  std::uint64_t forced_deliveries() const noexcept { return forced_; }
+  std::uint64_t timeouts() const noexcept { return timeouts_; }
+
+  /// Dump counters under the mpc.fault.* namespace.
+  void collect_metrics(trace::MetricsRegistry& metrics) const;
+
+ private:
+  /// max over the plan's slowdown windows active at time `t` on either
+  /// endpoint (dst < 0: just `src`'s windows).
+  double slowdown_factor(int src, int dst, double t) const;
+  /// Virtual time to complete `base` seconds of faultless work starting at
+  /// `t0`, integrating through the slowdown windows of the endpoint(s).
+  double stretch(int src, int dst, double t0, double base) const;
+  double drop_rate(int src, int dst) const;
+  bool drop_draw(int src, int dst, std::uint64_t ordinal, int attempt) const;
+
+  const FaultPlan* plan_;
+  trace::Recorder* recorder_ = nullptr;
+  /// Per-(src, dst) delivered-message ordinals keying the Bernoulli draws.
+  std::unordered_map<std::uint64_t, std::uint64_t> link_ordinals_;
+  std::uint64_t drops_ = 0;
+  std::uint64_t retries_ = 0;
+  std::uint64_t forced_ = 0;
+  std::uint64_t timeouts_ = 0;
+};
+
+}  // namespace hs::fault

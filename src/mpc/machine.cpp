@@ -5,6 +5,7 @@
 #include <string>
 
 #include "common/csv.hpp"
+#include "fault/injector.hpp"
 #include "mpc/comm.hpp"
 #include "trace/metrics.hpp"
 #include "trace/recorder.hpp"
@@ -94,8 +95,19 @@ double Machine::commit_transfer(int src, int dst, int ctx, int tag,
   auto& dst_port = ports_[static_cast<std::size_t>(dst)];
   const double start = std::max({send_post, recv_post, src_port.send_free,
                                  dst_port.recv_free});
-  const double completion =
-      start + net_->transfer_time(src, dst, send_buf.bytes());
+  const double base_time = net_->transfer_time(src, dst, send_buf.bytes());
+  double wire_time = base_time;
+  if (fault_ != nullptr && fault_->active()) {
+    // The injector replaces the analytic wire time with the full faulty
+    // timeline (degradation, slowdown stretching, drop/backoff retries);
+    // the ports stay occupied for all of it, so faults feed back into
+    // single-port serialization like any other long transfer.
+    wire_time = fault_
+                    ->transfer(src, dst, send_buf.bytes(), start,
+                               net_->transfer_time(src, dst, 0), base_time)
+                    .elapsed;
+  }
+  const double completion = start + wire_time;
   src_port.send_free = completion;
   dst_port.recv_free = completion;
   src_port.send_busy += completion - start;
@@ -133,17 +145,22 @@ void Machine::retire_channel(ChannelMap::iterator it) {
   if (channels_.size() > channel_cap_) channels_.erase(it);
 }
 
-Request Machine::isend(int src, int dst, int ctx, int tag, ConstBuf buf) {
+bool Machine::post_send(int src, int dst, int ctx, int tag, ConstBuf buf,
+                        desim::Gate* gate, DeadlinePending* deadline) {
   HS_REQUIRE(src >= 0 && src < config_.ranks);
   HS_REQUIRE(dst >= 0 && dst < config_.ranks);
   HS_REQUIRE_MSG(src != dst, "self-messages are not modeled; restructure the "
                              "algorithm to skip local transfers");
-  Request request(*engine_);
   auto [it, inserted] = channels_.try_emplace(make_key(src, dst, ctx, tag));
   Channel& channel = it->second;
   if (channel.kind == Channel::Kind::Recvs && !channel.empty()) {
     const PendingOp recv = channel.pop_front();
     if (channel.empty()) retire_channel(it);
+    if (recv.deadline != nullptr) {
+      recv.deadline->matched = true;
+      engine_->cancel_timer(recv.deadline->timer);
+    }
+    if (deadline != nullptr) deadline->matched = true;
     Buf recv_buf = recv.data != nullptr
                        ? Buf(std::span<double>(const_cast<double*>(recv.data),
                                                recv.count))
@@ -151,26 +168,31 @@ Request Machine::isend(int src, int dst, int ctx, int tag, ConstBuf buf) {
     const double completion = commit_transfer(
         src, dst, ctx, tag, engine_->now(), recv.post_time, buf, recv_buf);
     recv.gate->fire_at(completion);
-    request.gate()->fire_at(completion);
-  } else {
-    channel.kind = Channel::Kind::Sends;
-    channel.ops.push_back(
-        {engine_->now(), buf.data(), buf.count(), request.gate()});
+    gate->fire_at(completion);
+    return true;
   }
-  return request;
+  channel.kind = Channel::Kind::Sends;
+  channel.ops.push_back(
+      {engine_->now(), buf.data(), buf.count(), gate, deadline});
+  return false;
 }
 
-Request Machine::irecv(int src, int dst, int ctx, int tag, Buf buf) {
+bool Machine::post_recv(int src, int dst, int ctx, int tag, Buf buf,
+                        desim::Gate* gate, DeadlinePending* deadline) {
   HS_REQUIRE(src >= 0 && src < config_.ranks);
   HS_REQUIRE(dst >= 0 && dst < config_.ranks);
   HS_REQUIRE_MSG(src != dst, "self-messages are not modeled; restructure the "
                              "algorithm to skip local transfers");
-  Request request(*engine_);
   auto [it, inserted] = channels_.try_emplace(make_key(src, dst, ctx, tag));
   Channel& channel = it->second;
   if (channel.kind == Channel::Kind::Sends && !channel.empty()) {
     const PendingOp send = channel.pop_front();
     if (channel.empty()) retire_channel(it);
+    if (send.deadline != nullptr) {
+      send.deadline->matched = true;
+      engine_->cancel_timer(send.deadline->timer);
+    }
+    if (deadline != nullptr) deadline->matched = true;
     ConstBuf send_buf =
         send.data != nullptr
             ? ConstBuf(std::span<const double>(send.data, send.count))
@@ -178,13 +200,85 @@ Request Machine::irecv(int src, int dst, int ctx, int tag, Buf buf) {
     const double completion = commit_transfer(
         src, dst, ctx, tag, send.post_time, engine_->now(), send_buf, buf);
     send.gate->fire_at(completion);
-    request.gate()->fire_at(completion);
-  } else {
-    channel.kind = Channel::Kind::Recvs;
-    channel.ops.push_back(
-        {engine_->now(), buf.data(), buf.count(), request.gate()});
+    gate->fire_at(completion);
+    return true;
   }
+  channel.kind = Channel::Kind::Recvs;
+  channel.ops.push_back(
+      {engine_->now(), buf.data(), buf.count(), gate, deadline});
+  return false;
+}
+
+Request Machine::isend(int src, int dst, int ctx, int tag, ConstBuf buf) {
+  Request request(*engine_);
+  post_send(src, dst, ctx, tag, buf, request.gate(), nullptr);
   return request;
+}
+
+Request Machine::irecv(int src, int dst, int ctx, int tag, Buf buf) {
+  Request request(*engine_);
+  post_recv(src, dst, ctx, tag, buf, request.gate(), nullptr);
+  return request;
+}
+
+void Machine::withdraw(int src, int dst, int ctx, int tag,
+                       const DeadlinePending* state) {
+  const auto it = channels_.find(make_key(src, dst, ctx, tag));
+  HS_ASSERT(it != channels_.end());
+  Channel& channel = it->second;
+  auto& ops = channel.ops;
+  for (std::size_t i = channel.head; i < ops.size(); ++i) {
+    if (ops[i].deadline == state) {
+      ops.erase(ops.begin() + static_cast<std::ptrdiff_t>(i));
+      if (channel.empty()) retire_channel(it);
+      return;
+    }
+  }
+  HS_ASSERT(false && "withdraw: expired op not found in its channel");
+}
+
+desim::Task<bool> Machine::send_before(int src, int dst, int ctx, int tag,
+                                       ConstBuf buf, double deadline) {
+  HS_REQUIRE_MSG(deadline >= engine_->now(), "send_before deadline is in "
+                                             "the past");
+  Request request(*engine_);
+  DeadlinePending state;
+  if (!post_send(src, dst, ctx, tag, buf, request.gate(), &state)) {
+    co_await deadline_race(request.gate(), deadline, &state);
+    if (!state.matched) {
+      withdraw(src, dst, ctx, tag, &state);
+      ++timeouts_;
+      if (fault_ != nullptr) fault_->note_timeout(src, dst, engine_->now());
+      co_return false;
+    }
+  }
+  co_await request.wait();
+  co_return true;
+}
+
+desim::Task<bool> Machine::recv_before(int src, int dst, int ctx, int tag,
+                                       Buf buf, double deadline) {
+  HS_REQUIRE_MSG(deadline >= engine_->now(), "recv_before deadline is in "
+                                             "the past");
+  Request request(*engine_);
+  DeadlinePending state;
+  if (!post_recv(src, dst, ctx, tag, buf, request.gate(), &state)) {
+    co_await deadline_race(request.gate(), deadline, &state);
+    if (!state.matched) {
+      withdraw(src, dst, ctx, tag, &state);
+      ++timeouts_;
+      if (fault_ != nullptr) fault_->note_timeout(dst, src, engine_->now());
+      co_return false;
+    }
+  }
+  co_await request.wait();
+  co_return true;
+}
+
+double Machine::compute_duration(int rank, double base) const {
+  HS_REQUIRE(rank >= 0 && rank < config_.ranks);
+  if (fault_ == nullptr || !fault_->active()) return base;
+  return fault_->compute_seconds(rank, engine_->now(), base);
 }
 
 int Machine::context_for(const std::vector<int>& world_members) {
@@ -322,6 +416,8 @@ void Machine::note_collective(SiteKind kind, int algo_index,
 void Machine::collect_metrics(trace::MetricsRegistry& metrics) const {
   metrics.add_counter("mpc.messages", messages_);
   metrics.add_counter("mpc.wire_bytes", bytes_);
+  if (timeouts_ > 0) metrics.add_counter("mpc.timeouts", timeouts_);
+  if (fault_ != nullptr && fault_->active()) fault_->collect_metrics(metrics);
   for (int k = 0; k < kSiteKinds; ++k) {
     const auto index = static_cast<std::size_t>(k);
     if (collective_calls_[index] == 0) continue;

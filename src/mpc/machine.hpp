@@ -41,6 +41,10 @@ class MetricsRegistry;
 class Recorder;
 }  // namespace hs::trace
 
+namespace hs::fault {
+class FaultInjector;
+}  // namespace hs::fault
+
 namespace hs::mpc {
 
 class Comm;
@@ -221,11 +225,37 @@ class Machine {
   Request isend(int src, int dst, int ctx, int tag, ConstBuf buf);
   Request irecv(int src, int dst, int ctx, int tag, Buf buf);
 
+  /// Deadline-bounded blocking point-to-point. The deadline bounds the
+  /// rendezvous *match*: a counterpart posted at or before `deadline`
+  /// (regular events at the deadline instant win the race against expiry)
+  /// commits the transfer, the call awaits its completion — possibly past
+  /// the deadline — and resolves true. If no counterpart arrives in time,
+  /// the pending op is withdrawn at `deadline` exactly (an abandoned
+  /// deadline never advances virtual time beyond it), a timeout is
+  /// counted, and the call resolves false.
+  desim::Task<bool> send_before(int src, int dst, int ctx, int tag,
+                                ConstBuf buf, double deadline);
+  desim::Task<bool> recv_before(int src, int dst, int ctx, int tag, Buf buf,
+                                double deadline);
+
   /// Awaitable compute charge: `flops * gamma_flop` virtual seconds.
   auto compute(double flops) {
     HS_REQUIRE(flops >= 0.0);
     return engine_->sleep(flops * config_.gamma_flop);
   }
+
+  /// Awaitable compute charge attributed to `rank`: identical to
+  /// compute(flops) unless a fault injector with an active slowdown window
+  /// on `rank` is attached, in which case the charge stretches through the
+  /// window (fault::FaultInjector::compute_seconds).
+  auto compute(int rank, double flops) {
+    HS_REQUIRE(flops >= 0.0);
+    return engine_->sleep(compute_duration(rank, flops * config_.gamma_flop));
+  }
+
+  /// The virtual seconds compute(rank, flops) would charge for a faultless
+  /// duration of `base` seconds starting now.
+  double compute_duration(int rank, double base) const;
 
   /// Hockney parameters for closed-form collectives. Requires the network
   /// model to be a HockneyModel (enforced at construction when
@@ -308,6 +338,21 @@ class Machine {
   }
   trace::Recorder* recorder() const noexcept { return recorder_; }
 
+  /// Attach (or detach with nullptr) a fault injector (see
+  /// fault/injector.hpp); it must outlive the simulation. When attached,
+  /// committed transfers route their wire-time computation through
+  /// FaultInjector::transfer (degradation, slowdown stretching, drop/retry
+  /// loops) and ranked compute charges through compute_seconds. Detached —
+  /// or attached with an empty plan — the machine's arithmetic is
+  /// bit-identical to the faultless code path.
+  void set_fault_injector(fault::FaultInjector* injector) noexcept {
+    fault_ = injector;
+  }
+  fault::FaultInjector* fault_injector() const noexcept { return fault_; }
+
+  /// Deadline-bounded ops that expired (send_before/recv_before → false).
+  std::uint64_t timeouts() const noexcept { return timeouts_; }
+
   /// Count one collective call on one rank (always-on statistics, mode-
   /// independent: every member's call is counted once, in both
   /// PointToPoint and ClosedForm mode). `algo_index` is the resolved
@@ -331,6 +376,16 @@ class Machine {
     double recv_busy = 0.0;
   };
 
+  // Race state of one deadline-bounded op, owned by the send_before/
+  // recv_before coroutine frame. The op parks in its channel carrying a
+  // pointer to this; the match path cancels the timer and sets `matched`
+  // before firing the gate, so the two resume paths (gate fire vs timer
+  // expiry) are mutually exclusive by construction.
+  struct DeadlinePending {
+    desim::Engine::TimerId timer = 0;
+    bool matched = false;
+  };
+
   // One pending isend or irecv. Buf/ConstBuf are flattened to (data, count)
   // so both kinds share a slot; sends and recvs are told apart by the
   // owning channel's kind, and irecv buffers round-trip through a
@@ -340,6 +395,7 @@ class Machine {
     const double* data;
     std::size_t count;
     desim::Gate* gate;
+    DeadlinePending* deadline = nullptr;  // non-null: withdrawable on expiry
   };
 
   struct Context {
@@ -389,6 +445,35 @@ class Machine {
                          double send_post, double recv_post,
                          ConstBuf send_buf, Buf recv_buf);
 
+  /// Shared isend/irecv body: match-and-commit (firing both gates and
+  /// returning true) or park the op with optional deadline state.
+  bool post_send(int src, int dst, int ctx, int tag, ConstBuf buf,
+                 desim::Gate* gate, DeadlinePending* deadline);
+  bool post_recv(int src, int dst, int ctx, int tag, Buf buf,
+                 desim::Gate* gate, DeadlinePending* deadline);
+  /// Remove the parked op carrying `state` from its channel (expiry path).
+  void withdraw(int src, int dst, int ctx, int tag,
+                const DeadlinePending* state);
+  /// Awaitable racing `gate` against a deadline timer: resumes either when
+  /// the gate fires (match path, which cancels the timer) or when the
+  /// timer expires. The caller inspects DeadlinePending::matched.
+  auto deadline_race(desim::Gate* gate, double deadline,
+                     DeadlinePending* state) {
+    struct Awaiter {
+      desim::Engine* engine;
+      desim::Gate* gate;
+      double deadline;
+      DeadlinePending* state;
+      bool await_ready() const noexcept { return gate->fired(); }
+      void await_suspend(std::coroutine_handle<> handle) const {
+        state->timer = engine->schedule_timer_at(deadline, handle);
+        gate->attach_waiter(handle);
+      }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{engine_, gate, deadline, state};
+  }
+
   Site& site_for(int ctx, std::uint64_t seq, SiteKind kind, int expected);
   void complete_site(int ctx, std::uint64_t key, Site& site);
   void deliver_site_payloads(int ctx, Site& site);
@@ -437,6 +522,8 @@ class Machine {
   std::array<std::uint64_t, kBcastAlgos> bcast_algo_calls_{};
   TransferLog* transfer_log_ = nullptr;
   trace::Recorder* recorder_ = nullptr;
+  fault::FaultInjector* fault_ = nullptr;
+  std::uint64_t timeouts_ = 0;
 };
 
 }  // namespace hs::mpc

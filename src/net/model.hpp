@@ -92,6 +92,15 @@ class LogGPModel final : public NetworkModel {
 /// Multiplicative deterministic noise: T' = T * (1 + sigma * u(src,dst))
 /// where u is a hash-derived value in [-1, 1). Used by benches that report
 /// mean/stddev over "repetitions" (each repetition re-seeds).
+///
+/// Determinism contract: transfer_time is a pure function of
+/// (seed, src, dst, bytes) — no mutable generator state — so a given seed
+/// produces byte-identical simulations in any call order, on any thread,
+/// and for any `--jobs` count. The seed participates in describe() (and
+/// through it in exec::SimJob::cache_key), so runs with different seeds
+/// never collide in the sweep result cache. The scripted counterpart for
+/// structured perturbations (stragglers, flaky links) is fault::FaultPlan,
+/// which follows the same stateless-hash discipline.
 class NoisyModel final : public NetworkModel {
  public:
   NoisyModel(std::shared_ptr<const NetworkModel> base, double sigma,

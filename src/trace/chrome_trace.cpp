@@ -1,6 +1,7 @@
 #include "trace/chrome_trace.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <map>
 #include <ostream>
@@ -268,6 +269,67 @@ void write_session(EventSink& sink, const TraceSession& session,
             ",\"root\":" + std::to_string(site.root) +
             ",\"wire_bytes\":" + std::to_string(site.wire_bytes) +
             ",\"members\":" + std::to_string(site.members)));
+  }
+
+  // --- fault track: plan windows + drop/timeout instants, spilled onto
+  // lanes above the collective-site range. Open-ended windows (end = inf)
+  // are clamped to the latest finite time the recorder saw, so Perfetto's
+  // viewport stays finite.
+  if (!recorder.faults().empty()) {
+    double horizon = 0.0;
+    auto stretch_horizon = [&horizon](double t) {
+      if (std::isfinite(t)) horizon = std::max(horizon, t);
+    };
+    for (const CollectiveSpan& span : recorder.collectives())
+      stretch_horizon(span.end);
+    for (const ComputeSpan& span : recorder.computes())
+      stretch_horizon(span.end);
+    for (const WireSpan& span : recorder.wires()) stretch_horizon(span.end);
+    for (const SiteSpan& span : recorder.sites()) stretch_horizon(span.end);
+    for (const FaultSpan& span : recorder.faults()) {
+      stretch_horizon(span.start);
+      stretch_horizon(span.end);
+    }
+
+    const int fault_tid_base = ranks + site_lane_count;
+    std::vector<TimedItem> fault_items;
+    fault_items.reserve(recorder.faults().size());
+    for (std::size_t i = 0; i < recorder.faults().size(); ++i) {
+      const FaultSpan& span = recorder.faults()[i];
+      const double end = std::isfinite(span.end) ? span.end : horizon;
+      fault_items.push_back({span.start, std::max(end, span.start), false, i});
+    }
+    const std::vector<int> fault_lanes = assign_lanes(fault_items);
+    int fault_lane_count = 0;
+    for (int lane : fault_lanes)
+      fault_lane_count = std::max(fault_lane_count, lane + 1);
+    for (int lane = 0; lane < fault_lane_count; ++lane)
+      sink.emit(metadata_event(pid_wire, fault_tid_base + lane, "thread_name",
+                               "faults ~" + std::to_string(lane)));
+    for (std::size_t i = 0; i < fault_items.size(); ++i) {
+      const FaultSpan& span = recorder.faults()[fault_items[i].index];
+      const int tid = fault_tid_base + fault_lanes[i];
+      std::string name(to_string(span.kind));
+      if (span.a >= 0) {
+        name += span.b >= 0 ? " " + std::to_string(span.a) + "\xE2\x86\x92" +
+                                  std::to_string(span.b)
+                            : " rank " + std::to_string(span.a);
+      }
+      std::string args = "\"kind\":\"" + std::string(to_string(span.kind)) +
+                         "\",\"a\":" + std::to_string(span.a) +
+                         ",\"b\":" + std::to_string(span.b) +
+                         ",\"factor\":" + fmt_double(span.factor);
+      if (span.start < span.end) {
+        sink.emit(complete_event(pid_wire, tid, fault_items[i].start,
+                                 fault_items[i].end, name, "fault", args));
+      } else {
+        sink.emit("{\"ph\":\"i\",\"s\":\"t\",\"pid\":" +
+                  std::to_string(pid_wire) + ",\"tid\":" + std::to_string(tid) +
+                  ",\"ts\":" + fmt_us(span.start) + ",\"name\":\"" +
+                  json_escape(name) + "\",\"cat\":\"fault\",\"args\":{" + args +
+                  "}}");
+      }
+    }
   }
 
   // --- counters ----------------------------------------------------------

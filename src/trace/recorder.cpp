@@ -28,6 +28,16 @@ std::string_view to_string(Phase phase) {
   return "unknown";
 }
 
+std::string_view to_string(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::RankSlowdown: return "rank-slowdown";
+    case FaultKind::LinkDegrade: return "link-degrade";
+    case FaultKind::MessageDrop: return "message-drop";
+    case FaultKind::Timeout: return "timeout";
+  }
+  return "unknown";
+}
+
 int Recorder::rank_count() const {
   int max_rank = -1;
   for (const auto& span : collectives_) max_rank = std::max(max_rank, span.rank);
@@ -36,6 +46,10 @@ int Recorder::rank_count() const {
   for (const auto& wire : wires_) {
     max_rank = std::max(max_rank, wire.src);
     max_rank = std::max(max_rank, wire.dst);
+  }
+  for (const auto& fault : faults_) {
+    max_rank = std::max(max_rank, fault.a);
+    max_rank = std::max(max_rank, fault.b);
   }
   return max_rank + 1;
 }

@@ -114,6 +114,26 @@ struct SiteSpan {
   int members = 0;
 };
 
+/// Fault-event taxonomy (mirrors fault::FaultPlan's event kinds, kept
+/// mpc/fault-independent here for the same layering reason as
+/// CollectiveOp): injected windows and discrete fault hits, rendered as a
+/// dedicated Perfetto track by write_chrome_trace.
+enum class FaultKind { RankSlowdown, LinkDegrade, MessageDrop, Timeout };
+std::string_view to_string(FaultKind kind);
+
+/// One fault event. Windows (RankSlowdown, LinkDegrade) have start < end and
+/// use `factor` for the multiplier; discrete hits (MessageDrop, Timeout) are
+/// instants with start == end. `a` is the rank (slowdown/timeout) or the
+/// source rank (link/drop); `b` is the destination rank, -1 when absent.
+struct FaultSpan {
+  double start = 0.0;
+  double end = 0.0;
+  FaultKind kind = FaultKind::RankSlowdown;
+  int a = -1;
+  int b = -1;
+  double factor = 0.0;
+};
+
 /// Append-only event store for one simulation. Single-threaded like the
 /// engine that feeds it: attach one recorder per machine, one machine per
 /// thread (parallel sweeps give every job its own recorder).
@@ -148,6 +168,7 @@ class Recorder {
 
   void add_transfer(const WireSpan& span) { wires_.push_back(span); }
   void add_site(const SiteSpan& span) { sites_.push_back(span); }
+  void add_fault(const FaultSpan& span) { faults_.push_back(span); }
 
   const std::vector<CollectiveSpan>& collectives() const noexcept {
     return collectives_;
@@ -158,10 +179,11 @@ class Recorder {
   const std::vector<StepMark>& steps() const noexcept { return steps_; }
   const std::vector<WireSpan>& wires() const noexcept { return wires_; }
   const std::vector<SiteSpan>& sites() const noexcept { return sites_; }
+  const std::vector<FaultSpan>& faults() const noexcept { return faults_; }
 
   bool empty() const noexcept {
     return collectives_.empty() && computes_.empty() && steps_.empty() &&
-           wires_.empty() && sites_.empty();
+           wires_.empty() && sites_.empty() && faults_.empty();
   }
 
   /// Highest rank index seen across all recorded events, plus one.
@@ -173,6 +195,7 @@ class Recorder {
     steps_.clear();
     wires_.clear();
     sites_.clear();
+    faults_.clear();
     states_.clear();
   }
 
@@ -193,6 +216,7 @@ class Recorder {
   std::vector<StepMark> steps_;
   std::vector<WireSpan> wires_;
   std::vector<SiteSpan> sites_;
+  std::vector<FaultSpan> faults_;
   std::vector<RankState> states_;
 };
 

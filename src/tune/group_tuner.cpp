@@ -97,6 +97,7 @@ TuneResult tune_groups(const TuneOptions& options) {
     job.groups = groups;
     job.problem = sample_problem;
     job.bcast_algo = options.bcast_algo;
+    job.faults = options.faults;
     runnable.push_back(groups);
     jobs.push_back(std::move(job));
   }

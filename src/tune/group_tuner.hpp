@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "core/runner.hpp"
+#include "fault/fault_plan.hpp"
 #include "net/model.hpp"
 
 namespace hs::exec {
@@ -46,6 +47,11 @@ struct TuneOptions {
   /// hit its result cache. Samples and the best pick are identical to the
   /// serial path for any worker count.
   exec::ParallelExecutor* executor = nullptr;
+  /// Optional fault plan (see fault/fault_plan.hpp): every candidate
+  /// sample runs under these faults, so the tuner picks the best G *for
+  /// the faulty machine* — stragglers can shift the optimum (see
+  /// bench/fault_study). Null or empty plans change nothing.
+  std::shared_ptr<const fault::FaultPlan> faults;
 };
 
 struct Sample {

@@ -1,0 +1,164 @@
+// The cancellable deadline-timer lane: ordering against regular events,
+// cancellation semantics, and the gate-vs-timer race used by
+// mpc::Machine's deadline-bounded operations.
+#include "desim/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <coroutine>
+#include <string>
+#include <vector>
+
+namespace {
+
+using hs::desim::Engine;
+using hs::desim::Gate;
+using hs::desim::Task;
+
+/// Awaits a bare timer; stores the id so the test (or another coroutine)
+/// can cancel it.
+struct TimerAwait {
+  Engine* engine;
+  double time;
+  Engine::TimerId* id = nullptr;
+  bool await_ready() const noexcept { return false; }
+  void await_suspend(std::coroutine_handle<> handle) {
+    const Engine::TimerId out = engine->schedule_timer_at(time, handle);
+    if (id != nullptr) *id = out;
+  }
+  void await_resume() const noexcept {}
+};
+
+TEST(Timers, FiresAtScheduledTime) {
+  Engine engine;
+  double fired_at = -1.0;
+  auto task = [&]() -> Task<void> {
+    co_await TimerAwait{&engine, 2.5};
+    fired_at = engine.now();
+  };
+  engine.spawn(task());
+  engine.run();
+  EXPECT_EQ(fired_at, 2.5);
+  EXPECT_EQ(engine.now(), 2.5);
+  EXPECT_EQ(engine.live_timers(), 0u);
+}
+
+TEST(Timers, FireInTimeThenIdOrder) {
+  Engine engine;
+  std::vector<std::string> order;
+  auto timer = [&](double t, std::string name) -> Task<void> {
+    co_await TimerAwait{&engine, t};
+    order.push_back(std::move(name));
+  };
+  engine.spawn(timer(3.0, "late"));
+  engine.spawn(timer(1.0, "early"));
+  engine.spawn(timer(1.0, "early2"));  // same time: creation order
+  engine.run();
+  EXPECT_EQ(order,
+            (std::vector<std::string>{"early", "early2", "late"}));
+}
+
+TEST(Timers, RegularEventsWinTiesAgainstTimers) {
+  // A regular event and a timer at the same virtual time: the regular
+  // event fires first (this is what lets a rendezvous match at exactly the
+  // deadline disarm the timeout).
+  Engine engine;
+  std::vector<std::string> order;
+  auto timed = [&]() -> Task<void> {
+    co_await TimerAwait{&engine, 1.0};
+    order.push_back("timer");
+  };
+  auto regular = [&]() -> Task<void> {
+    co_await engine.sleep_until(1.0);
+    order.push_back("regular");
+  };
+  engine.spawn(timed());  // spawned first, still loses the tie
+  engine.spawn(regular());
+  engine.run();
+  EXPECT_EQ(order, (std::vector<std::string>{"regular", "timer"}));
+}
+
+/// Parks on a gate *and* a timer at once — the machine's deadline race.
+/// Whichever side wins resumes the coroutine; the winner must disarm the
+/// loser (cancel the timer, or never fire the gate).
+struct RaceAwait {
+  Engine* engine;
+  Gate* gate;
+  double deadline;
+  Engine::TimerId* timer;
+  bool await_ready() const noexcept { return false; }
+  void await_suspend(std::coroutine_handle<> handle) {
+    *timer = engine->schedule_timer_at(deadline, handle);
+    gate->attach_waiter(handle);
+  }
+  void await_resume() const noexcept {}
+};
+
+TEST(Timers, CancelledTimerNeverFiresNorAdvancesClock) {
+  // The gate side wins at t = 1 and cancels the timer at t = 5. The run
+  // must end at 1, not 5.
+  Engine engine;
+  Gate gate(engine);
+  Engine::TimerId timer = 0;
+  bool resumed_by_gate = false;
+
+  auto waiter = [&]() -> Task<void> {
+    co_await RaceAwait{&engine, &gate, 5.0, &timer};
+    if (gate.fired()) {
+      resumed_by_gate = true;
+      EXPECT_TRUE(engine.cancel_timer(timer));
+    }
+  };
+  auto firer = [&]() -> Task<void> {
+    co_await engine.sleep_until(1.0);
+    gate.fire_at(engine.now());
+  };
+  engine.spawn(waiter());
+  engine.spawn(firer());
+  engine.run();
+  EXPECT_TRUE(resumed_by_gate);
+  EXPECT_EQ(engine.now(), 1.0);  // the cancelled timer left no trace
+  EXPECT_EQ(engine.live_timers(), 0u);
+}
+
+TEST(Timers, CancelReturnsFalseForUnknownOrFiredIds) {
+  Engine engine;
+  EXPECT_FALSE(engine.cancel_timer(0));
+  EXPECT_FALSE(engine.cancel_timer(42));
+
+  Engine::TimerId timer = 0;
+  auto task = [&]() -> Task<void> {
+    co_await TimerAwait{&engine, 1.0, &timer};
+  };
+  engine.spawn(task());
+  engine.run();
+  EXPECT_FALSE(engine.cancel_timer(timer));  // already fired
+  EXPECT_FALSE(engine.cancel_timer(timer));  // idempotent
+}
+
+TEST(Timers, LiveTimersTracksOutstandingDeadlines) {
+  Engine engine;
+  Gate gate(engine);
+  Engine::TimerId first = 0, second = 0;
+  auto hold = [&](double t, Engine::TimerId* id) -> Task<void> {
+    co_await TimerAwait{&engine, t, id};
+  };
+  auto racer = [&]() -> Task<void> {
+    co_await RaceAwait{&engine, &gate, 10.0, &second};
+  };
+  auto canceller = [&]() -> Task<void> {
+    co_await engine.sleep_until(1.0);
+    EXPECT_EQ(engine.live_timers(), 2u);
+    EXPECT_TRUE(engine.cancel_timer(second));
+    EXPECT_EQ(engine.live_timers(), 1u);
+    gate.fire_at(engine.now());  // release the racer's coroutine
+  };
+  engine.spawn(hold(2.0, &first));
+  engine.spawn(racer());
+  engine.spawn(canceller());
+  engine.run();
+  EXPECT_EQ(engine.now(), 2.0);  // `first`, not the cancelled 10.0 timer
+  EXPECT_EQ(engine.live_timers(), 0u);
+}
+
+}  // namespace

@@ -8,6 +8,7 @@
 #include <thread>
 #include <vector>
 
+#include "fault/fault_plan.hpp"
 #include "trace/metrics.hpp"
 #include "trace/recorder.hpp"
 
@@ -37,6 +38,41 @@ TEST(ExecStress, ManySmallJobsAllComplete) {
     EXPECT_GT(executor.result(id).timing.total_time, 0.0);
   EXPECT_EQ(executor.jobs_submitted(), 64u);
   EXPECT_EQ(executor.engines_run() + executor.cache_hits(), 64u);
+}
+
+TEST(ExecStress, FaultySweepUnderFourWorkers) {
+  // Fault-injected jobs share one immutable FaultPlan across workers while
+  // every job builds its own injector: the plan must be read-only under
+  // TSan and the results bit-identical to the serial path.
+  const auto plan = std::make_shared<const hs::fault::FaultPlan>([] {
+    hs::fault::FaultPlan p = hs::fault::FaultPlan::stragglers(16, 2, 4.0, 9);
+    p.drops.push_back({-1, -1, 0.05});
+    return p;
+  }());
+  auto faulty_job = [&plan](int groups, std::uint64_t seed) {
+    SimJob job = tiny_job(groups, seed);
+    job.faults = plan;
+    return job;
+  };
+
+  ParallelExecutor serial({.jobs = 1});
+  ParallelExecutor parallel({.jobs = 4});
+  std::vector<std::size_t> serial_ids, parallel_ids;
+  for (int i = 0; i < 32; ++i) {
+    const int groups = 1 << (i % 5);
+    const auto seed = static_cast<std::uint64_t>(i / 8);
+    serial_ids.push_back(serial.submit(faulty_job(groups, seed)));
+    parallel_ids.push_back(parallel.submit(faulty_job(groups, seed)));
+  }
+  parallel.wait_all();
+  for (std::size_t i = 0; i < serial_ids.size(); ++i) {
+    const auto a = serial.result(serial_ids[i]);
+    const auto b = parallel.result(parallel_ids[i]);
+    EXPECT_EQ(a.timing.total_time, b.timing.total_time);
+    EXPECT_EQ(a.timing.max_comm_time, b.timing.max_comm_time);
+    EXPECT_EQ(a.fault_drops, b.fault_drops);
+    EXPECT_EQ(a.fault_retries, b.fault_retries);
+  }
 }
 
 TEST(ExecStress, ConcurrentProducersAndReaders) {

@@ -1,0 +1,128 @@
+// FaultPlan serialization: canonical spec / JSON round-trips, generators,
+// and participation in the executor cache key.
+#include "fault/fault_plan.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+
+#include "exec/sim_job.hpp"
+
+namespace {
+
+using hs::fault::FaultPlan;
+using hs::fault::kForever;
+
+FaultPlan sample_plan() {
+  FaultPlan plan;
+  plan.seed = 7;
+  plan.retry.max_attempts = 5;
+  plan.retry.backoff_base_latencies = 0.5;
+  plan.retry.backoff_cap_latencies = 8.0;
+  plan.slowdowns.push_back({3, 0.25, 1.75, 4.0});
+  plan.slowdowns.push_back({0, 0.0, kForever, 2.0});
+  plan.degrades.push_back({1, 2, 0.0, kForever, 3.0, 1.5});
+  plan.degrades.push_back({-1, 4, 0.125, 9.0, 1.0, 2.0});
+  plan.drops.push_back({-1, -1, 0.01});
+  plan.drops.push_back({2, 3, 0.5});
+  return plan;
+}
+
+TEST(FaultPlan, EmptyPlanCanonicalizesToEmptyString) {
+  FaultPlan plan;
+  EXPECT_TRUE(plan.empty());
+  EXPECT_EQ(plan.canonical(), "");
+  // Seed and retry tweaks on an empty plan change nothing, so they must
+  // not change the identity either.
+  plan.seed = 99;
+  plan.retry.max_attempts = 3;
+  EXPECT_EQ(plan.canonical(), "");
+}
+
+TEST(FaultPlan, CanonicalSpecRoundTrips) {
+  const FaultPlan plan = sample_plan();
+  const std::string spec = plan.canonical();
+  EXPECT_FALSE(spec.empty());
+  const FaultPlan reparsed = FaultPlan::parse(spec);
+  EXPECT_EQ(reparsed, plan);
+  // Canonicalization is idempotent: the reparsed plan renders the same
+  // bytes (this is what the sweep cache keys on).
+  EXPECT_EQ(reparsed.canonical(), spec);
+}
+
+TEST(FaultPlan, JsonRoundTrips) {
+  const FaultPlan plan = sample_plan();
+  EXPECT_EQ(FaultPlan::from_json(plan.to_json()), plan);
+  const FaultPlan empty;
+  EXPECT_EQ(FaultPlan::from_json(empty.to_json()), empty);
+}
+
+TEST(FaultPlan, ParseAcceptsDecimalHexfloatAndInf) {
+  const FaultPlan plan =
+      FaultPlan::parse("slow:rank=1,start=0.5,end=inf,factor=0x1p+2");
+  ASSERT_EQ(plan.slowdowns.size(), 1u);
+  EXPECT_EQ(plan.slowdowns[0].rank, 1);
+  EXPECT_DOUBLE_EQ(plan.slowdowns[0].start, 0.5);
+  EXPECT_EQ(plan.slowdowns[0].end, kForever);
+  EXPECT_DOUBLE_EQ(plan.slowdowns[0].factor, 4.0);
+}
+
+TEST(FaultPlan, ParseRejectsMalformedSpecs) {
+  EXPECT_THROW(FaultPlan::parse("bogus:rank=1"), hs::PreconditionError);
+  EXPECT_THROW(FaultPlan::parse("slow:unknown=1"), hs::PreconditionError);
+  EXPECT_THROW(FaultPlan::parse("slow:rank=notanumber"),
+               hs::PreconditionError);
+  EXPECT_THROW(FaultPlan::parse("drop:rate=1.5"), hs::PreconditionError);
+}
+
+TEST(FaultPlan, StragglersPicksDistinctRanksDeterministically) {
+  const FaultPlan a = FaultPlan::stragglers(16, 3, 8.0, 42);
+  const FaultPlan b = FaultPlan::stragglers(16, 3, 8.0, 42);
+  EXPECT_EQ(a, b);
+  ASSERT_EQ(a.slowdowns.size(), 3u);
+  std::set<int> ranks;
+  for (const auto& w : a.slowdowns) {
+    EXPECT_GE(w.rank, 0);
+    EXPECT_LT(w.rank, 16);
+    EXPECT_DOUBLE_EQ(w.factor, 8.0);
+    EXPECT_EQ(w.end, kForever);
+    ranks.insert(w.rank);
+  }
+  EXPECT_EQ(ranks.size(), 3u);  // distinct
+  // A different seed (very likely) picks a different subset; it must at
+  // minimum produce a different canonical identity via the seed clause.
+  const FaultPlan c = FaultPlan::stragglers(16, 3, 8.0, 43);
+  EXPECT_NE(c.canonical(), a.canonical());
+}
+
+TEST(FaultPlan, GeneratorShorthandsParse) {
+  EXPECT_EQ(FaultPlan::parse("stragglers:ranks=16,k=2,factor=8,seed=5"),
+            FaultPlan::stragglers(16, 2, 8.0, 5));
+  EXPECT_EQ(FaultPlan::parse("flaky:rate=0.01,seed=9"),
+            FaultPlan::flaky_links(0.01, 9));
+}
+
+TEST(FaultPlan, DistinctPlansGetDistinctCacheKeys) {
+  hs::exec::SimJob job;
+  job.ranks = 4;
+  job.problem = hs::core::ProblemSpec::square(128, 32);
+  const std::string clean_key = job.cache_key();
+  ASSERT_FALSE(clean_key.empty());
+
+  // A null plan and an empty plan are the same simulation as no plan.
+  job.faults = std::make_shared<const FaultPlan>();
+  EXPECT_EQ(job.cache_key(), clean_key);
+
+  job.faults = std::make_shared<const FaultPlan>(
+      FaultPlan::stragglers(4, 1, 4.0, 1));
+  const std::string faulty_key = job.cache_key();
+  EXPECT_NE(faulty_key, clean_key);
+
+  job.faults = std::make_shared<const FaultPlan>(
+      FaultPlan::stragglers(4, 1, 4.0, 2));  // different seed
+  EXPECT_NE(job.cache_key(), faulty_key);
+  EXPECT_NE(job.cache_key(), clean_key);
+}
+
+}  // namespace

@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include <memory>
+#include <string>
+#include <vector>
 
 namespace {
 
@@ -64,6 +66,39 @@ TEST(Noisy, ZeroSigmaIsExact) {
   hs::net::NoisyModel noisy(base, 0.0, 5);
   EXPECT_DOUBLE_EQ(noisy.transfer_time(0, 1, 777),
                    base->transfer_time(0, 1, 777));
+}
+
+TEST(Noisy, TransferTimeIsPureAndOrderIndependent) {
+  // The determinism contract behind `noise_study --seed` and the parallel
+  // sweep executor: transfer_time depends only on (seed, src, dst, bytes),
+  // never on call history, so any interleaving of jobs draws identical
+  // perturbations.
+  auto base = std::make_shared<hs::net::HockneyModel>(1e-5, 1e-9);
+  hs::net::NoisyModel forward(base, 0.2, 7);
+  hs::net::NoisyModel backward(base, 0.2, 7);
+  std::vector<double> a, b;
+  for (int i = 0; i < 16; ++i)
+    a.push_back(forward.transfer_time(i, i + 1, 64 * i));
+  for (int i = 15; i >= 0; --i)  // reversed call order, same values
+    b.push_back(backward.transfer_time(i, i + 1, 64 * i));
+  for (int i = 0; i < 16; ++i)
+    EXPECT_EQ(a[static_cast<std::size_t>(i)],
+              b[static_cast<std::size_t>(15 - i)]);
+  // Repeated queries are stable too (no hidden stream advancement).
+  EXPECT_EQ(forward.transfer_time(3, 4, 192),
+            forward.transfer_time(3, 4, 192));
+}
+
+TEST(Noisy, DescribeCarriesSeedAndSigma) {
+  auto base = std::make_shared<hs::net::HockneyModel>(1e-5, 1e-9);
+  const hs::net::NoisyModel a(base, 0.2, 7);
+  const hs::net::NoisyModel same(base, 0.2, 7);
+  const hs::net::NoisyModel reseeded(base, 0.2, 8);
+  EXPECT_EQ(a.describe(), same.describe());
+  // Different seeds are different simulations and must never share a
+  // cache key (describe() feeds SimJob::cache_key).
+  EXPECT_NE(a.describe(), reseeded.describe());
+  EXPECT_NE(a.describe().find("noisy("), std::string::npos);
 }
 
 TEST(Noisy, RejectsInvalidSigmaAndNullBase) {

@@ -70,4 +70,73 @@ TEST(TwoLevel, InterLatencyMustDominate) {
                hs::PreconditionError);
 }
 
+// describe() is the model's cache identity (exec::SimJob::cache_key):
+// equal parameters must render equal bytes, any parameter change must
+// change the string, and the format must stay parseable-by-eye stable.
+TEST(Torus, DescribeRoundTripsParameters) {
+  const Torus3DModel torus({4, 3, 2}, 4, 1e-6, 5e-7, 1e-9);
+  const Torus3DModel same({4, 3, 2}, 4, 1e-6, 5e-7, 1e-9);
+  EXPECT_EQ(torus.describe(), same.describe());
+  EXPECT_FALSE(torus.describe().empty());
+  EXPECT_NE(torus.describe().find("torus3d("), std::string::npos);
+  EXPECT_NE(torus.describe().find("4x3x2"), std::string::npos);
+
+  // Every constructor argument participates in the identity.
+  EXPECT_NE(Torus3DModel({4, 3, 2}, 1, 1e-6, 5e-7, 1e-9).describe(),
+            torus.describe());
+  EXPECT_NE(Torus3DModel({3, 4, 2}, 4, 1e-6, 5e-7, 1e-9).describe(),
+            torus.describe());
+  EXPECT_NE(Torus3DModel({4, 3, 2}, 4, 2e-6, 5e-7, 1e-9).describe(),
+            torus.describe());
+  EXPECT_NE(Torus3DModel({4, 3, 2}, 4, 1e-6, 6e-7, 1e-9).describe(),
+            torus.describe());
+  EXPECT_NE(Torus3DModel({4, 3, 2}, 4, 1e-6, 5e-7, 2e-9).describe(),
+            torus.describe());
+}
+
+TEST(TwoLevel, DescribeRoundTripsParameters) {
+  const TwoLevelModel model(8, 1e-6, 1e-9, 5e-5, 4e-9);
+  EXPECT_EQ(model.describe(),
+            TwoLevelModel(8, 1e-6, 1e-9, 5e-5, 4e-9).describe());
+  EXPECT_NE(model.describe().find("twolevel("), std::string::npos);
+  EXPECT_NE(TwoLevelModel(4, 1e-6, 1e-9, 5e-5, 4e-9).describe(),
+            model.describe());
+  EXPECT_NE(TwoLevelModel(8, 2e-6, 1e-9, 5e-5, 4e-9).describe(),
+            model.describe());
+  EXPECT_NE(TwoLevelModel(8, 1e-6, 2e-9, 5e-5, 4e-9).describe(),
+            model.describe());
+  EXPECT_NE(TwoLevelModel(8, 1e-6, 1e-9, 6e-5, 4e-9).describe(),
+            model.describe());
+  EXPECT_NE(TwoLevelModel(8, 1e-6, 1e-9, 5e-5, 5e-9).describe(),
+            model.describe());
+}
+
+TEST(Torus, DegenerateSingleNodeTorus) {
+  // 1x1x1 torus: every rank is co-located, all transfers are hop-free.
+  const Torus3DModel torus({1, 1, 1}, 4, 1e-6, 5e-7, 1e-9);
+  EXPECT_EQ(torus.nodes(), 1);
+  EXPECT_EQ(torus.ranks(), 4);
+  for (int src = 0; src < 4; ++src)
+    for (int dst = 0; dst < 4; ++dst) {
+      EXPECT_EQ(torus.hops(src, dst), 0);
+      EXPECT_DOUBLE_EQ(torus.transfer_time(src, dst, 1000),
+                       1e-6 + 1000.0 * 1e-9);
+    }
+}
+
+TEST(Torus, DegenerateUnitDimensionsNeverWrapNegative) {
+  // A 2x1x1 torus: the length-1 dimensions contribute no hops; the
+  // length-2 dimension is its own wraparound (1 hop either way).
+  const Torus3DModel torus({2, 1, 1}, 1, 1e-6, 5e-7, 1e-9);
+  EXPECT_EQ(torus.hops(0, 1), 1);
+  EXPECT_EQ(torus.hops(1, 0), 1);
+}
+
+TEST(TwoLevel, DegenerateSingleSwitchIsAlwaysIntra) {
+  // All ranks under one switch: the inter-switch parameters never apply.
+  const TwoLevelModel model(1024, 1e-6, 1e-9, 5e-5, 4e-9);
+  EXPECT_DOUBLE_EQ(model.transfer_time(0, 1023, 1000), 1e-6 + 1e-6);
+  EXPECT_DOUBLE_EQ(model.transfer_time(512, 7, 0), 1e-6);
+}
+
 }  // namespace
