@@ -1,12 +1,15 @@
 #include "bench_util.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <fstream>
 #include <iostream>
 
 #include "common/logging.hpp"
 #include "core/kernel_registry.hpp"
+#include "desim/engine.hpp"
+#include "mpc/machine.hpp"
 
 namespace hs::bench {
 
@@ -144,6 +147,84 @@ RepeatedResult run_repeated(const Config& config, int repetitions,
     stats.total_time.add(result.timing.total_time);
   }
   return stats;
+}
+
+long long resolve_scale_steps(const ScalePoint& point) {
+  if (point.steps > 0) return point.steps;
+  int side = 1;
+  while (static_cast<long long>(side) * side < point.ranks) side *= 2;
+  return side;
+}
+
+std::string ScaleRunResult::digest() const {
+  char buffer[192];
+  std::snprintf(buffer, sizeof(buffer),
+                "vt=%a;events=%llu;msgs=%llu;bytes=%llu", virtual_time,
+                static_cast<unsigned long long>(events),
+                static_cast<unsigned long long>(messages),
+                static_cast<unsigned long long>(wire_bytes));
+  return buffer;
+}
+
+ScaleRunResult run_scale_point(const ScalePoint& point) {
+  int side = 1;
+  while (static_cast<long long>(side) * side < point.ranks) side *= 2;
+  HS_REQUIRE_MSG(static_cast<long long>(side) * side == point.ranks,
+                 "scale points need a power-of-four rank count, got "
+                     << point.ranks);
+  ScaleRunResult result;
+  result.steps = resolve_scale_steps(point);
+
+  const auto wall_start = std::chrono::steady_clock::now();
+  desim::Engine engine;
+  mpc::Machine machine(engine, point.platform.make_network(),
+                       {.ranks = point.ranks,
+                        .collective_mode = point.mode,
+                        .bcast_algo = point.algo,
+                        .gamma_flop = point.platform.gamma_flop});
+
+  core::RunOptions options;
+  options.grid = {side, side};
+  options.problem = {point.n, result.steps * point.block, point.n,
+                     point.block, 0};
+  options.mode = core::PayloadMode::Phantom;
+  options.bcast_algo = point.algo;
+  core::adapt_groups(point.groups, options);
+  const core::RunResult run = core::run(machine, options);
+
+  result.virtual_time = engine.now();
+  result.events = engine.events_processed();
+  result.messages = run.messages;
+  result.wire_bytes = run.wire_bytes;
+  result.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    wall_start)
+          .count();
+  result.peak_rss_kb = peak_rss_kb();
+  result.rank_pages_materialized = machine.rank_pages_materialized();
+  result.rank_page_count = machine.rank_page_count();
+  return result;
+}
+
+long long peak_rss_kb() {
+  std::ifstream status("/proc/self/status");
+  std::string line;
+  while (std::getline(status, line)) {
+    if (line.rfind("VmHWM:", 0) == 0) {
+      long long kb = 0;
+      std::sscanf(line.c_str(), "VmHWM: %lld", &kb);
+      return kb;
+    }
+  }
+  return 0;
+}
+
+std::optional<mpc::CollectiveMode> parse_sim_mode(const std::string& name) {
+  if (name == "auto") return std::nullopt;
+  if (name == "closed") return mpc::CollectiveMode::ClosedForm;
+  if (name == "p2p") return mpc::CollectiveMode::PointToPoint;
+  HS_REQUIRE_MSG(false, "unknown --mode '" << name
+                        << "' (choices: auto, closed, p2p)");
 }
 
 std::vector<int> pow2_group_counts(int ranks) {

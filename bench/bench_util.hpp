@@ -121,6 +121,63 @@ RepeatedResult run_repeated(const Config& config, int repetitions,
 /// Valid power-of-two group counts (plus p) for a grid of `ranks`.
 std::vector<int> pow2_group_counts(int ranks);
 
+// --- true-simulation scaling points ---------------------------------------
+
+/// One true-simulation run of the exascale figure's shape, truncated in k:
+/// a square rank grid (side = sqrt(ranks)) multiplying m = n = `n` with
+/// k = steps * block panels. Every SUMMA/HSUMMA step costs the same, so a
+/// `steps`-panel run measures the full figure's per-step physics while
+/// keeping the message count proportional to `steps` rather than n/b;
+/// virtual time extrapolates linearly (full time = vt * (n/block) / steps).
+struct ScalePoint {
+  net::Platform platform = net::Platform::exascale();
+  int ranks = 0;
+  int groups = 1;           // 1 -> SUMMA, otherwise HSUMMA with G groups
+  long long steps = 0;      // 0 -> minimum legal panel count (the grid side)
+  long long n = 1ll << 22;  // m = n, the full figure's matrix dimension
+  long long block = 256;
+  mpc::CollectiveMode mode = mpc::CollectiveMode::PointToPoint;
+  /// Broadcast algorithm for the simulated collectives. Binomial by
+  /// default: MpichAuto resolves the figure's payload sizes to
+  /// scatter-ring-allgather, which doubles the point-to-point message
+  /// count without changing what the scaling study measures.
+  net::BcastAlgo algo = net::BcastAlgo::Binomial;
+};
+
+struct ScaleRunResult {
+  long long steps = 0;  // resolved panel count actually simulated
+  double virtual_time = 0.0;
+  std::uint64_t events = 0;
+  std::uint64_t messages = 0;
+  std::uint64_t wire_bytes = 0;
+  double wall_seconds = 0.0;
+  /// VmHWM after the run. Peak RSS is monotonic per process: in an
+  /// ascending sweep each value is the running maximum so far.
+  long long peak_rss_kb = 0;
+  std::size_t rank_pages_materialized = 0;
+  std::size_t rank_page_count = 0;
+  /// Bit-exact run fingerprint: hexfloat virtual time + event/message/byte
+  /// counters. Two runs of the same ScalePoint must produce equal digests.
+  std::string digest() const;
+};
+
+/// The panel count a ScalePoint with steps == 0 resolves to (the grid
+/// side — the smallest k the SUMMA divisibility rules admit).
+long long resolve_scale_steps(const ScalePoint& point);
+
+/// Runs the point on a fresh engine + machine (phantom payloads, lazy rank
+/// state) and reports engine-level throughput counters alongside the
+/// simulation result.
+ScaleRunResult run_scale_point(const ScalePoint& point);
+
+/// Peak resident set size (VmHWM from /proc/self/status) in kB; 0 when
+/// unavailable.
+long long peak_rss_kb();
+
+/// Parses a --mode value: "auto" -> nullopt, "closed" -> ClosedForm,
+/// "p2p" -> PointToPoint. Anything else aborts via HS_REQUIRE_MSG.
+std::optional<mpc::CollectiveMode> parse_sim_mode(const std::string& name);
+
 /// Writes the CSV file when `path` is nonempty; logs the destination.
 void maybe_write_csv(const std::string& path,
                      const std::vector<std::vector<std::string>>& rows,

@@ -2,10 +2,20 @@
 // platform (p = 2^20, n = 2^22, b = 256, alpha = 500 ns, 100 GB/s links,
 // 1e18 flop/s aggregate) as a function of the group count.
 //
-// Like the paper's figure, this is evaluated with the Section IV analytic
-// model (a 2^20-rank event simulation of 16384 steps is neither feasible
-// for the authors' BG/P nor for this harness). The expected shape: SUMMA
-// flat at ~17 s (communication), HSUMMA dipping to ~2.5 s at G = sqrt(p).
+// The table itself is evaluated with the Section IV analytic model, like
+// the paper's figure. --mode picks the physics for the *simulated* point
+// that accompanies it:
+//
+//   auto   (default) analytic table only; --trace falls back to a
+//          reduced-scale closed-form simulation with an explicit warning.
+//   closed simulate the p-rank point with closed-form collectives.
+//   p2p    simulate the p-rank point with true point-to-point collectives —
+//          every tree message of every broadcast routed through the
+//          network individually. Feasible at p = 2^20 on one core because
+//          k is truncated to the smallest legal panel count (the grid
+//          side); each SUMMA/HSUMMA step costs the same, so the full
+//          figure's time is the simulated time scaled by
+//          (n/b) / simulated_steps, and the table reports both.
 #include "bench_util.hpp"
 
 #include <cmath>
@@ -14,7 +24,10 @@
 
 int main(int argc, char** argv) {
   long long n = 1ll << 22, block = 256, ranks = 1 << 20;
+  long long sim_steps = 0, sim_groups = 0;
   std::string algo_name = "vandegeijn";
+  std::string mode_name = "auto";
+  std::string sim_bcast_name = "binomial";
   bool include_compute = false;
   std::string csv;
   hs::bench::TraceCli trace;
@@ -24,12 +37,27 @@ int main(int argc, char** argv) {
   cli.add_int("n", "matrix dimension", &n);
   cli.add_int("block", "block size b = B", &block);
   cli.add_int("p", "number of processes", &ranks);
-  cli.add_string("bcast", "broadcast algorithm", &algo_name);
+  cli.add_string("bcast", "broadcast algorithm (analytic table)", &algo_name);
+  cli.add_string("mode",
+                 "simulation physics: auto (analytic only), closed "
+                 "(closed-form collectives), p2p (true point-to-point)",
+                 &mode_name);
+  cli.add_int("sim-steps",
+              "panel count for the simulated point (0 = minimum legal, "
+              "the grid side)",
+              &sim_steps);
+  cli.add_int("sim-groups",
+              "HSUMMA group count for the simulated point (0 = sqrt(p), "
+              "the paper's optimum)",
+              &sim_groups);
+  cli.add_string("sim-bcast", "broadcast algorithm for the simulated point",
+                 &sim_bcast_name);
   cli.add_flag("include-compute",
                "add the 2n^3/p computation term to every row", &include_compute);
   cli.add_string("csv", "CSV output path", &csv);
   if (!cli.parse(argc, argv)) return 1;
 
+  const auto sim_mode = hs::bench::parse_sim_mode(mode_name);
   const auto platform = hs::net::Platform::exascale();
   const auto algo = hs::net::bcast_algo_from_string(algo_name);
   const auto platform_model = hs::model::PlatformModel::from(platform);
@@ -79,16 +107,80 @@ int main(int argc, char** argv) {
   hs::bench::maybe_write_csv(
       csv, csv_rows, {"groups", "hsumma_seconds", "summa_seconds"});
 
+  if (sim_mode.has_value()) {
+    // Simulate the figure's p-rank point for real — SUMMA (G = 1) and
+    // HSUMMA at G = sqrt(p) — with the requested collective physics.
+    hs::bench::ScalePoint point;
+    point.platform = platform;
+    point.ranks = static_cast<int>(ranks);
+    point.steps = sim_steps;
+    point.n = n;
+    point.block = block;
+    point.mode = *sim_mode;
+    point.algo = hs::net::bcast_algo_from_string(sim_bcast_name);
+
+    const long long steps = hs::bench::resolve_scale_steps(point);
+    const long long full_steps = n / block;
+    int sqrt_groups = 1;
+    while (static_cast<long long>(sqrt_groups) * sqrt_groups < ranks)
+      sqrt_groups *= 2;
+    const int hsumma_groups =
+        sim_groups > 0 ? static_cast<int>(sim_groups) : sqrt_groups;
+
+    std::printf(
+        "Simulated point (--mode %s, bcast=%s): k truncated to %lld panels "
+        "of the figure's %lld; per-step cost is identical, so 'full k' "
+        "scales the simulated time by %.1f.\n\n",
+        mode_name.c_str(),
+        std::string(hs::net::to_string(point.algo)).c_str(), steps,
+        full_steps, static_cast<double>(full_steps) / steps);
+
+    hs::Table sim_table({"algorithm", "G", "steps", "virtual time", "full k",
+                         "messages", "events/sec", "wall s", "peak RSS MB"});
+    for (const int g : {1, hsumma_groups}) {
+      point.groups = g;
+      const hs::bench::ScaleRunResult run = hs::bench::run_scale_point(point);
+      const double scale = static_cast<double>(full_steps) / run.steps;
+      sim_table.add_row(
+          {g == 1 ? "SUMMA" : "HSUMMA", std::to_string(g),
+           std::to_string(run.steps), hs::format_seconds(run.virtual_time),
+           hs::format_seconds(run.virtual_time * scale),
+           std::to_string(run.messages),
+           hs::format_double(run.wall_seconds > 0.0
+                                 ? static_cast<double>(run.events) /
+                                       run.wall_seconds
+                                 : 0.0,
+                             0),
+           hs::format_double(run.wall_seconds, 1),
+           hs::format_double(static_cast<double>(run.peak_rss_kb) / 1024.0,
+                             1)});
+      std::printf("digest [%s G=%d]: %s\n", g == 1 ? "SUMMA" : "HSUMMA", g,
+                  run.digest().c_str());
+    }
+    std::printf("\n");
+    sim_table.print(std::cout);
+    std::printf("\n");
+  }
+
   if (trace.enabled()) {
-    // The figure itself is analytic (a 2^20-rank event simulation is not
-    // feasible); trace a reduced-scale simulated instance of the same
-    // shape — HSUMMA at G = sqrt(p) on the exascale link parameters.
+    // Trace a reduced-scale simulated instance of the same shape — HSUMMA
+    // at G = sqrt(p) on the exascale link parameters (a traced 2^20-rank
+    // run would dwarf any trace viewer).
     hs::bench::Config config;
     config.platform = platform;
     config.ranks = 1024;
     config.groups = 32;
     config.problem = hs::core::ProblemSpec::square(8192, block);
     config.algo = algo;
+    if (sim_mode.has_value()) {
+      config.mode = *sim_mode;
+    } else {
+      std::printf(
+          "warning: --mode auto falls back to closed-form collectives for "
+          "the traced instance; pass --mode p2p (or closed) to choose the "
+          "physics explicitly.\n");
+      config.mode = hs::mpc::CollectiveMode::ClosedForm;
+    }
     std::printf(
         "note: --trace/--metrics simulate a reduced instance (p=%d, G=%d, "
         "n=%lld), not the analytic p=2^20 point.\n",

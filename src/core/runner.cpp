@@ -40,10 +40,10 @@ RunResult run(mpc::Machine& machine, const RunOptions& options) {
   machine.engine().reserve(static_cast<std::size_t>(total_ranks),
                            static_cast<std::size_t>(total_ranks));
   for (int rank = 0; rank < total_ranks; ++rank) {
-    machine.engine().spawn(
+    machine.engine().spawn_indexed(
         body->program(machine, options, rank,
                       &stats[static_cast<std::size_t>(rank)]),
-        std::string(kernel.name) + " rank " + std::to_string(rank));
+        kernel.name, rank);
   }
   machine.engine().run();
   if (options.recorder != nullptr) machine.set_recorder(previous_recorder);

@@ -19,10 +19,41 @@ void Engine::spawn_at(SimTime start, Task<void> task, std::string name) {
   HS_REQUIRE(task.valid());
   HS_REQUIRE_MSG(start >= now_, "spawn in the past");
   const std::size_t index = records_.size();
-  records_.push_back({std::move(name), false});
+  records_.push_back({std::move(name), -1, -1, false});
   Task<void> wrapper = supervise(std::move(task), index);
   schedule_at(start, wrapper.raw_handle());
   supervisors_.push_back(std::move(wrapper));
+}
+
+void Engine::spawn_indexed(Task<void> task, std::string_view prefix,
+                           int index) {
+  HS_REQUIRE(task.valid());
+  // Interned prefixes are few (one per kernel per run); linear scan.
+  std::int32_t prefix_id = -1;
+  for (std::size_t i = 0; i < name_prefixes_.size(); ++i)
+    if (name_prefixes_[i] == prefix) {
+      prefix_id = static_cast<std::int32_t>(i);
+      break;
+    }
+  if (prefix_id < 0) {
+    prefix_id = static_cast<std::int32_t>(name_prefixes_.size());
+    name_prefixes_.emplace_back(prefix);
+  }
+  const std::size_t record = records_.size();
+  records_.push_back({std::string{}, prefix_id, index, false});
+  Task<void> wrapper = supervise(std::move(task), record);
+  schedule_at(now_, wrapper.raw_handle());
+  supervisors_.push_back(std::move(wrapper));
+}
+
+std::string Engine::record_name(const ProcessRecord& record) const {
+  if (record.prefix_id >= 0) {
+    const std::string& prefix =
+        name_prefixes_[static_cast<std::size_t>(record.prefix_id)];
+    const std::string rank = "rank " + std::to_string(record.index);
+    return prefix.empty() ? rank : prefix + " " + rank;
+  }
+  return record.name;
 }
 
 void Engine::schedule_at(SimTime time, std::coroutine_handle<> handle) {
@@ -210,6 +241,9 @@ Engine::Event Engine::pop_next() {
       if (now_head_ == now_queue_.size()) {
         now_queue_.clear();
         now_head_ = 0;
+      } else {
+        // The queue is FIFO; start fetching the next frame's header now.
+        __builtin_prefetch(now_queue_[now_head_].handle.address());
       }
       return fast;
     }
@@ -263,6 +297,29 @@ void Engine::run() {
     now_ = event.time;
     ++events_processed_;
     event.handle.resume();
+    // Batched same-timestamp delivery: when the popped event opened a
+    // coalescing bucket, every handle in it is globally next (same time,
+    // contiguous seqs — see pop_next) and timers at this time fire only
+    // after all of them, so the per-event timer/queue checks above are
+    // provably no-ops. Drain the bucket in a tight loop instead of going
+    // around the full loop per handle — this is the collective-completion
+    // fan-out path, where one instant resumes thousands of ranks.
+    while (draining_ >= 0 && !failure_) {
+      Bucket& bucket = bucket_pool_[static_cast<std::size_t>(draining_)];
+      const std::coroutine_handle<> handle = bucket.handles[bucket.head++];
+      // The fan-out's frames are cold (thousands of ranks parked for one
+      // completion instant); the drain order is already known, so pull the
+      // next frames' headers toward cache while this one runs.
+      if (bucket.head + 3 < bucket.handles.size())
+        __builtin_prefetch(bucket.handles[bucket.head + 3].address());
+      if (bucket.head == bucket.handles.size()) {
+        const std::int32_t done = draining_;
+        draining_ = -1;
+        bucket_free(done);
+      }
+      ++events_processed_;
+      handle.resume();
+    }
   }
   running_ = false;
 
@@ -282,8 +339,10 @@ void Engine::run() {
     if (!record.done) {
       ++stuck_count;
       if (stuck_count > 1) stuck << ", ";
-      if (stuck_count <= 8)
-        stuck << (record.name.empty() ? "<unnamed>" : record.name);
+      if (stuck_count <= 8) {
+        const std::string name = record_name(record);
+        stuck << (name.empty() ? "<unnamed>" : name);
+      }
     }
   }
   if (stuck_count > 0) {

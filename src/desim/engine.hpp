@@ -67,6 +67,15 @@ class Engine {
   /// Register a top-level process starting at virtual time `start` (>= now).
   void spawn_at(SimTime start, Task<void> task, std::string name = {});
 
+  /// Register a top-level process named "<prefix> rank <index>" without
+  /// materializing the string. Large runs spawn one process per rank
+  /// (2^20 at the scale frontier); storing a composed std::string per rank
+  /// costs a heap allocation and ~48 bytes each, while the diagnostics
+  /// that need the name (deadlock reports) fire at most once per run. The
+  /// prefix is interned — records store a small id + the rank index — and
+  /// the full name is composed only inside error paths.
+  void spawn_indexed(Task<void> task, std::string_view prefix, int index);
+
   /// Run until the event queue is empty. Re-throws the first process
   /// exception; throws DeadlockError if processes remain suspended.
   ///
@@ -161,9 +170,13 @@ class Engine {
   static constexpr std::size_t kHeapArity = 8;
 
   struct ProcessRecord {
-    std::string name;
+    std::string name;            // empty when (prefix_id, index) names it
+    std::int32_t prefix_id = -1; // into name_prefixes_, -1 = use `name`
+    std::int32_t index = -1;
     bool done = false;
   };
+  /// The record's display name (deadlock diagnostics only).
+  std::string record_name(const ProcessRecord& record) const;
 
   // Wraps a user task so completion and failure are recorded in O(1)
   // without scanning all processes per event.
@@ -265,6 +278,7 @@ class Engine {
   std::uint64_t next_timer_id_ = 1;
   std::size_t live_timers_ = 0;
   std::vector<ProcessRecord> records_;
+  std::vector<std::string> name_prefixes_;  // interned spawn_indexed prefixes
   std::vector<Task<void>> supervisors_;
   std::exception_ptr failure_;
   SimTime now_ = 0.0;
@@ -294,6 +308,9 @@ class Gate {
   Gate& operator=(Gate&&) = delete;
 
   bool fired() const noexcept { return fired_; }
+
+  /// The virtual time passed to fire_at; meaningful only once fired().
+  SimTime fire_time() const noexcept { return fire_time_; }
 
   /// Fire the gate: the (current or future) waiter resumes at virtual time
   /// `time` (>= now). A gate can fire at most once.

@@ -33,10 +33,11 @@ desim::Task<void> Comm::recv(int src, Buf buf, int tag) const {
 desim::Task<void> Comm::sendrecv(int dst, ConstBuf send_buf, int src,
                                  Buf recv_buf, int send_tag,
                                  int recv_tag) const {
-  Request send_request = isend(dst, send_buf, send_tag);
-  Request recv_request = irecv(src, recv_buf, recv_tag);
-  co_await send_request.wait();
-  co_await recv_request.wait();
+  HS_REQUIRE(send_tag >= 0 && recv_tag >= 0);
+  PostedOp send_op = send_posted(dst, send_buf, send_tag);
+  PostedOp recv_op = recv_posted(src, recv_buf, recv_tag);
+  co_await send_op.wait();
+  co_await recv_op.wait();
 }
 
 desim::Task<void> wait_all(Request& a, Request& b) {

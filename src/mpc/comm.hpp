@@ -90,6 +90,32 @@ class Comm {
     return machine().irecv(world_rank(src), my_world_rank(), ctx_, tag, buf);
   }
 
+  /// Allocation-free blocking send/recv for the collectives' hot path:
+  /// `co_await comm.send_op(...)` posts and completes one transfer with the
+  /// rendezvous gate living in the awaiting frame (see TransferOp). Same
+  /// virtual-time and event schedule as send/recv, minus the intermediate
+  /// coroutine and Request state.
+  TransferOp send_op(int dst, ConstBuf buf, int tag) const {
+    return TransferOp(machine(), my_world_rank(), world_rank(dst), ctx_, tag,
+                      buf, Buf{}, /*is_send=*/true);
+  }
+  TransferOp recv_op(int src, Buf buf, int tag) const {
+    return TransferOp(machine(), world_rank(src), my_world_rank(), ctx_, tag,
+                      ConstBuf{}, buf, /*is_send=*/false);
+  }
+
+  /// Posted-now, awaited-later counterparts (inline-gate Request): post on
+  /// construction, `co_await op.wait()` to join. For overlapping pairs
+  /// (ring exchanges, sendrecv).
+  PostedOp send_posted(int dst, ConstBuf buf, int tag) const {
+    return PostedOp(machine(), my_world_rank(), world_rank(dst), ctx_, tag,
+                    buf, Buf{}, /*is_send=*/true);
+  }
+  PostedOp recv_posted(int src, Buf buf, int tag) const {
+    return PostedOp(machine(), world_rank(src), my_world_rank(), ctx_, tag,
+                    ConstBuf{}, buf, /*is_send=*/false);
+  }
+
   /// Blocking (rendezvous) send: resumes when the transfer completed.
   desim::Task<void> send(int dst, ConstBuf buf, int tag = 0) const;
   desim::Task<void> recv(int src, Buf buf, int tag = 0) const;
@@ -137,8 +163,7 @@ double run_spmd(Machine& machine, RankMain&& rank_main) {
   // in-flight events; one slot per rank avoids the early heap regrowth.
   machine.engine().reserve(ranks, ranks);
   for (int r = 0; r < machine.ranks(); ++r)
-    machine.engine().spawn(rank_main(machine.world(r)),
-                           "rank " + std::to_string(r));
+    machine.engine().spawn_indexed(rank_main(machine.world(r)), "", r);
   machine.engine().run();
   return machine.engine().now();
 }

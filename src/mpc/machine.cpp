@@ -46,12 +46,13 @@ Machine::Machine(desim::Engine& engine,
       config_.collective_mode != CollectiveMode::ClosedForm || hockney_,
       "ClosedForm collectives require a homogeneous HockneyModel network; "
       "use PointToPoint mode with topology-aware models");
-  ports_.resize(static_cast<std::size_t>(config_.ranks));
-  // Steady-state point-to-point traffic uses O(ranks) distinct match keys
-  // (fixed tags between fixed pairs); collective tags add a long tail that
-  // the retire cap keeps bounded.
-  channel_cap_ = std::max<std::size_t>(
-      1024, 4 * static_cast<std::size_t>(config_.ranks));
+  const std::size_t page_count =
+      (static_cast<std::size_t>(config_.ranks) +
+       static_cast<std::size_t>(kRankPageSize) - 1) /
+      static_cast<std::size_t>(kRankPageSize);
+  pages_.resize(page_count);
+  if (config_.eager_rank_state)
+    for (auto& page : pages_) materialize_page(page);
   // Context 0 is the world communicator.
   std::vector<int> world_members(static_cast<std::size_t>(config_.ranks));
   for (int r = 0; r < config_.ranks; ++r)
@@ -74,11 +75,9 @@ Comm Machine::world(int self) {
   return Comm(this, /*ctx=*/0, /*rank=*/self);
 }
 
-Machine::MatchKey Machine::make_key(int src, int dst, int ctx, int tag) {
-  const auto u = [](int v) {
-    return static_cast<std::uint64_t>(static_cast<std::uint32_t>(v));
-  };
-  return {(u(src) << 32) | u(dst), (u(ctx) << 32) | u(tag)};
+void Machine::materialize_page(std::unique_ptr<RankPage>& page) {
+  page = std::make_unique<RankPage>();
+  ++pages_materialized_;
 }
 
 double Machine::commit_transfer(int src, int dst, int ctx, int tag,
@@ -91,8 +90,8 @@ double Machine::commit_transfer(int src, int dst, int ctx, int tag,
                                              << " dst=" << dst << ")");
   HS_REQUIRE_MSG(send_buf.is_real() == recv_buf.is_real(),
                  "mixing real and phantom payloads in one transfer");
-  auto& src_port = ports_[static_cast<std::size_t>(src)];
-  auto& dst_port = ports_[static_cast<std::size_t>(dst)];
+  auto& src_port = rank_state(src).port;
+  auto& dst_port = rank_state(dst).port;
   const double start = std::max({send_post, recv_post, src_port.send_free,
                                  dst_port.recv_free});
   const double base_time = net_->transfer_time(src, dst, send_buf.bytes());
@@ -134,28 +133,16 @@ void TransferLog::write_csv(std::ostream& out) const {
             static_cast<long long>(record.bytes), record.ctx, record.tag);
 }
 
-void Machine::retire_channel(ChannelMap::iterator it) {
-  Channel& channel = it->second;
-  channel.kind = Channel::Kind::None;
-  channel.head = 0;
-  channel.ops.clear();
-  // Reset in place for reuse; drop the node only once the map has outgrown
-  // the steady-state key population (collective tags embed sequence
-  // numbers, so the distinct-key tail is unbounded without this).
-  if (channels_.size() > channel_cap_) channels_.erase(it);
-}
-
 bool Machine::post_send(int src, int dst, int ctx, int tag, ConstBuf buf,
                         desim::Gate* gate, DeadlinePending* deadline) {
   HS_REQUIRE(src >= 0 && src < config_.ranks);
   HS_REQUIRE(dst >= 0 && dst < config_.ranks);
   HS_REQUIRE_MSG(src != dst, "self-messages are not modeled; restructure the "
                              "algorithm to skip local transfers");
-  auto [it, inserted] = channels_.try_emplace(make_key(src, dst, ctx, tag));
-  Channel& channel = it->second;
-  if (channel.kind == Channel::Kind::Recvs && !channel.empty()) {
-    const PendingOp recv = channel.pop_front();
-    if (channel.empty()) retire_channel(it);
+  RankState& receiver = rank_state(dst);
+  if (PendingOp* match = receiver.pending_recvs.find(src, ctx, tag)) {
+    const PendingOp recv = *match;
+    receiver.pending_recvs.remove(match);
     if (recv.deadline != nullptr) {
       recv.deadline->matched = true;
       engine_->cancel_timer(recv.deadline->timer);
@@ -171,9 +158,8 @@ bool Machine::post_send(int src, int dst, int ctx, int tag, ConstBuf buf,
     gate->fire_at(completion);
     return true;
   }
-  channel.kind = Channel::Kind::Sends;
-  channel.ops.push_back(
-      {engine_->now(), buf.data(), buf.count(), gate, deadline});
+  receiver.pending_sends.push(
+      {engine_->now(), buf.data(), buf.count(), gate, deadline, src, ctx, tag});
   return false;
 }
 
@@ -183,11 +169,10 @@ bool Machine::post_recv(int src, int dst, int ctx, int tag, Buf buf,
   HS_REQUIRE(dst >= 0 && dst < config_.ranks);
   HS_REQUIRE_MSG(src != dst, "self-messages are not modeled; restructure the "
                              "algorithm to skip local transfers");
-  auto [it, inserted] = channels_.try_emplace(make_key(src, dst, ctx, tag));
-  Channel& channel = it->second;
-  if (channel.kind == Channel::Kind::Sends && !channel.empty()) {
-    const PendingOp send = channel.pop_front();
-    if (channel.empty()) retire_channel(it);
+  RankState& receiver = rank_state(dst);
+  if (PendingOp* match = receiver.pending_sends.find(src, ctx, tag)) {
+    const PendingOp send = *match;
+    receiver.pending_sends.remove(match);
     if (send.deadline != nullptr) {
       send.deadline->matched = true;
       engine_->cancel_timer(send.deadline->timer);
@@ -203,9 +188,8 @@ bool Machine::post_recv(int src, int dst, int ctx, int tag, Buf buf,
     gate->fire_at(completion);
     return true;
   }
-  channel.kind = Channel::Kind::Recvs;
-  channel.ops.push_back(
-      {engine_->now(), buf.data(), buf.count(), gate, deadline});
+  receiver.pending_recvs.push(
+      {engine_->now(), buf.data(), buf.count(), gate, deadline, src, ctx, tag});
   return false;
 }
 
@@ -221,20 +205,12 @@ Request Machine::irecv(int src, int dst, int ctx, int tag, Buf buf) {
   return request;
 }
 
-void Machine::withdraw(int src, int dst, int ctx, int tag,
-                       const DeadlinePending* state) {
-  const auto it = channels_.find(make_key(src, dst, ctx, tag));
-  HS_ASSERT(it != channels_.end());
-  Channel& channel = it->second;
-  auto& ops = channel.ops;
-  for (std::size_t i = channel.head; i < ops.size(); ++i) {
-    if (ops[i].deadline == state) {
-      ops.erase(ops.begin() + static_cast<std::ptrdiff_t>(i));
-      if (channel.empty()) retire_channel(it);
-      return;
-    }
-  }
-  HS_ASSERT(false && "withdraw: expired op not found in its channel");
+void Machine::withdraw(int dst, bool is_send, const DeadlinePending* state) {
+  RankState& receiver = rank_state(dst);
+  OpList& list = is_send ? receiver.pending_sends : receiver.pending_recvs;
+  PendingOp* op = list.find_deadline(state);
+  HS_ASSERT(op != nullptr && "withdraw: expired op not found in its list");
+  list.remove(op);
 }
 
 desim::Task<bool> Machine::send_before(int src, int dst, int ctx, int tag,
@@ -246,7 +222,7 @@ desim::Task<bool> Machine::send_before(int src, int dst, int ctx, int tag,
   if (!post_send(src, dst, ctx, tag, buf, request.gate(), &state)) {
     co_await deadline_race(request.gate(), deadline, &state);
     if (!state.matched) {
-      withdraw(src, dst, ctx, tag, &state);
+      withdraw(dst, /*is_send=*/true, &state);
       ++timeouts_;
       if (fault_ != nullptr) fault_->note_timeout(src, dst, engine_->now());
       co_return false;
@@ -265,7 +241,7 @@ desim::Task<bool> Machine::recv_before(int src, int dst, int ctx, int tag,
   if (!post_recv(src, dst, ctx, tag, buf, request.gate(), &state)) {
     co_await deadline_race(request.gate(), deadline, &state);
     if (!state.matched) {
-      withdraw(src, dst, ctx, tag, &state);
+      withdraw(dst, /*is_send=*/false, &state);
       ++timeouts_;
       if (fault_ != nullptr) fault_->note_timeout(dst, src, engine_->now());
       co_return false;
@@ -439,11 +415,16 @@ void Machine::collect_metrics(trace::MetricsRegistry& metrics) const {
   double recv_max = 0.0;
   double send_total = 0.0;
   double recv_total = 0.0;
-  for (const PortState& port : ports_) {
-    send_max = std::max(send_max, port.send_busy);
-    recv_max = std::max(recv_max, port.recv_busy);
-    send_total += port.send_busy;
-    recv_total += port.recv_busy;
+  // Unmaterialized pages are ranks that never touched the network: zero
+  // busy time by construction, so skipping them leaves the gauges exact.
+  for (const auto& page : pages_) {
+    if (page == nullptr) continue;
+    for (const RankState& rank : page->ranks) {
+      send_max = std::max(send_max, rank.port.send_busy);
+      recv_max = std::max(recv_max, rank.port.recv_busy);
+      send_total += rank.port.send_busy;
+      recv_total += rank.port.recv_busy;
+    }
   }
   metrics.set_gauge("mpc.port.send_busy_max_s", send_max);
   metrics.set_gauge("mpc.port.recv_busy_max_s", recv_max);

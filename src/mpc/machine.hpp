@@ -61,6 +61,14 @@ struct MachineConfig {
   net::BcastAlgo bcast_algo = net::BcastAlgo::MpichAuto;
   /// Seconds per floating-point operation, used by Machine::compute.
   double gamma_flop = 0.0;
+  /// Materialize every rank's port/mailbox state up front instead of
+  /// page-lazily on first touch. Simulation results are bit-identical
+  /// either way (locked by tests/mpc/test_lazy_ranks.cpp); the knob exists
+  /// so that test can compare the two paths and so memory studies can
+  /// measure the lazy savings. Default lazy: a phase that touches only a
+  /// rank subset (hierarchical broadcast frontiers) materializes only
+  /// those ranks' pages.
+  bool eager_rank_state = false;
 };
 
 /// Optional per-transfer event recorder. Attach one to a Machine to dump
@@ -366,6 +374,35 @@ class Machine {
   /// totals, and port busy-time gauges.
   void collect_metrics(trace::MetricsRegistry& metrics) const;
 
+  // Race state of one deadline-bounded op, owned by the send_before/
+  // recv_before coroutine frame. The op parks in its rank's pending list
+  // carrying a pointer to this; the match path cancels the timer and sets
+  // `matched` before firing the gate, so the two resume paths (gate fire
+  // vs timer expiry) are mutually exclusive by construction.
+  struct DeadlinePending {
+    desim::Engine::TimerId timer = 0;
+    bool matched = false;
+  };
+
+  /// Shared isend/irecv body (the primitive under Request and the
+  /// send/recv awaitables below): match-and-commit (firing both gates and
+  /// returning true) or park the op with optional deadline state. Callers
+  /// outside the machine pass deadline = nullptr.
+  bool post_send(int src, int dst, int ctx, int tag, ConstBuf buf,
+                 desim::Gate* gate, DeadlinePending* deadline);
+  bool post_recv(int src, int dst, int ctx, int tag, Buf buf,
+                 desim::Gate* gate, DeadlinePending* deadline);
+
+  /// Lazy rank-state instrumentation: pages of kRankPageSize ranks'
+  /// port/mailbox state, materialized on first touch (or all up front with
+  /// MachineConfig::eager_rank_state). Exposed so tests and the scale
+  /// bench can assert memory scales with *touched* ranks.
+  static constexpr int kRankPageSize = 4096;
+  std::size_t rank_pages_materialized() const noexcept {
+    return pages_materialized_;
+  }
+  std::size_t rank_page_count() const noexcept { return pages_.size(); }
+
  private:
   struct PortState {
     double send_free = 0.0;
@@ -376,26 +413,20 @@ class Machine {
     double recv_busy = 0.0;
   };
 
-  // Race state of one deadline-bounded op, owned by the send_before/
-  // recv_before coroutine frame. The op parks in its channel carrying a
-  // pointer to this; the match path cancels the timer and sets `matched`
-  // before firing the gate, so the two resume paths (gate fire vs timer
-  // expiry) are mutually exclusive by construction.
-  struct DeadlinePending {
-    desim::Engine::TimerId timer = 0;
-    bool matched = false;
-  };
-
-  // One pending isend or irecv. Buf/ConstBuf are flattened to (data, count)
-  // so both kinds share a slot; sends and recvs are told apart by the
-  // owning channel's kind, and irecv buffers round-trip through a
-  // const_cast on match.
+  // One pending isend or irecv, parked at the *receiver's* RankState.
+  // Buf/ConstBuf are flattened to (data, count) so both kinds share a
+  // slot; sends and recvs live in separate lists, and irecv buffers
+  // round-trip through a const_cast on match. `peer` is the sender's
+  // world rank for both kinds (the receiver is the list's owner).
   struct PendingOp {
     double post_time;
     const double* data;
     std::size_t count;
     desim::Gate* gate;
-    DeadlinePending* deadline = nullptr;  // non-null: withdrawable on expiry
+    DeadlinePending* deadline;  // non-null: withdrawable on expiry
+    int peer;
+    int ctx;
+    int tag;
   };
 
   struct Context {
@@ -424,36 +455,14 @@ class Machine {
     std::vector<Participant, desim::PoolAllocator<Participant>> participants;
   };
 
-  // Matching key: (ctx, src, dst, tag) packed for the hash map.
-  struct MatchKey {
-    std::uint64_t hi;
-    std::uint64_t lo;
-    bool operator==(const MatchKey&) const = default;
-  };
-  struct MatchKeyHash {
-    std::size_t operator()(const MatchKey& k) const noexcept {
-      std::uint64_t h = k.hi * 0x9e3779b97f4a7c15ULL;
-      h ^= k.lo + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
-      return static_cast<std::size_t>(h);
-    }
-  };
-  static MatchKey make_key(int src, int dst, int ctx, int tag);
-
   /// Compute and commit one transfer: returns completion time, updates
   /// ports, copies data when both sides are real.
   double commit_transfer(int src, int dst, int ctx, int tag,
                          double send_post, double recv_post,
                          ConstBuf send_buf, Buf recv_buf);
 
-  /// Shared isend/irecv body: match-and-commit (firing both gates and
-  /// returning true) or park the op with optional deadline state.
-  bool post_send(int src, int dst, int ctx, int tag, ConstBuf buf,
-                 desim::Gate* gate, DeadlinePending* deadline);
-  bool post_recv(int src, int dst, int ctx, int tag, Buf buf,
-                 desim::Gate* gate, DeadlinePending* deadline);
-  /// Remove the parked op carrying `state` from its channel (expiry path).
-  void withdraw(int src, int dst, int ctx, int tag,
-                const DeadlinePending* state);
+  /// Remove the parked op carrying `state` from its list (expiry path).
+  void withdraw(int dst, bool is_send, const DeadlinePending* state);
   /// Awaitable racing `gate` against a deadline timer: resumes either when
   /// the gate fires (match path, which cancels the timer) or when the
   /// timer expires. The caller inspects DeadlinePending::matched.
@@ -478,34 +487,75 @@ class Machine {
   void complete_site(int ctx, std::uint64_t key, Site& site);
   void deliver_site_payloads(int ctx, Site& site);
 
-  // Pending ops live in one channel per (src, dst, ctx, tag). A channel
-  // never holds both sends and recvs (the second kind posted would have
-  // matched immediately), so a single FIFO plus a kind flag covers both —
-  // one hash probe per isend/irecv instead of the two that separate
-  // send/recv maps would cost. The FIFO is a head-indexed vector (cheaper
-  // to create and recycle than a deque); emptied channels are reset in
-  // place and only erased once the map outgrows its steady-state working
-  // set, so repeated traffic on one key does no map mutation at all.
-  struct Channel {
-    enum class Kind : unsigned char { None, Sends, Recvs };
-    Kind kind = Kind::None;
+  // Pending ops live in two small FIFO lists on the *receiver's* rank
+  // state: sends addressed to that rank and recvs posted by it. Matching
+  // scans the opposite list from its head for the first (peer, ctx, tag)
+  // hit — exactly the per-(src,dst,ctx,tag) channel FIFO order, since
+  // earlier-posted ops with the same key come first in post order. The
+  // lists are a handful of entries long in practice (a rank's in-flight
+  // ops), so an indexed linear scan beats the hash probe the old
+  // channel map paid per post, and the storage is dense per rank instead
+  // of a node per live (src,dst,ctx,tag) key. A list never holds both a
+  // send and a recv with the same key (the second would have matched), so
+  // find/park semantics are identical to the channel map's.
+  struct OpList {
     std::uint32_t head = 0;
     std::vector<PendingOp, desim::PoolAllocator<PendingOp>> ops;
-    bool empty() const noexcept { return head == ops.size(); }
-    PendingOp pop_front() { return ops[head++]; }
+    PendingOp* find(int peer, int ctx, int tag) noexcept {
+      for (std::size_t i = head; i < ops.size(); ++i) {
+        PendingOp& op = ops[i];
+        if (op.peer == peer && op.ctx == ctx && op.tag == tag) return &op;
+      }
+      return nullptr;
+    }
+    PendingOp* find_deadline(const DeadlinePending* state) noexcept {
+      for (std::size_t i = head; i < ops.size(); ++i)
+        if (ops[i].deadline == state) return &ops[i];
+      return nullptr;
+    }
+    void remove(PendingOp* op) {
+      const auto i = static_cast<std::size_t>(op - ops.data());
+      if (i == head) {
+        // Head removal (the common case: one key in flight per pair) is
+        // an index bump; the vector resets in place when drained, keeping
+        // its capacity for the rank's steady-state traffic.
+        ++head;
+        if (head == ops.size()) {
+          head = 0;
+          ops.clear();
+        }
+        return;
+      }
+      ops.erase(ops.begin() + static_cast<std::ptrdiff_t>(i));
+    }
+    void push(const PendingOp& op) { ops.push_back(op); }
   };
-  using ChannelMap = std::unordered_map<
-      MatchKey, Channel, MatchKeyHash, std::equal_to<MatchKey>,
-      desim::PoolAllocator<std::pair<const MatchKey, Channel>>>;
-  void retire_channel(ChannelMap::iterator it);
+
+  // Per-rank simulation state, materialized page-lazily: an untouched rank
+  // (phantom rank idle through a phase) costs one null page pointer share,
+  // so footprint scales with ranks that actually communicate. Pages, not
+  // single ranks, amortize the indirection and allocation.
+  struct RankState {
+    PortState port;
+    OpList pending_sends;  // sends addressed to this rank, post order
+    OpList pending_recvs;  // recvs posted by this rank, post order
+  };
+  struct RankPage {
+    std::array<RankState, kRankPageSize> ranks;
+  };
+  RankState& rank_state(int rank) {
+    auto& page = pages_[static_cast<std::size_t>(rank) / kRankPageSize];
+    if (page == nullptr) materialize_page(page);
+    return page->ranks[static_cast<std::size_t>(rank) % kRankPageSize];
+  }
+  void materialize_page(std::unique_ptr<RankPage>& page);
 
   desim::Engine* engine_;
   std::shared_ptr<const net::NetworkModel> net_;
   MachineConfig config_;
   const net::HockneyModel* hockney_ = nullptr;  // non-null iff Hockney
-  std::vector<PortState> ports_;
-  ChannelMap channels_;
-  std::size_t channel_cap_ = 1024;
+  std::vector<std::unique_ptr<RankPage>> pages_;
+  std::size_t pages_materialized_ = 0;
   std::vector<Context> contexts_;
   std::map<std::vector<int>, int> context_ids_;
   std::unordered_map<
@@ -524,6 +574,83 @@ class Machine {
   trace::Recorder* recorder_ = nullptr;
   fault::FaultInjector* fault_ = nullptr;
   std::uint64_t timeouts_ = 0;
+};
+
+/// Single-shot awaitable over one blocking point-to-point op: posts the op
+/// when awaited and resumes the caller at transfer completion. Equivalent
+/// in virtual time and event schedule to isend/irecv + Request::wait, but
+/// with the Gate inline in the caller's coroutine frame — no Request state
+/// allocation and no intermediate coroutine. This is the collectives' hot
+/// path: at the 2^20-rank scale frontier every tree edge goes through one
+/// of these. Not movable (the parked op holds the gate's address); only
+/// ever materialized directly in a co_await expression.
+class TransferOp {
+ public:
+  TransferOp(Machine& machine, int src, int dst, int ctx, int tag,
+             ConstBuf send_buf, Buf recv_buf, bool is_send)
+      : machine_(&machine),
+        gate_(machine.engine()),
+        send_(send_buf),
+        recv_(recv_buf),
+        src_(src),
+        dst_(dst),
+        ctx_(ctx),
+        tag_(tag),
+        is_send_(is_send) {}
+  TransferOp(const TransferOp&) = delete;
+  TransferOp& operator=(const TransferOp&) = delete;
+
+  bool await_ready() const noexcept { return false; }
+  bool await_suspend(std::coroutine_handle<> handle) {
+    if (is_send_)
+      machine_->post_send(src_, dst_, ctx_, tag_, send_, &gate_, nullptr);
+    else
+      machine_->post_recv(src_, dst_, ctx_, tag_, recv_, &gate_, nullptr);
+    if (gate_.fired()) {
+      // Matched immediately. A zero-latency completion resumes without
+      // suspending (exactly Gate::wait's await_ready fast path, so event
+      // counts stay identical to the Request formulation).
+      if (gate_.fire_time() <= machine_->engine().now()) return false;
+      machine_->engine().schedule_at(gate_.fire_time(), handle);
+      return true;
+    }
+    gate_.attach_waiter(handle);
+    return true;
+  }
+  void await_resume() const noexcept {}
+
+ private:
+  Machine* machine_;
+  desim::Gate gate_;
+  ConstBuf send_;
+  Buf recv_;
+  int src_, dst_, ctx_, tag_;
+  bool is_send_;
+};
+
+/// Posted-now, awaited-later counterpart of TransferOp: a Request with the
+/// gate inline instead of heap-allocated. Used where two ops must overlap
+/// (ring/recursive-doubling exchanges post the send and recv together,
+/// then await both). Pinned for the same reason as TransferOp; lives as a
+/// local (or std::optional) in the posting coroutine's frame.
+class PostedOp {
+ public:
+  PostedOp(Machine& machine, int src, int dst, int ctx, int tag,
+           ConstBuf send_buf, Buf recv_buf, bool is_send)
+      : gate_(machine.engine()) {
+    if (is_send)
+      machine.post_send(src, dst, ctx, tag, send_buf, &gate_, nullptr);
+    else
+      machine.post_recv(src, dst, ctx, tag, recv_buf, &gate_, nullptr);
+  }
+  PostedOp(const PostedOp&) = delete;
+  PostedOp& operator=(const PostedOp&) = delete;
+
+  /// Awaitable: resumes once the transfer has completed.
+  auto wait() { return gate_.wait(); }
+
+ private:
+  desim::Gate gate_;
 };
 
 }  // namespace hs::mpc

@@ -1,0 +1,47 @@
+// Peak-RSS reader + budget assertion for the scale test suite
+// (`ctest -L scale`).
+//
+// VmHWM from /proc/self/status is the process's high-water resident set:
+// monotonic, so a budget must be asserted against the *whole process so
+// far*, not one run — scale tests order their workloads smallest-first
+// and budget the final mark. Returns 0 where /proc is unavailable, and
+// EXPECT_PEAK_RSS_UNDER_KB degrades to a skip there rather than a failure.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+namespace hs::test {
+
+/// Peak resident set size (VmHWM) in kilobytes; 0 when unavailable.
+inline long long peak_rss_kb() {
+  std::ifstream status("/proc/self/status");
+  std::string line;
+  while (std::getline(status, line)) {
+    if (line.rfind("VmHWM:", 0) == 0) {
+      long long kb = 0;
+      std::sscanf(line.c_str(), "VmHWM: %lld", &kb);
+      return kb;
+    }
+  }
+  return 0;
+}
+
+/// Asserts the process's peak RSS is under `budget_kb`; prints the actual
+/// mark either way so budget drift is visible in passing logs too.
+inline void expect_peak_rss_under_kb(long long budget_kb,
+                                     const char* what) {
+  const long long peak = peak_rss_kb();
+  if (peak == 0) {
+    GTEST_SKIP() << "VmHWM unavailable on this platform";
+    return;
+  }
+  std::printf("peak RSS [%s]: %lld kB (budget %lld kB)\n", what, peak,
+              budget_kb);
+  EXPECT_LT(peak, budget_kb) << what << ": peak RSS over budget";
+}
+
+}  // namespace hs::test

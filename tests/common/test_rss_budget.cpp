@@ -1,0 +1,30 @@
+// The VmHWM reader behind the scale suite's memory budgets.
+#include "rss_budget.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+namespace {
+
+TEST(RssBudget, ReaderReportsAProcessHighWaterMark) {
+  const long long first = hs::test::peak_rss_kb();
+  if (first == 0) GTEST_SKIP() << "VmHWM unavailable on this platform";
+  // A running gtest binary resides in well over a megabyte.
+  EXPECT_GT(first, 1024);
+}
+
+TEST(RssBudget, MarkIsMonotonicAndTracksAllocations) {
+  const long long before = hs::test::peak_rss_kb();
+  if (before == 0) GTEST_SKIP() << "VmHWM unavailable on this platform";
+  // Touch 64 MB so the high-water mark must move past before + 32 MB
+  // (half, to be robust against pages already resident).
+  constexpr std::size_t kBytes = 64 * 1024 * 1024;
+  auto block = std::make_unique<volatile char[]>(kBytes);
+  for (std::size_t i = 0; i < kBytes; i += 4096) block[i] = 1;
+  const long long after = hs::test::peak_rss_kb();
+  EXPECT_GE(after, before);
+  EXPECT_GT(after, before + 32 * 1024);
+}
+
+}  // namespace

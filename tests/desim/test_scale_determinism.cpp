@@ -1,0 +1,137 @@
+// Large-p determinism goldens: the p = 65536 point of the scaling
+// frontier, run with true point-to-point collectives (binomial broadcast
+// trees routed edge by edge, lazily materialized rank state).
+//
+// Companion to test_determinism.cpp's small goldens: same contract —
+// repeated runs bit-identical, and the checked-in digests (hexfloat
+// virtual time + event/message/byte counts) must reproduce exactly, so
+// any engine or machine change that moves one event at 2^16 ranks fails
+// here even if the 16-rank goldens happen to survive. The configuration
+// is the fig10 exascale shape (m = n = 2^22, b = 256, 256x256 grid) with
+// k truncated to the minimum legal 256 panels, i.e. exactly what
+// bench/scale_frontier simulates (~33M messages per run).
+//
+// Regenerate the digests with HS_PRINT_GOLDENS=1 — only legitimate for a
+// change that is *meant* to alter virtual-time semantics.
+//
+// Labeled `scale` (ctest -L scale) together with the peak-RSS budget
+// below: the whole file, four ~33M-message runs included, must fit in
+// 1 GB of peak RSS — the lazy/pooled machine state is what keeps it
+// there.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "common/rss_budget.hpp"
+#include "core/kernel_registry.hpp"
+#include "core/runner.hpp"
+#include "net/platform.hpp"
+
+namespace {
+
+using hs::core::PayloadMode;
+using hs::core::RunOptions;
+using hs::mpc::CollectiveMode;
+using hs::mpc::Machine;
+
+constexpr int kRanks = 65536;
+constexpr int kSide = 256;  // sqrt(kRanks)
+constexpr long long kBlock = 256;
+constexpr long long kSteps = 256;  // minimum legal: the grid side
+constexpr long long kN = 1ll << 22;
+
+struct Digest {
+  std::uint64_t events = 0;
+  double virtual_time = 0.0;
+  std::uint64_t messages = 0;
+  std::uint64_t bytes = 0;
+};
+
+Digest run_point(int groups) {
+  hs::desim::Engine engine;
+  const auto platform = hs::net::Platform::exascale();
+  Machine machine(engine, platform.make_network(),
+                  {.ranks = kRanks,
+                   .collective_mode = CollectiveMode::PointToPoint,
+                   .bcast_algo = hs::net::BcastAlgo::Binomial,
+                   .gamma_flop = platform.gamma_flop});
+  RunOptions options;
+  options.grid = {kSide, kSide};
+  options.problem = {kN, kSteps * kBlock, kN, kBlock, 0};
+  options.mode = PayloadMode::Phantom;
+  options.bcast_algo = hs::net::BcastAlgo::Binomial;
+  hs::core::adapt_groups(groups, options);
+  const auto result = hs::core::run(machine, options);
+
+  Digest digest;
+  digest.events = engine.events_processed();
+  digest.virtual_time = engine.now();
+  digest.messages = result.messages;
+  digest.bytes = result.wire_bytes;
+  return digest;
+}
+
+void expect_identical(const Digest& a, const Digest& b, const char* label) {
+  EXPECT_EQ(a.events, b.events) << label;
+  EXPECT_EQ(std::memcmp(&a.virtual_time, &b.virtual_time, sizeof(double)), 0)
+      << label << ": virtual time " << a.virtual_time << " vs "
+      << b.virtual_time;
+  EXPECT_EQ(a.messages, b.messages) << label;
+  EXPECT_EQ(a.bytes, b.bytes) << label;
+}
+
+bool print_goldens_requested() {
+  const char* env = std::getenv("HS_PRINT_GOLDENS");
+  return env != nullptr && env[0] != '\0' && env[0] != '0';
+}
+
+void print_golden(const char* name, const Digest& digest) {
+  std::printf("constexpr Digest %s{%lluull, %a, %lluull, %lluull};\n", name,
+              static_cast<unsigned long long>(digest.events),
+              digest.virtual_time,
+              static_cast<unsigned long long>(digest.messages),
+              static_cast<unsigned long long>(digest.bytes));
+}
+
+// ---------------------------------------------------------------------
+// Goldens at p = 65536 (exascale Hockney alpha = 500 ns, beta = 1e-11,
+// binomial p2p broadcasts). Regenerate with HS_PRINT_GOLDENS=1.
+// ---------------------------------------------------------------------
+constexpr Digest kSummaGolden{83689472ull, 0x1.2889e6d9241edp+5, 33423360ull,
+                              1121501860331520ull};
+constexpr Digest kHsummaGolden{83689472ull, 0x1.2889e6d9241edp+5, 33423360ull,
+                               1121501860331520ull};
+
+TEST(ScaleDeterminism, SummaRunsAreBitIdenticalAndMatchGolden) {
+  if (print_goldens_requested()) {
+    print_golden("kSummaGolden", run_point(1));
+    GTEST_SKIP() << "golden print mode";
+  }
+  const Digest first = run_point(1);
+  const Digest second = run_point(1);
+  expect_identical(first, second, "summa p=65536 repeat");
+  expect_identical(first, kSummaGolden, "summa p=65536 golden");
+}
+
+TEST(ScaleDeterminism, HsummaRunsAreBitIdenticalAndMatchGolden) {
+  if (print_goldens_requested()) {
+    print_golden("kHsummaGolden", run_point(kSide));
+    GTEST_SKIP() << "golden print mode";
+  }
+  const Digest first = run_point(kSide);  // G = sqrt(p), the paper's optimum
+  const Digest second = run_point(kSide);
+  expect_identical(first, second, "hsumma p=65536 repeat");
+  expect_identical(first, kHsummaGolden, "hsumma p=65536 golden");
+}
+
+TEST(ScaleDeterminism, PeakRssStaysWithinBudget) {
+  // Declared last: VmHWM is monotonic, so this bounds everything the two
+  // golden tests above allocated — four ~33M-message 65536-rank runs.
+  hs::test::expect_peak_rss_under_kb(1024 * 1024,
+                                     "four p=65536 p2p runs");
+}
+
+}  // namespace
