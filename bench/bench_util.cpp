@@ -29,6 +29,7 @@ exec::SimJob to_sim_job(const Config& config) {
   job.problem = config.problem;
   job.bcast_algo = config.algo;
   job.overlap = config.overlap;
+  job.lookahead = config.lookahead;
   job.faults = config.faults;
   return job;
 }
@@ -108,6 +109,17 @@ void emit_trace_artifacts(const trace::Recorder& recorder,
     metrics.to_table().print(std::cout);
     std::printf("\n");
   }
+}
+
+void add_overlap_options(CliParser& cli, bool* overlap, long long* lookahead) {
+  cli.add_flag("overlap", "enable the broadcast/update overlap pipeline "
+               "(look-ahead depth 1)", overlap);
+  *lookahead = -1;
+  cli.add_int("lookahead",
+              "task-plan look-ahead depth D (-1 derives 0/1 from --overlap; "
+              "D >= 2 prefetches D steps ahead on task-plan kernels: " +
+                  core::overlap_kernel_name_list() + ")",
+              lookahead);
 }
 
 void add_algorithm_option(CliParser& cli, std::string* dest) {
@@ -277,6 +289,7 @@ double run_g_sweep(const GSweepParams& params) {
   config.problem = params.problem;
   config.algo = params.algo;
   config.overlap = params.overlap;
+  config.lookahead = params.lookahead;
 
   // Submit every point (SUMMA baseline first) before reading any result:
   // with an executor the whole sweep runs concurrently, and collecting in

@@ -45,7 +45,10 @@ struct Config {
   std::vector<int> row_levels;    // multilevel only
   std::vector<int> col_levels;
   int layers = 1;                 // 2.5D only
-  bool overlap = false;           // Summa/Hsumma comm/comp overlap
+  bool overlap = false;           // comm/comp overlap (lookahead depth 1)
+  /// Task-plan look-ahead depth; -1 derives it from `overlap` (see
+  /// core::RunOptions::lookahead). Depths >= 2 need a task-plan kernel.
+  int lookahead = -1;
   /// Optional scripted fault plan (fault/fault_plan.hpp); null or empty
   /// perturbs nothing. Forces point-to-point collectives in run_sim_job.
   std::shared_ptr<const fault::FaultPlan> faults;
@@ -99,6 +102,11 @@ void run_traced(const Config& config, const TraceCli& trace,
 void emit_trace_artifacts(const trace::Recorder& recorder,
                           const trace::MetricsRegistry& metrics,
                           const TraceCli& trace, const std::string& label);
+
+/// Registers --overlap (double-buffered pipeline, depth 1) and --lookahead
+/// (task-plan depth D; -1 derives 0/1 from --overlap; D >= 2 needs a
+/// task-plan kernel) into `cli`.
+void add_overlap_options(CliParser& cli, bool* overlap, long long* lookahead);
 
 /// Registers --algorithm with the registry's kernel list in the help text;
 /// *dest keeps its current value as the default. Resolve the parsed name
@@ -199,6 +207,7 @@ struct GSweepParams {
   std::vector<int> groups;  // empty -> pow2_group_counts(ranks)
   bool show_execution = false;
   bool overlap = false;     // broadcast/update overlap pipeline
+  int lookahead = -1;       // task-plan depth; -1 derives from `overlap`
   std::string csv_path;
   /// Optional parallel executor; output is byte-identical either way.
   exec::ParallelExecutor* executor = nullptr;

@@ -13,6 +13,7 @@ int main(int argc, char** argv) {
   std::string platform_name = "grid5000-calibrated";
   std::string algo_name = "vandegeijn";
   bool overlap = false;
+  long long lookahead = -1;
   std::string csv;
   hs::bench::TraceCli trace;
 
@@ -24,8 +25,7 @@ int main(int argc, char** argv) {
   cli.add_int("p", "number of processes", &ranks);
   cli.add_string("platform", "platform preset", &platform_name);
   cli.add_string("bcast", "broadcast algorithm", &algo_name);
-  cli.add_flag("overlap", "enable the broadcast/update overlap pipeline",
-               &overlap);
+  hs::bench::add_overlap_options(cli, &overlap, &lookahead);
   cli.add_string("csv", "CSV output path", &csv);
   if (!cli.parse(argc, argv)) return 1;
 
@@ -36,6 +36,7 @@ int main(int argc, char** argv) {
   params.problem = hs::core::ProblemSpec::square(n, block);
   params.algo = hs::net::bcast_algo_from_string(algo_name);
   params.overlap = overlap;
+  params.lookahead = static_cast<int>(lookahead);
   params.csv_path = csv;
   params.trace = trace;
   hs::exec::ParallelExecutor executor({.jobs = static_cast<int>(jobs)});

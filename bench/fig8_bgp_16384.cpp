@@ -15,6 +15,7 @@ int main(int argc, char** argv) {
   std::string platform_name = "bluegene-p-calibrated";
   std::string algo_name = "vandegeijn";
   bool overlap = false;
+  long long lookahead = -1;
   std::string csv;
   hs::bench::TraceCli trace;
 
@@ -28,8 +29,7 @@ int main(int argc, char** argv) {
   cli.add_int("p", "number of processes", &ranks);
   cli.add_string("platform", "platform preset", &platform_name);
   cli.add_string("bcast", "broadcast algorithm", &algo_name);
-  cli.add_flag("overlap", "enable the broadcast/update overlap pipeline",
-               &overlap);
+  hs::bench::add_overlap_options(cli, &overlap, &lookahead);
   cli.add_string("csv", "CSV output path", &csv);
   if (!cli.parse(argc, argv)) return 1;
 
@@ -43,6 +43,7 @@ int main(int argc, char** argv) {
   params.algo = hs::net::bcast_algo_from_string(algo_name);
   params.show_execution = true;
   params.overlap = overlap;
+  params.lookahead = static_cast<int>(lookahead);
   params.csv_path = csv;
   params.trace = trace;
   hs::exec::ParallelExecutor executor({.jobs = static_cast<int>(jobs)});

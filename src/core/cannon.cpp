@@ -3,6 +3,7 @@
 #include <utility>
 #include <vector>
 
+#include "core/task_plan.hpp"
 #include "grid/process_grid.hpp"
 #include "la/gemm.hpp"
 #include "mpc/collectives.hpp"
@@ -29,6 +30,11 @@ desim::Task<void> rotate(mpc::Comm comm, int dst, int src,
 }  // namespace
 
 desim::Task<void> cannon_rank(CannonArgs args) {
+  if (args.lookahead > 0) {
+    // Overlapped execution is a task-plan schedule (core/task_plan.hpp).
+    co_await cannon_task_plan(std::move(args));
+    co_return;
+  }
   const ProblemSpec& prob = args.problem;
   HS_REQUIRE_MSG(args.shape.rows == args.shape.cols,
                  "Cannon requires a square process grid, got "
@@ -78,9 +84,11 @@ desim::Task<void> cannon_rank(CannonArgs args) {
   }
 
   for (int step = 0; step < q; ++step) {
+    args.tracer.begin_step(engine, step, trace::Phase::Flat);
     const double flops = la::gemm_flops(nb, nb, nb);
     {
       trace::PhaseTimer timer(stats.comp_time, engine);
+      trace::ComputeSpanGuard span(args.tracer, engine, flops);
       co_await machine.compute(self, flops);
     }
     if (real) {

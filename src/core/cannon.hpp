@@ -12,6 +12,7 @@
 #include "desim/task.hpp"
 #include "mpc/comm.hpp"
 #include "trace/phase.hpp"
+#include "trace/recorder.hpp"
 
 namespace hs::core {
 
@@ -21,6 +22,12 @@ struct CannonArgs {
   ProblemSpec problem;    // m == k == n required
   LocalBlocks* local = nullptr;
   trace::RankStats* stats = nullptr;
+  /// Look-ahead depth (see SummaArgs::lookahead). D >= 1 runs the task
+  /// plan with a max(2, D+1)-slot block ring, overlapping the A/B
+  /// rotations of step q+1 with the multiply of step q.
+  int lookahead = 0;
+  /// Optional structured trace sink (step marks + task spans).
+  trace::RankTracer tracer;
 };
 
 desim::Task<void> cannon_rank(CannonArgs args);

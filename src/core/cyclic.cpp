@@ -64,7 +64,7 @@ desim::Task<void> summa_cyclic_rank(SummaArgs args) {
     return root;
   };
 
-  if (args.overlap) {
+  if (args.lookahead >= 1) {
     PanelBuffer a_panels[2] = {PanelBuffer(local_m, b, mode),
                                PanelBuffer(local_m, b, mode)};
     PanelBuffer b_panels[2] = {PanelBuffer(b, local_n, mode),
@@ -232,7 +232,7 @@ desim::Task<void> hsumma_cyclic_rank(HsummaArgs args) {
       stats.flops += static_cast<std::uint64_t>(flops);
     };
 
-    if (args.overlap) {
+    if (args.lookahead >= 1) {
       fork_inner(0, 0);
       for (index_t inner = 0; inner < inner_steps; ++inner) {
         const int slot = static_cast<int>(inner % 2);

@@ -2,6 +2,7 @@
 
 #include "core/panel.hpp"
 #include "core/summa.hpp"
+#include "core/task_plan.hpp"
 #include "la/gemm.hpp"
 #include "mpc/collectives.hpp"
 
@@ -28,6 +29,11 @@ void check_hsumma_divisibility(grid::GridShape shape, grid::GridShape groups,
 }
 
 desim::Task<void> hsumma_rank(HsummaArgs args) {
+  if (args.lookahead > 0) {
+    // Overlapped execution is a task-plan schedule (core/task_plan.hpp).
+    co_await hsumma_task_plan(std::move(args));
+    co_return;
+  }
   check_hsumma_divisibility(args.shape, args.groups, args.problem);
   const grid::HierGrid hg(args.comm, args.shape, args.groups);
   mpc::Machine& machine = args.comm.machine();
@@ -52,13 +58,6 @@ desim::Task<void> hsumma_rank(HsummaArgs args) {
   PanelBuffer b_outer(outer, local_n, mode);
   PanelBuffer a_inner(local_m, b, mode);
   PanelBuffer b_inner(b, local_n, mode);
-  // Double buffers and join handles for the overlapped inner pipeline.
-  PanelBuffer a_inners[2] = {PanelBuffer(local_m, b, mode),
-                             PanelBuffer(local_m, b, mode)};
-  PanelBuffer b_inners[2] = {PanelBuffer(b, local_n, mode),
-                             PanelBuffer(b, local_n, mode)};
-  desim::Async a_async[2];
-  desim::Async b_async[2];
 
   const index_t outer_steps = prob.k / outer;
   const index_t inner_steps = outer / b;
@@ -99,51 +98,6 @@ desim::Task<void> hsumma_rank(HsummaArgs args) {
     }
 
     // --- inner phase: intra-group SUMMA over the outer blocks ----------
-    if (args.overlap) {
-      // Double-buffered inner pipeline (see SummaArgs::overlap).
-      auto fork_inner = [&](index_t w, int slot) {
-        const index_t offset = w * b;
-        if (mode == PayloadMode::Real && hg.local_col() == a_local_col)
-          a_inners[slot].view().copy_from(
-              a_outer.view().block(0, offset, local_m, b));
-        a_async[slot] = desim::Async::start(
-            engine, mpc::bcast(hg.row_comm(), a_local_col,
-                               a_inners[slot].buf(), args.bcast_algo));
-        if (mode == PayloadMode::Real && hg.local_row() == b_local_row)
-          b_inners[slot].view().copy_from(
-              b_outer.view().block(offset, 0, b, local_n));
-        b_async[slot] = desim::Async::start(
-            engine, mpc::bcast(hg.col_comm(), b_local_row,
-                               b_inners[slot].buf(), args.bcast_algo));
-      };
-
-      fork_inner(0, 0);
-      for (index_t inner = 0; inner < inner_steps; ++inner) {
-        args.tracer.begin_step(engine, big_step * inner_steps + inner,
-                               trace::Phase::Inner);
-        const int slot = static_cast<int>(inner % 2);
-        {
-          trace::PhaseTimer timer(stats.comm_time, engine);
-          trace::PhaseTimer inner_timer(stats.inner_comm_time, engine);
-          co_await a_async[slot].wait();
-          co_await b_async[slot].wait();
-        }
-        if (inner + 1 < inner_steps) fork_inner(inner + 1, slot ^ 1);
-
-        const double flops = la::gemm_flops(local_m, local_n, b);
-        {
-          trace::PhaseTimer timer(stats.comp_time, engine);
-          trace::ComputeSpanGuard span(args.tracer, engine, flops);
-          co_await machine.compute(self, flops);
-        }
-        if (mode == PayloadMode::Real)
-          la::gemm(a_inners[slot].view(), b_inners[slot].view(),
-                   args.local->c.view());
-        stats.flops += static_cast<std::uint64_t>(flops);
-      }
-      continue;
-    }
-
     for (index_t inner = 0; inner < inner_steps; ++inner) {
       args.tracer.begin_step(engine, big_step * inner_steps + inner,
                              trace::Phase::Inner);

@@ -34,10 +34,12 @@ struct HsummaArgs {
   LocalBlocks* local = nullptr;
   trace::RankStats* stats = nullptr;
   std::optional<net::BcastAlgo> bcast_algo;
-  /// Overlap the *intra-group* pipeline: inner step w+1's broadcasts are
-  /// forked before inner step w's update (outer-phase broadcasts stay
-  /// blocking). See SummaArgs::overlap.
-  bool overlap = false;
+  /// Look-ahead depth (see SummaArgs::lookahead). D=1 reproduces the old
+  /// double-buffered *intra-group* pipeline (outer-phase broadcasts stay
+  /// blocking); D>=2 additionally prefetches up to D outer panels across
+  /// big-step boundaries — the win the hand-rolled pipeline could not
+  /// express.
+  int lookahead = 0;
   /// Optional structured trace sink (detached by default). Marks every
   /// outer step (Phase::Outer) and inner step (Phase::Inner, numbered
   /// big_step*inner_steps + inner) so collective and compute spans carry

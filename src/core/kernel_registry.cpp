@@ -96,27 +96,31 @@ class GemmRun final : public KernelRun {
     switch (options.algorithm) {
       case Algorithm::Summa:
         return summa_rank({world, options.grid, prob, local, stats,
-                           options.bcast_algo, options.overlap,
+                           options.bcast_algo, effective_lookahead(options),
                            trace::RankTracer(options.recorder, rank)});
       case Algorithm::Hsumma:
         return hsumma_rank({world, options.grid, options.groups, prob, local,
-                            stats, options.bcast_algo, options.overlap,
+                            stats, options.bcast_algo,
+                            effective_lookahead(options),
                             trace::RankTracer(options.recorder, rank)});
       case Algorithm::SummaCyclic:
         return summa_cyclic_rank({world, options.grid, prob, local, stats,
-                                  options.bcast_algo, options.overlap,
+                                  options.bcast_algo,
+                                  effective_lookahead(options) >= 1,
                                   trace::RankTracer(options.recorder, rank)});
       case Algorithm::HsummaCyclic:
         return hsumma_cyclic_rank({world, options.grid, options.groups, prob,
                                    local, stats, options.bcast_algo,
-                                   options.overlap,
+                                   effective_lookahead(options) >= 1,
                                    trace::RankTracer(options.recorder, rank)});
       case Algorithm::HsummaMultilevel:
         return hsumma_multilevel_rank({world, options.grid, prob,
                                        options.row_levels, options.col_levels,
                                        local, stats, options.bcast_algo});
       case Algorithm::Cannon:
-        return cannon_rank({world, options.grid, prob, local, stats});
+        return cannon_rank({world, options.grid, prob, local, stats,
+                            effective_lookahead(options),
+                            trace::RankTracer(options.recorder, rank)});
       case Algorithm::Fox:
         return fox_rank({world, options.grid, prob, local, stats,
                          options.bcast_algo});
@@ -244,6 +248,8 @@ class LuRun final : public FactorRunBase {
     args.local_a = local_of(rank);
     args.stats = stats;
     args.bcast_algo = options.bcast_algo;
+    args.lookahead = effective_lookahead(options);
+    args.tracer = trace::RankTracer(options.recorder, rank);
     return lu_rank(std::move(args));
   }
 
@@ -325,8 +331,14 @@ void require_factorization_options(const RunOptions& options) {
                  << " k=" << prob.k << " n=" << prob.n << ")");
   HS_REQUIRE_MSG(options.layers == 1,
                  "kernel '" << kernel.name << "' does not replicate layers");
-  HS_REQUIRE_MSG(!options.overlap, "kernel '" << kernel.name
-                 << "' has no communication/computation overlap pipeline");
+  // Look-ahead is per-kernel: LU has a task-plan schedule, Cholesky has
+  // none (the central capability check in core::run rejects it too; this
+  // guards direct validate() callers).
+  HS_REQUIRE_MSG(kernel.overlap_support != OverlapSupport::None ||
+                     effective_lookahead(options) == 0,
+                 "kernel '" << kernel.name
+                 << "' has no communication/computation overlap pipeline "
+                    "(supported by: " << overlap_kernel_name_list() << ")");
   HS_REQUIRE_MSG(options.groups.size() == 1,
                  "factorization kernels take hierarchy level factors "
                  "(row_levels/col_levels), not an HSUMMA group arrangement");
@@ -364,20 +376,21 @@ std::vector<KernelDescriptor> build_registry() {
   };
   add(Algorithm::Summa, "summa", Algorithm::Summa, Algorithm::Hsumma,
       make_gemm_run)
-      .supports_overlap = true;
+      .overlap_support = OverlapSupport::TaskPlan;
   add(Algorithm::Hsumma, "hsumma", Algorithm::Summa, Algorithm::Hsumma,
       make_gemm_run)
-      .supports_overlap = true;
+      .overlap_support = OverlapSupport::TaskPlan;
   add(Algorithm::HsummaMultilevel, "hsumma-multilevel",
       Algorithm::HsummaMultilevel, Algorithm::HsummaMultilevel, make_gemm_run);
   add(Algorithm::SummaCyclic, "summa-cyclic", Algorithm::SummaCyclic,
       Algorithm::HsummaCyclic, make_gemm_run)
-      .supports_overlap = true;
+      .overlap_support = OverlapSupport::DoubleBuffer;
   add(Algorithm::HsummaCyclic, "hsumma-cyclic", Algorithm::SummaCyclic,
       Algorithm::HsummaCyclic, make_gemm_run)
-      .supports_overlap = true;
+      .overlap_support = OverlapSupport::DoubleBuffer;
   add(Algorithm::Cannon, "cannon", Algorithm::Cannon, Algorithm::Cannon,
-      make_gemm_run);
+      make_gemm_run)
+      .overlap_support = OverlapSupport::TaskPlan;
   add(Algorithm::Fox, "fox", Algorithm::Fox, Algorithm::Fox, make_gemm_run);
   {
     KernelDescriptor& summa25d =
@@ -390,6 +403,7 @@ std::vector<KernelDescriptor> build_registry() {
     KernelDescriptor& lu = add(Algorithm::Lu, "lu", Algorithm::Lu,
                                Algorithm::Lu, make_lu_run);
     lu.factorization = true;
+    lu.overlap_support = OverlapSupport::TaskPlan;
     lu.validate = validate_lu;
   }
   {
@@ -431,6 +445,16 @@ const KernelDescriptor* find_kernel(std::string_view name) {
 std::string kernel_name_list() {
   std::string list;
   for (const KernelDescriptor& kernel : all_kernels()) {
+    if (!list.empty()) list += ", ";
+    list += kernel.name;
+  }
+  return list;
+}
+
+std::string overlap_kernel_name_list() {
+  std::string list;
+  for (const KernelDescriptor& kernel : all_kernels()) {
+    if (kernel.overlap_support == OverlapSupport::None) continue;
     if (!list.empty()) list += ", ";
     list += kernel.name;
   }

@@ -43,6 +43,15 @@ class KernelRun {
   virtual double verify(const RunOptions& options) = 0;
 };
 
+/// Communication/computation overlap capability, per kernel:
+///   None         — the kernel has no overlapped execution; any requested
+///                  overlap or lookahead is a hard error.
+///   DoubleBuffer — a hand-rolled double-buffered pipeline only; lookahead
+///                  is capped at D = 1 (the cyclic kernels).
+///   TaskPlan     — the kernel lowers to a task-plan schedule
+///                  (core/task_plan.hpp) and accepts any lookahead depth.
+enum class OverlapSupport { None, DoubleBuffer, TaskPlan };
+
 struct KernelDescriptor {
   Algorithm kernel = Algorithm::Summa;
   /// Canonical name: CLI spelling, engine task names, error messages.
@@ -53,8 +62,8 @@ struct KernelDescriptor {
   /// broadcast level factors instead of an HSUMMA group arrangement.
   bool factorization = false;
   bool requires_square_grid = false;
-  /// Communication/computation overlap pipeline available.
-  bool supports_overlap = false;
+  /// Communication/computation overlap capability (see OverlapSupport).
+  OverlapSupport overlap_support = OverlapSupport::None;
   /// RunOptions::layers > 1 replication (2.5D family).
   bool supports_layers = false;
   /// Group-count family policy for exec::run_sim_job: a requested group
@@ -81,6 +90,10 @@ const KernelDescriptor* find_kernel(std::string_view name);
 
 /// "summa, hsumma, ..., lu, cholesky" — for CLI help and error messages.
 std::string kernel_name_list();
+
+/// Kernels whose overlap_support is not None — for the hard error emitted
+/// when --overlap/--lookahead is requested on an unsupporting kernel.
+std::string overlap_kernel_name_list();
 
 /// The registry's group-count adaptation policy, shared by run_sim_job and
 /// the benches: rewrites options.algorithm/groups (SUMMA family) or the

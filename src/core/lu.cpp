@@ -4,6 +4,7 @@
 
 #include "core/hier_bcast.hpp"
 #include "core/panel.hpp"
+#include "core/task_plan.hpp"
 #include "grid/distribution.hpp"
 #include "grid/process_grid.hpp"
 #include "la/factor.hpp"
@@ -32,6 +33,11 @@ la::ElementFn lu_input_elements(std::uint64_t seed, index_t n) {
 }
 
 desim::Task<void> lu_rank(LuArgs args) {
+  if (args.lookahead > 0) {
+    // Overlapped execution is a task-plan schedule (core/task_plan.hpp).
+    co_await lu_task_plan(std::move(args));
+    co_return;
+  }
   check_lu_preconditions(args.shape, args.n, args.block);
   const grid::ProcessGrid pg(args.comm, args.shape);
   mpc::Machine& machine = args.comm.machine();
@@ -53,6 +59,7 @@ desim::Task<void> lu_rank(LuArgs args) {
 
   const index_t steps = args.n / b;
   for (index_t k = 0; k < steps; ++k) {
+    args.tracer.begin_step(engine, k, trace::Phase::Flat);
     const index_t pivot = k * b;
     const int owner_row = static_cast<int>(pivot / local_rows);
     const int owner_col = static_cast<int>(pivot / local_cols);
@@ -74,22 +81,18 @@ desim::Task<void> lu_rank(LuArgs args) {
     // 1. Factor the diagonal block; share it down the pivot column (for
     //    the L solves) and across the pivot row (for the U solves).
     if (pg.my_row() == owner_row && pg.my_col() == owner_col) {
+      const double flops = 2.0 / 3.0 * static_cast<double>(b) *
+                           static_cast<double>(b) * static_cast<double>(b);
+      {
+        trace::PhaseTimer timer(stats.comp_time, engine);
+        trace::ComputeSpanGuard span(args.tracer, engine, flops);
+        co_await machine.compute(self, flops);
+      }
       if (mode == PayloadMode::Real) {
         la::MatrixView block_kk =
             args.local_a->block(local_r0, local_c0, b, b);
-        {
-          trace::PhaseTimer timer(stats.comp_time, engine);
-          co_await machine.compute(self, 2.0 / 3.0 * static_cast<double>(b) *
-                                         static_cast<double>(b) *
-                                         static_cast<double>(b));
-        }
         la::lu_factor_inplace(block_kk);
         diag.view().copy_from(block_kk);
-      } else {
-        trace::PhaseTimer timer(stats.comp_time, engine);
-        co_await machine.compute(self, 2.0 / 3.0 * static_cast<double>(b) *
-                                       static_cast<double>(b) *
-                                       static_cast<double>(b));
       }
     }
     if (pg.my_col() == owner_col) {
@@ -112,6 +115,7 @@ desim::Task<void> lu_rank(LuArgs args) {
                              static_cast<double>(b) * static_cast<double>(b);
         {
           trace::PhaseTimer timer(stats.comp_time, engine);
+          trace::ComputeSpanGuard span(args.tracer, engine, flops);
           co_await machine.compute(self, flops);
         }
         if (mode == PayloadMode::Real) {
@@ -145,6 +149,7 @@ desim::Task<void> lu_rank(LuArgs args) {
                              static_cast<double>(b) * static_cast<double>(b);
         {
           trace::PhaseTimer timer(stats.comp_time, engine);
+          trace::ComputeSpanGuard span(args.tracer, engine, flops);
           co_await machine.compute(self, flops);
         }
         if (mode == PayloadMode::Real) {
@@ -169,6 +174,7 @@ desim::Task<void> lu_rank(LuArgs args) {
       const double flops = la::gemm_flops(trailing_rows, trailing_cols, b);
       {
         trace::PhaseTimer timer(stats.comp_time, engine);
+        trace::ComputeSpanGuard span(args.tracer, engine, flops);
         co_await machine.compute(self, flops);
       }
       if (mode == PayloadMode::Real) {

@@ -26,6 +26,7 @@
 #include "la/generate.hpp"
 #include "mpc/comm.hpp"
 #include "trace/phase.hpp"
+#include "trace/recorder.hpp"
 
 namespace hs::core {
 
@@ -40,6 +41,15 @@ struct LuArgs {
   la::Matrix* local_a = nullptr;
   trace::RankStats* stats = nullptr;
   std::optional<net::BcastAlgo> bcast_algo;
+  /// Look-ahead depth (see SummaArgs::lookahead). D >= 1 runs the task
+  /// plan: the trailing update of step k is split into the next pivot
+  /// column strip plus the remainder, so panel k+1 factors and its
+  /// broadcasts fly while the bulk of update k still streams (classic
+  /// look-ahead LU; the depth is 1 panel regardless of D, which only
+  /// widens the diag/panel slot rings).
+  int lookahead = 0;
+  /// Optional structured trace sink (step marks + task spans).
+  trace::RankTracer tracer;
 };
 
 /// Per-rank program. Preconditions: s | n, t | n, b | n/s, b | n/t.

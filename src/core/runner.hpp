@@ -27,8 +27,16 @@ struct RunOptions {
   ProblemSpec problem;
   PayloadMode mode = PayloadMode::Real;
   std::optional<net::BcastAlgo> bcast_algo;  // default: machine config
-  /// Communication/computation overlap (Summa and Hsumma only).
+  /// Communication/computation overlap. Shorthand for lookahead = 1; kept
+  /// because a plain on/off switch is what most sweeps want.
   bool overlap = false;
+  /// Task-plan look-ahead depth D (kernels with OverlapSupport::TaskPlan).
+  /// -1 derives the depth from `overlap` (true -> 1, false -> 0); 0 is the
+  /// classic blocking schedule; 1 the double-buffered pipeline; D >= 2
+  /// prefetches up to D panels (see core/task_plan.hpp). Requesting any
+  /// depth >= 1 on a kernel without overlap support is a hard error, and
+  /// depths >= 2 require OverlapSupport::TaskPlan.
+  int lookahead = -1;
   bool verify = false;             // Real mode only
   std::uint64_t seed = 2013;       // input generator seed
   /// Optional structured event sink (see trace/recorder.hpp). Attached to
@@ -55,6 +63,13 @@ struct RunResult {
   std::uint64_t fault_retries = 0;
   std::uint64_t fault_timeouts = 0;
 };
+
+/// The resolved look-ahead depth: options.lookahead when explicitly set
+/// (>= 0), else 1/0 from the `overlap` switch.
+inline int effective_lookahead(const RunOptions& options) {
+  return options.lookahead >= 0 ? options.lookahead
+                                : (options.overlap ? 1 : 0);
+}
 
 /// Execute one distributed multiplication on `machine`.
 /// Requires machine.ranks() == options.grid.size() * options.layers.

@@ -1,6 +1,7 @@
 #include "core/summa.hpp"
 
 #include "core/panel.hpp"
+#include "core/task_plan.hpp"
 #include "la/gemm.hpp"
 #include "mpc/collectives.hpp"
 
@@ -25,6 +26,11 @@ void check_summa_divisibility(grid::GridShape shape, const ProblemSpec& p) {
 }
 
 desim::Task<void> summa_rank(SummaArgs args) {
+  if (args.lookahead > 0) {
+    // Overlapped execution is a task-plan schedule (core/task_plan.hpp).
+    co_await summa_task_plan(std::move(args));
+    co_return;
+  }
   check_summa_divisibility(args.shape, args.problem);
   const grid::ProcessGrid pg(args.comm, args.shape);
   mpc::Machine& machine = args.comm.machine();
@@ -44,66 +50,6 @@ desim::Task<void> summa_rank(SummaArgs args) {
   trace::RankStats& stats = args.stats ? *args.stats : scratch_stats;
 
   const index_t steps = prob.k / b;
-
-  if (args.overlap) {
-    // Double-buffered pipeline: the broadcasts of step q+1 are forked
-    // before the rank-b update of step q, so their virtual time hides
-    // behind the compute charge. Exposed communication = join wait only.
-    PanelBuffer a_panels[2] = {PanelBuffer(local_m, b, mode),
-                               PanelBuffer(local_m, b, mode)};
-    PanelBuffer b_panels[2] = {PanelBuffer(b, local_n, mode),
-                               PanelBuffer(b, local_n, mode)};
-    desim::Async a_async[2];
-    desim::Async b_async[2];
-
-    auto fork_step = [&](index_t q, int slot) {
-      const index_t pivot = q * b;
-      const int a_root = static_cast<int>(pivot / local_k_a);
-      if (mode == PayloadMode::Real && pg.my_col() == a_root) {
-        const index_t col0 = pivot - static_cast<index_t>(a_root) * local_k_a;
-        a_panels[slot].view().copy_from(
-            args.local->a.block(0, col0, local_m, b));
-      }
-      a_async[slot] = desim::Async::start(
-          engine,
-          mpc::bcast(pg.row_comm(), a_root, a_panels[slot].buf(),
-                     args.bcast_algo));
-      const int b_root = static_cast<int>(pivot / local_k_b);
-      if (mode == PayloadMode::Real && pg.my_row() == b_root) {
-        const index_t row0 = pivot - static_cast<index_t>(b_root) * local_k_b;
-        b_panels[slot].view().copy_from(
-            args.local->b.block(row0, 0, b, local_n));
-      }
-      b_async[slot] = desim::Async::start(
-          engine,
-          mpc::bcast(pg.col_comm(), b_root, b_panels[slot].buf(),
-                     args.bcast_algo));
-    };
-
-    fork_step(0, 0);
-    for (index_t q = 0; q < steps; ++q) {
-      args.tracer.begin_step(engine, q, trace::Phase::Flat);
-      const int slot = static_cast<int>(q % 2);
-      {
-        trace::PhaseTimer timer(stats.comm_time, engine);
-        co_await a_async[slot].wait();
-        co_await b_async[slot].wait();
-      }
-      if (q + 1 < steps) fork_step(q + 1, slot ^ 1);
-
-      const double flops = la::gemm_flops(local_m, local_n, b);
-      {
-        trace::PhaseTimer timer(stats.comp_time, engine);
-        trace::ComputeSpanGuard span(args.tracer, engine, flops);
-        co_await machine.compute(self, flops);
-      }
-      if (mode == PayloadMode::Real)
-        la::gemm(a_panels[slot].view(), b_panels[slot].view(),
-                 args.local->c.view());
-      stats.flops += static_cast<std::uint64_t>(flops);
-    }
-    co_return;
-  }
 
   PanelBuffer a_panel(local_m, b, mode);
   PanelBuffer b_panel(b, local_n, mode);

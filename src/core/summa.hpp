@@ -23,15 +23,17 @@ struct SummaArgs {
   LocalBlocks* local = nullptr;        // nullptr in Phantom mode
   trace::RankStats* stats = nullptr;   // optional
   std::optional<net::BcastAlgo> bcast_algo;  // default: machine config
-  /// Communication/computation overlap (the paper's future work): step
-  /// q+1's panel broadcasts are forked before step q's local update, with
-  /// double-buffered panels; comm_time then counts only the *exposed*
+  /// Communication/computation look-ahead depth (the paper's future work).
+  /// 0 = classic blocking loop; >= 1 runs the task-plan scheduler
+  /// (core/task_plan.hpp) with D+1 panel slots — D=1 is the double-buffered
+  /// pipeline, deeper D adds nothing for flat SUMMA (the broadcast channel
+  /// serializes) but is accepted. comm_time then counts only the *exposed*
   /// (non-hidden) communication.
-  bool overlap = false;
+  int lookahead = 0;
   /// Optional structured trace sink (detached by default). Emits one step
   /// marker per pivot step and wraps compute charges in spans; collective
-  /// spans come from the mpc layer. In overlap mode the step stamped on a
-  /// forked broadcast is the step current at fork time (best-effort).
+  /// spans come from the mpc layer. With lookahead >= 1 the step stamped on
+  /// a forked broadcast is the step current at fork time (best-effort).
   trace::RankTracer tracer;
 };
 

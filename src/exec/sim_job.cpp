@@ -48,7 +48,8 @@ std::string SimJob::cache_key() const {
       << problem.block << "," << problem.outer_block
       << ";mode=" << static_cast<int>(mode)
       << ";bcast=" << (bcast_algo ? static_cast<int>(*bcast_algo) : -1)
-      << ";ovl=" << overlap << ";verify=" << verify << ";seed=" << seed
+      << ";ovl=" << overlap << ";la=" << lookahead << ";verify=" << verify
+      << ";seed=" << seed
       << ";ns=" << net::describe_double(noise_sigma)
       << ";nseed=" << noise_seed;
   if (faults != nullptr && !faults->empty())
@@ -88,6 +89,7 @@ core::RunResult run_sim_job(const SimJob& job) {
   options.layers = job.layers;
   options.algorithm = job.algorithm;
   options.overlap = job.overlap;
+  options.lookahead = job.lookahead;
   options.verify = job.verify;
   options.seed = job.seed;
   options.row_levels = job.row_levels;

@@ -64,6 +64,9 @@ struct SimJob {
   core::PayloadMode mode = core::PayloadMode::Phantom;
   std::optional<net::BcastAlgo> bcast_algo;  // run-level override
   bool overlap = false;
+  /// Task-plan look-ahead depth; -1 derives it from `overlap` (see
+  /// core::RunOptions::lookahead). Participates in cache_key.
+  int lookahead = -1;
   bool verify = false;
   std::uint64_t seed = 2013;  // input generator seed (Real mode)
 

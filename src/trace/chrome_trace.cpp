@@ -150,8 +150,9 @@ void write_session(EventSink& sink, const TraceSession& session,
                    std::size_t session_index) {
   HS_REQUIRE(session.recorder != nullptr);
   const Recorder& recorder = *session.recorder;
-  const int pid_ranks = static_cast<int>(2 * session_index);
+  const int pid_ranks = static_cast<int>(3 * session_index);
   const int pid_wire = pid_ranks + 1;
+  const int pid_tasks = pid_ranks + 2;  // only emitted when tasks exist
   const int ranks = recorder.rank_count();
 
   sink.emit(metadata_event(pid_ranks, 0, "process_name",
@@ -329,6 +330,54 @@ void write_session(EventSink& sink, const TraceSession& session,
                   json_escape(name) + "\",\"cat\":\"fault\",\"args\":{" + args +
                   "}}");
       }
+    }
+  }
+
+  // --- task-runtime tracks: the scheduler's view of each rank — comm
+  // transfer spans, compute charges and *exposed* join waits (what the
+  // critical-path analyzer counts as reclaimable idle). Forked comm runs
+  // concurrently with compute on the same rank, so lanes spill like the
+  // collective tracks above.
+  if (!recorder.tasks().empty()) {
+    sink.emit(metadata_event(pid_tasks, 0, "process_name",
+                             session.label + " tasks"));
+    int task_ranks = 0;
+    for (const TaskSpan& span : recorder.tasks())
+      task_ranks = std::max(task_ranks, span.rank + 1);
+    std::vector<std::vector<TimedItem>> per_rank_tasks(
+        static_cast<std::size_t>(task_ranks));
+    for (std::size_t i = 0; i < recorder.tasks().size(); ++i) {
+      const TaskSpan& span = recorder.tasks()[i];
+      if (span.rank < 0) continue;
+      per_rank_tasks[static_cast<std::size_t>(span.rank)].push_back(
+          {span.start, std::max(span.end, span.start), false, i});
+    }
+    int task_tid = 0;
+    for (std::size_t r = 0; r < per_rank_tasks.size(); ++r) {
+      const std::vector<int> lanes = assign_lanes(per_rank_tasks[r]);
+      int lane_count = 1;
+      for (int lane : lanes) lane_count = std::max(lane_count, lane + 1);
+      for (int lane = 0; lane < lane_count; ++lane) {
+        std::string name = "rank " + std::to_string(r) + " tasks";
+        if (lane > 0) name += " ~" + std::to_string(lane);
+        sink.emit(metadata_event(pid_tasks, task_tid + lane, "thread_name",
+                                 name));
+      }
+      for (std::size_t i = 0; i < per_rank_tasks[r].size(); ++i) {
+        const TimedItem& item = per_rank_tasks[r][i];
+        const TaskSpan& span = recorder.tasks()[item.index];
+        const std::string_view kind = to_string(span.kind);
+        std::string name(span.label);
+        if (name.empty()) name = kind;
+        if (span.kind == TaskSpanKind::Wait) name = "wait: " + name;
+        sink.emit(complete_event(
+            pid_tasks, task_tid + lanes[i], item.start, item.end, name,
+            std::string("task-") + std::string(kind),
+            "\"kind\":\"" + std::string(kind) +
+                "\",\"step\":" + std::to_string(span.step) + ",\"phase\":\"" +
+                std::string(to_string(span.phase)) + "\""));
+      }
+      task_tid += lane_count;
     }
   }
 

@@ -28,6 +28,15 @@ std::string_view to_string(Phase phase) {
   return "unknown";
 }
 
+std::string_view to_string(TaskSpanKind kind) {
+  switch (kind) {
+    case TaskSpanKind::Comm: return "comm";
+    case TaskSpanKind::Compute: return "compute";
+    case TaskSpanKind::Wait: return "wait";
+  }
+  return "unknown";
+}
+
 std::string_view to_string(FaultKind kind) {
   switch (kind) {
     case FaultKind::RankSlowdown: return "rank-slowdown";
@@ -51,6 +60,7 @@ int Recorder::rank_count() const {
     max_rank = std::max(max_rank, fault.a);
     max_rank = std::max(max_rank, fault.b);
   }
+  for (const auto& task : tasks_) max_rank = std::max(max_rank, task.rank);
   return max_rank + 1;
 }
 

@@ -114,6 +114,28 @@ struct SiteSpan {
   int members = 0;
 };
 
+/// Task-runtime span kinds (core/task_plan.hpp): a communication task's
+/// transfer span, a compute task's charge, or the scheduler's exposed wait
+/// on a communication task (the non-hidden remainder the critical-path
+/// analyzer treats as reclaimable idle).
+enum class TaskSpanKind { Comm, Compute, Wait };
+std::string_view to_string(TaskSpanKind kind);
+
+/// One task-runtime event on one rank. Comm/Compute spans cover the task
+/// body's virtual interval; Wait spans cover the scheduler's join waits
+/// (inline D=0 execution waits for the full comm span, overlapped execution
+/// only for the exposed remainder — comparing the two is exactly the
+/// "idle reclaimed" number).
+struct TaskSpan {
+  double start = 0.0;
+  double end = 0.0;
+  int rank = -1;
+  TaskSpanKind kind = TaskSpanKind::Comm;
+  long long step = -1;
+  Phase phase = Phase::Flat;
+  const char* label = "";  // static storage (TaskSpec::label)
+};
+
 /// Fault-event taxonomy (mirrors fault::FaultPlan's event kinds, kept
 /// mpc/fault-independent here for the same layering reason as
 /// CollectiveOp): injected windows and discrete fault hits, rendered as a
@@ -169,6 +191,7 @@ class Recorder {
   void add_transfer(const WireSpan& span) { wires_.push_back(span); }
   void add_site(const SiteSpan& span) { sites_.push_back(span); }
   void add_fault(const FaultSpan& span) { faults_.push_back(span); }
+  void add_task(const TaskSpan& span) { tasks_.push_back(span); }
 
   const std::vector<CollectiveSpan>& collectives() const noexcept {
     return collectives_;
@@ -180,10 +203,12 @@ class Recorder {
   const std::vector<WireSpan>& wires() const noexcept { return wires_; }
   const std::vector<SiteSpan>& sites() const noexcept { return sites_; }
   const std::vector<FaultSpan>& faults() const noexcept { return faults_; }
+  const std::vector<TaskSpan>& tasks() const noexcept { return tasks_; }
 
   bool empty() const noexcept {
     return collectives_.empty() && computes_.empty() && steps_.empty() &&
-           wires_.empty() && sites_.empty() && faults_.empty();
+           wires_.empty() && sites_.empty() && faults_.empty() &&
+           tasks_.empty();
   }
 
   /// Highest rank index seen across all recorded events, plus one.
@@ -196,6 +221,7 @@ class Recorder {
     wires_.clear();
     sites_.clear();
     faults_.clear();
+    tasks_.clear();
     states_.clear();
   }
 
@@ -217,6 +243,7 @@ class Recorder {
   std::vector<WireSpan> wires_;
   std::vector<SiteSpan> sites_;
   std::vector<FaultSpan> faults_;
+  std::vector<TaskSpan> tasks_;
   std::vector<RankState> states_;
 };
 

@@ -63,11 +63,30 @@ TuneResult tune_groups(const TuneOptions& options) {
     std::sort(candidates.begin(), candidates.end());
   }
 
+  // Look-ahead depths are sampled jointly with G: overlap shifts which
+  // communication is exposed, so the best group count can move with D.
+  // Depth support is validated here (rather than deep in run_sim_job) so a
+  // misconfigured sweep fails before any sample runs.
+  std::vector<int> depths = options.lookaheads;
+  if (depths.empty()) depths = {0};
+  const core::KernelDescriptor& descriptor =
+      core::kernel_descriptor(options.kernel);
+  for (int depth : depths) {
+    HS_REQUIRE_MSG(depth >= 0, "lookahead must be >= 0");
+    if (depth >= 1)
+      HS_REQUIRE_MSG(
+          descriptor.overlap_support != core::OverlapSupport::None &&
+              (descriptor.overlap_support == core::OverlapSupport::TaskPlan ||
+               depth <= 1),
+          "kernel '" << descriptor.name << "' cannot run lookahead depth "
+                     << depth << "; task-plan kernels: "
+                     << core::overlap_kernel_name_list());
+  }
+
   // Factorization kernels keep the full problem: their panel steps shrink
   // as the factorization advances, so a truncated prefix would not be
   // representative (and m == k == n is a kernel precondition).
-  const bool factorization =
-      core::kernel_descriptor(options.kernel).factorization;
+  const bool factorization = descriptor.factorization;
   const core::ProblemSpec sample_problem =
       factorization ? options.problem
                     : truncated_problem(options.problem, options.grid,
@@ -76,30 +95,34 @@ TuneResult tune_groups(const TuneOptions& options) {
       static_cast<double>(options.problem.k) /
       static_cast<double>(sample_problem.k);
 
-  // Every runnable candidate becomes one executor job (run_sim_job applies
-  // the same Summa/Hsumma split and group arrangement this loop used to).
-  // Jobs are submitted before any result is read — with an executor the
-  // whole sampling sweep runs concurrently — and aggregated in candidate
-  // order, so samples and the best pick match the serial path exactly.
-  std::vector<int> runnable;
+  // Every runnable (G, D) pair becomes one executor job (run_sim_job
+  // applies the same Summa/Hsumma split and group arrangement this loop
+  // used to). Jobs are submitted before any result is read — with an
+  // executor the whole sampling sweep runs concurrently — and aggregated in
+  // candidate order, so samples and the best pick match the serial path
+  // exactly.
+  std::vector<std::pair<int, int>> runnable;  // (groups, lookahead)
   std::vector<exec::SimJob> jobs;
   for (int groups : candidates) {
     const grid::GridShape arrangement =
         grid::group_arrangement(options.grid, groups);
     if (arrangement.size() != groups) continue;
-    exec::SimJob job;
-    job.network = options.network;
-    job.gamma_flop = options.machine_config.gamma_flop;
-    job.collective_mode = options.machine_config.collective_mode;
-    job.machine_bcast_algo = options.machine_config.bcast_algo;
-    job.algorithm = options.kernel;  // adapt_groups picks flat vs hier
-    job.grid = options.grid;
-    job.groups = groups;
-    job.problem = sample_problem;
-    job.bcast_algo = options.bcast_algo;
-    job.faults = options.faults;
-    runnable.push_back(groups);
-    jobs.push_back(std::move(job));
+    for (int depth : depths) {
+      exec::SimJob job;
+      job.network = options.network;
+      job.gamma_flop = options.machine_config.gamma_flop;
+      job.collective_mode = options.machine_config.collective_mode;
+      job.machine_bcast_algo = options.machine_config.bcast_algo;
+      job.algorithm = options.kernel;  // adapt_groups picks flat vs hier
+      job.grid = options.grid;
+      job.groups = groups;
+      job.problem = sample_problem;
+      job.bcast_algo = options.bcast_algo;
+      job.lookahead = depth;
+      job.faults = options.faults;
+      runnable.emplace_back(groups, depth);
+      jobs.push_back(std::move(job));
+    }
   }
 
   std::vector<std::size_t> indices;
@@ -115,16 +138,23 @@ TuneResult tune_groups(const TuneOptions& options) {
                                     : exec::run_sim_job(jobs[i]);
 
     Sample sample;
-    sample.groups = runnable[i];
-    sample.arrangement = grid::group_arrangement(options.grid, runnable[i]);
+    sample.groups = runnable[i].first;
+    sample.lookahead = runnable[i].second;
+    sample.arrangement =
+        grid::group_arrangement(options.grid, sample.groups);
     sample.comm_time = run.timing.max_comm_time * scale;
     sample.total_time =
         (run.timing.max_comm_time + run.timing.max_comp_time) * scale;
     result.samples.push_back(sample);
 
+    // Exposed comm is the right joint metric: flops are invariant across
+    // both G and D, so argmin(exposed comm) == argmin(total). Strict `<`
+    // keeps the first-sampled pair on ties — deeper D never wins unless
+    // it actually hides something.
     if (sample.comm_time < result.best_comm_time) {
       result.best_comm_time = sample.comm_time;
       result.best_groups = sample.groups;
+      result.best_lookahead = sample.lookahead;
       result.best_arrangement = sample.arrangement;
     }
   }

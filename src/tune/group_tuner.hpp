@@ -39,6 +39,11 @@ struct TuneOptions {
   int sample_outer_steps = 2;
   /// Candidate group counts; empty -> all valid counts for the grid.
   std::vector<int> candidates;
+  /// Candidate look-ahead depths, sampled jointly with G (the best (G, D)
+  /// pair is reported). The default tunes the blocking schedule only;
+  /// {0, 1, 2} spans blocking, double-buffered and deep prefetch. Every
+  /// depth must be supported by the kernel (see core::OverlapSupport).
+  std::vector<int> lookaheads = {0};
   /// Cap on sampled candidates (<=0 -> no cap). Candidates nearest the
   /// model's predicted optimum are kept.
   int max_candidates = 0;
@@ -56,13 +61,16 @@ struct TuneOptions {
 
 struct Sample {
   int groups = 1;
+  int lookahead = 0;
   grid::GridShape arrangement;
-  double comm_time = 0.0;       // scaled to the full problem
+  double comm_time = 0.0;       // scaled to the full problem; with
+                                // lookahead > 0, the *exposed* comm
   double total_time = 0.0;      // scaled
 };
 
 struct TuneResult {
   int best_groups = 1;
+  int best_lookahead = 0;
   grid::GridShape best_arrangement{1, 1};
   double best_comm_time = 0.0;
   std::vector<Sample> samples;  // in sampling order

@@ -106,17 +106,36 @@ TEST(Lu, RejectsNonFactorizationProblem) {
   EXPECT_THROW(run_once(options), hs::PreconditionError);
 }
 
-TEST(Lu, RejectsLayersGroupsAndOverlap) {
-  {
-    RunOptions options = lu_options({2, 2}, 64, 8);
-    options.overlap = true;
-    EXPECT_THROW(run_once(options), hs::PreconditionError);
+TEST(Lu, RejectsGroups) {
+  RunOptions options = lu_options({2, 2}, 64, 8);
+  options.groups = {2, 1};
+  EXPECT_THROW(run_once(options), hs::PreconditionError);
+}
+
+TEST(Lu, LookaheadFactorsCorrectly) {
+  // The task-plan look-ahead (panel k+1 factored under trailing update k)
+  // reorders Real-mode writes; the factors must come out identical.
+  for (const int depth : {1, 2, 3}) {
+    for (const GridShape shape : {GridShape{2, 2}, GridShape{2, 4}}) {
+      RunOptions options = lu_options(shape, 96, 8);
+      options.lookahead = depth;
+      options.verify = true;
+      const auto result = run_once(options);
+      EXPECT_LT(result.max_error, 1e-9)
+          << shape.rows << "x" << shape.cols << " D=" << depth;
+    }
   }
-  {
-    RunOptions options = lu_options({2, 2}, 64, 8);
-    options.groups = {2, 1};
-    EXPECT_THROW(run_once(options), hs::PreconditionError);
-  }
+}
+
+TEST(Lu, LookaheadNeverSlowsTheFactorizationDown) {
+  RunOptions options = lu_options({4, 4}, 256, 16);
+  options.mode = PayloadMode::Phantom;
+  const auto blocking = run_once(options);
+  options.lookahead = 1;
+  const auto ahead = run_once(options);
+  EXPECT_LE(ahead.timing.total_time, blocking.timing.total_time);
+  EXPECT_EQ(ahead.messages, blocking.messages);
+  EXPECT_EQ(ahead.wire_bytes, blocking.wire_bytes);
 }
 
 TEST(Lu, UnverifiedRunReportsMinusOne) {

@@ -94,6 +94,30 @@ TEST(ModeParityMatrix, BothModesSimulateEveryKernel) {
   }
 }
 
+TEST(ModeParityMatrix, TaskPlanDepthsKeepCounterParity) {
+  // The task runtime reorders communication but must never change what is
+  // sent: for every task-plan kernel and look-ahead depth, point-to-point
+  // and closed form still move identical wire traffic, and that traffic
+  // equals the blocking schedule's.
+  for (const KernelDescriptor& kernel : hs::core::all_kernels()) {
+    if (kernel.overlap_support != hs::core::OverlapSupport::TaskPlan)
+      continue;
+    SCOPED_TRACE(std::string("kernel = ") + std::string(kernel.name));
+    RunOptions options = options_for(kernel);
+    const auto blocking = run_mode(options, CollectiveMode::ClosedForm);
+    for (const int depth : {1, 2, 3}) {
+      SCOPED_TRACE("lookahead = " + std::to_string(depth));
+      options.lookahead = depth;
+      const auto p2p = run_mode(options, CollectiveMode::PointToPoint);
+      const auto closed = run_mode(options, CollectiveMode::ClosedForm);
+      EXPECT_EQ(p2p.messages, closed.messages);
+      EXPECT_EQ(p2p.wire_bytes, closed.wire_bytes);
+      EXPECT_EQ(closed.messages, blocking.messages);
+      EXPECT_EQ(closed.wire_bytes, blocking.wire_bytes);
+    }
+  }
+}
+
 TEST(ModeParityMatrix, ClosedFormChargesBinomialTreeCounters) {
   // The convention itself, isolated from any kernel: one world broadcast
   // of c doubles in closed form books exactly p-1 messages and

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <memory>
+#include <string>
 
 #include "core/runner.hpp"
 
@@ -135,6 +136,68 @@ TEST(Overlap, WorksInClosedFormMode) {
   EXPECT_GT(result.timing.total_time, 0.0);
   // Still hides communication.
   EXPECT_LT(result.timing.max_comm_time, result.timing.max_comp_time);
+}
+
+TEST(Overlap, DeepLookaheadStaysNumericallyCorrect) {
+  // D >= 2 reorders Real-mode staging copies and GEMM applications across
+  // slot rings; every task-plan multiplication kernel must still produce
+  // the exact product.
+  for (const int depth : {2, 3}) {
+    RunOptions options;
+    options.problem = ProblemSpec::square(96, 8);
+    options.lookahead = depth;
+    options.verify = true;
+
+    options.algorithm = Algorithm::Summa;
+    options.grid = {2, 4};
+    EXPECT_LT(run_once(options, 1e-9).max_error, 1e-12) << "summa D=" << depth;
+
+    options.algorithm = Algorithm::Hsumma;
+    options.grid = {4, 4};
+    options.groups = {2, 2};
+    options.problem = ProblemSpec::square(96, 4);
+    options.problem.outer_block = 12;
+    EXPECT_LT(run_once(options, 1e-9).max_error, 1e-12)
+        << "hsumma D=" << depth;
+
+    options.algorithm = Algorithm::Cannon;
+    options.groups = {1, 1};
+    options.problem = ProblemSpec::square(96, 8);
+    EXPECT_LT(run_once(options, 1e-9).max_error, 1e-12)
+        << "cannon D=" << depth;
+  }
+}
+
+TEST(Overlap, UnsupportingKernelFailsListingSupportingOnes) {
+  RunOptions options;
+  options.algorithm = Algorithm::Fox;
+  options.grid = {4, 4};
+  options.problem = ProblemSpec::square(256, 16);
+  options.mode = PayloadMode::Phantom;
+  options.overlap = true;
+  try {
+    run_once(options, 1e-9);
+    FAIL() << "fox with overlap should be rejected";
+  } catch (const hs::PreconditionError& error) {
+    const std::string message = error.what();
+    EXPECT_NE(message.find("fox"), std::string::npos) << message;
+    // The error must name the kernels that DO support overlap.
+    for (const char* name : {"summa", "hsumma", "cannon", "lu"})
+      EXPECT_NE(message.find(name), std::string::npos)
+          << "missing '" << name << "' in: " << message;
+  }
+}
+
+TEST(Overlap, DoubleBufferKernelsCapTheDepthAtOne) {
+  RunOptions options;
+  options.algorithm = Algorithm::SummaCyclic;
+  options.grid = {4, 4};
+  options.problem = ProblemSpec::square(256, 16);
+  options.mode = PayloadMode::Phantom;
+  options.lookahead = 1;  // fine: the hand-rolled double buffer
+  EXPECT_GT(run_once(options, 1e-9).timing.total_time, 0.0);
+  options.lookahead = 2;  // needs a task plan the cyclic kernels lack
+  EXPECT_THROW(run_once(options, 1e-9), hs::PreconditionError);
 }
 
 }  // namespace

@@ -120,6 +120,43 @@ TEST(ExecStress, LuParallelSweepRacesClean) {
   EXPECT_GT(executor.cache_hits(), 0u);  // duplicated points dedupe
 }
 
+TEST(ExecStress, TaskPlanDepthSweepRacesClean) {
+  // The full (G, D) plane the tuner samples, under four workers racing a
+  // serial twin: task-graph construction and the overlapped scheduler run
+  // inside worker threads here, so this is the TSan lane for the task
+  // runtime. Results must be bit-identical to the serial path, depth
+  // included, and duplicated (G, D) points must coalesce in the cache.
+  auto plane_job = [](hs::core::Algorithm algorithm, int groups, int depth,
+                      std::uint64_t seed) {
+    SimJob job = tiny_job(groups, seed);
+    job.algorithm = algorithm;
+    job.lookahead = depth;
+    return job;
+  };
+  ParallelExecutor serial({.jobs = 1});
+  ParallelExecutor parallel({.jobs = 4});
+  std::vector<std::size_t> serial_ids, parallel_ids;
+  for (int i = 0; i < 48; ++i) {
+    const int depth = i % 4;  // 0..3 spans inline and deep schedules
+    const int groups = 1 << (i / 4 % 3);
+    const auto algorithm = (i / 12) % 2 == 0 ? hs::core::Algorithm::Summa
+                                             : hs::core::Algorithm::Hsumma;
+    const int g = algorithm == hs::core::Algorithm::Summa ? 1 : 2 * groups;
+    serial_ids.push_back(serial.submit(plane_job(algorithm, g, depth, 0)));
+    parallel_ids.push_back(parallel.submit(plane_job(algorithm, g, depth, 0)));
+  }
+  parallel.wait_all();
+  for (std::size_t i = 0; i < serial_ids.size(); ++i) {
+    const auto a = serial.result(serial_ids[i]);
+    const auto b = parallel.result(parallel_ids[i]);
+    EXPECT_EQ(a.timing.total_time, b.timing.total_time);
+    EXPECT_EQ(a.timing.max_comm_time, b.timing.max_comm_time);
+    EXPECT_EQ(a.messages, b.messages);
+    EXPECT_EQ(a.wire_bytes, b.wire_bytes);
+  }
+  EXPECT_GT(parallel.cache_hits(), 0u);  // repeated (G, D) points dedupe
+}
+
 TEST(ExecStress, TracedSweepRacesClean) {
   // Every job in the sweep carries its own Recorder and MetricsRegistry;
   // workers on different threads fill them concurrently. Each sink is

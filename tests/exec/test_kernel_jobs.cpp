@@ -34,8 +34,8 @@ TEST(KernelJobs, LuCacheKeyGolden) {
   EXPECT_EQ(lu_job().cache_key(),
             "net=hockney(0x1.a36e2eb1c432dp-14,0x1.12e0be826d695p-33);"
             "gamma=0x0p+0;cm=1;mba=5;alg=8;grid=4x4;layers=1;groups=4;"
-            "rl=;cl=;prob=256,256,256,16,0;mode=1;bcast=-1;ovl=0;verify=0;"
-            "seed=2013;ns=0x0p+0;nseed=0");
+            "rl=;cl=;prob=256,256,256,16,0;mode=1;bcast=-1;ovl=0;la=-1;"
+            "verify=0;seed=2013;ns=0x0p+0;nseed=0");
 }
 
 TEST(KernelJobs, CholeskyCacheKeyGolden) {
@@ -48,7 +48,7 @@ TEST(KernelJobs, CholeskyCacheKeyGolden) {
             "net=hockney(0x1.a36e2eb1c432dp-14,0x1.12e0be826d695p-33);"
             "gamma=0x0p+0;cm=1;mba=5;alg=9;grid=4x4;layers=1;groups=1;"
             "rl=2,;cl=2,;prob=256,256,256,16,0;mode=1;bcast=-1;ovl=0;"
-            "verify=0;seed=2013;ns=0x0p+0;nseed=0");
+            "la=-1;verify=0;seed=2013;ns=0x0p+0;nseed=0");
 }
 
 TEST(KernelJobs, GemmCacheKeysUnchangedByRegistryRefactor) {

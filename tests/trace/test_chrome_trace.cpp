@@ -349,6 +349,48 @@ TEST(ChromeTrace, OverlappingSpansSplitIntoNestedLanes) {
   EXPECT_NE(tids[0], tids[1]);
 }
 
+TEST(ChromeTrace, TaskRuntimeSpansGetTheirOwnProcessTrack) {
+  // An overlapped run records task-runtime spans; the exporter renders them
+  // as a third "<label> tasks" process with per-rank lanes that nest.
+  Recorder recorder;
+  hs::exec::SimJob job;
+  job.platform = hs::net::Platform::by_name("grid5000");
+  job.collective_mode = hs::mpc::CollectiveMode::ClosedForm;
+  job.algorithm = hs::core::Algorithm::Summa;
+  job.ranks = 16;
+  job.problem = hs::core::ProblemSpec::square(256, 64);
+  job.lookahead = 2;
+  job.recorder = &recorder;
+  hs::exec::run_sim_job(job);
+  ASSERT_FALSE(recorder.tasks().empty());
+
+  const JsonValue doc = export_and_parse(recorder, "summa");
+  bool tasks_named = false;
+  double tasks_pid = -1.0;
+  for (const JsonValue& event : doc.at("traceEvents").array())
+    if (event.at("ph").string() == "M" &&
+        event.at("name").string() == "process_name" &&
+        event.at("args").at("name").string().find("tasks") !=
+            std::string::npos) {
+      tasks_named = true;
+      tasks_pid = event.at("pid").number();
+    }
+  ASSERT_TRUE(tasks_named);
+  int compute_spans = 0;
+  int comm_spans = 0;
+  for (const JsonValue& event : doc.at("traceEvents").array()) {
+    if (event.at("ph").string() != "X" ||
+        event.at("pid").number() != tasks_pid)
+      continue;
+    const std::string& kind = event.at("args").at("kind").string();
+    if (kind == "compute") ++compute_spans;
+    if (kind == "comm") ++comm_spans;
+  }
+  EXPECT_GT(compute_spans, 0);
+  EXPECT_GT(comm_spans, 0);
+  expect_tracks_nest(doc);
+}
+
 TEST(ChromeTrace, MultipleSessionsGetDistinctProcesses) {
   const Recorder summa = record_run(hs::core::Algorithm::Summa, 1,
                                     hs::mpc::CollectiveMode::ClosedForm);

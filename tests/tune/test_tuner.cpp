@@ -132,6 +132,75 @@ TEST(Tuner, SecondIdenticalTuneIsAllCacheHits) {
   EXPECT_EQ(second.best_comm_time, first.best_comm_time);
 }
 
+TEST(Tuner, JointLookaheadSearchCrossesTheCandidatePlane) {
+  auto options = latency_dominated_options();
+  options.candidates = {4};
+  options.lookaheads = {0, 1, 2};
+  const auto result = hs::tune::tune_groups(options);
+  // {1, 4} x {0, 1, 2}, groups outer, depths inner.
+  ASSERT_EQ(result.samples.size(), 6u);
+  const int expect_groups[] = {1, 1, 1, 4, 4, 4};
+  const int expect_depth[] = {0, 1, 2, 0, 1, 2};
+  for (std::size_t i = 0; i < result.samples.size(); ++i) {
+    EXPECT_EQ(result.samples[i].groups, expect_groups[i]) << i;
+    EXPECT_EQ(result.samples[i].lookahead, expect_depth[i]) << i;
+  }
+  // No monotonicity assertion here: in a latency-dominated point-to-point
+  // regime concurrently in-flight broadcasts contend, so exposed comm can
+  // legitimately exceed the blocking schedule's — exactly why the tuner
+  // samples D instead of assuming deeper is better. The compute-dominated
+  // case below checks that overlap wins where it should.
+  for (const auto& sample : result.samples)
+    EXPECT_GT(sample.comm_time, 0.0);
+}
+
+TEST(Tuner, PicksAPositiveLookaheadWhenComputeCanHideComm) {
+  // Compute-dominated regime: overlap hides nearly all communication, so
+  // the joint search must prefer some D >= 1 over the blocking schedule.
+  auto options = latency_dominated_options();
+  options.machine_config.gamma_flop = 1e-7;
+  options.lookaheads = {0, 1, 2};
+  const auto result = hs::tune::tune_groups(options);
+  EXPECT_GE(result.best_lookahead, 1);
+  double best_blocking = -1.0;
+  for (const auto& sample : result.samples)
+    if (sample.lookahead == 0 &&
+        (best_blocking < 0.0 || sample.comm_time < best_blocking))
+      best_blocking = sample.comm_time;
+  ASSERT_GT(best_blocking, 0.0);
+  EXPECT_LT(result.best_comm_time, best_blocking);
+}
+
+TEST(Tuner, JointSearchIsDeterministicAcrossWorkerCounts) {
+  auto options = latency_dominated_options();
+  options.lookaheads = {0, 2};
+  const auto serial = hs::tune::tune_groups(options);
+
+  hs::exec::ParallelExecutor executor({.jobs = 4});
+  options.executor = &executor;
+  const auto parallel = hs::tune::tune_groups(options);
+
+  EXPECT_EQ(parallel.best_groups, serial.best_groups);
+  EXPECT_EQ(parallel.best_lookahead, serial.best_lookahead);
+  EXPECT_EQ(parallel.best_comm_time, serial.best_comm_time);  // bit-exact
+  ASSERT_EQ(parallel.samples.size(), serial.samples.size());
+  for (std::size_t i = 0; i < serial.samples.size(); ++i) {
+    EXPECT_EQ(parallel.samples[i].lookahead, serial.samples[i].lookahead);
+    EXPECT_EQ(parallel.samples[i].comm_time, serial.samples[i].comm_time);
+  }
+}
+
+TEST(Tuner, RejectsUnsupportedLookaheadDepthsUpFront) {
+  auto options = latency_dominated_options();
+  options.kernel = hs::core::Algorithm::Fox;
+  options.lookaheads = {0, 1};
+  EXPECT_THROW(hs::tune::tune_groups(options), hs::PreconditionError);
+
+  options = latency_dominated_options();
+  options.lookaheads = {-1};
+  EXPECT_THROW(hs::tune::tune_groups(options), hs::PreconditionError);
+}
+
 TEST(Tuner, RejectsBadOptions) {
   auto options = latency_dominated_options();
   options.network = nullptr;
