@@ -1,6 +1,10 @@
 // Extension (the paper's future work): more than two levels of hierarchy.
 // Compares flat SUMMA, 2-level, 3-level and 4-level hierarchical broadcast
 // decompositions (equal block sizes) on a latency-dominated platform.
+// Every row is a full kernel run (exec::run_sim_job via run_config), and
+// the table/CSV report where the communication time went per chain level
+// (trace::RankStats::level_comm_time; see also bench/hierarchy_frontier
+// for the chain-first sweep).
 #include "bench_util.hpp"
 
 #include <cstdio>
@@ -47,8 +51,9 @@ int main(int argc, char** argv) {
           ")  n=" + std::to_string(n) + "  b=" + std::to_string(block) +
           "  bcast=" + std::string(hs::net::to_string(algo)));
 
+  constexpr int kCsvLevels = 4;
   hs::Table table({"levels", "row split", "col split", "comm time",
-                   "vs flat"});
+                   "vs flat", "per-level comm"});
   std::vector<std::vector<std::string>> csv_rows;
   double flat_time = 0.0;
   hs::bench::Config traced_config;
@@ -63,7 +68,8 @@ int main(int argc, char** argv) {
     config.algorithm = hs::core::Algorithm::HsummaMultilevel;
     config.row_levels = hs::core::balanced_levels(shape.cols, levels);
     config.col_levels = hs::core::balanced_levels(shape.rows, levels);
-    const double comm = hs::bench::run_config(config).timing.max_comm_time;
+    const hs::core::RunResult result = hs::bench::run_config(config);
+    const double comm = result.timing.max_comm_time;
     if (levels == 1) flat_time = comm;
     if (traced_levels == 0 || comm < traced_comm) {
       // Trace the best hierarchy depth.
@@ -71,18 +77,34 @@ int main(int argc, char** argv) {
       traced_config = config;
       traced_levels = levels;
     }
+    const std::vector<double>& split = result.timing.max_level_comm_time;
+    std::string split_text;
+    for (std::size_t i = 0; i < split.size(); ++i)
+      split_text += (i ? " / " : "") + hs::format_seconds(split[i]);
     table.add_row({std::to_string(levels),
                    chain_to_string(config.row_levels),
                    chain_to_string(config.col_levels),
                    hs::format_seconds(comm),
-                   hs::format_ratio(flat_time / comm)});
-    csv_rows.push_back({std::to_string(levels), hs::format_double(comm, 9)});
+                   hs::format_ratio(flat_time / comm),
+                   split.empty() ? "-" : split_text});
+    std::vector<std::string> csv_row{std::to_string(levels),
+                                     hs::format_double(comm, 9)};
+    for (int l = 0; l < kCsvLevels; ++l)
+      csv_row.push_back(hs::format_double(
+          static_cast<std::size_t>(l) < split.size()
+              ? split[static_cast<std::size_t>(l)]
+              : 0.0,
+          9));
+    csv_rows.push_back(std::move(csv_row));
   }
   table.print(std::cout);
   std::printf(
       "\nDiminishing but real returns per extra level, exactly as the "
       "paper's conclusions conjecture.\n\n");
-  hs::bench::maybe_write_csv(csv, csv_rows, {"levels", "comm_seconds"});
+  hs::bench::maybe_write_csv(csv, csv_rows,
+                             {"levels", "comm_seconds", "level0_seconds",
+                              "level1_seconds", "level2_seconds",
+                              "level3_seconds"});
   hs::bench::run_traced(traced_config, trace,
                         "multilevel L=" + std::to_string(traced_levels));
   return 0;

@@ -14,13 +14,14 @@
 int main(int argc, char** argv) {
   long long n = 8192, block = 128, ranks = 256;
   std::string platform_name = "bluegene-p-calibrated";
-  std::string csv;
+  std::string csv, hierarchy_spec;
 
   hs::CliParser cli("Compare Cannon / Fox / SUMMA / HSUMMA / 2.5D");
   cli.add_int("n", "matrix dimension", &n);
   cli.add_int("block", "block size (SUMMA-family)", &block);
   cli.add_int("p", "number of processes (perfect square)", &ranks);
   cli.add_string("platform", "platform preset", &platform_name);
+  hs::bench::add_hierarchy_option(cli, &hierarchy_spec);
   cli.add_string("csv", "CSV output path", &csv);
   if (!cli.parse(argc, argv)) return 1;
 
@@ -82,6 +83,17 @@ int main(int argc, char** argv) {
     }
   }
   add_row("HSUMMA (G=" + std::to_string(best_groups) + ")", best_result, 1.0);
+
+  // --hierarchy: one extra row running the recursive multi-level kernel
+  // with the requested group chain (e.g. --hierarchy 8x4).
+  if (!hierarchy_spec.empty()) {
+    config.algorithm = hs::core::Algorithm::Summa;
+    config.groups = 1;
+    config.hierarchy = hs::core::GroupHierarchy::parse(hierarchy_spec);
+    add_row("hierarchy " + config.hierarchy.to_string(),
+            hs::bench::run_config(config), 1.0);
+    config.hierarchy = {};
+  }
 
   config.algorithm = hs::core::Algorithm::Summa25D;
   config.groups = 1;

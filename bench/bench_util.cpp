@@ -24,6 +24,8 @@ exec::SimJob to_sim_job(const Config& config) {
   job.ranks = config.ranks;
   job.layers = config.layers;
   job.groups = config.groups;
+  job.hierarchy = config.hierarchy;
+  job.rank_gamma = config.rank_gamma;
   job.row_levels = config.row_levels;
   job.col_levels = config.col_levels;
   job.problem = config.problem;
@@ -120,6 +122,14 @@ void add_overlap_options(CliParser& cli, bool* overlap, long long* lookahead) {
               "D >= 2 prefetches D steps ahead on task-plan kernels: " +
                   core::overlap_kernel_name_list() + ")",
               lookahead);
+}
+
+void add_hierarchy_option(CliParser& cli, std::string* dest) {
+  cli.add_string("hierarchy",
+                 "multi-level group chain, outermost first (e.g. 64x16x4), "
+                 "or 'flat'; chains run the recursive kernel on: " +
+                     core::multilevel_kernel_name_list(),
+                 dest);
 }
 
 void add_algorithm_option(CliParser& cli, std::string* dest) {

@@ -38,6 +38,14 @@ struct Config {
   net::Platform platform;
   int ranks = 0;
   int groups = 1;                 // 1 -> SUMMA
+  /// Multi-level group chain (core::GroupHierarchy). Flat (the default)
+  /// defers to the scalar `groups`; non-flat chains require groups <= 1
+  /// and route the run through the recursive multilevel kernel (see
+  /// exec::SimJob::hierarchy).
+  core::GroupHierarchy hierarchy;
+  /// Per-rank static compute speed multipliers (empty = homogeneous); see
+  /// mpc::MachineConfig::rank_gamma.
+  std::vector<double> rank_gamma;
   core::ProblemSpec problem;
   net::BcastAlgo algo = net::BcastAlgo::ScatterRingAllgather;
   mpc::CollectiveMode mode = mpc::CollectiveMode::ClosedForm;
@@ -107,6 +115,11 @@ void emit_trace_artifacts(const trace::Recorder& recorder,
 /// (task-plan depth D; -1 derives 0/1 from --overlap; D >= 2 needs a
 /// task-plan kernel) into `cli`.
 void add_overlap_options(CliParser& cli, bool* overlap, long long* lookahead);
+
+/// Registers --hierarchy ("flat" or a multi-level chain like "64x16x4");
+/// parse the value with core::GroupHierarchy::parse. Kernels that accept
+/// chains: core::multilevel_kernel_name_list().
+void add_hierarchy_option(CliParser& cli, std::string* dest);
 
 /// Registers --algorithm with the registry's kernel list in the help text;
 /// *dest keeps its current value as the default. Resolve the parsed name

@@ -16,8 +16,29 @@
 #include "desim/task.hpp"
 #include "mpc/collectives.hpp"
 #include "trace/phase.hpp"
+#include "trace/recorder.hpp"
 
 namespace hs::core {
+
+/// One phase of a hierarchical broadcast on the calling rank: a plain
+/// mpc::bcast on `comm` rooted at `root`. `level` is the position in the
+/// factor chain (0 = outermost); the trailing "whatever remains" phase
+/// carries level = number of factors consumed before it.
+struct BcastStage {
+  mpc::Comm comm;
+  int root = 0;
+  int level = 0;
+};
+
+/// The calling rank's phase sequence for hier_bcast(comm, root, factors):
+/// awaiting mpc::bcast on each stage in order is exactly the hierarchical
+/// broadcast. Exposed so the task runtime can lower every phase to its own
+/// comm task (per-level spans, per-level slot-ring dependencies) and the
+/// blocking kernel can wrap each phase in a per-level timer, while both
+/// share one decomposition. Ranks that are not representatives at a level
+/// simply have no stage for it; a size-1 comm yields no stages at all.
+std::vector<BcastStage> hier_bcast_stages(mpc::Comm comm, int root,
+                                          const std::vector<int>& factors);
 
 /// Hierarchical broadcast. Every element of `level_factors` must divide the
 /// remaining block size; factors need not multiply to exactly comm.size()
@@ -35,16 +56,33 @@ struct HsummaMultilevelArgs {
   LocalBlocks* local = nullptr;
   trace::RankStats* stats = nullptr;
   std::optional<net::BcastAlgo> bcast_algo;
+  /// Look-ahead depth (see SummaArgs::lookahead). D >= 1 runs the task
+  /// plan (core/task_plan.hpp): the slot ring composes with any chain
+  /// depth, so multi-level broadcasts prefetch like flat SUMMA's.
+  int lookahead = 0;
+  trace::RankTracer tracer;
 };
 
 /// SUMMA with every broadcast replaced by a multilevel hierarchical
 /// broadcast. With row_levels = {J} and col_levels = {I} this reproduces
-/// HSUMMA(I x J groups, b = B) exactly (asserted by tests).
+/// HSUMMA(I x J groups, b = B) exactly (asserted by tests). Fills the
+/// per-level communication split (trace::RankStats::level_comm_time, one
+/// slot per chain level plus the trailing remainder phase).
 desim::Task<void> hsumma_multilevel_rank(HsummaMultilevelArgs args);
 
 /// Balanced factor chain for a multilevel hierarchy over `extent` ranks
-/// with `levels` levels (e.g. extent=64, levels=3 -> {4, 4} leaving blocks
-/// of 4). Factors are as equal as possible among divisors.
+/// with `levels` levels. Contract (pinned by tests/core/test_multilevel.cpp):
+///   * returns at most levels-1 factors, each >= 2 and dividing the
+///     remaining extent; their product divides `extent` and the implied
+///     trailing factor is extent / product (>= 1);
+///   * extent = 1 (or levels = 1) -> empty chain (nothing to split);
+///   * each factor is the divisor of the remaining extent nearest the
+///     balanced ideal remaining^(1/levels_left) — for prime extents that
+///     is the extent itself, so the chain collapses to {extent} and the
+///     deeper levels degenerate;
+///   * once the remaining extent reaches 1 the chain stops, so levels >
+///     log2(extent) never produces factors of 1.
+/// (e.g. extent=64, levels=3 -> {4, 4} leaving blocks of 4.)
 std::vector<int> balanced_levels(int extent, int levels);
 
 }  // namespace hs::core

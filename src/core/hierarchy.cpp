@@ -1,0 +1,134 @@
+#include "core/hierarchy.hpp"
+
+#include <algorithm>
+#include <charconv>
+#include <set>
+
+#include "common/check.hpp"
+#include "core/hier_bcast.hpp"
+#include "grid/hier_grid.hpp"
+
+namespace hs::core {
+
+GroupHierarchy::GroupHierarchy(std::vector<int> levels) {
+  for (const int g : levels) {
+    HS_REQUIRE_MSG(g >= 1, "hierarchy level factor " << g << " must be >= 1");
+    if (g > 1) levels_.push_back(g);
+  }
+}
+
+GroupHierarchy GroupHierarchy::from_scalar(int groups) {
+  HS_REQUIRE_MSG(groups >= 0, "group count " << groups << " must be >= 0");
+  if (groups <= 1) return {};
+  return GroupHierarchy({groups});
+}
+
+GroupHierarchy GroupHierarchy::parse(std::string_view text) {
+  if (text.empty() || text == "flat") return {};
+  std::vector<int> levels;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    const std::size_t next = std::min(text.find('x', pos), text.size());
+    const std::string_view part = text.substr(pos, next - pos);
+    int value = 0;
+    const auto [ptr, ec] =
+        std::from_chars(part.data(), part.data() + part.size(), value);
+    HS_REQUIRE_MSG(ec == std::errc() && ptr == part.data() + part.size() &&
+                       value >= 1,
+                   "bad hierarchy spec '" << std::string(text)
+                                          << "' (want \"flat\", \"8\" or "
+                                             "\"8x4x2\")");
+    levels.push_back(value);
+    if (next == text.size()) break;
+    pos = next + 1;
+  }
+  return GroupHierarchy(std::move(levels));
+}
+
+int GroupHierarchy::scalar() const {
+  HS_REQUIRE_MSG(is_scalar(), "hierarchy " << to_string()
+                                           << " has no scalar group count");
+  return levels_.empty() ? 1 : levels_.front();
+}
+
+long long GroupHierarchy::product() const noexcept {
+  long long product = 1;
+  for (const int g : levels_) product *= g;
+  return product;
+}
+
+std::string GroupHierarchy::to_string() const {
+  if (levels_.empty()) return "flat";
+  std::string out;
+  for (std::size_t i = 0; i < levels_.size(); ++i) {
+    if (i > 0) out += 'x';
+    out += std::to_string(levels_[i]);
+  }
+  return out;
+}
+
+HierarchyArrangement arrange_hierarchy(const GroupHierarchy& hierarchy,
+                                       grid::GridShape grid) {
+  HS_REQUIRE(grid.rows >= 1 && grid.cols >= 1);
+  HierarchyArrangement out;
+  grid::GridShape remaining = grid;
+  for (const int groups : hierarchy.levels()) {
+    const grid::GridShape arrangement =
+        grid::group_arrangement(remaining, groups);
+    HS_REQUIRE_MSG(arrangement.size() == groups,
+                   "no valid arrangement of " << groups
+                                              << " groups on this grid"
+                                              << " (hierarchy "
+                                              << hierarchy.to_string()
+                                              << ", remaining sub-grid "
+                                              << remaining.rows << "x"
+                                              << remaining.cols << ")");
+    out.levels.push_back(arrangement);
+    out.row_levels.push_back(arrangement.cols);
+    out.col_levels.push_back(arrangement.rows);
+    remaining = {remaining.rows / arrangement.rows,
+                 remaining.cols / arrangement.cols};
+  }
+  out.leaf = remaining;
+  return out;
+}
+
+bool hierarchy_fits(const GroupHierarchy& hierarchy, grid::GridShape grid) {
+  if (grid.rows < 1 || grid.cols < 1) return false;
+  grid::GridShape remaining = grid;
+  for (const int groups : hierarchy.levels()) {
+    const grid::GridShape arrangement =
+        grid::group_arrangement(remaining, groups);
+    if (arrangement.size() != groups) return false;
+    remaining = {remaining.rows / arrangement.rows,
+                 remaining.cols / arrangement.cols};
+  }
+  return true;
+}
+
+std::vector<int> full_group_chain(int groups, int levels) {
+  HS_REQUIRE(groups >= 1 && levels >= 1);
+  std::vector<int> chain = balanced_levels(groups, levels);
+  int product = 1;
+  for (const int f : chain) product *= f;
+  if (groups / product > 1) chain.push_back(groups / product);
+  return chain;
+}
+
+std::vector<GroupHierarchy> candidate_hierarchies(grid::GridShape grid,
+                                                  int max_levels) {
+  std::vector<GroupHierarchy> out;
+  if (max_levels < 2) return out;
+  std::set<std::string> seen;
+  for (const int groups : grid::valid_group_counts(grid)) {
+    for (int levels = 2; levels <= max_levels; ++levels) {
+      GroupHierarchy chain{full_group_chain(groups, levels)};
+      if (chain.depth() < 2) continue;  // scalar sweep covers it
+      if (!hierarchy_fits(chain, grid)) continue;
+      if (seen.insert(chain.to_string()).second) out.push_back(chain);
+    }
+  }
+  return out;
+}
+
+}  // namespace hs::core

@@ -1,0 +1,106 @@
+// GroupHierarchy: the first-class multi-level group spine.
+//
+// The paper tunes one scalar group count G; its own future work asks for
+// more than two levels of hierarchy. A GroupHierarchy is the ordered chain
+// of per-level group counts (G1, G2, ..., GL), outermost first: level 1
+// partitions the process grid into G1 groups, level 2 partitions each of
+// those groups into G2 subgroups, and so on; the innermost groups run plain
+// SUMMA. The chain is what COSMA/CAPS-style analyses actually optimize —
+// the *shape* of the recursion, not one split factor.
+//
+// Everything downstream speaks this type: KernelRegistry::adapt_hierarchy
+// maps a chain onto per-kernel policies (the SUMMA family recurses into the
+// multilevel kernel, factorizations map the chain onto panel-broadcast
+// level factors), exec::SimJob carries it into the canonical cache key
+// (depth <= 1 chains emit the legacy scalar `;groups=` key byte-for-byte;
+// only depth >= 2 appends `;h=`), and tune::tune_groups searches candidate
+// chains jointly with the look-ahead depth. from_scalar(G) is the bridge
+// that keeps every scalar-G call site working unchanged.
+//
+// Canonical form: factors of 1 are dropped at construction, so equal
+// hierarchies always render to equal strings ("flat", "8", "8x4x2") — the
+// property the cache key and the tuner's dedup rely on.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "grid/process_grid.hpp"
+
+namespace hs::core {
+
+class GroupHierarchy {
+ public:
+  /// Flat: no grouping at any level (plain SUMMA for the GEMM family).
+  GroupHierarchy() = default;
+
+  /// Chain of per-level group counts, outermost first. Factors must be
+  /// >= 1; factors of 1 are dropped (canonical form).
+  explicit GroupHierarchy(std::vector<int> levels);
+
+  /// The scalar-G bridge: G <= 1 -> flat, otherwise the depth-1 chain {G}.
+  static GroupHierarchy from_scalar(int groups);
+
+  /// Parses "flat", "" (both flat), "8" or "8x4x2". Inverse of to_string.
+  static GroupHierarchy parse(std::string_view text);
+
+  const std::vector<int>& levels() const noexcept { return levels_; }
+  int depth() const noexcept { return static_cast<int>(levels_.size()); }
+  bool is_flat() const noexcept { return levels_.empty(); }
+  /// Expressible as a legacy scalar group count (depth <= 1).
+  bool is_scalar() const noexcept { return levels_.size() <= 1; }
+  /// The legacy scalar group count: 1 when flat, G1 when depth 1.
+  /// Precondition: is_scalar().
+  int scalar() const;
+  /// G1 * G2 * ... * GL (1 when flat) — the total innermost group count.
+  long long product() const noexcept;
+
+  /// Canonical string: "flat" or "8x4x2". parse(to_string()) round-trips.
+  std::string to_string() const;
+
+  friend bool operator==(const GroupHierarchy& a,
+                         const GroupHierarchy& b) = default;
+
+ private:
+  std::vector<int> levels_;  // canonical: every entry >= 2
+};
+
+/// The chain mapped onto a concrete grid: per level l, an I_l x J_l group
+/// arrangement of that level's G_l groups on the remaining sub-grid (via
+/// grid::group_arrangement, most-square split). The J factors form the
+/// hier_bcast chain along grid rows, the I factors along grid columns —
+/// with depth 1 this is exactly the legacy HSUMMA group arrangement /
+/// factorization level mapping.
+struct HierarchyArrangement {
+  /// I_l x J_l per chain level (same length as the chain).
+  std::vector<grid::GridShape> levels;
+  /// {J_1, ..., J_L}: row-broadcast factor chain (entries of 1 kept, so
+  /// indices align with chain levels; hier_bcast skips them).
+  std::vector<int> row_levels;
+  /// {I_1, ..., I_L}: column-broadcast factor chain.
+  std::vector<int> col_levels;
+  /// The sub-grid inside one innermost group (runs plain SUMMA).
+  grid::GridShape leaf{1, 1};
+};
+
+/// Arranges `hierarchy` on `grid`, level by level. Throws (HS_REQUIRE) when
+/// some level has no valid arrangement on the remaining sub-grid.
+HierarchyArrangement arrange_hierarchy(const GroupHierarchy& hierarchy,
+                                       grid::GridShape grid);
+
+/// Validation predicate: does every level of the chain arrange on `grid`?
+bool hierarchy_fits(const GroupHierarchy& hierarchy, grid::GridShape grid);
+
+/// Balanced chain with product exactly `groups`: balanced_levels factors
+/// plus the remainder, at most `levels` entries (e.g. 64 over 3 levels ->
+/// {4, 4, 4}). The tuner's divisor-chain candidate generator.
+std::vector<int> full_group_chain(int groups, int levels);
+
+/// Tuner/bench candidate chains for `grid`: balanced divisor chains of
+/// every valid group count, depths 2..max_levels, deduplicated, only
+/// chains that arrange on the grid. Empty when max_levels < 2.
+std::vector<GroupHierarchy> candidate_hierarchies(grid::GridShape grid,
+                                                  int max_levels);
+
+}  // namespace hs::core

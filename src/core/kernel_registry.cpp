@@ -114,9 +114,11 @@ class GemmRun final : public KernelRun {
                                    effective_lookahead(options) >= 1,
                                    trace::RankTracer(options.recorder, rank)});
       case Algorithm::HsummaMultilevel:
-        return hsumma_multilevel_rank({world, options.grid, prob,
-                                       options.row_levels, options.col_levels,
-                                       local, stats, options.bcast_algo});
+        return hsumma_multilevel_rank(
+            {world, options.grid, prob, options.row_levels,
+             options.col_levels, local, stats, options.bcast_algo,
+             effective_lookahead(options),
+             trace::RankTracer(options.recorder, rank)});
       case Algorithm::Cannon:
         return cannon_rank({world, options.grid, prob, local, stats,
                             effective_lookahead(options),
@@ -374,14 +376,27 @@ std::vector<KernelDescriptor> build_registry() {
     kernel.make_run = make_run;
     return kernel;
   };
-  add(Algorithm::Summa, "summa", Algorithm::Summa, Algorithm::Hsumma,
-      make_gemm_run)
-      .overlap_support = OverlapSupport::TaskPlan;
-  add(Algorithm::Hsumma, "hsumma", Algorithm::Summa, Algorithm::Hsumma,
-      make_gemm_run)
-      .overlap_support = OverlapSupport::TaskPlan;
-  add(Algorithm::HsummaMultilevel, "hsumma-multilevel",
-      Algorithm::HsummaMultilevel, Algorithm::HsummaMultilevel, make_gemm_run);
+  {
+    KernelDescriptor& summa = add(Algorithm::Summa, "summa", Algorithm::Summa,
+                                  Algorithm::Hsumma, make_gemm_run);
+    summa.overlap_support = OverlapSupport::TaskPlan;
+    summa.multilevel = Algorithm::HsummaMultilevel;
+  }
+  {
+    KernelDescriptor& hsumma = add(Algorithm::Hsumma, "hsumma",
+                                   Algorithm::Summa, Algorithm::Hsumma,
+                                   make_gemm_run);
+    hsumma.overlap_support = OverlapSupport::TaskPlan;
+    hsumma.multilevel = Algorithm::HsummaMultilevel;
+  }
+  {
+    KernelDescriptor& multilevel =
+        add(Algorithm::HsummaMultilevel, "hsumma-multilevel",
+            Algorithm::HsummaMultilevel, Algorithm::HsummaMultilevel,
+            make_gemm_run);
+    multilevel.overlap_support = OverlapSupport::TaskPlan;
+    multilevel.multilevel = Algorithm::HsummaMultilevel;
+  }
   add(Algorithm::SummaCyclic, "summa-cyclic", Algorithm::SummaCyclic,
       Algorithm::HsummaCyclic, make_gemm_run)
       .overlap_support = OverlapSupport::DoubleBuffer;
@@ -443,10 +458,17 @@ const KernelDescriptor* find_kernel(std::string_view name) {
 }
 
 std::string kernel_name_list() {
+  // Names plus aliases ("summa-2.5d|summa25d"): this string is the CLI help
+  // and the unknown-kernel error text, so every accepted spelling must
+  // appear (pinned by tests/core/test_registry_help.cpp).
   std::string list;
   for (const KernelDescriptor& kernel : all_kernels()) {
     if (!list.empty()) list += ", ";
     list += kernel.name;
+    for (std::string_view alias : kernel.aliases) {
+      list += '|';
+      list += alias;
+    }
   }
   return list;
 }
@@ -455,6 +477,16 @@ std::string overlap_kernel_name_list() {
   std::string list;
   for (const KernelDescriptor& kernel : all_kernels()) {
     if (kernel.overlap_support == OverlapSupport::None) continue;
+    if (!list.empty()) list += ", ";
+    list += kernel.name;
+  }
+  return list;
+}
+
+std::string multilevel_kernel_name_list() {
+  std::string list;
+  for (const KernelDescriptor& kernel : all_kernels()) {
+    if (!kernel.multilevel && !kernel.factorization) continue;
     if (!list.empty()) list += ", ";
     list += kernel.name;
   }
@@ -472,35 +504,64 @@ Algorithm algorithm_from_string(std::string_view name) {
   return kernel->kernel;
 }
 
-void adapt_groups(int groups, RunOptions& options) {
+void adapt_hierarchy(const GroupHierarchy& hierarchy, RunOptions& options) {
   const KernelDescriptor& kernel = kernel_descriptor(options.algorithm);
+  options.hierarchy = hierarchy;
   if (kernel.factorization) {
-    // The factorization analogue of HSUMMA's G groups: an I x J arrangement
-    // maps onto single-level hierarchical panel broadcasts, row_levels = {J}
-    // and col_levels = {I} (exactly the HSUMMA <-> multilevel equivalence).
-    if (groups <= 1) return;
+    // The factorization analogue of HSUMMA's G groups: every chain level's
+    // I_l x J_l arrangement maps onto hierarchical panel broadcasts,
+    // row_levels = {J_1, ...} and col_levels = {I_1, ...} (exactly the
+    // HSUMMA <-> multilevel equivalence, at any depth).
+    if (hierarchy.is_flat()) return;
     HS_REQUIRE_MSG(options.row_levels.empty() && options.col_levels.empty(),
-                   "give kernel '" << kernel.name << "' either a group count "
-                   "or explicit level factors, not both");
-    const grid::GridShape arrangement =
-        grid::group_arrangement(options.grid, groups);
-    HS_REQUIRE_MSG(arrangement.size() == groups,
-                   "no valid arrangement of " << groups
-                                              << " groups on this grid");
-    if (arrangement.cols > 1) options.row_levels = {arrangement.cols};
-    if (arrangement.rows > 1) options.col_levels = {arrangement.rows};
+                   "give kernel '" << kernel.name << "' either a group "
+                   "hierarchy or explicit level factors, not both");
+    const HierarchyArrangement arrangement =
+        arrange_hierarchy(hierarchy, options.grid);
+    for (const grid::GridShape& level : arrangement.levels) {
+      if (level.cols > 1) options.row_levels.push_back(level.cols);
+      if (level.rows > 1) options.col_levels.push_back(level.rows);
+    }
+    return;
+  }
+  // A real chain (depth >= 2), or any chain handed to the multilevel kernel
+  // itself, recurses into the kernel's multilevel policy: the chain's
+  // per-level arrangement becomes hier_bcast level factors. Entries of 1
+  // are kept so factor indices stay aligned with chain levels (hier_bcast
+  // skips them but preserves their level slot).
+  if (hierarchy.depth() >= 2 ||
+      (hierarchy.depth() == 1 &&
+       kernel.kernel == Algorithm::HsummaMultilevel)) {
+    HS_REQUIRE_MSG(kernel.multilevel.has_value(),
+                   "kernel '" << kernel.name
+                   << "' has no multi-level hierarchy policy; chains with "
+                      "2+ levels are supported by: "
+                   << multilevel_kernel_name_list());
+    HS_REQUIRE_MSG(options.row_levels.empty() && options.col_levels.empty(),
+                   "give kernel '" << kernel.name << "' either a group "
+                   "hierarchy or explicit level factors, not both");
+    const HierarchyArrangement arrangement =
+        arrange_hierarchy(hierarchy, options.grid);
+    options.algorithm = *kernel.multilevel;
+    options.row_levels = arrangement.row_levels;
+    options.col_levels = arrangement.col_levels;
     return;
   }
   if (kernel.flat == kernel.hier) return;  // no group dimension
-  if (groups <= 1) {
+  if (hierarchy.is_flat()) {
     options.algorithm = kernel.flat;
     return;
   }
+  const int groups = hierarchy.scalar();
   options.algorithm = kernel.hier;
   options.groups = grid::group_arrangement(options.grid, groups);
   HS_REQUIRE_MSG(options.groups.size() == groups,
                  "no valid arrangement of " << groups
                                             << " groups on this grid");
+}
+
+void adapt_groups(int groups, RunOptions& options) {
+  adapt_hierarchy(GroupHierarchy::from_scalar(groups), options);
 }
 
 }  // namespace hs::core

@@ -17,6 +17,7 @@
 #pragma once
 
 #include <memory>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -72,6 +73,10 @@ struct KernelDescriptor {
   /// no group dimension and ignores the request.
   Algorithm flat = Algorithm::Summa;
   Algorithm hier = Algorithm::Summa;
+  /// Multi-level policy: the kernel a depth >= 2 GroupHierarchy recurses
+  /// into (the chain's per-level arrangement becomes its row/col level
+  /// factors). Unset means chains are a hard error for this kernel.
+  std::optional<Algorithm> multilevel;
   /// Kernel-specific precondition checks (grid shape, divisibility, ...).
   /// Null when the per-rank program performs all validation itself.
   void (*validate)(const RunOptions& options) = nullptr;
@@ -95,10 +100,21 @@ std::string kernel_name_list();
 /// when --overlap/--lookahead is requested on an unsupporting kernel.
 std::string overlap_kernel_name_list();
 
-/// The registry's group-count adaptation policy, shared by run_sim_job and
-/// the benches: rewrites options.algorithm/groups (SUMMA family) or the
-/// level factors (factorizations) from a requested group count. `options`
-/// must already carry the resolved grid.
+/// Kernels with a multi-level policy — for the hard error emitted when a
+/// depth >= 2 hierarchy is requested on an unsupporting kernel.
+std::string multilevel_kernel_name_list();
+
+/// The registry's hierarchy adaptation policy, shared by exec::run_sim_job
+/// and the benches: rewrites options.algorithm plus groups / level factors
+/// from the requested chain. Depth 0 dispatches the kernel's `flat` family
+/// member and depth 1 its `hier` member with grid::group_arrangement —
+/// exactly the legacy scalar policy — while depth >= 2 recurses into the
+/// kernel's `multilevel` policy with the chain's per-level arrangement.
+/// Factorizations map the chain onto panel-broadcast level factors at any
+/// depth. `options` must already carry the resolved grid.
+void adapt_hierarchy(const GroupHierarchy& hierarchy, RunOptions& options);
+
+/// Legacy scalar entry point: adapt_hierarchy(GroupHierarchy::from_scalar).
 void adapt_groups(int groups, RunOptions& options);
 
 }  // namespace hs::core

@@ -10,6 +10,7 @@
 #include <optional>
 #include <vector>
 
+#include "core/hierarchy.hpp"
 #include "core/spec.hpp"
 #include "mpc/machine.hpp"
 #include "trace/phase.hpp"
@@ -24,6 +25,10 @@ struct RunOptions {
   grid::GridShape groups{1, 1};    // Hsumma only
   std::vector<int> row_levels;     // HsummaMultilevel only
   std::vector<int> col_levels;     // HsummaMultilevel only
+  /// The group hierarchy this run was adapted from (recorded by
+  /// adapt_hierarchy for diagnostics; flat when the run was requested with
+  /// a legacy scalar group count <= 1 or never adapted).
+  GroupHierarchy hierarchy;
   ProblemSpec problem;
   PayloadMode mode = PayloadMode::Real;
   std::optional<net::BcastAlgo> bcast_algo;  // default: machine config

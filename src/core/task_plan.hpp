@@ -30,6 +30,7 @@
 #pragma once
 
 #include "core/cannon.hpp"
+#include "core/hier_bcast.hpp"
 #include "core/hsumma.hpp"
 #include "core/lu.hpp"
 #include "core/summa.hpp"
@@ -41,6 +42,12 @@ namespace hs::core {
 inline constexpr int kPhaseFlat = 0;
 inline constexpr int kPhaseOuter = 1;
 inline constexpr int kPhaseInner = 2;
+/// Multi-level chains: phase = kPhaseLevelBase + chain level of the
+/// broadcast stage (level 0 = outermost). Observers accrue these into
+/// RankStats::level_comm_time, and fold level 0 into the outer phase /
+/// deeper levels into the inner phase so the legacy 2-way split stays
+/// meaningful at any depth.
+inline constexpr int kPhaseLevelBase = 3;
 
 /// TaskObserver wired to the kernels' stats/trace conventions: exposed
 /// communication (task_waited) accrues comm_time plus the outer/inner split
@@ -82,6 +89,7 @@ class PlanObserver final : public desim::TaskObserver {
 /// here whenever args.lookahead >= 1.
 desim::Task<void> summa_task_plan(SummaArgs args);
 desim::Task<void> hsumma_task_plan(HsummaArgs args);
+desim::Task<void> hsumma_multilevel_task_plan(HsummaMultilevelArgs args);
 desim::Task<void> cannon_task_plan(CannonArgs args);
 desim::Task<void> lu_task_plan(LuArgs args);
 

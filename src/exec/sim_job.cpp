@@ -34,12 +34,19 @@ std::string SimJob::cache_key() const {
   const grid::GridShape shape = grid.rows > 0 && grid.cols > 0
                                     ? grid
                                     : grid::near_square_shape(ranks);
+  // Depth <= 1 hierarchies collapse onto the legacy scalar `;groups=` field
+  // byte-for-byte (a depth-1 chain {G} and the scalar job G run the same
+  // simulation, so they must share a cache entry — and every pre-hierarchy
+  // key stays valid). Only real chains append the `;h=` component below.
+  int groups_key = groups;
+  if (!hierarchy.is_flat())
+    groups_key = hierarchy.is_scalar() ? hierarchy.scalar() : 1;
   std::ostringstream key;
   key << "net=" << net_part << ";gamma=" << net::describe_double(gamma_flop)
       << ";cm=" << static_cast<int>(collective_mode)
       << ";mba=" << static_cast<int>(machine_bcast_algo)
       << ";alg=" << static_cast<int>(algorithm) << ";grid=" << shape.rows
-      << "x" << shape.cols << ";layers=" << layers << ";groups=" << groups
+      << "x" << shape.cols << ";layers=" << layers << ";groups=" << groups_key
       << ";rl=";
   for (int level : row_levels) key << level << ",";
   key << ";cl=";
@@ -52,6 +59,11 @@ std::string SimJob::cache_key() const {
       << ";seed=" << seed
       << ";ns=" << net::describe_double(noise_sigma)
       << ";nseed=" << noise_seed;
+  if (hierarchy.depth() >= 2) key << ";h=" << hierarchy.to_string();
+  if (!rank_gamma.empty()) {
+    key << ";rg=";
+    for (double g : rank_gamma) key << net::describe_double(g) << ",";
+  }
   if (faults != nullptr && !faults->empty())
     key << ";fault=" << faults->canonical();
   return key.str();
@@ -79,7 +91,8 @@ core::RunResult run_sim_job(const SimJob& job) {
                        {.ranks = shape.size() * job.layers,
                         .collective_mode = collective_mode,
                         .bcast_algo = job.machine_bcast_algo,
-                        .gamma_flop = job.gamma_flop});
+                        .gamma_flop = job.gamma_flop,
+                        .rank_gamma = job.rank_gamma});
 
   core::RunOptions options;
   options.grid = shape;
@@ -95,11 +108,16 @@ core::RunResult run_sim_job(const SimJob& job) {
   options.row_levels = job.row_levels;
   options.col_levels = job.col_levels;
 
-  // The registry's group-adaptation policy: the SUMMA families pick flat
-  // vs hierarchical from the group count (G = 1 is exactly SUMMA, as the
-  // paper notes) and the factorizations map G onto hierarchical panel
-  // broadcast level factors, so one job description covers a whole G-sweep.
-  core::adapt_groups(job.groups, options);
+  // The registry's hierarchy-adaptation policy: the SUMMA families pick
+  // flat vs hierarchical vs multi-level from the chain (G = 1 is exactly
+  // SUMMA, as the paper notes; depth >= 2 recurses into the multilevel
+  // kernel) and the factorizations map the chain onto hierarchical panel
+  // broadcast level factors, so one job description covers a whole sweep.
+  HS_REQUIRE_MSG(job.hierarchy.is_flat() || job.groups <= 1,
+                 "SimJob got both a scalar group count ("
+                     << job.groups << ") and a hierarchy ("
+                     << job.hierarchy.to_string() << "); set only one");
+  core::adapt_hierarchy(job.effective_hierarchy(), options);
   options.recorder = job.recorder;
   // One injector per job, living exactly as long as the run: determinism
   // needs fresh per-link drop ordinals for every simulation.

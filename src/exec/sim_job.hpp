@@ -58,6 +58,12 @@ struct SimJob {
   /// factorizations (Lu, Cholesky) G > 1 becomes hierarchical panel
   /// broadcast level factors. One job description covers a whole G-sweep.
   int groups = 1;
+  /// Multi-level group hierarchy, adapted by core::adapt_hierarchy. Flat
+  /// (the default) defers to the scalar `groups`; a non-flat chain requires
+  /// groups <= 1 (one spine per job, no ambiguity). Depth <= 1 chains are
+  /// cache-key-identical to the equivalent scalar job; depth >= 2 chains
+  /// append a `;h=` component.
+  core::GroupHierarchy hierarchy;
   std::vector<int> row_levels;  // HsummaMultilevel, Lu, Cholesky
   std::vector<int> col_levels;
   core::ProblemSpec problem;
@@ -69,6 +75,12 @@ struct SimJob {
   int lookahead = -1;
   bool verify = false;
   std::uint64_t seed = 2013;  // input generator seed (Real mode)
+
+  // --- heterogeneity ------------------------------------------------------
+  /// Per-rank compute speed multipliers (MachineConfig::rank_gamma): empty
+  /// means homogeneous; otherwise one entry per rank, flop charges on rank
+  /// r are scaled by rank_gamma[r]. Participates in cache_key (`;rg=`).
+  std::vector<double> rank_gamma;
 
   // --- per-transfer noise (run_repeated statistics) ----------------------
   /// sigma > 0 wraps the network in a deterministic net::NoisyModel seeded
@@ -98,6 +110,13 @@ struct SimJob {
   /// Harvests machine + engine counters after the run (see
   /// trace/metrics.hpp). Same ownership rule as `recorder`.
   trace::MetricsRegistry* metrics = nullptr;
+
+  /// The hierarchy this job actually runs: the explicit chain when one is
+  /// set, else the legacy scalar group count lifted via from_scalar.
+  core::GroupHierarchy effective_hierarchy() const {
+    return hierarchy.is_flat() ? core::GroupHierarchy::from_scalar(groups)
+                               : hierarchy;
+  }
 
   /// Canonical identity for result caching: two jobs with equal non-empty
   /// keys run bit-identical simulations. Empty when the job is not

@@ -1,5 +1,6 @@
 #include "grid/hier_grid.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 namespace hs::grid {
@@ -27,9 +28,20 @@ GridShape group_arrangement(GridShape grid, int groups) {
 }
 
 std::vector<int> valid_group_counts(GridShape grid) {
+  // g is arrangeable exactly when g = i * j with i | rows and j | cols, so
+  // enumerate divisor pairs instead of testing every g in [1, p] (the naive
+  // scan is O(p^2) and p reaches 2^20 on the exascale preset).
+  std::vector<int> row_divs, col_divs;
+  for (int i = 1; i <= grid.rows; ++i)
+    if (grid.rows % i == 0) row_divs.push_back(i);
+  for (int j = 1; j <= grid.cols; ++j)
+    if (grid.cols % j == 0) col_divs.push_back(j);
   std::vector<int> counts;
-  for (int g = 1; g <= grid.size(); ++g)
-    if (group_arrangement(grid, g).size() == g) counts.push_back(g);
+  counts.reserve(row_divs.size() * col_divs.size());
+  for (const int i : row_divs)
+    for (const int j : col_divs) counts.push_back(i * j);
+  std::sort(counts.begin(), counts.end());
+  counts.erase(std::unique(counts.begin(), counts.end()), counts.end());
   return counts;
 }
 

@@ -87,6 +87,54 @@ CostBreakdown hsumma_cost(double n, double p, double groups, double b,
   return cost;
 }
 
+MultilevelCost multilevel_cost(double n, double p,
+                               const std::vector<int>& row_factors,
+                               const std::vector<int>& col_factors, double b,
+                               net::BcastAlgo algo,
+                               const PlatformModel& platform) {
+  HS_REQUIRE(n > 0 && p >= 1 && b > 0);
+  const double q = std::sqrt(p);
+  const double steps = n / b;
+  const double elements = (n / q) * b;  // per-broadcast message, any level
+
+  MultilevelCost out;
+  // One dimension's phase chain, mirroring hier_bcast_stages: factors of 1
+  // are skipped but keep their level slot, a factor equal to the remaining
+  // extent flattens, and whatever remains broadcasts as the last phase.
+  const auto add_chain = [&](const std::vector<int>& factors) {
+    double remaining = q;
+    int level = 0;
+    const auto add_phase = [&](double participants) {
+      if (participants <= 1.0) return;
+      const auto k = continuous_coefficients(algo, participants, elements);
+      const double latency = steps * k.latency_factor * platform.alpha;
+      const double bandwidth =
+          steps * elements * k.bandwidth_factor * platform.beta_element();
+      out.cost.latency += latency;
+      out.cost.bandwidth += bandwidth;
+      if (out.level_comm.size() <= static_cast<std::size_t>(level))
+        out.level_comm.resize(static_cast<std::size_t>(level) + 1);
+      out.level_comm[static_cast<std::size_t>(level)] += latency + bandwidth;
+    };
+    for (const int factor : factors) {
+      if (remaining <= 1.0) return;
+      HS_REQUIRE_MSG(factor >= 1,
+                     "chain factor " << factor << " must be >= 1");
+      if (factor > 1) {
+        add_phase(static_cast<double>(factor));
+        remaining /= static_cast<double>(factor);
+        if (remaining <= 1.0) return;
+      }
+      ++level;
+    }
+    add_phase(remaining);
+  };
+  add_chain(row_factors);
+  add_chain(col_factors);
+  out.cost.compute = 2.0 * n * n * n / p * platform.gamma_flop;
+  return out;
+}
+
 bool has_interior_minimum(double n, double p, double b,
                           const PlatformModel& platform) {
   // eq. 10: alpha / beta > 2 n b / p, with beta per element.

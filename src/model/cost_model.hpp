@@ -65,6 +65,26 @@ CostBreakdown hsumma_cost(double n, double p, double groups, double b,
                           double outer_b, net::BcastAlgo algo,
                           const PlatformModel& platform);
 
+/// Multi-level HSUMMA (b = B): per dimension the per-step panel broadcast
+/// over sqrt(p) ranks decomposes into one phase per applied chain factor
+/// plus the trailing remainder phase — T_bcast(m, q) summed over the
+/// chain, with the same phase semantics as core::hier_bcast (factors of 1
+/// skipped, a factor equal to the remaining extent flattens). Empty chains
+/// reduce to summa_cost(n, p, b); single-factor chains {J} x {I} with
+/// I * J = G reduce to hsumma_cost(n, p, G, b, b) (pinned by tests).
+struct MultilevelCost {
+  CostBreakdown cost;
+  /// Communication seconds per chain level (row + column chains merged by
+  /// level index; the trailing remainder phase lands one past the deepest
+  /// applied factor of its chain).
+  std::vector<double> level_comm;
+};
+MultilevelCost multilevel_cost(double n, double p,
+                               const std::vector<int>& row_factors,
+                               const std::vector<int>& col_factors, double b,
+                               net::BcastAlgo algo,
+                               const PlatformModel& platform);
+
 /// The paper's eq. 10 test: does the HSUMMA cost have its minimum at an
 /// interior G (at G = sqrt(p)) rather than at the SUMMA-equivalent
 /// endpoints?

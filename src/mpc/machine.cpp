@@ -41,6 +41,14 @@ Machine::Machine(desim::Engine& engine,
   HS_REQUIRE(net_ != nullptr);
   HS_REQUIRE(config_.ranks >= 1);
   HS_REQUIRE(config_.gamma_flop >= 0.0);
+  HS_REQUIRE_MSG(config_.rank_gamma.empty() ||
+                     config_.rank_gamma.size() ==
+                         static_cast<std::size_t>(config_.ranks),
+                 "rank_gamma needs one multiplier per rank (got "
+                     << config_.rank_gamma.size() << " for " << config_.ranks
+                     << " ranks)");
+  for (double g : config_.rank_gamma)
+    HS_REQUIRE_MSG(g > 0.0, "rank_gamma multipliers must be > 0, got " << g);
   hockney_ = dynamic_cast<const net::HockneyModel*>(net_.get());
   HS_REQUIRE_MSG(
       config_.collective_mode != CollectiveMode::ClosedForm || hockney_,
@@ -253,6 +261,8 @@ desim::Task<bool> Machine::recv_before(int src, int dst, int ctx, int tag,
 
 double Machine::compute_duration(int rank, double base) const {
   HS_REQUIRE(rank >= 0 && rank < config_.ranks);
+  if (!config_.rank_gamma.empty())
+    base *= config_.rank_gamma[static_cast<std::size_t>(rank)];
   if (fault_ == nullptr || !fault_->active()) return base;
   return fault_->compute_seconds(rank, engine_->now(), base);
 }

@@ -69,6 +69,14 @@ struct MachineConfig {
   /// rank subset (hierarchical broadcast frontiers) materializes only
   /// those ranks' pages.
   bool eager_rank_state = false;
+  /// Static per-rank compute speed multipliers (heterogeneous platforms):
+  /// empty means homogeneous, otherwise exactly `ranks` entries, each > 0,
+  /// and Machine::compute on rank r charges flops * gamma_flop *
+  /// rank_gamma[r]. A multiplier > 1 is a permanently slow rank — the
+  /// static analogue of the fault subsystem's RankSlowdown with an
+  /// infinite window (pinned equivalent by tests/mpc/test_hetero.cpp).
+  /// Communication is unaffected.
+  std::vector<double> rank_gamma = {};
 };
 
 /// Optional per-transfer event recorder. Attach one to a Machine to dump

@@ -33,6 +33,7 @@ class Torus3DModel final : public NetworkModel {
   int hops(int src, int dst) const;
   int nodes() const noexcept { return dims_[0] * dims_[1] * dims_[2]; }
   int ranks() const noexcept { return nodes() * ranks_per_node_; }
+  int ranks_per_node() const noexcept { return ranks_per_node_; }
 
  private:
   std::array<int, 3> dims_;
@@ -51,6 +52,8 @@ class TwoLevelModel final : public NetworkModel {
 
   double transfer_time(int src, int dst, std::uint64_t bytes) const override;
   std::string describe() const override;
+
+  int ranks_per_switch() const noexcept { return ranks_per_switch_; }
 
  private:
   int ranks_per_switch_;

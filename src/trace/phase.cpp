@@ -22,6 +22,11 @@ TimingReport TimingReport::aggregate(double total_time,
         std::max(report.max_outer_comm_time, stats.outer_comm_time);
     report.max_inner_comm_time =
         std::max(report.max_inner_comm_time, stats.inner_comm_time);
+    if (report.max_level_comm_time.size() < stats.level_comm_time.size())
+      report.max_level_comm_time.resize(stats.level_comm_time.size());
+    for (std::size_t i = 0; i < stats.level_comm_time.size(); ++i)
+      report.max_level_comm_time[i] =
+          std::max(report.max_level_comm_time[i], stats.level_comm_time[i]);
     comm_sum += stats.comm_time;
     comp_sum += stats.comp_time;
     report.total_flops += stats.flops;

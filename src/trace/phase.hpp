@@ -28,6 +28,11 @@ struct RankStats {
   /// Tables I/II. Zero for flat algorithms.
   double outer_comm_time = 0.0;
   double inner_comm_time = 0.0;
+  /// Multi-level hierarchies further split communication per chain level
+  /// (slot l = level l of the factor chain; the trailing remainder phase
+  /// lands one past the deepest applied factor). Empty for flat/2-level
+  /// legacy algorithms.
+  std::vector<double> level_comm_time = {};
   std::uint64_t flops = 0;
 
   RankStats& operator+=(const RankStats& other) noexcept {
@@ -35,6 +40,10 @@ struct RankStats {
     comp_time += other.comp_time;
     outer_comm_time += other.outer_comm_time;
     inner_comm_time += other.inner_comm_time;
+    if (level_comm_time.size() < other.level_comm_time.size())
+      level_comm_time.resize(other.level_comm_time.size());
+    for (std::size_t i = 0; i < other.level_comm_time.size(); ++i)
+      level_comm_time[i] += other.level_comm_time[i];
     flops += other.flops;
     return *this;
   }
@@ -64,6 +73,9 @@ struct TimingReport {
   double mean_comp_time = 0.0;
   double max_outer_comm_time = 0.0;  // inter-group phase (hierarchical)
   double max_inner_comm_time = 0.0;  // intra-group phase
+  /// Per-chain-level communication maxima (multi-level hierarchies only;
+  /// mirrors RankStats::level_comm_time).
+  std::vector<double> max_level_comm_time;
   std::uint64_t total_flops = 0;
 
   static TimingReport aggregate(double total_time,

@@ -6,10 +6,13 @@
 #include "grid/hier_grid.hpp"
 #include <limits>
 #include <numeric>
+#include <set>
 
+#include "core/hier_bcast.hpp"
 #include "core/kernel_registry.hpp"
 #include "exec/executor.hpp"
 #include "model/cost_model.hpp"
+#include "net/topology.hpp"
 
 namespace hs::tune {
 
@@ -95,32 +98,105 @@ TuneResult tune_groups(const TuneOptions& options) {
       static_cast<double>(options.problem.k) /
       static_cast<double>(sample_problem.k);
 
-  // Every runnable (G, D) pair becomes one executor job (run_sim_job
-  // applies the same Summa/Hsumma split and group arrangement this loop
-  // used to). Jobs are submitted before any result is read — with an
+  // Multi-level candidate chains, sampled after every scalar G (so a chain
+  // wins only by strictly beating the whole scalar sweep): explicit
+  // candidates, balanced divisor chains of the valid group counts, and
+  // platform-derived chains whose outermost level matches the network's
+  // own hierarchy (one group per switch / torus node).
+  std::vector<core::GroupHierarchy> chains;
+  {
+    std::set<std::string> seen;
+    const auto push = [&](const core::GroupHierarchy& chain) {
+      if (chain.depth() < 2) return;  // the scalar sweep covers it
+      if (!core::hierarchy_fits(chain, options.grid)) return;
+      if (seen.insert(chain.to_string()).second) chains.push_back(chain);
+    };
+    for (const core::GroupHierarchy& chain : options.hierarchies) {
+      HS_REQUIRE_MSG(core::hierarchy_fits(chain, options.grid),
+                     "candidate hierarchy " << chain.to_string()
+                                            << " does not fit a "
+                                            << options.grid.rows << "x"
+                                            << options.grid.cols << " grid");
+      push(chain);
+    }
+    if (options.max_levels >= 2) {
+      for (const core::GroupHierarchy& chain :
+           core::candidate_hierarchies(options.grid, options.max_levels))
+        push(chain);
+      const int p = options.grid.size();
+      if (const auto* two = dynamic_cast<const net::TwoLevelModel*>(
+              options.network.get())) {
+        const int rps = two->ranks_per_switch();
+        if (rps > 1 && p % rps == 0 && p / rps > 1) {
+          const int switches = p / rps;
+          push(core::GroupHierarchy(core::full_group_chain(switches, 2)));
+          for (int f : core::balanced_levels(rps, 2))
+            push(core::GroupHierarchy({switches, f}));
+        }
+      }
+      if (const auto* torus = dynamic_cast<const net::Torus3DModel*>(
+              options.network.get())) {
+        const int rpn = torus->ranks_per_node();
+        if (rpn > 1 && p % rpn == 0 && p / rpn > 1) {
+          const int nodes = p / rpn;
+          push(core::GroupHierarchy(core::full_group_chain(nodes, 2)));
+          for (int f : core::balanced_levels(rpn, 2))
+            push(core::GroupHierarchy({nodes, f}));
+        }
+      }
+    }
+  }
+
+  // Every runnable candidate x D pair becomes one executor job
+  // (run_sim_job applies the same flat/hier/multilevel adaptation this
+  // loop used to). Jobs are submitted before any result is read — with an
   // executor the whole sampling sweep runs concurrently — and aggregated in
   // candidate order, so samples and the best pick match the serial path
   // exactly.
-  std::vector<std::pair<int, int>> runnable;  // (groups, lookahead)
+  struct Candidate {
+    core::GroupHierarchy hierarchy;
+    int groups = 1;
+    int lookahead = 0;
+    grid::GridShape arrangement{1, 1};
+  };
+  std::vector<Candidate> runnable;
   std::vector<exec::SimJob> jobs;
+  const auto base_job = [&] {
+    exec::SimJob job;
+    job.network = options.network;
+    job.gamma_flop = options.machine_config.gamma_flop;
+    job.collective_mode = options.machine_config.collective_mode;
+    job.machine_bcast_algo = options.machine_config.bcast_algo;
+    job.rank_gamma = options.machine_config.rank_gamma;
+    job.algorithm = options.kernel;  // adapt_hierarchy picks the kernel
+    job.grid = options.grid;
+    job.problem = sample_problem;
+    job.bcast_algo = options.bcast_algo;
+    job.faults = options.faults;
+    return job;
+  };
   for (int groups : candidates) {
     const grid::GridShape arrangement =
         grid::group_arrangement(options.grid, groups);
     if (arrangement.size() != groups) continue;
     for (int depth : depths) {
-      exec::SimJob job;
-      job.network = options.network;
-      job.gamma_flop = options.machine_config.gamma_flop;
-      job.collective_mode = options.machine_config.collective_mode;
-      job.machine_bcast_algo = options.machine_config.bcast_algo;
-      job.algorithm = options.kernel;  // adapt_groups picks flat vs hier
-      job.grid = options.grid;
+      exec::SimJob job = base_job();
       job.groups = groups;
-      job.problem = sample_problem;
-      job.bcast_algo = options.bcast_algo;
       job.lookahead = depth;
-      job.faults = options.faults;
-      runnable.emplace_back(groups, depth);
+      runnable.push_back({core::GroupHierarchy::from_scalar(groups), groups,
+                          depth, arrangement});
+      jobs.push_back(std::move(job));
+    }
+  }
+  for (const core::GroupHierarchy& chain : chains) {
+    const grid::GridShape outer =
+        core::arrange_hierarchy(chain, options.grid).levels.front();
+    for (int depth : depths) {
+      exec::SimJob job = base_job();
+      job.hierarchy = chain;
+      job.lookahead = depth;
+      runnable.push_back(
+          {chain, static_cast<int>(chain.product()), depth, outer});
       jobs.push_back(std::move(job));
     }
   }
@@ -138,10 +214,10 @@ TuneResult tune_groups(const TuneOptions& options) {
                                     : exec::run_sim_job(jobs[i]);
 
     Sample sample;
-    sample.groups = runnable[i].first;
-    sample.lookahead = runnable[i].second;
-    sample.arrangement =
-        grid::group_arrangement(options.grid, sample.groups);
+    sample.groups = runnable[i].groups;
+    sample.lookahead = runnable[i].lookahead;
+    sample.hierarchy = runnable[i].hierarchy;
+    sample.arrangement = runnable[i].arrangement;
     sample.comm_time = run.timing.max_comm_time * scale;
     sample.total_time =
         (run.timing.max_comm_time + run.timing.max_comp_time) * scale;
@@ -150,11 +226,13 @@ TuneResult tune_groups(const TuneOptions& options) {
     // Exposed comm is the right joint metric: flops are invariant across
     // both G and D, so argmin(exposed comm) == argmin(total). Strict `<`
     // keeps the first-sampled pair on ties — deeper D never wins unless
-    // it actually hides something.
+    // it actually hides something, and a chain never wins unless it beats
+    // every scalar G.
     if (sample.comm_time < result.best_comm_time) {
       result.best_comm_time = sample.comm_time;
       result.best_groups = sample.groups;
       result.best_lookahead = sample.lookahead;
+      result.best_hierarchy = sample.hierarchy;
       result.best_arrangement = sample.arrangement;
     }
   }

@@ -39,6 +39,18 @@ struct TuneOptions {
   int sample_outer_steps = 2;
   /// Candidate group counts; empty -> all valid counts for the grid.
   std::vector<int> candidates;
+  /// Explicit multi-level candidate chains, sampled after the scalar
+  /// candidates (depth <= 1 entries are skipped — the scalar sweep covers
+  /// them). Each must fit the grid (core::hierarchy_fits).
+  std::vector<core::GroupHierarchy> hierarchies;
+  /// Maximum hierarchy depth to derive candidates for automatically:
+  /// >= 2 adds core::candidate_hierarchies(grid, max_levels) — balanced
+  /// divisor chains of every valid group count — plus platform-derived
+  /// chains whose outermost level matches the network's structure (one
+  /// group per TwoLevelModel switch / Torus3DModel node, optionally split
+  /// once more inside). 1 (the default) keeps the legacy scalar-only
+  /// search.
+  int max_levels = 1;
   /// Candidate look-ahead depths, sampled jointly with G (the best (G, D)
   /// pair is reported). The default tunes the blocking schedule only;
   /// {0, 1, 2} spans blocking, double-buffered and deep prefetch. Every
@@ -60,8 +72,14 @@ struct TuneOptions {
 };
 
 struct Sample {
+  /// Scalar candidates: the sampled G. Chain candidates: the chain's total
+  /// innermost group count (product of the level factors).
   int groups = 1;
   int lookahead = 0;
+  /// The candidate as a chain (from_scalar(G) for scalar candidates).
+  core::GroupHierarchy hierarchy;
+  /// Scalar candidates: the I x J group arrangement. Chains: the
+  /// outermost level's arrangement.
   grid::GridShape arrangement;
   double comm_time = 0.0;       // scaled to the full problem; with
                                 // lookahead > 0, the *exposed* comm
@@ -71,6 +89,9 @@ struct Sample {
 struct TuneResult {
   int best_groups = 1;
   int best_lookahead = 0;
+  /// The winning candidate as a chain; scalar winners are from_scalar(G).
+  /// A multi-level chain wins only by strictly beating every scalar G.
+  core::GroupHierarchy best_hierarchy;
   grid::GridShape best_arrangement{1, 1};
   double best_comm_time = 0.0;
   std::vector<Sample> samples;  // in sampling order

@@ -1,0 +1,204 @@
+// GroupHierarchy — the first-class multi-level group spine: canonical
+// form, parsing, grid arrangement, candidate generation, and the
+// registry's adapt_hierarchy policies.
+#include "core/hierarchy.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "common/check.hpp"
+#include "core/kernel_registry.hpp"
+#include "core/runner.hpp"
+
+namespace {
+
+using hs::core::Algorithm;
+using hs::core::GroupHierarchy;
+using hs::core::RunOptions;
+using hs::grid::GridShape;
+
+TEST(GroupHierarchy, DefaultIsFlat) {
+  const GroupHierarchy flat;
+  EXPECT_TRUE(flat.is_flat());
+  EXPECT_TRUE(flat.is_scalar());
+  EXPECT_EQ(flat.depth(), 0);
+  EXPECT_EQ(flat.scalar(), 1);
+  EXPECT_EQ(flat.product(), 1);
+  EXPECT_EQ(flat.to_string(), "flat");
+}
+
+TEST(GroupHierarchy, CanonicalFormDropsUnitFactors) {
+  const GroupHierarchy chain({1, 4, 1, 2, 1});
+  EXPECT_EQ(chain.to_string(), "4x2");
+  EXPECT_EQ(chain.depth(), 2);
+  EXPECT_EQ(chain.product(), 8);
+  EXPECT_EQ(chain, GroupHierarchy({4, 2}));
+  EXPECT_TRUE(GroupHierarchy({1, 1}).is_flat());
+  EXPECT_THROW(GroupHierarchy({4, 0}), hs::PreconditionError);
+  EXPECT_THROW(GroupHierarchy({-2}), hs::PreconditionError);
+}
+
+TEST(GroupHierarchy, FromScalarBridge) {
+  EXPECT_TRUE(GroupHierarchy::from_scalar(0).is_flat());
+  EXPECT_TRUE(GroupHierarchy::from_scalar(1).is_flat());
+  const GroupHierarchy g8 = GroupHierarchy::from_scalar(8);
+  EXPECT_TRUE(g8.is_scalar());
+  EXPECT_EQ(g8.scalar(), 8);
+  EXPECT_EQ(g8.depth(), 1);
+  EXPECT_EQ(g8.to_string(), "8");
+  EXPECT_THROW(GroupHierarchy::from_scalar(-1), hs::PreconditionError);
+}
+
+TEST(GroupHierarchy, ParseRoundTrips) {
+  for (const std::string text : {"flat", "8", "8x4x2", "64x16"}) {
+    const GroupHierarchy chain = GroupHierarchy::parse(text);
+    EXPECT_EQ(chain.to_string(), text);
+    EXPECT_EQ(GroupHierarchy::parse(chain.to_string()), chain);
+  }
+  EXPECT_TRUE(GroupHierarchy::parse("").is_flat());
+  EXPECT_EQ(GroupHierarchy::parse("8x1x2"), GroupHierarchy({8, 2}));
+  EXPECT_THROW(GroupHierarchy::parse("8x"), hs::PreconditionError);
+  EXPECT_THROW(GroupHierarchy::parse("x8"), hs::PreconditionError);
+  EXPECT_THROW(GroupHierarchy::parse("8x0x2"), hs::PreconditionError);
+  EXPECT_THROW(GroupHierarchy::parse("abc"), hs::PreconditionError);
+  EXPECT_THROW(GroupHierarchy::parse("4.5"), hs::PreconditionError);
+}
+
+TEST(GroupHierarchy, ScalarAccessorRequiresScalarChain) {
+  EXPECT_THROW(GroupHierarchy({4, 2}).scalar(), hs::PreconditionError);
+}
+
+TEST(ArrangeHierarchy, BalancedChainOnSquareGrid) {
+  const auto arrangement =
+      hs::core::arrange_hierarchy(GroupHierarchy({4, 4}), {8, 8});
+  ASSERT_EQ(arrangement.levels.size(), 2u);
+  EXPECT_EQ(arrangement.levels[0], (GridShape{2, 2}));
+  EXPECT_EQ(arrangement.levels[1], (GridShape{2, 2}));
+  EXPECT_EQ(arrangement.row_levels, (std::vector<int>{2, 2}));
+  EXPECT_EQ(arrangement.col_levels, (std::vector<int>{2, 2}));
+  EXPECT_EQ(arrangement.leaf, (GridShape{2, 2}));
+}
+
+TEST(ArrangeHierarchy, KeepsUnitFactorsForLevelAlignment) {
+  // 2 groups on a 1 x 4 grid can only split the columns: the row chain gets
+  // the 2, the col chain keeps a 1 in that level's slot (hier_bcast skips
+  // it without shifting deeper levels).
+  const auto arrangement =
+      hs::core::arrange_hierarchy(GroupHierarchy({2, 2}), {1, 4});
+  EXPECT_EQ(arrangement.row_levels, (std::vector<int>{2, 2}));
+  EXPECT_EQ(arrangement.col_levels, (std::vector<int>{1, 1}));
+  EXPECT_EQ(arrangement.leaf, (GridShape{1, 1}));
+}
+
+TEST(ArrangeHierarchy, ThrowsWhenALevelCannotArrange) {
+  try {
+    hs::core::arrange_hierarchy(GroupHierarchy({4, 8}), {4, 4});
+    FAIL() << "expected a precondition failure";
+  } catch (const hs::PreconditionError& error) {
+    EXPECT_NE(std::string(error.what()).find("no valid arrangement"),
+              std::string::npos);
+    EXPECT_NE(std::string(error.what()).find("4x8"), std::string::npos);
+  }
+}
+
+TEST(ArrangeHierarchy, FitsPredicateMatchesArrange) {
+  EXPECT_TRUE(hs::core::hierarchy_fits(GroupHierarchy({4, 4}), {8, 8}));
+  EXPECT_TRUE(hs::core::hierarchy_fits(GroupHierarchy(), {3, 5}));
+  EXPECT_FALSE(hs::core::hierarchy_fits(GroupHierarchy({4, 8}), {4, 4}));
+  EXPECT_FALSE(hs::core::hierarchy_fits(GroupHierarchy({3}), {4, 4}));
+}
+
+TEST(CandidateHierarchies, BalancedDivisorChainsThatFit) {
+  const auto candidates = hs::core::candidate_hierarchies({8, 8}, 3);
+  ASSERT_FALSE(candidates.empty());
+  std::set<std::string> seen;
+  for (const GroupHierarchy& chain : candidates) {
+    EXPECT_GE(chain.depth(), 2) << chain.to_string();
+    EXPECT_TRUE(hs::core::hierarchy_fits(chain, {8, 8}))
+        << chain.to_string();
+    EXPECT_TRUE(seen.insert(chain.to_string()).second)
+        << "duplicate candidate " << chain.to_string();
+  }
+  EXPECT_TRUE(hs::core::candidate_hierarchies({8, 8}, 1).empty());
+}
+
+TEST(FullGroupChain, BalancedFactorsPlusRemainder) {
+  EXPECT_EQ(hs::core::full_group_chain(64, 3), (std::vector<int>{4, 4, 4}));
+  EXPECT_EQ(hs::core::full_group_chain(8, 1), (std::vector<int>{8}));
+  long long product = 1;
+  for (int f : hs::core::full_group_chain(48, 3)) product *= f;
+  EXPECT_EQ(product, 48);
+}
+
+RunOptions base_options(Algorithm kernel, GridShape grid) {
+  RunOptions options;
+  options.algorithm = kernel;
+  options.grid = grid;
+  return options;
+}
+
+TEST(AdaptHierarchy, FlatKeepsTheFlatKernel) {
+  RunOptions options = base_options(Algorithm::Summa, {8, 8});
+  hs::core::adapt_hierarchy(GroupHierarchy(), options);
+  EXPECT_EQ(options.algorithm, Algorithm::Summa);
+  EXPECT_TRUE(options.row_levels.empty());
+  EXPECT_TRUE(options.hierarchy.is_flat());
+}
+
+TEST(AdaptHierarchy, ScalarChainIsTheLegacyGroupPolicy) {
+  RunOptions legacy = base_options(Algorithm::Summa, {8, 8});
+  hs::core::adapt_groups(16, legacy);
+  RunOptions chain = base_options(Algorithm::Summa, {8, 8});
+  hs::core::adapt_hierarchy(GroupHierarchy::from_scalar(16), chain);
+  EXPECT_EQ(legacy.algorithm, Algorithm::Hsumma);
+  EXPECT_EQ(chain.algorithm, legacy.algorithm);
+  EXPECT_EQ(chain.groups, legacy.groups);
+  EXPECT_EQ(chain.hierarchy, GroupHierarchy::from_scalar(16));
+}
+
+TEST(AdaptHierarchy, DeepChainRecursesIntoTheMultilevelKernel) {
+  RunOptions options = base_options(Algorithm::Summa, {8, 8});
+  hs::core::adapt_hierarchy(GroupHierarchy({4, 4}), options);
+  EXPECT_EQ(options.algorithm, Algorithm::HsummaMultilevel);
+  EXPECT_EQ(options.row_levels, (std::vector<int>{2, 2}));
+  EXPECT_EQ(options.col_levels, (std::vector<int>{2, 2}));
+  EXPECT_EQ(options.hierarchy, GroupHierarchy({4, 4}));
+}
+
+TEST(AdaptHierarchy, ChainOnUnsupportedKernelNamesTheSupportedOnes) {
+  RunOptions options = base_options(Algorithm::Cannon, {8, 8});
+  try {
+    hs::core::adapt_hierarchy(GroupHierarchy({4, 4}), options);
+    FAIL() << "expected a precondition failure";
+  } catch (const hs::PreconditionError& error) {
+    const std::string what = error.what();
+    EXPECT_NE(what.find(hs::core::multilevel_kernel_name_list()),
+              std::string::npos)
+        << what;
+  }
+}
+
+TEST(AdaptHierarchy, ChainPlusExplicitLevelFactorsIsAnError) {
+  RunOptions options = base_options(Algorithm::Summa, {8, 8});
+  options.row_levels = {2};
+  EXPECT_THROW(hs::core::adapt_hierarchy(GroupHierarchy({4, 4}), options),
+               hs::PreconditionError);
+}
+
+TEST(AdaptHierarchy, FactorizationMapsChainOntoPanelBroadcastLevels) {
+  RunOptions options = base_options(Algorithm::Lu, {8, 8});
+  hs::core::adapt_hierarchy(GroupHierarchy({4, 4}), options);
+  EXPECT_EQ(options.algorithm, Algorithm::Lu);
+  EXPECT_EQ(options.row_levels, (std::vector<int>{2, 2}));
+  EXPECT_EQ(options.col_levels, (std::vector<int>{2, 2}));
+}
+
+TEST(AdaptHierarchy, MultilevelKernelNameListCoversTheGemmAndLuFamilies) {
+  const std::string list = hs::core::multilevel_kernel_name_list();
+  for (const char* name : {"summa", "hsumma", "lu", "cholesky"})
+    EXPECT_NE(list.find(name), std::string::npos) << list;
+}
+
+}  // namespace

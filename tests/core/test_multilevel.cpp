@@ -4,6 +4,7 @@
 
 #include <memory>
 
+#include "common/check.hpp"
 #include "core/runner.hpp"
 #include "mpc/collectives.hpp"
 
@@ -167,6 +168,48 @@ TEST(BalancedLevels, ProducesDividingChains) {
   int product = 1;
   for (int f : chain) product *= f;
   EXPECT_EQ(36 % product, 0);
+}
+
+TEST(BalancedLevels, UnitExtentHasNothingToSplit) {
+  EXPECT_TRUE(hs::core::balanced_levels(1, 1).empty());
+  EXPECT_TRUE(hs::core::balanced_levels(1, 5).empty());
+}
+
+TEST(BalancedLevels, PrimeExtentsCollapseToASingleFactor) {
+  // A prime has no balanced divisor, so the chain collapses to {extent}
+  // and the deeper levels degenerate (remaining extent 1 stops the loop).
+  EXPECT_EQ(hs::core::balanced_levels(7, 2), (std::vector<int>{7}));
+  EXPECT_EQ(hs::core::balanced_levels(13, 4), (std::vector<int>{13}));
+}
+
+TEST(BalancedLevels, MoreLevelsThanLog2ExtentNeverEmitsUnitFactors) {
+  // 10 requested levels over extent 8 can only fill 3: the chain stops at
+  // remaining extent 1 instead of padding with 1s.
+  EXPECT_EQ(hs::core::balanced_levels(8, 10), (std::vector<int>{2, 2, 2}));
+  EXPECT_EQ(hs::core::balanced_levels(2, 100), (std::vector<int>{2}));
+}
+
+TEST(BalancedLevels, ContractHoldsAcrossTheSmallDomain) {
+  // The documented contract (hier_bcast.hpp): at most levels - 1 factors,
+  // every factor >= 2, and the chain's product divides the extent.
+  for (int extent = 1; extent <= 24; ++extent) {
+    for (int levels = 1; levels <= 6; ++levels) {
+      const auto chain = hs::core::balanced_levels(extent, levels);
+      EXPECT_LE(static_cast<int>(chain.size()), levels - 1)
+          << extent << "," << levels;
+      int product = 1;
+      for (int f : chain) {
+        EXPECT_GE(f, 2) << extent << "," << levels;
+        product *= f;
+      }
+      EXPECT_EQ(extent % product, 0) << extent << "," << levels;
+    }
+  }
+}
+
+TEST(BalancedLevels, RejectsNonPositiveArguments) {
+  EXPECT_THROW(hs::core::balanced_levels(0, 1), hs::PreconditionError);
+  EXPECT_THROW(hs::core::balanced_levels(4, 0), hs::PreconditionError);
 }
 
 }  // namespace

@@ -1,0 +1,80 @@
+// Registry/CLI drift lock: every registered kernel name and alias must
+// appear in core::kernel_name_list(), in algorithm_from_string's
+// unknown-kernel error text, and in the --algorithm help registered by
+// bench::add_algorithm_option — so a newly registered kernel can never
+// silently miss the CLI surface.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "bench_util.hpp"
+#include "common/check.hpp"
+#include "common/cli.hpp"
+#include "core/kernel_registry.hpp"
+
+namespace {
+
+std::vector<std::string> all_spellings() {
+  std::vector<std::string> spellings;
+  for (const hs::core::KernelDescriptor& kernel : hs::core::all_kernels()) {
+    spellings.emplace_back(kernel.name);
+    for (std::string_view alias : kernel.aliases)
+      spellings.emplace_back(alias);
+  }
+  return spellings;
+}
+
+TEST(RegistryHelp, NameListEnumeratesEveryKernelAndAlias) {
+  const std::string list = hs::core::kernel_name_list();
+  for (const std::string& spelling : all_spellings())
+    EXPECT_NE(list.find(spelling), std::string::npos)
+        << "'" << spelling << "' missing from kernel_name_list(): " << list;
+  // The 2.5D aliases the issue singles out.
+  EXPECT_NE(list.find("summa-2.5d"), std::string::npos) << list;
+  EXPECT_NE(list.find("summa25d"), std::string::npos) << list;
+  EXPECT_NE(list.find("llt"), std::string::npos) << list;
+}
+
+TEST(RegistryHelp, EverySpellingResolves) {
+  for (const hs::core::KernelDescriptor& kernel : hs::core::all_kernels()) {
+    EXPECT_EQ(hs::core::algorithm_from_string(kernel.name), kernel.kernel);
+    for (std::string_view alias : kernel.aliases)
+      EXPECT_EQ(hs::core::algorithm_from_string(alias), kernel.kernel);
+  }
+}
+
+TEST(RegistryHelp, UnknownKernelErrorEnumeratesEverySpelling) {
+  try {
+    hs::core::algorithm_from_string("not-a-kernel");
+    FAIL() << "expected a precondition failure";
+  } catch (const hs::PreconditionError& error) {
+    const std::string what = error.what();
+    EXPECT_NE(what.find("not-a-kernel"), std::string::npos) << what;
+    for (const std::string& spelling : all_spellings())
+      EXPECT_NE(what.find(spelling), std::string::npos)
+          << "'" << spelling << "' missing from the error text: " << what;
+  }
+}
+
+TEST(RegistryHelp, AlgorithmOptionHelpEnumeratesEverySpelling) {
+  hs::CliParser cli("drift test");
+  std::string dest = "summa";
+  hs::bench::add_algorithm_option(cli, &dest);
+  const std::string usage = cli.usage();
+  for (const std::string& spelling : all_spellings())
+    EXPECT_NE(usage.find(spelling), std::string::npos)
+        << "'" << spelling << "' missing from --algorithm help: " << usage;
+}
+
+TEST(RegistryHelp, HierarchyOptionHelpNamesTheMultilevelKernels) {
+  hs::CliParser cli("drift test");
+  std::string dest = "flat";
+  hs::bench::add_hierarchy_option(cli, &dest);
+  const std::string usage = cli.usage();
+  EXPECT_NE(usage.find("--hierarchy"), std::string::npos) << usage;
+  EXPECT_NE(usage.find(hs::core::multilevel_kernel_name_list()),
+            std::string::npos)
+      << usage;
+}
+
+}  // namespace

@@ -8,6 +8,7 @@
 #include <thread>
 #include <vector>
 
+#include "core/hierarchy.hpp"
 #include "fault/fault_plan.hpp"
 #include "trace/metrics.hpp"
 #include "trace/recorder.hpp"
@@ -155,6 +156,48 @@ TEST(ExecStress, TaskPlanDepthSweepRacesClean) {
     EXPECT_EQ(a.wire_bytes, b.wire_bytes);
   }
   EXPECT_GT(parallel.cache_hits(), 0u);  // repeated (G, D) points dedupe
+}
+
+TEST(ExecStress, HierarchySweepRacesClean) {
+  // Multi-level chains under four workers racing a serial twin: the
+  // recursive kernel builds per-level sub-communicators and slot rings
+  // inside worker threads, so this is the TSan lane for the hierarchy
+  // spine. jobs=1 and jobs=4 must be bit-identical for every (chain, D)
+  // point, and duplicated points must coalesce in the cache.
+  const hs::core::GroupHierarchy chains[] = {
+      hs::core::GroupHierarchy(),           // flat SUMMA
+      hs::core::GroupHierarchy({4}),        // scalar chain -> legacy HSUMMA
+      hs::core::GroupHierarchy({2, 2}),     // 2-deep
+      hs::core::GroupHierarchy({4, 2}),     // 2-deep, asymmetric
+  };
+  auto chain_job = [](const hs::core::GroupHierarchy& chain, int depth,
+                      std::uint64_t seed) {
+    SimJob job = tiny_job(1, seed);
+    job.groups = 1;
+    job.hierarchy = chain;
+    job.lookahead = depth;
+    return job;
+  };
+  ParallelExecutor serial({.jobs = 1});
+  ParallelExecutor parallel({.jobs = 4});
+  std::vector<std::size_t> serial_ids, parallel_ids;
+  for (int i = 0; i < 32; ++i) {
+    const auto& chain = chains[i % 4];
+    const int depth = (i / 4) % 2;
+    serial_ids.push_back(serial.submit(chain_job(chain, depth, 0)));
+    parallel_ids.push_back(parallel.submit(chain_job(chain, depth, 0)));
+  }
+  parallel.wait_all();
+  for (std::size_t i = 0; i < serial_ids.size(); ++i) {
+    const auto a = serial.result(serial_ids[i]);
+    const auto b = parallel.result(parallel_ids[i]);
+    EXPECT_EQ(a.timing.total_time, b.timing.total_time);
+    EXPECT_EQ(a.timing.max_comm_time, b.timing.max_comm_time);
+    EXPECT_EQ(a.timing.max_level_comm_time, b.timing.max_level_comm_time);
+    EXPECT_EQ(a.messages, b.messages);
+    EXPECT_EQ(a.wire_bytes, b.wire_bytes);
+  }
+  EXPECT_GT(parallel.cache_hits(), 0u);  // repeated chain points dedupe
 }
 
 TEST(ExecStress, TracedSweepRacesClean) {

@@ -6,7 +6,9 @@
 #include <string>
 #include <vector>
 
+#include "common/check.hpp"
 #include "core/hier_bcast.hpp"
+#include "core/hierarchy.hpp"
 #include "exec/executor.hpp"
 #include "exec/sim_job.hpp"
 
@@ -59,6 +61,82 @@ TEST(KernelJobs, GemmCacheKeysUnchangedByRegistryRefactor) {
   EXPECT_NE(job.cache_key().find(";alg=0;"), std::string::npos);
   job.algorithm = Algorithm::Summa25D;
   EXPECT_NE(job.cache_key().find(";alg=7;"), std::string::npos);
+}
+
+// Hierarchy cache-key compatibility: depth <= 1 chains collapse onto the
+// legacy `;groups=` bytes (every pre-hierarchy cached result stays valid),
+// only real chains append `;h=`.
+TEST(KernelJobs, ScalarChainSharesTheLegacyGroupsKeyBytes) {
+  SimJob legacy = lu_job();
+  legacy.algorithm = Algorithm::Summa;
+
+  SimJob chain = lu_job();
+  chain.algorithm = Algorithm::Summa;
+  chain.groups = 1;
+  chain.hierarchy = hs::core::GroupHierarchy::from_scalar(4);
+  EXPECT_EQ(chain.cache_key(), legacy.cache_key());
+
+  SimJob depth1 = chain;
+  depth1.hierarchy = hs::core::GroupHierarchy({4});
+  EXPECT_EQ(depth1.cache_key(), legacy.cache_key());
+
+  EXPECT_NE(legacy.cache_key().find(";groups=4;"), std::string::npos);
+  EXPECT_EQ(legacy.cache_key().find(";h="), std::string::npos);
+}
+
+TEST(KernelJobs, FlatChainLeavesEveryLegacyKeyByteAlone) {
+  SimJob job = lu_job();
+  SimJob flat = lu_job();
+  flat.hierarchy = hs::core::GroupHierarchy();
+  EXPECT_EQ(flat.cache_key(), job.cache_key());
+  // The flat hierarchy defers to the raw scalar field, whatever it is.
+  job.groups = 0;
+  flat.groups = 0;
+  EXPECT_EQ(flat.cache_key(), job.cache_key());
+  EXPECT_NE(job.cache_key().find(";groups=0;"), std::string::npos);
+}
+
+TEST(KernelJobs, DeepChainsGetADistinctKeyComponent) {
+  SimJob scalar = lu_job();
+  scalar.algorithm = Algorithm::Summa;
+  scalar.groups = 16;
+
+  SimJob chain = lu_job();
+  chain.algorithm = Algorithm::Summa;
+  chain.groups = 1;
+  chain.hierarchy = hs::core::GroupHierarchy({4, 4});
+  EXPECT_NE(chain.cache_key(), scalar.cache_key());
+  EXPECT_NE(chain.cache_key().find(";h=4x4"), std::string::npos);
+  EXPECT_NE(chain.cache_key().find(";groups=1;"), std::string::npos);
+
+  SimJob deeper = chain;
+  deeper.hierarchy = hs::core::GroupHierarchy({4, 2, 2});
+  EXPECT_NE(deeper.cache_key(), chain.cache_key());
+  EXPECT_NE(deeper.cache_key().find(";h=4x2x2"), std::string::npos);
+}
+
+TEST(KernelJobs, RankGammaIsPartOfTheKey) {
+  SimJob job = lu_job();
+  EXPECT_EQ(job.cache_key().find(";rg="), std::string::npos);
+  SimJob hetero = lu_job();
+  hetero.rank_gamma.assign(16, 1.0);
+  hetero.rank_gamma[3] = 2.0;
+  EXPECT_NE(hetero.cache_key(), job.cache_key());
+  EXPECT_NE(hetero.cache_key().find(";rg="), std::string::npos);
+  SimJob slower = hetero;
+  slower.rank_gamma[3] = 4.0;
+  EXPECT_NE(slower.cache_key(), hetero.cache_key());
+}
+
+TEST(KernelJobs, ScalarGroupsAndAChainTogetherAreRejected) {
+  SimJob job;
+  job.platform = hs::net::Platform::by_name("grid5000");
+  job.algorithm = Algorithm::Summa;
+  job.grid = {4, 4};
+  job.problem = ProblemSpec::square(64, 32);
+  job.groups = 4;
+  job.hierarchy = hs::core::GroupHierarchy({4, 4});
+  EXPECT_THROW(hs::exec::run_sim_job(job), hs::PreconditionError);
 }
 
 TEST(KernelJobs, IdenticalFactorizationJobsHitTheCache) {

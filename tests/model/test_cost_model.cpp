@@ -178,4 +178,68 @@ TEST(HsummaCost, GroupsOutOfRangeThrows) {
       hs::PreconditionError);
 }
 
+// --- multilevel_cost: the chain-driven generalization ------------------
+
+TEST(MultilevelCost, EmptyChainsReduceToSumma) {
+  const double n = 8192, p = 1024, b = 64;
+  for (auto algo : {BcastAlgo::Binomial, BcastAlgo::ScatterRingAllgather}) {
+    const auto flat = hs::model::summa_cost(n, p, b, algo, kG5k);
+    const auto chain =
+        hs::model::multilevel_cost(n, p, {}, {}, b, algo, kG5k);
+    EXPECT_DOUBLE_EQ(chain.cost.latency, flat.latency);
+    EXPECT_DOUBLE_EQ(chain.cost.bandwidth, flat.bandwidth);
+    EXPECT_DOUBLE_EQ(chain.cost.compute, flat.compute);
+    // Everything lands in the single remainder phase.
+    ASSERT_EQ(chain.level_comm.size(), 1u);
+    EXPECT_DOUBLE_EQ(chain.level_comm[0], chain.cost.comm());
+  }
+}
+
+TEST(MultilevelCost, SingleFactorChainsReduceToHsumma) {
+  // G = 16 groups on a 32 x 32 grid arrange as 4 x 4, i.e. one applied
+  // factor of 4 per dimension; with b = B that is exactly 2-level HSUMMA.
+  const double n = 8192, p = 1024, b = 64;
+  for (auto algo : {BcastAlgo::Binomial, BcastAlgo::ScatterRingAllgather}) {
+    const auto two_level =
+        hs::model::hsumma_cost(n, p, 16.0, b, b, algo, kG5k);
+    const auto chain =
+        hs::model::multilevel_cost(n, p, {4}, {4}, b, algo, kG5k);
+    EXPECT_DOUBLE_EQ(chain.cost.latency, two_level.latency);
+    EXPECT_DOUBLE_EQ(chain.cost.bandwidth, two_level.bandwidth);
+    EXPECT_DOUBLE_EQ(chain.cost.compute, two_level.compute);
+    ASSERT_EQ(chain.level_comm.size(), 2u);
+  }
+}
+
+TEST(MultilevelCost, LevelSlotsPartitionTheCommTime) {
+  const double n = 8192, p = 1024, b = 64;
+  const auto chain = hs::model::multilevel_cost(
+      n, p, {4, 2}, {4, 2}, b, BcastAlgo::ScatterRingAllgather, kG5k);
+  ASSERT_EQ(chain.level_comm.size(), 3u);  // two factors + remainder
+  double sum = 0.0;
+  for (double level : chain.level_comm) {
+    EXPECT_GT(level, 0.0);
+    sum += level;
+  }
+  EXPECT_NEAR(sum, chain.cost.comm(), 1e-12 * chain.cost.comm());
+}
+
+TEST(MultilevelCost, DeeperChainsWinTheLatencyDominatedRegime) {
+  // The PR's headline physics at model scale: p = 2^20 ranks, tiny inner
+  // block, van-de-Geijn broadcasts. Splitting each dimension's broadcast
+  // over {16, 8} (+8 remainder) costs ~39 latency units per step and
+  // dimension versus ~72 for the flat {32} (+32) split, at slightly higher
+  // bandwidth — so with latency dominant the 3-level chain must win.
+  const hs::model::PlatformModel latency_bound{1e-3, 1.25e-11, 1e-12};
+  const double n = 4194304, p = 1048576, b = 16;
+  const auto two = hs::model::multilevel_cost(
+      n, p, {32}, {32}, b, BcastAlgo::ScatterRingAllgather, latency_bound);
+  const auto three = hs::model::multilevel_cost(
+      n, p, {16, 8}, {16, 8}, b, BcastAlgo::ScatterRingAllgather,
+      latency_bound);
+  EXPECT_LT(three.cost.latency, two.cost.latency);
+  EXPECT_GE(three.cost.bandwidth, two.cost.bandwidth);
+  EXPECT_LT(three.cost.comm(), two.cost.comm());
+}
+
 }  // namespace

@@ -46,8 +46,8 @@ TEST(PhaseTimer, NestedTimersChargeBothSlots) {
 }
 
 TEST(RankStats, PlusEqualsMergesAllFields) {
-  RankStats a{1.0, 2.0, 0.25, 0.75, 10};
-  RankStats b{0.5, 1.0, 0.25, 0.25, 5};
+  RankStats a{1.0, 2.0, 0.25, 0.75, {}, 10};
+  RankStats b{0.5, 1.0, 0.25, 0.25, {}, 5};
   a += b;
   EXPECT_DOUBLE_EQ(a.comm_time, 1.5);
   EXPECT_DOUBLE_EQ(a.comp_time, 3.0);
@@ -58,9 +58,9 @@ TEST(RankStats, PlusEqualsMergesAllFields) {
 
 TEST(TimingReport, AggregatesMaxAndMean) {
   std::vector<RankStats> ranks(3);
-  ranks[0] = {1.0, 4.0, 0.5, 0.5, 100};
-  ranks[1] = {3.0, 2.0, 2.0, 1.0, 200};
-  ranks[2] = {2.0, 6.0, 1.0, 1.0, 300};
+  ranks[0] = {1.0, 4.0, 0.5, 0.5, {}, 100};
+  ranks[1] = {3.0, 2.0, 2.0, 1.0, {}, 200};
+  ranks[2] = {2.0, 6.0, 1.0, 1.0, {}, 300};
   const auto report = TimingReport::aggregate(10.0, ranks);
   EXPECT_DOUBLE_EQ(report.total_time, 10.0);
   EXPECT_DOUBLE_EQ(report.max_comm_time, 3.0);
@@ -72,6 +72,28 @@ TEST(TimingReport, AggregatesMaxAndMean) {
   EXPECT_EQ(report.total_flops, 600u);
 }
 
+TEST(RankStats, PlusEqualsMergesRaggedLevelSplits) {
+  RankStats a;
+  a.level_comm_time = {1.0, 2.0};
+  RankStats b;
+  b.level_comm_time = {0.5, 0.5, 4.0};
+  a += b;
+  ASSERT_EQ(a.level_comm_time.size(), 3u);
+  EXPECT_DOUBLE_EQ(a.level_comm_time[0], 1.5);
+  EXPECT_DOUBLE_EQ(a.level_comm_time[1], 2.5);
+  EXPECT_DOUBLE_EQ(a.level_comm_time[2], 4.0);
+}
+
+TEST(TimingReport, AggregatesPerLevelMaximaAcrossRaggedRanks) {
+  std::vector<RankStats> ranks(2);
+  ranks[0].level_comm_time = {1.0, 2.0};
+  ranks[1].level_comm_time = {3.0};
+  const auto report = TimingReport::aggregate(10.0, ranks);
+  ASSERT_EQ(report.max_level_comm_time.size(), 2u);
+  EXPECT_DOUBLE_EQ(report.max_level_comm_time[0], 3.0);
+  EXPECT_DOUBLE_EQ(report.max_level_comm_time[1], 2.0);
+}
+
 TEST(TimingReport, EmptyRanksYieldZeros) {
   const auto report = TimingReport::aggregate(5.0, {});
   EXPECT_DOUBLE_EQ(report.total_time, 5.0);
@@ -81,7 +103,7 @@ TEST(TimingReport, EmptyRanksYieldZeros) {
 
 TEST(TimingReport, SingleRankMaxEqualsMean) {
   std::vector<RankStats> ranks(1);
-  ranks[0] = {2.5, 7.5, 1.0, 1.5, 42};
+  ranks[0] = {2.5, 7.5, 1.0, 1.5, {}, 42};
   const auto report = TimingReport::aggregate(10.0, ranks);
   EXPECT_DOUBLE_EQ(report.max_comm_time, report.mean_comm_time);
   EXPECT_DOUBLE_EQ(report.max_comp_time, report.mean_comp_time);
@@ -92,8 +114,8 @@ TEST(TimingReport, SingleRankMaxEqualsMean) {
 TEST(TimingReport, AggregateZeroTotalTimeKeepsPerRankStats) {
   // Degenerate but legal: an instantaneous run still aggregates.
   std::vector<RankStats> ranks(2);
-  ranks[0] = {0.0, 0.0, 0.0, 0.0, 10};
-  ranks[1] = {0.0, 0.0, 0.0, 0.0, 20};
+  ranks[0] = {0.0, 0.0, 0.0, 0.0, {}, 10};
+  ranks[1] = {0.0, 0.0, 0.0, 0.0, {}, 20};
   const auto report = TimingReport::aggregate(0.0, ranks);
   EXPECT_DOUBLE_EQ(report.total_time, 0.0);
   EXPECT_EQ(report.total_flops, 30u);
@@ -102,7 +124,7 @@ TEST(TimingReport, AggregateZeroTotalTimeKeepsPerRankStats) {
 
 TEST(TimingReport, SummaryMentionsAllComponents) {
   std::vector<RankStats> ranks(1);
-  ranks[0] = {0.5, 1.5, 0.0, 0.0, 1};
+  ranks[0] = {0.5, 1.5, 0.0, 0.0, {}, 1};
   const auto report = TimingReport::aggregate(2.0, ranks);
   const std::string summary = report.summary();
   EXPECT_NE(summary.find("total"), std::string::npos);
@@ -113,7 +135,7 @@ TEST(TimingReport, SummaryMentionsAllComponents) {
 TEST(TimingReport, SummaryReportsAchievedFlopRate) {
   std::vector<RankStats> ranks(1);
   // 2e12 flops over 2 seconds = 1 Tflop/s achieved.
-  ranks[0] = {0.5, 1.5, 0.0, 0.0, 2'000'000'000'000ull};
+  ranks[0] = {0.5, 1.5, 0.0, 0.0, {}, 2'000'000'000'000ull};
   const auto report = TimingReport::aggregate(2.0, ranks);
   const std::string summary = report.summary();
   EXPECT_NE(summary.find("flop/s"), std::string::npos);
@@ -122,7 +144,7 @@ TEST(TimingReport, SummaryReportsAchievedFlopRate) {
 
 TEST(TimingReport, SummaryOmitsFlopRateWithoutFlops) {
   std::vector<RankStats> ranks(1);
-  ranks[0] = {0.5, 1.5, 0.0, 0.0, 0};
+  ranks[0] = {0.5, 1.5, 0.0, 0.0, {}, 0};
   const auto report = TimingReport::aggregate(2.0, ranks);
   EXPECT_EQ(report.summary().find("flop/s"), std::string::npos);
 }

@@ -1,0 +1,167 @@
+// tune_groups over multi-level chains: max_levels widens the candidate
+// set with balanced divisor chains and platform-derived chains, explicit
+// chains are honored (and validated against the grid), the best pick is
+// consistent with its winning sample, and heterogeneous rank speeds
+// (MachineConfig::rank_gamma) shift what the tuner measures and picks.
+#include "tune/group_tuner.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "common/check.hpp"
+#include "core/hierarchy.hpp"
+#include "net/model.hpp"
+#include "net/topology.hpp"
+
+namespace {
+
+using hs::core::GroupHierarchy;
+using hs::tune::Sample;
+using hs::tune::TuneOptions;
+using hs::tune::TuneResult;
+
+TuneOptions base_options(int side, double n, double block) {
+  TuneOptions options;
+  options.grid = {side, side};
+  options.problem = hs::core::ProblemSpec::square(n, block);
+  options.network = std::make_shared<hs::net::HockneyModel>(1e-4, 1e-9);
+  options.machine_config.gamma_flop = 5e-9;
+  return options;
+}
+
+bool has_chain_sample(const TuneResult& result, const std::string& chain) {
+  for (const Sample& sample : result.samples)
+    if (sample.hierarchy.to_string() == chain) return true;
+  return false;
+}
+
+TEST(TunerHierarchy, MaxLevelsAddsChainCandidatesAfterTheScalarSweep) {
+  TuneOptions options = base_options(8, 1024, 64);
+  options.max_levels = 3;
+  options.max_candidates = 4;
+  const TuneResult result = hs::tune::tune_groups(options);
+
+  bool saw_chain = false;
+  bool scalar_phase_over = false;
+  for (const Sample& sample : result.samples) {
+    if (sample.hierarchy.depth() >= 2) {
+      saw_chain = true;
+      scalar_phase_over = true;
+      // A chain's `groups` is the product of its level factors.
+      EXPECT_EQ(sample.groups, sample.hierarchy.product());
+    } else {
+      // Chains sample strictly after every scalar candidate, so a chain
+      // only wins by beating the whole scalar sweep.
+      EXPECT_FALSE(scalar_phase_over)
+          << "scalar sample after a chain sample";
+    }
+  }
+  EXPECT_TRUE(saw_chain) << "max_levels=3 produced no chain candidates";
+}
+
+TEST(TunerHierarchy, ScalarOnlySearchIsTheDefault) {
+  TuneOptions options = base_options(4, 512, 64);
+  options.max_candidates = 3;
+  const TuneResult result = hs::tune::tune_groups(options);
+  for (const Sample& sample : result.samples)
+    EXPECT_LE(sample.hierarchy.depth(), 1) << sample.hierarchy.to_string();
+}
+
+TEST(TunerHierarchy, ExplicitChainsAreSampledVerbatim) {
+  TuneOptions options = base_options(8, 1024, 64);
+  options.candidates = {1, 4};
+  options.hierarchies = {GroupHierarchy({4, 4}),
+                         GroupHierarchy::from_scalar(4)};  // depth 1: skipped
+  const TuneResult result = hs::tune::tune_groups(options);
+  EXPECT_TRUE(has_chain_sample(result, "4x4"));
+  int chain_samples = 0;
+  for (const Sample& sample : result.samples)
+    if (sample.hierarchy.depth() >= 2) ++chain_samples;
+  EXPECT_EQ(chain_samples, 1);
+}
+
+TEST(TunerHierarchy, ExplicitChainMustFitTheGrid) {
+  TuneOptions options = base_options(4, 512, 64);
+  options.hierarchies = {GroupHierarchy({4, 8})};  // 32 groups on 16 ranks
+  EXPECT_THROW(hs::tune::tune_groups(options), hs::PreconditionError);
+}
+
+TEST(TunerHierarchy, TwoLevelPlatformDerivesAChainPerSwitch) {
+  // 16 ranks, 4 per switch: the platform-derived chain puts one group per
+  // switch outermost and splits once more inside -> "4x2" must be sampled.
+  TuneOptions options = base_options(4, 512, 64);
+  options.network =
+      std::make_shared<hs::net::TwoLevelModel>(4, 1e-6, 2e-10, 1e-4, 1e-9);
+  options.max_levels = 2;
+  const TuneResult result = hs::tune::tune_groups(options);
+  EXPECT_TRUE(has_chain_sample(result, "4x2"))
+      << "no switch-aligned 4x2 chain in the sampled set";
+}
+
+TEST(TunerHierarchy, TorusPlatformDerivesAChainPerNode) {
+  // 16 ranks on a 2x2x2 torus, 2 per node: 8 nodes outermost -> a chain
+  // with outer factor 8 (8 = full_group_chain(8, 2) collapsed onto two
+  // levels) and the per-node split "8x2" must both be considered; at
+  // minimum the node-aligned chain is sampled.
+  TuneOptions options = base_options(4, 512, 64);
+  options.network = std::make_shared<hs::net::Torus3DModel>(
+      std::array<int, 3>{2, 2, 2}, 2, 1e-5, 1e-6, 1e-9);
+  options.max_levels = 2;
+  const TuneResult result = hs::tune::tune_groups(options);
+  EXPECT_TRUE(has_chain_sample(result, "8x2"))
+      << "no node-aligned 8x2 chain in the sampled set";
+}
+
+TEST(TunerHierarchy, BestPickMatchesItsWinningSample) {
+  TuneOptions options = base_options(8, 1024, 64);
+  options.max_levels = 3;
+  options.max_candidates = 4;
+  options.lookaheads = {0, 1};
+  const TuneResult result = hs::tune::tune_groups(options);
+  bool found = false;
+  for (const Sample& sample : result.samples) {
+    if (sample.hierarchy == result.best_hierarchy &&
+        sample.lookahead == result.best_lookahead &&
+        sample.comm_time == result.best_comm_time) {
+      found = true;
+      EXPECT_EQ(sample.groups, result.best_groups);
+    }
+    EXPECT_GE(sample.comm_time, result.best_comm_time);
+  }
+  EXPECT_TRUE(found) << "best pick does not correspond to any sample";
+  if (result.best_hierarchy.depth() <= 1) {
+    EXPECT_EQ(result.best_hierarchy.scalar(), result.best_groups);
+  }
+}
+
+// Satellite: heterogeneous static rank speeds reshape the tuner's
+// measurements. A strongly slowed rank inflates the waits every other rank
+// spends on its panels, and the inflation depends on the group layout, so
+// the sampled comm times must move relative to the homogeneous machine.
+TEST(TunerHierarchy, SlowRankShiftsTheTunedHierarchy) {
+  TuneOptions options = base_options(4, 1024, 64);
+  options.machine_config.gamma_flop = 5e-8;  // compute visible in the waits
+  options.max_levels = 2;
+  const TuneResult homogeneous = hs::tune::tune_groups(options);
+
+  options.machine_config.rank_gamma.assign(16, 1.0);
+  options.machine_config.rank_gamma[5] = 40.0;  // one badly slow rank
+  const TuneResult hetero = hs::tune::tune_groups(options);
+
+  ASSERT_EQ(homogeneous.samples.size(), hetero.samples.size());
+  bool comm_moved = false;
+  for (std::size_t i = 0; i < hetero.samples.size(); ++i) {
+    EXPECT_EQ(homogeneous.samples[i].hierarchy.to_string(),
+              hetero.samples[i].hierarchy.to_string());
+    if (homogeneous.samples[i].comm_time != hetero.samples[i].comm_time)
+      comm_moved = true;
+    EXPECT_GE(hetero.samples[i].total_time,
+              homogeneous.samples[i].total_time);
+  }
+  EXPECT_TRUE(comm_moved)
+      << "a 40x slow rank left every sampled comm time untouched";
+}
+
+}  // namespace
