@@ -10,6 +10,7 @@
 #include "core/kernel_registry.hpp"
 #include "desim/engine.hpp"
 #include "mpc/machine.hpp"
+#include "trace/stream_sink.hpp"
 
 namespace hs::bench {
 
@@ -72,6 +73,19 @@ void add_trace_options(CliParser& cli, TraceCli* dest) {
                  &dest->trace_path);
   cli.add_flag("metrics", "print machine/engine/executor counters",
                &dest->metrics);
+  cli.add_string("trace-sample",
+                 "rank-sampling spec for the trace: '+'-separated terms from "
+                 "all, root, leaders[:N], random:K, slowest:K (empty records "
+                 "every rank; see trace/sample.hpp)",
+                 &dest->sample);
+  cli.add_int("trace-buffer-mb",
+              "in-memory span budget in MiB; above it completed spans spill "
+              "to <trace>.spans and are reloaded for export (0 = unbounded)",
+              &dest->stream_budget_mb);
+  cli.add_string("metrics-json",
+                 "write the metrics registry (counters, gauges, histogram "
+                 "quantiles) as JSON to this path",
+                 &dest->metrics_json);
 }
 
 void run_traced(const Config& config, const TraceCli& trace,
@@ -80,9 +94,31 @@ void run_traced(const Config& config, const TraceCli& trace,
   trace::Recorder recorder;
   trace::MetricsRegistry metrics;
   exec::SimJob job = to_sim_job(config);
-  if (!trace.trace_path.empty()) job.recorder = &recorder;
-  if (trace.metrics) job.metrics = &metrics;
+  if (!trace.trace_path.empty()) {
+    job.recorder = &recorder;
+    job.trace_sample = trace.sample;
+  }
+  if (trace.metrics || !trace.metrics_json.empty()) job.metrics = &metrics;
+  std::optional<trace::SpanChunkWriter> stream;
+  if (!trace.trace_path.empty() && trace.stream_budget_mb > 0) {
+    stream.emplace(trace.trace_path + ".spans");
+    recorder.set_stream(
+        &*stream, static_cast<std::size_t>(trace.stream_budget_mb) << 20);
+  }
   exec::run_sim_job(job);
+  if (stream.has_value()) {
+    recorder.flush_stream();
+    stream->finish();
+    // The chunk file now holds the complete span stream in store order;
+    // reload it so analysis and export see the whole run.
+    trace::Recorder merged;
+    trace::load_span_chunks(stream->path(), merged);
+    std::fprintf(stderr, "streamed %llu spans through %s\n",
+                 static_cast<unsigned long long>(stream->spans_written()),
+                 stream->path().c_str());
+    emit_trace_artifacts(merged, metrics, trace, label);
+    return;
+  }
   emit_trace_artifacts(recorder, metrics, trace, label);
 }
 
@@ -110,6 +146,16 @@ void emit_trace_artifacts(const trace::Recorder& recorder,
     std::printf("metrics [%s]:\n", label.c_str());
     metrics.to_table().print(std::cout);
     std::printf("\n");
+  }
+  if (!trace.metrics_json.empty()) {
+    std::ofstream out(trace.metrics_json);
+    if (!out) {
+      std::fprintf(stderr, "error: cannot open metrics output '%s'\n",
+                   trace.metrics_json.c_str());
+    } else {
+      metrics.write_json(out);
+      std::fprintf(stderr, "wrote %s\n", trace.metrics_json.c_str());
+    }
   }
 }
 
@@ -211,8 +257,15 @@ ScaleRunResult run_scale_point(const ScalePoint& point) {
                      point.block, 0};
   options.mode = core::PayloadMode::Phantom;
   options.bcast_algo = point.algo;
+  options.recorder = point.recorder;
+  options.trace_sample = point.trace_sample;
+  options.metrics = point.metrics;
   core::adapt_groups(point.groups, options);
   const core::RunResult run = core::run(machine, options);
+  if (point.metrics != nullptr) {
+    machine.collect_metrics(*point.metrics);
+    trace::collect_engine_metrics(engine, *point.metrics);
+  }
 
   result.virtual_time = engine.now();
   result.events = engine.events_processed();
@@ -225,6 +278,37 @@ ScaleRunResult run_scale_point(const ScalePoint& point) {
   result.peak_rss_kb = peak_rss_kb();
   result.rank_pages_materialized = machine.rank_pages_materialized();
   result.rank_page_count = machine.rank_page_count();
+  return result;
+}
+
+ScaleRunResult run_scale_traced(ScalePoint point, const TraceCli& trace,
+                                const std::string& label) {
+  trace::Recorder recorder;
+  trace::MetricsRegistry metrics;
+  if (!trace.trace_path.empty()) {
+    point.recorder = &recorder;
+    point.trace_sample = trace.sample;
+  }
+  if (trace.metrics || !trace.metrics_json.empty()) point.metrics = &metrics;
+  std::optional<trace::SpanChunkWriter> stream;
+  if (point.recorder != nullptr && trace.stream_budget_mb > 0) {
+    stream.emplace(trace.trace_path + ".spans");
+    recorder.set_stream(
+        &*stream, static_cast<std::size_t>(trace.stream_budget_mb) << 20);
+  }
+  const ScaleRunResult result = run_scale_point(point);
+  if (stream.has_value()) {
+    recorder.flush_stream();
+    stream->finish();
+    trace::Recorder merged;
+    trace::load_span_chunks(stream->path(), merged);
+    std::fprintf(stderr, "streamed %llu spans through %s\n",
+                 static_cast<unsigned long long>(stream->spans_written()),
+                 stream->path().c_str());
+    emit_trace_artifacts(merged, metrics, trace, label);
+  } else {
+    emit_trace_artifacts(recorder, metrics, trace, label);
+  }
   return result;
 }
 

@@ -90,10 +90,25 @@ void add_jobs_option(CliParser& cli, long long* dest);
 struct TraceCli {
   std::string trace_path;  // empty = no trace export
   bool metrics = false;
-  bool enabled() const { return !trace_path.empty() || metrics; }
+  /// Rank-sampling spec (trace::TraceSample syntax, e.g.
+  /// "root+leaders+slowest:4"); empty records every rank. Makes tracing
+  /// viable at p = 2^20: the recorder stores O(sampled ranks) spans.
+  std::string sample;
+  /// Streaming span-sink budget in MiB; 0 keeps all spans in memory. When
+  /// set, completed spans spill to `trace_path + ".spans"` whenever the
+  /// in-memory estimate crosses the budget, and are reloaded for analysis
+  /// and export after the run.
+  long long stream_budget_mb = 0;
+  /// Writes the metrics registry as JSON to this path (in addition to the
+  /// stdout table when --metrics is also set).
+  std::string metrics_json;
+  bool enabled() const {
+    return !trace_path.empty() || metrics || !metrics_json.empty();
+  }
 };
 
-/// Registers --trace and --metrics into `cli`.
+/// Registers --trace, --metrics, --trace-sample, --trace-buffer-mb and
+/// --metrics-json into `cli`.
 void add_trace_options(CliParser& cli, TraceCli* dest);
 
 /// Re-run `config` with observability sinks per `trace` and emit the
@@ -163,6 +178,13 @@ struct ScalePoint {
   /// scatter-ring-allgather, which doubles the point-to-point message
   /// count without changing what the scaling study measures.
   net::BcastAlgo algo = net::BcastAlgo::Binomial;
+  /// Optional observability sinks, attached to the run when non-null (the
+  /// caller owns them; they must outlive run_scale_point). With a sampling
+  /// spec in `trace_sample`, the recorder stores O(sampled ranks) spans —
+  /// the only way tracing survives p = 2^20 in bounded memory.
+  trace::Recorder* recorder = nullptr;
+  trace::MetricsRegistry* metrics = nullptr;
+  std::string trace_sample;
 };
 
 struct ScaleRunResult {
@@ -190,6 +212,14 @@ long long resolve_scale_steps(const ScalePoint& point);
 /// state) and reports engine-level throughput counters alongside the
 /// simulation result.
 ScaleRunResult run_scale_point(const ScalePoint& point);
+
+/// Runs the point with observability sinks per `trace` attached (rank
+/// sampling from trace.sample, streaming spill when trace.stream_budget_mb
+/// is set) and emits the requested artifacts, exactly like run_traced but
+/// for the true-simulation scale path. This is how the exascale figure
+/// traces its real p = 2^20 instance in bounded memory.
+ScaleRunResult run_scale_traced(ScalePoint point, const TraceCli& trace,
+                                const std::string& label);
 
 /// Peak resident set size (VmHWM from /proc/self/status) in kB; 0 when
 /// unavailable.

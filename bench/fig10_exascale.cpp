@@ -16,6 +16,12 @@
 //          side); each SUMMA/HSUMMA step costs the same, so the full
 //          figure's time is the simulated time scaled by
 //          (n/b) / simulated_steps, and the table reports both.
+//
+// With closed/p2p physics, --trace records the requested instance itself:
+// rank sampling (--trace-sample, default root+leaders) keeps the recorder
+// at O(sampled ranks) spans so even p = 2^20 traces in bounded memory, and
+// a metrics JSON with transfer-latency and per-level broadcast quantiles
+// lands next to the trace. --trace-reduced restores the old p=1024 stand-in.
 #include "bench_util.hpp"
 
 #include <cmath>
@@ -29,6 +35,7 @@ int main(int argc, char** argv) {
   std::string mode_name = "auto";
   std::string sim_bcast_name = "binomial";
   bool include_compute = false;
+  bool trace_reduced = false;
   std::string csv;
   hs::bench::TraceCli trace;
 
@@ -54,6 +61,10 @@ int main(int argc, char** argv) {
                  &sim_bcast_name);
   cli.add_flag("include-compute",
                "add the 2n^3/p computation term to every row", &include_compute);
+  cli.add_flag("trace-reduced",
+               "trace a reduced-scale stand-in (p=1024, G=32) instead of the "
+               "requested instance",
+               &trace_reduced);
   cli.add_string("csv", "CSV output path", &csv);
   if (!cli.parse(argc, argv)) return 1;
 
@@ -162,10 +173,42 @@ int main(int argc, char** argv) {
     std::printf("\n");
   }
 
-  if (trace.enabled()) {
-    // Trace a reduced-scale simulated instance of the same shape — HSUMMA
-    // at G = sqrt(p) on the exascale link parameters (a traced 2^20-rank
-    // run would dwarf any trace viewer).
+  if (trace.enabled() && sim_mode.has_value() && !trace_reduced) {
+    // Trace the *requested* instance — the figure's HSUMMA point at
+    // G = sqrt(p) with the chosen collective physics. Rank sampling is
+    // what makes this viable at p = 2^20: the recorder keeps
+    // O(sampled ranks) spans, everything else is filtered at store time.
+    hs::bench::ScalePoint point;
+    point.platform = platform;
+    point.ranks = static_cast<int>(ranks);
+    point.steps = sim_steps;
+    point.n = n;
+    point.block = block;
+    point.mode = *sim_mode;
+    point.algo = hs::net::bcast_algo_from_string(sim_bcast_name);
+    int sqrt_groups = 1;
+    while (static_cast<long long>(sqrt_groups) * sqrt_groups < ranks)
+      sqrt_groups *= 2;
+    point.groups = sim_groups > 0 ? static_cast<int>(sim_groups) : sqrt_groups;
+
+    hs::bench::TraceCli scale_trace = trace;
+    if (!scale_trace.trace_path.empty() && scale_trace.sample.empty()) {
+      std::printf(
+          "note: no --trace-sample given; tracing p=%lld with "
+          "'root+leaders' (pass --trace-sample all to record every rank, "
+          "or --trace-reduced for the old reduced stand-in).\n",
+          ranks);
+      scale_trace.sample = "root+leaders";
+    }
+    if (!scale_trace.trace_path.empty() && scale_trace.metrics_json.empty())
+      scale_trace.metrics_json = scale_trace.trace_path + ".metrics.json";
+    hs::bench::run_scale_traced(
+        point, scale_trace,
+        "HSUMMA exascale G=" + std::to_string(point.groups));
+  } else if (trace.enabled()) {
+    // Reduced-scale stand-in of the same shape — HSUMMA at G = sqrt(p) on
+    // the exascale link parameters. This is the only traced path when
+    // --mode auto leaves no simulation physics to trace with.
     hs::bench::Config config;
     config.platform = platform;
     config.ranks = 1024;
@@ -177,15 +220,16 @@ int main(int argc, char** argv) {
     } else {
       std::printf(
           "warning: --mode auto falls back to closed-form collectives for "
-          "the traced instance; pass --mode p2p (or closed) to choose the "
-          "physics explicitly.\n");
+          "a reduced traced instance; pass --mode p2p (or closed) to trace "
+          "the requested p=%lld point itself.\n",
+          ranks);
       config.mode = hs::mpc::CollectiveMode::ClosedForm;
     }
     std::printf(
-        "note: --trace/--metrics simulate a reduced instance (p=%d, G=%d, "
-        "n=%lld), not the analytic p=2^20 point.\n",
+        "note: tracing a reduced instance (p=%d, G=%d, n=%lld), not the "
+        "requested p=%lld point.\n",
         config.ranks, config.groups,
-        static_cast<long long>(config.problem.n));
+        static_cast<long long>(config.problem.n), ranks);
     hs::bench::run_traced(config, trace, "HSUMMA exascale-scaled");
   }
   return 0;

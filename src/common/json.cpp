@@ -1,0 +1,189 @@
+#include "common/json.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+
+namespace hs {
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  JsonValue parse() {
+    JsonValue value = parse_value();
+    skip_ws();
+    if (!failed_ && pos_ != text_.size())
+      fail("trailing bytes after JSON document");
+    return failed_ ? JsonValue{} : value;
+  }
+
+  bool failed() const { return failed_; }
+  const std::string& error() const { return error_; }
+
+ private:
+  void fail(const std::string& why) {
+    if (!failed_)
+      error_ = "JSON parse error at byte " + std::to_string(pos_) + ": " + why;
+    failed_ = true;
+  }
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])))
+      ++pos_;
+  }
+  char peek() { return pos_ < text_.size() ? text_[pos_] : '\0'; }
+  bool consume(char c) {
+    skip_ws();
+    if (peek() != c) {
+      fail(std::string("expected '") + c + "'");
+      return false;
+    }
+    ++pos_;
+    return true;
+  }
+
+  JsonValue parse_value() {
+    skip_ws();
+    if (failed_) return {};
+    switch (peek()) {
+      case '{': return parse_object();
+      case '[': return parse_array();
+      case '"': return {parse_string()};
+      case 't': return parse_literal("true", {true});
+      case 'f': return parse_literal("false", {false});
+      case 'n': return parse_literal("null", {nullptr});
+      default: return parse_number();
+    }
+  }
+
+  JsonValue parse_literal(std::string_view word, JsonValue value) {
+    if (text_.compare(pos_, word.size(), word) != 0) {
+      fail("bad literal");
+      return {};
+    }
+    pos_ += word.size();
+    return value;
+  }
+
+  JsonValue parse_number() {
+    const std::size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '-' || text_[pos_] == '+' || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E'))
+      ++pos_;
+    if (pos_ == start) {
+      fail("expected number");
+      return {};
+    }
+    const std::string repr(text_.substr(start, pos_ - start));
+    char* end = nullptr;
+    const double parsed = std::strtod(repr.c_str(), &end);
+    if (end != repr.c_str() + repr.size()) {
+      fail("malformed number");
+      return {};
+    }
+    return {parsed};
+  }
+
+  std::string parse_string() {
+    std::string out;
+    if (!consume('"')) return out;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      char c = text_[pos_++];
+      if (c == '\\') {
+        if (pos_ >= text_.size()) break;
+        const char escape = text_[pos_++];
+        switch (escape) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'n': out += '\n'; break;
+          case 't': out += '\t'; break;
+          case 'r': out += '\r'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'u':
+            // None of the repo's writers emit \u escapes; keep the reader
+            // total anyway by skipping the 4 hex digits.
+            pos_ = std::min(pos_ + 4, text_.size());
+            out += '?';
+            break;
+          default: fail("bad escape"); return out;
+        }
+      } else {
+        out += c;
+      }
+    }
+    if (pos_ >= text_.size()) {
+      fail("unterminated string");
+      return out;
+    }
+    ++pos_;  // closing quote
+    return out;
+  }
+
+  JsonValue parse_array() {
+    JsonArray items;
+    consume('[');
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return {std::move(items)};
+    }
+    while (!failed_) {
+      items.push_back(parse_value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      consume(']');
+      break;
+    }
+    return {std::move(items)};
+  }
+
+  JsonValue parse_object() {
+    JsonObject object;
+    consume('{');
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return {std::move(object)};
+    }
+    while (!failed_) {
+      skip_ws();
+      std::string key = parse_string();
+      consume(':');
+      object.emplace(std::move(key), parse_value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      consume('}');
+      break;
+    }
+    return {std::move(object)};
+  }
+
+  const std::string_view text_;
+  std::size_t pos_ = 0;
+  bool failed_ = false;
+  std::string error_;
+};
+
+}  // namespace
+
+JsonValue parse_json(std::string_view text, std::string* error) {
+  Parser parser(text);
+  JsonValue value = parser.parse();
+  if (error != nullptr) *error = parser.error();
+  return parser.failed() ? JsonValue{} : value;
+}
+
+}  // namespace hs

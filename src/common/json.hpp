@@ -1,0 +1,51 @@
+// Minimal recursive-descent JSON reader for the repo's own artifacts.
+//
+// The observability tooling exchanges small, well-formed JSON documents —
+// the metrics registry (MetricsRegistry::write_json) and the Chrome-trace
+// export — and bench/trace_compare needs to read them back without pulling
+// a JSON dependency into the image. This parser covers exactly the JSON
+// those writers emit: objects, arrays, strings with the common escapes,
+// doubles, booleans, null. It is not a validator for hostile input.
+#pragma once
+
+#include <map>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+namespace hs {
+
+struct JsonValue;
+using JsonArray = std::vector<JsonValue>;
+using JsonObject = std::map<std::string, JsonValue>;
+
+struct JsonValue {
+  std::variant<std::nullptr_t, bool, double, std::string, JsonArray,
+               JsonObject>
+      value;
+
+  bool is_object() const { return std::holds_alternative<JsonObject>(value); }
+  bool is_array() const { return std::holds_alternative<JsonArray>(value); }
+  bool is_number() const { return std::holds_alternative<double>(value); }
+  bool is_string() const { return std::holds_alternative<std::string>(value); }
+
+  const JsonObject& object() const { return std::get<JsonObject>(value); }
+  const JsonArray& array() const { return std::get<JsonArray>(value); }
+  double number() const { return std::get<double>(value); }
+  const std::string& string() const { return std::get<std::string>(value); }
+
+  bool has(const std::string& key) const {
+    return is_object() && object().find(key) != object().end();
+  }
+  const JsonValue& at(const std::string& key) const {
+    return object().at(key);
+  }
+};
+
+/// Parse one JSON document. On failure returns a null JsonValue and, when
+/// `error` is non-null, stores a byte-offset diagnostic into it (empty on
+/// success). Trailing non-whitespace bytes after the document are an error.
+JsonValue parse_json(std::string_view text, std::string* error = nullptr);
+
+}  // namespace hs

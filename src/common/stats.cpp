@@ -53,6 +53,96 @@ double RunningStats::max() const noexcept {
   return count_ == 0 ? std::numeric_limits<double>::quiet_NaN() : max_;
 }
 
+void Histogram::add(double x) noexcept {
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  sum_ += x;
+  ++counts_[static_cast<std::size_t>(bucket_index(x))];
+}
+
+void Histogram::merge(const Histogram& other) noexcept {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+  for (std::size_t i = 0; i < counts_.size(); ++i)
+    counts_[i] += other.counts_[i];
+}
+
+double Histogram::min() const noexcept {
+  return count_ == 0 ? std::numeric_limits<double>::quiet_NaN() : min_;
+}
+
+double Histogram::max() const noexcept {
+  return count_ == 0 ? std::numeric_limits<double>::quiet_NaN() : max_;
+}
+
+double Histogram::mean() const noexcept {
+  return count_ == 0 ? std::numeric_limits<double>::quiet_NaN()
+                     : sum_ / static_cast<double>(count_);
+}
+
+int Histogram::bucket_index(double x) noexcept {
+  if (!(x > 0.0)) return 0;  // zero, negatives and NaN underflow
+  const auto sub = static_cast<long long>(
+      std::floor(std::log2(x) * static_cast<double>(kSubBuckets)));
+  constexpr long long lo = static_cast<long long>(kMinExponent) * kSubBuckets;
+  constexpr long long hi = static_cast<long long>(kMaxExponent) * kSubBuckets;
+  if (sub < lo) return 0;
+  if (sub >= hi) return kBucketCount - 1;
+  return static_cast<int>(sub - lo) + 1;
+}
+
+double Histogram::bucket_lower(int index) noexcept {
+  if (index <= 0) return 0.0;
+  if (index >= kBucketCount - 1)
+    return std::exp2(static_cast<double>(kMaxExponent));
+  return std::exp2(static_cast<double>(index - 1) / kSubBuckets +
+                   kMinExponent);
+}
+
+double Histogram::bucket_upper(int index) noexcept {
+  if (index <= 0) return std::exp2(static_cast<double>(kMinExponent));
+  if (index >= kBucketCount - 1)
+    return std::numeric_limits<double>::infinity();
+  return std::exp2(static_cast<double>(index) / kSubBuckets + kMinExponent);
+}
+
+double Histogram::quantile(double q) const noexcept {
+  if (count_ == 0) return std::numeric_limits<double>::quiet_NaN();
+  const double target =
+      std::clamp(q, 0.0, 1.0) * static_cast<double>(count_);
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const std::uint64_t n = counts_[i];
+    if (n == 0) continue;
+    if (static_cast<double>(seen) + static_cast<double>(n) >= target) {
+      // The run's true extremes bound every bucket that holds them, so the
+      // interpolation never extrapolates past observed values.
+      double lo = std::max(bucket_lower(static_cast<int>(i)), min_);
+      double hi = std::min(bucket_upper(static_cast<int>(i)), max_);
+      if (hi < lo) hi = lo;
+      const double frac = std::clamp(
+          (target - static_cast<double>(seen)) / static_cast<double>(n), 0.0,
+          1.0);
+      return std::clamp(lo + (hi - lo) * frac, min_, max_);
+    }
+    seen += n;
+  }
+  return max_;
+}
+
 double mean(std::span<const double> xs) {
   RunningStats s;
   for (double x : xs) s.add(x);

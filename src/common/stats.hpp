@@ -5,7 +5,9 @@
 // trace module to aggregate per-rank timings.
 #pragma once
 
+#include <array>
 #include <cstddef>
+#include <cstdint>
 #include <span>
 #include <vector>
 
@@ -31,6 +33,59 @@ class RunningStats {
   std::size_t count_ = 0;
   double mean_ = 0.0;
   double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Fixed-layout log-bucketed histogram: O(1) memory regardless of sample
+/// count, O(1) add, quantiles by linear interpolation inside the matching
+/// bucket. Built for always-on accumulation at p = 2^20 scale (transfer
+/// latencies, queue depths), where storing samples is out of the question.
+///
+/// The bucket universe is shared by every instance — kSubBuckets buckets
+/// per octave over [2^kMinExponent, 2^kMaxExponent), plus an underflow
+/// bucket for values < 2^kMinExponent (including 0 and negatives) and an
+/// overflow bucket — so merge() is an element-wise count addition:
+/// associative and commutative on the counts, which is what makes
+/// cross-worker merges order-independent.
+class Histogram {
+ public:
+  static constexpr int kSubBuckets = 4;    // buckets per octave (~19% wide)
+  static constexpr int kMinExponent = -40; // 2^-40 ~ 1e-12
+  static constexpr int kMaxExponent = 40;  // 2^40 ~ 1e12
+  static constexpr int kBucketCount =
+      (kMaxExponent - kMinExponent) * kSubBuckets + 2;
+
+  void add(double x) noexcept;
+  void merge(const Histogram& other) noexcept;
+
+  std::size_t count() const noexcept { return count_; }
+  bool empty() const noexcept { return count_ == 0; }
+  double sum() const noexcept { return sum_; }
+  /// NaN when empty, like RunningStats.
+  double min() const noexcept;
+  double max() const noexcept;
+  double mean() const noexcept;
+
+  /// Interpolated quantile, q in [0,1] (clamped). Exact at the extremes
+  /// (q=0 -> min, q=1 -> max), within one bucket width (~19%) in between.
+  /// NaN when empty; the single sample for count() == 1.
+  double quantile(double q) const noexcept;
+
+  /// The bucket a value lands in, and the bucket edges — exposed for tests
+  /// and exporters. Bucket 0 is the underflow bucket [0, 2^kMinExponent)
+  /// (negatives clamp into it), bucket kBucketCount-1 the overflow bucket.
+  static int bucket_index(double x) noexcept;
+  static double bucket_lower(int index) noexcept;
+  static double bucket_upper(int index) noexcept;
+  std::uint64_t bucket_count(int index) const noexcept {
+    return counts_[static_cast<std::size_t>(index)];
+  }
+
+ private:
+  std::array<std::uint64_t, kBucketCount> counts_{};
+  std::size_t count_ = 0;
+  double sum_ = 0.0;
   double min_ = 0.0;
   double max_ = 0.0;
 };

@@ -102,10 +102,13 @@ namespace {
 // Awaits one broadcast phase, charging stats.comm_time and — when the run
 // actually has a chain (`split_levels`) — the per-level split plus the
 // outer/inner pair (level 0 counts as the inter-group "outer" phase,
-// deeper levels as "intra").
+// deeper levels as "intra"). The rank's trace level state is stamped with
+// the stage level around the call, so the recorded collective span carries
+// the exact chain level the generalized critical-path analyzer splits on.
 desim::Task<void> timed_stage_bcast(const BcastStage& stage, mpc::Buf buf,
                                     std::optional<net::BcastAlgo> algo,
                                     trace::RankStats& stats,
+                                    const trace::RankTracer& tracer,
                                     desim::Engine& engine, bool split_levels) {
   trace::PhaseTimer total(stats.comm_time, engine);
   if (!split_levels) {
@@ -119,7 +122,9 @@ desim::Task<void> timed_stage_bcast(const BcastStage& stage, mpc::Buf buf,
   trace::PhaseTimer outer_inner(
       stage.level == 0 ? stats.outer_comm_time : stats.inner_comm_time,
       engine);
+  tracer.set_level(stage.level);
   co_await mpc::bcast(stage.comm, stage.root, buf, algo);
+  tracer.set_level(-1);
 }
 
 }  // namespace
@@ -167,7 +172,7 @@ desim::Task<void> hsumma_multilevel_rank(HsummaMultilevelArgs args) {
         hier_bcast_stages(pg.row_comm(), a_root, args.row_levels);
     for (const BcastStage& stage : a_stages)
       co_await timed_stage_bcast(stage, a_panel.buf(), args.bcast_algo, stats,
-                                 engine, split_levels);
+                                 args.tracer, engine, split_levels);
 
     const int b_root = static_cast<int>(pivot / local_k_b);
     if (mode == PayloadMode::Real && pg.my_row() == b_root) {
@@ -178,11 +183,12 @@ desim::Task<void> hsumma_multilevel_rank(HsummaMultilevelArgs args) {
         hier_bcast_stages(pg.col_comm(), b_root, args.col_levels);
     for (const BcastStage& stage : b_stages)
       co_await timed_stage_bcast(stage, b_panel.buf(), args.bcast_algo, stats,
-                                 engine, split_levels);
+                                 args.tracer, engine, split_levels);
 
     const double flops = la::gemm_flops(local_m, local_n, b);
     {
       trace::PhaseTimer timer(stats.comp_time, engine);
+      trace::ComputeSpanGuard span(args.tracer, engine, flops);
       co_await machine.compute(self, flops);
     }
     if (mode == PayloadMode::Real)

@@ -93,6 +93,44 @@ HierarchyArrangement arrange_hierarchy(const GroupHierarchy& hierarchy,
   return out;
 }
 
+std::vector<std::vector<int>> hierarchy_level_leaders(
+    const GroupHierarchy& hierarchy, grid::GridShape grid) {
+  const HierarchyArrangement arrangement =
+      arrange_hierarchy(hierarchy, grid);
+  std::vector<std::vector<int>> out;
+  out.reserve(arrangement.levels.size());
+  // Walk the chain outermost-in, carrying the origin (top-left grid
+  // coordinate) of every group at the current level; each level refines
+  // every group of the previous one, so origins multiply by I_l * J_l.
+  struct Origin {
+    int row = 0;
+    int col = 0;
+  };
+  std::vector<Origin> origins{{0, 0}};
+  grid::GridShape remaining = grid;
+  for (const grid::GridShape& level : arrangement.levels) {
+    const int sub_rows = remaining.rows / level.rows;
+    const int sub_cols = remaining.cols / level.cols;
+    std::vector<Origin> next;
+    next.reserve(origins.size() *
+                 static_cast<std::size_t>(level.size()));
+    for (const Origin& origin : origins)
+      for (int gi = 0; gi < level.rows; ++gi)
+        for (int gj = 0; gj < level.cols; ++gj)
+          next.push_back(
+              {origin.row + gi * sub_rows, origin.col + gj * sub_cols});
+    origins = std::move(next);
+    std::vector<int> leaders;
+    leaders.reserve(origins.size());
+    for (const Origin& origin : origins)
+      leaders.push_back(origin.row * grid.cols + origin.col);
+    std::sort(leaders.begin(), leaders.end());
+    out.push_back(std::move(leaders));
+    remaining = {sub_rows, sub_cols};
+  }
+  return out;
+}
+
 bool hierarchy_fits(const GroupHierarchy& hierarchy, grid::GridShape grid) {
   if (grid.rows < 1 || grid.cols < 1) return false;
   grid::GridShape remaining = grid;

@@ -89,6 +89,18 @@ struct HierarchyArrangement {
 HierarchyArrangement arrange_hierarchy(const GroupHierarchy& hierarchy,
                                        grid::GridShape grid);
 
+/// World ranks of the group leaders per chain level, outermost first (one
+/// inner vector per level, ascending; flat chains yield no levels). The
+/// leader of a group is its origin rank — the top-left process of the
+/// group's sub-grid — which is the rank the level's inter-group broadcast
+/// stages route through, so these are the ranks worth sampling to see every
+/// level of the hierarchy in a trace (trace::TraceSample "leaders").
+/// Level l holds G_1 * ... * G_{l+1} entries (every innermost group's
+/// leader, not just one subtree's). Throws like arrange_hierarchy when the
+/// chain does not fit.
+std::vector<std::vector<int>> hierarchy_level_leaders(
+    const GroupHierarchy& hierarchy, grid::GridShape grid);
+
 /// Validation predicate: does every level of the chain arrange on `grid`?
 bool hierarchy_fits(const GroupHierarchy& hierarchy, grid::GridShape grid);
 

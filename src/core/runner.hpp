@@ -13,6 +13,7 @@
 #include "core/hierarchy.hpp"
 #include "core/spec.hpp"
 #include "mpc/machine.hpp"
+#include "trace/metrics.hpp"
 #include "trace/phase.hpp"
 #include "trace/recorder.hpp"
 
@@ -49,6 +50,22 @@ struct RunOptions {
   /// any, is restored afterwards); must outlive the run. Recording never
   /// changes the RunResult.
   trace::Recorder* recorder = nullptr;
+  /// Rank-sampling spec for the attached recorder (trace::TraceSample
+  /// syntax, e.g. "leaders+slowest:4"). run() resolves it against this
+  /// run's geometry — hierarchy/group leader ranks, the machine's
+  /// rank_gamma multipliers and the fault plan's slowdown windows — and
+  /// installs the resolved rank set on the recorder before spawning, so a
+  /// p = 2^20 trace stores O(sampled ranks) spans. Empty (the default)
+  /// records every rank; ignored without a recorder. Sampling is a pure
+  /// store-side filter: the RunResult stays bit-identical.
+  std::string trace_sample;
+  /// Optional metrics sink. run() feeds it distribution histograms the
+  /// aggregate TimingReport cannot carry: per-rank comm/comp time
+  /// (core.rank.comm_s / comp_s), per-chain-level broadcast time
+  /// (core.rank.level<l>_comm_s, full rank population), and the recorder's
+  /// exposed-wait histogram (trace.task.exposed_wait_s) when tracing.
+  /// Works with or without a recorder; must outlive the run.
+  trace::MetricsRegistry* metrics = nullptr;
   /// Optional fault injector (see fault/injector.hpp). Attached to the
   /// machine for the duration of the run, previous injector restored
   /// afterwards; must outlive the run. The RunResult's fault counters

@@ -26,6 +26,17 @@ trace::Phase to_trace_phase(int phase) {
   }
 }
 
+/// The exact chain level the plan's phase encoding carries (kPhaseLevelBase
+/// + level); the legacy outer/inner phases are chain levels 0/1; -1 for
+/// flat. Unlike to_trace_phase this is lossless — the emitted TaskSpans
+/// are what lets the critical-path analyzer split depth-L chains.
+int to_trace_level(int phase) {
+  if (phase >= kPhaseLevelBase) return phase - kPhaseLevelBase;
+  if (phase == kPhaseOuter) return 0;
+  if (phase == kPhaseInner) return 1;
+  return -1;
+}
+
 /// One Machine::compute charge wrapped in the kernels' usual trace span.
 desim::Task<void> compute_charge(mpc::Machine& machine, int self, double flops,
                                  trace::RankTracer tracer) {
@@ -89,7 +100,8 @@ void PlanObserver::task_finished(const desim::TaskGraph& graph, int id,
                         spec.kind == desim::TaskKind::Compute
                             ? trace::TaskSpanKind::Compute
                             : trace::TaskSpanKind::Comm,
-                        spec.step, to_trace_phase(spec.phase), spec.label});
+                        spec.step, to_trace_phase(spec.phase),
+                        to_trace_level(spec.phase), spec.label});
 }
 
 void PlanObserver::task_waited(const desim::TaskGraph& graph, int id,
@@ -110,7 +122,8 @@ void PlanObserver::task_waited(const desim::TaskGraph& graph, int id,
   }
   if (trace::Recorder* recorder = tracer_.recorder(); recorder != nullptr)
     recorder->add_task({t0, t1, tracer_.rank(), trace::TaskSpanKind::Wait,
-                        spec.step, to_trace_phase(spec.phase), spec.label});
+                        spec.step, to_trace_phase(spec.phase),
+                        to_trace_level(spec.phase), spec.label});
 }
 
 // ---------------------------------------------------------------------------

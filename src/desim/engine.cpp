@@ -289,6 +289,8 @@ void Engine::run() {
       HS_ASSERT(timer.time >= now_);
       now_ = timer.time;
       ++events_processed_;
+      if ((events_processed_ & 255u) == 0)
+        queue_depth_.add(static_cast<double>(heap_.size()));
       timer.handle.resume();
       continue;
     }
@@ -296,6 +298,8 @@ void Engine::run() {
     HS_ASSERT(event.time >= now_);
     now_ = event.time;
     ++events_processed_;
+    if ((events_processed_ & 255u) == 0)
+      queue_depth_.add(static_cast<double>(heap_.size()));
     event.handle.resume();
     // Batched same-timestamp delivery: when the popped event opened a
     // coalescing bucket, every handle in it is globally next (same time,
@@ -318,6 +322,8 @@ void Engine::run() {
         bucket_free(done);
       }
       ++events_processed_;
+      if ((events_processed_ & 255u) == 0)
+        queue_depth_.add(static_cast<double>(heap_.size()));
       handle.resume();
     }
   }

@@ -36,6 +36,7 @@
 #include <vector>
 
 #include "common/check.hpp"
+#include "common/stats.hpp"
 #include "desim/task.hpp"
 
 namespace hs::desim {
@@ -94,6 +95,14 @@ class Engine {
   /// Peak simultaneous population of the timed event heap (the now-queue
   /// and coalescing buckets are excluded). Exposed for metrics harvesting.
   std::size_t heap_peak() const noexcept { return heap_peak_; }
+
+  /// Timed-heap population sampled every 256 processed events — the
+  /// distribution behind heap_peak(), harvested into the desim.queue_depth
+  /// histogram. Sampling keeps the cost off the per-event hot path; the
+  /// stride is a power of two so the sample set is deterministic.
+  const hs::Histogram& queue_depth_histogram() const noexcept {
+    return queue_depth_;
+  }
 
   /// Pre-size internal storage: `processes` further top-level spawns and a
   /// peak in-flight event population of `pending_events`. Purely a
@@ -285,6 +294,7 @@ class Engine {
   std::uint64_t next_seq_ = 0;
   std::uint64_t events_processed_ = 0;
   std::size_t heap_peak_ = 0;
+  hs::Histogram queue_depth_;
   bool running_ = false;
   // Owning thread, recorded at the first run(); default-constructed id
   // means "not pinned yet".

@@ -119,6 +119,8 @@ core::RunResult run_sim_job(const SimJob& job) {
                      << job.hierarchy.to_string() << "); set only one");
   core::adapt_hierarchy(job.effective_hierarchy(), options);
   options.recorder = job.recorder;
+  options.trace_sample = job.trace_sample;
+  options.metrics = job.metrics;
   // One injector per job, living exactly as long as the run: determinism
   // needs fresh per-link drop ordinals for every simulation.
   std::optional<fault::FaultInjector> injector;

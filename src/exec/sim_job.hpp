@@ -107,8 +107,12 @@ struct SimJob {
   /// thread running the job, so sharing one across concurrently submitted
   /// jobs would race.
   trace::Recorder* recorder = nullptr;
+  /// Rank-sampling spec for the recorder (trace::TraceSample syntax;
+  /// see core::RunOptions::trace_sample). Ignored without a recorder.
+  std::string trace_sample;
   /// Harvests machine + engine counters after the run (see
-  /// trace/metrics.hpp). Same ownership rule as `recorder`.
+  /// trace/metrics.hpp), plus the runner's per-rank histograms. Same
+  /// ownership rule as `recorder`.
   trace::MetricsRegistry* metrics = nullptr;
 
   /// The hierarchy this job actually runs: the explicit chain when one is

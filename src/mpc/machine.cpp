@@ -124,6 +124,7 @@ double Machine::commit_transfer(int src, int dst, int ctx, int tag,
                 send_buf.count() * sizeof(double));
   ++messages_;
   bytes_ += send_buf.bytes();
+  transfer_latency_s_.add(completion - start);
   if (transfer_log_ != nullptr)
     transfer_log_->record(
         {start, completion, src, dst, send_buf.bytes(), ctx, tag});
@@ -402,6 +403,8 @@ void Machine::note_collective(SiteKind kind, int algo_index,
 void Machine::collect_metrics(trace::MetricsRegistry& metrics) const {
   metrics.add_counter("mpc.messages", messages_);
   metrics.add_counter("mpc.wire_bytes", bytes_);
+  if (!transfer_latency_s_.empty())
+    metrics.histogram("mpc.transfer.latency_s").merge(transfer_latency_s_);
   if (timeouts_ > 0) metrics.add_counter("mpc.timeouts", timeouts_);
   if (fault_ != nullptr && fault_->active()) fault_->collect_metrics(metrics);
   for (int k = 0; k < kSiteKinds; ++k) {

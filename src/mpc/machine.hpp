@@ -31,6 +31,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/stats.hpp"
 #include "desim/engine.hpp"
 #include "mpc/buffer.hpp"
 #include "net/bcast_cost.hpp"
@@ -335,6 +336,13 @@ class Machine {
   std::uint64_t messages_transferred() const noexcept { return messages_; }
   std::uint64_t bytes_transferred() const noexcept { return bytes_; }
 
+  /// Always-on distribution of committed transfer latencies (start to
+  /// completion, including port-serialization queueing and fault
+  /// stretching). O(1) memory; harvested as mpc.transfer.latency_s.
+  const hs::Histogram& transfer_latency_histogram() const noexcept {
+    return transfer_latency_s_;
+  }
+
   /// Attach (or detach with nullptr) a transfer recorder; the log must
   /// outlive the simulation. Point-to-point transfers are logged as they
   /// commit; in ClosedForm mode every collective site emits one synthetic
@@ -572,6 +580,7 @@ class Machine {
       sites_;
   std::uint64_t messages_ = 0;
   std::uint64_t bytes_ = 0;
+  hs::Histogram transfer_latency_s_;
   static constexpr int kSiteKinds = 9;
   static constexpr int kBcastAlgos =
       static_cast<int>(net::BcastAlgo::MpichAuto) + 1;

@@ -22,12 +22,22 @@ struct WorkSpan {
   std::size_t index = 0;  // into the recorder's computes()/collectives()
 };
 
-PathCategory comm_category(Phase phase) {
-  switch (phase) {
-    case Phase::Outer: return PathCategory::OuterComm;
-    case Phase::Inner: return PathCategory::InnerComm;
-    case Phase::Flat: return PathCategory::FlatComm;
+/// The chain level a collective span's time is attributed to: the explicit
+/// stamp when the kernel provided one, else the legacy phase marks (Outer
+/// is level 0, Inner level 1 — the two-level special case), else -1 (flat).
+int effective_level(const CollectiveSpan& span) {
+  if (span.level >= 0) return span.level;
+  switch (span.phase) {
+    case Phase::Outer: return 0;
+    case Phase::Inner: return 1;
+    case Phase::Flat: return -1;
   }
+  return -1;
+}
+
+PathCategory comm_category(int level) {
+  if (level == 0) return PathCategory::OuterComm;
+  if (level >= 1) return PathCategory::InnerComm;
   return PathCategory::FlatComm;
 }
 
@@ -44,7 +54,7 @@ std::string_view to_string(PathCategory category) {
   return "unknown";
 }
 
-double CriticalPathReport::of(PathCategory category) const {
+double CriticalPathSplit::of(PathCategory category) const {
   switch (category) {
     case PathCategory::Comp: return comp;
     case PathCategory::OuterComm: return outer_comm;
@@ -55,7 +65,7 @@ double CriticalPathReport::of(PathCategory category) const {
   return 0.0;
 }
 
-std::string CriticalPathReport::summary() const {
+std::string CriticalPathSplit::summary() const {
   std::ostringstream os;
   os << "critical path " << hs::format_seconds(total()) << " = comp "
      << hs::format_seconds(comp) << " + outer "
@@ -63,25 +73,37 @@ std::string CriticalPathReport::summary() const {
      << hs::format_seconds(inner_comm) << " + flat "
      << hs::format_seconds(flat_comm) << " + idle "
      << hs::format_seconds(idle) << " (" << segments.size() << " segments)";
+  // Two levels are fully described by the outer/inner head line (kept
+  // byte-identical for existing goldens); deeper chains get the full
+  // per-level split underneath.
+  if (depth() > 2) {
+    for (int l = 0; l < depth(); ++l)
+      os << "\n  level " << l << ": "
+         << hs::format_seconds(level_comm[static_cast<std::size_t>(l)]);
+  }
   return os.str();
 }
 
-Table CriticalPathReport::breakdown_table() const {
+Table CriticalPathSplit::breakdown_table() const {
   Table table({"category", "time", "share"});
   const double denom = total();
+  const auto add = [&table, denom](const std::string& name, double value) {
+    table.add_row({name, hs::format_seconds(value),
+                   denom > 0.0 ? hs::format_ratio(value / denom) : "-"});
+  };
   for (PathCategory category :
        {PathCategory::Comp, PathCategory::OuterComm, PathCategory::InnerComm,
-        PathCategory::FlatComm, PathCategory::Idle}) {
-    const double value = of(category);
-    table.add_row({std::string(to_string(category)),
-                   hs::format_seconds(value),
-                   denom > 0.0 ? hs::format_ratio(value / denom) : "-"});
-  }
+        PathCategory::FlatComm, PathCategory::Idle})
+    add(std::string(to_string(category)), of(category));
+  if (depth() > 2)
+    for (int l = 0; l < depth(); ++l)
+      add("level-" + std::to_string(l) + "-comm",
+          level_comm[static_cast<std::size_t>(l)]);
   return table;
 }
 
-CriticalPathReport analyze_critical_path(const Recorder& recorder) {
-  CriticalPathReport report;
+CriticalPathSplit analyze_critical_path(const Recorder& recorder) {
+  CriticalPathSplit report;
 
   // Flatten the recorder's work spans and index collective participants by
   // (ctx, seq) so the walk can hop to the latest-arriving rank.
@@ -130,10 +152,11 @@ CriticalPathReport analyze_critical_path(const Recorder& recorder) {
   double t = report.end_time;
   int rank = last->rank;
   auto push = [&report](double start, double end, PathCategory category,
-                        int rank_, long long step, std::string label) {
+                        int rank_, long long step, int level,
+                        std::string label) {
     if (end <= start) return;
     report.segments.push_back(
-        {start, end, category, rank_, step, std::move(label)});
+        {start, end, category, rank_, step, level, std::move(label)});
   };
 
   // Backward walk. Each iteration either consumes one span off the current
@@ -150,14 +173,14 @@ CriticalPathReport analyze_critical_path(const Recorder& recorder) {
     const WorkSpan* span = list[cur - 1];
     if (span->end < t - eps) {
       // Nothing was running on this rank right before t: it was waiting.
-      push(span->end, t, PathCategory::Idle, rank, -1, "idle");
+      push(span->end, t, PathCategory::Idle, rank, -1, -1, "idle");
       t = span->end;
       continue;
     }
     --cur;
     if (span->compute) {
       const ComputeSpan& comp = recorder.computes()[span->index];
-      push(comp.start, t, PathCategory::Comp, rank, comp.step, "compute");
+      push(comp.start, t, PathCategory::Comp, rank, comp.step, -1, "compute");
       t = comp.start;
       continue;
     }
@@ -178,14 +201,15 @@ CriticalPathReport analyze_critical_path(const Recorder& recorder) {
         }
       }
     }
-    push(hop_start, t, comm_category(coll.phase), rank, coll.step,
+    const int level = effective_level(coll);
+    push(hop_start, t, comm_category(level), rank, coll.step, level,
          std::string(to_string(coll.op)));
     t = hop_start;
     rank = hop_rank;
   }
   // Whatever is left below t is startup idle on the path's earliest rank
   // (it had not recorded any work yet).
-  push(min_start, t, PathCategory::Idle, rank, -1, "idle");
+  push(min_start, t, PathCategory::Idle, rank, -1, -1, "idle");
   report.start_time = min_start;
 
   std::reverse(report.segments.begin(), report.segments.end());
@@ -197,6 +221,12 @@ CriticalPathReport analyze_critical_path(const Recorder& recorder) {
       case PathCategory::InnerComm: report.inner_comm += duration; break;
       case PathCategory::FlatComm: report.flat_comm += duration; break;
       case PathCategory::Idle: report.idle += duration; break;
+    }
+    if (segment.level >= 0) {
+      if (static_cast<std::size_t>(segment.level) >= report.level_comm.size())
+        report.level_comm.resize(static_cast<std::size_t>(segment.level) + 1,
+                                 0.0);
+      report.level_comm[static_cast<std::size_t>(segment.level)] += duration;
     }
   }
   return report;

@@ -1,5 +1,6 @@
 #include "trace/metrics.hpp"
 
+#include <algorithm>
 #include <cstdio>
 #include <ostream>
 #include <sstream>
@@ -51,12 +52,38 @@ double MetricsRegistry::gauge(std::string_view name) const {
   return it == gauges_.end() ? 0.0 : it->second;
 }
 
+const hs::Histogram* MetricsRegistry::find_histogram(
+    std::string_view name) const {
+  const auto it = histograms_.find(std::string(name));
+  return it == histograms_.end() ? nullptr : &it->second;
+}
+
+void MetricsRegistry::merge(const MetricsRegistry& other) {
+  for (const auto& [name, value] : other.counters_) counters_[name] += value;
+  for (const auto& [name, value] : other.gauges_) {
+    const auto [it, inserted] = gauges_.emplace(name, value);
+    if (!inserted) it->second = std::max(it->second, value);
+  }
+  for (const auto& [name, hist] : other.histograms_)
+    histograms_[name].merge(hist);
+}
+
 Table MetricsRegistry::to_table() const {
   Table table({"metric", "value"});
   for (const auto& [name, value] : counters_)
     table.add_row({name, std::to_string(value)});
   for (const auto& [name, value] : gauges_)
     table.add_row({name, gauge_repr(value)});
+  for (const auto& [name, hist] : histograms_) {
+    std::string summary = "count=" + std::to_string(hist.count());
+    if (!hist.empty()) {
+      summary += " p50=" + gauge_repr(hist.quantile(0.50));
+      summary += " p90=" + gauge_repr(hist.quantile(0.90));
+      summary += " p99=" + gauge_repr(hist.quantile(0.99));
+      summary += " max=" + gauge_repr(hist.max());
+    }
+    table.add_row({name, summary});
+  }
   return table;
 }
 
@@ -75,6 +102,23 @@ void MetricsRegistry::write_json(std::ostream& out) const {
     first = false;
     out << "\"" << json_escape(name) << "\":" << gauge_repr(value);
   }
+  out << "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, hist] : histograms_) {
+    if (!first) out << ",";
+    first = false;
+    out << "\"" << json_escape(name) << "\":{\"count\":" << hist.count();
+    if (hist.empty()) {
+      out << "}";
+      continue;
+    }
+    out << ",\"sum\":" << gauge_repr(hist.sum())
+        << ",\"min\":" << gauge_repr(hist.min())
+        << ",\"max\":" << gauge_repr(hist.max())
+        << ",\"p50\":" << gauge_repr(hist.quantile(0.50))
+        << ",\"p90\":" << gauge_repr(hist.quantile(0.90))
+        << ",\"p99\":" << gauge_repr(hist.quantile(0.99)) << "}";
+  }
   out << "}}";
 }
 
@@ -89,6 +133,9 @@ void collect_engine_metrics(const desim::Engine& engine,
   metrics.add_counter("desim.events_processed", engine.events_processed());
   metrics.add_counter("desim.heap_peak",
                       static_cast<std::uint64_t>(engine.heap_peak()));
+  if (!engine.queue_depth_histogram().empty())
+    metrics.histogram("desim.queue_depth")
+        .merge(engine.queue_depth_histogram());
 }
 
 }  // namespace hs::trace

@@ -45,6 +45,13 @@ std::string TimingReport::summary() const {
   if (total_flops > 0 && total_time > 0.0)
     os << ", "
        << hs::format_flops(static_cast<double>(total_flops) / total_time);
+  // Depth >= 3 chains get per-level continuation lines; flat and two-level
+  // runs keep the single head line byte-identical to the historical format
+  // (outer/inner maxima already tell the whole story there).
+  if (max_level_comm_time.size() >= 3)
+    for (std::size_t l = 0; l < max_level_comm_time.size(); ++l)
+      os << "\n  level " << l << " comm(max) "
+         << hs::format_seconds(max_level_comm_time[l]);
   return os.str();
 }
 

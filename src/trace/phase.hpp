@@ -71,10 +71,17 @@ struct TimingReport {
   double max_comp_time = 0.0;
   double mean_comm_time = 0.0;
   double mean_comp_time = 0.0;
-  double max_outer_comm_time = 0.0;  // inter-group phase (hierarchical)
-  double max_inner_comm_time = 0.0;  // intra-group phase
+  /// Per-phase maxima for hierarchical runs: outer is chain level 0 (the
+  /// inter-group broadcasts), inner aggregates every level >= 1. For
+  /// depth-L chains the full per-level split is max_level_comm_time; the
+  /// pair here is its two-level projection, kept because the paper's
+  /// Tables I/II (and the critical-path analyzer's outer/inner sums, which
+  /// these bound level by level) speak in exactly these two phases.
+  double max_outer_comm_time = 0.0;
+  double max_inner_comm_time = 0.0;
   /// Per-chain-level communication maxima (multi-level hierarchies only;
-  /// mirrors RankStats::level_comm_time).
+  /// mirrors RankStats::level_comm_time). Entry l bounds the analyzer's
+  /// level_comm[l] on ClosedForm non-overlapped runs.
   std::vector<double> max_level_comm_time;
   std::uint64_t total_flops = 0;
 

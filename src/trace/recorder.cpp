@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "trace/stream_sink.hpp"
+
 namespace hs::trace {
 
 std::string_view to_string(CollectiveOp op) {
@@ -62,6 +64,26 @@ int Recorder::rank_count() const {
   }
   for (const auto& task : tasks_) max_rank = std::max(max_rank, task.rank);
   return max_rank + 1;
+}
+
+void Recorder::spill_now() {
+  if (stream_ == nullptr) return;
+  spilled_spans_ += stream_->spill(*this);
+  // Rank state and histograms survive a spill on purpose: only the span
+  // storage is bounded, the stamping context is O(ranks) and stays.
+  collectives_.clear();
+  computes_.clear();
+  steps_.clear();
+  wires_.clear();
+  sites_.clear();
+  faults_.clear();
+  tasks_.clear();
+  buffered_bytes_ = 0;
+}
+
+void Recorder::flush_stream() {
+  if (stream_ == nullptr || buffered_bytes_ == 0) return;
+  spill_now();
 }
 
 }  // namespace hs::trace

@@ -26,9 +26,13 @@
 #include <string_view>
 #include <vector>
 
+#include "common/stats.hpp"
 #include "desim/engine.hpp"
+#include "trace/sample.hpp"
 
 namespace hs::trace {
+
+class SpanChunkWriter;
 
 /// Collective operation identifier. Mirrors mpc::Machine::SiteKind (kept in
 /// sync by a static_assert in machine.cpp) but lives here so the trace
@@ -67,6 +71,10 @@ struct CollectiveSpan {
   std::uint64_t bytes = 0;  // per-member payload bytes
   long long step = -1;  // kernel pivot step at call time; -1 = unmarked
   Phase phase = Phase::Flat;
+  /// Hierarchy chain level of the enclosing broadcast stage (0 =
+  /// outermost), stamped from the rank's current level state; -1 when the
+  /// kernel reports no level (flat and legacy two-level runs).
+  int level = -1;
   bool closed_form = false;
 };
 
@@ -78,6 +86,7 @@ struct ComputeSpan {
   double flops = 0.0;
   long long step = -1;
   Phase phase = Phase::Flat;
+  int level = -1;  // see CollectiveSpan::level
 };
 
 /// A kernel's "pivot step k begins" marker.
@@ -133,6 +142,9 @@ struct TaskSpan {
   TaskSpanKind kind = TaskSpanKind::Comm;
   long long step = -1;
   Phase phase = Phase::Flat;
+  /// Hierarchy chain level of the task's broadcast stage (exact — derived
+  /// from the task plan's phase encoding); -1 for flat/legacy tasks.
+  int level = -1;
   const char* label = "";  // static storage (TaskSpec::label)
 };
 
@@ -159,6 +171,19 @@ struct FaultSpan {
 /// Append-only event store for one simulation. Single-threaded like the
 /// engine that feeds it: attach one recorder per machine, one machine per
 /// thread (parallel sweeps give every job its own recorder).
+///
+/// Two scale features, both off by default:
+///
+///   * a rank sample (set_sample): spans of unsampled ranks are dropped at
+///     the door (wire spans survive when either endpoint is sampled; sites
+///     and fault events are global and always kept), so a p = 2^20 trace
+///     stores O(sampled ranks) spans. The exposed-wait histogram keeps
+///     accumulating over *every* rank — filtering affects storage only.
+///   * a streaming sink (set_stream): whenever the buffered span estimate
+///     exceeds the budget, everything buffered is spilled to the sink's
+///     on-disk chunk file and the vectors are cleared, bounding recorder
+///     RSS for arbitrarily long runs (see trace/stream_sink.hpp for the
+///     format, loader and Chrome-trace converter).
 class Recorder {
  public:
   /// Update rank `rank`'s current (step, phase) and record a marker.
@@ -168,16 +193,25 @@ class Recorder {
     RankState& state = state_of(rank);
     state.step = step;
     state.phase = phase;
+    if (!rank_sampled(rank)) return;
     steps_.push_back({now, rank, step, phase});
+    note_span(sizeof(StepMark));
   }
 
-  /// Record a finished collective span; step/phase are stamped from the
-  /// caller rank's current state.
+  /// Update rank `rank`'s current hierarchy chain level (-1 = none);
+  /// subsequent collective/compute spans on that rank carry it.
+  void set_level(int rank, int level) { state_of(rank).level = level; }
+
+  /// Record a finished collective span; step/phase/level are stamped from
+  /// the caller rank's current state.
   void add_collective(CollectiveSpan span) {
     const RankState& state = state_of(span.rank);
     span.step = state.step;
     span.phase = state.phase;
+    span.level = state.level;
+    if (!rank_sampled(span.rank)) return;
     collectives_.push_back(span);
+    note_span(sizeof(CollectiveSpan));
   }
 
   /// Record a finished compute span; stamped like add_collective.
@@ -185,13 +219,82 @@ class Recorder {
     const RankState& state = state_of(span.rank);
     span.step = state.step;
     span.phase = state.phase;
+    span.level = state.level;
+    if (!rank_sampled(span.rank)) return;
     computes_.push_back(span);
+    note_span(sizeof(ComputeSpan));
   }
 
-  void add_transfer(const WireSpan& span) { wires_.push_back(span); }
-  void add_site(const SiteSpan& span) { sites_.push_back(span); }
-  void add_fault(const FaultSpan& span) { faults_.push_back(span); }
-  void add_task(const TaskSpan& span) { tasks_.push_back(span); }
+  void add_transfer(const WireSpan& span) {
+    if (!rank_sampled(span.src) && !rank_sampled(span.dst)) return;
+    wires_.push_back(span);
+    note_span(sizeof(WireSpan));
+  }
+  void add_site(const SiteSpan& span) {
+    sites_.push_back(span);
+    note_span(sizeof(SiteSpan));
+  }
+  void add_fault(const FaultSpan& span) {
+    faults_.push_back(span);
+    note_span(sizeof(FaultSpan));
+  }
+  void add_task(const TaskSpan& span) {
+    if (span.kind == TaskSpanKind::Wait)
+      exposed_wait_hist_.add(span.end - span.start);
+    if (!rank_sampled(span.rank)) return;
+    tasks_.push_back(span);
+    note_span(sizeof(TaskSpan));
+  }
+
+  // --- rank sampling -------------------------------------------------------
+
+  /// Restrict storage to `sample`'s ranks. The default (and an empty
+  /// TraceSample resolution) keeps every rank.
+  void set_sample(RankSampleSet sample) { sample_ = std::move(sample); }
+  const RankSampleSet& sample() const noexcept { return sample_; }
+  bool rank_sampled(int rank) const noexcept {
+    return sample_.contains(rank);
+  }
+
+  // --- streaming sink ------------------------------------------------------
+
+  /// Attach a chunk sink: once the buffered span estimate exceeds
+  /// `budget_bytes`, buffered spans are appended to the sink and the
+  /// in-memory vectors are cleared (rank state and histograms persist).
+  /// The sink must outlive the recorder's recording phase; detach with
+  /// nullptr. Call flush_stream() after the run to push the remainder.
+  void set_stream(SpanChunkWriter* sink, std::size_t budget_bytes) {
+    stream_ = sink;
+    stream_budget_bytes_ = budget_bytes;
+  }
+  SpanChunkWriter* stream() const noexcept { return stream_; }
+  /// Spill everything still buffered to the sink (no-op without one).
+  void flush_stream();
+  /// Estimated bytes of buffered (not yet spilled) span storage.
+  std::size_t buffered_bytes() const noexcept { return buffered_bytes_; }
+  /// Spans pushed to the sink so far.
+  std::uint64_t spilled_spans() const noexcept { return spilled_spans_; }
+
+  // --- always-on distributions --------------------------------------------
+
+  /// Exposed scheduler waits (TaskSpanKind::Wait durations) over all
+  /// ranks, sampled or not. Feeds trace.task.exposed_wait_s.
+  const hs::Histogram& exposed_wait_histogram() const noexcept {
+    return exposed_wait_hist_;
+  }
+
+  // --- raw restore (chunk loader) -----------------------------------------
+
+  /// Append a span verbatim: no state stamping, no sampling, no spill
+  /// accounting. Used by load_span_chunks to reconstruct a recorder from a
+  /// chunk file; not meant for recording hooks.
+  void restore(const CollectiveSpan& span) { collectives_.push_back(span); }
+  void restore(const ComputeSpan& span) { computes_.push_back(span); }
+  void restore(const StepMark& mark) { steps_.push_back(mark); }
+  void restore(const WireSpan& span) { wires_.push_back(span); }
+  void restore(const SiteSpan& span) { sites_.push_back(span); }
+  void restore(const FaultSpan& span) { faults_.push_back(span); }
+  void restore(const TaskSpan& span) { tasks_.push_back(span); }
 
   const std::vector<CollectiveSpan>& collectives() const noexcept {
     return collectives_;
@@ -223,12 +326,14 @@ class Recorder {
     faults_.clear();
     tasks_.clear();
     states_.clear();
+    buffered_bytes_ = 0;
   }
 
  private:
   struct RankState {
     long long step = -1;
     Phase phase = Phase::Flat;
+    int level = -1;
   };
   RankState& state_of(int rank) {
     const auto index =
@@ -236,6 +341,15 @@ class Recorder {
     if (index >= states_.size()) states_.resize(index + 1);
     return states_[index];
   }
+
+  /// Account one stored span and spill when a sink is attached and the
+  /// budget is exceeded.
+  void note_span(std::size_t bytes) {
+    buffered_bytes_ += bytes;
+    if (stream_ != nullptr && buffered_bytes_ > stream_budget_bytes_)
+      spill_now();
+  }
+  void spill_now();  // recorder.cpp: writes buffered spans, clears vectors
 
   std::vector<CollectiveSpan> collectives_;
   std::vector<ComputeSpan> computes_;
@@ -245,6 +359,12 @@ class Recorder {
   std::vector<FaultSpan> faults_;
   std::vector<TaskSpan> tasks_;
   std::vector<RankState> states_;
+  RankSampleSet sample_;
+  hs::Histogram exposed_wait_hist_;
+  SpanChunkWriter* stream_ = nullptr;
+  std::size_t stream_budget_bytes_ = 0;
+  std::size_t buffered_bytes_ = 0;
+  std::uint64_t spilled_spans_ = 0;
 };
 
 /// A rank's handle on the (possibly absent) recorder: what the kernel arg
@@ -264,6 +384,12 @@ class RankTracer {
   void begin_step(desim::Engine& engine, long long step, Phase phase) const {
     if (recorder_ != nullptr)
       recorder_->begin_step(engine.now(), rank_, step, phase);
+  }
+
+  /// Set this rank's current hierarchy chain level (-1 = none); spans
+  /// recorded afterwards carry it. Pure state, no event is stored.
+  void set_level(int level) const {
+    if (recorder_ != nullptr) recorder_->set_level(rank_, level);
   }
 
  private:

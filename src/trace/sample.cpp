@@ -1,0 +1,186 @@
+#include "trace/sample.hpp"
+
+#include <algorithm>
+#include <charconv>
+
+#include "common/check.hpp"
+
+namespace hs::trace {
+
+namespace {
+
+int parse_count(std::string_view term, std::string_view suffix) {
+  int value = 0;
+  const auto [ptr, ec] =
+      std::from_chars(suffix.data(), suffix.data() + suffix.size(), value);
+  HS_REQUIRE_MSG(ec == std::errc() &&
+                     ptr == suffix.data() + suffix.size() && value >= 1,
+                 "bad --trace-sample term '"
+                     << std::string(term)
+                     << "' (want a positive count after ':')");
+  return value;
+}
+
+/// splitmix64: the repo's standard cheap seed-expanding generator.
+std::uint64_t splitmix64(std::uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ull;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+TraceSample TraceSample::parse(std::string_view spec) {
+  TraceSample sample;
+  std::size_t pos = 0;
+  while (pos < spec.size()) {
+    const std::size_t next = std::min(spec.find('+', pos), spec.size());
+    const std::string_view term = spec.substr(pos, next - pos);
+    pos = next + 1;
+    if (term.empty()) continue;
+    if (term == "all") {
+      sample.all = true;
+    } else if (term == "root") {
+      sample.root = true;
+    } else if (term == "leaders") {
+      sample.leaders_per_level =
+          std::max(sample.leaders_per_level, kDefaultLeadersPerLevel);
+    } else if (term.rfind("leaders:", 0) == 0) {
+      sample.leaders_per_level = std::max(
+          sample.leaders_per_level, parse_count(term, term.substr(8)));
+    } else if (term.rfind("random:", 0) == 0) {
+      sample.random_count =
+          std::max(sample.random_count, parse_count(term, term.substr(7)));
+    } else if (term.rfind("slowest:", 0) == 0) {
+      sample.slowest_count =
+          std::max(sample.slowest_count, parse_count(term, term.substr(8)));
+    } else {
+      HS_REQUIRE_MSG(false, "unknown --trace-sample term '"
+                                << std::string(term)
+                                << "' (terms: all, root, leaders[:N], "
+                                   "random:K, slowest:K)");
+    }
+  }
+  return sample;
+}
+
+std::string TraceSample::to_string() const {
+  std::string out;
+  const auto append = [&out](const std::string& term) {
+    if (!out.empty()) out += '+';
+    out += term;
+  };
+  if (all) append("all");
+  if (root) append("root");
+  if (leaders_per_level > 0)
+    append(leaders_per_level == kDefaultLeadersPerLevel
+               ? "leaders"
+               : "leaders:" + std::to_string(leaders_per_level));
+  if (random_count > 0) append("random:" + std::to_string(random_count));
+  if (slowest_count > 0) append("slowest:" + std::to_string(slowest_count));
+  return out;
+}
+
+RankSampleSet RankSampleSet::all(int ranks) {
+  HS_REQUIRE(ranks >= 1);
+  RankSampleSet set;
+  set.mask_.assign(static_cast<std::size_t>(ranks), true);
+  set.count_ = ranks;
+  set.complete_ = true;
+  return set;
+}
+
+RankSampleSet RankSampleSet::resolve(const TraceSample& sample,
+                                     const SampleInputs& inputs) {
+  HS_REQUIRE(inputs.ranks >= 1);
+  if (sample.all || sample.empty()) return all(inputs.ranks);
+
+  RankSampleSet set;
+  set.mask_.assign(static_cast<std::size_t>(inputs.ranks), false);
+  set.complete_ = false;
+  const auto mark = [&set](int rank) {
+    if (rank < 0 || static_cast<std::size_t>(rank) >= set.mask_.size())
+      return;
+    if (!set.mask_[static_cast<std::size_t>(rank)]) {
+      set.mask_[static_cast<std::size_t>(rank)] = true;
+      ++set.count_;
+    }
+  };
+
+  if (sample.root || sample.leaders_per_level > 0) mark(0);
+
+  if (sample.leaders_per_level > 0) {
+    // Evenly strided pick of at most N leaders per level, first and last
+    // group included — deterministic, and the span volume stays O(N * L)
+    // however many groups the level has.
+    const auto cap = static_cast<std::size_t>(sample.leaders_per_level);
+    for (const std::vector<int>& leaders : inputs.level_leaders) {
+      if (leaders.size() <= cap) {
+        for (int rank : leaders) mark(rank);
+        continue;
+      }
+      for (std::size_t i = 0; i < cap; ++i) {
+        const std::size_t pick =
+            i * (leaders.size() - 1) / (cap - 1);
+        mark(leaders[pick]);
+      }
+    }
+  }
+
+  if (sample.random_count > 0) {
+    // Seed-stamped rejection sampling: deterministic for (seed, p, K), and
+    // K distinct ranks whenever K <= p.
+    const int want =
+        std::min(sample.random_count, inputs.ranks);
+    std::uint64_t state = inputs.seed ^ 0x7472616365736d70ull;  // "tracesmp"
+    std::vector<bool> drawn(static_cast<std::size_t>(inputs.ranks), false);
+    int found = 0;
+    while (found < want) {
+      const int rank = static_cast<int>(
+          splitmix64(state) % static_cast<std::uint64_t>(inputs.ranks));
+      if (drawn[static_cast<std::size_t>(rank)]) continue;
+      drawn[static_cast<std::size_t>(rank)] = true;
+      ++found;
+      mark(rank);
+    }
+  }
+
+  if (sample.slowest_count > 0 && !inputs.rank_slowness.empty()) {
+    // The K slowest ranks by effective factor, ties broken by rank index;
+    // nominal ranks (factor <= 1) never qualify, so a homogeneous run adds
+    // nothing under this term.
+    std::vector<int> slow;
+    for (std::size_t r = 0; r < inputs.rank_slowness.size(); ++r)
+      if (inputs.rank_slowness[r] > 1.0) slow.push_back(static_cast<int>(r));
+    const auto take = std::min(slow.size(),
+                               static_cast<std::size_t>(sample.slowest_count));
+    std::partial_sort(slow.begin(), slow.begin() + static_cast<long>(take),
+                      slow.end(), [&inputs](int a, int b) {
+                        const double fa =
+                            inputs.rank_slowness[static_cast<std::size_t>(a)];
+                        const double fb =
+                            inputs.rank_slowness[static_cast<std::size_t>(b)];
+                        if (fa != fb) return fa > fb;
+                        return a < b;
+                      });
+    for (std::size_t i = 0; i < take; ++i) mark(slow[i]);
+  }
+
+  // A sample that resolved to nothing (e.g. "slowest:4" on a homogeneous
+  // run) still records the root: an entirely empty trace would look like a
+  // recorder bug, not a sampling decision.
+  if (set.count_ == 0) mark(0);
+  return set;
+}
+
+std::vector<int> RankSampleSet::selected() const {
+  std::vector<int> out;
+  out.reserve(static_cast<std::size_t>(count_));
+  for (std::size_t r = 0; r < mask_.size(); ++r)
+    if (mask_[r]) out.push_back(static_cast<int>(r));
+  return out;
+}
+
+}  // namespace hs::trace

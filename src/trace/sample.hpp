@@ -1,0 +1,106 @@
+// Rank-sampling policy for tracing at scale.
+//
+// At p = 2^20 a full trace is out of the question: every rank records
+// O(steps * log p) spans, so an unsampled recorder would buffer hundreds of
+// millions of events and the Chrome-trace export would dwarf any viewer.
+// TraceSample is the canonical sampling spec — which *ranks* get their
+// spans recorded — so a traced run stores O(sampled ranks) spans while the
+// simulation itself is untouched (sampling is a pure store-side filter; the
+// zero-perturbation invariant holds exactly as without it).
+//
+// Spec strings are '+'-separated terms, canonicalized by to_string():
+//
+//   all          every rank (sampling off)
+//   root         rank 0
+//   leaders      per-level group leaders, at most N per level
+//   leaders:N    (default N = 16, evenly strided over the level's groups)
+//   random:K     K distinct ranks drawn from a seed-stamped splitmix64
+//   slowest:K    the K slowest ranks (effective slowdown factor > 1) from
+//                MachineConfig::rank_gamma and fault-plan slowdown windows
+//
+// e.g. "leaders+slowest:4" — the acceptance spec for the p = 2^20 figure.
+//
+// Layering: this header knows nothing about grids, hierarchies or fault
+// plans (hs_mpc and hs_core link hs_trace, not vice versa). The caller —
+// core::run — computes the per-level leader rank lists and the per-rank
+// slowness vector from its own geometry and passes them in as
+// SampleInputs; resolve() only combines them into a rank set.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace hs::trace {
+
+struct TraceSample {
+  static constexpr int kDefaultLeadersPerLevel = 16;
+
+  bool all = false;
+  bool root = false;
+  /// 0 = leaders term absent; > 0 = cap per hierarchy level.
+  int leaders_per_level = 0;
+  int random_count = 0;
+  int slowest_count = 0;
+
+  /// No terms at all. An empty sample means "no sampling requested":
+  /// attaching it to a Recorder is a no-op (everything records).
+  bool empty() const noexcept {
+    return !all && !root && leaders_per_level == 0 && random_count == 0 &&
+           slowest_count == 0;
+  }
+
+  /// Parses a spec string; "" parses to the empty sample. Duplicate terms
+  /// combine by max. Aborts (HS_REQUIRE) on unknown terms or bad counts.
+  static TraceSample parse(std::string_view spec);
+
+  /// Canonical spec: terms in the fixed order all, root, leaders, random,
+  /// slowest; "leaders" spelled bare when the cap is the default.
+  /// parse(to_string()) round-trips.
+  std::string to_string() const;
+};
+
+/// Everything a TraceSample resolves against. The leader lists are world
+/// ranks per hierarchy level, outermost first (flat runs pass none — the
+/// leaders term then only contributes the root). rank_slowness is the
+/// effective per-rank slowdown factor (1 = nominal); empty = homogeneous.
+struct SampleInputs {
+  int ranks = 0;
+  std::uint64_t seed = 0;
+  std::vector<std::vector<int>> level_leaders;
+  std::vector<double> rank_slowness;
+};
+
+/// The resolved rank set: a dense bitmap (128 KiB at p = 2^20), O(1)
+/// membership. Default-constructed = complete (every rank sampled), which
+/// is what a Recorder without an explicit sample uses.
+class RankSampleSet {
+ public:
+  RankSampleSet() = default;
+
+  static RankSampleSet all(int ranks);
+  static RankSampleSet resolve(const TraceSample& sample,
+                               const SampleInputs& inputs);
+
+  /// True when every rank is sampled (also for the default-constructed
+  /// set, whose universe is unknown).
+  bool complete() const noexcept { return complete_; }
+  bool contains(int rank) const noexcept {
+    if (complete_) return true;
+    return rank >= 0 && static_cast<std::size_t>(rank) < mask_.size() &&
+           mask_[static_cast<std::size_t>(rank)];
+  }
+  /// Number of sampled ranks; 0 means "complete" for the default set.
+  int count() const noexcept { return count_; }
+  int universe() const noexcept { return static_cast<int>(mask_.size()); }
+  /// Sampled ranks in ascending order (empty for a complete set).
+  std::vector<int> selected() const;
+
+ private:
+  std::vector<bool> mask_;
+  int count_ = 0;
+  bool complete_ = true;
+};
+
+}  // namespace hs::trace

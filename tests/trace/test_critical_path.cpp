@@ -36,6 +36,24 @@ RunResult record_run(hs::core::Algorithm algorithm, int groups,
   return hs::exec::run_sim_job(job);
 }
 
+// Multi-level variant: the chain drives the recursive kernel, whose
+// broadcast stages stamp explicit levels 0..L-1 on their spans.
+RunResult record_chain_run(const hs::core::GroupHierarchy& chain, int ranks,
+                           Recorder& recorder) {
+  hs::exec::SimJob job;
+  job.platform = hs::net::Platform::by_name("grid5000");
+  job.gamma_flop = 1e-9;
+  job.collective_mode = hs::mpc::CollectiveMode::ClosedForm;
+  job.algorithm = hs::core::Algorithm::Hsumma;
+  job.ranks = ranks;
+  job.groups = 1;
+  job.hierarchy = chain;
+  // 16x16 grid: k must divide into 16-block-column panels, so block 32.
+  job.problem = hs::core::ProblemSpec::square(512, 32);
+  job.recorder = &recorder;
+  return hs::exec::run_sim_job(job);
+}
+
 void expect_tiles_exactly(const CriticalPathReport& path,
                           const RunResult& result) {
   ASSERT_FALSE(path.segments.empty());
@@ -104,6 +122,59 @@ TEST(CriticalPath, HsummaDecompositionMatchesTimingReport) {
       EXPECT_GE(segment.rank, 0);
       EXPECT_GE(segment.step, 0);
     }
+}
+
+TEST(CriticalPath, DepthFourChainSplitsPerLevel) {
+  // A 4x4x4 chain on a 16x16 grid: three explicit factors plus the
+  // trailing remainder stage give a depth-4 per-level comm split. The
+  // acceptance bound: comp + sum(level_comm) + flat + idle reproduces
+  // total_time to 1e-9 exactly as the fixed-category split does.
+  Recorder recorder;
+  const RunResult result =
+      record_chain_run(hs::core::GroupHierarchy({4, 4, 4}), 256, recorder);
+  const CriticalPathReport path = analyze_critical_path(recorder);
+  expect_tiles_exactly(path, result);
+  ASSERT_EQ(path.depth(), 4);
+  // The vector split refines outer/inner: level 0 IS the outer phase and
+  // the deeper levels partition the inner aggregate.
+  EXPECT_DOUBLE_EQ(path.level_comm[0], path.outer_comm);
+  double tail = 0.0, level_sum = 0.0;
+  for (int l = 0; l < path.depth(); ++l) {
+    EXPECT_GT(path.level_comm[static_cast<std::size_t>(l)], 0.0)
+        << "level " << l;
+    level_sum += path.level_comm[static_cast<std::size_t>(l)];
+    if (l >= 1) tail += path.level_comm[static_cast<std::size_t>(l)];
+  }
+  EXPECT_NEAR(tail, path.inner_comm, 1e-12);
+  EXPECT_NEAR(path.comp + level_sum + path.flat_comm + path.idle,
+              result.timing.total_time, 1e-9);
+  // Lockstep closed form: the chain's comm total is the slowest rank's
+  // comm budget, just like the two-level case.
+  EXPECT_NEAR(level_sum, result.timing.max_comm_time, 1e-9);
+  // The TimingReport carries the matching per-level maxima.
+  ASSERT_EQ(result.timing.max_level_comm_time.size(), 4u);
+  // Deep chains surface the per-level split in the human-facing views.
+  const std::string summary = path.summary();
+  EXPECT_NE(summary.find("level 0:"), std::string::npos);
+  EXPECT_NE(summary.find("level 3:"), std::string::npos);
+}
+
+TEST(CriticalPath, DepthTwoSummaryStaysByteCompatible) {
+  // Two-level runs are fully described by the outer/inner head line; the
+  // per-level continuation lines must NOT appear, so existing goldens and
+  // scripts that parse the PR 4 summary format keep working unchanged.
+  Recorder recorder;
+  const RunResult result =
+      record_run(hs::core::Algorithm::Hsumma, 4, recorder);
+  (void)result;
+  const CriticalPathReport path = analyze_critical_path(recorder);
+  ASSERT_EQ(path.depth(), 2);
+  EXPECT_DOUBLE_EQ(path.level_comm[0], path.outer_comm);
+  EXPECT_NEAR(path.level_comm[1], path.inner_comm, 1e-12);
+  const std::string summary = path.summary();
+  EXPECT_EQ(summary.find("level"), std::string::npos);
+  EXPECT_EQ(summary.find('\n'), std::string::npos);  // single head line
+  EXPECT_EQ(summary.rfind("critical path ", 0), 0u);
 }
 
 TEST(CriticalPath, PointToPointPathStillTiles) {

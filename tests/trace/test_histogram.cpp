@@ -1,0 +1,185 @@
+// hs::Histogram invariants the metrics pipeline rests on: the shared
+// fixed bucket layout (what makes merge element-wise), quantile
+// interpolation accuracy bounds, and the deterministic cross-worker merge
+// semantics — plus RunningStats::merge, the other half of satellite
+// aggregation. Labeled `trace` with the rest of the observability suite.
+#include "common/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace {
+
+using hs::Histogram;
+using hs::RunningStats;
+
+TEST(Histogram, EmptyReportsNaN) {
+  Histogram h;
+  EXPECT_TRUE(h.empty());
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.sum(), 0.0);
+  EXPECT_TRUE(std::isnan(h.min()));
+  EXPECT_TRUE(std::isnan(h.max()));
+  EXPECT_TRUE(std::isnan(h.mean()));
+  EXPECT_TRUE(std::isnan(h.quantile(0.5)));
+}
+
+TEST(Histogram, SingleSampleIsEveryQuantile) {
+  Histogram h;
+  h.add(3.25);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.min(), 3.25);
+  EXPECT_EQ(h.max(), 3.25);
+  EXPECT_EQ(h.quantile(0.0), 3.25);
+  EXPECT_EQ(h.quantile(0.5), 3.25);
+  EXPECT_EQ(h.quantile(1.0), 3.25);
+}
+
+TEST(Histogram, BucketBoundaries) {
+  // Bucket 0 is the underflow bucket: values below 2^kMinExponent,
+  // including zero and negatives.
+  EXPECT_EQ(Histogram::bucket_index(0.0), 0);
+  EXPECT_EQ(Histogram::bucket_index(-1.0), 0);
+  EXPECT_EQ(Histogram::bucket_index(std::ldexp(1.0, Histogram::kMinExponent) /
+                                    2.0),
+            0);
+  // NaN also lands in the underflow bucket rather than corrupting state.
+  EXPECT_EQ(Histogram::bucket_index(std::nan("")), 0);
+  // The first real bucket starts exactly at 2^kMinExponent.
+  EXPECT_EQ(Histogram::bucket_index(std::ldexp(1.0, Histogram::kMinExponent)),
+            1);
+  // Values at/above 2^kMaxExponent land in the overflow bucket.
+  EXPECT_EQ(Histogram::bucket_index(std::ldexp(1.0, Histogram::kMaxExponent)),
+            Histogram::kBucketCount - 1);
+  EXPECT_EQ(Histogram::bucket_index(1e300), Histogram::kBucketCount - 1);
+  // Every bucket's edges bracket what bucket_index assigns to them.
+  for (double x : {1e-9, 0.001, 0.5, 1.0, 1.5, 2.0, 3.7, 1000.0, 1e9}) {
+    const int index = Histogram::bucket_index(x);
+    EXPECT_LE(Histogram::bucket_lower(index), x) << "x=" << x;
+    EXPECT_GT(Histogram::bucket_upper(index), x) << "x=" << x;
+  }
+  // Adjacent buckets tile: upper(i) == lower(i+1) across the real range.
+  for (int i = 1; i < Histogram::kBucketCount - 2; ++i)
+    EXPECT_DOUBLE_EQ(Histogram::bucket_upper(i), Histogram::bucket_lower(i + 1))
+        << "bucket " << i;
+}
+
+TEST(Histogram, SubBucketsPerOctave) {
+  // kSubBuckets buckets per doubling: index(2x) - index(x) == kSubBuckets.
+  for (double x : {1e-6, 0.01, 1.0, 300.0}) {
+    EXPECT_EQ(Histogram::bucket_index(2.0 * x) - Histogram::bucket_index(x),
+              Histogram::kSubBuckets)
+        << "x=" << x;
+  }
+}
+
+TEST(Histogram, QuantileWithinBucketWidth) {
+  // 1..1000 uniformly: every interpolated quantile must land within one
+  // bucket width (a factor of 2^(1/kSubBuckets) ~ 19%) of the exact value.
+  Histogram h;
+  std::vector<double> xs;
+  for (int i = 1; i <= 1000; ++i) {
+    h.add(static_cast<double>(i));
+    xs.push_back(static_cast<double>(i));
+  }
+  const double width = std::pow(2.0, 1.0 / Histogram::kSubBuckets);
+  for (double q : {0.1, 0.5, 0.9, 0.99}) {
+    const double exact = hs::quantile(xs, q);
+    const double approx = h.quantile(q);
+    EXPECT_GE(approx, exact / width) << "q=" << q;
+    EXPECT_LE(approx, exact * width) << "q=" << q;
+  }
+  // Extremes are exact regardless of bucket width.
+  EXPECT_EQ(h.quantile(0.0), 1.0);
+  EXPECT_EQ(h.quantile(1.0), 1000.0);
+}
+
+TEST(Histogram, QuantilesClampedToObservedRange) {
+  // All samples in one bucket: interpolation must not escape [min, max].
+  Histogram h;
+  h.add(1.0);
+  h.add(1.05);
+  for (double q : {0.0, 0.25, 0.5, 0.75, 1.0}) {
+    EXPECT_GE(h.quantile(q), 1.0);
+    EXPECT_LE(h.quantile(q), 1.05);
+  }
+}
+
+TEST(Histogram, MergeMatchesSequentialAdds) {
+  // Exactly-representable values so even sum_ accumulates identically in
+  // either order — the property cross-worker determinism needs.
+  const std::vector<double> a = {0.5, 2.0, 8.0, 0.25};
+  const std::vector<double> b = {1.0, 1.0, 4.0};
+  Histogram merged_ab, merged_ba, sequential;
+  Histogram ha, hb;
+  for (double x : a) ha.add(x);
+  for (double x : b) hb.add(x);
+  merged_ab.merge(ha);
+  merged_ab.merge(hb);
+  merged_ba.merge(hb);
+  merged_ba.merge(ha);
+  for (double x : a) sequential.add(x);
+  for (double x : b) sequential.add(x);
+  EXPECT_EQ(merged_ab.count(), sequential.count());
+  EXPECT_EQ(merged_ab.sum(), sequential.sum());
+  EXPECT_EQ(merged_ab.min(), sequential.min());
+  EXPECT_EQ(merged_ab.max(), sequential.max());
+  EXPECT_EQ(merged_ba.count(), merged_ab.count());
+  EXPECT_EQ(merged_ba.sum(), merged_ab.sum());
+  for (int i = 0; i < Histogram::kBucketCount; ++i) {
+    EXPECT_EQ(merged_ab.bucket_count(i), sequential.bucket_count(i));
+    EXPECT_EQ(merged_ba.bucket_count(i), sequential.bucket_count(i));
+  }
+}
+
+TEST(Histogram, MergeWithEmptyIsIdentity) {
+  Histogram h, empty;
+  h.add(1.5);
+  h.add(6.0);
+  Histogram copy = h;
+  copy.merge(empty);
+  EXPECT_EQ(copy.count(), h.count());
+  EXPECT_EQ(copy.min(), h.min());
+  EXPECT_EQ(copy.max(), h.max());
+  empty.merge(h);
+  EXPECT_EQ(empty.count(), h.count());
+  EXPECT_EQ(empty.min(), h.min());
+  EXPECT_EQ(empty.max(), h.max());
+}
+
+TEST(RunningStats, MergeMatchesSequentialAdds) {
+  const std::vector<double> a = {1.0, 2.0, 3.0, 4.0};
+  const std::vector<double> b = {10.0, 20.0};
+  RunningStats sa, sb, sequential;
+  for (double x : a) sa.add(x);
+  for (double x : b) sb.add(x);
+  for (double x : a) sequential.add(x);
+  for (double x : b) sequential.add(x);
+  RunningStats merged = sa;
+  merged.merge(sb);
+  EXPECT_EQ(merged.count(), sequential.count());
+  EXPECT_DOUBLE_EQ(merged.mean(), sequential.mean());
+  EXPECT_NEAR(merged.variance(), sequential.variance(), 1e-12);
+  EXPECT_EQ(merged.min(), sequential.min());
+  EXPECT_EQ(merged.max(), sequential.max());
+}
+
+TEST(RunningStats, MergeWithEmptyIsIdentity) {
+  RunningStats stats, empty;
+  stats.add(2.5);
+  stats.add(7.5);
+  RunningStats copy = stats;
+  copy.merge(empty);
+  EXPECT_EQ(copy.count(), 2u);
+  EXPECT_DOUBLE_EQ(copy.mean(), 5.0);
+  RunningStats other;
+  other.merge(stats);
+  EXPECT_EQ(other.count(), 2u);
+  EXPECT_DOUBLE_EQ(other.mean(), 5.0);
+  EXPECT_EQ(other.min(), 2.5);
+  EXPECT_EQ(other.max(), 7.5);
+}
+
+}  // namespace

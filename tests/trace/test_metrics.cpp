@@ -62,6 +62,74 @@ TEST(MetricsRegistry, JsonIsSortedAndEscaped) {
   EXPECT_LT(json.find("a \\\"quoted\\\""), json.find("b.count"));
 }
 
+TEST(MetricsRegistry, HistogramsRenderQuantilesInJson) {
+  MetricsRegistry metrics;
+  for (int i = 1; i <= 100; ++i)
+    metrics.histogram("h.latency").add(static_cast<double>(i));
+  const std::string json = metrics.to_json();
+  // The histograms section sits alongside counters/gauges and each entry
+  // carries the full quantile summary.
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+  EXPECT_NE(json.find("\"h.latency\""), std::string::npos);
+  EXPECT_NE(json.find("\"count\":100"), std::string::npos);
+  EXPECT_NE(json.find("\"min\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"max\":100"), std::string::npos);
+  for (const char* key : {"\"sum\":", "\"p50\":", "\"p90\":", "\"p99\":"})
+    EXPECT_NE(json.find(key), std::string::npos) << key;
+  // Empty histograms are droppable noise, never NaN in the JSON.
+  metrics.histogram("h.empty");
+  EXPECT_EQ(metrics.to_json().find("nan"), std::string::npos);
+}
+
+TEST(MetricsRegistry, MergeCombinesAllThreeKinds) {
+  MetricsRegistry a, b;
+  a.add_counter("calls", 3);
+  b.add_counter("calls", 4);
+  b.add_counter("only_b", 1);
+  a.set_gauge("peak", 2.0);
+  b.set_gauge("peak", 5.0);  // gauges are ceilings: merge takes the max
+  a.histogram("lat").add(1.0);
+  a.histogram("lat").add(4.0);
+  b.histogram("lat").add(2.0);
+  b.histogram("only_b.lat").add(8.0);
+  a.merge(b);
+  EXPECT_EQ(a.counter("calls"), 7u);
+  EXPECT_EQ(a.counter("only_b"), 1u);
+  EXPECT_DOUBLE_EQ(a.gauge("peak"), 5.0);
+  const hs::Histogram* lat = a.find_histogram("lat");
+  ASSERT_NE(lat, nullptr);
+  EXPECT_EQ(lat->count(), 3u);
+  EXPECT_EQ(lat->min(), 1.0);
+  EXPECT_EQ(lat->max(), 4.0);
+  ASSERT_TRUE(a.has_histogram("only_b.lat"));
+  // Merge is deterministic regardless of worker order: the mirror merge
+  // produces identical JSON.
+  MetricsRegistry a2, b2;
+  a2.add_counter("calls", 4);
+  a2.add_counter("only_b", 1);
+  b2.add_counter("calls", 3);
+  a2.set_gauge("peak", 5.0);
+  b2.set_gauge("peak", 2.0);
+  a2.histogram("lat").add(2.0);
+  a2.histogram("only_b.lat").add(8.0);
+  b2.histogram("lat").add(1.0);
+  b2.histogram("lat").add(4.0);
+  a2.merge(b2);
+  EXPECT_EQ(a2.to_json(), a.to_json());
+}
+
+TEST(MetricsRegistry, TableListsHistogramRows) {
+  MetricsRegistry metrics;
+  metrics.histogram("queue.depth").add(2.0);
+  metrics.histogram("queue.depth").add(6.0);
+  std::ostringstream out;
+  metrics.to_table().print(out);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("queue.depth"), std::string::npos);
+  EXPECT_NE(text.find("p50"), std::string::npos);
+  EXPECT_NE(text.find("count=2"), std::string::npos);
+}
+
 TEST(MetricsRegistry, EngineCollectorReportsEventCounts) {
   Engine engine;
   auto program = [&]() -> Task<void> {

@@ -1,0 +1,69 @@
+// Observability overhead gate at scale: attaching a sampled recorder and a
+// metrics registry to the p = 2^16 point-to-point scaling point must not
+// perturb the simulation (bit-identical digest to the untraced run) and
+// must not blow the memory budget (the whole two-run binary stays under a
+// hard peak-RSS ceiling). This is the CI-sized twin of the p = 2^20
+// acceptance run in EXPERIMENTS.md.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "bench_util.hpp"
+#include "common/rss_budget.hpp"
+#include "trace/metrics.hpp"
+#include "trace/recorder.hpp"
+
+namespace {
+
+using hs::bench::ScalePoint;
+using hs::bench::ScaleRunResult;
+
+// The fig10 exascale shape at p = 2^16 (m = n = 2^22, b = 256, 256x256
+// grid, minimum legal panel count), the same configuration the `scale`
+// determinism goldens pin down.
+ScalePoint gate_point() {
+  ScalePoint point;
+  point.platform = hs::net::Platform::exascale();
+  point.ranks = 1 << 16;
+  point.groups = 16;
+  point.mode = hs::mpc::CollectiveMode::PointToPoint;
+  return point;
+}
+
+TEST(ObsOverhead, SampledTracingIsZeroPerturbationAtP65536) {
+  const ScaleRunResult untraced = hs::bench::run_scale_point(gate_point());
+
+  ScalePoint traced_point = gate_point();
+  hs::trace::Recorder recorder;
+  hs::trace::MetricsRegistry metrics;
+  traced_point.recorder = &recorder;
+  traced_point.metrics = &metrics;
+  traced_point.trace_sample = "root+leaders+random:8";
+  const ScaleRunResult traced = hs::bench::run_scale_point(traced_point);
+
+  // The whole contract in one line: tracing changes no simulated event.
+  EXPECT_EQ(traced.digest(), untraced.digest());
+
+  // The sampled recorder actually captured the marked ranks' traffic...
+  EXPECT_FALSE(recorder.empty());
+  EXPECT_GT(recorder.wires().size(), 0u);
+  // ...but only theirs: the sampled span count must be orders of magnitude
+  // below the ~33M messages the run routes. 2 endpoints x ~25 sampled
+  // ranks x per-rank traffic stays comfortably under a million.
+  EXPECT_LT(recorder.wires().size(), 1u << 20);
+
+  // The quantile metrics the acceptance run reports are present.
+  EXPECT_TRUE(metrics.has_histogram("mpc.transfer.latency_s"));
+  EXPECT_TRUE(metrics.has_histogram("desim.queue_depth"));
+  const hs::Histogram* latency =
+      metrics.find_histogram("mpc.transfer.latency_s");
+  ASSERT_NE(latency, nullptr);
+  EXPECT_GT(latency->count(), 0u);
+  EXPECT_GT(latency->quantile(0.99), 0.0);
+
+  // Both runs — untraced and traced-with-sampling — inside 1 GB peak RSS.
+  hs::test::expect_peak_rss_under_kb(1 << 20,
+                                     "p=2^16 traced + untraced runs");
+}
+
+}  // namespace

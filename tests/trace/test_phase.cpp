@@ -149,4 +149,23 @@ TEST(TimingReport, SummaryOmitsFlopRateWithoutFlops) {
   EXPECT_EQ(report.summary().find("flop/s"), std::string::npos);
 }
 
+TEST(TimingReport, SummarySplitsLevelsOnlyForDeepChains) {
+  // Depth <= 2 keeps the historical single head line byte-for-byte.
+  std::vector<RankStats> two(1);
+  two[0] = {0.5, 1.5, 0.3, 0.2, {0.3, 0.2}, 0};
+  const auto shallow = TimingReport::aggregate(2.0, two);
+  EXPECT_EQ(shallow.summary().find('\n'), std::string::npos);
+  EXPECT_EQ(shallow.summary().find("level"), std::string::npos);
+  // Depth >= 3 appends one continuation line per chain level.
+  std::vector<RankStats> four(1);
+  four[0] = {0.9, 1.1, 0.4, 0.5, {0.4, 0.25, 0.15, 0.1}, 0};
+  const auto deep = TimingReport::aggregate(2.0, four);
+  const std::string summary = deep.summary();
+  for (const char* line : {"level 0 comm(max)", "level 1 comm(max)",
+                           "level 2 comm(max)", "level 3 comm(max)"})
+    EXPECT_NE(summary.find(line), std::string::npos) << line;
+  // The head line itself is unchanged: the split rides below it.
+  EXPECT_LT(summary.find("total"), summary.find('\n'));
+}
+
 }  // namespace

@@ -1,0 +1,184 @@
+// TraceSample spec grammar and RankSampleSet resolution semantics — the
+// policy that makes p = 2^20 tracing store O(sampled ranks) spans. The
+// properties locked here: canonical round-trips, determinism of the
+// random/slowest terms, the per-level leader cap, and the "never an empty
+// trace" fallback.
+#include "trace/sample.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace {
+
+using hs::trace::RankSampleSet;
+using hs::trace::SampleInputs;
+using hs::trace::TraceSample;
+
+TEST(TraceSample, EmptySpecParsesEmpty) {
+  const TraceSample sample = TraceSample::parse("");
+  EXPECT_TRUE(sample.empty());
+  EXPECT_EQ(sample.to_string(), "");
+}
+
+TEST(TraceSample, ParseToStringRoundTrips) {
+  for (const char* spec :
+       {"all", "root", "leaders", "leaders:8", "random:4", "slowest:2",
+        "root+leaders", "root+leaders:3+random:7+slowest:4",
+        "all+root+leaders+random:1+slowest:1"}) {
+    const TraceSample sample = TraceSample::parse(spec);
+    EXPECT_FALSE(sample.empty()) << spec;
+    // to_string is canonical: re-parsing reproduces the same sample.
+    const TraceSample reparsed = TraceSample::parse(sample.to_string());
+    EXPECT_EQ(reparsed.to_string(), sample.to_string()) << spec;
+  }
+  // Canonical order is fixed regardless of input order.
+  EXPECT_EQ(TraceSample::parse("slowest:2+root").to_string(),
+            "root+slowest:2");
+  // The default leader cap is spelled bare.
+  EXPECT_EQ(TraceSample::parse("leaders:16").to_string(), "leaders");
+}
+
+TEST(TraceSample, DuplicateTermsCombineByMax) {
+  const TraceSample sample = TraceSample::parse("random:3+random:9+random:5");
+  EXPECT_EQ(sample.random_count, 9);
+  const TraceSample leaders = TraceSample::parse("leaders:4+leaders");
+  EXPECT_EQ(leaders.leaders_per_level, TraceSample::kDefaultLeadersPerLevel);
+}
+
+TEST(RankSampleSet, DefaultIsComplete) {
+  const RankSampleSet set;
+  EXPECT_TRUE(set.complete());
+  EXPECT_TRUE(set.contains(0));
+  EXPECT_TRUE(set.contains(1 << 20));
+}
+
+TEST(RankSampleSet, AllAndEmptySpecKeepEveryRank) {
+  SampleInputs inputs;
+  inputs.ranks = 64;
+  for (const char* spec : {"", "all", "all+root"}) {
+    const RankSampleSet set =
+        RankSampleSet::resolve(TraceSample::parse(spec), inputs);
+    EXPECT_TRUE(set.complete()) << spec;
+    for (int r = 0; r < 64; ++r) EXPECT_TRUE(set.contains(r));
+  }
+}
+
+TEST(RankSampleSet, RootMarksRankZeroOnly) {
+  SampleInputs inputs;
+  inputs.ranks = 16;
+  const RankSampleSet set =
+      RankSampleSet::resolve(TraceSample::parse("root"), inputs);
+  EXPECT_FALSE(set.complete());
+  EXPECT_EQ(set.count(), 1);
+  EXPECT_TRUE(set.contains(0));
+  EXPECT_FALSE(set.contains(1));
+  EXPECT_FALSE(set.contains(15));
+  // Out-of-universe queries are simply false, never UB.
+  EXPECT_FALSE(set.contains(-1));
+  EXPECT_FALSE(set.contains(16));
+}
+
+TEST(RankSampleSet, LeadersTakesEveryLeaderUnderTheCap) {
+  SampleInputs inputs;
+  inputs.ranks = 64;
+  inputs.level_leaders = {{0, 16, 32, 48}, {0, 4, 8, 12}};
+  const RankSampleSet set =
+      RankSampleSet::resolve(TraceSample::parse("leaders"), inputs);
+  for (int rank : {0, 16, 32, 48, 4, 8, 12})
+    EXPECT_TRUE(set.contains(rank)) << rank;
+  EXPECT_EQ(set.count(), 7);  // 0 shared between the two levels
+}
+
+TEST(RankSampleSet, LeadersCapStridesEvenly) {
+  SampleInputs inputs;
+  inputs.ranks = 1024;
+  std::vector<int> leaders;
+  for (int g = 0; g < 256; ++g) leaders.push_back(g * 4);
+  inputs.level_leaders = {leaders};
+  const RankSampleSet set =
+      RankSampleSet::resolve(TraceSample::parse("leaders:4"), inputs);
+  // First and last leader always included; the stride covers the range.
+  EXPECT_TRUE(set.contains(0));
+  EXPECT_TRUE(set.contains(leaders.back()));
+  EXPECT_EQ(set.count(), 4);
+}
+
+TEST(RankSampleSet, RandomIsDeterministicPerSeed) {
+  SampleInputs inputs;
+  inputs.ranks = 1 << 12;
+  inputs.seed = 2013;
+  const TraceSample sample = TraceSample::parse("random:8");
+  const RankSampleSet a = RankSampleSet::resolve(sample, inputs);
+  const RankSampleSet b = RankSampleSet::resolve(sample, inputs);
+  EXPECT_EQ(a.selected(), b.selected());
+  EXPECT_EQ(a.count(), 8);
+  inputs.seed = 2014;
+  const RankSampleSet c = RankSampleSet::resolve(sample, inputs);
+  EXPECT_NE(a.selected(), c.selected());  // seed-stamped, not fixed
+  // K >= p degenerates to every rank without looping forever.
+  SampleInputs tiny;
+  tiny.ranks = 4;
+  const RankSampleSet all4 =
+      RankSampleSet::resolve(TraceSample::parse("random:64"), tiny);
+  EXPECT_EQ(all4.count(), 4);
+}
+
+TEST(RankSampleSet, SlowestPicksByFactorDescending) {
+  SampleInputs inputs;
+  inputs.ranks = 8;
+  inputs.rank_slowness = {1.0, 3.0, 1.0, 2.0, 5.0, 1.0, 2.0, 1.0};
+  const RankSampleSet set =
+      RankSampleSet::resolve(TraceSample::parse("slowest:3"), inputs);
+  // 5.0 (rank 4), 3.0 (rank 1), then the 2.0 tie broken by rank index (3).
+  EXPECT_EQ(set.selected(), (std::vector<int>{1, 3, 4}));
+}
+
+TEST(RankSampleSet, SlowestIgnoresNominalRanks) {
+  SampleInputs inputs;
+  inputs.ranks = 8;
+  inputs.rank_slowness = {1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.5};
+  const RankSampleSet set =
+      RankSampleSet::resolve(TraceSample::parse("slowest:4"), inputs);
+  // Only the one genuinely slow rank qualifies.
+  EXPECT_EQ(set.selected(), (std::vector<int>{7}));
+}
+
+TEST(RankSampleSet, EmptyResolutionFallsBackToRoot) {
+  // "slowest:4" on a homogeneous run selects nothing — the fallback keeps
+  // the trace non-empty by marking rank 0.
+  SampleInputs inputs;
+  inputs.ranks = 32;
+  const RankSampleSet set =
+      RankSampleSet::resolve(TraceSample::parse("slowest:4"), inputs);
+  EXPECT_EQ(set.selected(), (std::vector<int>{0}));
+}
+
+TEST(RankSampleSet, CombinedSpecUnionsTerms) {
+  SampleInputs inputs;
+  inputs.ranks = 64;
+  inputs.seed = 7;
+  inputs.level_leaders = {{0, 16, 32, 48}};
+  inputs.rank_slowness.assign(64, 1.0);
+  inputs.rank_slowness[33] = 4.0;
+  const RankSampleSet set = RankSampleSet::resolve(
+      TraceSample::parse("root+leaders+slowest:4"), inputs);
+  for (int rank : {0, 16, 32, 48, 33}) EXPECT_TRUE(set.contains(rank));
+  EXPECT_EQ(set.count(), 5);
+  // The acceptance spec stays tiny against a 2^20-rank universe.
+  SampleInputs big;
+  big.ranks = 1 << 20;
+  big.level_leaders = {{}, {}};
+  for (int g = 0; g < 1024; ++g)
+    big.level_leaders[0].push_back(g * 1024);
+  for (int g = 0; g < 32; ++g) big.level_leaders[1].push_back(g * 32);
+  big.rank_slowness.assign(1 << 20, 1.0);
+  big.rank_slowness[1000] = 2.0;
+  const RankSampleSet accept = RankSampleSet::resolve(
+      TraceSample::parse("leaders+slowest:4"), big);
+  EXPECT_LE(accept.count(),
+            2 * TraceSample::kDefaultLeadersPerLevel + 4 + 1);
+  EXPECT_TRUE(accept.contains(1000));
+}
+
+}  // namespace
