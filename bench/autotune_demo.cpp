@@ -18,12 +18,14 @@ int main(int argc, char** argv) {
   long long n = 16384, block = 128, ranks = 1024;
   long long sample_steps = 2, max_candidates = 8, max_levels = 1;
   long long jobs = 0;
+  std::string cache_dir;
   std::string platform_name = "bluegene-p-calibrated";
   std::string algo_name = "vandegeijn";
   std::string kernel_name = "summa";
 
   hs::CliParser cli("Group-count autotuner demo (paper's conclusions)");
   hs::bench::add_jobs_option(cli, &jobs);
+  hs::bench::add_cache_dir_option(cli, &cache_dir);
   hs::bench::add_algorithm_option(cli, &kernel_name);
   cli.add_int("n", "matrix dimension", &n);
   cli.add_int("block", "block size", &block);
@@ -57,7 +59,8 @@ int main(int argc, char** argv) {
   // One executor for the whole demo: the tuner's samples run concurrently,
   // and the tuned pick's full-problem re-run below is a cache hit against
   // the exhaustive sweep.
-  hs::exec::ParallelExecutor executor({.jobs = static_cast<int>(jobs)});
+  hs::exec::ParallelExecutor executor(
+      hs::bench::executor_options(jobs, cache_dir));
 
   hs::tune::TuneOptions options;
   options.kernel = kernel;

@@ -65,6 +65,24 @@ void add_jobs_option(CliParser& cli, long long* dest) {
               "for any count)", dest);
 }
 
+void add_cache_dir_option(CliParser& cli, std::string* dest) {
+  cli.add_string("cache-dir",
+                 "on-disk result store root: repeated runs (and concurrent "
+                 "processes) pointed at one directory skip already-"
+                 "simulated configurations, bit-identically",
+                 dest);
+}
+
+exec::ExecutorOptions executor_options(long long jobs,
+                                       const std::string& cache_dir) {
+  exec::ExecutorOptions options;
+  options.jobs = static_cast<int>(jobs);
+  if (!cache_dir.empty())
+    options.store = std::make_shared<store::ResultStore>(
+        store::StoreOptions{.root = cache_dir});
+  return options;
+}
+
 void add_trace_options(CliParser& cli, TraceCli* dest) {
   cli.add_string("trace",
                  "write a Chrome-trace JSON timeline to this path (open in "

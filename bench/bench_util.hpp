@@ -81,6 +81,18 @@ std::vector<core::RunResult> run_configs(const std::vector<Config>& configs,
 /// default, exec::default_jobs().
 void add_jobs_option(CliParser& cli, long long* dest);
 
+/// Registers --cache-dir: the content-addressed on-disk result store root
+/// (store/result_store.hpp). Empty (the default) keeps results in memory
+/// only; repeated runs — or concurrent processes, including a running
+/// hsummad — pointed at one directory serve already-simulated
+/// configurations from disk, bit-identically.
+void add_cache_dir_option(CliParser& cli, std::string* dest);
+
+/// ExecutorOptions for a bench main: worker count from --jobs and, when
+/// --cache-dir is nonempty, a durable store tier at that root.
+exec::ExecutorOptions executor_options(long long jobs,
+                                       const std::string& cache_dir);
+
 /// Observability options shared by every bench binary: --trace writes a
 /// Chrome-trace JSON timeline (open in https://ui.perfetto.dev) plus a
 /// critical-path decomposition, --metrics prints the machine/engine counter

@@ -47,6 +47,7 @@ int main(int argc, char** argv) {
   long long stragglers = 1;
   long long seed = 2013;
   long long jobs = 0;
+  std::string cache_dir;
   double drop_rate = 0.0;
   std::string factors_text = "2,4,8,16";
   std::string platform_name = "grid5000-calibrated";
@@ -57,6 +58,7 @@ int main(int argc, char** argv) {
   hs::CliParser cli(
       "Fault-injection study: straggler resilience vs group count");
   hs::bench::add_jobs_option(cli, &jobs);
+  hs::bench::add_cache_dir_option(cli, &cache_dir);
   cli.add_int("n", "matrix dimension", &n);
   cli.add_int("block", "block size b = B", &block);
   cli.add_int("p", "number of processes", &ranks);
@@ -118,7 +120,8 @@ int main(int argc, char** argv) {
       points.push_back(config);
     }
   }
-  hs::exec::ParallelExecutor executor({.jobs = static_cast<int>(jobs)});
+  hs::exec::ParallelExecutor executor(
+      hs::bench::executor_options(jobs, cache_dir));
   const std::vector<hs::core::RunResult> results =
       hs::bench::run_configs(points, &executor);
 

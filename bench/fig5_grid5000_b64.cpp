@@ -10,6 +10,7 @@
 int main(int argc, char** argv) {
   long long n = 8192, block = 64, ranks = 128;
   long long jobs = 0;
+  std::string cache_dir;
   std::string platform_name = "grid5000-calibrated";
   std::string algo_name = "vandegeijn";
   bool overlap = false;
@@ -19,6 +20,7 @@ int main(int argc, char** argv) {
 
   hs::CliParser cli("Reproduce Figure 5 (Grid5000 G-sweep, b = B = 64)");
   hs::bench::add_jobs_option(cli, &jobs);
+  hs::bench::add_cache_dir_option(cli, &cache_dir);
   hs::bench::add_trace_options(cli, &trace);
   cli.add_int("n", "matrix dimension", &n);
   cli.add_int("block", "block size b = B", &block);
@@ -39,7 +41,8 @@ int main(int argc, char** argv) {
   params.lookahead = static_cast<int>(lookahead);
   params.csv_path = csv;
   params.trace = trace;
-  hs::exec::ParallelExecutor executor({.jobs = static_cast<int>(jobs)});
+  hs::exec::ParallelExecutor executor(
+      hs::bench::executor_options(jobs, cache_dir));
   params.executor = &executor;
   hs::bench::run_g_sweep(params);
   return 0;

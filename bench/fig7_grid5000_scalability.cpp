@@ -13,6 +13,7 @@
 int main(int argc, char** argv) {
   long long n = 8192, block = 512;
   long long jobs = 0;
+  std::string cache_dir;
   std::vector<long long> process_counts{16, 32, 64, 128};
   std::string platform_name = "grid5000-calibrated";
   std::string algo_name = "vandegeijn";
@@ -21,6 +22,7 @@ int main(int argc, char** argv) {
 
   hs::CliParser cli("Reproduce Figure 7 (Grid5000 scalability)");
   hs::bench::add_jobs_option(cli, &jobs);
+  hs::bench::add_cache_dir_option(cli, &cache_dir);
   hs::bench::add_trace_options(cli, &trace);
   cli.add_int("n", "matrix dimension", &n);
   cli.add_int("block", "block size b = B", &block);
@@ -43,7 +45,8 @@ int main(int argc, char** argv) {
                    "best G", "improvement"});
   std::vector<std::vector<std::string>> csv_rows;
 
-  hs::exec::ParallelExecutor executor({.jobs = static_cast<int>(jobs)});
+  hs::exec::ParallelExecutor executor(
+      hs::bench::executor_options(jobs, cache_dir));
   hs::bench::Config traced_config;
   for (long long p : process_counts) {
     hs::bench::Config config;

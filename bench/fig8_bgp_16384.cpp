@@ -12,6 +12,7 @@
 int main(int argc, char** argv) {
   long long n = 65536, block = 256, ranks = 16384;
   long long jobs = 0;
+  std::string cache_dir;
   std::string platform_name = "bluegene-p-calibrated";
   std::string algo_name = "vandegeijn";
   bool overlap = false;
@@ -23,6 +24,7 @@ int main(int argc, char** argv) {
       "Reproduce Figure 8 (BG/P 16384 cores: execution and communication "
       "time vs G)");
   hs::bench::add_jobs_option(cli, &jobs);
+  hs::bench::add_cache_dir_option(cli, &cache_dir);
   hs::bench::add_trace_options(cli, &trace);
   cli.add_int("n", "matrix dimension", &n);
   cli.add_int("block", "block size b = B", &block);
@@ -46,7 +48,8 @@ int main(int argc, char** argv) {
   params.lookahead = static_cast<int>(lookahead);
   params.csv_path = csv;
   params.trace = trace;
-  hs::exec::ParallelExecutor executor({.jobs = static_cast<int>(jobs)});
+  hs::exec::ParallelExecutor executor(
+      hs::bench::executor_options(jobs, cache_dir));
   params.executor = &executor;
   hs::bench::run_g_sweep(params);
   return 0;

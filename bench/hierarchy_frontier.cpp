@@ -93,6 +93,7 @@ struct ModelRow {
 
 int main(int argc, char** argv) {
   long long jobs = 0;
+  std::string cache_dir;
   bool smoke = false;
   std::string out = "BENCH_hierarchy.json";
 
@@ -100,12 +101,14 @@ int main(int argc, char** argv) {
       "Hierarchy frontier: flat SUMMA vs 2-level HSUMMA vs L = 3, 4 group "
       "chains on the Grid5000 / BlueGene/P / exascale presets");
   hs::bench::add_jobs_option(cli, &jobs);
+  hs::bench::add_cache_dir_option(cli, &cache_dir);
   cli.add_flag("smoke", "tiny simulated sections (p <= 256) for CI; the "
                "exascale model headline stays at full scale", &smoke);
   cli.add_string("out", "JSON output path", &out);
   if (!cli.parse(argc, argv)) return 1;
 
-  hs::exec::ParallelExecutor executor({.jobs = static_cast<int>(jobs)});
+  hs::exec::ParallelExecutor executor(
+      hs::bench::executor_options(jobs, cache_dir));
 
   // --- section 1: the simulated frontier ----------------------------------
   struct Preset {

@@ -59,6 +59,7 @@ void print_sweep(const std::string& kernel_name,
 
 int main(int argc, char** argv) {
   long long n = 16384, block = 128, ranks = 1024, jobs = 1;
+  std::string cache_dir;
   std::string platform_name = "bluegene-p-calibrated";
   std::string algo_name = "vandegeijn";
   std::string kernel_name = "lu";
@@ -73,6 +74,7 @@ int main(int argc, char** argv) {
   cli.add_string("bcast", "broadcast algorithm", &algo_name);
   hs::bench::add_algorithm_option(cli, &kernel_name);
   hs::bench::add_jobs_option(cli, &jobs);
+  hs::bench::add_cache_dir_option(cli, &cache_dir);
   cli.add_string("csv", "CSV output path", &csv);
   if (!cli.parse(argc, argv)) return 1;
 
@@ -106,7 +108,8 @@ int main(int argc, char** argv) {
   base.algo = algo;
   base.algorithm = algorithm;
 
-  hs::exec::ParallelExecutor executor({.jobs = static_cast<int>(jobs)});
+  hs::exec::ParallelExecutor executor(
+      hs::bench::executor_options(jobs, cache_dir));
 
   std::vector<std::vector<std::string>> csv_rows;
   const std::vector<hs::bench::Config> points = level_sweep(base, shape);

@@ -13,6 +13,7 @@ int main(int argc, char** argv) {
   long long n = 4096, block = 64, ranks = 256;
   long long repetitions = 30;
   long long jobs = 0;
+  std::string cache_dir;
   long long seed = 2013;
   double sigma = 0.2;
   std::string platform_name = "bluegene-p-calibrated";
@@ -22,6 +23,7 @@ int main(int argc, char** argv) {
   hs::CliParser cli(
       "Repeated measurements with per-transfer noise (paper: mean of 30)");
   hs::bench::add_jobs_option(cli, &jobs);
+  hs::bench::add_cache_dir_option(cli, &cache_dir);
   cli.add_int("n", "matrix dimension", &n);
   cli.add_int("block", "block size b = B", &block);
   cli.add_int("p", "number of processes", &ranks);
@@ -47,7 +49,8 @@ int main(int argc, char** argv) {
   hs::Table table({"G", "comm mean", "comm stddev", "comm min", "comm max"});
   std::vector<std::vector<std::string>> csv_rows;
 
-  hs::exec::ParallelExecutor executor({.jobs = static_cast<int>(jobs)});
+  hs::exec::ParallelExecutor executor(
+      hs::bench::executor_options(jobs, cache_dir));
   for (int g : hs::bench::pow2_group_counts(static_cast<int>(ranks))) {
     hs::bench::Config config;
     config.platform = platform;

@@ -88,6 +88,7 @@ int main(int argc, char** argv) {
   long long headline_p = 1ll << 14;
   long long straggler_factor = 16;
   long long jobs = 0;
+  std::string cache_dir;
   bool smoke = false;
   std::string out = "BENCH_overlap.json";
   std::string depths_text = "0,1,2,4";
@@ -96,6 +97,7 @@ int main(int argc, char** argv) {
       "Overlap frontier: kernel x G x D sweep of the task-runtime "
       "look-ahead on the calibrated Grid5000 and BlueGene/P presets");
   hs::bench::add_jobs_option(cli, &jobs);
+  hs::bench::add_cache_dir_option(cli, &cache_dir);
   cli.add_int("p", "frontier-grid rank count", &frontier_p);
   cli.add_int("headline-p", "headline HSUMMA rank count (2^14 reproduces "
               "the paper's BG/P scale)", &headline_p);
@@ -125,7 +127,8 @@ int main(int argc, char** argv) {
           std::to_string(headline_p) + " (HSUMMA G=sqrt(p))  depths=" +
           depths_text + "  straggler x" + std::to_string(straggler_factor));
 
-  hs::exec::ParallelExecutor executor({.jobs = static_cast<int>(jobs)});
+  hs::exec::ParallelExecutor executor(
+      hs::bench::executor_options(jobs, cache_dir));
   std::vector<Row> rows;
 
   // --- section 1: the frontier grid --------------------------------------

@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <cctype>
+#include <cstdio>
 #include <cstdlib>
+#include <ostream>
+#include <sstream>
 
 namespace hs {
 
@@ -106,12 +109,30 @@ class Parser {
           case 'r': out += '\r'; break;
           case 'b': out += '\b'; break;
           case 'f': out += '\f'; break;
-          case 'u':
-            // None of the repo's writers emit \u escapes; keep the reader
-            // total anyway by skipping the 4 hex digits.
-            pos_ = std::min(pos_ + 4, text_.size());
-            out += '?';
+          case 'u': {
+            unsigned code = 0;
+            if (!parse_hex4(&code)) return out;
+            // Surrogate pair: a high surrogate must be followed by
+            // \uDC00-\uDFFF; combine into the supplementary code point.
+            if (code >= 0xD800 && code <= 0xDBFF) {
+              if (pos_ + 1 < text_.size() && text_[pos_] == '\\' &&
+                  text_[pos_ + 1] == 'u') {
+                pos_ += 2;
+                unsigned low = 0;
+                if (!parse_hex4(&low)) return out;
+                if (low < 0xDC00 || low > 0xDFFF) {
+                  fail("bad low surrogate");
+                  return out;
+                }
+                code = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+              } else {
+                fail("unpaired surrogate");
+                return out;
+              }
+            }
+            append_utf8(out, code);
             break;
+          }
           default: fail("bad escape"); return out;
         }
       } else {
@@ -124,6 +145,47 @@ class Parser {
     }
     ++pos_;  // closing quote
     return out;
+  }
+
+  bool parse_hex4(unsigned* code) {
+    if (pos_ + 4 > text_.size()) {
+      fail("truncated \\u escape");
+      return false;
+    }
+    unsigned value = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = text_[pos_ + static_cast<std::size_t>(i)];
+      unsigned digit;
+      if (c >= '0' && c <= '9') digit = static_cast<unsigned>(c - '0');
+      else if (c >= 'a' && c <= 'f') digit = static_cast<unsigned>(c - 'a') + 10;
+      else if (c >= 'A' && c <= 'F') digit = static_cast<unsigned>(c - 'A') + 10;
+      else {
+        fail("bad \\u escape digit");
+        return false;
+      }
+      value = value * 16 + digit;
+    }
+    pos_ += 4;
+    *code = value;
+    return true;
+  }
+
+  static void append_utf8(std::string& out, unsigned code) {
+    if (code < 0x80) {
+      out += static_cast<char>(code);
+    } else if (code < 0x800) {
+      out += static_cast<char>(0xC0 | (code >> 6));
+      out += static_cast<char>(0x80 | (code & 0x3F));
+    } else if (code < 0x10000) {
+      out += static_cast<char>(0xE0 | (code >> 12));
+      out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (code & 0x3F));
+    } else {
+      out += static_cast<char>(0xF0 | (code >> 18));
+      out += static_cast<char>(0x80 | ((code >> 12) & 0x3F));
+      out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (code & 0x3F));
+    }
   }
 
   JsonValue parse_array() {
@@ -184,6 +246,78 @@ JsonValue parse_json(std::string_view text, std::string* error) {
   JsonValue value = parser.parse();
   if (error != nullptr) *error = parser.error();
   return parser.failed() ? JsonValue{} : value;
+}
+
+std::string json_escape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof buffer, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buffer;
+        } else {
+          out += c;  // UTF-8 bytes pass through verbatim
+        }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+void write_value(const JsonValue& value, std::ostream& out) {
+  if (std::holds_alternative<std::nullptr_t>(value.value)) {
+    out << "null";
+  } else if (const bool* b = std::get_if<bool>(&value.value)) {
+    out << (*b ? "true" : "false");
+  } else if (const double* d = std::get_if<double>(&value.value)) {
+    char buffer[48];
+    std::snprintf(buffer, sizeof buffer, "%.17g", *d);
+    out << buffer;
+  } else if (const std::string* s = std::get_if<std::string>(&value.value)) {
+    out << '"' << json_escape(*s) << '"';
+  } else if (const JsonArray* array = std::get_if<JsonArray>(&value.value)) {
+    out << '[';
+    for (std::size_t i = 0; i < array->size(); ++i) {
+      if (i != 0) out << ',';
+      write_value((*array)[i], out);
+    }
+    out << ']';
+  } else {
+    const JsonObject& object = value.object();
+    out << '{';
+    bool first = true;
+    for (const auto& [key, item] : object) {
+      if (!first) out << ',';
+      first = false;
+      out << '"' << json_escape(key) << "\":";
+      write_value(item, out);
+    }
+    out << '}';
+  }
+}
+
+}  // namespace
+
+void write_json(const JsonValue& value, std::ostream& out) {
+  write_value(value, out);
+}
+
+std::string write_json(const JsonValue& value) {
+  std::ostringstream out;
+  write_value(value, out);
+  return out.str();
 }
 
 }  // namespace hs

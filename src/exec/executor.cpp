@@ -2,20 +2,39 @@
 
 #include <algorithm>
 #include <chrono>
+#include <optional>
 #include <utility>
 
 #include "common/check.hpp"
 
 namespace hs::exec {
 
+namespace {
+
+/// Footprint estimate of one memoized entry: the key (stored twice — map
+/// node and LRU list node), the fixed-size result, its per-level vector,
+/// and a constant for node/bucket overhead.
+std::uint64_t cache_entry_bytes(const std::string& key,
+                                const core::RunResult& result) {
+  return 2 * key.size() + sizeof(core::RunResult) +
+         result.timing.max_level_comm_time.capacity() * sizeof(double) + 128;
+}
+
+}  // namespace
+
 int default_jobs() {
   const unsigned hint = std::thread::hardware_concurrency();
   return hint == 0 ? 1 : static_cast<int>(hint);
 }
 
-ParallelExecutor::ParallelExecutor(ExecutorOptions options) {
+ParallelExecutor::ParallelExecutor(ExecutorOptions options)
+    : store_(std::move(options.store)) {
   const int jobs = options.jobs > 0 ? options.jobs : default_jobs();
-  if (!options.cache) cache_enabled_ = false;
+  if (!options.cache) {
+    cache_enabled_ = false;
+    store_.reset();  // the durable tier rides on the cache keys
+  }
+  cache_byte_budget_ = options.cache_bytes;
   workers_.reserve(static_cast<std::size_t>(jobs));
   for (int i = 0; i < jobs; ++i)
     workers_.emplace_back([this] { worker_loop(); });
@@ -31,38 +50,84 @@ ParallelExecutor::~ParallelExecutor() {
 }
 
 std::size_t ParallelExecutor::submit(SimJob job) {
-  std::lock_guard lock(mutex_);
-  const std::size_t index = slots_.size();
-  auto slot = std::make_unique<Slot>();
-  slot->job = std::move(job);
-  if (cache_enabled_) slot->key = slot->job.cache_key();
+  // The key is a pure function of the job; build it before locking.
+  std::string key = cache_enabled_ ? job.cache_key() : std::string{};
+  std::size_t index;
+  bool consult_store = false;
+  {
+    std::lock_guard lock(mutex_);
+    index = slots_.size();
+    auto slot = std::make_unique<Slot>();
+    slot->job = std::move(job);
+    slot->key = key;
 
-  if (!slot->key.empty()) {
-    if (auto hit = cache_.find(slot->key); hit != cache_.end()) {
-      // Completed-cache hit: the slot is born done, no engine runs.
-      slot->done = true;
-      slot->result = hit->second;
-      ++cache_hits_;
+    if (!slot->key.empty()) {
+      if (auto hit = cache_.find(slot->key); hit != cache_.end()) {
+        // Memory hit: the slot is born done, no engine runs. Touch the
+        // entry's LRU position.
+        lru_.splice(lru_.begin(), lru_, hit->second.lru);
+        slot->done = true;
+        slot->result = hit->second.result;
+        ++cache_hits_;
+        slots_.push_back(std::move(slot));
+        done_cv_.notify_all();
+        return index;
+      }
+      if (auto running = inflight_.find(slot->key);
+          running != inflight_.end()) {
+        // An identical job is queued, running, or mid-store-lookup:
+        // coalesce onto it. The slot is filled when the primary completes.
+        running->second.push_back(index);
+        ++cache_hits_;
+        ++coalesced_;
+        ++outstanding_;
+        slots_.push_back(std::move(slot));
+        return index;
+      }
+      // This submission is the in-flight primary for its key from here on:
+      // concurrent identical submits coalesce onto it even while the disk
+      // lookup below is still in progress.
+      inflight_.emplace(slot->key, std::vector<std::size_t>{});
+      if (store_ != nullptr) {
+        slots_.push_back(std::move(slot));
+        ++outstanding_;
+        consult_store = true;
+      } else {
+        ++cache_misses_;
+        slots_.push_back(std::move(slot));
+        queue_.push_back(index);
+        ++outstanding_;
+      }
+    } else {
       slots_.push_back(std::move(slot));
-      done_cv_.notify_all();
-      return index;
-    }
-    if (auto running = inflight_.find(slot->key); running != inflight_.end()) {
-      // An identical job is queued or running: coalesce onto it. The slot
-      // is filled by finish_slot when the primary completes.
-      running->second.push_back(index);
-      ++cache_hits_;
-      ++coalesced_;
+      queue_.push_back(index);
       ++outstanding_;
-      slots_.push_back(std::move(slot));
-      return index;
     }
-    inflight_.emplace(slot->key, std::vector<std::size_t>{});
   }
-  slots_.push_back(std::move(slot));
-  queue_.push_back(index);
-  ++outstanding_;
-  work_cv_.notify_one();
+  if (!consult_store) {
+    work_cv_.notify_one();
+    return index;
+  }
+
+  // Durable-tier consult, outside the executor lock — one small file read
+  // must never serialize the worker pool. `key` is the local copy: slots_
+  // may reallocate while we are unlocked.
+  std::optional<core::RunResult> hit = store_->load(key);
+  {
+    std::lock_guard lock(mutex_);
+    if (hit.has_value()) {
+      ++cache_hits_;
+      ++store_hits_;
+      complete_primary_locked(index, *hit, nullptr);
+    } else {
+      ++cache_misses_;
+      queue_.push_back(index);
+    }
+  }
+  if (hit.has_value())
+    done_cv_.notify_all();
+  else
+    work_cv_.notify_one();
   return index;
 }
 
@@ -70,6 +135,7 @@ void ParallelExecutor::worker_loop() {
   for (;;) {
     std::size_t index;
     SimJob job;
+    std::string key;
     {
       std::unique_lock lock(mutex_);
       work_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
@@ -77,7 +143,8 @@ void ParallelExecutor::worker_loop() {
       if (queue_.empty()) return;
       index = queue_.front();
       queue_.pop_front();
-      job = slots_[index]->job;  // copy: run outside the lock
+      job = slots_[index]->job;  // copies: run outside the lock
+      key = slots_[index]->key;
     }
 
     core::RunResult result{};
@@ -93,26 +160,59 @@ void ParallelExecutor::worker_loop() {
             std::chrono::steady_clock::now() - run_start)
             .count());
 
+    // Publish to the durable tier BEFORE marking the slot done: once any
+    // waiter (result()/wait_all(), and therefore a fresh executor on the
+    // same store root) can observe the result, it is already on disk. The
+    // store locks itself; a concurrent identical submit coalesces onto
+    // this still-in-flight primary, so nobody re-runs during the write.
+    if (!error && store_ != nullptr && !key.empty()) store_->save(key, result);
+
     {
       std::lock_guard lock(mutex_);
       ++engines_run_;
       run_ns_total_ += run_ns;
       slots_[index]->run_ns = run_ns;
-      Slot& primary = *slots_[index];
-      finish_slot(primary, result, error);
-      if (!primary.key.empty()) {
-        // Fill every coalesced duplicate; errors propagate to them too but
-        // are never cached (a resubmission after failure runs again).
-        if (auto running = inflight_.find(primary.key);
-            running != inflight_.end()) {
-          for (std::size_t alias : running->second)
-            finish_slot(*slots_[alias], result, error);
-          inflight_.erase(running);
-        }
-        if (!error) cache_.emplace(primary.key, result);
-      }
+      complete_primary_locked(index, result, error);
     }
     done_cv_.notify_all();
+  }
+}
+
+void ParallelExecutor::complete_primary_locked(std::size_t index,
+                                               const core::RunResult& result,
+                                               std::exception_ptr error) {
+  Slot& primary = *slots_[index];
+  finish_slot(primary, result, error);
+  if (primary.key.empty()) return;
+  // Fill every coalesced duplicate; errors propagate to them too but are
+  // never cached (a resubmission after failure runs again).
+  if (auto running = inflight_.find(primary.key); running != inflight_.end()) {
+    for (std::size_t alias : running->second)
+      finish_slot(*slots_[alias], result, error);
+    inflight_.erase(running);
+  }
+  if (!error) cache_insert_locked(primary.key, result);
+}
+
+void ParallelExecutor::cache_insert_locked(const std::string& key,
+                                           const core::RunResult& result) {
+  if (cache_.find(key) != cache_.end()) return;
+  lru_.push_front(key);
+  CacheEntry entry{result, cache_entry_bytes(key, result), lru_.begin()};
+  cache_bytes_ += entry.bytes;
+  cache_.emplace(key, std::move(entry));
+  if (cache_byte_budget_ == 0) return;
+  while (cache_bytes_ > cache_byte_budget_ && cache_.size() > 1) {
+    // Evict least-recently-used, but never the entry just inserted (the
+    // cache must always be able to hold the current result).
+    const std::string& victim_key = lru_.back();
+    if (victim_key == key) break;
+    const auto victim = cache_.find(victim_key);
+    HS_ASSERT(victim != cache_.end());
+    cache_bytes_ -= std::min(cache_bytes_, victim->second.bytes);
+    cache_.erase(victim);
+    lru_.pop_back();
+    ++cache_evictions_;
   }
 }
 
@@ -156,9 +256,29 @@ std::uint64_t ParallelExecutor::cache_hits() const {
   return cache_hits_;
 }
 
+std::uint64_t ParallelExecutor::cache_misses() const {
+  std::lock_guard lock(mutex_);
+  return cache_misses_;
+}
+
 std::uint64_t ParallelExecutor::coalesced() const {
   std::lock_guard lock(mutex_);
   return coalesced_;
+}
+
+std::uint64_t ParallelExecutor::store_hits() const {
+  std::lock_guard lock(mutex_);
+  return store_hits_;
+}
+
+std::uint64_t ParallelExecutor::cache_evictions() const {
+  std::lock_guard lock(mutex_);
+  return cache_evictions_;
+}
+
+std::uint64_t ParallelExecutor::cache_bytes() const {
+  std::lock_guard lock(mutex_);
+  return cache_bytes_;
 }
 
 std::uint64_t ParallelExecutor::run_ns_total() const {
@@ -175,23 +295,32 @@ std::uint64_t ParallelExecutor::run_ns(std::size_t index) const {
 }
 
 void ParallelExecutor::collect_metrics(trace::MetricsRegistry& metrics) const {
-  std::lock_guard lock(mutex_);
-  metrics.add_counter("exec.jobs_submitted",
-                      static_cast<std::uint64_t>(slots_.size()));
-  metrics.add_counter("exec.engines_run", engines_run_);
-  metrics.add_counter("exec.cache_hits", cache_hits_);
-  metrics.add_counter("exec.inflight_coalesced", coalesced_);
-  metrics.add_counter("exec.run_ns_total", run_ns_total_);
-  std::uint64_t run_ns_max = 0;
-  for (const auto& slot : slots_)
-    run_ns_max = std::max(run_ns_max, slot->run_ns);
-  metrics.add_counter("exec.run_ns_max", run_ns_max);
-  metrics.set_gauge("exec.workers", static_cast<double>(workers_.size()));
+  {
+    std::lock_guard lock(mutex_);
+    metrics.add_counter("exec.jobs_submitted",
+                        static_cast<std::uint64_t>(slots_.size()));
+    metrics.add_counter("exec.engines_run", engines_run_);
+    metrics.add_counter("exec.cache_hits", cache_hits_);
+    metrics.add_counter("exec.cache_misses", cache_misses_);
+    metrics.add_counter("exec.cache_evictions", cache_evictions_);
+    metrics.add_counter("exec.inflight_coalesced", coalesced_);
+    metrics.add_counter("exec.store_hits", store_hits_);
+    metrics.add_counter("exec.run_ns_total", run_ns_total_);
+    std::uint64_t run_ns_max = 0;
+    for (const auto& slot : slots_)
+      run_ns_max = std::max(run_ns_max, slot->run_ns);
+    metrics.add_counter("exec.run_ns_max", run_ns_max);
+    metrics.set_gauge("exec.workers", static_cast<double>(workers_.size()));
+    metrics.set_gauge("exec.cache_bytes", static_cast<double>(cache_bytes_));
+  }
+  if (store_ != nullptr) store_->collect_metrics(metrics);
 }
 
 void ParallelExecutor::clear_cache() {
   std::lock_guard lock(mutex_);
   cache_.clear();
+  lru_.clear();
+  cache_bytes_ = 0;
 }
 
 }  // namespace hs::exec

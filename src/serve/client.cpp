@@ -1,0 +1,163 @@
+#include "serve/client.hpp"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cstring>
+
+#include "common/check.hpp"
+#include "serve/job_codec.hpp"
+#include "serve/protocol.hpp"
+#include "store/result_codec.hpp"
+
+namespace hs::serve {
+
+Client::Client(const std::string& socket_path) {
+  fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  HS_REQUIRE_MSG(fd_ >= 0, "socket(AF_UNIX) failed");
+  sockaddr_un address{};
+  address.sun_family = AF_UNIX;
+  HS_REQUIRE_MSG(socket_path.size() < sizeof(address.sun_path),
+                 "socket path too long for sun_path: " << socket_path);
+  std::strncpy(address.sun_path, socket_path.c_str(),
+               sizeof(address.sun_path) - 1);
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&address),
+                sizeof(address)) != 0) {
+    ::close(fd_);
+    fd_ = -1;
+    HS_REQUIRE_MSG(false, "cannot connect to hsummad at " << socket_path
+                                                          << " (is it running?)");
+  }
+  JsonObject hello;
+  hello["type"] = {std::string("hello")};
+  hello["version"] = {static_cast<double>(kProtocolVersion)};
+  const JsonValue reply = roundtrip({std::move(hello)});
+  HS_REQUIRE_MSG(reply.has("type") && reply.at("type").is_string() &&
+                     reply.at("type").string() == "hello",
+                 "handshake failed: server did not answer hello");
+  HS_REQUIRE_MSG(
+      reply.has("version") && reply.at("version").is_number() &&
+          static_cast<std::uint32_t>(reply.at("version").number()) ==
+              kProtocolVersion,
+      "protocol version mismatch (client speaks " << kProtocolVersion << ")");
+  if (reply.has("fingerprint") && reply.at("fingerprint").is_string())
+    fingerprint_ = reply.at("fingerprint").string();
+}
+
+Client::~Client() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+JsonValue Client::roundtrip(const JsonValue& message) {
+  HS_REQUIRE_MSG(write_frame(fd_, write_json(message)),
+                 "connection to hsummad lost while writing");
+  std::string payload, error;
+  HS_REQUIRE_MSG(read_frame(fd_, &payload, &error),
+                 "connection to hsummad lost while reading"
+                     << (error.empty() ? std::string()
+                                       : std::string(": ") + error));
+  std::string parse_error;
+  JsonValue reply = parse_json(payload, &parse_error);
+  HS_REQUIRE_MSG(parse_error.empty(),
+                 "undecodable frame from server: " << parse_error);
+  return reply;
+}
+
+std::vector<JobOutcome> Client::run_batch(
+    const std::vector<exec::SimJob>& jobs,
+    std::vector<std::string>* raw_frames) {
+  const double batch = static_cast<double>(next_batch_++);
+  {
+    JsonObject submit;
+    submit["type"] = {std::string("submit")};
+    submit["batch"] = {batch};
+    JsonArray encoded;
+    encoded.reserve(jobs.size());
+    for (const exec::SimJob& job : jobs)
+      encoded.push_back(sim_job_to_json(job));
+    submit["jobs"] = {std::move(encoded)};
+    HS_REQUIRE_MSG(write_frame(fd_, write_json(JsonValue{std::move(submit)})),
+                   "connection to hsummad lost while submitting batch");
+  }
+  std::vector<JobOutcome> outcomes(jobs.size());
+  std::size_t received = 0;
+  for (;;) {
+    std::string payload, error;
+    HS_REQUIRE_MSG(read_frame(fd_, &payload, &error),
+                   "connection to hsummad lost mid-batch ("
+                       << received << "/" << jobs.size() << " results in)"
+                       << (error.empty() ? std::string()
+                                         : std::string(": ") + error));
+    std::string parse_error;
+    const JsonValue message = parse_json(payload, &parse_error);
+    HS_REQUIRE_MSG(parse_error.empty() && message.has("type") &&
+                       message.at("type").is_string(),
+                   "undecodable frame from server mid-batch");
+    const std::string& type = message.at("type").string();
+    if (type == "batch_done") break;
+    if (type == "error") {
+      HS_REQUIRE_MSG(false, "server error: "
+                                << (message.has("message")
+                                        ? message.at("message").string()
+                                        : std::string("<no message>")));
+    }
+    HS_REQUIRE_MSG(type == "result",
+                   "unexpected '" << type << "' frame inside a batch");
+    HS_REQUIRE_MSG(message.has("index") && message.at("index").is_number(),
+                   "result frame without an index");
+    const std::size_t index =
+        static_cast<std::size_t>(message.at("index").number());
+    HS_REQUIRE_MSG(index < outcomes.size(),
+                   "result index " << index << " out of range");
+    if (raw_frames != nullptr) raw_frames->push_back(payload);
+    if (message.has("error") && message.at("error").is_string()) {
+      outcomes[index].error = message.at("error").string();
+    } else {
+      HS_REQUIRE_MSG(message.has("result"),
+                     "result frame carries neither result nor error");
+      std::string decode_error;
+      std::optional<core::RunResult> result =
+          store::run_result_from_json(message.at("result"), &decode_error);
+      HS_REQUIRE_MSG(result.has_value(),
+                     "undecodable result payload: " << decode_error);
+      outcomes[index].result = std::move(*result);
+    }
+    ++received;
+  }
+  HS_REQUIRE_MSG(received == jobs.size(),
+                 "batch_done after " << received << " of " << jobs.size()
+                                     << " results");
+  return outcomes;
+}
+
+JsonValue Client::stats() {
+  JsonObject request;
+  request["type"] = {std::string("stats")};
+  JsonValue reply = roundtrip({std::move(request)});
+  HS_REQUIRE_MSG(reply.has("type") && reply.at("type").is_string() &&
+                     reply.at("type").string() == "stats",
+                 "server did not answer stats");
+  return reply;
+}
+
+std::optional<double> Client::counter(const std::string& name) {
+  const JsonValue reply = stats();
+  if (!reply.has("counters") || !reply.at("counters").is_object())
+    return std::nullopt;
+  const JsonValue& counters = reply.at("counters");
+  if (!counters.has(name) || !counters.at(name).is_number())
+    return std::nullopt;
+  return counters.at(name).number();
+}
+
+void Client::shutdown_server() {
+  JsonObject request;
+  request["type"] = {std::string("shutdown")};
+  const JsonValue reply = roundtrip({std::move(request)});
+  HS_REQUIRE_MSG(reply.has("type") && reply.at("type").is_string() &&
+                     reply.at("type").string() == "bye",
+                 "server did not acknowledge shutdown");
+}
+
+}  // namespace hs::serve

@@ -1,0 +1,74 @@
+// Client side of the persistent sweep service.
+//
+// A Client owns one AF_UNIX connection to a running hsummad, performs the
+// hello handshake on construction (verifying the protocol version and
+// learning the server's simulator fingerprint), and exposes the message
+// vocabulary as blocking calls. run_batch streams the per-job result
+// frames as the server emits them, so a long sweep's early results are
+// decoded while later jobs still simulate.
+//
+// The raw result-frame payloads are optionally surfaced verbatim: the
+// serve stress test asserts that concurrent clients submitting the same
+// batch receive byte-identical streams, which is the wire-level proof of
+// cross-client dedupe + canonical encoding.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/json.hpp"
+#include "core/runner.hpp"
+#include "exec/sim_job.hpp"
+
+namespace hs::serve {
+
+/// One job's outcome from a batch: either a result or a server-side error
+/// (decode failure or simulation failure), never both.
+struct JobOutcome {
+  core::RunResult result;
+  std::string error;
+  bool ok() const noexcept { return error.empty(); }
+};
+
+class Client {
+ public:
+  /// Connect to the server socket and handshake. Throws PreconditionError
+  /// if the socket cannot be reached or the server speaks a different
+  /// protocol version.
+  explicit Client(const std::string& socket_path);
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+  ~Client();
+
+  /// The server's simulator fingerprint (store namespace), from hello.
+  const std::string& fingerprint() const noexcept { return fingerprint_; }
+
+  /// Submit `jobs` as one batch and block until every job's result frame
+  /// (and the batch_done frame) arrived. Outcomes are in job order. When
+  /// `raw_frames` is non-null it receives the exact payload bytes of each
+  /// result frame, in order, for byte-identity assertions.
+  std::vector<JobOutcome> run_batch(
+      const std::vector<exec::SimJob>& jobs,
+      std::vector<std::string>* raw_frames = nullptr);
+
+  /// The server's stats message (counters object under "counters").
+  JsonValue stats();
+
+  /// Convenience: one counter out of stats(), or nullopt if absent.
+  std::optional<double> counter(const std::string& name);
+
+  /// Ask the server to shut down; returns once the bye frame arrived.
+  void shutdown_server();
+
+ private:
+  /// Send one message and read one reply frame (which must parse).
+  JsonValue roundtrip(const JsonValue& message);
+
+  int fd_ = -1;
+  std::string fingerprint_;
+  std::uint64_t next_batch_ = 0;
+};
+
+}  // namespace hs::serve

@@ -1,0 +1,149 @@
+// hsumma-client: thin command-line front end for a running hsummad.
+//
+//   hsumma-client --socket /tmp/hsummad.sock --example > jobs.json
+//   hsumma-client --socket /tmp/hsummad.sock --submit jobs.json --csv out.csv
+//   hsumma-client --socket /tmp/hsummad.sock --stats
+//   hsumma-client --socket /tmp/hsummad.sock --shutdown
+//
+// The submit file is a JSON array of job objects in the serve/job_codec
+// format (see --example for a template). Results print as one CSV row per
+// job, in job order, bit-exact across cold runs, warm-store runs and other
+// clients' runs of the same batch.
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "common/check.hpp"
+#include "common/cli.hpp"
+#include "serve/client.hpp"
+#include "serve/job_codec.hpp"
+
+namespace {
+
+void write_csv(std::ostream& out,
+               const std::vector<hs::serve::JobOutcome>& outcomes) {
+  out << "job,total_time,comm_time,comp_time,messages,wire_bytes,max_error,"
+         "status\n";
+  char buffer[64];
+  for (std::size_t i = 0; i < outcomes.size(); ++i) {
+    const hs::serve::JobOutcome& outcome = outcomes[i];
+    if (!outcome.ok()) {
+      out << i << ",,,,,,," << "failed: " << outcome.error << "\n";
+      continue;
+    }
+    out << i;
+    for (const double value :
+         {outcome.result.timing.total_time, outcome.result.timing.max_comm_time,
+          outcome.result.timing.max_comp_time}) {
+      std::snprintf(buffer, sizeof buffer, "%.6f", value);
+      out << ',' << buffer;
+    }
+    out << ',' << outcome.result.messages << ',' << outcome.result.wire_bytes
+        << ',' << outcome.result.max_error << ",ok\n";
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string socket_path = "/tmp/hsummad.sock";
+  std::string submit_path;
+  std::string csv_path;
+  bool stats = false;
+  bool shutdown = false;
+  bool example = false;
+
+  hs::CliParser cli("hsumma-client — submit job batches to a running hsummad");
+  cli.add_string("socket", "AF_UNIX socket path of the server", &socket_path);
+  cli.add_string("submit", "JSON file holding an array of wire jobs",
+                 &submit_path);
+  cli.add_string("csv", "write submit results here instead of stdout",
+                 &csv_path);
+  cli.add_flag("stats", "print the server's counters and exit", &stats);
+  cli.add_flag("shutdown", "ask the server to shut down and exit", &shutdown);
+  cli.add_flag("example", "print an example one-job submit file and exit",
+               &example);
+  if (!cli.parse(argc, argv)) return 1;
+
+  if (example) {
+    // A small runnable template the user can edit.
+    hs::exec::SimJob job;
+    job.platform = hs::net::Platform::by_name("grid5000");
+    job.gamma_flop = job.platform.gamma_flop;
+    job.ranks = 16;
+    job.groups = 4;
+    job.problem = hs::core::ProblemSpec::square(256, 32);
+    hs::JsonArray jobs;
+    jobs.push_back(hs::serve::sim_job_to_json(job));
+    std::cout << hs::write_json(hs::JsonValue{std::move(jobs)}) << "\n";
+    return 0;
+  }
+
+  try {
+    hs::serve::Client client(socket_path);
+    if (stats) {
+      std::cout << hs::write_json(client.stats()) << "\n";
+      return 0;
+    }
+    if (shutdown) {
+      client.shutdown_server();
+      std::cout << "server shut down\n";
+      return 0;
+    }
+    if (submit_path.empty()) {
+      std::cerr << "nothing to do: pass --submit, --stats, --shutdown or "
+                   "--example (see --help)\n";
+      return 1;
+    }
+    std::ifstream in(submit_path);
+    if (!in) {
+      std::cerr << "cannot read " << submit_path << "\n";
+      return 1;
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+    std::string parse_error;
+    const hs::JsonValue batch = hs::parse_json(text.str(), &parse_error);
+    if (!parse_error.empty() || !batch.is_array()) {
+      std::cerr << submit_path << ": "
+                << (parse_error.empty() ? "expected a JSON array of jobs"
+                                        : parse_error)
+                << "\n";
+      return 1;
+    }
+    std::vector<hs::exec::SimJob> jobs;
+    jobs.reserve(batch.array().size());
+    for (std::size_t i = 0; i < batch.array().size(); ++i) {
+      std::string decode_error;
+      std::optional<hs::exec::SimJob> job =
+          hs::serve::sim_job_from_json(batch.array()[i], &decode_error);
+      if (!job.has_value()) {
+        std::cerr << submit_path << ": job " << i << ": " << decode_error
+                  << "\n";
+        return 1;
+      }
+      jobs.push_back(std::move(*job));
+    }
+    const std::vector<hs::serve::JobOutcome> outcomes = client.run_batch(jobs);
+    if (csv_path.empty()) {
+      write_csv(std::cout, outcomes);
+    } else {
+      std::ofstream out(csv_path);
+      if (!out) {
+        std::cerr << "cannot write " << csv_path << "\n";
+        return 1;
+      }
+      write_csv(out, outcomes);
+      std::cout << "wrote " << outcomes.size() << " results to " << csv_path
+                << "\n";
+    }
+    std::size_t failed = 0;
+    for (const hs::serve::JobOutcome& outcome : outcomes)
+      if (!outcome.ok()) ++failed;
+    return failed == 0 ? 0 : 1;
+  } catch (const std::exception& e) {
+    std::cerr << e.what() << "\n";
+    return 1;
+  }
+}

@@ -1,0 +1,82 @@
+// hsummad: the persistent sweep service daemon.
+//
+// Runs one shared ParallelExecutor (and optionally one on-disk result
+// store) behind an AF_UNIX socket; any number of sweep clients connect,
+// submit job batches, and stream results back. Identical jobs — across
+// batches, across clients, across server restarts when a --cache-dir is
+// given — run at most one engine between them.
+//
+//   hsummad --socket /tmp/hsummad.sock --cache-dir ~/.cache/hsumma
+//
+// Shuts down on SIGINT/SIGTERM or a client's {"type":"shutdown"} frame.
+#include <unistd.h>
+
+#include <csignal>
+#include <cstdio>
+#include <thread>
+
+#include "common/cli.hpp"
+#include "serve/server.hpp"
+
+namespace {
+
+int g_wake_pipe[2] = {-1, -1};
+
+void on_signal(int) {
+  const char byte = 's';
+  // write() is async-signal-safe; everything interesting happens in main.
+  [[maybe_unused]] const ssize_t wrote = ::write(g_wake_pipe[1], &byte, 1);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string socket_path = "/tmp/hsummad.sock";
+  long long jobs = 0;
+  std::string cache_dir;
+  long long cache_mb = 64;
+  long long store_mb = 0;
+
+  hs::CliParser cli(
+      "hsummad — long-lived sweep job server with cross-client dedupe and "
+      "an optional content-addressed on-disk result store");
+  cli.add_string("socket", "AF_UNIX socket path to listen on", &socket_path);
+  cli.add_int("jobs", "worker threads (0 = one per hardware thread)", &jobs);
+  cli.add_string("cache-dir",
+                 "on-disk result store root (empty = memory only)",
+                 &cache_dir);
+  cli.add_int("cache-mb", "in-memory result cache budget in MiB", &cache_mb);
+  cli.add_int("store-mb", "on-disk store budget in MiB (0 = unbounded)",
+              &store_mb);
+  if (!cli.parse(argc, argv)) return 1;
+
+  if (::pipe(g_wake_pipe) != 0) {
+    std::perror("pipe");
+    return 1;
+  }
+  std::signal(SIGINT, on_signal);
+  std::signal(SIGTERM, on_signal);
+  std::signal(SIGPIPE, SIG_IGN);
+
+  hs::serve::Server server({
+      .socket_path = socket_path,
+      .jobs = static_cast<int>(jobs),
+      .cache_dir = cache_dir,
+      .cache_bytes = static_cast<std::uint64_t>(cache_mb) << 20,
+      .store_bytes = static_cast<std::uint64_t>(store_mb) << 20,
+  });
+  server.start();
+
+  // Wake on either shutdown source: a signal writes to the pipe directly;
+  // a client shutdown frame trips wait_for_shutdown in the relay thread.
+  std::thread relay([&server] {
+    server.wait_for_shutdown();
+    on_signal(0);
+  });
+  char byte = 0;
+  while (::read(g_wake_pipe[0], &byte, 1) < 0 && errno == EINTR) {
+  }
+  server.stop();  // also releases wait_for_shutdown, so the relay exits
+  relay.join();
+  return 0;
+}

@@ -1,0 +1,249 @@
+#include "serve/job_codec.hpp"
+
+#include <cstdlib>
+
+#include "common/check.hpp"
+#include "core/kernel_registry.hpp"
+#include "net/model.hpp"
+
+namespace hs::serve {
+
+namespace {
+
+JsonValue hex_double(double value) { return {net::describe_double(value)}; }
+
+JsonValue dec_u64(std::uint64_t value) { return {std::to_string(value)}; }
+
+bool fail(std::string* error, const std::string& why) {
+  if (error != nullptr) *error = why;
+  return false;
+}
+
+bool read_hex_double(const JsonValue& object, const std::string& key,
+                     double* out, std::string* error) {
+  if (!object.has(key) || !object.at(key).is_string())
+    return fail(error, "job field '" + key + "' missing or not a string");
+  const std::string& text = object.at(key).string();
+  char* end = nullptr;
+  *out = std::strtod(text.c_str(), &end);
+  if (text.empty() || end != text.c_str() + text.size())
+    return fail(error, "job field '" + key + "' is not a parseable double");
+  return true;
+}
+
+bool read_u64(const JsonValue& object, const std::string& key,
+              std::uint64_t* out, std::string* error) {
+  if (!object.has(key) || !object.at(key).is_string())
+    return fail(error, "job field '" + key + "' missing or not a string");
+  const std::string& text = object.at(key).string();
+  char* end = nullptr;
+  *out = std::strtoull(text.c_str(), &end, 10);
+  if (text.empty() || end != text.c_str() + text.size())
+    return fail(error, "job field '" + key + "' is not a counter");
+  return true;
+}
+
+bool read_int(const JsonValue& object, const std::string& key, int* out,
+              std::string* error) {
+  if (!object.has(key) || !object.at(key).is_number())
+    return fail(error, "job field '" + key + "' missing or not a number");
+  *out = static_cast<int>(object.at(key).number());
+  return true;
+}
+
+bool read_index(const JsonValue& object, const std::string& key,
+                long long* out, std::string* error) {
+  if (!object.has(key) || !object.at(key).is_number())
+    return fail(error, "job field '" + key + "' missing or not a number");
+  *out = static_cast<long long>(object.at(key).number());
+  return true;
+}
+
+bool read_bool(const JsonValue& object, const std::string& key, bool* out,
+               std::string* error) {
+  if (!object.has(key) || !std::holds_alternative<bool>(object.at(key).value))
+    return fail(error, "job field '" + key + "' missing or not a bool");
+  *out = std::get<bool>(object.at(key).value);
+  return true;
+}
+
+bool read_string(const JsonValue& object, const std::string& key,
+                 std::string* out, std::string* error) {
+  if (!object.has(key) || !object.at(key).is_string())
+    return fail(error, "job field '" + key + "' missing or not a string");
+  *out = object.at(key).string();
+  return true;
+}
+
+JsonValue int_levels(const std::vector<int>& levels) {
+  JsonArray array;
+  array.reserve(levels.size());
+  for (const int level : levels)
+    array.push_back({static_cast<double>(level)});
+  return {std::move(array)};
+}
+
+bool read_levels(const JsonValue& object, const std::string& key,
+                 std::vector<int>* out, std::string* error) {
+  if (!object.has(key) || !object.at(key).is_array())
+    return fail(error, "job field '" + key + "' missing or not an array");
+  for (const JsonValue& level : object.at(key).array()) {
+    if (!level.is_number())
+      return fail(error, "job field '" + key + "' has a non-number entry");
+    out->push_back(static_cast<int>(level.number()));
+  }
+  return true;
+}
+
+}  // namespace
+
+JsonValue sim_job_to_json(const exec::SimJob& job) {
+  HS_REQUIRE_MSG(job.network == nullptr,
+                 "only platform-described jobs are wire-expressible; this "
+                 "job carries an explicit NetworkModel");
+  HS_REQUIRE_MSG(job.recorder == nullptr && job.metrics == nullptr,
+                 "jobs with observability sinks cannot be serialized");
+  JsonObject object;
+  object["platform"] = {job.platform.name};
+  object["alpha"] = hex_double(job.platform.alpha);
+  object["beta"] = hex_double(job.platform.beta);
+  object["gamma"] = hex_double(job.gamma_flop);
+  object["collective_mode"] = {
+      job.collective_mode == mpc::CollectiveMode::PointToPoint
+          ? std::string("p2p")
+          : std::string("closed")};
+  object["machine_bcast"] = {std::string(to_string(job.machine_bcast_algo))};
+  object["algorithm"] = {std::string(core::to_string(job.algorithm))};
+  object["grid_rows"] = {static_cast<double>(job.grid.rows)};
+  object["grid_cols"] = {static_cast<double>(job.grid.cols)};
+  object["ranks"] = {static_cast<double>(job.ranks)};
+  object["layers"] = {static_cast<double>(job.layers)};
+  object["groups"] = {static_cast<double>(job.groups)};
+  object["hierarchy"] = {job.hierarchy.to_string()};
+  object["row_levels"] = int_levels(job.row_levels);
+  object["col_levels"] = int_levels(job.col_levels);
+  object["m"] = {static_cast<double>(job.problem.m)};
+  object["k"] = {static_cast<double>(job.problem.k)};
+  object["n"] = {static_cast<double>(job.problem.n)};
+  object["block"] = {static_cast<double>(job.problem.block)};
+  object["outer_block"] = {static_cast<double>(job.problem.outer_block)};
+  object["mode"] = {job.mode == core::PayloadMode::Real
+                        ? std::string("real")
+                        : std::string("phantom")};
+  object["bcast"] = {job.bcast_algo.has_value()
+                         ? std::string(to_string(*job.bcast_algo))
+                         : std::string("default")};
+  object["overlap"] = {job.overlap};
+  object["lookahead"] = {static_cast<double>(job.lookahead)};
+  object["verify"] = {job.verify};
+  object["seed"] = dec_u64(job.seed);
+  JsonArray gammas;
+  gammas.reserve(job.rank_gamma.size());
+  for (const double g : job.rank_gamma) gammas.push_back(hex_double(g));
+  object["rank_gamma"] = {std::move(gammas)};
+  object["noise_sigma"] = hex_double(job.noise_sigma);
+  object["noise_seed"] = dec_u64(job.noise_seed);
+  object["faults"] = {job.faults != nullptr ? job.faults->canonical()
+                                            : std::string()};
+  return {std::move(object)};
+}
+
+std::optional<exec::SimJob> sim_job_from_json(const JsonValue& json,
+                                              std::string* error) {
+  if (!json.is_object()) {
+    fail(error, "job is not a JSON object");
+    return std::nullopt;
+  }
+  exec::SimJob job;
+  std::string platform_name, collective, machine_bcast, algorithm, hierarchy,
+      mode, bcast, faults;
+  long long m = 0, k = 0, n = 0, block = 0, outer_block = 0;
+  if (!read_string(json, "platform", &platform_name, error) ||
+      !read_hex_double(json, "alpha", &job.platform.alpha, error) ||
+      !read_hex_double(json, "beta", &job.platform.beta, error) ||
+      !read_hex_double(json, "gamma", &job.gamma_flop, error) ||
+      !read_string(json, "collective_mode", &collective, error) ||
+      !read_string(json, "machine_bcast", &machine_bcast, error) ||
+      !read_string(json, "algorithm", &algorithm, error) ||
+      !read_int(json, "grid_rows", &job.grid.rows, error) ||
+      !read_int(json, "grid_cols", &job.grid.cols, error) ||
+      !read_int(json, "ranks", &job.ranks, error) ||
+      !read_int(json, "layers", &job.layers, error) ||
+      !read_int(json, "groups", &job.groups, error) ||
+      !read_string(json, "hierarchy", &hierarchy, error) ||
+      !read_levels(json, "row_levels", &job.row_levels, error) ||
+      !read_levels(json, "col_levels", &job.col_levels, error) ||
+      !read_index(json, "m", &m, error) ||
+      !read_index(json, "k", &k, error) ||
+      !read_index(json, "n", &n, error) ||
+      !read_index(json, "block", &block, error) ||
+      !read_index(json, "outer_block", &outer_block, error) ||
+      !read_string(json, "mode", &mode, error) ||
+      !read_string(json, "bcast", &bcast, error) ||
+      !read_bool(json, "overlap", &job.overlap, error) ||
+      !read_int(json, "lookahead", &job.lookahead, error) ||
+      !read_bool(json, "verify", &job.verify, error) ||
+      !read_u64(json, "seed", &job.seed, error) ||
+      !read_hex_double(json, "noise_sigma", &job.noise_sigma, error) ||
+      !read_u64(json, "noise_seed", &job.noise_seed, error) ||
+      !read_string(json, "faults", &faults, error))
+    return std::nullopt;
+  job.platform.name = platform_name;
+  job.problem.m = m;
+  job.problem.k = k;
+  job.problem.n = n;
+  job.problem.block = block;
+  job.problem.outer_block = outer_block;
+  if (collective == "p2p") {
+    job.collective_mode = mpc::CollectiveMode::PointToPoint;
+  } else if (collective == "closed") {
+    job.collective_mode = mpc::CollectiveMode::ClosedForm;
+  } else {
+    fail(error, "unknown collective_mode '" + collective + "'");
+    return std::nullopt;
+  }
+  if (mode == "real") {
+    job.mode = core::PayloadMode::Real;
+  } else if (mode == "phantom") {
+    job.mode = core::PayloadMode::Phantom;
+  } else {
+    fail(error, "unknown payload mode '" + mode + "'");
+    return std::nullopt;
+  }
+  // Name lookups throw PreconditionError with the full legal list; convert
+  // to a soft decode error so one bad job fails, not the server connection.
+  try {
+    job.machine_bcast_algo = net::bcast_algo_from_string(machine_bcast);
+    job.algorithm = core::algorithm_from_string(algorithm);
+    job.hierarchy = core::GroupHierarchy::parse(hierarchy);
+    if (bcast != "default") job.bcast_algo = net::bcast_algo_from_string(bcast);
+    if (!faults.empty())
+      job.faults =
+          std::make_shared<const fault::FaultPlan>(fault::FaultPlan::parse(faults));
+  } catch (const std::exception& e) {
+    fail(error, e.what());
+    return std::nullopt;
+  }
+  if (json.has("rank_gamma") && json.at("rank_gamma").is_array()) {
+    for (const JsonValue& g : json.at("rank_gamma").array()) {
+      if (!g.is_string()) {
+        fail(error, "job field 'rank_gamma' has a non-hexfloat entry");
+        return std::nullopt;
+      }
+      char* end = nullptr;
+      const std::string& text = g.string();
+      const double parsed = std::strtod(text.c_str(), &end);
+      if (text.empty() || end != text.c_str() + text.size()) {
+        fail(error, "job field 'rank_gamma' has a malformed entry");
+        return std::nullopt;
+      }
+      job.rank_gamma.push_back(parsed);
+    }
+  } else {
+    fail(error, "job field 'rank_gamma' missing or not an array");
+    return std::nullopt;
+  }
+  return job;
+}
+
+}  // namespace hs::serve

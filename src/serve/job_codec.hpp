@@ -1,0 +1,35 @@
+// JSON codec for exec::SimJob: the serve protocol's job description.
+//
+// A wire job is the *declarative* subset of SimJob — everything that is a
+// value (platform Hockney parameters, kernel, grid, problem, hierarchy,
+// look-ahead, seeds, noise, fault spec), nothing that is a pointer into
+// the submitting process (explicit NetworkModel instances, observability
+// sinks). That subset is exactly the cacheable subset, which is the point:
+// every job a client can express round-trips through JSON into a job whose
+// cache_key() is byte-identical on the server, so cross-client dedupe and
+// the shared store work on the canonical key alone.
+//
+// Doubles travel as hexfloat strings (bit-exact; same convention as the
+// cache key itself), 64-bit seeds as decimal strings.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "common/json.hpp"
+#include "exec/sim_job.hpp"
+
+namespace hs::serve {
+
+/// SimJob -> canonical JSON object. Requires a wire-expressible job:
+/// network == nullptr and no recorder/metrics sinks (HS_REQUIRE otherwise).
+/// Fields at their defaults are still written — the codec is explicit, not
+/// sparse — so two encodings of equal jobs are byte-identical.
+JsonValue sim_job_to_json(const exec::SimJob& job);
+
+/// Inverse of sim_job_to_json. nullopt on malformed input; `error`
+/// (optional) receives a diagnostic naming the offending field.
+std::optional<exec::SimJob> sim_job_from_json(const JsonValue& json,
+                                              std::string* error = nullptr);
+
+}  // namespace hs::serve

@@ -1,0 +1,93 @@
+#include "serve/protocol.hpp"
+
+#include <errno.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+
+namespace hs::serve {
+
+namespace {
+
+bool write_all(int fd, const char* bytes, std::size_t count) {
+  while (count > 0) {
+    // MSG_NOSIGNAL: a peer that hung up yields EPIPE instead of killing
+    // the whole server with SIGPIPE. Falls back to write() so the frame
+    // functions still work over plain pipes/socketpairs in tests.
+    ssize_t wrote = ::send(fd, bytes, count, MSG_NOSIGNAL);
+    if (wrote < 0 && errno == ENOTSOCK) wrote = ::write(fd, bytes, count);
+    if (wrote < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    bytes += wrote;
+    count -= static_cast<std::size_t>(wrote);
+  }
+  return true;
+}
+
+/// Returns bytes read; short only at EOF.
+std::size_t read_all(int fd, char* bytes, std::size_t count) {
+  std::size_t total = 0;
+  while (total < count) {
+    const ssize_t got = ::read(fd, bytes + total, count - total);
+    if (got < 0) {
+      if (errno == EINTR) continue;
+      return total;
+    }
+    if (got == 0) return total;  // EOF
+    total += static_cast<std::size_t>(got);
+  }
+  return total;
+}
+
+}  // namespace
+
+bool write_frame(int fd, std::string_view payload) {
+  if (payload.size() > kMaxFrameBytes) return false;
+  char header[8];
+  std::memcpy(header, kFrameMagic, 4);
+  const std::uint32_t length = static_cast<std::uint32_t>(payload.size());
+  header[4] = static_cast<char>(length & 0xFF);
+  header[5] = static_cast<char>((length >> 8) & 0xFF);
+  header[6] = static_cast<char>((length >> 16) & 0xFF);
+  header[7] = static_cast<char>((length >> 24) & 0xFF);
+  if (!write_all(fd, header, sizeof header)) return false;
+  return write_all(fd, payload.data(), payload.size());
+}
+
+bool read_frame(int fd, std::string* payload, std::string* error) {
+  if (error != nullptr) error->clear();
+  char header[8];
+  const std::size_t got = read_all(fd, header, sizeof header);
+  if (got == 0) return false;  // clean EOF between frames
+  if (got != sizeof header) {
+    if (error != nullptr) *error = "torn frame header";
+    return false;
+  }
+  if (std::memcmp(header, kFrameMagic, 4) != 0) {
+    if (error != nullptr) *error = "bad frame magic";
+    return false;
+  }
+  const std::uint32_t length =
+      static_cast<std::uint32_t>(static_cast<unsigned char>(header[4])) |
+      (static_cast<std::uint32_t>(static_cast<unsigned char>(header[5])) << 8) |
+      (static_cast<std::uint32_t>(static_cast<unsigned char>(header[6]))
+       << 16) |
+      (static_cast<std::uint32_t>(static_cast<unsigned char>(header[7]))
+       << 24);
+  if (length > kMaxFrameBytes) {
+    if (error != nullptr)
+      *error = "frame length " + std::to_string(length) + " exceeds limit";
+    return false;
+  }
+  payload->resize(length);
+  if (read_all(fd, payload->data(), length) != length) {
+    if (error != nullptr) *error = "torn frame payload";
+    return false;
+  }
+  return true;
+}
+
+}  // namespace hs::serve

@@ -1,0 +1,56 @@
+// Frame protocol for the persistent sweep service (hsummad).
+//
+// Transport is a byte stream (the repo uses AF_UNIX SOCK_STREAM sockets);
+// each message is one length-prefixed frame:
+//
+//   offset 0   4 bytes   magic "HSRV"
+//   offset 4   4 bytes   payload length N, little-endian u32 (<= 64 MiB)
+//   offset 8   N bytes   payload: one JSON document (hs::parse_json /
+//                        hs::write_json — the canonical writer, so equal
+//                        messages are equal bytes)
+//
+// Messages are JSON objects dispatched on their "type" field:
+//
+//   client -> server
+//     {"type":"hello","version":1}
+//     {"type":"submit","batch":B,"jobs":[<job_codec objects>...]}
+//     {"type":"stats"}
+//     {"type":"shutdown"}
+//   server -> client
+//     {"type":"hello","version":1,"fingerprint":"<hex16>"}
+//     {"type":"result","batch":B,"index":I,"result":<result_codec object>}
+//     {"type":"result","batch":B,"index":I,"error":"..."}     per-job failure
+//     {"type":"batch_done","batch":B,"jobs":N}
+//     {"type":"stats","counters":{...}}   executor + store + server counters
+//     {"type":"bye"}                      shutdown acknowledged
+//     {"type":"error","message":"..."}    malformed frame; connection closes
+//
+// A submit streams one "result" frame per job in *submission index order*
+// as the completed prefix grows (deterministic streaming: every client
+// asking for the same batch receives byte-identical frames, which the
+// serve stress test asserts), then one "batch_done".
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace hs::serve {
+
+inline constexpr std::uint32_t kProtocolVersion = 1;
+inline constexpr char kFrameMagic[4] = {'H', 'S', 'R', 'V'};
+/// Upper bound on one frame's payload; a million-point batch of wire jobs
+/// fits comfortably, while a corrupt length field cannot OOM the peer.
+inline constexpr std::uint32_t kMaxFrameBytes = 64u << 20;
+
+/// Write one frame (header + payload) to `fd`, looping over partial
+/// writes. Returns false on any write error (EPIPE when the peer hung up).
+bool write_frame(int fd, std::string_view payload);
+
+/// Read one frame from `fd` into `payload`, looping over partial reads.
+/// Returns false on EOF before a header (clean close), a torn header/
+/// payload, bad magic, or an oversized length; `error` (optional) gets a
+/// diagnostic for the non-clean cases and stays empty on clean EOF.
+bool read_frame(int fd, std::string* payload, std::string* error = nullptr);
+
+}  // namespace hs::serve

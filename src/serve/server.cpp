@@ -1,0 +1,281 @@
+#include "serve/server.hpp"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cstring>
+
+#include "common/check.hpp"
+#include "common/logging.hpp"
+#include "serve/job_codec.hpp"
+#include "serve/protocol.hpp"
+#include "store/fingerprint.hpp"
+#include "store/result_codec.hpp"
+
+namespace hs::serve {
+
+namespace {
+
+JsonValue error_message(const std::string& message) {
+  JsonObject object;
+  object["type"] = {std::string("error")};
+  object["message"] = {message};
+  return {std::move(object)};
+}
+
+}  // namespace
+
+Server::Server(ServerOptions options) : options_(std::move(options)) {
+  HS_REQUIRE_MSG(!options_.socket_path.empty(),
+                 "hsummad needs a socket path");
+  if (!options_.cache_dir.empty())
+    store_ = std::make_shared<store::ResultStore>(store::StoreOptions{
+        .root = options_.cache_dir, .byte_budget = options_.store_bytes});
+  executor_ = std::make_unique<exec::ParallelExecutor>(exec::ExecutorOptions{
+      .jobs = options_.jobs,
+      .cache = true,
+      .cache_bytes = options_.cache_bytes,
+      .store = store_});
+  fingerprint_ = store_ != nullptr ? store_->fingerprint()
+                                   : store::simulator_fingerprint();
+}
+
+Server::~Server() { stop(); }
+
+void Server::start() {
+  {
+    std::lock_guard lock(mutex_);
+    HS_REQUIRE_MSG(!started_, "Server::start called twice");
+    started_ = true;
+  }
+  listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  HS_REQUIRE_MSG(listen_fd_ >= 0, "socket(AF_UNIX) failed");
+  sockaddr_un address{};
+  address.sun_family = AF_UNIX;
+  HS_REQUIRE_MSG(options_.socket_path.size() < sizeof(address.sun_path),
+                 "socket path too long for sun_path: "
+                     << options_.socket_path);
+  std::strncpy(address.sun_path, options_.socket_path.c_str(),
+               sizeof(address.sun_path) - 1);
+  ::unlink(options_.socket_path.c_str());  // stale socket from a dead server
+  HS_REQUIRE_MSG(::bind(listen_fd_, reinterpret_cast<sockaddr*>(&address),
+                        sizeof(address)) == 0,
+                 "cannot bind " << options_.socket_path);
+  HS_REQUIRE_MSG(::listen(listen_fd_, 64) == 0,
+                 "cannot listen on " << options_.socket_path);
+  HS_REQUIRE_MSG(::pipe(stop_pipe_) == 0, "pipe() failed");
+  accept_thread_ = std::thread([this] { accept_loop(); });
+  HS_LOG_INFO << "hsummad listening on " << options_.socket_path
+              << "  jobs=" << executor_->jobs() << "  store="
+              << (store_ != nullptr ? store_->namespace_dir()
+                                    : std::string("<memory only>"));
+}
+
+void Server::accept_loop() {
+  for (;;) {
+    pollfd fds[2] = {{listen_fd_, POLLIN, 0}, {stop_pipe_[0], POLLIN, 0}};
+    const int ready = ::poll(fds, 2, -1);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      return;
+    }
+    if ((fds[1].revents & POLLIN) != 0 || stopping_.load()) return;
+    if ((fds[0].revents & POLLIN) == 0) continue;
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return;
+    }
+    std::lock_guard lock(mutex_);
+    if (stopping_.load()) {
+      ::close(fd);
+      return;
+    }
+    live_fds_.push_back(fd);
+    ++clients_served_;
+    connections_.emplace_back([this, fd] { handle_connection(fd); });
+  }
+}
+
+void Server::handle_submit(int fd, const JsonValue& message) {
+  if (!message.has("jobs") || !message.at("jobs").is_array()) {
+    write_frame(fd, write_json(error_message("submit without a jobs array")));
+    return;
+  }
+  const double batch =
+      message.has("batch") && message.at("batch").is_number()
+          ? message.at("batch").number()
+          : 0.0;
+  const JsonArray& jobs = message.at("jobs").array();
+
+  // Decode every job first, then submit the valid ones: the executor runs
+  // them concurrently while we stream the completed prefix back in order.
+  struct Pending {
+    std::size_t submission = 0;
+    std::string decode_error;
+  };
+  std::vector<Pending> pending(jobs.size());
+  std::size_t decode_failures = 0;
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    std::string error;
+    std::optional<exec::SimJob> job = sim_job_from_json(jobs[i], &error);
+    if (!job.has_value()) {
+      pending[i].decode_error = error.empty() ? "undecodable job" : error;
+      ++decode_failures;
+      continue;
+    }
+    pending[i].submission = executor_->submit(std::move(*job));
+  }
+  {
+    std::lock_guard lock(mutex_);
+    jobs_received_ += jobs.size();
+    jobs_failed_ += decode_failures;
+  }
+
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    JsonObject frame;
+    frame["type"] = {std::string("result")};
+    frame["batch"] = {batch};
+    frame["index"] = {static_cast<double>(i)};
+    if (!pending[i].decode_error.empty()) {
+      frame["error"] = {pending[i].decode_error};
+    } else {
+      try {
+        // Blocks until job i is done; later jobs keep running underneath,
+        // so the stream advances as the completed prefix grows.
+        frame["result"] =
+            store::run_result_to_json(executor_->result(pending[i].submission));
+      } catch (const std::exception& e) {
+        frame["error"] = {std::string(e.what())};
+        std::lock_guard lock(mutex_);
+        ++jobs_failed_;
+      }
+    }
+    if (!write_frame(fd, write_json(JsonValue{std::move(frame)}))) return;
+  }
+  JsonObject done;
+  done["type"] = {std::string("batch_done")};
+  done["batch"] = {batch};
+  done["jobs"] = {static_cast<double>(jobs.size())};
+  write_frame(fd, write_json(JsonValue{std::move(done)}));
+  std::lock_guard lock(mutex_);
+  ++batches_served_;
+}
+
+void Server::handle_connection(int fd) {
+  std::string payload, error;
+  while (read_frame(fd, &payload, &error)) {
+    std::string parse_error;
+    const JsonValue message = parse_json(payload, &parse_error);
+    if (!message.is_object() || !message.has("type") ||
+        !message.at("type").is_string()) {
+      write_frame(fd, write_json(error_message(
+                          parse_error.empty() ? "frame is not a typed object"
+                                              : parse_error)));
+      break;
+    }
+    const std::string& type = message.at("type").string();
+    if (type == "hello") {
+      JsonObject reply;
+      reply["type"] = {std::string("hello")};
+      reply["version"] = {static_cast<double>(kProtocolVersion)};
+      reply["fingerprint"] = {fingerprint_};
+      reply["server"] = {std::string("hsummad")};
+      write_frame(fd, write_json(JsonValue{std::move(reply)}));
+    } else if (type == "submit") {
+      handle_submit(fd, message);
+    } else if (type == "stats") {
+      write_frame(fd, write_json(stats_json()));
+    } else if (type == "shutdown") {
+      JsonObject reply;
+      reply["type"] = {std::string("bye")};
+      write_frame(fd, write_json(JsonValue{std::move(reply)}));
+      {
+        std::lock_guard lock(mutex_);
+        shutdown_requested_ = true;
+      }
+      shutdown_cv_.notify_all();
+      break;
+    } else {
+      write_frame(fd,
+                  write_json(error_message("unknown message type '" + type +
+                                           "'")));
+      break;
+    }
+  }
+  if (!error.empty())
+    write_frame(fd, write_json(error_message(error)));
+  ::shutdown(fd, SHUT_RDWR);
+  ::close(fd);
+  std::lock_guard lock(mutex_);
+  for (auto it = live_fds_.begin(); it != live_fds_.end(); ++it)
+    if (*it == fd) {
+      live_fds_.erase(it);
+      break;
+    }
+}
+
+JsonValue Server::stats_json() const {
+  trace::MetricsRegistry metrics;
+  executor_->collect_metrics(metrics);
+  JsonObject counters;
+  for (const auto& [name, value] : metrics.counters())
+    counters[name] = {static_cast<double>(value)};
+  for (const auto& [name, value] : metrics.gauges())
+    counters[name] = {value};
+  {
+    std::lock_guard lock(mutex_);
+    counters["serve.clients_served"] = {static_cast<double>(clients_served_)};
+    counters["serve.batches_served"] = {static_cast<double>(batches_served_)};
+    counters["serve.jobs_received"] = {static_cast<double>(jobs_received_)};
+    counters["serve.jobs_failed"] = {static_cast<double>(jobs_failed_)};
+  }
+  JsonObject reply;
+  reply["type"] = {std::string("stats")};
+  reply["fingerprint"] = {fingerprint_};
+  reply["counters"] = {std::move(counters)};
+  return {std::move(reply)};
+}
+
+void Server::wait_for_shutdown() {
+  std::unique_lock lock(mutex_);
+  shutdown_cv_.wait(lock, [this] { return shutdown_requested_; });
+}
+
+void Server::stop() {
+  bool was_stopping = stopping_.exchange(true);
+  {
+    std::lock_guard lock(mutex_);
+    if (!started_) return;
+    shutdown_requested_ = true;
+  }
+  shutdown_cv_.notify_all();
+  if (!was_stopping && stop_pipe_[1] >= 0) {
+    const char byte = 'x';
+    [[maybe_unused]] const ssize_t wrote = ::write(stop_pipe_[1], &byte, 1);
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+  // Unblock every connection thread stuck in read_frame, then join.
+  std::vector<std::thread> connections;
+  {
+    std::lock_guard lock(mutex_);
+    for (const int fd : live_fds_) ::shutdown(fd, SHUT_RDWR);
+    connections.swap(connections_);
+  }
+  for (std::thread& connection : connections)
+    if (connection.joinable()) connection.join();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    ::unlink(options_.socket_path.c_str());
+  }
+  for (int& fd : stop_pipe_)
+    if (fd >= 0) {
+      ::close(fd);
+      fd = -1;
+    }
+}
+
+}  // namespace hs::serve

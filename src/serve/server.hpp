@@ -1,0 +1,108 @@
+// hsummad: the long-lived sweep job server.
+//
+// One server process owns one exec::ParallelExecutor (the worker pool) and
+// optionally one store::ResultStore (the durable tier), and serves any
+// number of concurrent clients over an AF_UNIX stream socket speaking the
+// frame protocol in serve/protocol.hpp. Every client batch is decoded into
+// SimJobs and submitted to the *shared* executor, which is what makes
+// dedupe cross-client: two clients requesting the same configuration — at
+// the same time or hours apart — trigger at most one engine run between
+// them (in-flight coalescing, the memory cache, or the disk store serve
+// the rest), and the dedupe is observable in the stats frame's counters
+// (exec.engines_run vs serve.jobs_received).
+//
+// Results stream back per job in submission-index order as the completed
+// prefix grows; the executor runs jobs concurrently underneath, so the
+// stream is both pipelined and deterministic — equal batches produce
+// byte-identical response frames for every client.
+//
+// Connection handling is one thread per client: the repo's clients are
+// sweep tools holding a handful of long-lived connections, not a C10K
+// workload, and a blocked read costs nothing while the executor works.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/json.hpp"
+#include "exec/executor.hpp"
+
+namespace hs::serve {
+
+struct ServerOptions {
+  /// AF_UNIX socket path (sun_path limit applies: keep it short). A stale
+  /// socket file from a dead server is unlinked on start.
+  std::string socket_path;
+  /// Executor worker threads; <= 0 selects exec::default_jobs().
+  int jobs = 0;
+  /// On-disk result store root; empty serves from memory only.
+  std::string cache_dir;
+  /// In-memory cache byte budget (see ExecutorOptions::cache_bytes).
+  std::uint64_t cache_bytes = 64ull << 20;
+  /// Disk store byte budget; 0 = unbounded.
+  std::uint64_t store_bytes = 0;
+};
+
+class Server {
+ public:
+  explicit Server(ServerOptions options);
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+  /// Stops if still running.
+  ~Server();
+
+  /// Bind + listen + spawn the accept thread. Throws on bind failure.
+  void start();
+
+  /// Block until a client sent {"type":"shutdown"} (or stop() was called).
+  void wait_for_shutdown();
+
+  /// Tear down: stop accepting, unblock and join every connection thread,
+  /// unlink the socket. Idempotent.
+  void stop();
+
+  const std::string& socket_path() const noexcept {
+    return options_.socket_path;
+  }
+  exec::ParallelExecutor& executor() noexcept { return *executor_; }
+
+  /// The stats-frame counter object: serve.* counters plus every exec.*
+  /// / store.* counter and gauge from the executor.
+  JsonValue stats_json() const;
+
+ private:
+  void accept_loop();
+  void handle_connection(int fd);
+  void handle_submit(int fd, const JsonValue& message);
+
+  ServerOptions options_;
+  std::shared_ptr<store::ResultStore> store_;
+  std::unique_ptr<exec::ParallelExecutor> executor_;
+  std::string fingerprint_;
+
+  int listen_fd_ = -1;
+  int stop_pipe_[2] = {-1, -1};
+  std::thread accept_thread_;
+  std::atomic<bool> stopping_{false};
+
+  mutable std::mutex mutex_;
+  std::condition_variable shutdown_cv_;
+  bool shutdown_requested_ = false;
+  bool started_ = false;
+  std::vector<std::thread> connections_;
+  std::vector<int> live_fds_;
+
+  // serve.* counters (monotonic, under mutex_).
+  std::uint64_t clients_served_ = 0;
+  std::uint64_t batches_served_ = 0;
+  std::uint64_t jobs_received_ = 0;
+  std::uint64_t jobs_failed_ = 0;
+};
+
+}  // namespace hs::serve

@@ -1,0 +1,30 @@
+#include "store/fingerprint.hpp"
+
+#include <cstdio>
+
+#include "core/kernel_registry.hpp"
+#include "core/runner.hpp"
+
+namespace hs::store {
+
+std::uint64_t fnv1a64(std::string_view bytes, std::uint64_t seed) {
+  std::uint64_t hash = 14695981039346656037ull ^ seed;
+  for (const char c : bytes) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 1099511628211ull;
+  }
+  return hash;
+}
+
+std::string simulator_fingerprint() {
+  std::uint64_t hash = fnv1a64(kSimulatorSalt);
+  for (const core::KernelDescriptor& kernel : core::all_kernels())
+    hash = fnv1a64(kernel.name, hash);
+  hash = fnv1a64(std::to_string(sizeof(core::RunResult)), hash);
+  char buffer[17];
+  std::snprintf(buffer, sizeof buffer, "%016llx",
+                static_cast<unsigned long long>(hash));
+  return buffer;
+}
+
+}  // namespace hs::store

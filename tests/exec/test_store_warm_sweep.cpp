@@ -1,0 +1,71 @@
+// The acceptance scenario for the durable tier: a fig5-shaped G-sweep runs
+// cold (engines simulate, store populates), then a fresh executor — a new
+// process for all the cache can tell — replays it entirely from disk with
+// zero engine runs and a byte-identical CSV.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "bench_util.hpp"
+
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << path;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+hs::bench::GSweepParams fig5_shaped(const std::string& csv_path,
+                                    hs::exec::ParallelExecutor* executor) {
+  hs::bench::GSweepParams params;
+  params.title = "warm-store fig5 shape";
+  params.platform = hs::net::Platform::by_name("grid5000");
+  params.ranks = 64;
+  params.problem = hs::core::ProblemSpec::square(1024, 64);
+  params.csv_path = csv_path;
+  params.executor = executor;
+  return params;
+}
+
+TEST(StoreWarmSweep, RestartServesFig5SweepFromDiskByteIdentically) {
+  const std::string dir = testing::TempDir() + "/warm_sweep";
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  const std::string store_root = dir + "/store";
+  const std::string cold_csv = dir + "/cold.csv";
+  const std::string warm_csv = dir + "/warm.csv";
+
+  double cold_best = 0.0, warm_best = 0.0;
+  std::uint64_t cold_engines = 0;
+  {
+    hs::exec::ParallelExecutor executor(
+        hs::bench::executor_options(2, store_root));
+    cold_best = hs::bench::run_g_sweep(fig5_shaped(cold_csv, &executor));
+    cold_engines = executor.engines_run();
+    EXPECT_GT(cold_engines, 0u);
+  }
+  {
+    // Fresh executor + fresh store instance on the same root: exactly what
+    // a rerun of the fig5 binary with --cache-dir does.
+    hs::exec::ParallelExecutor executor(
+        hs::bench::executor_options(2, store_root));
+    warm_best = hs::bench::run_g_sweep(fig5_shaped(warm_csv, &executor));
+    EXPECT_EQ(executor.engines_run(), 0u)
+        << "the warm pass must be served entirely from the store";
+    EXPECT_GT(executor.store_hits(), 0u);
+  }
+  EXPECT_EQ(warm_best, cold_best);
+  const std::string cold_bytes = read_file(cold_csv);
+  ASSERT_FALSE(cold_bytes.empty());
+  EXPECT_EQ(read_file(warm_csv), cold_bytes);
+  fs::remove_all(dir);
+}
+
+}  // namespace

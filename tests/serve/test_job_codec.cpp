@@ -1,0 +1,113 @@
+// SimJob <-> wire JSON: every wire-expressible job must round-trip into a
+// job with a byte-identical cache_key() — that equality is what makes
+// cross-client dedupe and the shared store correct.
+#include "serve/job_codec.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/json.hpp"
+#include "fault/fault_plan.hpp"
+
+namespace {
+
+using hs::exec::SimJob;
+using hs::serve::sim_job_from_json;
+using hs::serve::sim_job_to_json;
+
+SimJob base_job() {
+  SimJob job;
+  job.platform = hs::net::Platform::by_name("grid5000");
+  job.gamma_flop = job.platform.gamma_flop;
+  job.ranks = 16;
+  job.groups = 4;
+  job.problem = hs::core::ProblemSpec::square(256, 32);
+  job.bcast_algo = hs::net::BcastAlgo::ScatterRingAllgather;
+  return job;
+}
+
+void expect_round_trip(const SimJob& job) {
+  const std::string key = job.cache_key();
+  ASSERT_FALSE(key.empty());
+  std::string error;
+  const std::optional<SimJob> back =
+      sim_job_from_json(sim_job_to_json(job), &error);
+  ASSERT_TRUE(back.has_value()) << error;
+  EXPECT_EQ(back->cache_key(), key);
+  EXPECT_EQ(back->platform.name, job.platform.name);
+}
+
+TEST(JobCodec, BaseJobRoundTrips) { expect_round_trip(base_job()); }
+
+TEST(JobCodec, DefaultJobRoundTrips) {
+  // All defaults except ranks: cache_key() derives a grid shape, which
+  // needs at least one rank (a ranks=0 job is not runnable either).
+  SimJob job;
+  job.ranks = 1;
+  expect_round_trip(job);
+}
+
+TEST(JobCodec, OptionRichJobsRoundTrip) {
+  SimJob p2p = base_job();
+  p2p.collective_mode = hs::mpc::CollectiveMode::PointToPoint;
+  p2p.overlap = true;
+  p2p.seed = 0xDEADBEEFCAFEF00Dull;
+  expect_round_trip(p2p);
+
+  SimJob noisy = base_job();
+  noisy.noise_sigma = 0.05;
+  noisy.noise_seed = 2013;
+  noisy.rank_gamma = {1.0, 1.5, 0.25, 1.0};
+  expect_round_trip(noisy);
+
+  SimJob lookahead = base_job();
+  lookahead.lookahead = 3;
+  expect_round_trip(lookahead);
+
+  SimJob faulty = base_job();
+  faulty.faults = std::make_shared<const hs::fault::FaultPlan>(
+      hs::fault::FaultPlan::parse("slow:rank=1,start=0.5,end=inf,factor=4"));
+  expect_round_trip(faulty);
+}
+
+TEST(JobCodec, HierarchyChainRoundTrips) {
+  SimJob job = base_job();
+  job.ranks = 64;
+  job.groups = 1;
+  job.hierarchy = hs::core::GroupHierarchy::parse("16x4");
+  expect_round_trip(job);
+}
+
+TEST(JobCodec, WireTextRoundTrips) {
+  // Through actual serialized bytes, as on the socket.
+  const SimJob job = base_job();
+  const std::string text = hs::write_json(sim_job_to_json(job));
+  std::string error;
+  const hs::JsonValue parsed = hs::parse_json(text, &error);
+  ASSERT_EQ(error, "");
+  const std::optional<SimJob> back = sim_job_from_json(parsed, &error);
+  ASSERT_TRUE(back.has_value()) << error;
+  EXPECT_EQ(back->cache_key(), job.cache_key());
+  // Canonical: re-encoding the decoded job gives identical bytes.
+  EXPECT_EQ(hs::write_json(sim_job_to_json(*back)), text);
+}
+
+TEST(JobCodec, DecodeErrorsNameTheField) {
+  std::string error;
+  EXPECT_FALSE(sim_job_from_json(hs::JsonValue{3.0}, &error).has_value());
+  EXPECT_NE(error, "");
+
+  hs::JsonValue missing = sim_job_to_json(base_job());
+  hs::JsonObject crippled = missing.object();
+  crippled.erase("gamma");
+  EXPECT_FALSE(
+      sim_job_from_json(hs::JsonValue{crippled}, &error).has_value());
+  EXPECT_NE(error.find("gamma"), std::string::npos) << error;
+
+  hs::JsonObject bad_algo = missing.object();
+  bad_algo["algorithm"] = hs::JsonValue{std::string("not-a-kernel")};
+  EXPECT_FALSE(
+      sim_job_from_json(hs::JsonValue{bad_algo}, &error).has_value());
+  EXPECT_NE(error, "") << "unknown kernel must be a soft decode error";
+}
+
+}  // namespace

@@ -1,0 +1,105 @@
+// Frame layer of the serve protocol: length-prefixed JSON over a byte
+// stream. Tested over socketpair(2), which is exactly the AF_UNIX stream
+// transport the server uses.
+#include "serve/protocol.hpp"
+
+#include <gtest/gtest.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <string>
+
+namespace {
+
+using hs::serve::read_frame;
+using hs::serve::write_frame;
+
+class FramePair : public testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds_), 0);
+  }
+  void TearDown() override {
+    close_writer();
+    if (fds_[1] >= 0) ::close(fds_[1]);
+  }
+  void close_writer() {
+    if (fds_[0] >= 0) {
+      ::close(fds_[0]);
+      fds_[0] = -1;
+    }
+  }
+
+  int fds_[2] = {-1, -1};
+};
+
+TEST_F(FramePair, RoundTripsPayloads) {
+  const std::string payloads[] = {"{}", "", std::string(100000, 'x'),
+                                  std::string("\x00\x01\xff binary", 15)};
+  for (const std::string& payload : payloads)
+    ASSERT_TRUE(write_frame(fds_[0], payload));
+  for (const std::string& payload : payloads) {
+    std::string back, error;
+    ASSERT_TRUE(read_frame(fds_[1], &back, &error)) << error;
+    EXPECT_EQ(back, payload);
+    EXPECT_EQ(error, "");
+  }
+}
+
+TEST_F(FramePair, CleanEofIsNotAnError) {
+  ASSERT_TRUE(write_frame(fds_[0], "{}"));
+  close_writer();
+  std::string payload, error;
+  ASSERT_TRUE(read_frame(fds_[1], &payload, &error));
+  EXPECT_FALSE(read_frame(fds_[1], &payload, &error));
+  EXPECT_EQ(error, "") << "EOF between frames is a clean close";
+}
+
+TEST_F(FramePair, TornHeaderIsDiagnosed) {
+  const char partial[3] = {'H', 'S', 'R'};
+  ASSERT_EQ(::send(fds_[0], partial, sizeof partial, 0),
+            static_cast<ssize_t>(sizeof partial));
+  close_writer();
+  std::string payload, error;
+  EXPECT_FALSE(read_frame(fds_[1], &payload, &error));
+  EXPECT_EQ(error, "torn frame header");
+}
+
+TEST_F(FramePair, TornPayloadIsDiagnosed) {
+  const char header[8] = {'H', 'S', 'R', 'V', 10, 0, 0, 0};
+  ASSERT_EQ(::send(fds_[0], header, sizeof header, 0),
+            static_cast<ssize_t>(sizeof header));
+  ASSERT_EQ(::send(fds_[0], "abc", 3, 0), 3);
+  close_writer();
+  std::string payload, error;
+  EXPECT_FALSE(read_frame(fds_[1], &payload, &error));
+  EXPECT_EQ(error, "torn frame payload");
+}
+
+TEST_F(FramePair, BadMagicIsDiagnosed) {
+  const char header[8] = {'J', 'U', 'N', 'K', 0, 0, 0, 0};
+  ASSERT_EQ(::send(fds_[0], header, sizeof header, 0),
+            static_cast<ssize_t>(sizeof header));
+  std::string payload, error;
+  EXPECT_FALSE(read_frame(fds_[1], &payload, &error));
+  EXPECT_EQ(error, "bad frame magic");
+}
+
+TEST_F(FramePair, OversizedLengthIsRejectedWithoutAllocating) {
+  // 0xFFFFFFFF would be a 4 GiB allocation if trusted.
+  const char header[8] = {'H', 'S', 'R', 'V', '\xff', '\xff', '\xff', '\xff'};
+  ASSERT_EQ(::send(fds_[0], header, sizeof header, 0),
+            static_cast<ssize_t>(sizeof header));
+  std::string payload, error;
+  EXPECT_FALSE(read_frame(fds_[1], &payload, &error));
+  EXPECT_NE(error.find("exceeds limit"), std::string::npos) << error;
+}
+
+TEST_F(FramePair, WriterRefusesOversizedPayloads) {
+  // Refused before any bytes hit the wire, so the stream stays in sync.
+  const std::string huge(hs::serve::kMaxFrameBytes + 1ull, 'x');
+  EXPECT_FALSE(write_frame(fds_[0], huge));
+}
+
+}  // namespace

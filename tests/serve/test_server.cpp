@@ -1,0 +1,223 @@
+// End-to-end tests for hsummad: an in-process Server plus real AF_UNIX
+// clients. Covers the handshake, bit-exact batch results, cross-batch and
+// cross-client dedupe, the durable store across a server restart, stats,
+// and per-job decode failures.
+#include "serve/server.hpp"
+
+#include <gtest/gtest.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <filesystem>
+
+#include "serve/client.hpp"
+#include "serve/job_codec.hpp"
+#include "serve/protocol.hpp"
+
+namespace {
+
+namespace fs = std::filesystem;
+using hs::core::RunResult;
+using hs::exec::SimJob;
+using hs::serve::Client;
+using hs::serve::JobOutcome;
+using hs::serve::Server;
+using hs::serve::ServerOptions;
+
+SimJob small_job(int groups) {
+  SimJob job;
+  job.platform = hs::net::Platform::by_name("grid5000");
+  job.gamma_flop = job.platform.gamma_flop;
+  job.ranks = 16;
+  job.groups = groups;
+  job.problem = hs::core::ProblemSpec::square(256, 32);
+  job.bcast_algo = hs::net::BcastAlgo::ScatterRingAllgather;
+  return job;
+}
+
+bool same_result(const RunResult& a, const RunResult& b) {
+  return a.timing.total_time == b.timing.total_time &&
+         a.timing.max_comm_time == b.timing.max_comm_time &&
+         a.timing.max_comp_time == b.timing.max_comp_time &&
+         a.timing.mean_comm_time == b.timing.mean_comm_time &&
+         a.timing.mean_comp_time == b.timing.mean_comp_time &&
+         a.timing.max_outer_comm_time == b.timing.max_outer_comm_time &&
+         a.timing.max_inner_comm_time == b.timing.max_inner_comm_time &&
+         a.timing.max_level_comm_time == b.timing.max_level_comm_time &&
+         a.timing.total_flops == b.timing.total_flops &&
+         a.max_error == b.max_error && a.messages == b.messages &&
+         a.wire_bytes == b.wire_bytes;
+}
+
+class ServeTest : public testing::Test {
+ protected:
+  void SetUp() override {
+    const auto* info = testing::UnitTest::GetInstance()->current_test_info();
+    socket_path_ = testing::TempDir() + "/hsd_" + info->name() + ".sock";
+    cache_dir_ = testing::TempDir() + "/hsd_store_" + info->name();
+    fs::remove_all(cache_dir_);
+    ::unlink(socket_path_.c_str());
+  }
+  void TearDown() override {
+    fs::remove_all(cache_dir_);
+    ::unlink(socket_path_.c_str());
+  }
+
+  ServerOptions options(bool with_store = false) {
+    ServerOptions opts;
+    opts.socket_path = socket_path_;
+    opts.jobs = 2;
+    if (with_store) opts.cache_dir = cache_dir_;
+    return opts;
+  }
+
+  std::string socket_path_;
+  std::string cache_dir_;
+};
+
+TEST_F(ServeTest, HandshakeReportsVersionAndFingerprint) {
+  Server server(options());
+  server.start();
+  Client client(socket_path_);
+  EXPECT_EQ(client.fingerprint().size(), 16u);
+  server.stop();
+}
+
+TEST_F(ServeTest, BatchResultsMatchLocalSimulationBitExactly) {
+  Server server(options());
+  server.start();
+  Client client(socket_path_);
+  const std::vector<SimJob> jobs{small_job(1), small_job(2), small_job(4)};
+  const std::vector<JobOutcome> outcomes = client.run_batch(jobs);
+  ASSERT_EQ(outcomes.size(), jobs.size());
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    ASSERT_TRUE(outcomes[i].ok()) << outcomes[i].error;
+    EXPECT_TRUE(
+        same_result(outcomes[i].result, hs::exec::run_sim_job(jobs[i])))
+        << "job " << i;
+  }
+  server.stop();
+}
+
+TEST_F(ServeTest, DuplicateJobsInOneBatchRunOneEngine) {
+  Server server(options());
+  server.start();
+  Client client(socket_path_);
+  const std::vector<SimJob> jobs{small_job(4), small_job(4), small_job(4),
+                                 small_job(4)};
+  const std::vector<JobOutcome> outcomes = client.run_batch(jobs);
+  for (std::size_t i = 1; i < outcomes.size(); ++i)
+    EXPECT_TRUE(same_result(outcomes[i].result, outcomes[0].result));
+  EXPECT_EQ(client.counter("exec.engines_run"), 1.0);
+  EXPECT_EQ(client.counter("serve.jobs_received"), 4.0);
+  server.stop();
+}
+
+TEST_F(ServeTest, SecondClientIsServedFromCacheByteIdentically) {
+  Server server(options());
+  server.start();
+  const std::vector<SimJob> jobs{small_job(1), small_job(2), small_job(8)};
+
+  std::vector<std::string> first_frames, second_frames;
+  Client first(socket_path_);
+  first.run_batch(jobs, &first_frames);
+  EXPECT_EQ(first.counter("exec.engines_run"), 3.0);
+
+  Client second(socket_path_);
+  second.run_batch(jobs, &second_frames);
+  // Zero new simulations for the second client...
+  EXPECT_EQ(second.counter("exec.engines_run"), 3.0);
+  // ...and a byte-identical response stream.
+  EXPECT_EQ(first_frames, second_frames);
+  server.stop();
+}
+
+TEST_F(ServeTest, RestartedServerServesSweepFromDiskWithZeroEngines) {
+  const std::vector<SimJob> jobs{small_job(1), small_job(2), small_job(4),
+                                 small_job(8), small_job(16)};
+  std::vector<std::string> cold_frames;
+  {
+    Server server(options(/*with_store=*/true));
+    server.start();
+    Client client(socket_path_);
+    client.run_batch(jobs, &cold_frames);
+    EXPECT_EQ(client.counter("exec.engines_run"),
+              static_cast<double>(jobs.size()));
+    client.shutdown_server();
+    server.wait_for_shutdown();
+    server.stop();
+  }
+  // A brand-new server process (fresh executor, empty memory cache) on the
+  // same store directory replays the whole sweep from disk.
+  Server server(options(/*with_store=*/true));
+  server.start();
+  Client client(socket_path_);
+  std::vector<std::string> warm_frames;
+  client.run_batch(jobs, &warm_frames);
+  EXPECT_EQ(client.counter("exec.engines_run"), 0.0)
+      << "warm restart must not simulate anything";
+  EXPECT_EQ(client.counter("exec.store_hits"),
+            static_cast<double>(jobs.size()));
+  EXPECT_EQ(cold_frames, warm_frames);
+  server.stop();
+}
+
+TEST_F(ServeTest, StatsExposesExecutorStoreAndServeCounters) {
+  Server server(options(/*with_store=*/true));
+  server.start();
+  Client client(socket_path_);
+  client.run_batch({small_job(2)});
+  const hs::JsonValue stats = client.stats();
+  ASSERT_TRUE(stats.has("counters"));
+  const hs::JsonValue& counters = stats.at("counters");
+  for (const char* name :
+       {"exec.jobs_submitted", "exec.engines_run", "exec.cache_hits",
+        "exec.cache_misses", "exec.store_hits", "store.writes",
+        "serve.clients_served", "serve.batches_served",
+        "serve.jobs_received"})
+    EXPECT_TRUE(counters.has(name)) << name;
+  EXPECT_EQ(counters.at("serve.jobs_received").number(), 1.0);
+  server.stop();
+}
+
+TEST_F(ServeTest, UndecodableJobFailsAloneNotTheBatch) {
+  Server server(options());
+  server.start();
+  // Hand-rolled connection: the Client class cannot emit malformed jobs.
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_un address{};
+  address.sun_family = AF_UNIX;
+  std::strncpy(address.sun_path, socket_path_.c_str(),
+               sizeof(address.sun_path) - 1);
+  ASSERT_EQ(
+      ::connect(fd, reinterpret_cast<sockaddr*>(&address), sizeof(address)),
+      0);
+  const std::string good = hs::write_json(
+      hs::serve::sim_job_to_json(small_job(2)));
+  ASSERT_TRUE(hs::serve::write_frame(
+      fd, "{\"type\":\"submit\",\"batch\":0,\"jobs\":[42," + good + "]}"));
+  std::string payload, error;
+  // Frame 1: job 0 fails to decode.
+  ASSERT_TRUE(hs::serve::read_frame(fd, &payload, &error)) << error;
+  EXPECT_NE(payload.find("\"error\""), std::string::npos) << payload;
+  // Frame 2: job 1 still ran.
+  ASSERT_TRUE(hs::serve::read_frame(fd, &payload, &error)) << error;
+  EXPECT_NE(payload.find("\"result\""), std::string::npos) << payload;
+  // Frame 3: batch_done.
+  ASSERT_TRUE(hs::serve::read_frame(fd, &payload, &error)) << error;
+  EXPECT_NE(payload.find("batch_done"), std::string::npos) << payload;
+  ::close(fd);
+  server.stop();
+}
+
+TEST_F(ServeTest, StopUnblocksLiveConnections) {
+  Server server(options());
+  server.start();
+  Client client(socket_path_);
+  server.stop();  // must not hang with the idle connection open
+}
+
+}  // namespace
